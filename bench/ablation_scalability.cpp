@@ -1,0 +1,40 @@
+// ABL-SCALE: wall-clock scalability of all placement algorithms as the
+// network (and query population) grows.  Repetitions run concurrently on
+// the thread pool; reported runtimes are per-run means.
+#include "bench_common.h"
+
+using namespace edgerep;
+using namespace edgerep::bench;
+
+int main(int argc, char** argv) {
+  FigureIo io = FigureIo::parse(argc, argv);
+  io.reps = std::min<std::size_t>(io.reps, 8);  // big sizes are costly
+  print_banner("Ablation: algorithm scalability vs network size",
+               "near-linear growth for Appro/Greedy/Popularity; Graph pays "
+               "the quadratic affinity-graph construction");
+
+  Table t({"network_size", "algorithm", "runtime_ms", "rt_ci95",
+           "assigned_volume_gb"});
+  std::vector<Algorithm> algos = algorithms_general();
+  algos.push_back(
+      {"Popularity-G", [](const Instance& i) { return popularity_g(i).plan; }});
+  for (const std::size_t n : {50u, 100u, 200u, 400u}) {
+    WorkloadConfig cfg;
+    cfg.network_size = n;
+    cfg.min_queries = 100;
+    cfg.max_queries = 100;
+    cfg.max_datasets_per_query = 5;
+    const auto stats =
+        run_sweep_point(cfg, derive_seed(io.seed, n), io.reps, algos);
+    for (const AlgoStats& s : stats) {
+      t.row()
+          .cell(std::to_string(n))
+          .cell(s.name)
+          .cell(s.runtime_ms.mean(), 2)
+          .cell(s.runtime_ms.ci95_halfwidth(), 2)
+          .cell(s.assigned_volume.mean(), 1);
+    }
+  }
+  emit(io, t);
+  return 0;
+}

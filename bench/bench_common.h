@@ -1,0 +1,83 @@
+// Shared scaffolding for the per-figure benchmark binaries.
+//
+// Every figure bench prints (a) the series the paper plots, one row per
+// (x-value, algorithm) with mean ± 95% CI over the repetitions, and (b) a
+// shape summary comparing the measured ordering/ratios with the paper's
+// reported ones.  `--csv` switches the table to CSV for plotting;
+// `--reps N` and `--seed S` control the averaging (the paper uses 15
+// topologies per point).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "edgerep/edgerep.h"
+
+namespace edgerep::bench {
+
+struct FigureIo {
+  std::size_t reps = 15;
+  std::uint64_t seed = 0xED6E;
+  bool csv = false;
+
+  static FigureIo parse(int argc, char** argv) {
+    const Args args(argc, argv);
+    FigureIo io;
+    io.reps = static_cast<std::size_t>(args.get_int("reps", 15));
+    io.seed = args.get_seed("seed", 0xED6E);
+    io.csv = args.get_bool("csv", false);
+    return io;
+  }
+};
+
+inline Table make_series_table(const std::string& x_name) {
+  return Table({x_name, "algorithm", "volume_gb", "vol_ci95", "throughput",
+                "thr_ci95", "replicas", "runtime_ms"});
+}
+
+/// Append one row per algorithm for a sweep point.  `use_assigned` selects
+/// the general-case volume accumulator (Appro-G's N'); the special case
+/// reports admitted volume (identical for single-demand queries).
+inline void add_point_rows(Table& t, const std::string& x_value,
+                           const std::vector<AlgoStats>& stats,
+                           bool use_assigned) {
+  for (const AlgoStats& s : stats) {
+    const RunningStat& vol =
+        use_assigned ? s.assigned_volume : s.admitted_volume;
+    t.row()
+        .cell(x_value)
+        .cell(s.name)
+        .cell(vol.mean(), 1)
+        .cell(vol.ci95_halfwidth(), 1)
+        .cell(s.throughput.mean(), 3)
+        .cell(s.throughput.ci95_halfwidth(), 3)
+        .cell(s.replicas.mean(), 1)
+        .cell(s.runtime_ms.mean(), 2);
+  }
+}
+
+inline void emit(const FigureIo& io, const Table& t) {
+  if (io.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+}
+
+inline void print_banner(const std::string& title,
+                         const std::string& paper_expectation) {
+  std::cout << "=== " << title << " ===\n"
+            << "paper expectation: " << paper_expectation << "\n\n";
+}
+
+/// "who wins" line for the shape summary.
+inline void print_ratio(const std::string& label, double ours,
+                        double baseline) {
+  std::cout << label << ": " << ours << " vs " << baseline;
+  if (baseline > 0.0) {
+    std::cout << "  (ratio " << ours / baseline << "x)";
+  }
+  std::cout << '\n';
+}
+
+}  // namespace edgerep::bench

@@ -1,0 +1,42 @@
+// Figure 2 (a, b): volume of datasets demanded by admitted queries and
+// system throughput vs network size, special case (each query demands a
+// single dataset).  Algorithms: Appro-S, Greedy-S, Graph-S, averaged over
+// 15 two-tier topologies per point (paper §4.2, Fig. 2).
+#include "bench_common.h"
+
+using namespace edgerep;
+using namespace edgerep::bench;
+
+int main(int argc, char** argv) {
+  const FigureIo io = FigureIo::parse(argc, argv);
+  print_banner("Figure 2: network size sweep, special case",
+               "Appro-S ~4x Greedy-S and ~2x Graph-S on volume; throughput "
+               "+15% / +10%; slight decline at very large sizes");
+
+  const std::vector<std::size_t> sizes{50, 100, 150, 200, 250};
+  Table t = make_series_table("network_size");
+  std::vector<AlgoStats> reference;
+  for (const std::size_t n : sizes) {
+    const WorkloadConfig cfg = special_case_config(n);
+    const auto stats = run_sweep_point(cfg, derive_seed(io.seed, n), io.reps,
+                                       algorithms_special());
+    add_point_rows(t, std::to_string(n), stats, /*use_assigned=*/false);
+    if (n == 100) reference = stats;
+  }
+  emit(io, t);
+
+  if (!reference.empty()) {
+    std::cout << "\nshape summary at network size 100:\n";
+    print_ratio("volume  Appro-S vs Greedy-S",
+                reference[0].admitted_volume.mean(),
+                reference[1].admitted_volume.mean());
+    print_ratio("volume  Appro-S vs Graph-S",
+                reference[0].admitted_volume.mean(),
+                reference[2].admitted_volume.mean());
+    print_ratio("thruput Appro-S vs Greedy-S", reference[0].throughput.mean(),
+                reference[1].throughput.mean());
+    print_ratio("thruput Appro-S vs Graph-S", reference[0].throughput.mean(),
+                reference[2].throughput.mean());
+  }
+  return 0;
+}

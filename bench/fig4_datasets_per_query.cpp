@@ -1,0 +1,35 @@
+// Figure 4 (a, b): impact of the maximum number F of datasets demanded by
+// each query (F = 1..6) on volume and throughput, general case (paper §4.2,
+// Fig. 4: throughput falls with F; volume rises up to F = 5 then dips).
+#include "bench_common.h"
+
+using namespace edgerep;
+using namespace edgerep::bench;
+
+int main(int argc, char** argv) {
+  const FigureIo io = FigureIo::parse(argc, argv);
+  print_banner("Figure 4: datasets-per-query sweep (F = 1..6)",
+               "throughput decreases with F for all algorithms; volume "
+               "grows with F until ~5, then dips; Appro-G on top throughout");
+
+  Table t = make_series_table("F");
+  std::vector<double> appro_thr;
+  std::vector<double> appro_vol;
+  for (std::size_t f = 1; f <= 6; ++f) {
+    WorkloadConfig cfg;
+    cfg.network_size = 32;  // paper default 6 DC / 24 CL / 2 SW
+    cfg.max_datasets_per_query = f;
+    const auto stats = run_sweep_point(cfg, derive_seed(io.seed, f), io.reps,
+                                       algorithms_general());
+    add_point_rows(t, std::to_string(f), stats, /*use_assigned=*/false);
+    appro_thr.push_back(stats[0].throughput.mean());
+    appro_vol.push_back(stats[0].admitted_volume.mean());
+  }
+  emit(io, t);
+
+  std::cout << "\nshape summary (Appro-G):\n";
+  print_ratio("throughput F=1 vs F=6 (expect > 1)", appro_thr.front(),
+              appro_thr.back());
+  print_ratio("volume F=5 vs F=1 (expect > 1)", appro_vol[4], appro_vol[0]);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Google-benchmark microbenchmarks of the hot substrate paths: RNG, graph
+// shortest paths, the all-pairs delay matrix, partitioning, the simplex
+// solver, the event queue, and one full Appro-G placement.
+#include <benchmark/benchmark.h>
+
+#include "edgerep/edgerep.h"
+
+namespace edgerep {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.zipf(100000, 1.1));
+  }
+}
+BENCHMARK(BM_RngZipf);
+
+void BM_Dijkstra(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gnp(static_cast<std::size_t>(state.range(0)), 0.1,
+                      Range{0.1, 1.0}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(g, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Dijkstra)->Range(64, 1024)->Complexity();
+
+void BM_DelayMatrix(benchmark::State& state) {
+  Rng rng(4);
+  const Graph g = gnp(static_cast<std::size_t>(state.range(0)), 0.1,
+                      Range{0.1, 1.0}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DelayMatrix::compute(g, /*parallel=*/true));
+  }
+}
+BENCHMARK(BM_DelayMatrix)->Arg(128)->Arg(256);
+
+void BM_PartitionGraph(benchmark::State& state) {
+  Rng rng(5);
+  PartitionProblem p;
+  p.num_vertices = static_cast<std::size_t>(state.range(0));
+  p.vertex_weight.assign(p.num_vertices, 1.0);
+  for (std::uint32_t u = 0; u < p.num_vertices; ++u) {
+    for (std::uint32_t v = u + 1; v < p.num_vertices; ++v) {
+      if (rng.bernoulli(0.05)) p.edges.push_back({u, v, rng.uniform(0.1, 2.0)});
+    }
+  }
+  p.num_parts = 8;
+  p.part_capacity.assign(8, static_cast<double>(p.num_vertices) / 6.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_graph(p));
+  }
+}
+BENCHMARK(BM_PartitionGraph)->Arg(100)->Arg(400);
+
+void BM_SimplexRandomLp(benchmark::State& state) {
+  Rng rng(6);
+  LinearProgram lp;
+  lp.num_vars = static_cast<std::size_t>(state.range(0));
+  lp.objective.resize(lp.num_vars);
+  for (auto& c : lp.objective) c = rng.uniform(0.0, 1.0);
+  for (std::size_t j = 0; j < lp.num_vars; ++j) lp.add_upper_bound(j, 2.0);
+  for (std::size_t c = 0; c < lp.num_vars; ++c) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t j = 0; j < lp.num_vars; ++j) {
+      terms.push_back({j, rng.uniform(0.0, 1.0)});
+    }
+    lp.add_constraint(std::move(terms), Relation::kLe,
+                      rng.uniform(1.0, 10.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lp(lp));
+  }
+}
+BENCHMARK(BM_SimplexRandomLp)->Arg(20)->Arg(50);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue eq;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      eq.schedule_at(static_cast<double>(i % 97), [&counter] { ++counter; });
+    }
+    eq.run();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_ApproGPlacement(benchmark::State& state) {
+  WorkloadConfig cfg;
+  cfg.network_size = static_cast<std::size_t>(state.range(0));
+  cfg.min_queries = 100;
+  cfg.max_queries = 100;
+  cfg.max_datasets_per_query = 5;
+  const Instance inst = generate_instance(cfg, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(appro_g(inst));
+  }
+}
+BENCHMARK(BM_ApproGPlacement)->Arg(32)->Arg(100);
+
+void BM_GenerateInstance(benchmark::State& state) {
+  WorkloadConfig cfg;
+  cfg.network_size = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_instance(cfg, ++seed));
+  }
+}
+BENCHMARK(BM_GenerateInstance)->Arg(32)->Arg(100);
+
+void BM_SimulateTestbed(benchmark::State& state) {
+  const Instance inst = make_testbed_instance(TestbedWorkloadConfig{}, 7);
+  const ReplicaPlan plan = appro_g(inst).plan;
+  SimConfig cfg;
+  cfg.capacity_factor = 0.9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(plan, cfg));
+  }
+}
+BENCHMARK(BM_SimulateTestbed);
+
+}  // namespace
+}  // namespace edgerep
+
+BENCHMARK_MAIN();

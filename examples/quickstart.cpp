@@ -1,0 +1,74 @@
+// Quickstart: build a small two-tier edge cloud by hand, place replicas
+// with the paper's Appro-S algorithm, and inspect the resulting plan.
+//
+//   ./quickstart
+//
+// Walks through the full public API surface: Graph → Instance → appro_s →
+// ReplicaPlan → evaluate/validate.
+#include <iostream>
+
+#include "edgerep/edgerep.h"
+
+using namespace edgerep;
+
+int main() {
+  // 1. Topology: two cloudlets and one remote data center behind a switch.
+  Graph g;
+  const NodeId cl0 = g.add_node(NodeRole::kCloudlet);
+  const NodeId cl1 = g.add_node(NodeRole::kCloudlet);
+  const NodeId sw = g.add_node(NodeRole::kSwitch);
+  const NodeId dc = g.add_node(NodeRole::kDataCenter);
+  g.add_edge(cl0, sw, 0.05);  // delays are seconds per GB transferred
+  g.add_edge(cl1, sw, 0.08);
+  g.add_edge(sw, dc, 1.20);
+
+  // 2. Placement sites: computing capacity (GHz) and processing delay (s/GB).
+  Instance inst(std::move(g));
+  const SiteId s_cl0 = inst.add_site(cl0, /*capacity=*/12.0, /*proc=*/0.15);
+  const SiteId s_cl1 = inst.add_site(cl1, 10.0, 0.20);
+  const SiteId s_dc = inst.add_site(dc, 400.0, 0.02);
+
+  // 3. Datasets (GB) and queries with QoS deadlines (s).
+  const DatasetId logs = inst.add_dataset(4.0, s_dc, "web-logs");
+  const DatasetId clicks = inst.add_dataset(2.5, s_dc, "click-stream");
+  inst.add_query(s_cl0, /*rate=*/1.0, /*deadline=*/1.0, {{logs, 0.3}});
+  inst.add_query(s_cl1, 1.1, 1.2, {{clicks, 0.5}});
+  inst.add_query(s_cl0, 0.9, 4.0, {{logs, 0.2}});  // loose: can go remote
+  inst.set_max_replicas(2);  // K
+  inst.finalize();
+
+  // 4. Run the primal-dual approximation (special case: 1 dataset/query).
+  const ApproResult result = appro_s(inst);
+
+  // 5. Inspect the plan.
+  std::cout << "Replica placement:\n";
+  for (const Dataset& d : inst.datasets()) {
+    std::cout << "  " << d.name << " (" << d.volume << " GB) -> sites:";
+    for (const SiteId l : result.plan.replica_sites(d.id)) {
+      std::cout << ' ' << l << (inst.site(l).is_data_center() ? " (dc)" : " (cl)");
+    }
+    std::cout << '\n';
+  }
+  std::cout << "Query assignments:\n";
+  for (const Query& q : inst.queries()) {
+    const auto site = result.plan.assignment(q.id, q.demands[0].dataset);
+    std::cout << "  query " << q.id << " (deadline " << q.deadline << "s): ";
+    if (site) {
+      std::cout << "site " << *site << ", delay "
+                << evaluation_delay(inst, q, q.demands[0], *site) << "s\n";
+    } else {
+      std::cout << "rejected\n";
+    }
+  }
+
+  // 6. Metrics + independent constraint check.
+  const PlanMetrics pm = evaluate(result.plan);
+  std::cout << "Admitted volume: " << pm.admitted_volume << " GB ("
+            << pm.admitted_queries << "/" << pm.total_queries
+            << " queries, throughput " << pm.throughput << ")\n"
+            << "Dual upper bound (weak duality): " << result.dual_objective
+            << " GB\n"
+            << "Plan valid: " << (validate(result.plan).ok ? "yes" : "NO")
+            << '\n';
+  return 0;
+}

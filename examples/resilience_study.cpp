@@ -1,0 +1,69 @@
+// Resilience study: what do replicas buy when sites fail, and what do they
+// cost to keep consistent?  Uses three library features together:
+//  * availability analysis (Monte Carlo survival under site failures),
+//  * plan hardening (extra deadline-feasible replicas for weak demands),
+//  * the §2.4 consistency model (update traffic those extra replicas incur).
+//
+//   ./resilience_study [--failure-prob 0.05] [--k 4] [--harden 2]
+//                      [--growth 0.1] [--seed 21] [--save instance.txt]
+#include <fstream>
+#include <iostream>
+
+#include "edgerep/edgerep.h"
+
+using namespace edgerep;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const double failure_prob = args.get_double("failure-prob", 0.05);
+  const auto min_servable =
+      static_cast<std::size_t>(args.get_int("harden", 2));
+  const double growth = args.get_double("growth", 0.1);
+  const std::uint64_t seed = args.get_seed("seed", 23);
+
+  WorkloadConfig cfg;
+  cfg.network_size = 32;
+  cfg.max_datasets_per_query = 4;
+  cfg.max_replicas = static_cast<std::size_t>(args.get_int("k", 4));
+  const Instance inst = generate_instance(cfg, seed);
+  if (args.has("save")) {
+    std::ofstream os(args.get("save", "instance.txt"));
+    write_instance(os, inst);
+    std::cout << "instance archived to " << args.get("save", "instance.txt")
+              << "\n\n";
+  }
+
+  ReplicaPlan plain = appro_g(inst).plan;
+  ReplicaPlan hardened = plain;
+  const std::size_t added = harden_plan(hardened, min_servable);
+
+  AvailabilityConfig acfg;
+  acfg.site_failure_prob = failure_prob;
+  acfg.seed = derive_seed(seed, 77);
+  const GrowthModel gm = GrowthModel::proportional(inst, growth);
+
+  Table t({"plan", "replicas", "admitted_vol_gb", "mean_survival",
+           "min_survival", "surviving_vol_gb", "update_cost_per_h"});
+  for (const auto& [name, plan] :
+       {std::pair<const char*, const ReplicaPlan*>{"Appro-G", &plain},
+        {"Appro-G hardened", &hardened}}) {
+    const AvailabilityReport avail = analyze_availability(*plan, acfg);
+    const ConsistencyReport cons = analyze_consistency(*plan, gm);
+    const PlanMetrics pm = evaluate(*plan);
+    t.row()
+        .cell(name)
+        .cell(plan->total_replicas())
+        .cell(pm.admitted_volume, 1)
+        .cell(avail.mean_survival, 4)
+        .cell(avail.min_survival, 4)
+        .cell(avail.expected_surviving_volume, 1)
+        .cell(cons.total_transfer_cost_per_hour, 2);
+  }
+  std::cout << "site failure probability " << failure_prob << ", hardening "
+            << "target " << min_servable << " servable replicas per demand ("
+            << added << " replicas added)\n\n";
+  t.print(std::cout);
+  std::cout << "\nHardening trades consistency-maintenance cost for "
+               "failure survival at identical admitted volume.\n";
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Shared result type for the benchmark baselines (paper §4.1).
+#pragma once
+
+#include "cloud/plan.h"
+
+namespace edgerep {
+
+struct BaselineResult {
+  ReplicaPlan plan;
+  PlanMetrics metrics;
+  std::size_t demands_assigned = 0;
+  std::size_t demands_rejected = 0;
+};
+
+}  // namespace edgerep

@@ -1,0 +1,92 @@
+#include "baselines/centrality_baseline.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "cloud/delay.h"
+#include "net/centrality.h"
+
+namespace edgerep {
+
+namespace {
+
+/// Placement sites ranked by the chosen centrality of their graph node,
+/// highest first (capacity breaks ties).
+std::vector<SiteId> by_centrality(const Instance& inst, CentralityKind kind) {
+  const std::vector<double> score = kind == CentralityKind::kCloseness
+                                        ? closeness_centrality(inst.graph())
+                                        : betweenness_centrality(inst.graph());
+  std::vector<SiteId> order(inst.sites().size());
+  for (SiteId l = 0; l < order.size(); ++l) order[l] = l;
+  std::stable_sort(order.begin(), order.end(), [&](SiteId a, SiteId b) {
+    const double sa = score[inst.site(a).node];
+    const double sb = score[inst.site(b).node];
+    if (sa != sb) return sa > sb;
+    return inst.site(a).available > inst.site(b).available;
+  });
+  return order;
+}
+
+bool admit_demand(const Instance& inst, const Query& q,
+                  const DatasetDemand& dd, const std::vector<SiteId>& order,
+                  ReplicaPlan& plan) {
+  const double need = resource_demand(inst, q, dd);
+  // Reuse an existing replica at the most central feasible site.
+  for (const SiteId l : order) {
+    if (!plan.has_replica(dd.dataset, l)) continue;
+    if (deadline_ok(inst, q, dd, l) && plan.fits(l, need)) {
+      plan.assign(q.id, dd.dataset, l);
+      return true;
+    }
+  }
+  // Place new replicas in centrality order where the deadline holds.
+  for (const SiteId l : order) {
+    if (plan.has_replica(dd.dataset, l)) continue;
+    if (plan.replica_count(dd.dataset) >= inst.max_replicas()) break;
+    if (!deadline_ok(inst, q, dd, l)) continue;
+    plan.place_replica(dd.dataset, l);
+    if (plan.fits(l, need)) {
+      plan.assign(q.id, dd.dataset, l);
+      return true;
+    }
+  }
+  return false;
+}
+
+BaselineResult run(const Instance& inst, CentralityKind kind) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("centrality: instance not finalized");
+  }
+  const std::vector<SiteId> order = by_centrality(inst, kind);
+  BaselineResult res{ReplicaPlan(inst), {}, 0, 0};
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      if (admit_demand(inst, q, dd, order, res.plan)) {
+        ++res.demands_assigned;
+      } else {
+        ++res.demands_rejected;
+      }
+    }
+  }
+  res.metrics = evaluate(res.plan);
+  return res;
+}
+
+}  // namespace
+
+BaselineResult centrality_s(const Instance& inst, CentralityKind kind) {
+  for (const Query& q : inst.queries()) {
+    if (q.demands.size() != 1) {
+      throw std::invalid_argument(
+          "centrality_s: special case requires single-dataset queries");
+    }
+  }
+  return run(inst, kind);
+}
+
+BaselineResult centrality_g(const Instance& inst, CentralityKind kind) {
+  return run(inst, kind);
+}
+
+}  // namespace edgerep

@@ -1,0 +1,26 @@
+// Centrality baseline (not in the paper; a classic CDN/caching heuristic
+// added as an extra comparison point): place replicas at the most *central*
+// placement nodes of the delay-weighted topology — central nodes minimize
+// expected transfer delay to uniformly distributed consumers — then admit
+// demands in centrality order subject to deadline and capacity.
+//
+// Like Popularity it ignores the actual query population when ranking
+// sites; unlike Popularity the ranking is topology-driven and static.
+#pragma once
+
+#include "baselines/baseline.h"
+#include "cloud/instance.h"
+
+namespace edgerep {
+
+enum class CentralityKind : std::uint8_t { kCloseness, kBetweenness };
+
+/// Special case (single-dataset queries; throws otherwise).
+BaselineResult centrality_s(const Instance& inst,
+                            CentralityKind kind = CentralityKind::kCloseness);
+
+/// General case.
+BaselineResult centrality_g(const Instance& inst,
+                            CentralityKind kind = CentralityKind::kCloseness);
+
+}  // namespace edgerep

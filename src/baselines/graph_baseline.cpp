@@ -1,0 +1,108 @@
+#include "baselines/graph_baseline.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "cloud/delay.h"
+
+namespace edgerep {
+
+PartitionProblem build_affinity_problem(const Instance& inst) {
+  PartitionProblem p;
+  p.num_vertices = inst.queries().size();
+  p.vertex_weight.resize(p.num_vertices);
+  for (const Query& q : inst.queries()) {
+    double demand = 0.0;
+    for (const DatasetDemand& dd : q.demands) {
+      demand += resource_demand(inst, q, dd);
+    }
+    p.vertex_weight[q.id] = demand;
+  }
+  // Edge weight = total volume of datasets both queries demand.
+  for (QueryId a = 0; a < p.num_vertices; ++a) {
+    for (QueryId b = a + 1; b < p.num_vertices; ++b) {
+      double shared = 0.0;
+      for (const DatasetDemand& dd : inst.query(a).demands) {
+        if (inst.query(b).demands_dataset(dd.dataset)) {
+          shared += inst.dataset(dd.dataset).volume;
+        }
+      }
+      if (shared > 0.0) {
+        p.edges.push_back({a, b, shared});
+      }
+    }
+  }
+  p.num_parts = inst.sites().size();
+  p.part_capacity.resize(p.num_parts);
+  for (const Site& s : inst.sites()) p.part_capacity[s.id] = s.available;
+  return p;
+}
+
+namespace {
+
+bool admit_demand_at(const Instance& inst, const Query& q,
+                     const DatasetDemand& dd, SiteId l, ReplicaPlan& plan) {
+  const double need = resource_demand(inst, q, dd);
+  if (!deadline_ok(inst, q, dd, l) || !plan.fits(l, need)) return false;
+  if (!plan.has_replica(dd.dataset, l)) {
+    if (plan.replica_count(dd.dataset) >= inst.max_replicas()) return false;
+    plan.place_replica(dd.dataset, l);
+  }
+  plan.assign(q.id, dd.dataset, l);
+  return true;
+}
+
+BaselineResult run(const Instance& inst, const GraphBaselineOptions& opts) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("graph baseline: instance not finalized");
+  }
+  const PartitionProblem problem = build_affinity_problem(inst);
+  const PartitionResult partition = partition_graph(problem, opts.partition);
+
+  BaselineResult res{ReplicaPlan(inst), {}, 0, 0};
+  for (const Query& q : inst.queries()) {
+    const std::uint32_t home_part = partition.part_of[q.id];
+    for (const DatasetDemand& dd : q.demands) {
+      bool ok = false;
+      // Preferred: the query's partition site.
+      if (home_part != kUnassignedPart) {
+        ok = admit_demand_at(inst, q, dd, static_cast<SiteId>(home_part),
+                             res.plan);
+      }
+      // Spill: any site already holding a replica of the dataset.
+      if (!ok) {
+        for (const SiteId l : res.plan.replica_sites(dd.dataset)) {
+          if (admit_demand_at(inst, q, dd, l, res.plan)) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        ++res.demands_assigned;
+      } else {
+        ++res.demands_rejected;
+      }
+    }
+  }
+  res.metrics = evaluate(res.plan);
+  return res;
+}
+
+}  // namespace
+
+BaselineResult graph_s(const Instance& inst, const GraphBaselineOptions& opts) {
+  for (const Query& q : inst.queries()) {
+    if (q.demands.size() != 1) {
+      throw std::invalid_argument(
+          "graph_s: special case requires single-dataset queries");
+    }
+  }
+  return run(inst, opts);
+}
+
+BaselineResult graph_g(const Instance& inst, const GraphBaselineOptions& opts) {
+  return run(inst, opts);
+}
+
+}  // namespace edgerep

@@ -1,0 +1,44 @@
+// Graph-S / Graph-G baseline (paper §4.1, second benchmark, after Golab et
+// al., "Distributed data placement to minimize communication costs via graph
+// partitioning", SSDBM'14):
+//
+//   "places K replicas for each dataset at data centers or cloudlets, if the
+//    delay requirement of the query can be satisfied by evaluating the
+//    replica at the data center or the cloudlet ... It then makes a graph
+//    partitioning with maximum volume of datasets demanded by admitted
+//    queries."
+//
+// Realization:
+//  1. Build the query-affinity graph: one vertex per query (weight = its
+//     computing-resource demand), an edge between two queries weighted by
+//     the volume of the datasets they share.
+//  2. Partition it across the sites (part capacity = available resource)
+//     with the KL/FM partitioner, so data-sharing queries co-locate.
+//  3. For each query in its assigned part, place replicas of its datasets at
+//     that site while the delay requirement holds and the budget K allows,
+//     then assign; spill to other replica-holding sites when the home part
+//     fails.
+#pragma once
+
+#include "baselines/baseline.h"
+#include "cloud/instance.h"
+#include "part/partitioner.h"
+
+namespace edgerep {
+
+struct GraphBaselineOptions {
+  PartitionOptions partition;
+};
+
+/// Special case (single-dataset queries; throws otherwise).
+BaselineResult graph_s(const Instance& inst,
+                       const GraphBaselineOptions& opts = {});
+
+/// General case.
+BaselineResult graph_g(const Instance& inst,
+                       const GraphBaselineOptions& opts = {});
+
+/// Exposed for tests: the affinity graph of step 1 (vertices = queries).
+PartitionProblem build_affinity_problem(const Instance& inst);
+
+}  // namespace edgerep

@@ -1,0 +1,83 @@
+#include "baselines/greedy.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "cloud/delay.h"
+
+namespace edgerep {
+
+namespace {
+
+/// Sites ordered by residual capacity, largest first (recomputed per demand
+/// because assignments change the residuals).
+std::vector<SiteId> by_residual_desc(const Instance& inst,
+                                     const ReplicaPlan& plan) {
+  std::vector<SiteId> order(inst.sites().size());
+  for (SiteId l = 0; l < order.size(); ++l) order[l] = l;
+  std::stable_sort(order.begin(), order.end(), [&](SiteId a, SiteId b) {
+    return plan.residual(a) > plan.residual(b);
+  });
+  return order;
+}
+
+bool admit_demand_greedy(const Instance& inst, const Query& q,
+                         const DatasetDemand& dd, ReplicaPlan& plan) {
+  const double need = resource_demand(inst, q, dd);
+  // First try sites that already hold a replica (no budget cost), largest
+  // residual capacity first.
+  for (const SiteId l : by_residual_desc(inst, plan)) {
+    if (!plan.has_replica(dd.dataset, l)) continue;
+    if (deadline_ok(inst, q, dd, l) && plan.fits(l, need)) {
+      plan.assign(q.id, dd.dataset, l);
+      return true;
+    }
+  }
+  // Then burn replica budget in capacity order: place at the largest
+  // available site, check the deadline afterwards, move on if it fails.
+  for (const SiteId l : by_residual_desc(inst, plan)) {
+    if (plan.has_replica(dd.dataset, l)) continue;
+    if (plan.replica_count(dd.dataset) >= inst.max_replicas()) break;
+    plan.place_replica(dd.dataset, l);  // spent even if the check fails
+    if (deadline_ok(inst, q, dd, l) && plan.fits(l, need)) {
+      plan.assign(q.id, dd.dataset, l);
+      return true;
+    }
+  }
+  return false;
+}
+
+BaselineResult run(const Instance& inst) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("greedy: instance not finalized");
+  }
+  BaselineResult res{ReplicaPlan(inst), {}, 0, 0};
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      if (admit_demand_greedy(inst, q, dd, res.plan)) {
+        ++res.demands_assigned;
+      } else {
+        ++res.demands_rejected;
+      }
+    }
+  }
+  res.metrics = evaluate(res.plan);
+  return res;
+}
+
+}  // namespace
+
+BaselineResult greedy_s(const Instance& inst) {
+  for (const Query& q : inst.queries()) {
+    if (q.demands.size() != 1) {
+      throw std::invalid_argument(
+          "greedy_s: special case requires single-dataset queries");
+    }
+  }
+  return run(inst);
+}
+
+BaselineResult greedy_g(const Instance& inst) { return run(inst); }
+
+}  // namespace edgerep

@@ -1,0 +1,28 @@
+// Greedy-S / Greedy-G baseline (paper §4.1, first benchmark):
+//
+//   "It selects a data center or cloudlet with the largest available
+//    computing resource to place a replica of a dataset.  If the delay
+//    requirement cannot be satisfied, it then selects a data center or
+//    cloudlet with the second largest available computing resource to place
+//    the replica.  This procedure continues until the query is admitted or
+//    there are already K replicas of the dataset in the system."
+//
+// Faithfully to that description, the replica is placed at the
+// largest-capacity site *before* the delay requirement is checked, so a
+// failed attempt permanently consumes replica budget — the main reason the
+// paper observes Greedy trailing Appro by several times.
+#pragma once
+
+#include "baselines/baseline.h"
+#include "cloud/instance.h"
+
+namespace edgerep {
+
+/// Special case: every query must demand exactly one dataset (throws
+/// std::invalid_argument otherwise).
+BaselineResult greedy_s(const Instance& inst);
+
+/// General case: the same per-demand procedure for multi-dataset queries.
+BaselineResult greedy_g(const Instance& inst);
+
+}  // namespace edgerep

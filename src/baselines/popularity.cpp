@@ -1,0 +1,99 @@
+#include "baselines/popularity.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "cloud/delay.h"
+
+namespace edgerep {
+
+namespace {
+
+/// Replicas per site under `plan`, counting each dataset's origin copy.
+std::vector<std::size_t> replica_counts(const Instance& inst,
+                                        const ReplicaPlan& plan) {
+  std::vector<std::size_t> counts(inst.sites().size(), 0);
+  for (const Dataset& d : inst.datasets()) {
+    for (const SiteId l : plan.replica_sites(d.id)) ++counts[l];
+    if (d.origin != kInvalidSite && !plan.has_replica(d.id, d.origin)) {
+      ++counts[d.origin];
+    }
+  }
+  return counts;
+}
+
+/// Sites by popularity (replica share), most popular first; capacity breaks
+/// ties so the very first placements are not arbitrary.
+std::vector<SiteId> by_popularity(const Instance& inst,
+                                  const ReplicaPlan& plan) {
+  const auto counts = replica_counts(inst, plan);
+  std::vector<SiteId> order(inst.sites().size());
+  for (SiteId l = 0; l < order.size(); ++l) order[l] = l;
+  std::stable_sort(order.begin(), order.end(), [&](SiteId a, SiteId b) {
+    if (counts[a] != counts[b]) return counts[a] > counts[b];
+    return inst.site(a).available > inst.site(b).available;
+  });
+  return order;
+}
+
+bool admit_demand_popularity(const Instance& inst, const Query& q,
+                             const DatasetDemand& dd, ReplicaPlan& plan) {
+  const double need = resource_demand(inst, q, dd);
+  const auto order = by_popularity(inst, plan);
+  // Reuse an existing replica at the most popular site that works.
+  for (const SiteId l : order) {
+    if (!plan.has_replica(dd.dataset, l)) continue;
+    if (deadline_ok(inst, q, dd, l) && plan.fits(l, need)) {
+      plan.assign(q.id, dd.dataset, l);
+      return true;
+    }
+  }
+  // Otherwise place replicas in popularity order until admitted or K spent.
+  for (const SiteId l : order) {
+    if (plan.has_replica(dd.dataset, l)) continue;
+    if (plan.replica_count(dd.dataset) >= inst.max_replicas()) break;
+    if (!deadline_ok(inst, q, dd, l)) continue;  // "places ... if the delay
+                                                 // requirement can be satisfied"
+    plan.place_replica(dd.dataset, l);
+    if (plan.fits(l, need)) {
+      plan.assign(q.id, dd.dataset, l);
+      return true;
+    }
+  }
+  return false;
+}
+
+BaselineResult run(const Instance& inst) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("popularity: instance not finalized");
+  }
+  BaselineResult res{ReplicaPlan(inst), {}, 0, 0};
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      if (admit_demand_popularity(inst, q, dd, res.plan)) {
+        ++res.demands_assigned;
+      } else {
+        ++res.demands_rejected;
+      }
+    }
+  }
+  res.metrics = evaluate(res.plan);
+  return res;
+}
+
+}  // namespace
+
+BaselineResult popularity_s(const Instance& inst) {
+  for (const Query& q : inst.queries()) {
+    if (q.demands.size() != 1) {
+      throw std::invalid_argument(
+          "popularity_s: special case requires single-dataset queries");
+    }
+  }
+  return run(inst);
+}
+
+BaselineResult popularity_g(const Instance& inst) { return run(inst); }
+
+}  // namespace edgerep

@@ -1,0 +1,31 @@
+// Popularity-S / Popularity-G baseline (paper §4.1, testbed benchmark,
+// after Hou et al., "Proactive content caching by exploiting transfer
+// learning for mobile edge computing"):
+//
+//   "It first calculates the popularity of a node (cloudlet and data
+//    center) according to the ratio of the number of dataset replicas on
+//    the node to the total number of dataset replicas of all nodes.  It
+//    then selects a node with the highest popularity for each dataset, and
+//    places a replica of the dataset if the delay requirement of a query
+//    can be satisfied; otherwise, it then selects another node with the
+//    second highest popularity to place the replica; this procedure
+//    continues until the query is admitted or there are already K replicas
+//    of the dataset."
+//
+// Popularity is recomputed as replicas accumulate, seeded by each dataset's
+// origin replica, so popular nodes attract ever more replicas — the
+// rich-get-richer behaviour that ignores capacity and deadline structure.
+#pragma once
+
+#include "baselines/baseline.h"
+#include "cloud/instance.h"
+
+namespace edgerep {
+
+/// Special case (single-dataset queries; throws otherwise).
+BaselineResult popularity_s(const Instance& inst);
+
+/// General case.
+BaselineResult popularity_g(const Instance& inst);
+
+}  // namespace edgerep

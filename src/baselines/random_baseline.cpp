@@ -1,0 +1,47 @@
+#include "baselines/random_baseline.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "cloud/delay.h"
+#include "util/rng.h"
+
+namespace edgerep {
+
+BaselineResult random_baseline(const Instance& inst, std::uint64_t seed) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("random_baseline: instance not finalized");
+  }
+  Rng rng(seed);
+  BaselineResult res{ReplicaPlan(inst), {}, 0, 0};
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      const double need = resource_demand(inst, q, dd);
+      std::vector<SiteId> feasible;
+      for (const Site& s : inst.sites()) {
+        if (!deadline_ok(inst, q, dd, s.id) || !res.plan.fits(s.id, need)) {
+          continue;
+        }
+        if (res.plan.has_replica(dd.dataset, s.id) ||
+            res.plan.replica_count(dd.dataset) < inst.max_replicas()) {
+          feasible.push_back(s.id);
+        }
+      }
+      if (feasible.empty()) {
+        ++res.demands_rejected;
+        continue;
+      }
+      const SiteId l = feasible[static_cast<std::size_t>(
+          rng.uniform_u64(0, feasible.size() - 1))];
+      if (!res.plan.has_replica(dd.dataset, l)) {
+        res.plan.place_replica(dd.dataset, l);
+      }
+      res.plan.assign(q.id, dd.dataset, l);
+      ++res.demands_assigned;
+    }
+  }
+  res.metrics = evaluate(res.plan);
+  return res;
+}
+
+}  // namespace edgerep

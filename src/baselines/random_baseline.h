@@ -1,0 +1,16 @@
+// Random baseline (not in the paper; ablation floor): each demand is
+// assigned to a uniformly random feasible site, placing a replica there when
+// the budget allows.  Any algorithm worth publishing should clear this bar.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline.h"
+#include "cloud/instance.h"
+
+namespace edgerep {
+
+BaselineResult random_baseline(const Instance& inst,
+                               std::uint64_t seed = 0xace5);
+
+}  // namespace edgerep

@@ -1,0 +1,150 @@
+#include "cloud/availability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cloud/delay.h"
+#include "util/rng.h"
+
+namespace edgerep {
+
+namespace {
+
+/// Replica sites of (q, dd) that meet the deadline — the sites whose
+/// survival keeps the demand servable.
+std::vector<SiteId> servable_sites(const ReplicaPlan& plan, const Query& q,
+                                   const DatasetDemand& dd) {
+  const Instance& inst = plan.instance();
+  std::vector<SiteId> sites;
+  for (const SiteId l : plan.replica_sites(dd.dataset)) {
+    if (deadline_ok(inst, q, dd, l)) sites.push_back(l);
+  }
+  return sites;
+}
+
+}  // namespace
+
+double demand_survival(const ReplicaPlan& plan, const Query& q,
+                       const DatasetDemand& dd, double site_failure_prob) {
+  const std::size_t k = servable_sites(plan, q, dd).size();
+  if (k == 0) return 0.0;
+  return 1.0 - std::pow(site_failure_prob, static_cast<double>(k));
+}
+
+std::size_t harden_plan(ReplicaPlan& plan, std::size_t min_servable) {
+  const Instance& inst = plan.instance();
+  std::size_t added = 0;
+  for (const Query& q : inst.queries()) {
+    if (!plan.admitted(q.id)) continue;
+    for (const DatasetDemand& dd : q.demands) {
+      std::size_t servable = servable_sites(plan, q, dd).size();
+      if (servable >= min_servable) continue;
+      // Feasible sites without a replica, most residual capacity first so
+      // the backup could actually absorb failed-over load.
+      std::vector<SiteId> candidates;
+      for (const Site& s : inst.sites()) {
+        if (plan.has_replica(dd.dataset, s.id)) continue;
+        if (deadline_ok(inst, q, dd, s.id)) candidates.push_back(s.id);
+      }
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](SiteId a, SiteId b) {
+                         return plan.residual(a) > plan.residual(b);
+                       });
+      for (const SiteId l : candidates) {
+        if (servable >= min_servable) break;
+        if (plan.replica_count(dd.dataset) >= inst.max_replicas()) break;
+        plan.place_replica(dd.dataset, l);
+        ++added;
+        ++servable;
+      }
+    }
+  }
+  return added;
+}
+
+AvailabilityReport analyze_availability(const ReplicaPlan& plan,
+                                        const AvailabilityConfig& cfg) {
+  if (cfg.site_failure_prob < 0.0 || cfg.site_failure_prob > 1.0) {
+    throw std::invalid_argument("availability: probability out of [0, 1]");
+  }
+  if (cfg.trials == 0) {
+    throw std::invalid_argument("availability: need at least one trial");
+  }
+  const Instance& inst = plan.instance();
+  AvailabilityReport rep;
+
+  // Collect admitted queries and their per-demand servable site sets once.
+  struct Entry {
+    QueryId query;
+    double volume;
+    std::vector<std::vector<SiteId>> demand_sites;
+  };
+  std::vector<Entry> entries;
+  for (const Query& q : inst.queries()) {
+    if (!plan.admitted(q.id)) continue;
+    Entry e;
+    e.query = q.id;
+    e.volume = inst.demanded_volume(q.id);
+    for (const DatasetDemand& dd : q.demands) {
+      e.demand_sites.push_back(servable_sites(plan, q, dd));
+    }
+    entries.push_back(std::move(e));
+  }
+  if (entries.empty()) return rep;
+
+  // Monte Carlo over failure scenarios.
+  Rng rng(cfg.seed);
+  std::vector<char> alive(inst.sites().size(), 1);
+  std::vector<std::size_t> survived(entries.size(), 0);
+  double surviving_volume = 0.0;
+  for (std::size_t t = 0; t < cfg.trials; ++t) {
+    for (std::size_t l = 0; l < alive.size(); ++l) {
+      alive[l] = rng.bernoulli(cfg.site_failure_prob) ? 0 : 1;
+    }
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      bool ok = true;
+      for (const auto& sites : entries[i].demand_sites) {
+        bool any_alive = false;
+        for (const SiteId l : sites) {
+          if (alive[l]) {
+            any_alive = true;
+            break;
+          }
+        }
+        if (!any_alive) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        ++survived[i];
+        surviving_volume += entries[i].volume;
+      }
+    }
+  }
+
+  const double trials = static_cast<double>(cfg.trials);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Query& q = inst.query(entries[i].query);
+    QueryAvailability qa;
+    qa.query = entries[i].query;
+    qa.admitted = true;
+    qa.survival = static_cast<double>(survived[i]) / trials;
+    qa.marginal_product = 1.0;
+    qa.weakest_demand = 1.0;
+    for (const DatasetDemand& dd : q.demands) {
+      const double m = demand_survival(plan, q, dd, cfg.site_failure_prob);
+      qa.marginal_product *= m;
+      qa.weakest_demand = std::min(qa.weakest_demand, m);
+    }
+    rep.mean_survival += qa.survival;
+    rep.min_survival = std::min(rep.min_survival, qa.survival);
+    rep.per_query.push_back(qa);
+  }
+  rep.mean_survival /= static_cast<double>(entries.size());
+  rep.expected_surviving_volume = surviving_volume / trials;
+  return rep;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,67 @@
+// Replica availability analysis (paper §2.3: replication exists "to make
+// datasets in the two-tier edge cloud highly available, reliable and
+// scalable").
+//
+// Model: every site fails independently with probability `site_failure_prob`
+// (a failed site loses its replicas and its computing capacity).  An
+// admitted query *survives* a failure scenario when every one of its demands
+// still has at least one alive replica site that meets the query's deadline.
+//
+// Per-demand survival has a closed form, 1 − p^{|feasible replica sites|};
+// per-query survival does not (demands share sites), so the joint figure is
+// estimated by seeded Monte Carlo over site-failure scenarios, with the
+// product of marginals reported as the independence approximation it is.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/plan.h"
+
+namespace edgerep {
+
+struct AvailabilityConfig {
+  double site_failure_prob = 0.05;  ///< i.i.d. per site, in [0, 1]
+  std::size_t trials = 20000;       ///< Monte Carlo scenarios
+  std::uint64_t seed = 0xa1b2;
+};
+
+struct QueryAvailability {
+  QueryId query = 0;
+  bool admitted = false;
+  /// Monte Carlo estimate of P(all demands still servable).
+  double survival = 0.0;
+  /// Product of exact per-demand marginals (exact when demands share no
+  /// sites; an approximation otherwise).
+  double marginal_product = 0.0;
+  /// Smallest per-demand marginal (the query's weakest link).
+  double weakest_demand = 0.0;
+};
+
+struct AvailabilityReport {
+  std::vector<QueryAvailability> per_query;  ///< one entry per admitted query
+  double mean_survival = 0.0;  ///< over admitted queries
+  double min_survival = 1.0;
+  /// Expected admitted volume surviving a random failure scenario.
+  double expected_surviving_volume = 0.0;
+};
+
+/// Analyze the availability of `plan`'s admitted queries.  Throws
+/// std::invalid_argument for probabilities outside [0, 1] or zero trials.
+AvailabilityReport analyze_availability(const ReplicaPlan& plan,
+                                        const AvailabilityConfig& cfg = {});
+
+/// Exact per-demand survival: 1 − p^k where k is the number of alive-able
+/// replica sites meeting the deadline for this (query, demand).
+double demand_survival(const ReplicaPlan& plan, const Query& q,
+                       const DatasetDemand& dd, double site_failure_prob);
+
+/// Harden a plan for availability: for every admitted query's demand with
+/// fewer than `min_servable` deadline-feasible replica sites, place extra
+/// replicas at additional feasible sites (spreading across distinct sites,
+/// budget K permitting).  Admissions and assignments are untouched — only
+/// x_{nl} grows — so the plan stays valid and its admitted volume is
+/// unchanged while survival can only improve.  Returns replicas added.
+std::size_t harden_plan(ReplicaPlan& plan, std::size_t min_servable);
+
+}  // namespace edgerep

@@ -1,0 +1,122 @@
+#include "cloud/consistency.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgerep {
+
+GrowthModel GrowthModel::uniform(const Instance& inst, double gb_per_hour) {
+  GrowthModel g;
+  g.growth_gb_per_hour.assign(inst.datasets().size(), gb_per_hour);
+  return g;
+}
+
+GrowthModel GrowthModel::proportional(const Instance& inst,
+                                      double fraction_per_hour) {
+  GrowthModel g;
+  g.growth_gb_per_hour.reserve(inst.datasets().size());
+  for (const Dataset& d : inst.datasets()) {
+    g.growth_gb_per_hour.push_back(fraction_per_hour * d.volume);
+  }
+  return g;
+}
+
+namespace {
+
+void check(const ReplicaPlan& plan, const GrowthModel& growth,
+           const ConsistencyConfig& cfg) {
+  if (growth.growth_gb_per_hour.size() !=
+      plan.instance().datasets().size()) {
+    throw std::invalid_argument("consistency: growth model size mismatch");
+  }
+  if (cfg.threshold <= 0.0 || cfg.threshold > 1.0) {
+    throw std::invalid_argument("consistency: threshold must be in (0, 1]");
+  }
+  for (const double g : growth.growth_gb_per_hour) {
+    if (g < 0.0) {
+      throw std::invalid_argument("consistency: negative growth rate");
+    }
+  }
+}
+
+}  // namespace
+
+ConsistencyReport analyze_consistency(const ReplicaPlan& plan,
+                                      const GrowthModel& growth,
+                                      const ConsistencyConfig& cfg) {
+  check(plan, growth, cfg);
+  const Instance& inst = plan.instance();
+  ConsistencyReport rep;
+  double staleness_weight = 0.0;
+  for (const Dataset& d : inst.datasets()) {
+    DatasetConsistency dc;
+    dc.dataset = d.id;
+    const double g = growth.growth_gb_per_hour[d.id];
+    dc.delta_gb = cfg.threshold * d.volume;
+    // Replicas co-located with the origin need no refresh traffic.
+    double path_cost = 0.0;  // Σ over remote replicas of dt(origin → replica)
+    for (const SiteId l : plan.replica_sites(d.id)) {
+      if (d.origin != kInvalidSite && l != d.origin) {
+        path_cost += inst.path_delay(d.origin, l);
+        ++dc.replicas;
+      } else if (d.origin == kInvalidSite) {
+        ++dc.replicas;
+      }
+    }
+    if (g > 0.0 && dc.replicas > 0) {
+      dc.update_interval_hours = dc.delta_gb / g;
+      // Each update ships Δ to every remote replica: traffic rate is
+      // growth × replica count, independent of the threshold (the threshold
+      // trades burst size against freshness, not total traffic).
+      dc.traffic_gb_per_hour = g * static_cast<double>(dc.replicas);
+      dc.transfer_cost_per_hour = g * path_cost;
+      dc.mean_staleness_gb = 0.5 * dc.delta_gb;
+    }
+    rep.total_traffic_gb_per_hour += dc.traffic_gb_per_hour;
+    rep.total_transfer_cost_per_hour += dc.transfer_cost_per_hour;
+    if (dc.replicas > 0) {
+      rep.mean_staleness_gb += dc.mean_staleness_gb * d.volume;
+      staleness_weight += d.volume;
+    }
+    rep.per_dataset.push_back(dc);
+  }
+  if (staleness_weight > 0.0) rep.mean_staleness_gb /= staleness_weight;
+  rep.net_benefit = evaluate(plan).admitted_volume -
+                    cfg.cost_weight * rep.total_transfer_cost_per_hour;
+  return rep;
+}
+
+std::vector<UpdateEvent> schedule_updates(const ReplicaPlan& plan,
+                                          const GrowthModel& growth,
+                                          const ConsistencyConfig& cfg,
+                                          double horizon_hours) {
+  check(plan, growth, cfg);
+  if (horizon_hours < 0.0) {
+    throw std::invalid_argument("consistency: negative horizon");
+  }
+  const Instance& inst = plan.instance();
+  std::vector<UpdateEvent> events;
+  for (const Dataset& d : inst.datasets()) {
+    const double g = growth.growth_gb_per_hour[d.id];
+    if (g <= 0.0) continue;
+    const double delta = cfg.threshold * d.volume;
+    const double interval = delta / g;
+    for (double t = interval; t < horizon_hours; t += interval) {
+      for (const SiteId l : plan.replica_sites(d.id)) {
+        if (l == d.origin) continue;
+        events.push_back(UpdateEvent{t, d.id, d.origin, l, delta});
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const UpdateEvent& a, const UpdateEvent& b) {
+              if (a.time_hours != b.time_hours) {
+                return a.time_hours < b.time_hours;
+              }
+              if (a.dataset != b.dataset) return a.dataset < b.dataset;
+              return a.to < b.to;
+            });
+  return events;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,89 @@
+// Data-consistency maintenance for replicated datasets (paper §2.4).
+//
+// The paper handles dynamic data with a threshold rule: "we set a threshold,
+// which is a ratio of the volume of new generated data to the volume of
+// original data ...  When the ratio of the volume of new generated data
+// achieves the threshold, an update operation is made between the original
+// data and its replicas to keep data consistent in the whole network."
+//
+// This module quantifies what that rule costs for a given replica plan:
+// given per-dataset growth rates, it derives the update cadence, the update
+// traffic shipped from each dataset's origin to its replicas along
+// minimum-delay paths, the average replica staleness, and a *net benefit*
+// score (admitted volume minus weighted consistency cost).  The intro's
+// claim that "more replicas will [not necessarily] lead to better system
+// performance, due to ... the cost of data consistency" becomes measurable —
+// the ABL-CONSISTENCY bench sweeps K against this trade-off.
+#pragma once
+
+#include <vector>
+
+#include "cloud/plan.h"
+
+namespace edgerep {
+
+/// How fast each dataset accumulates new data.
+struct GrowthModel {
+  /// GB of new data per hour, indexed by DatasetId.
+  std::vector<double> growth_gb_per_hour;
+
+  /// Uniform growth for every dataset of the instance.
+  static GrowthModel uniform(const Instance& inst, double gb_per_hour);
+  /// Growth proportional to dataset volume (busier services grow faster).
+  static GrowthModel proportional(const Instance& inst,
+                                  double fraction_per_hour);
+};
+
+struct ConsistencyConfig {
+  /// Update threshold: replicas are refreshed when new data reaches
+  /// `threshold` × |S_n| (paper §2.4).  Must be in (0, 1].
+  double threshold = 0.1;
+  /// Weight converting update *transfer cost* (GB·s/GB summed over paths)
+  /// into the same units as admitted volume for the net-benefit score.
+  double cost_weight = 1.0;
+};
+
+/// Per-dataset consistency figures.
+struct DatasetConsistency {
+  DatasetId dataset = 0;
+  std::size_t replicas = 0;
+  double update_interval_hours = 0.0;  ///< ∞ encoded as 0 when growth is 0
+  double delta_gb = 0.0;               ///< data shipped per update per replica
+  double traffic_gb_per_hour = 0.0;    ///< total across replicas
+  double transfer_cost_per_hour = 0.0; ///< traffic weighted by path delay
+  double mean_staleness_gb = 0.0;      ///< average replica lag (Δ/2)
+};
+
+struct ConsistencyReport {
+  std::vector<DatasetConsistency> per_dataset;
+  double total_traffic_gb_per_hour = 0.0;
+  double total_transfer_cost_per_hour = 0.0;
+  double mean_staleness_gb = 0.0;  ///< volume-weighted over datasets
+  /// evaluate(plan).admitted_volume − cost_weight × total_transfer_cost.
+  double net_benefit = 0.0;
+};
+
+/// Analyze the consistency cost of `plan` under `growth`.  Replicas at a
+/// dataset's own origin cost nothing.  Throws std::invalid_argument when
+/// growth rates are missing or the threshold is out of range.
+ConsistencyReport analyze_consistency(const ReplicaPlan& plan,
+                                      const GrowthModel& growth,
+                                      const ConsistencyConfig& cfg = {});
+
+/// One scheduled replica refresh.
+struct UpdateEvent {
+  double time_hours = 0.0;
+  DatasetId dataset = 0;
+  SiteId from = kInvalidSite;  ///< origin
+  SiteId to = kInvalidSite;    ///< replica being refreshed
+  double delta_gb = 0.0;
+};
+
+/// Expand the threshold rule into a concrete update schedule over
+/// [0, horizon_hours), ordered by time (ties by dataset, then site).
+std::vector<UpdateEvent> schedule_updates(const ReplicaPlan& plan,
+                                          const GrowthModel& growth,
+                                          const ConsistencyConfig& cfg,
+                                          double horizon_hours);
+
+}  // namespace edgerep

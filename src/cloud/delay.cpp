@@ -1,0 +1,36 @@
+#include "cloud/delay.h"
+
+#include <algorithm>
+
+namespace edgerep {
+
+double evaluation_delay(const Instance& inst, const Query& q,
+                        const DatasetDemand& dd, SiteId site) {
+  const Dataset& ds = inst.dataset(dd.dataset);
+  const Site& s = inst.site(site);
+  const double processing = ds.volume * s.proc_delay;
+  const double transmission =
+      dd.selectivity * ds.volume * inst.path_delay(site, q.home);
+  return processing + transmission;
+}
+
+bool deadline_ok(const Instance& inst, const Query& q, const DatasetDemand& dd,
+                 SiteId site) {
+  return evaluation_delay(inst, q, dd, site) <= q.deadline;
+}
+
+double resource_demand(const Instance& inst, const Query& q,
+                       const DatasetDemand& dd) {
+  return inst.dataset(dd.dataset).volume * q.rate;
+}
+
+double best_possible_delay(const Instance& inst, const Query& q,
+                           const DatasetDemand& dd) {
+  double best = kInfDelay;
+  for (const Site& s : inst.sites()) {
+    best = std::min(best, evaluation_delay(inst, q, dd, s.id));
+  }
+  return best;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,34 @@
+// The QoS delay model (paper §2.3, constraint (4)).
+//
+// Evaluating query q_m's demand on dataset S_n at site v_l costs
+//   |S_n|·d(v_l)              processing delay, plus
+//   α_{nm}·|S_n|·dt(p_{v_l,h_m})   transmission of the intermediate result
+// along the minimum-delay path to the query's home h_m.  Demands of one
+// query run in parallel, so a query's response delay is the maximum over its
+// demands, and the query meets QoS iff that max is ≤ d_{q_m}.
+#pragma once
+
+#include "cloud/instance.h"
+
+namespace edgerep {
+
+/// Delay of evaluating one (query, demand) at `site`.
+double evaluation_delay(const Instance& inst, const Query& q,
+                        const DatasetDemand& dd, SiteId site);
+
+/// Does evaluating this demand at `site` respect the query's deadline?
+bool deadline_ok(const Instance& inst, const Query& q, const DatasetDemand& dd,
+                 SiteId site);
+
+/// Computing resource the demand consumes at its evaluation site:
+/// |S_n|·r_m  (constraint (2)).
+double resource_demand(const Instance& inst, const Query& q,
+                       const DatasetDemand& dd);
+
+/// Smallest deadline that would make this demand feasible at the *best*
+/// site for it (used by workload generators to synthesize satisfiable but
+/// tight QoS requirements).
+double best_possible_delay(const Instance& inst, const Query& q,
+                           const DatasetDemand& dd);
+
+}  // namespace edgerep

@@ -1,0 +1,85 @@
+// A complete problem instance: topology + placement sites + datasets +
+// queries + the replica budget K.  Instances are built incrementally and
+// then `finalize()`d, which validates cross-references and precomputes the
+// all-pairs minimum-delay matrix used by the delay model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cloud/types.h"
+#include "net/graph.h"
+#include "net/shortest_path.h"
+
+namespace edgerep {
+
+class Instance {
+ public:
+  Instance() = default;
+  explicit Instance(Graph graph) : graph_(std::move(graph)) {}
+
+  /// --- construction ---------------------------------------------------
+  Graph& graph() noexcept { return graph_; }
+
+  /// Register a placement site on graph node `node`.  Returns its SiteId.
+  SiteId add_site(NodeId node, double capacity, double proc_delay);
+  /// Shrink available resource of a site (models pre-existing load).
+  void set_available(SiteId s, double available);
+
+  DatasetId add_dataset(double volume, SiteId origin, std::string name = {});
+  QueryId add_query(SiteId home, double rate, double deadline,
+                    std::vector<DatasetDemand> demands);
+
+  void set_max_replicas(std::size_t k) { max_replicas_ = k; }
+
+  /// Validate cross-references and compute the delay matrix.  Throws
+  /// std::invalid_argument on inconsistency.  Must be called before the
+  /// query API below; idempotent.
+  void finalize();
+
+  /// --- queries (require finalize()) ------------------------------------
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::span<const Site> sites() const noexcept { return sites_; }
+  [[nodiscard]] std::span<const Dataset> datasets() const noexcept {
+    return datasets_;
+  }
+  [[nodiscard]] std::span<const Query> queries() const noexcept {
+    return queries_;
+  }
+  [[nodiscard]] const Site& site(SiteId s) const { return sites_.at(s); }
+  [[nodiscard]] const Dataset& dataset(DatasetId n) const {
+    return datasets_.at(n);
+  }
+  [[nodiscard]] const Query& query(QueryId m) const { return queries_.at(m); }
+  [[nodiscard]] std::size_t max_replicas() const noexcept {
+    return max_replicas_;
+  }
+
+  /// Minimum path delay per unit data between two sites' graph nodes.
+  [[nodiscard]] double path_delay(SiteId from, SiteId to) const {
+    return delays_.at(sites_.at(from).node, sites_.at(to).node);
+  }
+
+  /// Total volume demanded by a query: Σ_{S_n ∈ S(q_m)} |S_n|.
+  [[nodiscard]] double demanded_volume(QueryId m) const;
+
+  /// Sum of demanded volume over all queries (the objective's upper bound).
+  [[nodiscard]] double total_demanded_volume() const;
+
+  /// Site whose graph node is `node`, or kInvalidSite.
+  [[nodiscard]] SiteId site_of_node(NodeId node) const;
+
+ private:
+  Graph graph_;
+  std::vector<Site> sites_;
+  std::vector<Dataset> datasets_;
+  std::vector<Query> queries_;
+  std::size_t max_replicas_ = 3;
+  DelayMatrix delays_;
+  std::vector<SiteId> node_to_site_;
+  bool finalized_ = false;
+};
+
+}  // namespace edgerep

@@ -1,0 +1,28 @@
+// Full-instance serialization: a single text document holding the graph,
+// placement sites, datasets, queries and the replica budget, so a problem
+// instance can be archived next to experiment results and reloaded
+// bit-exactly (delays and volumes round-trip at full precision).
+//
+// Format (line-oriented, '#' comments):
+//   node <id> <role>
+//   edge <u> <v> <delay>
+//   site <id> <node> <capacity> <available> <proc_delay>
+//   dataset <id> <volume> <origin|-> <name...>      (name = rest of line)
+//   query <id> <home> <rate> <deadline> <n> (<dataset> <alpha>){n}
+//   max_replicas <K>
+#pragma once
+
+#include <iosfwd>
+
+#include "cloud/instance.h"
+
+namespace edgerep {
+
+/// Write a finalized (or at least consistent) instance.
+void write_instance(std::ostream& os, const Instance& inst);
+
+/// Parse and finalize.  Throws std::runtime_error on malformed input and
+/// std::invalid_argument if the parsed instance fails finalize().
+Instance read_instance(std::istream& is);
+
+}  // namespace edgerep

@@ -1,0 +1,93 @@
+// Solution representation shared by every algorithm: which sites hold a
+// replica of each dataset (x_{nl}) and which site evaluates each
+// (query, demand) pair (π_{ml}), plus a capacity ledger.
+//
+// `validate` independently re-checks every ILP constraint — capacity (2),
+// assignment-needs-replica (3), deadline (4) and replica budget (5) — so
+// tests can certify any algorithm's output without trusting its bookkeeping.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/delay.h"
+#include "cloud/instance.h"
+
+namespace edgerep {
+
+class ReplicaPlan {
+ public:
+  /// The instance must already be finalized and must outlive the plan.
+  explicit ReplicaPlan(const Instance& inst);
+
+  /// --- replicas (x_{nl}) ----------------------------------------------
+  /// Place a replica of dataset n at site s.  Idempotent; throws when the
+  /// replica budget K would be exceeded.
+  void place_replica(DatasetId n, SiteId s);
+  /// Remove an *unused* replica (frees budget for re-placement, e.g. during
+  /// local search).  Throws if any assignment still evaluates n at s.
+  void remove_replica(DatasetId n, SiteId s);
+  [[nodiscard]] bool has_replica(DatasetId n, SiteId s) const;
+  [[nodiscard]] std::size_t replica_count(DatasetId n) const;
+  [[nodiscard]] const std::vector<SiteId>& replica_sites(DatasetId n) const;
+
+  /// --- assignments (π_{ml}) -------------------------------------------
+  /// Assign query m's demand on dataset n to site s.  Requires a replica at
+  /// s and enough residual capacity; debits the ledger.  Throws on violation
+  /// (algorithms are expected to check feasibility first).
+  void assign(QueryId m, DatasetId n, SiteId s);
+  /// Undo an assignment, crediting the ledger.  Throws when not assigned.
+  void unassign(QueryId m, DatasetId n);
+  /// Site evaluating (m, n), if assigned.
+  [[nodiscard]] std::optional<SiteId> assignment(QueryId m, DatasetId n) const;
+  /// Number of assigned demands of query m.
+  [[nodiscard]] std::size_t assigned_demands(QueryId m) const;
+  /// True when every demand of m is assigned (the query is fully admitted).
+  [[nodiscard]] bool admitted(QueryId m) const;
+
+  /// --- ledger ----------------------------------------------------------
+  /// Resource already committed at site s by this plan.
+  [[nodiscard]] double load(SiteId s) const;
+  /// A(v_l) minus committed load.
+  [[nodiscard]] double residual(SiteId s) const;
+  /// Can `amount` more resource fit at s (with a small epsilon slack)?
+  [[nodiscard]] bool fits(SiteId s, double amount) const;
+
+  [[nodiscard]] const Instance& instance() const noexcept { return *inst_; }
+  [[nodiscard]] std::size_t total_replicas() const noexcept;
+
+ private:
+  const Instance* inst_;
+  std::vector<std::vector<SiteId>> replicas_;          // per dataset
+  std::vector<std::vector<SiteId>> demand_sites_;      // per query, per demand index
+  std::vector<double> load_;                           // per site
+};
+
+/// Aggregate quality metrics of a plan (the paper's two reported series).
+struct PlanMetrics {
+  /// Objective (1): Σ over admitted queries of their demanded volume (GB).
+  double admitted_volume = 0.0;
+  /// Volume over *assigned demands* only (partial credit; Appro-G's N').
+  double assigned_volume = 0.0;
+  std::size_t admitted_queries = 0;
+  std::size_t total_queries = 0;
+  /// System throughput: admitted / total (paper §4.2).
+  double throughput = 0.0;
+  std::size_t replicas_placed = 0;
+  /// Fraction of total available computing resource committed.
+  double utilization = 0.0;
+};
+
+PlanMetrics evaluate(const ReplicaPlan& plan);
+
+/// Independent constraint re-check; `violations` lists each broken
+/// constraint in human-readable form.
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+};
+
+ValidationResult validate(const ReplicaPlan& plan);
+
+}  // namespace edgerep

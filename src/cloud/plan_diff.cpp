@@ -1,0 +1,70 @@
+#include "cloud/plan_diff.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace edgerep {
+
+double PlanDiff::migration_volume_gb(const Instance& inst) const {
+  double total = 0.0;
+  for (const ReplicaChange& rc : replicas_added) {
+    total += inst.dataset(rc.dataset).volume;
+  }
+  return total;
+}
+
+PlanDiff diff_plans(const ReplicaPlan& before, const ReplicaPlan& after) {
+  if (&before.instance() != &after.instance()) {
+    throw std::invalid_argument("diff_plans: plans are for different "
+                                "instances");
+  }
+  const Instance& inst = before.instance();
+  PlanDiff diff;
+  for (const Dataset& d : inst.datasets()) {
+    for (const Site& s : inst.sites()) {
+      const bool b = before.has_replica(d.id, s.id);
+      const bool a = after.has_replica(d.id, s.id);
+      if (!b && a) diff.replicas_added.push_back({d.id, s.id});
+      if (b && !a) diff.replicas_removed.push_back({d.id, s.id});
+    }
+  }
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      const auto b = before.assignment(q.id, dd.dataset);
+      const auto a = after.assignment(q.id, dd.dataset);
+      if (b != a) {
+        diff.reassigned.push_back({q.id, dd.dataset,
+                                   b.value_or(kInvalidSite),
+                                   a.value_or(kInvalidSite)});
+      }
+    }
+  }
+  return diff;
+}
+
+void print_diff(std::ostream& os, const PlanDiff& diff, const Instance& inst) {
+  if (diff.empty()) {
+    os << "plans are identical\n";
+    return;
+  }
+  for (const auto& rc : diff.replicas_added) {
+    os << "+replica d" << rc.dataset << " @ site " << rc.site << '\n';
+  }
+  for (const auto& rc : diff.replicas_removed) {
+    os << "-replica d" << rc.dataset << " @ site " << rc.site << '\n';
+  }
+  auto site_str = [](SiteId s) {
+    return s == kInvalidSite ? std::string("∅") : std::to_string(s);
+  };
+  for (const auto& ac : diff.reassigned) {
+    os << "~query " << ac.query << "/d" << ac.dataset << ": "
+       << site_str(ac.before) << " -> " << site_str(ac.after) << '\n';
+  }
+  os << diff.replicas_added.size() << " replica(s) added ("
+     << diff.migration_volume_gb(inst) << " GB to migrate), "
+     << diff.replicas_removed.size() << " removed, "
+     << diff.reassigned.size() << " demand(s) reassigned\n";
+}
+
+}  // namespace edgerep

@@ -1,0 +1,45 @@
+// Structural diff between two replica plans over the same instance — what
+// an operator reviews before rolling a new placement: replica additions and
+// removals (each a data transfer or a deletion in production) and query
+// reassignments (each a routing change).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "cloud/plan.h"
+
+namespace edgerep {
+
+struct PlanDiff {
+  struct ReplicaChange {
+    DatasetId dataset = 0;
+    SiteId site = kInvalidSite;
+  };
+  struct AssignmentChange {
+    QueryId query = 0;
+    DatasetId dataset = 0;
+    SiteId before = kInvalidSite;  ///< kInvalidSite = was unassigned
+    SiteId after = kInvalidSite;   ///< kInvalidSite = now unassigned
+  };
+
+  std::vector<ReplicaChange> replicas_added;
+  std::vector<ReplicaChange> replicas_removed;
+  std::vector<AssignmentChange> reassigned;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return replicas_added.empty() && replicas_removed.empty() &&
+           reassigned.empty();
+  }
+  /// Total GB that must move to realize the replica additions.
+  [[nodiscard]] double migration_volume_gb(const Instance& inst) const;
+};
+
+/// Diff `after` against `before`.  Throws std::invalid_argument when the
+/// plans belong to different instances.
+PlanDiff diff_plans(const ReplicaPlan& before, const ReplicaPlan& after);
+
+/// Human-readable rendering ("+replica d3 @ site 7", "~query 12/d3: 2 → 7").
+void print_diff(std::ostream& os, const PlanDiff& diff, const Instance& inst);
+
+}  // namespace edgerep

@@ -1,0 +1,25 @@
+// ReplicaPlan serialization: persist a placement decision (x_{nl} and
+// π_{ml}) so it can be audited, diffed, re-validated, or replayed on the
+// simulator later — the deployment artifact a real operator would ship.
+//
+// Format (line-oriented, '#' comments):
+//   replica <dataset> <site>
+//   assign <query> <dataset> <site>
+#pragma once
+
+#include <iosfwd>
+
+#include "cloud/plan.h"
+
+namespace edgerep {
+
+void write_plan(std::ostream& os, const ReplicaPlan& plan);
+
+/// Parse against `inst` (which must be the plan's instance).  Replica and
+/// assignment rules are enforced while loading, so a tampered file that
+/// violates capacity, the replica budget or dangling ids is rejected
+/// (std::runtime_error / std::invalid_argument).  Deadline violations are
+/// not structural and are reported by `validate` instead.
+ReplicaPlan read_plan(const Instance& inst, std::istream& is);
+
+}  // namespace edgerep

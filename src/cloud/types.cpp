@@ -1,0 +1,4 @@
+#include "cloud/types.h"
+
+// Currently header-only; this TU anchors the library target and is the home
+// for any future out-of-line members of the domain types.

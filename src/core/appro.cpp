@@ -1,0 +1,191 @@
+#include "core/appro.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "cloud/delay.h"
+#include "util/rng.h"
+
+namespace edgerep {
+
+namespace {
+
+std::vector<QueryId> ordered_queries(const Instance& inst,
+                                     const ApproOptions& opts) {
+  std::vector<QueryId> order(inst.queries().size());
+  for (QueryId m = 0; m < order.size(); ++m) order[m] = m;
+  switch (opts.order) {
+    case ApproOptions::Order::kInput:
+      break;
+    case ApproOptions::Order::kVolumeDesc:
+      std::stable_sort(order.begin(), order.end(), [&](QueryId a, QueryId b) {
+        return inst.demanded_volume(a) > inst.demanded_volume(b);
+      });
+      break;
+    case ApproOptions::Order::kVolumeAsc:
+      std::stable_sort(order.begin(), order.end(), [&](QueryId a, QueryId b) {
+        return inst.demanded_volume(a) < inst.demanded_volume(b);
+      });
+      break;
+    case ApproOptions::Order::kDeadlineAsc:
+      std::stable_sort(order.begin(), order.end(), [&](QueryId a, QueryId b) {
+        return inst.query(a).deadline < inst.query(b).deadline;
+      });
+      break;
+    case ApproOptions::Order::kRandom: {
+      Rng rng(opts.seed);
+      rng.shuffle(std::span<QueryId>(order));
+      break;
+    }
+  }
+  return order;
+}
+
+/// Dual price of serving (q, dd) at `site`: the rate at which uniform
+/// raising makes dual constraint (9) tight there.
+///
+/// The capacity term is the site's relative fill *after* this placement,
+/// which equals θ_site + need/A(site) since θ evolves as relative load.
+/// Minimizing it sends demands to the sites where computing resource is
+/// least scarce — large remote data centers when the deadline permits —
+/// and so preserves the tiny cloudlets for the deadline-bound queries that
+/// have nowhere else to go.  This is what the paper means by placing
+/// replicas "from an overall perspective, jointly considering data
+/// replication and query assignment".
+///
+/// The η term prices deadline-budget consumption, and fresh replicas pay a
+/// creation price μ amortized over the budget K.
+double site_price(const Instance& inst, const DualState& duals, const Query& q,
+                  const DatasetDemand& dd, SiteId site, bool needs_replica,
+                  const ApproOptions& opts) {
+  const double need = resource_demand(inst, q, dd);
+  const double avail = std::max(inst.site(site).available, 1e-12);
+  double p = duals.theta(site) + need / avail;
+  p += opts.eta_weight * (evaluation_delay(inst, q, dd, site) / q.deadline);
+  if (needs_replica) {
+    p += opts.replica_weight / static_cast<double>(inst.max_replicas());
+  }
+  return p;
+}
+
+/// One Appro-S admission step for a single (query, demand): pick the
+/// cheapest feasible site, placing a replica when needed.  Returns true and
+/// updates plan/duals on success.
+bool admit_demand(const Instance& inst, const Query& q,
+                  const DatasetDemand& dd, ReplicaPlan& plan, DualState& duals,
+                  const ApproOptions& opts) {
+  const double need = resource_demand(inst, q, dd);
+  const bool budget_left = plan.replica_count(dd.dataset) < inst.max_replicas();
+
+  SiteId best_site = kInvalidSite;
+  bool best_needs_replica = false;
+  double best_price = 0.0;
+  auto consider = [&](SiteId l, bool needs_replica) {
+    if (!deadline_ok(inst, q, dd, l)) return;
+    if (!plan.fits(l, need)) return;
+    const double p = site_price(inst, duals, q, dd, l, needs_replica, opts);
+    if (best_site == kInvalidSite || p < best_price) {
+      best_site = l;
+      best_needs_replica = needs_replica;
+      best_price = p;
+    }
+  };
+
+  if (opts.strict_reuse) {
+    // Ablation: sites that already hold a replica take absolute priority.
+    for (const SiteId l : plan.replica_sites(dd.dataset)) {
+      consider(l, /*needs_replica=*/false);
+    }
+    if (best_site == kInvalidSite && budget_left) {
+      for (const Site& s : inst.sites()) {
+        if (!plan.has_replica(dd.dataset, s.id)) {
+          consider(s.id, /*needs_replica=*/true);
+        }
+      }
+    }
+  } else {
+    // Default: replica sites and fresh placements compete on dual price
+    // (fresh ones carry the μ surcharge inside site_price).
+    for (const Site& s : inst.sites()) {
+      const bool has = plan.has_replica(dd.dataset, s.id);
+      if (!has && !budget_left) continue;
+      consider(s.id, /*needs_replica=*/!has);
+    }
+  }
+
+  if (best_site == kInvalidSite) return false;
+  if (best_needs_replica) {
+    plan.place_replica(dd.dataset, best_site);
+    duals.raise_mu(q.id);  // Algorithm 1 line 7: one replica created
+  }
+  plan.assign(q.id, dd.dataset, best_site);
+  duals.raise_theta(best_site, need);  // uniform raise of the capacity price
+  // Record the y that makes (9) tight at the chosen site (line 9).
+  const double vol = inst.dataset(dd.dataset).volume;
+  const double tight = std::max(
+      0.0, vol * (1.0 - q.rate * duals.theta(best_site)));
+  duals.set_y(q.id, std::max(duals.y(q.id), tight));
+  return true;
+}
+
+ApproResult run_appro(const Instance& inst, const ApproOptions& opts) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("appro: instance not finalized");
+  }
+  ApproResult res{ReplicaPlan(inst), DualState(inst), 0.0, {}, 0, 0};
+  for (const QueryId m : ordered_queries(inst, opts)) {
+    const Query& q = inst.query(m);
+    if (opts.atomic_queries) {
+      // Trial-commit on copies; keep only if every demand lands.
+      ReplicaPlan trial_plan = res.plan;
+      DualState trial_duals = res.duals;
+      bool all_ok = true;
+      for (const DatasetDemand& dd : q.demands) {
+        if (!admit_demand(inst, q, dd, trial_plan, trial_duals, opts)) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (all_ok) {
+        res.plan = std::move(trial_plan);
+        res.duals = std::move(trial_duals);
+        res.demands_assigned += q.demands.size();
+      } else {
+        res.demands_rejected += q.demands.size();
+      }
+    } else {
+      for (const DatasetDemand& dd : q.demands) {
+        if (admit_demand(inst, q, dd, res.plan, res.duals, opts)) {
+          ++res.demands_assigned;
+        } else {
+          ++res.demands_rejected;
+        }
+      }
+    }
+  }
+  res.duals.repair();
+  res.dual_objective = res.duals.objective();
+  res.metrics = evaluate(res.plan);
+  return res;
+}
+
+}  // namespace
+
+ApproResult appro_s(const Instance& inst, const ApproOptions& opts) {
+  for (const Query& q : inst.queries()) {
+    if (q.demands.size() != 1) {
+      throw std::invalid_argument(
+          "appro_s: query " + std::to_string(q.id) +
+          " demands " + std::to_string(q.demands.size()) +
+          " datasets; the special case requires exactly one (use appro_g)");
+    }
+  }
+  return run_appro(inst, opts);
+}
+
+ApproResult appro_g(const Instance& inst, const ApproOptions& opts) {
+  return run_appro(inst, opts);
+}
+
+}  // namespace edgerep

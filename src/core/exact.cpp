@@ -1,0 +1,29 @@
+#include "core/exact.h"
+
+#include <stdexcept>
+
+namespace edgerep {
+
+std::optional<ExactResult> solve_exact(const Instance& inst,
+                                       ModelObjective objective,
+                                       const IlpOptions& opts) {
+  const IlpModel model(inst, objective);
+  const IlpSolution sol = model.solve(opts);
+  if (sol.status != LpStatus::kOptimal) return std::nullopt;
+  ExactResult res{model.extract_plan(sol.x), {}, sol.objective, sol.best_bound,
+                  sol.proven_optimal, sol.nodes_explored};
+  res.metrics = evaluate(res.plan);
+  return res;
+}
+
+double lp_upper_bound(const Instance& inst, ModelObjective objective) {
+  const IlpModel model(inst, objective);
+  const LpSolution sol = model.solve_relaxation();
+  if (sol.status != LpStatus::kOptimal) {
+    throw std::runtime_error(std::string("lp_upper_bound: relaxation ") +
+                             to_string(sol.status));
+  }
+  return sol.objective;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,34 @@
+// Exact and fractional reference solvers built on the ILP substrate.
+// Practical only on small instances (≤ ~25 queries × ~12 sites); used by
+// correctness tests and the LP-gap ablation bench to measure how far the
+// primal-dual heuristic sits from optimal.
+#pragma once
+
+#include <optional>
+
+#include "cloud/plan.h"
+#include "lp/model.h"
+
+namespace edgerep {
+
+struct ExactResult {
+  ReplicaPlan plan;
+  PlanMetrics metrics;
+  double objective = 0.0;       ///< ILP objective value
+  double lp_upper_bound = 0.0;  ///< root LP relaxation (≥ objective)
+  bool proven_optimal = false;
+  std::size_t nodes_explored = 0;
+};
+
+/// Solve the instance exactly.  Returns std::nullopt when the node budget is
+/// exhausted before any incumbent is found.
+std::optional<ExactResult> solve_exact(
+    const Instance& inst,
+    ModelObjective objective = ModelObjective::kAdmittedVolume,
+    const IlpOptions& opts = {});
+
+/// Fractional optimum of the LP relaxation (an upper bound on OPT).
+double lp_upper_bound(const Instance& inst,
+                      ModelObjective objective = ModelObjective::kAdmittedVolume);
+
+}  // namespace edgerep

@@ -1,0 +1,192 @@
+#include "core/lagrangian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cloud/delay.h"
+
+namespace edgerep {
+
+namespace {
+
+/// One (query, demand) occurrence of a dataset with its precomputed
+/// feasible-site list.
+struct DemandRef {
+  QueryId query = 0;
+  DatasetId dataset = 0;
+  double value = 0.0;  ///< vol_n: objective credit when served
+  double need = 0.0;   ///< vol_n·r_m: capacity consumed
+  std::vector<SiteId> feasible;
+};
+
+/// Greedy inner subproblem for one dataset: open up to K sites maximizing
+/// Σ_demands max_{l ∈ open ∩ feasible} (value − λ_l·need)⁺.
+std::vector<SiteId> open_sites_greedy(const Instance& inst,
+                                      const std::vector<const DemandRef*>&
+                                          demands,
+                                      const std::vector<double>& lambda) {
+  std::vector<SiteId> open;
+  std::vector<double> best_value(demands.size(), 0.0);
+  std::vector<char> used(inst.sites().size(), 0);
+  for (std::size_t round = 0; round < inst.max_replicas(); ++round) {
+    SiteId best_site = kInvalidSite;
+    double best_gain = 1e-12;
+    for (const Site& s : inst.sites()) {
+      if (used[s.id]) continue;
+      double gain = 0.0;
+      for (std::size_t d = 0; d < demands.size(); ++d) {
+        const DemandRef& dr = *demands[d];
+        if (std::find(dr.feasible.begin(), dr.feasible.end(), s.id) ==
+            dr.feasible.end()) {
+          continue;
+        }
+        const double v =
+            std::max(0.0, dr.value - lambda[s.id] * dr.need);
+        gain += std::max(0.0, v - best_value[d]);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_site = s.id;
+      }
+    }
+    if (best_site == kInvalidSite) break;
+    used[best_site] = 1;
+    open.push_back(best_site);
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      const DemandRef& dr = *demands[d];
+      if (std::find(dr.feasible.begin(), dr.feasible.end(), best_site) !=
+          dr.feasible.end()) {
+        best_value[d] = std::max(
+            best_value[d],
+            std::max(0.0, dr.value - lambda[best_site] * dr.need));
+      }
+    }
+  }
+  return open;
+}
+
+}  // namespace
+
+LagrangianResult lagrangian_placement(const Instance& inst,
+                                      const LagrangianOptions& opts) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("lagrangian: instance not finalized");
+  }
+  // Precompute demand references grouped by dataset.
+  std::vector<DemandRef> demands;
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      DemandRef dr;
+      dr.query = q.id;
+      dr.dataset = dd.dataset;
+      dr.value = inst.dataset(dd.dataset).volume;
+      dr.need = resource_demand(inst, q, dd);
+      for (const Site& s : inst.sites()) {
+        if (deadline_ok(inst, q, dd, s.id)) dr.feasible.push_back(s.id);
+      }
+      demands.push_back(std::move(dr));
+    }
+  }
+  std::vector<std::vector<const DemandRef*>> by_dataset(
+      inst.datasets().size());
+  for (const DemandRef& dr : demands) {
+    by_dataset[dr.dataset].push_back(&dr);
+  }
+
+  LagrangianResult res{ReplicaPlan(inst), {}, 0.0, {}, 0};
+  res.best_bound = std::numeric_limits<double>::infinity();
+  double best_primal = -1.0;
+  std::vector<double> lambda(inst.sites().size(), 0.0);
+
+  for (std::size_t t = 0; t < opts.iterations; ++t) {
+    ++res.iterations_run;
+    // --- dual function: capacity AND replica budget relaxed -----------
+    // Each demand takes its best feasible site outright, so L(λ) is a
+    // genuine upper bound on the assigned-volume optimum.
+    double relaxed = 0.0;
+    std::vector<SiteId> relaxed_site(demands.size(), kInvalidSite);
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      const DemandRef& dr = demands[d];
+      double best = 0.0;
+      for (const SiteId l : dr.feasible) {
+        const double v = std::max(0.0, dr.value - lambda[l] * dr.need);
+        if (v > best) {
+          best = v;
+          relaxed_site[d] = l;
+        }
+      }
+      relaxed += best;
+    }
+    for (const Site& s : inst.sites()) {
+      relaxed += lambda[s.id] * s.available;
+    }
+    res.bound_trace.push_back(relaxed);
+    res.best_bound = std::min(res.best_bound, relaxed);
+
+    // --- inner K-site selection per dataset (primal side only) --------
+    std::vector<std::vector<SiteId>> open(inst.datasets().size());
+    for (const Dataset& ds : inst.datasets()) {
+      open[ds.id] = open_sites_greedy(inst, by_dataset[ds.id], lambda);
+    }
+
+    // --- primal repair: honour true capacities ------------------------
+    ReplicaPlan plan(inst);
+    for (const Dataset& ds : inst.datasets()) {
+      for (const SiteId l : open[ds.id]) plan.place_replica(ds.id, l);
+    }
+    std::vector<std::size_t> order(demands.size());
+    for (std::size_t d = 0; d < order.size(); ++d) order[d] = d;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return demands[a].value > demands[b].value;
+                     });
+    for (const std::size_t d : order) {
+      const DemandRef& dr = demands[d];
+      if (plan.assignment(dr.query, dr.dataset)) continue;
+      // Preferred: the relaxed choice; fallback: any open feasible site.
+      std::vector<SiteId> candidates;
+      if (relaxed_site[d] != kInvalidSite) {
+        candidates.push_back(relaxed_site[d]);
+      }
+      for (const SiteId l : open[dr.dataset]) {
+        if (l != relaxed_site[d]) candidates.push_back(l);
+      }
+      for (const SiteId l : candidates) {
+        if (!plan.has_replica(dr.dataset, l)) continue;
+        if (std::find(dr.feasible.begin(), dr.feasible.end(), l) ==
+            dr.feasible.end()) {
+          continue;
+        }
+        if (!plan.fits(l, dr.need)) continue;
+        plan.assign(dr.query, dr.dataset, l);
+        break;
+      }
+    }
+    const PlanMetrics pm = evaluate(plan);
+    if (pm.assigned_volume > best_primal) {
+      best_primal = pm.assigned_volume;
+      res.plan = std::move(plan);
+      res.metrics = pm;
+    }
+
+    // --- subgradient step on λ ----------------------------------------
+    const double step =
+        opts.initial_step / std::sqrt(static_cast<double>(t + 1));
+    std::vector<double> load(inst.sites().size(), 0.0);
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      if (relaxed_site[d] != kInvalidSite) {
+        load[relaxed_site[d]] += demands[d].need;
+      }
+    }
+    for (const Site& s : inst.sites()) {
+      const double violation =
+          (load[s.id] - s.available) / std::max(s.available, 1.0);
+      lambda[s.id] = std::max(opts.min_multiplier,
+                              lambda[s.id] + step * violation);
+    }
+  }
+  return res;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,48 @@
+// Lagrangian relaxation of the placement ILP.
+//
+// Dualizing the capacity constraints (2) with multipliers λ_l ≥ 0 — and,
+// for the *bound*, additionally relaxing the replica budget (5) — makes the
+// remaining problem separable per (query, demand): each demand contributes
+// max over deadline-feasible sites l of (vol_n − λ_l·vol_n·r_m)⁺.  Since
+// both relaxations only enlarge the feasible region, every iterate
+//   L(λ) = Σ_demands max_l (…)⁺ + Σ_l λ_l·A(v_l)
+// is a valid upper bound on the assigned-volume optimum; subgradient
+// descent on λ tightens it.
+//
+// Each iteration also produces a *feasible* primal plan: per dataset, up to
+// K replica sites are opened greedily against the λ-priced demand values
+// (monotone submodular → (1−1/e) greedy), then demands are repaired against
+// the true capacities.  The best plan across iterations is returned, so the
+// method is simultaneously a third bound (besides the LP relaxation and the
+// repaired primal-dual certificate) and another placement heuristic.
+#pragma once
+
+#include <cstddef>
+
+#include "baselines/baseline.h"
+#include "cloud/instance.h"
+
+namespace edgerep {
+
+struct LagrangianOptions {
+  std::size_t iterations = 60;
+  double initial_step = 2.0;   ///< subgradient step, decays as 1/√t
+  double min_multiplier = 0.0;
+};
+
+struct LagrangianResult {
+  /// Best feasible plan found by primal repair across iterations.
+  ReplicaPlan plan;
+  PlanMetrics metrics;
+  /// Smallest relaxed objective seen (≈ upper bound on OPT_assigned; exact
+  /// up to the greedy inner approximation).
+  double best_bound = 0.0;
+  /// Relaxed objective per iteration (for convergence plots).
+  std::vector<double> bound_trace;
+  std::size_t iterations_run = 0;
+};
+
+LagrangianResult lagrangian_placement(const Instance& inst,
+                                      const LagrangianOptions& opts = {});
+
+}  // namespace edgerep

@@ -1,0 +1,128 @@
+#include "core/local_search.h"
+
+#include <algorithm>
+
+#include "cloud/delay.h"
+
+namespace edgerep {
+
+namespace {
+
+/// Relocate assigned demands toward sites with more head-room.  A move is
+/// applied when the destination's residual *after* the move still exceeds
+/// the source's residual *before* it — load strictly spreads, so sweeps
+/// terminate.
+std::size_t rebalance_pass(ReplicaPlan& plan) {
+  const Instance& inst = plan.instance();
+  std::size_t moves = 0;
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      const auto current = plan.assignment(q.id, dd.dataset);
+      if (!current) continue;
+      const double need = resource_demand(inst, q, dd);
+      SiteId best = kInvalidSite;
+      double best_residual = plan.residual(*current);
+      for (const SiteId l : plan.replica_sites(dd.dataset)) {
+        if (l == *current) continue;
+        if (!deadline_ok(inst, q, dd, l)) continue;
+        if (!plan.fits(l, need)) continue;
+        const double after = plan.residual(l) - need;
+        if (after > best_residual + 1e-9) {
+          best_residual = after;
+          best = l;
+        }
+      }
+      if (best != kInvalidSite) {
+        plan.unassign(q.id, dd.dataset);
+        plan.assign(q.id, dd.dataset, best);
+        ++moves;
+      }
+    }
+  }
+  return moves;
+}
+
+/// Is any replica of dataset n at site l unused by assignments?
+bool replica_unused(const ReplicaPlan& plan, DatasetId n, SiteId l) {
+  const Instance& inst = plan.instance();
+  for (const Query& q : inst.queries()) {
+    if (!q.demands_dataset(n)) continue;
+    const auto a = plan.assignment(q.id, n);
+    if (a && *a == l) return false;
+  }
+  return true;
+}
+
+/// Try to fully admit query q on a trial copy; commit on success.
+bool try_admit(ReplicaPlan& plan, const Query& q) {
+  const Instance& inst = plan.instance();
+  ReplicaPlan trial = plan;
+  for (const DatasetDemand& dd : q.demands) {
+    if (trial.assignment(q.id, dd.dataset)) continue;
+    const double need = resource_demand(inst, q, dd);
+    SiteId chosen = kInvalidSite;
+    // 1. An existing replica site.
+    for (const SiteId l : trial.replica_sites(dd.dataset)) {
+      if (deadline_ok(inst, q, dd, l) && trial.fits(l, need)) {
+        chosen = l;
+        break;
+      }
+    }
+    // 2. A fresh replica within the budget (max head-room first).
+    if (chosen == kInvalidSite) {
+      auto fresh_candidate = [&]() {
+        SiteId best = kInvalidSite;
+        for (const Site& s : inst.sites()) {
+          if (trial.has_replica(dd.dataset, s.id)) continue;
+          if (!deadline_ok(inst, q, dd, s.id)) continue;
+          if (!trial.fits(s.id, need)) continue;
+          if (best == kInvalidSite ||
+              trial.residual(s.id) > trial.residual(best)) {
+            best = s.id;
+          }
+        }
+        return best;
+      };
+      if (trial.replica_count(dd.dataset) < inst.max_replicas()) {
+        chosen = fresh_candidate();
+      } else {
+        // 3. Reclaim budget from an unused replica of this dataset.
+        for (const SiteId l : trial.replica_sites(dd.dataset)) {
+          if (replica_unused(trial, dd.dataset, l)) {
+            trial.remove_replica(dd.dataset, l);
+            chosen = fresh_candidate();
+            break;
+          }
+        }
+      }
+      if (chosen != kInvalidSite) trial.place_replica(dd.dataset, chosen);
+    }
+    if (chosen == kInvalidSite) return false;
+    trial.assign(q.id, dd.dataset, chosen);
+  }
+  plan = std::move(trial);
+  return true;
+}
+
+}  // namespace
+
+LocalSearchResult improve_plan(ReplicaPlan plan,
+                               const LocalSearchOptions& opts) {
+  LocalSearchResult res{std::move(plan), {}, 0, 0, 0};
+  const Instance& inst = res.plan.instance();
+  for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
+    ++res.passes;
+    res.relocations += rebalance_pass(res.plan);
+    std::size_t admitted_this_pass = 0;
+    for (const Query& q : inst.queries()) {
+      if (res.plan.admitted(q.id)) continue;
+      if (try_admit(res.plan, q)) ++admitted_this_pass;
+    }
+    res.queries_admitted += admitted_this_pass;
+    if (admitted_this_pass == 0) break;
+  }
+  res.metrics = evaluate(res.plan);
+  return res;
+}
+
+}  // namespace edgerep

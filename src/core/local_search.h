@@ -1,0 +1,37 @@
+// Local-search improvement for any replica plan.
+//
+// Alternates two passes until a fixed point (or the pass limit):
+//  * rebalance — relocate assigned demands of admitted queries to feasible
+//    replica sites with more head-room, spreading load without changing the
+//    objective;
+//  * admit — try to fully admit each unadmitted query transactionally,
+//    using existing replicas, leftover replica budget, or budget reclaimed
+//    by dropping an *unused* replica of the needed dataset.
+//
+// The admitted volume is non-decreasing across passes by construction, so
+// `improve_plan(x).metrics.admitted_volume ≥ evaluate(x).admitted_volume`
+// for every input plan — a property the tests assert for every algorithm's
+// output.  The ABL-LOCALSEARCH bench measures how much head-room each
+// placement heuristic leaves on the table.
+#pragma once
+
+#include "cloud/plan.h"
+
+namespace edgerep {
+
+struct LocalSearchOptions {
+  std::size_t max_passes = 16;
+};
+
+struct LocalSearchResult {
+  ReplicaPlan plan;
+  PlanMetrics metrics;
+  std::size_t relocations = 0;      ///< rebalance moves applied
+  std::size_t queries_admitted = 0; ///< newly admitted by the search
+  std::size_t passes = 0;
+};
+
+LocalSearchResult improve_plan(ReplicaPlan plan,
+                               const LocalSearchOptions& opts = {});
+
+}  // namespace edgerep

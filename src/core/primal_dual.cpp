@@ -1,0 +1,58 @@
+#include "core/primal_dual.h"
+
+#include <algorithm>
+
+namespace edgerep {
+
+DualState::DualState(const Instance& inst) : inst_(&inst) {
+  theta_.assign(inst.sites().size(), 0.0);
+  y_.assign(inst.queries().size(), 0.0);
+  mu_.assign(inst.queries().size(), 0.0);
+}
+
+void DualState::raise_theta(SiteId l, double resource_amount) {
+  const double avail = inst_->site(l).available;
+  if (avail > 0.0) theta_.at(l) += resource_amount / avail;
+}
+
+void DualState::repair() {
+  const Instance& inst = *inst_;
+  // Cheapest θ over sites: the binding site for constraint (9) when y must
+  // cover the slack everywhere.
+  double min_theta = theta_.empty() ? 0.0 : theta_[0];
+  for (const double t : theta_) min_theta = std::min(min_theta, t);
+  for (const Query& q : inst.queries()) {
+    const double vol = inst.demanded_volume(q.id);
+    const double needed = vol * std::max(0.0, 1.0 - q.rate * min_theta);
+    y_[q.id] = std::max(y_[q.id], needed);
+    mu_[q.id] = std::max(mu_[q.id], y_[q.id]);
+  }
+}
+
+double DualState::objective() const {
+  const Instance& inst = *inst_;
+  double obj = 0.0;
+  for (const Site& s : inst.sites()) obj += s.available * theta_[s.id];
+  const double k = static_cast<double>(inst.max_replicas());
+  for (const Query& q : inst.queries()) obj += k * mu_[q.id];
+  return obj;
+}
+
+bool DualState::feasible(double tol) const {
+  const Instance& inst = *inst_;
+  for (const Query& q : inst.queries()) {
+    const double vol = inst.demanded_volume(q.id);
+    for (const Site& s : inst.sites()) {
+      // (9) with η ≡ 0: vol·r_m·θ_l + y_m ≥ vol.
+      if (vol * q.rate * theta_[s.id] + y_[q.id] < vol - tol) return false;
+    }
+    // (10) reduced to the per-query form μ_m ≥ y_m (y lives at one site).
+    if (mu_[q.id] < y_[q.id] - tol) return false;
+  }
+  for (const double t : theta_) {
+    if (t < -tol) return false;
+  }
+  return true;
+}
+
+}  // namespace edgerep

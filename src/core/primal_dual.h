@@ -1,0 +1,57 @@
+// Dual machinery of the primal-dual approximation (paper §3.3).
+//
+// The dual (8)–(14) prices:
+//   θ_l    computing capacity at site l,
+//   y_{ml} assigning query m to site l,
+//   η_{ml} query m's deadline at site l,
+//   μ_m    creating a replica of the dataset demanded by m.
+//
+// During the primal-dual run θ evolves as a relative-load price and guides
+// site selection.  Afterwards `repair` lifts (y, μ) to the cheapest values
+// that make the dual solution *feasible* (constraints (9)–(10) for every
+// (m, l) pair, with η fixed at 0), so `objective` yields a genuine upper
+// bound on any primal solution — weak duality that tests can assert.
+#pragma once
+
+#include <vector>
+
+#include "cloud/instance.h"
+
+namespace edgerep {
+
+class DualState {
+ public:
+  explicit DualState(const Instance& inst);
+
+  /// --- evolving prices used during the primal run ----------------------
+  [[nodiscard]] double theta(SiteId l) const { return theta_.at(l); }
+  /// Raise θ_l by the relative load `amount / A(v_l)` (uniform raising step).
+  void raise_theta(SiteId l, double resource_amount);
+
+  [[nodiscard]] double mu(QueryId m) const { return mu_.at(m); }
+  /// Raise μ_m by one unit — "we create one replica" (Algorithm 1 line 7).
+  void raise_mu(QueryId m) { mu_.at(m) += 1.0; }
+
+  [[nodiscard]] double y(QueryId m) const { return y_.at(m); }
+  void set_y(QueryId m, double v) { y_.at(m) = v; }
+
+  /// --- certificate -----------------------------------------------------
+  /// Lift y and μ so that dual constraints (9) and (10) hold for every
+  /// (m, l) with η ≡ 0:  y_m ≥ |S(q_m)|·(1 − r_m·θ_l)⁺ for all l, and
+  /// μ_m ≥ y_m.  Idempotent.
+  void repair();
+
+  /// Dual objective (8): Σ_l A(v_l)·θ_l + Σ_m K·μ_m  (η terms are zero).
+  [[nodiscard]] double objective() const;
+
+  /// True when (9) and (10) hold for every (query, site) pair with η ≡ 0.
+  [[nodiscard]] bool feasible(double tol = 1e-9) const;
+
+ private:
+  const Instance* inst_;
+  std::vector<double> theta_;  ///< per site
+  std::vector<double> y_;      ///< per query (y_{m,l} is nonzero at one site)
+  std::vector<double> mu_;     ///< per query
+};
+
+}  // namespace edgerep

@@ -1,0 +1,122 @@
+#include "core/rounding.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "cloud/delay.h"
+#include "lp/model.h"
+#include "util/rng.h"
+
+namespace edgerep {
+
+namespace {
+
+/// Pick up to K sites for one dataset from fractional x values.
+std::vector<SiteId> round_sites(const std::vector<std::pair<SiteId, double>>&
+                                    fractional,
+                                std::size_t k, const RoundingOptions& opts,
+                                Rng& rng) {
+  std::vector<std::pair<SiteId, double>> pool;
+  for (const auto& [site, x] : fractional) {
+    if (x > opts.x_floor) pool.push_back({site, x});
+  }
+  std::vector<SiteId> chosen;
+  if (pool.empty()) return chosen;
+  if (!opts.randomized) {
+    std::stable_sort(pool.begin(), pool.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    for (std::size_t i = 0; i < std::min(k, pool.size()); ++i) {
+      chosen.push_back(pool[i].first);
+    }
+    return chosen;
+  }
+  // Randomized: weighted sampling without replacement.
+  while (chosen.size() < k && !pool.empty()) {
+    double total = 0.0;
+    for (const auto& [site, x] : pool) total += x;
+    double pick = rng.uniform(0.0, total);
+    std::size_t idx = 0;
+    for (; idx + 1 < pool.size(); ++idx) {
+      pick -= pool[idx].second;
+      if (pick <= 0.0) break;
+    }
+    chosen.push_back(pool[idx].first);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return chosen;
+}
+
+}  // namespace
+
+BaselineResult lp_rounding(const Instance& inst, const RoundingOptions& opts) {
+  const IlpModel model(inst, ModelObjective::kAdmittedVolume);
+  const LpSolution relax = model.solve_relaxation();
+  if (relax.status != LpStatus::kOptimal) {
+    throw std::runtime_error(std::string("lp_rounding: relaxation ") +
+                             to_string(relax.status));
+  }
+  Rng rng(opts.seed);
+  BaselineResult res{ReplicaPlan(inst), {}, 0, 0};
+
+  // Round x_{nl} dataset by dataset.
+  for (const Dataset& d : inst.datasets()) {
+    std::vector<std::pair<SiteId, double>> fractional;
+    for (const Site& s : inst.sites()) {
+      fractional.push_back({s.id, relax.x[model.x_var(d.id, s.id)]});
+    }
+    for (const SiteId l :
+         round_sites(fractional, inst.max_replicas(), opts, rng)) {
+      res.plan.place_replica(d.id, l);
+    }
+  }
+
+  // Assign demands in descending fractional-π order against the real
+  // capacity/deadline/replica constraints.
+  std::vector<std::size_t> order(model.pi_vars().size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return relax.x[model.pi_offset() + a] > relax.x[model.pi_offset() + b];
+  });
+  for (const std::size_t p : order) {
+    const auto& pv = model.pi_vars()[p];
+    if (relax.x[model.pi_offset() + p] <= opts.x_floor) break;
+    const Query& q = inst.query(pv.query);
+    const DatasetDemand& dd = q.demands[pv.demand_index];
+    if (res.plan.assignment(pv.query, dd.dataset)) continue;  // already served
+    if (!res.plan.has_replica(dd.dataset, pv.site)) continue;
+    const double need = resource_demand(inst, q, dd);
+    if (!res.plan.fits(pv.site, need)) continue;
+    // Deadline holds by construction (π vars are deadline-pruned).
+    res.plan.assign(pv.query, dd.dataset, pv.site);
+  }
+  // Second pass: demands the fractional solution ignored may still fit.
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      if (res.plan.assignment(q.id, dd.dataset)) continue;
+      const double need = resource_demand(inst, q, dd);
+      for (const SiteId l : res.plan.replica_sites(dd.dataset)) {
+        if (deadline_ok(inst, q, dd, l) && res.plan.fits(l, need)) {
+          res.plan.assign(q.id, dd.dataset, l);
+          break;
+        }
+      }
+    }
+  }
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      if (res.plan.assignment(q.id, dd.dataset)) {
+        ++res.demands_assigned;
+      } else {
+        ++res.demands_rejected;
+      }
+    }
+  }
+  res.metrics = evaluate(res.plan);
+  return res;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,35 @@
+// LP-rounding placement: solve the LP relaxation of the paper's ILP, round
+// the fractional replica variables x_{nl} (top-K deterministic or
+// proportional randomized), then assign demands greedily by descending
+// fractional π weight subject to the real constraints.
+//
+// This is the classic LP-based alternative the paper alludes to via the
+// capacitated-facility-location literature [An–Singh–Svensson, FOCS'14].
+// Practical only where the LP is (small/medium instances); used by the
+// ABL-GAP bench as a third point between the primal-dual heuristic and the
+// exact ILP.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline.h"
+#include "cloud/instance.h"
+
+namespace edgerep {
+
+struct RoundingOptions {
+  /// false: each dataset keeps its K largest-x sites (deterministic).
+  /// true: sites are sampled without replacement with probability
+  /// proportional to x (seeded).
+  bool randomized = false;
+  std::uint64_t seed = 0x10c4;
+  /// Drop fractional values below this before rounding (noise filter).
+  double x_floor = 1e-6;
+};
+
+/// Solve the relaxation and round.  Throws std::runtime_error if the LP
+/// fails to solve (it is always feasible, so this indicates size limits).
+BaselineResult lp_rounding(const Instance& inst,
+                           const RoundingOptions& opts = {});
+
+}  // namespace edgerep

@@ -1,0 +1,139 @@
+#include "lp/ilp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgerep {
+
+namespace {
+
+struct Bound {
+  std::size_t var = 0;
+  bool is_upper = true;
+  double value = 0.0;
+};
+
+struct Node {
+  std::vector<Bound> bounds;
+  double parent_bound = 0.0;  ///< LP objective of the parent (pruning hint)
+};
+
+/// Most fractional integer-constrained variable, or num_vars when integral.
+std::size_t pick_branch_var(const std::vector<double>& x,
+                            const std::vector<bool>& is_integer,
+                            double int_tol) {
+  std::size_t best = x.size();
+  double best_frac_dist = int_tol;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (!is_integer[j]) continue;
+    const double frac = x[j] - std::floor(x[j]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+IlpSolution solve_ilp(const LinearProgram& lp,
+                      const std::vector<bool>& is_integer,
+                      const IlpOptions& opts) {
+  if (is_integer.size() != lp.num_vars) {
+    throw std::invalid_argument("solve_ilp: is_integer size mismatch");
+  }
+  IlpSolution best;
+  best.status = LpStatus::kInfeasible;
+  best.objective = -std::numeric_limits<double>::infinity();
+
+  std::vector<Node> stack;
+  stack.push_back(Node{{}, std::numeric_limits<double>::infinity()});
+  bool budget_hit = false;
+  double root_bound = std::numeric_limits<double>::infinity();
+  bool root_solved = false;
+
+  while (!stack.empty()) {
+    if (best.nodes_explored >= opts.max_nodes) {
+      budget_hit = true;
+      break;
+    }
+    const Node node = std::move(stack.back());
+    stack.pop_back();
+    ++best.nodes_explored;
+
+    // Prune by parent bound before paying for a simplex solve.
+    if (best.status == LpStatus::kOptimal &&
+        node.parent_bound <= best.objective + 1e-9) {
+      continue;
+    }
+
+    LinearProgram relax = lp;
+    for (const Bound& b : node.bounds) {
+      relax.add_constraint({{b.var, 1.0}},
+                           b.is_upper ? Relation::kLe : Relation::kGe, b.value);
+    }
+    const LpSolution sol = solve_lp(relax, opts.lp);
+    if (!root_solved) {
+      root_solved = true;
+      if (sol.status == LpStatus::kOptimal) root_bound = sol.objective;
+    }
+    if (sol.status == LpStatus::kInfeasible) continue;
+    if (sol.status == LpStatus::kUnbounded) {
+      // An unbounded relaxation makes the ILP unbounded or ill-posed; report.
+      best.status = LpStatus::kUnbounded;
+      best.proven_optimal = false;
+      return best;
+    }
+    if (sol.status == LpStatus::kIterLimit) {
+      budget_hit = true;
+      continue;
+    }
+    if (best.status == LpStatus::kOptimal &&
+        sol.objective <= best.objective + 1e-9) {
+      continue;  // bound prune
+    }
+    const std::size_t branch =
+        pick_branch_var(sol.x, is_integer, opts.int_tol);
+    if (branch == sol.x.size()) {
+      // Integral: new incumbent (rounding off the fp fuzz).
+      if (best.status != LpStatus::kOptimal ||
+          sol.objective > best.objective) {
+        best.status = LpStatus::kOptimal;
+        best.objective = sol.objective;
+        best.x = sol.x;
+        for (std::size_t j = 0; j < best.x.size(); ++j) {
+          if (is_integer[j]) best.x[j] = std::round(best.x[j]);
+        }
+      }
+      continue;
+    }
+    const double v = sol.x[branch];
+    Node down;
+    down.bounds = node.bounds;
+    down.bounds.push_back(Bound{branch, true, std::floor(v)});
+    down.parent_bound = sol.objective;
+    Node up;
+    up.bounds = node.bounds;
+    up.bounds.push_back(Bound{branch, false, std::ceil(v)});
+    up.parent_bound = sol.objective;
+    // DFS order: explore the branch nearer the fractional value first.
+    if (v - std::floor(v) > 0.5) {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    } else {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    }
+  }
+  best.proven_optimal = best.status == LpStatus::kOptimal && !budget_hit;
+  best.best_bound = root_bound;
+  if (best.status != LpStatus::kOptimal) {
+    best.objective = 0.0;
+  }
+  return best;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,35 @@
+// Branch-and-bound integer programming on top of the simplex solver.
+// Depth-first search, most-fractional branching, LP-bound pruning.  Exact on
+// the small instances used as optimality references in tests and the
+// LP-gap ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace edgerep {
+
+struct IlpOptions {
+  std::size_t max_nodes = 200000;  ///< B&B node budget
+  double int_tol = 1e-6;           ///< |x - round(x)| below this is integral
+  SimplexOptions lp;               ///< options for each node relaxation
+};
+
+struct IlpSolution {
+  LpStatus status = LpStatus::kIterLimit;
+  bool proven_optimal = false;  ///< false when a budget was exhausted
+  double objective = 0.0;
+  std::vector<double> x;
+  std::size_t nodes_explored = 0;
+  double best_bound = 0.0;  ///< tightest LP upper bound seen at the root frontier
+};
+
+/// Maximize lp subject to x_j integral for every j with is_integer[j].
+/// `is_integer` must have size lp.num_vars.
+IlpSolution solve_ilp(const LinearProgram& lp,
+                      const std::vector<bool>& is_integer,
+                      const IlpOptions& opts = {});
+
+}  // namespace edgerep

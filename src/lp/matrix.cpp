@@ -1,0 +1,27 @@
+#include "lp/matrix.h"
+
+#include <cassert>
+
+namespace edgerep {
+
+double Matrix::dot_row(std::size_t r, std::span<const double> x) const {
+  assert(x.size() >= cols_);
+  const double* row = data_.data() + r * cols_;
+  double acc = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+  return acc;
+}
+
+void Matrix::axpy_row(std::size_t target, std::size_t source, double factor) {
+  if (factor == 0.0) return;
+  double* t = data_.data() + target * cols_;
+  const double* s = data_.data() + source * cols_;
+  for (std::size_t c = 0; c < cols_; ++c) t[c] += factor * s[c];
+}
+
+void Matrix::scale_row(std::size_t r, double factor) {
+  double* row = data_.data() + r * cols_;
+  for (std::size_t c = 0; c < cols_; ++c) row[c] *= factor;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,50 @@
+// Dense row-major matrix used by the simplex tableau.  Deliberately small:
+// the LP substrate exists as an *optimality reference* on modest instances
+// (tests and the ablation gap bench), not as a production LP code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace edgerep {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// rows()×1 matrix-vector product helper: row r · x.
+  [[nodiscard]] double dot_row(std::size_t r, std::span<const double> x) const;
+
+  /// Gaussian row operation: row[target] += factor * row[source].
+  void axpy_row(std::size_t target, std::size_t source, double factor);
+
+  /// Scale a row in place.
+  void scale_row(std::size_t r, double factor);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace edgerep

@@ -1,0 +1,163 @@
+#include "lp/model.h"
+
+#include <stdexcept>
+
+#include "cloud/delay.h"
+
+namespace edgerep {
+
+IlpModel::IlpModel(const Instance& inst, ModelObjective objective)
+    : inst_(&inst), objective_(objective) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("IlpModel: instance not finalized");
+  }
+  build();
+}
+
+void IlpModel::build() {
+  const Instance& inst = *inst_;
+  num_sites_ = inst.sites().size();
+  const std::size_t num_x = inst.datasets().size() * num_sites_;
+
+  // Enumerate deadline-feasible π variables (constraint (4) by pruning).
+  pi_offset_ = num_x;
+  for (const Query& q : inst.queries()) {
+    for (std::uint32_t i = 0; i < q.demands.size(); ++i) {
+      for (const Site& s : inst.sites()) {
+        if (deadline_ok(inst, q, q.demands[i], s.id)) {
+          pi_vars_.push_back(PiVar{q.id, i, s.id});
+        }
+      }
+    }
+  }
+  z_offset_ = pi_offset_ + pi_vars_.size();
+  const std::size_t num_z = has_z() ? inst.queries().size() : 0;
+
+  lp_.num_vars = z_offset_ + num_z;
+  lp_.objective.assign(lp_.num_vars, 0.0);
+  is_integer_.assign(lp_.num_vars, true);
+
+  if (has_z()) {
+    for (const Query& q : inst.queries()) {
+      lp_.objective[z_var(q.id)] = inst.demanded_volume(q.id);
+    }
+  } else {
+    for (std::size_t p = 0; p < pi_vars_.size(); ++p) {
+      const PiVar& pv = pi_vars_[p];
+      const Query& q = inst.query(pv.query);
+      lp_.objective[pi_offset_ + p] =
+          inst.dataset(q.demands[pv.demand_index].dataset).volume;
+    }
+  }
+
+  // (2) capacity per site: Σ vol·rate·π ≤ A(l).
+  {
+    std::vector<std::vector<std::pair<std::size_t, double>>> rows(num_sites_);
+    for (std::size_t p = 0; p < pi_vars_.size(); ++p) {
+      const PiVar& pv = pi_vars_[p];
+      const Query& q = inst.query(pv.query);
+      rows[pv.site].push_back(
+          {pi_offset_ + p, resource_demand(inst, q, q.demands[pv.demand_index])});
+    }
+    for (const Site& s : inst.sites()) {
+      if (!rows[s.id].empty()) {
+        lp_.add_constraint(std::move(rows[s.id]), Relation::kLe, s.available);
+      }
+    }
+  }
+
+  // (3) π_{m,n,l} ≤ x_{n,l}.
+  for (std::size_t p = 0; p < pi_vars_.size(); ++p) {
+    const PiVar& pv = pi_vars_[p];
+    const Query& q = inst.query(pv.query);
+    const DatasetId n = q.demands[pv.demand_index].dataset;
+    lp_.add_constraint(
+        {{pi_offset_ + p, 1.0}, {x_var(n, pv.site), -1.0}}, Relation::kLe, 0.0);
+  }
+
+  // Each demand is evaluated at no more than one site, and (for the
+  // admitted-volume objective) z_m ≤ Σ_l π for every demand of m.
+  {
+    // Group π vars by (query, demand_index).
+    std::vector<std::vector<std::size_t>> by_demand;  // flattened per query
+    std::vector<std::size_t> first_demand(inst.queries().size() + 1, 0);
+    for (const Query& q : inst.queries()) {
+      first_demand[q.id + 1] = first_demand[q.id] + q.demands.size();
+    }
+    by_demand.resize(first_demand.back());
+    for (std::size_t p = 0; p < pi_vars_.size(); ++p) {
+      const PiVar& pv = pi_vars_[p];
+      by_demand[first_demand[pv.query] + pv.demand_index].push_back(p);
+    }
+    for (const Query& q : inst.queries()) {
+      for (std::uint32_t i = 0; i < q.demands.size(); ++i) {
+        const auto& group = by_demand[first_demand[q.id] + i];
+        std::vector<std::pair<std::size_t, double>> at_most_one;
+        at_most_one.reserve(group.size());
+        for (const std::size_t p : group) {
+          at_most_one.push_back({pi_offset_ + p, 1.0});
+        }
+        if (!at_most_one.empty()) {
+          lp_.add_constraint(at_most_one, Relation::kLe, 1.0);
+        }
+        if (has_z()) {
+          // z_m - Σ_l π_{m,i,l} ≤ 0.  With an empty group this forces z=0.
+          std::vector<std::pair<std::size_t, double>> link;
+          link.reserve(group.size() + 1);
+          link.push_back({z_var(q.id), 1.0});
+          for (const std::size_t p : group) {
+            link.push_back({pi_offset_ + p, -1.0});
+          }
+          lp_.add_constraint(std::move(link), Relation::kLe, 0.0);
+        }
+      }
+    }
+  }
+
+  // (5) replica budget: Σ_l x_{n,l} ≤ K.
+  for (const Dataset& d : inst.datasets()) {
+    std::vector<std::pair<std::size_t, double>> row;
+    row.reserve(num_sites_);
+    for (SiteId l = 0; l < num_sites_; ++l) {
+      row.push_back({x_var(d.id, l), 1.0});
+    }
+    lp_.add_constraint(std::move(row), Relation::kLe,
+                       static_cast<double>(inst.max_replicas()));
+  }
+
+  // (6)(7) binary relaxation bounds: every variable ≤ 1 (≥ 0 is implicit).
+  for (std::size_t j = 0; j < lp_.num_vars; ++j) {
+    lp_.add_upper_bound(j, 1.0);
+  }
+}
+
+LpSolution IlpModel::solve_relaxation(const SimplexOptions& opts) const {
+  return solve_lp(lp_, opts);
+}
+
+IlpSolution IlpModel::solve(const IlpOptions& opts) const {
+  return solve_ilp(lp_, is_integer_, opts);
+}
+
+ReplicaPlan IlpModel::extract_plan(const std::vector<double>& x) const {
+  const Instance& inst = *inst_;
+  ReplicaPlan plan(inst);
+  if (x.size() < lp_.num_vars) {
+    throw std::invalid_argument("extract_plan: solution vector too short");
+  }
+  for (const Dataset& d : inst.datasets()) {
+    for (SiteId l = 0; l < num_sites_; ++l) {
+      if (x[x_var(d.id, l)] > 0.5) plan.place_replica(d.id, l);
+    }
+  }
+  for (std::size_t p = 0; p < pi_vars_.size(); ++p) {
+    if (x[pi_offset_ + p] > 0.5) {
+      const PiVar& pv = pi_vars_[p];
+      const Query& q = inst.query(pv.query);
+      plan.assign(pv.query, q.demands[pv.demand_index].dataset, pv.site);
+    }
+  }
+  return plan;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,85 @@
+// Builder for the paper's ILP (§3.2): objective (1) and constraints (2)–(7),
+// generalized to multi-dataset queries with an explicit per-query admission
+// variable.  Deadline constraint (4) is enforced by *pruning*: a variable
+// π_{m,n,l} is only created when site l meets query m's deadline for
+// dataset n, which is equivalent to forcing π = 0 there and keeps the LP
+// small.
+//
+// Two objective variants:
+//  * kAdmittedVolume — Σ_m vol(q_m)·z_m with z_m ≤ Σ_l π_{m,n,l} per demand:
+//    credit only fully admitted queries (the metric the figures plot).
+//  * kAssignedVolume — Σ vol(S_n)·π_{m,n,l}: per-demand partial credit,
+//    the literal reading of objective (1); matches Appro-G's accumulator N'.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cloud/instance.h"
+#include "cloud/plan.h"
+#include "lp/ilp.h"
+#include "lp/simplex.h"
+
+namespace edgerep {
+
+enum class ModelObjective { kAdmittedVolume, kAssignedVolume };
+
+class IlpModel {
+ public:
+  IlpModel(const Instance& inst, ModelObjective objective);
+
+  [[nodiscard]] const LinearProgram& lp() const noexcept { return lp_; }
+  [[nodiscard]] const std::vector<bool>& integrality() const noexcept {
+    return is_integer_;
+  }
+  [[nodiscard]] ModelObjective objective_kind() const noexcept {
+    return objective_;
+  }
+
+  /// Variable index of x_{n,l}.
+  [[nodiscard]] std::size_t x_var(DatasetId n, SiteId l) const noexcept {
+    return static_cast<std::size_t>(n) * num_sites_ + l;
+  }
+
+  /// One created π variable (deadline-feasible (query, demand, site)).
+  struct PiVar {
+    QueryId query = 0;
+    std::uint32_t demand_index = 0;
+    SiteId site = kInvalidSite;
+  };
+  [[nodiscard]] const std::vector<PiVar>& pi_vars() const noexcept {
+    return pi_vars_;
+  }
+  [[nodiscard]] std::size_t pi_offset() const noexcept { return pi_offset_; }
+  /// Index of z_m (only for kAdmittedVolume; 0 z-vars otherwise).
+  [[nodiscard]] std::size_t z_var(QueryId m) const noexcept {
+    return z_offset_ + m;
+  }
+  [[nodiscard]] bool has_z() const noexcept {
+    return objective_ == ModelObjective::kAdmittedVolume;
+  }
+
+  /// Solve the LP relaxation (fractional upper bound).
+  [[nodiscard]] LpSolution solve_relaxation(
+      const SimplexOptions& opts = {}) const;
+
+  /// Solve the ILP exactly (subject to node budget).
+  [[nodiscard]] IlpSolution solve(const IlpOptions& opts = {}) const;
+
+  /// Turn an integral solution vector into a validated ReplicaPlan.
+  [[nodiscard]] ReplicaPlan extract_plan(const std::vector<double>& x) const;
+
+ private:
+  void build();
+
+  const Instance* inst_;
+  ModelObjective objective_;
+  std::size_t num_sites_ = 0;
+  std::size_t pi_offset_ = 0;
+  std::size_t z_offset_ = 0;
+  std::vector<PiVar> pi_vars_;
+  LinearProgram lp_;
+  std::vector<bool> is_integer_;
+};
+
+}  // namespace edgerep

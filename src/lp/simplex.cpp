@@ -1,0 +1,340 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "lp/matrix.h"
+
+namespace edgerep {
+
+std::size_t LinearProgram::add_constraint(
+    std::vector<std::pair<std::size_t, double>> terms, Relation rel,
+    double rhs) {
+  constraints.push_back(LinearConstraint{std::move(terms), rel, rhs});
+  return constraints.size() - 1;
+}
+
+void LinearProgram::add_upper_bound(std::size_t var, double ub) {
+  add_constraint({{var, 1.0}}, Relation::kLe, ub);
+}
+
+const char* to_string(LpStatus s) noexcept {
+  switch (s) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterLimit:
+      return "iteration-limit";
+  }
+  return "?";
+}
+
+double objective_value(const LinearProgram& lp, const std::vector<double>& x) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < lp.num_vars && j < x.size(); ++j) {
+    acc += lp.objective[j] * x[j];
+  }
+  return acc;
+}
+
+bool is_feasible(const LinearProgram& lp, const std::vector<double>& x,
+                 double tol) {
+  if (x.size() < lp.num_vars) return false;
+  for (std::size_t j = 0; j < lp.num_vars; ++j) {
+    if (x[j] < -tol) return false;
+  }
+  for (const auto& c : lp.constraints) {
+    double lhs = 0.0;
+    for (const auto& [j, a] : c.terms) lhs += a * x[j];
+    switch (c.rel) {
+      case Relation::kLe:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Relation::kGe:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Relation::kEq:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Dense two-phase simplex working state.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp, const SimplexOptions& opts)
+      : lp_(lp), opts_(opts) {
+    build();
+  }
+
+  LpSolution solve() {
+    LpSolution sol;
+    // ---- Phase 1: maximize -(sum of artificials) --------------------
+    if (num_artificial_ > 0) {
+      std::vector<double> cost(num_cols_, 0.0);
+      for (std::size_t j = first_artificial_; j < num_cols_; ++j) {
+        cost[j] = -1.0;
+      }
+      set_objective(cost);
+      const LpStatus st = optimize(&sol.iterations, /*allow_artificial=*/true);
+      if (st == LpStatus::kIterLimit) {
+        sol.status = st;
+        return sol;
+      }
+      // Phase 1 of a feasible LP always ends optimal (it is bounded by 0).
+      if (obj_rhs_ < -opts_.eps) {
+        sol.status = LpStatus::kInfeasible;
+        return sol;
+      }
+      pivot_artificials_out();
+    }
+    // ---- Phase 2: maximize the real objective -----------------------
+    std::vector<double> cost(num_cols_, 0.0);
+    for (std::size_t j = 0; j < lp_.num_vars; ++j) cost[j] = lp_.objective[j];
+    set_objective(cost);
+    sol.status = optimize(&sol.iterations, /*allow_artificial=*/false);
+    if (sol.status == LpStatus::kOptimal) {
+      sol.x.assign(lp_.num_vars, 0.0);
+      for (std::size_t i = 0; i < num_rows_; ++i) {
+        if (basis_[i] < lp_.num_vars) {
+          sol.x[basis_[i]] = rhs(i);
+        }
+      }
+      sol.objective = objective_value(lp_, sol.x);
+    }
+    return sol;
+  }
+
+ private:
+  void build() {
+    const std::size_t m = lp_.constraints.size();
+    num_rows_ = m;
+    // Column layout: [0, num_vars) real, then one slack/surplus per Le/Ge
+    // row, then artificials for Ge/Eq rows.
+    std::size_t num_slack = 0;
+    num_artificial_ = 0;
+    // Normalize rhs sign first: a·x ≥ -5  ==  -a·x ≤ 5.
+    rows_.reserve(m);
+    for (const auto& c : lp_.constraints) {
+      NormRow r;
+      r.rel = c.rel;
+      r.rhs = c.rhs;
+      r.terms = c.terms;
+      if (r.rhs < 0.0) {
+        r.rhs = -r.rhs;
+        for (auto& [j, a] : r.terms) a = -a;
+        if (r.rel == Relation::kLe) {
+          r.rel = Relation::kGe;
+        } else if (r.rel == Relation::kGe) {
+          r.rel = Relation::kLe;
+        }
+      }
+      if (r.rel != Relation::kEq) ++num_slack;
+      if (r.rel != Relation::kLe) ++num_artificial_;
+      rows_.push_back(std::move(r));
+    }
+    first_slack_ = lp_.num_vars;
+    first_artificial_ = first_slack_ + num_slack;
+    num_cols_ = first_artificial_ + num_artificial_;
+    // +1 column for rhs.
+    t_ = Matrix(num_rows_, num_cols_ + 1, 0.0);
+    basis_.assign(num_rows_, 0);
+    std::size_t slack = first_slack_;
+    std::size_t art = first_artificial_;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      const NormRow& r = rows_[i];
+      for (const auto& [j, a] : r.terms) {
+        if (j >= lp_.num_vars) {
+          throw std::invalid_argument("simplex: term index out of range");
+        }
+        t_.at(i, j) += a;
+      }
+      t_.at(i, num_cols_) = r.rhs;
+      switch (r.rel) {
+        case Relation::kLe:
+          t_.at(i, slack) = 1.0;
+          basis_[i] = slack++;
+          break;
+        case Relation::kGe:
+          t_.at(i, slack) = -1.0;
+          ++slack;
+          t_.at(i, art) = 1.0;
+          basis_[i] = art++;
+          break;
+        case Relation::kEq:
+          t_.at(i, art) = 1.0;
+          basis_[i] = art++;
+          break;
+      }
+    }
+    obj_.assign(num_cols_, 0.0);
+    obj_rhs_ = 0.0;
+  }
+
+  [[nodiscard]] double rhs(std::size_t i) const { return t_.at(i, num_cols_); }
+
+  /// Install a cost vector and canonicalize the objective row against the
+  /// current basis (reduced costs of basic columns must be zero).
+  void set_objective(const std::vector<double>& cost) {
+    // Objective row entries are stored as (c_j - z_j); entering candidates
+    // are columns with positive entries (maximization).
+    obj_ = cost;
+    obj_rhs_ = 0.0;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      const double cb = cost[basis_[i]];
+      if (cb == 0.0) continue;
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        obj_[j] -= cb * t_.at(i, j);
+      }
+      obj_rhs_ -= cb * rhs(i);
+    }
+    // obj_rhs_ holds -(current objective value); we track the value itself.
+    obj_rhs_ = -obj_rhs_;
+  }
+
+  /// One pivot: bring `col` into the basis on row `row`.
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = t_.at(row, col);
+    assert(std::abs(p) > opts_.eps);
+    t_.scale_row(row, 1.0 / p);
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (i == row) continue;
+      const double f = t_.at(i, col);
+      if (f != 0.0) t_.axpy_row(i, row, -f);
+    }
+    const double fo = obj_[col];
+    if (fo != 0.0) {
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        obj_[j] -= fo * t_.at(row, j);
+      }
+      obj_rhs_ += fo * rhs(row);
+    }
+    basis_[row] = col;
+  }
+
+  /// Dantzig/Bland column selection; returns num_cols_ when optimal.
+  std::size_t entering_column(bool bland, bool allow_artificial) const {
+    const std::size_t limit = allow_artificial ? num_cols_ : first_artificial_;
+    if (bland) {
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (obj_[j] > opts_.eps) return j;
+      }
+      return num_cols_;
+    }
+    std::size_t best = num_cols_;
+    double best_val = opts_.eps;
+    for (std::size_t j = 0; j < limit; ++j) {
+      if (obj_[j] > best_val) {
+        best_val = obj_[j];
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  /// Minimum-ratio row for the entering column; num_rows_ when unbounded.
+  std::size_t leaving_row(std::size_t col, bool bland) const {
+    std::size_t best = num_rows_;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      const double a = t_.at(i, col);
+      if (a <= opts_.eps) continue;
+      const double ratio = rhs(i) / a;
+      if (ratio < best_ratio - opts_.eps ||
+          (bland && std::abs(ratio - best_ratio) <= opts_.eps &&
+           best != num_rows_ && basis_[i] < basis_[best])) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  LpStatus optimize(std::size_t* iterations, bool allow_artificial) {
+    std::size_t local_iters = 0;
+    for (;;) {
+      if (*iterations >= opts_.max_iterations) return LpStatus::kIterLimit;
+      const bool bland = local_iters > opts_.bland_after;
+      const std::size_t col = entering_column(bland, allow_artificial);
+      if (col == num_cols_) return LpStatus::kOptimal;
+      const std::size_t row = leaving_row(col, bland);
+      if (row == num_rows_) return LpStatus::kUnbounded;
+      pivot(row, col);
+      ++*iterations;
+      ++local_iters;
+    }
+  }
+
+  /// After phase 1, swap any artificial variable still basic (at value 0)
+  /// for a non-artificial column, or mark the row redundant.
+  void pivot_artificials_out() {
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (basis_[i] < first_artificial_) continue;
+      bool swapped = false;
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (std::abs(t_.at(i, j)) > 1e-7) {
+          pivot(i, j);
+          swapped = true;
+          break;
+        }
+      }
+      // If no pivot target exists the row is all-zero over real columns
+      // (a redundant constraint); the artificial stays basic at value 0 and
+      // is harmless because phase 2 never lets artificials enter.
+      (void)swapped;
+    }
+  }
+
+  struct NormRow {
+    std::vector<std::pair<std::size_t, double>> terms;
+    Relation rel = Relation::kLe;
+    double rhs = 0.0;
+  };
+
+  const LinearProgram& lp_;
+  SimplexOptions opts_;
+  std::vector<NormRow> rows_;
+  Matrix t_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> obj_;  ///< reduced-cost row (c_j - z_j)
+  double obj_rhs_ = 0.0;     ///< current objective value
+  std::size_t num_rows_ = 0;
+  std::size_t num_cols_ = 0;
+  std::size_t first_slack_ = 0;
+  std::size_t first_artificial_ = 0;
+  std::size_t num_artificial_ = 0;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& opts) {
+  if (lp.objective.size() != lp.num_vars) {
+    throw std::invalid_argument("solve_lp: objective size != num_vars");
+  }
+  if (lp.num_vars == 0) {
+    // Feasibility depends only on constant constraints.
+    LpSolution sol;
+    sol.status = LpStatus::kOptimal;
+    for (const auto& c : lp.constraints) {
+      const bool ok = (c.rel == Relation::kLe && 0.0 <= c.rhs + 1e-12) ||
+                      (c.rel == Relation::kGe && 0.0 >= c.rhs - 1e-12) ||
+                      (c.rel == Relation::kEq && std::abs(c.rhs) <= 1e-12);
+      if (!ok) sol.status = LpStatus::kInfeasible;
+    }
+    return sol;
+  }
+  Tableau t(lp, opts);
+  return t.solve();
+}
+
+}  // namespace edgerep

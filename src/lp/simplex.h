@@ -1,0 +1,67 @@
+// A two-phase dense primal simplex solver for small/medium LPs.
+//
+// Problem form:  maximize c·x  s.t.  each constraint (a·x ⋚ b), x ≥ 0.
+// Phase 1 minimizes the sum of artificial variables to find a basic feasible
+// solution; phase 2 optimizes the real objective.  Dantzig pricing with an
+// automatic switch to Bland's rule guards against cycling.
+//
+// This solver is the optimality reference for the paper's ILP relaxation
+// (tests, ablation benches); it is exact up to floating-point tolerance, not
+// tuned for large-scale performance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace edgerep {
+
+enum class Relation { kLe, kGe, kEq };
+
+struct LinearConstraint {
+  /// Sparse terms (variable index, coefficient); indices must be < num_vars.
+  std::vector<std::pair<std::size_t, double>> terms;
+  Relation rel = Relation::kLe;
+  double rhs = 0.0;
+};
+
+/// maximize objective·x subject to constraints, x ≥ 0.
+struct LinearProgram {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;  ///< size num_vars
+  std::vector<LinearConstraint> constraints;
+
+  /// Append a constraint and return its index.
+  std::size_t add_constraint(std::vector<std::pair<std::size_t, double>> terms,
+                             Relation rel, double rhs);
+  /// Convenience: bound a single variable (x_i ≤ ub as a constraint row).
+  void add_upper_bound(std::size_t var, double ub);
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+const char* to_string(LpStatus s) noexcept;
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::size_t iterations = 0;
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 200000;
+  double eps = 1e-9;          ///< pivot / feasibility tolerance
+  std::size_t bland_after = 5000;  ///< switch to Bland's rule after this many pivots
+};
+
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& opts = {});
+
+/// Evaluate c·x for a candidate solution.
+double objective_value(const LinearProgram& lp, const std::vector<double>& x);
+
+/// Check primal feasibility of x within tolerance (used by property tests).
+bool is_feasible(const LinearProgram& lp, const std::vector<double>& x,
+                 double tol = 1e-6);
+
+}  // namespace edgerep

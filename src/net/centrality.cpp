@@ -1,0 +1,88 @@
+#include "net/centrality.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "net/shortest_path.h"
+
+namespace edgerep {
+
+std::vector<double> closeness_centrality(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<double> c(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto t = dijkstra(g, v);
+    double sum = 0.0;
+    std::size_t reachable = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (u != v && t.reachable(u)) {
+        sum += t.dist[u];
+        ++reachable;
+      }
+    }
+    if (sum > 0.0) c[v] = static_cast<double>(reachable) / sum;
+  }
+  return c;
+}
+
+std::vector<double> betweenness_centrality(const Graph& g) {
+  // Brandes (2001), weighted variant: one Dijkstra per source with shortest
+  // path counting, then dependency accumulation in reverse finish order.
+  const std::size_t n = g.num_nodes();
+  std::vector<double> bc(n, 0.0);
+  constexpr double kEps = 1e-12;
+  for (NodeId s = 0; s < n; ++s) {
+    std::vector<double> dist(n, kInfDelay);
+    std::vector<double> sigma(n, 0.0);   // number of shortest s→v paths
+    std::vector<std::vector<NodeId>> preds(n);
+    std::vector<NodeId> finish_order;    // nodes in nondecreasing dist order
+    finish_order.reserve(n);
+    using Item = std::pair<double, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    std::vector<char> settled(n, 0);
+    dist[s] = 0.0;
+    sigma[s] = 1.0;
+    heap.emplace(0.0, s);
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (settled[v]) continue;
+      settled[v] = 1;
+      finish_order.push_back(v);
+      for (const HalfEdge& he : g.neighbors(v)) {
+        const double nd = d + he.delay;
+        if (nd < dist[he.to] - kEps) {
+          dist[he.to] = nd;
+          sigma[he.to] = sigma[v];
+          preds[he.to].assign(1, v);
+          heap.emplace(nd, he.to);
+        } else if (nd <= dist[he.to] + kEps && !settled[he.to]) {
+          // Another shortest path through v.
+          bool already = false;
+          for (const NodeId p : preds[he.to]) already |= p == v;
+          if (!already) {
+            sigma[he.to] += sigma[v];
+            preds[he.to].push_back(v);
+          }
+        }
+      }
+    }
+    // Dependency accumulation.
+    std::vector<double> delta(n, 0.0);
+    for (auto it = finish_order.rbegin(); it != finish_order.rend(); ++it) {
+      const NodeId w = *it;
+      for (const NodeId p : preds[w]) {
+        if (sigma[w] > 0.0) {
+          delta[p] += sigma[p] / sigma[w] * (1.0 + delta[w]);
+        }
+      }
+      if (w != s) bc[w] += delta[w];
+    }
+  }
+  // Each undirected pair was counted twice (once per endpoint as source).
+  for (double& v : bc) v *= 0.5;
+  return bc;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,22 @@
+// Node centrality measures over the delay-weighted network, used by the
+// Centrality-S/G baseline (place replicas at topologically central nodes)
+// and by topology diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace edgerep {
+
+/// Closeness centrality with delay-weighted distances:
+/// c(v) = (reachable(v)) / Σ_u dist(v, u), 0 for isolated nodes.  Values
+/// are comparable within one connected component.
+std::vector<double> closeness_centrality(const Graph& g);
+
+/// Betweenness centrality (Brandes' algorithm on delay-weighted shortest
+/// paths): the fraction of pairwise shortest paths passing through each
+/// node.  Undirected normalization (each pair counted once).
+std::vector<double> betweenness_centrality(const Graph& g);
+
+}  // namespace edgerep

@@ -1,0 +1,85 @@
+#include "net/graph.h"
+
+#include <stdexcept>
+
+namespace edgerep {
+
+const char* to_string(NodeRole role) noexcept {
+  switch (role) {
+    case NodeRole::kDataCenter:
+      return "dc";
+    case NodeRole::kCloudlet:
+      return "cloudlet";
+    case NodeRole::kSwitch:
+      return "switch";
+    case NodeRole::kBaseStation:
+      return "bs";
+  }
+  return "?";
+}
+
+NodeId Graph::add_node(NodeRole role) {
+  const auto id = static_cast<NodeId>(adjacency_.size());
+  adjacency_.emplace_back();
+  roles_.push_back(role);
+  return id;
+}
+
+void Graph::add_nodes(std::size_t count, NodeRole role) {
+  adjacency_.resize(adjacency_.size() + count);
+  roles_.resize(roles_.size() + count, role);
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, double delay) {
+  if (u >= num_nodes() || v >= num_nodes()) {
+    throw std::invalid_argument("Graph::add_edge: node id out of range");
+  }
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (delay < 0.0) throw std::invalid_argument("Graph::add_edge: negative delay");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, delay});
+  adjacency_[u].push_back(HalfEdge{v, id, delay});
+  adjacency_[v].push_back(HalfEdge{u, id, delay});
+  return id;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  for (const HalfEdge& he : neighbors(u)) {
+    if (he.to == v) return he.edge;
+  }
+  return kInvalidEdge;
+}
+
+std::vector<std::uint32_t> Graph::components() const {
+  std::vector<std::uint32_t> label(num_nodes(), static_cast<std::uint32_t>(-1));
+  std::uint32_t next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < num_nodes(); ++s) {
+    if (label[s] != static_cast<std::uint32_t>(-1)) continue;
+    const std::uint32_t comp = next++;
+    stack.push_back(s);
+    label[s] = comp;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const HalfEdge& he : adjacency_[v]) {
+        if (label[he.to] == static_cast<std::uint32_t>(-1)) {
+          label[he.to] = comp;
+          stack.push_back(he.to);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+bool Graph::connected() const {
+  if (num_nodes() <= 1) return true;
+  const auto label = components();
+  for (const auto c : label) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace edgerep

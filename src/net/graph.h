@@ -1,0 +1,98 @@
+// Undirected weighted graph used to model the edge-cloud communication
+// network.  Edge weights are per-unit-data transmission delays dt(e).
+//
+// The structure is append-only (nodes and edges are added, never removed),
+// which lets us hand out stable ids and keep adjacency as flat vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace edgerep {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// Role of a node in the two-tier edge cloud (paper §2.1).
+enum class NodeRole : std::uint8_t {
+  kDataCenter,   ///< remote data center (DC)
+  kCloudlet,     ///< edge cloudlet co-located with a switch (CL)
+  kSwitch,       ///< WMAN switch / access point (SW)
+  kBaseStation,  ///< user-facing base station (BS)
+};
+
+const char* to_string(NodeRole role) noexcept;
+
+/// One undirected edge with a per-unit-data transmission delay.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  double delay = 0.0;  ///< dt(e): delay to transfer one unit (GB) of data
+
+  /// The endpoint that is not `from` (precondition: from is an endpoint).
+  [[nodiscard]] NodeId other(NodeId from) const noexcept {
+    return from == u ? v : u;
+  }
+};
+
+/// Half-edge stored in adjacency lists.
+struct HalfEdge {
+  NodeId to = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+  double delay = 0.0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_nodes) { add_nodes(num_nodes); }
+
+  /// Append one node; returns its id.
+  NodeId add_node(NodeRole role = NodeRole::kSwitch);
+  /// Append `count` nodes with the default role.
+  void add_nodes(std::size_t count, NodeRole role = NodeRole::kSwitch);
+
+  /// Append an undirected edge u—v with the given per-unit delay.
+  /// Self-loops and negative delays are rejected (std::invalid_argument).
+  EdgeId add_edge(NodeId u, NodeId v, double delay);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_.at(e); }
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+
+  [[nodiscard]] std::span<const HalfEdge> neighbors(NodeId v) const {
+    return adjacency_.at(v);
+  }
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    return adjacency_.at(v).size();
+  }
+
+  [[nodiscard]] NodeRole role(NodeId v) const { return roles_.at(v); }
+  void set_role(NodeId v, NodeRole role) { roles_.at(v) = role; }
+
+  /// First edge between u and v, or kInvalidEdge when absent.  O(deg(u)).
+  [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const;
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return find_edge(u, v) != kInvalidEdge;
+  }
+
+  /// True when every node can reach every other node.
+  [[nodiscard]] bool connected() const;
+
+  /// Connected-component label per node (labels are 0..k-1, ordered by the
+  /// smallest node id in the component).
+  [[nodiscard]] std::vector<std::uint32_t> components() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::vector<NodeRole> roles_;
+};
+
+}  // namespace edgerep

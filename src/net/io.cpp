@@ -1,0 +1,98 @@
+#include "net/io.h"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace edgerep {
+
+namespace {
+
+const char* dot_color(NodeRole role) {
+  switch (role) {
+    case NodeRole::kDataCenter:
+      return "lightblue";
+    case NodeRole::kCloudlet:
+      return "palegreen";
+    case NodeRole::kSwitch:
+      return "gray80";
+    case NodeRole::kBaseStation:
+      return "khaki";
+  }
+  return "white";
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Graph& g) {
+  os << "graph edgecloud {\n  node [style=filled];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v << " [label=\"" << to_string(g.role(v)) << v
+       << "\", fillcolor=" << dot_color(g.role(v)) << "];\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  n" << e.u << " -- n" << e.v << " [label=\"" << e.delay << "\"];\n";
+  }
+  os << "}\n";
+}
+
+void write_topology(std::ostream& os, const Graph& g) {
+  // Full round-trip precision: delays must survive write → read exactly.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "# edgerep topology: " << g.num_nodes() << " nodes, " << g.num_edges()
+     << " edges\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "node " << v << ' ' << to_string(g.role(v)) << '\n';
+  }
+  for (const Edge& e : g.edges()) {
+    os << "edge " << e.u << ' ' << e.v << ' ' << e.delay << '\n';
+  }
+}
+
+NodeRole parse_role(const std::string& token) {
+  if (token == "dc") return NodeRole::kDataCenter;
+  if (token == "cloudlet") return NodeRole::kCloudlet;
+  if (token == "switch") return NodeRole::kSwitch;
+  if (token == "bs") return NodeRole::kBaseStation;
+  throw std::runtime_error("read_topology: unknown role '" + token + "'");
+}
+
+Graph read_topology(std::istream& is) {
+  Graph g;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    auto fail = [&](const std::string& why) {
+      throw std::runtime_error("read_topology: line " + std::to_string(lineno) +
+                               ": " + why);
+    };
+    if (kind == "node") {
+      std::uint64_t id = 0;
+      std::string role;
+      if (!(ss >> id >> role)) fail("malformed node line");
+      if (id != g.num_nodes()) fail("node ids must be dense and in order");
+      g.add_node(parse_role(role));
+    } else if (kind == "edge") {
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
+      double delay = 0.0;
+      if (!(ss >> u >> v >> delay)) fail("malformed edge line");
+      if (u >= g.num_nodes() || v >= g.num_nodes()) fail("edge id out of range");
+      g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), delay);
+    } else {
+      fail("unknown keyword '" + kind + "'");
+    }
+  }
+  return g;
+}
+
+}  // namespace edgerep

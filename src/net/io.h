@@ -1,0 +1,28 @@
+// Topology serialization: Graphviz DOT export for visual inspection and a
+// round-trippable edge-list text format ("ncol"-style with roles) so that
+// generated topologies can be archived with experiment results.
+#pragma once
+
+#include <iosfwd>
+
+#include "net/graph.h"
+
+namespace edgerep {
+
+/// Write Graphviz DOT; node shape/color encodes the role.
+void write_dot(std::ostream& os, const Graph& g);
+
+/// Text format:
+///   node <id> <role>
+///   edge <u> <v> <delay>
+/// Lines starting with '#' are comments.
+void write_topology(std::ostream& os, const Graph& g);
+
+/// Parse the `write_topology` format.  Throws std::runtime_error on
+/// malformed input (unknown keyword/role, edge before nodes, bad ids).
+Graph read_topology(std::istream& is);
+
+/// Parse a role keyword as emitted by to_string(NodeRole).
+NodeRole parse_role(const std::string& token);
+
+}  // namespace edgerep

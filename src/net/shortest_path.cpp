@@ -1,0 +1,97 @@
+#include "net/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace edgerep {
+
+std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
+  std::vector<NodeId> path;
+  if (!reachable(target)) return path;
+  for (NodeId v = target; v != kInvalidNode; v = parent[v]) {
+    path.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source) {
+  if (source >= g.num_nodes()) {
+    throw std::invalid_argument("dijkstra: source out of range");
+  }
+  ShortestPathTree t;
+  t.source = source;
+  t.dist.assign(g.num_nodes(), kInfDelay);
+  t.parent.assign(g.num_nodes(), kInvalidNode);
+  using Item = std::pair<double, NodeId>;  // (dist, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  t.dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > t.dist[v]) continue;  // stale entry
+    for (const HalfEdge& he : g.neighbors(v)) {
+      const double nd = d + he.delay;
+      if (nd < t.dist[he.to]) {
+        t.dist[he.to] = nd;
+        t.parent[he.to] = v;
+        heap.emplace(nd, he.to);
+      }
+    }
+  }
+  return t;
+}
+
+DelayMatrix DelayMatrix::compute(const Graph& g, bool parallel) {
+  DelayMatrix m;
+  m.n_ = g.num_nodes();
+  m.data_.assign(m.n_ * m.n_, kInfDelay);
+  auto fill_row = [&](std::size_t v) {
+    const auto t = dijkstra(g, static_cast<NodeId>(v));
+    std::copy(t.dist.begin(), t.dist.end(), m.data_.begin() + v * m.n_);
+  };
+  if (parallel && m.n_ > 64) {
+    global_pool().parallel_for(m.n_, fill_row);
+  } else {
+    for (std::size_t v = 0; v < m.n_; ++v) fill_row(v);
+  }
+  return m;
+}
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source) {
+  constexpr auto kUnseen = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> hops(g.num_nodes(), kUnseen);
+  std::queue<NodeId> q;
+  hops.at(source) = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (hops[he.to] == kUnseen) {
+        hops[he.to] = hops[v] + 1;
+        q.push(he.to);
+      }
+    }
+  }
+  return hops;
+}
+
+std::uint32_t hop_diameter(const Graph& g) {
+  constexpr auto kUnseen = static_cast<std::uint32_t>(-1);
+  std::uint32_t best = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const auto hops = bfs_hops(g, s);
+    for (const auto h : hops) {
+      if (h != kUnseen) best = std::max(best, h);
+    }
+  }
+  return best;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,61 @@
+// Minimum-delay paths.  The paper routes intermediate results from the
+// evaluation node to the query's home node "via a shortest path whose
+// transmission delay is the minimum one" (§3.2); dt(p_{v,h}) below is the
+// summed per-unit-data delay along that path.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace edgerep {
+
+inline constexpr double kInfDelay = std::numeric_limits<double>::infinity();
+
+/// Single-source shortest path result.
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  std::vector<double> dist;     ///< dist[v] = min total delay source→v (inf if unreachable)
+  std::vector<NodeId> parent;   ///< predecessor on the shortest path (kInvalidNode at source/unreachable)
+
+  [[nodiscard]] bool reachable(NodeId v) const {
+    return dist.at(v) < kInfDelay;
+  }
+
+  /// Node sequence source→target (empty when unreachable).
+  [[nodiscard]] std::vector<NodeId> path_to(NodeId target) const;
+};
+
+/// Dijkstra with a binary heap; O((V+E) log V).
+ShortestPathTree dijkstra(const Graph& g, NodeId source);
+
+/// All-pairs minimum delays as a dense matrix (row-major, n×n).  Computed by
+/// n Dijkstra runs; rows are independent and are computed in parallel when
+/// `parallel` is true.
+class DelayMatrix {
+ public:
+  DelayMatrix() = default;
+
+  static DelayMatrix compute(const Graph& g, bool parallel = true);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] double at(NodeId from, NodeId to) const {
+    return data_.at(static_cast<std::size_t>(from) * n_ + to);
+  }
+  [[nodiscard]] bool reachable(NodeId from, NodeId to) const {
+    return at(from, to) < kInfDelay;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// Hop-count BFS distances from one source (used by topology diagnostics).
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source);
+
+/// Graph diameter in hops over the largest component (0 for empty graphs).
+std::uint32_t hop_diameter(const Graph& g);
+
+}  // namespace edgerep

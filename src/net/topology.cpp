@@ -1,0 +1,243 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgerep {
+
+void repair_connectivity(Graph& g, Range link_delay, Rng& rng) {
+  if (g.num_nodes() <= 1) return;
+  for (;;) {
+    const auto label = g.components();
+    const std::uint32_t num_comps =
+        label.empty() ? 0 : *std::max_element(label.begin(), label.end()) + 1;
+    if (num_comps <= 1) return;
+    // Connect a random node of component 1.. to a random node of component 0.
+    std::vector<NodeId> comp0;
+    std::vector<NodeId> other;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      (label[v] == 0 ? comp0 : other).push_back(v);
+    }
+    const NodeId a = comp0[static_cast<std::size_t>(
+        rng.uniform_u64(0, comp0.size() - 1))];
+    const NodeId b = other[static_cast<std::size_t>(
+        rng.uniform_u64(0, other.size() - 1))];
+    g.add_edge(a, b, link_delay.sample(rng));
+  }
+}
+
+Graph gnp(std::size_t n, double p, Range link_delay, Rng& rng) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) g.add_edge(u, v, link_delay.sample(rng));
+    }
+  }
+  repair_connectivity(g, link_delay, rng);
+  return g;
+}
+
+Graph waxman(std::size_t n, double a, double b, Range link_delay, Rng& rng) {
+  if (b <= 0.0) throw std::invalid_argument("waxman: b must be positive");
+  Graph g(n);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  const double max_dist = std::sqrt(2.0);  // diagonal of the unit square
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = x[u] - x[v];
+      const double dy = y[u] - y[v];
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (rng.bernoulli(a * std::exp(-dist / (b * max_dist)))) {
+        // Delay grows with geometric distance inside the configured range.
+        const double delay =
+            link_delay.lo + (link_delay.hi - link_delay.lo) * (dist / max_dist);
+        g.add_edge(u, v, delay);
+      }
+    }
+  }
+  repair_connectivity(g, link_delay, rng);
+  return g;
+}
+
+std::vector<NodeId> TwoTierTopology::placement_nodes() const {
+  std::vector<NodeId> v;
+  v.reserve(cloudlets.size() + data_centers.size());
+  v.insert(v.end(), cloudlets.begin(), cloudlets.end());
+  v.insert(v.end(), data_centers.begin(), data_centers.end());
+  return v;
+}
+
+TwoTierTopology make_two_tier(const TwoTierConfig& cfg, Rng& rng) {
+  if (cfg.num_data_centers + cfg.num_cloudlets + cfg.num_switches < 2) {
+    throw std::invalid_argument("make_two_tier: need at least two core nodes");
+  }
+  TwoTierTopology t;
+  Graph& g = t.graph;
+  for (std::size_t i = 0; i < cfg.num_switches; ++i) {
+    t.switches.push_back(g.add_node(NodeRole::kSwitch));
+  }
+  for (std::size_t i = 0; i < cfg.num_cloudlets; ++i) {
+    t.cloudlets.push_back(g.add_node(NodeRole::kCloudlet));
+  }
+  for (std::size_t i = 0; i < cfg.num_data_centers; ++i) {
+    t.data_centers.push_back(g.add_node(NodeRole::kDataCenter));
+  }
+  // GT-ITM-style flat links among DC/CL/SW with probability link_prob.
+  // Links touching a data center are WAN links (via gateway/Internet); links
+  // inside the WMAN are metro links.
+  std::vector<NodeId> core;
+  core.insert(core.end(), t.switches.begin(), t.switches.end());
+  core.insert(core.end(), t.cloudlets.begin(), t.cloudlets.end());
+  core.insert(core.end(), t.data_centers.begin(), t.data_centers.end());
+  for (std::size_t i = 0; i < core.size(); ++i) {
+    for (std::size_t j = i + 1; j < core.size(); ++j) {
+      if (!rng.bernoulli(cfg.link_prob)) continue;
+      const NodeId u = core[i];
+      const NodeId v = core[j];
+      const bool wan = g.role(u) == NodeRole::kDataCenter ||
+                       g.role(v) == NodeRole::kDataCenter;
+      const Range& range = wan ? cfg.wan_delay : cfg.metro_delay;
+      g.add_edge(u, v, range.sample(rng));
+    }
+  }
+  // Guarantee each data center has at least one WAN uplink to a gateway
+  // switch (the paper connects DCs "to the WMAN via the Internet to/from
+  // gateway nodes in SW").
+  if (!t.switches.empty()) {
+    for (const NodeId dc : t.data_centers) {
+      bool has_gateway = false;
+      for (const HalfEdge& he : g.neighbors(dc)) {
+        if (g.role(he.to) == NodeRole::kSwitch) {
+          has_gateway = true;
+          break;
+        }
+      }
+      if (!has_gateway) {
+        const NodeId sw = t.switches[static_cast<std::size_t>(
+            rng.uniform_u64(0, t.switches.size() - 1))];
+        g.add_edge(dc, sw, cfg.wan_delay.sample(rng));
+      }
+    }
+  }
+  // Base stations hang off random switches (or cloudlets when no switches).
+  std::vector<NodeId> attach = t.switches.empty() ? t.cloudlets : t.switches;
+  for (std::size_t i = 0; i < cfg.num_base_stations && !attach.empty(); ++i) {
+    const NodeId bs = g.add_node(NodeRole::kBaseStation);
+    t.base_stations.push_back(bs);
+    const NodeId up = attach[static_cast<std::size_t>(
+        rng.uniform_u64(0, attach.size() - 1))];
+    g.add_edge(bs, up, cfg.access_delay.sample(rng));
+  }
+  repair_connectivity(g, cfg.metro_delay, rng);
+  return t;
+}
+
+TransitStubTopology transit_stub(const TransitStubConfig& cfg, Rng& rng) {
+  if (cfg.num_transit_domains == 0 || cfg.transit_nodes_per_domain == 0) {
+    throw std::invalid_argument("transit_stub: empty backbone");
+  }
+  TransitStubTopology t;
+  Graph& g = t.graph;
+  std::uint32_t next_stub = 0;
+
+  // Backbone: one dense random domain per transit domain.
+  std::vector<std::vector<NodeId>> transit_domains(cfg.num_transit_domains);
+  for (auto& domain : transit_domains) {
+    for (std::size_t i = 0; i < cfg.transit_nodes_per_domain; ++i) {
+      const NodeId v = g.add_node(NodeRole::kSwitch);
+      domain.push_back(v);
+      t.transit_nodes.push_back(v);
+      t.stub_of_node.push_back(TransitStubTopology::kNoStub);
+    }
+    for (std::size_t i = 0; i < domain.size(); ++i) {
+      for (std::size_t j = i + 1; j < domain.size(); ++j) {
+        if (rng.bernoulli(cfg.transit_edge_prob)) {
+          g.add_edge(domain[i], domain[j], cfg.transit_delay.sample(rng));
+        }
+      }
+    }
+  }
+  // Inter-domain backbone links: one random edge per domain pair.
+  for (std::size_t a = 0; a < transit_domains.size(); ++a) {
+    for (std::size_t b = a + 1; b < transit_domains.size(); ++b) {
+      const NodeId u = transit_domains[a][static_cast<std::size_t>(
+          rng.uniform_u64(0, transit_domains[a].size() - 1))];
+      const NodeId v = transit_domains[b][static_cast<std::size_t>(
+          rng.uniform_u64(0, transit_domains[b].size() - 1))];
+      g.add_edge(u, v, cfg.transit_delay.sample(rng));
+    }
+  }
+
+  // Stub domains hanging off each transit node.
+  for (const NodeId anchor : t.transit_nodes) {
+    for (std::size_t s = 0; s < cfg.stubs_per_transit_node; ++s) {
+      const std::uint32_t stub_id = next_stub++;
+      std::vector<NodeId> stub;
+      for (std::size_t i = 0; i < cfg.nodes_per_stub; ++i) {
+        const NodeId v = g.add_node(NodeRole::kCloudlet);
+        stub.push_back(v);
+        t.stub_nodes.push_back(v);
+        t.stub_of_node.push_back(stub_id);
+      }
+      for (std::size_t i = 0; i < stub.size(); ++i) {
+        for (std::size_t j = i + 1; j < stub.size(); ++j) {
+          if (rng.bernoulli(cfg.stub_edge_prob)) {
+            g.add_edge(stub[i], stub[j], cfg.stub_delay.sample(rng));
+          }
+        }
+      }
+      if (!stub.empty()) {
+        // Cheap intra-stub repair: chain-link any node with no edge inside
+        // its own stub (global connectivity is re-checked at the end).
+        for (std::size_t i = 1; i < stub.size(); ++i) {
+          bool linked = false;
+          for (const HalfEdge& he : g.neighbors(stub[i])) {
+            for (std::size_t j = 0; j < stub.size(); ++j) {
+              if (j != i && he.to == stub[j]) {
+                linked = true;
+                break;
+              }
+            }
+            if (linked) break;
+          }
+          if (!linked) {
+            g.add_edge(stub[i], stub[i - 1], cfg.stub_delay.sample(rng));
+          }
+        }
+        const NodeId gateway = stub[static_cast<std::size_t>(
+            rng.uniform_u64(0, stub.size() - 1))];
+        g.add_edge(gateway, anchor, cfg.attachment_delay.sample(rng));
+      }
+    }
+  }
+  repair_connectivity(g, cfg.transit_delay, rng);
+  return t;
+}
+
+TwoTierConfig scaled_config(std::size_t total_nodes, const TwoTierConfig& base) {
+  if (total_nodes < 4) {
+    throw std::invalid_argument("scaled_config: total_nodes must be >= 4");
+  }
+  const double base_total = static_cast<double>(
+      base.num_data_centers + base.num_cloudlets + base.num_switches);
+  const double scale = static_cast<double>(total_nodes) / base_total;
+  TwoTierConfig cfg = base;
+  cfg.num_data_centers = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(static_cast<double>(base.num_data_centers) * scale)));
+  cfg.num_switches = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(static_cast<double>(base.num_switches) * scale)));
+  // Cloudlets absorb the remainder so the total is exact.
+  const std::size_t used = cfg.num_data_centers + cfg.num_switches;
+  cfg.num_cloudlets = total_nodes > used + 1 ? total_nodes - used : 1;
+  return cfg;
+}
+
+}  // namespace edgerep

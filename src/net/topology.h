@@ -1,0 +1,106 @@
+// Topology generators.
+//
+// The paper builds its simulation networks with GT-ITM: "there is a link
+// between each pair of nodes (data centers, cloudlets, and switches) with a
+// probability of 0.2" (§4.1).  `make_two_tier` reproduces exactly that
+// construction (flat random links over DC ∪ CL ∪ SW with role-dependent
+// delays plus a connectivity repair pass, since admission needs finite
+// shortest-path delays).  A Waxman generator and a plain G(n, p) generator
+// are provided for robustness studies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "util/rng.h"
+
+namespace edgerep {
+
+/// Closed interval used for randomly drawn parameters.
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] double sample(Rng& rng) const { return rng.uniform(lo, hi); }
+  [[nodiscard]] double mid() const noexcept { return 0.5 * (lo + hi); }
+};
+
+/// Plain Erdős–Rényi G(n, p) with uniform link delays, connectivity-repaired.
+Graph gnp(std::size_t n, double p, Range link_delay, Rng& rng);
+
+/// Waxman random graph: nodes on the unit square, link probability
+/// a·exp(-dist/(b·L)); link delay scales with Euclidean distance mapped
+/// into `link_delay`.  Connectivity-repaired.
+Graph waxman(std::size_t n, double a, double b, Range link_delay, Rng& rng);
+
+/// Configuration of the two-tier edge cloud (§2.1, §4.1 defaults).
+struct TwoTierConfig {
+  std::size_t num_data_centers = 6;
+  std::size_t num_cloudlets = 24;
+  std::size_t num_switches = 2;
+  std::size_t num_base_stations = 0;  ///< base stations only issue queries; optional
+  double link_prob = 0.2;             ///< GT-ITM pairwise link probability
+
+  // Per-unit-data (per-GB) transmission delays in seconds.  WAN links are an
+  // order of magnitude slower than the metro network: remote data centers
+  // are only viable evaluation sites for queries with loose QoS budgets.
+  Range metro_delay{0.05, 0.25};   ///< links inside the WMAN (CL/SW endpoints)
+  Range wan_delay{1.20, 3.00};     ///< links with a data-center endpoint
+  Range access_delay{0.01, 0.05};  ///< base station → switch attachment
+};
+
+/// A generated two-tier topology with role index lists.
+struct TwoTierTopology {
+  Graph graph;
+  std::vector<NodeId> data_centers;
+  std::vector<NodeId> cloudlets;
+  std::vector<NodeId> switches;
+  std::vector<NodeId> base_stations;
+
+  /// V = CL ∪ DC: the nodes that may hold replicas and evaluate queries.
+  [[nodiscard]] std::vector<NodeId> placement_nodes() const;
+};
+
+/// Generate a two-tier topology per the paper's GT-ITM recipe.
+TwoTierTopology make_two_tier(const TwoTierConfig& cfg, Rng& rng);
+
+/// Scale the default 6 DC / 24 CL / 2 SW mix to `total_nodes` nodes,
+/// preserving the role proportions (used by the network-size sweeps of
+/// Figures 2 and 3).  total_nodes must be >= 4.
+TwoTierConfig scaled_config(std::size_t total_nodes,
+                            const TwoTierConfig& base = {});
+
+/// Add the cheapest possible random repair edges until `g` is connected.
+/// Repair edges draw their delay from `link_delay`.
+void repair_connectivity(Graph& g, Range link_delay, Rng& rng);
+
+/// GT-ITM's hierarchical transit-stub model: a backbone of transit domains
+/// (dense, fast links), each transit node anchoring several stub domains
+/// (sparser, slower links).  The flat model above is what the paper's §4.1
+/// uses; transit-stub is provided for robustness studies on more realistic
+/// Internet-like topologies.
+struct TransitStubConfig {
+  std::size_t num_transit_domains = 2;
+  std::size_t transit_nodes_per_domain = 4;
+  double transit_edge_prob = 0.6;
+  std::size_t stubs_per_transit_node = 2;
+  std::size_t nodes_per_stub = 4;
+  double stub_edge_prob = 0.4;
+  Range transit_delay{0.02, 0.10};       ///< backbone links
+  Range stub_delay{0.05, 0.25};          ///< links inside a stub domain
+  Range attachment_delay{0.05, 0.30};    ///< stub → transit uplinks
+};
+
+struct TransitStubTopology {
+  Graph graph;
+  std::vector<NodeId> transit_nodes;
+  std::vector<NodeId> stub_nodes;
+  /// Stub-domain index per node (transit nodes carry kNoStub).
+  std::vector<std::uint32_t> stub_of_node;
+  static constexpr std::uint32_t kNoStub = static_cast<std::uint32_t>(-1);
+};
+
+TransitStubTopology transit_stub(const TransitStubConfig& cfg, Rng& rng);
+
+}  // namespace edgerep

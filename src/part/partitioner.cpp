@@ -1,0 +1,134 @@
+#include "part/partitioner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgerep {
+
+namespace {
+
+/// Adjacency built once: per vertex, (neighbor, edge weight).
+std::vector<std::vector<std::pair<std::uint32_t, double>>> build_adjacency(
+    const PartitionProblem& p) {
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adj(
+      p.num_vertices);
+  for (const auto& e : p.edges) {
+    adj.at(e.u).push_back({e.v, e.weight});
+    adj.at(e.v).push_back({e.u, e.weight});
+  }
+  return adj;
+}
+
+void check_problem(const PartitionProblem& p) {
+  if (p.vertex_weight.size() != p.num_vertices) {
+    throw std::invalid_argument("partition: vertex_weight size mismatch");
+  }
+  if (p.part_capacity.size() != p.num_parts || p.num_parts == 0) {
+    throw std::invalid_argument("partition: part_capacity size mismatch");
+  }
+  for (const auto& e : p.edges) {
+    if (e.u >= p.num_vertices || e.v >= p.num_vertices) {
+      throw std::invalid_argument("partition: edge endpoint out of range");
+    }
+  }
+}
+
+}  // namespace
+
+double cut_weight(const PartitionProblem& p,
+                  const std::vector<std::uint32_t>& part_of) {
+  double cut = 0.0;
+  for (const auto& e : p.edges) {
+    const std::uint32_t pu = part_of.at(e.u);
+    const std::uint32_t pv = part_of.at(e.v);
+    if (pu != pv || pu == kUnassignedPart) cut += e.weight;
+  }
+  return cut;
+}
+
+std::vector<double> part_loads(const PartitionProblem& p,
+                               const std::vector<std::uint32_t>& part_of) {
+  std::vector<double> load(p.num_parts, 0.0);
+  for (std::size_t v = 0; v < p.num_vertices; ++v) {
+    if (part_of[v] != kUnassignedPart) load[part_of[v]] += p.vertex_weight[v];
+  }
+  return load;
+}
+
+PartitionResult partition_graph(const PartitionProblem& p,
+                                const PartitionOptions& opts) {
+  check_problem(p);
+  const auto adj = build_adjacency(p);
+  PartitionResult res;
+  res.part_of.assign(p.num_vertices, kUnassignedPart);
+  std::vector<double> load(p.num_parts, 0.0);
+  Rng rng(opts.seed);
+
+  // --- growth phase: heaviest vertices first, each to the part where its
+  // already-placed neighbors weigh the most (ties: lightest load).
+  std::vector<std::uint32_t> order(p.num_vertices);
+  for (std::uint32_t v = 0; v < p.num_vertices; ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return p.vertex_weight[a] > p.vertex_weight[b];
+                   });
+  std::vector<double> affinity(p.num_parts, 0.0);
+  for (const std::uint32_t v : order) {
+    std::fill(affinity.begin(), affinity.end(), 0.0);
+    for (const auto& [u, w] : adj[v]) {
+      if (res.part_of[u] != kUnassignedPart) affinity[res.part_of[u]] += w;
+    }
+    std::uint32_t best = kUnassignedPart;
+    for (std::uint32_t part = 0; part < p.num_parts; ++part) {
+      if (load[part] + p.vertex_weight[v] > p.part_capacity[part] + 1e-12) {
+        continue;
+      }
+      if (best == kUnassignedPart || affinity[part] > affinity[best] ||
+          (affinity[part] == affinity[best] && load[part] < load[best])) {
+        best = part;
+      }
+    }
+    if (best != kUnassignedPart) {
+      res.part_of[v] = best;
+      load[best] += p.vertex_weight[v];
+    }
+  }
+
+  // --- FM-style refinement: single-vertex moves with positive cut gain.
+  for (std::size_t pass = 0; pass < opts.max_refinement_passes; ++pass) {
+    bool improved = false;
+    for (std::uint32_t v = 0; v < p.num_vertices; ++v) {
+      const std::uint32_t from = res.part_of[v];
+      if (from == kUnassignedPart) continue;
+      std::fill(affinity.begin(), affinity.end(), 0.0);
+      for (const auto& [u, w] : adj[v]) {
+        if (res.part_of[u] != kUnassignedPart) affinity[res.part_of[u]] += w;
+      }
+      std::uint32_t best = from;
+      double best_gain = 1e-12;  // strict improvement only
+      for (std::uint32_t part = 0; part < p.num_parts; ++part) {
+        if (part == from) continue;
+        if (load[part] + p.vertex_weight[v] > p.part_capacity[part] + 1e-12) {
+          continue;
+        }
+        const double gain = affinity[part] - affinity[from];
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = part;
+        }
+      }
+      if (best != from) {
+        load[from] -= p.vertex_weight[v];
+        load[best] += p.vertex_weight[v];
+        res.part_of[v] = best;
+        ++res.refinement_moves;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  res.cut_weight = cut_weight(p, res.part_of);
+  return res;
+}
+
+}  // namespace edgerep

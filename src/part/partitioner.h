@@ -1,0 +1,60 @@
+// Balanced weighted graph partitioning: greedy region growth followed by
+// Fiduccia–Mattheyses-style single-vertex move refinement.
+//
+// This is the substrate behind the Graph-S/G baseline (Golab et al.,
+// SSDBM'14 place data "to minimize communication via graph partitioning"):
+// queries that share datasets are connected by edges weighted with the
+// shared volume; partitioning them across sites with capacity limits keeps
+// data-sharing queries together so replicas are reused.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace edgerep {
+
+struct PartitionProblem {
+  std::size_t num_vertices = 0;
+  std::vector<double> vertex_weight;  ///< size num_vertices (≥ 0)
+  struct WeightedEdge {
+    std::uint32_t u = 0;
+    std::uint32_t v = 0;
+    double weight = 0.0;  ///< affinity; cutting it costs this much
+  };
+  std::vector<WeightedEdge> edges;
+  std::size_t num_parts = 0;
+  /// Maximum total vertex weight each part may hold (size num_parts).
+  std::vector<double> part_capacity;
+};
+
+struct PartitionResult {
+  /// part_of[v] ∈ [0, num_parts), or kUnassignedPart if v fit nowhere.
+  std::vector<std::uint32_t> part_of;
+  double cut_weight = 0.0;
+  std::size_t refinement_moves = 0;
+};
+
+inline constexpr std::uint32_t kUnassignedPart = static_cast<std::uint32_t>(-1);
+
+/// Total weight of edges whose endpoints lie in different parts (unassigned
+/// vertices count as cut on every incident edge).
+double cut_weight(const PartitionProblem& p,
+                  const std::vector<std::uint32_t>& part_of);
+
+/// Sum of vertex weights per part.
+std::vector<double> part_loads(const PartitionProblem& p,
+                               const std::vector<std::uint32_t>& part_of);
+
+struct PartitionOptions {
+  std::size_t max_refinement_passes = 8;
+  std::uint64_t seed = 0x9a27;  ///< tie-breaking for the growth phase
+};
+
+/// Greedy growth + FM refinement.  Vertices that exceed every remaining
+/// capacity stay kUnassignedPart (the caller decides what that means).
+PartitionResult partition_graph(const PartitionProblem& p,
+                                const PartitionOptions& opts = {});
+
+}  // namespace edgerep

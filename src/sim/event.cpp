@@ -1,0 +1,31 @@
+#include "sim/event.h"
+
+#include <stdexcept>
+
+namespace edgerep {
+
+void EventQueue::schedule_at(double when, Action action) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue: scheduling into the past");
+  }
+  heap_.push(Item{when, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the action handle (std::function copy) and pop.
+  Item item = heap_.top();
+  heap_.pop();
+  now_ = item.time;
+  item.action();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,56 @@
+// A minimal discrete-event engine: a time-ordered queue of closures with
+// stable FIFO ordering among simultaneous events.  This is the spine of the
+// testbed simulator (see sim/simulator.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace edgerep {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time (seconds).  0 before any event has run.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedule `action` at absolute time `when` (must be ≥ now()).
+  void schedule_at(double when, Action action);
+
+  /// Schedule `action` after a relative delay ≥ 0.
+  void schedule_in(double delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Pop and run the earliest event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `max_events` have executed.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+ private:
+  struct Item {
+    double time = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace edgerep

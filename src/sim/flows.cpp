@@ -1,0 +1,138 @@
+#include "sim/flows.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace edgerep {
+
+std::vector<double> max_min_rates(
+    const std::vector<double>& link_capacity,
+    const std::vector<std::vector<EdgeId>>& flow_paths) {
+  const std::size_t num_flows = flow_paths.size();
+  std::vector<double> rate(num_flows, 0.0);
+  std::vector<char> frozen(num_flows, 0);
+  std::vector<double> residual = link_capacity;
+  // Flows per link (only unfrozen ones are counted each round).
+  std::size_t remaining = 0;
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (flow_paths[f].empty()) {
+      rate[f] = kUnconstrainedRate;
+      frozen[f] = 1;
+    } else {
+      ++remaining;
+    }
+  }
+  // Progressive filling: repeatedly saturate the tightest link.
+  while (remaining > 0) {
+    // Count unfrozen flows per link and find the minimum fair share.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::vector<std::size_t> users(link_capacity.size(), 0);
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      for (const EdgeId e : flow_paths[f]) ++users.at(e);
+    }
+    for (std::size_t e = 0; e < link_capacity.size(); ++e) {
+      if (users[e] > 0) {
+        best_share = std::min(best_share,
+                              residual[e] / static_cast<double>(users[e]));
+      }
+    }
+    if (!std::isfinite(best_share)) break;  // defensive; cannot happen
+    best_share = std::max(best_share, 0.0);
+    // Freeze every unfrozen flow crossing a saturated link at best_share.
+    // (All unfrozen flows gain best_share this round; those on bottleneck
+    // links stop growing.)
+    std::vector<char> saturated(link_capacity.size(), 0);
+    for (std::size_t e = 0; e < link_capacity.size(); ++e) {
+      if (users[e] > 0 &&
+          residual[e] / static_cast<double>(users[e]) <= best_share + 1e-12) {
+        saturated[e] = 1;
+      }
+    }
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      rate[f] += best_share;
+      for (const EdgeId e : flow_paths[f]) residual[e] -= best_share;
+      bool stop = false;
+      for (const EdgeId e : flow_paths[f]) stop |= saturated[e] == 1;
+      if (stop) {
+        frozen[f] = 1;
+        --remaining;
+      }
+    }
+  }
+  return rate;
+}
+
+FlowEngine::FlowEngine(EventQueue& eq, std::vector<double> link_capacity)
+    : eq_(&eq), link_capacity_(std::move(link_capacity)) {
+  for (const double c : link_capacity_) {
+    if (c <= 0.0) {
+      throw std::invalid_argument("FlowEngine: link capacity must be > 0");
+    }
+  }
+}
+
+void FlowEngine::start_flow(double size_gb, std::vector<EdgeId> path,
+                            std::function<void()> on_complete) {
+  for (const EdgeId e : path) {
+    if (e >= link_capacity_.size()) {
+      throw std::invalid_argument("FlowEngine: path edge out of range");
+    }
+  }
+  advance();
+  flows_.push_back(Flow{std::max(size_gb, 0.0), std::move(path),
+                        std::move(on_complete)});
+  recompute_and_schedule();
+}
+
+void FlowEngine::advance() {
+  const double now = eq_->now();
+  const double dt = now - last_update_;
+  if (dt > 0.0) {
+    for (std::size_t f = 0; f < flows_.size(); ++f) {
+      flows_[f].remaining_gb -= dt * rates_[f];
+    }
+  }
+  last_update_ = now;
+}
+
+void FlowEngine::recompute_and_schedule() {
+  // Complete any flow that has drained (or was born trivial).
+  for (std::size_t f = 0; f < flows_.size();) {
+    if (flows_[f].remaining_gb <= 1e-12 ||
+        flows_[f].path.empty()) {
+      auto done = std::move(flows_[f].on_complete);
+      flows_.erase(flows_.begin() + static_cast<std::ptrdiff_t>(f));
+      if (done) {
+        // Completion is "now"; schedule so callbacks run outside this frame.
+        eq_->schedule_in(0.0, std::move(done));
+      }
+    } else {
+      ++f;
+    }
+  }
+  // Fresh allocation for the survivors.
+  std::vector<std::vector<EdgeId>> paths;
+  paths.reserve(flows_.size());
+  for (const Flow& fl : flows_) paths.push_back(fl.path);
+  rates_ = max_min_rates(link_capacity_, paths);
+  const std::uint64_t token = ++gen_;
+  if (flows_.empty()) return;
+  double eta = std::numeric_limits<double>::infinity();
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    if (rates_[f] > 0.0) {
+      eta = std::min(eta, flows_[f].remaining_gb / rates_[f]);
+    }
+  }
+  if (!std::isfinite(eta)) return;  // all starved (cannot happen with >0 caps)
+  eq_->schedule_in(std::max(eta, 0.0), [this, token] {
+    if (gen_ != token) return;  // superseded
+    advance();
+    recompute_and_schedule();
+  });
+}
+
+}  // namespace edgerep

@@ -1,0 +1,38 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace edgerep {
+
+SimReport build_report(const Instance& inst,
+                       std::vector<QueryOutcome> outcomes) {
+  SimReport rep;
+  rep.total_queries = inst.queries().size();
+  std::vector<double> responses;
+  for (const QueryOutcome& o : outcomes) {
+    if (!o.fully_served) continue;
+    ++rep.served_queries;
+    responses.push_back(o.response_delay());
+    rep.makespan = std::max(rep.makespan, o.completion_time);
+    if (o.met_deadline) {
+      ++rep.admitted_queries;
+      rep.admitted_volume += inst.demanded_volume(o.query);
+    }
+  }
+  rep.throughput = rep.total_queries
+                       ? static_cast<double>(rep.admitted_queries) /
+                             static_cast<double>(rep.total_queries)
+                       : 0.0;
+  if (!responses.empty()) {
+    const Summary s = summarize(responses);
+    rep.mean_response = s.mean;
+    rep.p95_response = s.p95;
+    rep.max_response = s.max;
+  }
+  rep.outcomes = std::move(outcomes);
+  return rep;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,42 @@
+// Per-query outcomes and aggregate reports produced by the testbed
+// simulator.  A query counts as *admitted* in the simulated world only if
+// every demand was served AND the measured end-to-end response delay met the
+// QoS deadline — the same acceptance criterion the paper's testbed applies.
+#pragma once
+
+#include <vector>
+
+#include "cloud/instance.h"
+
+namespace edgerep {
+
+struct QueryOutcome {
+  QueryId query = 0;
+  double issue_time = 0.0;
+  double completion_time = 0.0;  ///< 0 when never completed
+  bool fully_served = false;     ///< all demands had an assigned site
+  bool met_deadline = false;
+
+  [[nodiscard]] double response_delay() const noexcept {
+    return completion_time - issue_time;
+  }
+};
+
+struct SimReport {
+  std::vector<QueryOutcome> outcomes;
+  std::size_t total_queries = 0;
+  std::size_t served_queries = 0;    ///< fully served, deadline or not
+  std::size_t admitted_queries = 0;  ///< fully served within deadline
+  double admitted_volume = 0.0;      ///< Σ demanded volume over admitted
+  double throughput = 0.0;           ///< admitted / total
+  double mean_response = 0.0;        ///< over served queries
+  double p95_response = 0.0;
+  double max_response = 0.0;
+  double makespan = 0.0;  ///< last completion time
+};
+
+/// Aggregate outcomes into a report.
+SimReport build_report(const Instance& inst,
+                       std::vector<QueryOutcome> outcomes);
+
+}  // namespace edgerep

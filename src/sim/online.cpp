@@ -1,0 +1,173 @@
+#include "sim/online.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cloud/delay.h"
+#include "sim/event.h"
+#include "util/rng.h"
+
+namespace edgerep {
+
+namespace {
+
+struct SiteLoad {
+  double available = 0.0;
+  double in_use = 0.0;
+};
+
+}  // namespace
+
+OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
+                        const ReplicaPlan* proactive) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("run_online: instance not finalized");
+  }
+  if (cfg.arrival_rate <= 0.0) {
+    throw std::invalid_argument("run_online: arrival rate must be positive");
+  }
+  Rng rng(cfg.seed);
+  EventQueue eq;
+
+  OnlineResult res;
+  res.replica_sites.resize(inst.datasets().size());
+  std::size_t replicas_placed_total = 0;
+  if (proactive != nullptr) {
+    if (&proactive->instance() != &inst) {
+      throw std::invalid_argument("run_online: proactive plan is for a "
+                                  "different instance");
+    }
+    for (const Dataset& d : inst.datasets()) {
+      res.replica_sites[d.id] = proactive->replica_sites(d.id);
+      replicas_placed_total += res.replica_sites[d.id].size();
+    }
+  } else if (cfg.origin_counts_as_replica) {
+    for (const Dataset& d : inst.datasets()) {
+      if (d.origin != kInvalidSite) {
+        res.replica_sites[d.id].push_back(d.origin);
+        ++replicas_placed_total;
+      }
+    }
+  }
+  (void)replicas_placed_total;
+
+  std::vector<SiteLoad> sites(inst.sites().size());
+  double total_available = 0.0;
+  for (const Site& s : inst.sites()) {
+    sites[s.id].available = s.available;
+    total_available += s.available;
+  }
+
+  auto has_replica = [&](DatasetId n, SiteId l) {
+    const auto& v = res.replica_sites[n];
+    return std::find(v.begin(), v.end(), l) != v.end();
+  };
+
+  auto track_peak = [&] {
+    if (total_available <= 0.0) return;
+    double used = 0.0;
+    for (const SiteLoad& s : sites) used += s.in_use;
+    res.peak_utilization = std::max(res.peak_utilization,
+                                    used / total_available);
+  };
+
+  // Admission of one query at its arrival instant.  Transactional: collect
+  // a tentative per-demand decision, commit only when every demand lands.
+  auto admit = [&](const Query& q, OnlineOutcome& outcome) {
+    struct Decision {
+      SiteId site = kInvalidSite;
+      bool new_replica = false;
+      double need = 0.0;
+      double proc = 0.0;
+      double total_delay = 0.0;
+    };
+    std::vector<Decision> decisions;
+    decisions.reserve(q.demands.size());
+    // Tentative loads so one query's demands see each other's reservations.
+    std::vector<double> tentative(sites.size(), 0.0);
+    std::vector<std::size_t> tentative_replicas(inst.datasets().size(), 0);
+    for (const DatasetDemand& dd : q.demands) {
+      const double need = resource_demand(inst, q, dd);
+      Decision best;
+      double best_fill = 0.0;
+      for (const Site& s : inst.sites()) {
+        const bool replica_here = has_replica(dd.dataset, s.id);
+        if (!replica_here) {
+          if (!cfg.reactive_replicas) continue;
+          const std::size_t count = res.replica_sites[dd.dataset].size() +
+                                    tentative_replicas[dd.dataset];
+          if (count >= inst.max_replicas()) continue;
+        }
+        if (!deadline_ok(inst, q, dd, s.id)) continue;
+        const double load = sites[s.id].in_use + tentative[s.id];
+        if (load + need > sites[s.id].available + 1e-9) continue;
+        // Same scarcity rule as the offline pricer: least relative fill.
+        const double fill = sites[s.id].available > 0.0
+                                ? (load + need) / sites[s.id].available
+                                : 1e18;
+        if (best.site == kInvalidSite || fill < best_fill) {
+          best.site = s.id;
+          best.new_replica = !replica_here;
+          best_fill = fill;
+        }
+      }
+      if (best.site == kInvalidSite) return false;
+      best.need = need;
+      const Dataset& ds = inst.dataset(dd.dataset);
+      best.proc = ds.volume * inst.site(best.site).proc_delay;
+      best.total_delay = evaluation_delay(inst, q, dd, best.site);
+      tentative[best.site] += need;
+      if (best.new_replica) ++tentative_replicas[dd.dataset];
+      decisions.push_back(best);
+    }
+    // Commit.
+    double response = 0.0;
+    for (std::size_t i = 0; i < q.demands.size(); ++i) {
+      const Decision& d = decisions[i];
+      const DatasetId n = q.demands[i].dataset;
+      if (d.new_replica && !has_replica(n, d.site)) {
+        res.replica_sites[n].push_back(d.site);
+      }
+      sites[d.site].in_use += d.need;
+      const SiteId site = d.site;
+      const double need = d.need;
+      eq.schedule_in(d.proc, [&sites, site, need] {
+        sites[site].in_use -= need;
+      });
+      response = std::max(response, d.total_delay);
+    }
+    track_peak();
+    outcome.completion_time = eq.now() + response;
+    return true;
+  };
+
+  // Arrival schedule (instance order).  Outcomes are pre-sized so the
+  // events can safely index into the vector.
+  res.outcomes.resize(inst.queries().size());
+  double clock = 0.0;
+  for (const Query& q : inst.queries()) {
+    clock += cfg.arrivals == OnlineConfig::Arrivals::kPoisson
+                 ? rng.exponential(cfg.arrival_rate)
+                 : 1.0 / cfg.arrival_rate;
+    res.outcomes[q.id] = OnlineOutcome{q.id, clock, false, 0.0};
+    const QueryId m = q.id;
+    eq.schedule_at(clock, [&inst, &res, &admit, m] {
+      res.outcomes[m].admitted = admit(inst.query(m), res.outcomes[m]);
+    });
+  }
+  eq.run();
+
+  for (const OnlineOutcome& o : res.outcomes) {
+    if (o.admitted) {
+      ++res.admitted_queries;
+      res.admitted_volume += inst.demanded_volume(o.query);
+    }
+  }
+  res.throughput = inst.queries().empty()
+                       ? 0.0
+                       : static_cast<double>(res.admitted_queries) /
+                             static_cast<double>(inst.queries().size());
+  return res;
+}
+
+}  // namespace edgerep

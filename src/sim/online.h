@@ -1,0 +1,61 @@
+// Online admission control — the *reactive* counterpart to the paper's
+// proactive placement.
+//
+// Queries arrive over time and must be admitted or rejected on arrival with
+// no knowledge of future arrivals.  Unlike the static model (which reserves
+// a site's computing resource for an admitted query forever), an admitted
+// demand holds its |S_n|·r_m GHz only while it processes, so capacity is
+// time-multiplexed across the arrival horizon.
+//
+// Replicas can be placed reactively on arrival (within the budget K), or
+// seeded from a proactive plan computed offline — comparing the two
+// quantifies the value of *proactive* replication, the premise of the
+// paper's title (bench: ablation_proactive).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/plan.h"
+
+namespace edgerep {
+
+struct OnlineConfig {
+  enum class Arrivals : std::uint8_t { kPoisson, kUniform };
+  Arrivals arrivals = Arrivals::kPoisson;
+  double arrival_rate = 2.0;  ///< queries/second
+  std::uint64_t seed = 0x0a11;
+  /// Allow placing new replicas at admission time (within K).  With false,
+  /// only replicas present in the seed plan (or dataset origins) are usable.
+  bool reactive_replicas = true;
+  /// Count each dataset's origin as a free replica (data exists somewhere).
+  bool origin_counts_as_replica = true;
+};
+
+struct OnlineOutcome {
+  QueryId query = 0;
+  double arrival_time = 0.0;
+  bool admitted = false;
+  double completion_time = 0.0;  ///< arrival + max per-demand delay
+};
+
+struct OnlineResult {
+  std::vector<OnlineOutcome> outcomes;
+  std::size_t admitted_queries = 0;
+  double admitted_volume = 0.0;
+  double throughput = 0.0;
+  /// Max over time of total in-use GHz / total available GHz.
+  double peak_utilization = 0.0;
+  /// Replica placement state at the end of the horizon.
+  std::vector<std::vector<SiteId>> replica_sites;  ///< per dataset
+};
+
+/// Run online admission over the instance's query population (arrival order
+/// = instance order; arrival times drawn per cfg).  `proactive` optionally
+/// seeds the replica placement from an offline plan (its assignments are
+/// ignored — only x_{nl} carries over).  Deadlines of admitted queries hold
+/// by construction: admission reserves resource for the processing window.
+OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg = {},
+                        const ReplicaPlan* proactive = nullptr);
+
+}  // namespace edgerep

@@ -1,0 +1,65 @@
+// End-to-end discrete-event execution of a replica plan — the repository's
+// substitute for the paper's DigitalOcean testbed (§4.3).
+//
+// Model:
+//  * Query arrivals: Poisson (rate λ) or uniform spacing, seeded.
+//  * Each assigned demand becomes a compute task at its evaluation site.
+//    The task holds |S_n|·r_m GHz of the site's computing resource for
+//    |S_n|·d(v_l) seconds; if the site lacks free GHz the task waits in a
+//    FIFO queue (this is where an over-packed placement shows up as
+//    deadline misses the static model never sees).
+//  * On completion, the intermediate result (α·|S_n| GB) travels to the
+//    query's home along the minimum-delay path: α·|S_n|·dt(p) seconds.
+//  * The query completes when its last intermediate result arrives; it is
+//    admitted iff fully served within its deadline.
+//
+// Unassigned demands make a query unserved (never admitted), mirroring
+// rejected queries on the real testbed.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/plan.h"
+#include "sim/metrics.h"
+
+namespace edgerep {
+
+struct SimConfig {
+  enum class Arrivals : std::uint8_t { kPoisson, kUniform, kAllAtOnce };
+  /// How a site's computing resource is multiplexed:
+  ///  * kReservation — a task holds its |S_n|·r_m GHz exclusively for its
+  ///    whole duration; tasks that do not fit wait FIFO (a scheduler with
+  ///    hard reservations, the static model's assumption).
+  ///  * kProcessorSharing — every task starts immediately; when the sum of
+  ///    GHz demands exceeds the site's capacity all tasks slow down by the
+  ///    common factor capacity/demand (an OS/VM-like fair scheduler).
+  enum class Discipline : std::uint8_t { kReservation, kProcessorSharing };
+  /// How intermediate-result transfers use the network:
+  ///  * kDelay — a transfer of z GB along path p takes z·Σ dt(e) seconds
+  ///    (store-and-forward; exactly the static model's constraint (4), no
+  ///    contention).
+  ///  * kMaxMinFair — transfers are flows with pipelined rate
+  ///    min_e share(e), links of bandwidth 1/dt(e) GB/s shared max-min
+  ///    fairly among concurrent flows (see sim/flows.h).  Uncontended flows
+  ///    finish no later than the delay model predicts; contended ones can
+  ///    finish later and miss deadlines the static model admits.
+  enum class TransferModel : std::uint8_t { kDelay, kMaxMinFair };
+  Arrivals arrivals = Arrivals::kPoisson;
+  Discipline discipline = Discipline::kReservation;
+  TransferModel transfers = TransferModel::kDelay;
+  double arrival_rate = 2.0;  ///< queries/second (Poisson) or 1/spacing (Uniform)
+  std::uint64_t seed = 0xd15c;
+  /// Runtime capacity degradation: each site runs with
+  /// `capacity_factor · A(v)` GHz (background load, interference, VM
+  /// neighbors).  1.0 reproduces the planned capacity; < 1.0 injects the
+  /// contention a real testbed exhibits and makes queuing — and deadline
+  /// misses the static model never predicts — possible.
+  double capacity_factor = 1.0;
+  /// Safety valve for the event loop (generous; a run uses ~4 events/demand).
+  std::size_t max_events = 10'000'000;
+};
+
+/// Execute `plan` on the simulated testbed and report measured outcomes.
+SimReport simulate(const ReplicaPlan& plan, const SimConfig& cfg = {});
+
+}  // namespace edgerep

@@ -1,0 +1,80 @@
+#include "util/csv.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace edgerep {
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return npos;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += ch;
+      }
+    } else if (ch == '"') {
+      if (!cur.empty()) throw std::runtime_error("csv: quote mid-field");
+      quoted = true;
+    } else if (ch == ',') {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  if (quoted) throw std::runtime_error("csv: unterminated quote");
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+CsvDocument read_csv(std::istream& is) {
+  CsvDocument doc;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto cells = split_csv_line(line);
+    if (first) {
+      doc.header = std::move(cells);
+      first = false;
+    } else {
+      doc.rows.push_back(std::move(cells));
+    }
+  }
+  return doc;
+}
+
+void write_csv(std::ostream& os, const CsvDocument& doc) {
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(r[i]);
+    }
+    os << '\n';
+  };
+  emit(doc.header);
+  for (const auto& r : doc.rows) emit(r);
+}
+
+}  // namespace edgerep

@@ -1,0 +1,32 @@
+// Minimal CSV reading/writing — used to persist benchmark series and to load
+// trace files in the examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edgerep {
+
+/// A parsed CSV document: a header row plus data rows (all cells as strings).
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; returns npos when missing.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Parse CSV with RFC-4180 quoting from a stream.  The first record is the
+/// header.  Throws std::runtime_error on malformed quoting.
+CsvDocument read_csv(std::istream& is);
+
+/// Parse a single CSV record (one logical line, quotes already balanced).
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Write a document back out (quoting as needed).
+void write_csv(std::ostream& os, const CsvDocument& doc);
+
+}  // namespace edgerep

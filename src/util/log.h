@@ -1,0 +1,47 @@
+// Lightweight leveled logging.  Thread-safe (one mutex around emission);
+// intended for coarse progress messages, not hot loops.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace edgerep {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one formatted line ("[LEVEL] message") to stderr under a mutex.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+/// Usage: LOG(kInfo) << "built topology with " << n << " nodes";
+#define LOG(level)                                                  \
+  if (::edgerep::LogLevel::level < ::edgerep::log_level()) {        \
+  } else                                                            \
+    ::edgerep::detail::LogLine(::edgerep::LogLevel::level)
+
+}  // namespace edgerep

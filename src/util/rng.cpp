@@ -1,0 +1,90 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace edgerep {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t range = hi - lo;
+  if (range == std::numeric_limits<std::uint64_t>::max()) return next();
+  const std::uint64_t bound = range + 1;
+  // Lemire's multiply-shift with rejection on the low product word.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  // Marsaglia polar method; loop terminates with probability 1.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::exponential(double rate) noexcept {
+  assert(rate > 0.0);
+  // 1 - uniform() is in (0, 1], so the log argument is never zero.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) noexcept {
+  assert(n >= 1 && s > 0.0);
+  if (n == 1) return 1;
+  // Rejection-inversion sampling (Hormann & Derflinger 1996).
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    // Antiderivative of x^-s (handles s == 1 analytically).
+    if (std::abs(s - 1.0) < 1e-12) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_inv = [s](double x) {
+    if (std::abs(s - 1.0) < 1e-12) return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(0.5) - 1.0;  // h(x0) with x0 = 1/2 shifted by f(1)=1
+  const double hn = h(nd + 0.5);
+  for (;;) {
+    const double u = hx0 + uniform() * (hn - hx0);
+    const double x = h_inv(u);
+    const auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1 || k > n) continue;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= 0.5 || u >= h(kd + 0.5) - std::pow(kd, -s)) {
+      return k;
+    }
+  }
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm would avoid the O(n) vector, but instance sizes here
+  // are small; a partial Fisher–Yates is simpler and still O(n).
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(uniform_u64(
+                                  0, static_cast<std::uint64_t>(n - 1 - i)));
+    using std::swap;
+    swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,96 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace edgerep {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  if (rows_.empty()) row();
+  if (rows_.back().size() >= headers_.size()) {
+    throw std::out_of_range("Table: too many cells in row");
+  }
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+const std::string& Table::at(std::size_t r, std::size_t c) const {
+  return rows_.at(r).at(c);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c])) << v;
+      if (c + 1 < headers_.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(r[c]);
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& r : rows_) emit_row(r);
+}
+
+}  // namespace edgerep

@@ -1,0 +1,45 @@
+// Aligned text tables for benchmark output.  Each figure bench prints the
+// series the paper plots as one table; rows are also exportable as CSV.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edgerep {
+
+/// Column-aligned table with a header row.  Cells are strings; numeric
+/// convenience overloads format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent `cell` calls fill it left to right.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::size_t value);
+  Table& cell(long long value);
+  Table& cell(int value);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return headers_.size(); }
+  /// Access a finished cell (row-major); throws std::out_of_range if absent.
+  [[nodiscard]] const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Render with padded columns and a separator rule under the header.
+  void print(std::ostream& os) const;
+  /// Render as CSV (RFC-4180-style quoting).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a CSV field if it contains a delimiter, quote, or newline.
+std::string csv_escape(const std::string& field);
+
+}  // namespace edgerep

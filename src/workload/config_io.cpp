@@ -1,0 +1,176 @@
+#include "workload/config_io.h"
+
+#include <cmath>
+#include <functional>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace edgerep {
+
+namespace {
+
+struct Field {
+  const char* key;
+  std::function<double(const WorkloadConfig&)> get;
+  std::function<void(WorkloadConfig&, double)> set;
+};
+
+std::size_t to_count(double v, const char* key) {
+  if (v < 0.0 || v != std::floor(v)) {
+    throw std::runtime_error(std::string("config: ") + key +
+                             " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+const std::vector<Field>& fields() {
+  auto range_fields = [](const char* lo_key, const char* hi_key,
+                         Range WorkloadConfig::*member,
+                         std::vector<Field>& out) {
+    out.push_back({lo_key,
+                   [member](const WorkloadConfig& c) { return (c.*member).lo; },
+                   [member](WorkloadConfig& c, double v) { (c.*member).lo = v; }});
+    out.push_back({hi_key,
+                   [member](const WorkloadConfig& c) { return (c.*member).hi; },
+                   [member](WorkloadConfig& c, double v) { (c.*member).hi = v; }});
+  };
+  static const std::vector<Field> kFields = [&] {
+    std::vector<Field> f;
+    f.push_back({"network_size",
+                 [](const WorkloadConfig& c) {
+                   return static_cast<double>(c.network_size);
+                 },
+                 [](WorkloadConfig& c, double v) {
+                   c.network_size = to_count(v, "network_size");
+                 }});
+    f.push_back({"topology.link_prob",
+                 [](const WorkloadConfig& c) { return c.topology.link_prob; },
+                 [](WorkloadConfig& c, double v) { c.topology.link_prob = v; }});
+    f.push_back({"topology.metro_delay.lo",
+                 [](const WorkloadConfig& c) { return c.topology.metro_delay.lo; },
+                 [](WorkloadConfig& c, double v) { c.topology.metro_delay.lo = v; }});
+    f.push_back({"topology.metro_delay.hi",
+                 [](const WorkloadConfig& c) { return c.topology.metro_delay.hi; },
+                 [](WorkloadConfig& c, double v) { c.topology.metro_delay.hi = v; }});
+    f.push_back({"topology.wan_delay.lo",
+                 [](const WorkloadConfig& c) { return c.topology.wan_delay.lo; },
+                 [](WorkloadConfig& c, double v) { c.topology.wan_delay.lo = v; }});
+    f.push_back({"topology.wan_delay.hi",
+                 [](const WorkloadConfig& c) { return c.topology.wan_delay.hi; },
+                 [](WorkloadConfig& c, double v) { c.topology.wan_delay.hi = v; }});
+    range_fields("dc_capacity.lo", "dc_capacity.hi",
+                 &WorkloadConfig::dc_capacity, f);
+    range_fields("cl_capacity.lo", "cl_capacity.hi",
+                 &WorkloadConfig::cl_capacity, f);
+    range_fields("dc_proc_delay.lo", "dc_proc_delay.hi",
+                 &WorkloadConfig::dc_proc_delay, f);
+    range_fields("cl_proc_delay.lo", "cl_proc_delay.hi",
+                 &WorkloadConfig::cl_proc_delay, f);
+    range_fields("dataset_volume.lo", "dataset_volume.hi",
+                 &WorkloadConfig::dataset_volume, f);
+    range_fields("rate.lo", "rate.hi", &WorkloadConfig::rate, f);
+    range_fields("selectivity.lo", "selectivity.hi",
+                 &WorkloadConfig::selectivity, f);
+    range_fields("deadline_per_gb.lo", "deadline_per_gb.hi",
+                 &WorkloadConfig::deadline_per_gb, f);
+    auto count_field = [&f](const char* key,
+                            std::size_t WorkloadConfig::*member) {
+      f.push_back({key,
+                   [member](const WorkloadConfig& c) {
+                     return static_cast<double>(c.*member);
+                   },
+                   [member, key](WorkloadConfig& c, double v) {
+                     c.*member = to_count(v, key);
+                   }});
+    };
+    count_field("min_datasets", &WorkloadConfig::min_datasets);
+    count_field("max_datasets", &WorkloadConfig::max_datasets);
+    count_field("min_queries", &WorkloadConfig::min_queries);
+    count_field("max_queries", &WorkloadConfig::max_queries);
+    count_field("min_datasets_per_query",
+                &WorkloadConfig::min_datasets_per_query);
+    count_field("max_datasets_per_query",
+                &WorkloadConfig::max_datasets_per_query);
+    count_field("max_replicas", &WorkloadConfig::max_replicas);
+    f.push_back({"home_at_cloudlet",
+                 [](const WorkloadConfig& c) { return c.home_at_cloudlet; },
+                 [](WorkloadConfig& c, double v) { c.home_at_cloudlet = v; }});
+    return f;
+  }();
+  return kFields;
+}
+
+const Field& find_field(const std::string& key) {
+  for (const Field& f : fields()) {
+    if (key == f.key) return f;
+  }
+  throw std::runtime_error("config: unknown key '" + key + "'");
+}
+
+}  // namespace
+
+std::vector<std::string> workload_config_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(fields().size());
+  for (const Field& f : fields()) keys.emplace_back(f.key);
+  return keys;
+}
+
+double get_field(const WorkloadConfig& cfg, const std::string& key) {
+  return find_field(key).get(cfg);
+}
+
+void set_field(WorkloadConfig& cfg, const std::string& key, double value) {
+  find_field(key).set(cfg, value);
+}
+
+void write_workload_config(std::ostream& os, const WorkloadConfig& cfg) {
+  os << "# edgerep workload configuration\n";
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const Field& f : fields()) {
+    os << f.key << " = " << f.get(cfg) << '\n';
+  }
+}
+
+WorkloadConfig read_workload_config(std::istream& is) {
+  WorkloadConfig cfg;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // Trim and skip blank lines.
+    const auto begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config: line " + std::to_string(lineno) +
+                               ": expected 'key = value'");
+    }
+    auto trim = [](std::string s) {
+      const auto a = s.find_first_not_of(" \t");
+      const auto b = s.find_last_not_of(" \t");
+      return a == std::string::npos ? std::string{} : s.substr(a, b - a + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(value, &pos);
+      if (pos != value.size()) throw std::invalid_argument(value);
+      set_field(cfg, key, v);
+    } catch (const std::runtime_error&) {
+      throw;  // unknown key / bad count: keep the specific message
+    } catch (const std::exception&) {
+      throw std::runtime_error("config: line " + std::to_string(lineno) +
+                               ": malformed value '" + value + "'");
+    }
+  }
+  return cfg;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,30 @@
+// Plain-text serialization of WorkloadConfig ("key = value" lines, '#'
+// comments) so experiment configurations can be archived next to their
+// results and replayed exactly.  Unknown keys are rejected — a typo in a
+// config file must not silently fall back to a default.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace edgerep {
+
+/// All tunable keys, e.g. "network_size", "dc_capacity.lo", "selectivity.hi".
+std::vector<std::string> workload_config_keys();
+
+/// Write every field (one per line, sorted as declared).
+void write_workload_config(std::ostream& os, const WorkloadConfig& cfg);
+
+/// Parse a config written by `write_workload_config` (or hand-edited).
+/// Starts from defaults; listed keys override.  Throws std::runtime_error
+/// on unknown keys or malformed values.
+WorkloadConfig read_workload_config(std::istream& is);
+
+/// Get/set one field by key (used by CLI overrides like --set key=value).
+double get_field(const WorkloadConfig& cfg, const std::string& key);
+void set_field(WorkloadConfig& cfg, const std::string& key, double value);
+
+}  // namespace edgerep

@@ -1,0 +1,93 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace edgerep {
+
+Instance generate_instance(const WorkloadConfig& cfg, std::uint64_t seed) {
+  if (cfg.min_datasets_per_query < 1 ||
+      cfg.min_datasets_per_query > cfg.max_datasets_per_query) {
+    throw std::invalid_argument("generate_instance: bad datasets-per-query");
+  }
+  if (cfg.min_datasets > cfg.max_datasets ||
+      cfg.min_queries > cfg.max_queries || cfg.min_datasets == 0) {
+    throw std::invalid_argument("generate_instance: bad count ranges");
+  }
+  // Independent substreams per concern keep the instance stable when one
+  // aspect of the config changes (e.g. more queries does not reshuffle the
+  // topology).
+  Rng topo_rng(derive_seed(seed, 1));
+  Rng site_rng(derive_seed(seed, 2));
+  Rng data_rng(derive_seed(seed, 3));
+  Rng query_rng(derive_seed(seed, 4));
+
+  const TwoTierConfig topo_cfg = scaled_config(cfg.network_size, cfg.topology);
+  TwoTierTopology topo = make_two_tier(topo_cfg, topo_rng);
+
+  Instance inst(std::move(topo.graph));
+  for (const NodeId n : topo.cloudlets) {
+    inst.add_site(n, cfg.cl_capacity.sample(site_rng),
+                  cfg.cl_proc_delay.sample(site_rng));
+  }
+  for (const NodeId n : topo.data_centers) {
+    inst.add_site(n, cfg.dc_capacity.sample(site_rng),
+                  cfg.dc_proc_delay.sample(site_rng));
+  }
+  const std::size_t num_sites = inst.sites().size();
+
+  const auto num_datasets = static_cast<std::size_t>(data_rng.uniform_u64(
+      cfg.min_datasets, cfg.max_datasets));
+  for (std::size_t n = 0; n < num_datasets; ++n) {
+    const auto origin = static_cast<SiteId>(
+        data_rng.uniform_u64(0, num_sites - 1));
+    inst.add_dataset(cfg.dataset_volume.sample(data_rng), origin);
+  }
+
+  const auto num_queries = static_cast<std::size_t>(query_rng.uniform_u64(
+      cfg.min_queries, cfg.max_queries));
+  for (std::size_t m = 0; m < num_queries; ++m) {
+    // Home site: mostly cloudlets (indices [0, #CL) by construction above).
+    const std::size_t num_cl = topo.cloudlets.size();
+    SiteId home;
+    if (num_cl > 0 && query_rng.bernoulli(cfg.home_at_cloudlet)) {
+      home = static_cast<SiteId>(query_rng.uniform_u64(0, num_cl - 1));
+    } else {
+      home = static_cast<SiteId>(query_rng.uniform_u64(0, num_sites - 1));
+    }
+    const std::size_t f_hi =
+        std::min(cfg.max_datasets_per_query, num_datasets);
+    const std::size_t f_lo = std::min(cfg.min_datasets_per_query, f_hi);
+    const auto num_demanded =
+        static_cast<std::size_t>(query_rng.uniform_u64(f_lo, f_hi));
+    const auto chosen = query_rng.sample_indices(num_datasets, num_demanded);
+    std::vector<DatasetDemand> demands;
+    demands.reserve(chosen.size());
+    double max_volume = 0.0;
+    for (const std::size_t n : chosen) {
+      demands.push_back(DatasetDemand{static_cast<DatasetId>(n),
+                                      cfg.selectivity.sample(query_rng)});
+      max_volume = std::max(max_volume, inst.dataset(
+                                            static_cast<DatasetId>(n)).volume);
+    }
+    const double deadline = cfg.deadline_per_gb.sample(query_rng) * max_volume;
+    inst.add_query(home, cfg.rate.sample(query_rng), deadline,
+                   std::move(demands));
+  }
+
+  inst.set_max_replicas(cfg.max_replicas);
+  inst.finalize();
+  return inst;
+}
+
+WorkloadConfig special_case_config(std::size_t network_size) {
+  WorkloadConfig cfg;
+  cfg.network_size = network_size;
+  cfg.min_datasets_per_query = 1;
+  cfg.max_datasets_per_query = 1;
+  return cfg;
+}
+
+}  // namespace edgerep

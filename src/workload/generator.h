@@ -1,0 +1,70 @@
+// Random problem instances following the paper's simulation settings (§4.1):
+//
+//  * two-tier topology from GT-ITM-style generation (6 DCs, 24 cloudlets,
+//    2 switches at the default size; pairwise link probability 0.2),
+//  * data-center computing capacity U[200, 700] GHz, cloudlet capacity
+//    U[8, 16] GHz,
+//  * dataset volumes U[1, 6] GB, computing rate U[0.75, 1.25] GHz per GB,
+//  * |S| ∈ [5, 20] datasets, |Q| ∈ [10, 100] queries,
+//  * datasets per query ∈ [1, F] (F ≤ 7), and
+//  * QoS deadlines proportional to the largest volume the query demands
+//    ("the delay requirement of each query depends on the size of dataset
+//    demanded by the query").
+//
+// All draws derive from one 64-bit seed, so an instance is a pure function
+// of (config, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/instance.h"
+#include "net/topology.h"
+
+namespace edgerep {
+
+struct WorkloadConfig {
+  /// Total |DC| + |CL| + |SW|; role mix scales from the paper's 6/24/2.
+  std::size_t network_size = 32;
+  TwoTierConfig topology;  ///< delay ranges & link probability (counts are
+                           ///< overridden from network_size)
+
+  Range dc_capacity{200.0, 700.0};  ///< GHz
+  Range cl_capacity{8.0, 16.0};     ///< GHz
+  Range dc_proc_delay{0.01, 0.04};  ///< d(v): s per GB at data centers
+  Range cl_proc_delay{0.05, 0.25};  ///< d(v): s per GB at cloudlets
+
+  Range dataset_volume{1.0, 6.0};  ///< GB
+  Range rate{0.75, 1.25};          ///< r_m: GHz per GB
+
+  std::size_t min_datasets = 5;   ///< |S| lower bound
+  std::size_t max_datasets = 20;  ///< |S| upper bound
+  std::size_t min_queries = 10;   ///< |Q| lower bound
+  std::size_t max_queries = 100;  ///< |Q| upper bound
+
+  std::size_t min_datasets_per_query = 1;
+  std::size_t max_datasets_per_query = 7;  ///< F
+
+  Range selectivity{0.05, 0.8};  ///< α_{nm}
+
+  /// Deadline = (draw from here) × the largest demanded volume, so bigger
+  /// requests get proportionally more QoS budget (paper §4.1) while the
+  /// per-GB budget still varies across users.  The default range makes
+  /// evaluation at nearby cloudlets feasible for most queries but remote
+  /// data-center evaluation feasible only for the looser ones — the regime
+  /// where replica placement decisions actually matter.
+  Range deadline_per_gb{0.15, 0.8};
+
+  /// Fraction of query homes placed at cloudlets (queries originate at the
+  /// network edge; the rest aggregate at data centers).
+  double home_at_cloudlet = 0.85;
+
+  std::size_t max_replicas = 3;  ///< K
+};
+
+/// Deterministically generate a finalized instance.
+Instance generate_instance(const WorkloadConfig& cfg, std::uint64_t seed);
+
+/// Convenience: a config for the special case (exactly one dataset/query).
+WorkloadConfig special_case_config(std::size_t network_size = 32);
+
+}  // namespace edgerep

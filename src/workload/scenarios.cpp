@@ -1,0 +1,74 @@
+#include "workload/scenarios.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace edgerep {
+
+const std::vector<Scenario>& builtin_scenarios() {
+  static const std::vector<Scenario> kScenarios = [] {
+    std::vector<Scenario> v;
+
+    {
+      Scenario s;
+      s.name = "paper-default";
+      s.description = "ICPP'19 §4.1 settings: 6 DC / 24 CL / 2 SW, |S|∈[5,20],"
+                      " |Q|∈[10,100], F≤7, K=3";
+      v.push_back(std::move(s));
+    }
+    {
+      Scenario s;
+      s.name = "special-case";
+      s.description = "paper-default with exactly one dataset per query "
+                      "(the Appro-S setting)";
+      s.config = special_case_config();
+      v.push_back(std::move(s));
+    }
+    {
+      Scenario s;
+      s.name = "scarce-edge";
+      s.description = "halved cloudlet GHz and tight QoS: maximal "
+                      "competition for edge capacity";
+      s.config.cl_capacity = {4.0, 8.0};
+      s.config.deadline_per_gb = {0.10, 0.45};
+      v.push_back(std::move(s));
+    }
+    {
+      Scenario s;
+      s.name = "loose-qos";
+      s.description = "generous deadlines: remote data centers are viable "
+                      "for nearly every query";
+      s.config.deadline_per_gb = {1.5, 4.0};
+      v.push_back(std::move(s));
+    }
+    {
+      Scenario s;
+      s.name = "replica-starved";
+      s.description = "K = 1: each dataset lives in exactly one place";
+      s.config.max_replicas = 1;
+      v.push_back(std::move(s));
+    }
+    {
+      Scenario s;
+      s.name = "big-data";
+      s.description = "4x dataset volumes (deadlines scale with volume "
+                      "automatically); capacity pressure dominates";
+      s.config.dataset_volume = {4.0, 24.0};
+      v.push_back(std::move(s));
+    }
+    return v;
+  }();
+  return kScenarios;
+}
+
+const Scenario& find_scenario(const std::string& name) {
+  for (const Scenario& s : builtin_scenarios()) {
+    if (s.name == name) return s;
+  }
+  std::ostringstream os;
+  os << "unknown scenario '" << name << "'; valid:";
+  for (const Scenario& s : builtin_scenarios()) os << ' ' << s.name;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace edgerep

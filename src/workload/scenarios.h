@@ -1,0 +1,34 @@
+// Named workload scenarios: curated WorkloadConfig presets capturing the
+// regimes the paper's evaluation moves through, so users and the CLI can
+// say `--scenario scarce-edge` instead of hand-tuning a dozen knobs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace edgerep {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  WorkloadConfig config;
+};
+
+/// All built-in scenarios:
+///  * paper-default   — §4.1 settings as-is (the figure benches' base)
+///  * special-case    — paper-default restricted to one dataset per query
+///  * scarce-edge     — halved cloudlet capacity, tight deadlines: heavy
+///                      competition for edge GHz (widest algorithm spread)
+///  * loose-qos       — generous deadlines: remote DCs usable, placement
+///                      barely matters (algorithms should converge)
+///  * replica-starved — K = 1: placement is a pure location decision
+///  * big-data        — 4× dataset volumes with deadlines scaled to match
+const std::vector<Scenario>& builtin_scenarios();
+
+/// Lookup by name; throws std::invalid_argument with the list of valid
+/// names when not found.
+const Scenario& find_scenario(const std::string& name);
+
+}  // namespace edgerep

@@ -1,0 +1,95 @@
+#include "workload/sweep.h"
+
+#include <chrono>
+#include <mutex>
+
+#include "baselines/graph_baseline.h"
+#include "baselines/greedy.h"
+#include "baselines/popularity.h"
+#include "core/appro.h"
+#include "util/thread_pool.h"
+
+namespace edgerep {
+
+std::vector<Algorithm> algorithms_special() {
+  return {
+      {"Appro-S", [](const Instance& i) { return appro_s(i).plan; }},
+      {"Greedy-S", [](const Instance& i) { return greedy_s(i).plan; }},
+      {"Graph-S", [](const Instance& i) { return graph_s(i).plan; }},
+  };
+}
+
+std::vector<Algorithm> algorithms_general() {
+  return {
+      {"Appro-G", [](const Instance& i) { return appro_g(i).plan; }},
+      {"Greedy-G", [](const Instance& i) { return greedy_g(i).plan; }},
+      {"Graph-G", [](const Instance& i) { return graph_g(i).plan; }},
+  };
+}
+
+std::vector<Algorithm> algorithms_testbed_special() {
+  return {
+      {"Appro-S", [](const Instance& i) { return appro_s(i).plan; }},
+      {"Popularity-S", [](const Instance& i) { return popularity_s(i).plan; }},
+  };
+}
+
+std::vector<Algorithm> algorithms_testbed_general() {
+  return {
+      {"Appro-G", [](const Instance& i) { return appro_g(i).plan; }},
+      {"Popularity-G", [](const Instance& i) { return popularity_g(i).plan; }},
+  };
+}
+
+std::vector<AlgoStats> run_sweep_point(const WorkloadConfig& cfg,
+                                       std::uint64_t base_seed,
+                                       std::size_t reps,
+                                       const std::vector<Algorithm>& algorithms,
+                                       bool parallel) {
+  std::vector<AlgoStats> stats(algorithms.size());
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    stats[a].name = algorithms[a].name;
+  }
+  std::mutex merge_mutex;
+
+  auto run_rep = [&](std::size_t r) {
+    const Instance inst = generate_instance(cfg, derive_seed(base_seed, r));
+    // Local accumulation, merged once, so repetitions stay independent.
+    std::vector<AlgoStats> local(algorithms.size());
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const ReplicaPlan plan = algorithms[a].run(inst);
+      const auto t1 = std::chrono::steady_clock::now();
+      const PlanMetrics pm = evaluate(plan);
+      const ValidationResult vr = validate(plan);
+      AlgoStats& s = local[a];
+      s.admitted_volume.add(pm.admitted_volume);
+      s.assigned_volume.add(pm.assigned_volume);
+      s.throughput.add(pm.throughput);
+      s.replicas.add(static_cast<double>(pm.replicas_placed));
+      s.utilization.add(pm.utilization);
+      s.runtime_ms.add(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+      if (!vr.ok) ++s.validation_failures;
+    }
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      stats[a].admitted_volume.merge(local[a].admitted_volume);
+      stats[a].assigned_volume.merge(local[a].assigned_volume);
+      stats[a].throughput.merge(local[a].throughput);
+      stats[a].replicas.merge(local[a].replicas);
+      stats[a].utilization.merge(local[a].utilization);
+      stats[a].runtime_ms.merge(local[a].runtime_ms);
+      stats[a].validation_failures += local[a].validation_failures;
+    }
+  };
+
+  if (parallel) {
+    global_pool().parallel_for(reps, run_rep);
+  } else {
+    for (std::size_t r = 0; r < reps; ++r) run_rep(r);
+  }
+  return stats;
+}
+
+}  // namespace edgerep

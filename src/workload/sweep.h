@@ -1,0 +1,49 @@
+// Experiment harness: run a set of algorithms over many random instances of
+// one configuration (the paper averages 15 topologies per plotted point) and
+// aggregate volume / throughput / runtime statistics.  Repetitions run in
+// parallel on the global thread pool; results are deterministic because
+// repetition r of base seed s always uses derive_seed(s, r).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cloud/plan.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace edgerep {
+
+/// A named placement algorithm under test.
+struct Algorithm {
+  std::string name;
+  std::function<ReplicaPlan(const Instance&)> run;
+};
+
+/// Aggregated results of one algorithm at one sweep point.
+struct AlgoStats {
+  std::string name;
+  RunningStat admitted_volume;   ///< objective (1), fully admitted queries
+  RunningStat assigned_volume;   ///< per-demand credit (Appro-G's N')
+  RunningStat throughput;        ///< admitted / total
+  RunningStat replicas;          ///< replicas placed
+  RunningStat utilization;       ///< committed / available computing resource
+  RunningStat runtime_ms;        ///< wall-clock per run
+  std::size_t validation_failures = 0;  ///< plans that failed `validate`
+};
+
+/// The paper's algorithm line-ups.
+std::vector<Algorithm> algorithms_special();  ///< Appro-S, Greedy-S, Graph-S
+std::vector<Algorithm> algorithms_general();  ///< Appro-G, Greedy-G, Graph-G
+std::vector<Algorithm> algorithms_testbed_special();  ///< Appro-S, Popularity-S
+std::vector<Algorithm> algorithms_testbed_general();  ///< Appro-G, Popularity-G
+
+/// Run every algorithm on `reps` instances drawn from cfg with seeds
+/// derive_seed(base_seed, r); every plan is validated before aggregation.
+std::vector<AlgoStats> run_sweep_point(
+    const WorkloadConfig& cfg, std::uint64_t base_seed, std::size_t reps,
+    const std::vector<Algorithm>& algorithms, bool parallel = true);
+
+}  // namespace edgerep

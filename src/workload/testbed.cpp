@@ -1,0 +1,169 @@
+#include "workload/testbed.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgerep {
+
+const char* to_string(Region r) noexcept {
+  switch (r) {
+    case Region::kSanFrancisco:
+      return "sfo";
+    case Region::kNewYork:
+      return "nyc";
+    case Region::kToronto:
+      return "tor";
+    case Region::kSingapore:
+      return "sgp";
+  }
+  return "?";
+}
+
+double region_latency(Region a, Region b) noexcept {
+  // One-way latencies (s): half of typical DigitalOcean inter-region RTTs.
+  static constexpr double kLatency[kNumRegions][kNumRegions] = {
+      // sfo      nyc      tor      sgp
+      {0.001, 0.035, 0.040, 0.090},  // sfo
+      {0.035, 0.001, 0.010, 0.115},  // nyc
+      {0.040, 0.010, 0.001, 0.110},  // tor
+      {0.090, 0.115, 0.110, 0.001},  // sgp
+  };
+  return kLatency[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+TestbedTopology make_testbedtopology_impl(const TestbedConfig& cfg, Rng& rng) {
+  TestbedTopology tb;
+  Graph& g = tb.topo.graph;
+  const double intra_delay = 8.0 / cfg.intra_region_gbps;  // s per GB
+  const double inter_delay = 8.0 / cfg.inter_region_gbps;
+
+  // One DC per region.
+  for (std::size_t r = 0; r < kNumRegions; ++r) {
+    const NodeId dc = g.add_node(NodeRole::kDataCenter);
+    tb.topo.data_centers.push_back(dc);
+    tb.region_of_node.push_back(static_cast<Region>(r));
+  }
+  // Two gateway switches, as in the paper's Figure 6: one for the American
+  // regions, one for Asia-Pacific.
+  const NodeId sw_us = g.add_node(NodeRole::kSwitch);
+  tb.region_of_node.push_back(Region::kNewYork);
+  const NodeId sw_ap = g.add_node(NodeRole::kSwitch);
+  tb.region_of_node.push_back(Region::kSingapore);
+  tb.topo.switches = {sw_us, sw_ap};
+
+  // Cloudlets round-robin across regions, linked to their regional DC.
+  for (std::size_t i = 0; i < cfg.cloudlets_per_region * kNumRegions; ++i) {
+    const auto region = static_cast<Region>(i % kNumRegions);
+    const NodeId cl = g.add_node(NodeRole::kCloudlet);
+    tb.topo.cloudlets.push_back(cl);
+    tb.region_of_node.push_back(region);
+    const NodeId dc = tb.topo.data_centers[i % kNumRegions];
+    const double jitter = rng.uniform(0.9, 1.1);
+    g.add_edge(cl, dc,
+               (intra_delay + region_latency(region, region)) * jitter);
+    // Cloudlets also attach to their hemisphere's gateway switch.
+    const NodeId sw = region == Region::kSingapore ? sw_ap : sw_us;
+    const Region sw_region =
+        region == Region::kSingapore ? Region::kSingapore : Region::kNewYork;
+    g.add_edge(cl, sw, intra_delay + region_latency(region, sw_region));
+  }
+
+  // DC ↔ DC trunk mesh with region propagation.
+  for (std::size_t a = 0; a < kNumRegions; ++a) {
+    for (std::size_t b = a + 1; b < kNumRegions; ++b) {
+      g.add_edge(tb.topo.data_centers[a], tb.topo.data_centers[b],
+                 inter_delay + region_latency(static_cast<Region>(a),
+                                              static_cast<Region>(b)));
+    }
+  }
+  // Switch trunk and switch → DC uplinks.
+  g.add_edge(sw_us, sw_ap,
+             inter_delay + region_latency(Region::kNewYork,
+                                          Region::kSingapore));
+  for (std::size_t r = 0; r < kNumRegions; ++r) {
+    const NodeId sw = static_cast<Region>(r) == Region::kSingapore ? sw_ap : sw_us;
+    const Region sw_region = static_cast<Region>(r) == Region::kSingapore
+                                 ? Region::kSingapore
+                                 : Region::kNewYork;
+    g.add_edge(tb.topo.data_centers[r], sw,
+               intra_delay + region_latency(static_cast<Region>(r), sw_region));
+  }
+  return tb;
+}
+
+TestbedTopology make_testbed_topology(const TestbedConfig& cfg, Rng& rng) {
+  return make_testbedtopology_impl(cfg, rng);
+}
+
+Instance make_testbed_instance(const TestbedWorkloadConfig& cfg,
+                               std::uint64_t seed) {
+  if (cfg.min_windows_per_query < 1 ||
+      cfg.min_windows_per_query > cfg.max_windows_per_query) {
+    throw std::invalid_argument("make_testbed_instance: bad window counts");
+  }
+  Rng topo_rng(derive_seed(seed, 11));
+  Rng site_rng(derive_seed(seed, 12));
+  Rng query_rng(derive_seed(seed, 13));
+
+  TestbedTopology tb = make_testbed_topology(cfg.testbed, topo_rng);
+  // Keep region info before moving the graph into the instance.
+  const std::vector<Region> region_of_node = tb.region_of_node;
+
+  Instance inst(std::move(tb.topo.graph));
+  for (const NodeId n : tb.topo.cloudlets) {
+    inst.add_site(n, cfg.testbed.cl_capacity.sample(site_rng),
+                  cfg.testbed.cl_proc_delay.sample(site_rng));
+  }
+  std::vector<SiteId> dc_sites;
+  for (const NodeId n : tb.topo.data_centers) {
+    dc_sites.push_back(inst.add_site(n, cfg.testbed.dc_capacity.sample(site_rng),
+                                     cfg.testbed.dc_proc_delay.sample(site_rng)));
+  }
+  const std::size_t num_cloudlets = tb.topo.cloudlets.size();
+
+  // Trace windows become datasets, "randomly distributed into the data
+  // centers and cloudlets of the testbed" (paper §4.3) — we pin origins to
+  // region DCs where service logs accumulate.
+  const Trace trace = synthesize_trace(cfg.trace, derive_seed(seed, 14));
+  for (std::size_t w = 0; w < trace.windows.size(); ++w) {
+    const SiteId origin = dc_sites[w % dc_sites.size()];
+    inst.add_dataset(trace.windows[w].volume_gb, origin,
+                     "window" + std::to_string(w));
+  }
+  const std::size_t num_windows = trace.windows.size();
+
+  for (std::size_t q = 0; q < cfg.num_queries; ++q) {
+    // Users issue queries from the edge: home is a random cloudlet.
+    const auto home = static_cast<SiteId>(
+        query_rng.uniform_u64(0, num_cloudlets - 1));
+    const auto templ = static_cast<QueryTemplate>(query_rng.uniform_u64(0, 2));
+    Range selectivity{0.1, 0.4};  // kUsagePattern
+    if (templ == QueryTemplate::kTopApps) selectivity = {0.02, 0.10};
+    if (templ == QueryTemplate::kTimeOfUse) selectivity = {0.05, 0.20};
+    // A contiguous range of time windows (analytics over a period).
+    const std::size_t hi = std::min(cfg.max_windows_per_query, num_windows);
+    const std::size_t lo = std::min(cfg.min_windows_per_query, hi);
+    const auto span =
+        static_cast<std::size_t>(query_rng.uniform_u64(lo, hi));
+    const auto first = static_cast<std::size_t>(
+        query_rng.uniform_u64(0, num_windows - span));
+    std::vector<DatasetDemand> demands;
+    double max_volume = 0.0;
+    for (std::size_t w = first; w < first + span; ++w) {
+      demands.push_back(DatasetDemand{static_cast<DatasetId>(w),
+                                      selectivity.sample(query_rng)});
+      max_volume =
+          std::max(max_volume, trace.windows[w].volume_gb);
+    }
+    const double deadline =
+        cfg.deadline_per_gb.sample(query_rng) * max_volume;
+    inst.add_query(home, cfg.rate.sample(query_rng), deadline,
+                   std::move(demands));
+  }
+
+  inst.set_max_replicas(cfg.max_replicas);
+  inst.finalize();
+  return inst;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,76 @@
+// The emulated geo-distributed testbed (paper §4.3).
+//
+// The paper leases 20 DigitalOcean VMs — data centers in San Francisco, New
+// York, Toronto and Singapore plus 16 cloudlets — joined through two
+// switches and a local controller.  We rebuild that topology with
+// measured-order inter-region round-trip times and per-GB transfer delays
+// derived from link bandwidths (DESIGN.md §4), populate it with datasets cut
+// from the synthetic mobile-app-usage trace, and issue analytic queries from
+// the paper's own examples ("the most popular applications, at what time the
+// found applications would be used, and the usage pattern of some mobile
+// applications").
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/instance.h"
+#include "net/topology.h"
+#include "workload/trace.h"
+
+namespace edgerep {
+
+/// The four testbed regions.
+enum class Region : std::uint8_t { kSanFrancisco, kNewYork, kToronto, kSingapore };
+inline constexpr std::size_t kNumRegions = 4;
+
+const char* to_string(Region r) noexcept;
+
+/// One-way propagation delay (seconds) between two regions (measured-order
+/// DigitalOcean inter-region RTT/2 values).
+double region_latency(Region a, Region b) noexcept;
+
+struct TestbedConfig {
+  std::size_t cloudlets_per_region = 4;  ///< 4×4 = 16 cloudlets, 4 DCs
+  Range dc_capacity{32.0, 64.0};         ///< VM-scale data centers (GHz)
+  Range cl_capacity{4.0, 8.0};
+  Range dc_proc_delay{0.01, 0.03};  ///< s per GB
+  Range cl_proc_delay{0.04, 0.12};
+  double intra_region_gbps = 10.0;  ///< cloudlet ↔ regional DC bandwidth
+  double inter_region_gbps = 1.0;   ///< DC ↔ DC / switch trunks
+};
+
+/// Geo topology with per-GB delays = 8/bandwidth_gbps + propagation.
+struct TestbedTopology {
+  TwoTierTopology topo;
+  std::vector<Region> region_of_node;  ///< indexed by NodeId
+};
+
+TestbedTopology make_testbed_topology(const TestbedConfig& cfg, Rng& rng);
+
+/// Analytic query templates over the trace (paper §4.3 "Datasets").
+enum class QueryTemplate : std::uint8_t {
+  kTopApps,       ///< most popular applications in a period (small α)
+  kTimeOfUse,     ///< when those applications are used (medium-small α)
+  kUsagePattern,  ///< usage pattern of specific applications (medium α)
+};
+
+struct TestbedWorkloadConfig {
+  TestbedConfig testbed;
+  TraceConfig trace;
+  std::size_t num_queries = 60;
+  std::size_t min_windows_per_query = 1;  ///< datasets (time windows) per query
+  std::size_t max_windows_per_query = 4;  ///< the F knob of Figure 7
+  Range rate{0.75, 1.25};                 ///< GHz per GB
+  /// Deadline per GB of the largest demanded window.  Testbed transfer
+  /// delays are seconds-per-GB scale, so budgets are too.
+  Range deadline_per_gb{0.8, 6.0};
+  std::size_t max_replicas = 3;  ///< the K knob of Figure 8
+};
+
+/// Build a finalized instance: testbed topology + trace datasets (each time
+/// window becomes one dataset, originating at a region DC) + template
+/// queries issued from random cloudlets.
+Instance make_testbed_instance(const TestbedWorkloadConfig& cfg,
+                               std::uint64_t seed);
+
+}  // namespace edgerep

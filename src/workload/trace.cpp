@@ -1,0 +1,76 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace edgerep {
+
+Trace synthesize_trace(const TraceConfig& cfg, std::uint64_t seed) {
+  if (cfg.num_datasets == 0 || cfg.num_apps == 0 || cfg.days <= 0.0) {
+    throw std::invalid_argument("synthesize_trace: bad config");
+  }
+  Rng rng(derive_seed(seed, 0x70ace));
+  Trace trace;
+  trace.config = cfg;
+
+  // Global app popularity: normalized Zipf shares.
+  trace.app_popularity.resize(cfg.num_apps);
+  double z = 0.0;
+  for (std::size_t a = 0; a < cfg.num_apps; ++a) {
+    trace.app_popularity[a] =
+        1.0 / std::pow(static_cast<double>(a + 1), cfg.zipf_exponent);
+    z += trace.app_popularity[a];
+  }
+  for (double& p : trace.app_popularity) p /= z;
+
+  const double window_days = cfg.days / static_cast<double>(cfg.num_datasets);
+  const double events_per_day =
+      static_cast<double>(cfg.num_users) * cfg.sessions_per_user_day;
+  trace.expected_events = events_per_day * cfg.days;
+
+  trace.windows.reserve(cfg.num_datasets);
+  for (std::size_t w = 0; w < cfg.num_datasets; ++w) {
+    TraceWindow win;
+    win.start_day = static_cast<double>(w) * window_days;
+    win.end_day = win.start_day + window_days;
+    // Weekly modulation: integrate a sinusoid with a 7-day period over the
+    // window (weekends dip), plus multiplicative jitter.
+    const double mid_day = 0.5 * (win.start_day + win.end_day);
+    const double weekly =
+        1.0 + cfg.weekly_amplitude * std::sin(2.0 * M_PI * mid_day / 7.0);
+    const double jitter = std::exp(cfg.volume_noise * rng.normal());
+    const double events = events_per_day * window_days * weekly * jitter;
+    win.volume_gb = events * cfg.bytes_per_event / 1e9;
+
+    // Per-window app shares: global Zipf perturbed by app-level jitter
+    // (apps trend up and down week to week), renormalized.
+    win.app_share.resize(cfg.num_apps);
+    double sum = 0.0;
+    for (std::size_t a = 0; a < cfg.num_apps; ++a) {
+      const double noise = std::exp(0.3 * rng.normal());
+      win.app_share[a] = trace.app_popularity[a] * noise;
+      sum += win.app_share[a];
+    }
+    for (double& s : win.app_share) s /= sum;
+
+    trace.total_volume_gb += win.volume_gb;
+    trace.windows.push_back(std::move(win));
+  }
+  return trace;
+}
+
+std::vector<std::size_t> top_apps(const TraceWindow& w, std::size_t k) {
+  std::vector<std::size_t> idx(w.app_share.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      return w.app_share[a] > w.app_share[b];
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace edgerep

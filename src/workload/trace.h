@@ -1,0 +1,57 @@
+// Synthetic mobile-application usage trace.
+//
+// The paper's testbed experiments use a proprietary trace: "mobile
+// application usage information from 3 million anonymous mobile users for a
+// period of three months", divided into datasets by creation time, queried
+// for app popularity and usage patterns.  We synthesize a statistically
+// similar trace (DESIGN.md §4): Zipf-distributed app popularity, per-user
+// session counts, a weekly activity modulation, and partitioning of the
+// event stream into time-window datasets.  Only the aggregates the
+// experiments consume are produced (per-window volumes and per-app volume
+// shares) — the event stream itself is never materialized, so the generator
+// scales to the full 3M-user population if desired.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace edgerep {
+
+struct TraceConfig {
+  std::size_t num_users = 30'000;  ///< scaled-down stand-in for 3M users
+  std::size_t num_apps = 200;
+  double zipf_exponent = 1.1;            ///< app popularity skew
+  double days = 90.0;                    ///< three months
+  double sessions_per_user_day = 8.0;
+  double bytes_per_event = 2048.0;       ///< one usage log record
+  std::size_t num_datasets = 12;         ///< time-window partitions
+  double weekly_amplitude = 0.25;        ///< weekday/weekend swing (0..1)
+  double volume_noise = 0.10;            ///< lognormal-ish jitter per window
+};
+
+/// One time-window dataset cut from the trace.
+struct TraceWindow {
+  double start_day = 0.0;
+  double end_day = 0.0;
+  double volume_gb = 0.0;
+  /// Fraction of this window's volume attributable to each app (sums to 1).
+  std::vector<double> app_share;
+};
+
+struct Trace {
+  TraceConfig config;
+  std::vector<TraceWindow> windows;
+  std::vector<double> app_popularity;  ///< global Zipf shares (sum to 1)
+  double total_volume_gb = 0.0;
+  double expected_events = 0.0;
+};
+
+/// Deterministically synthesize a trace.
+Trace synthesize_trace(const TraceConfig& cfg, std::uint64_t seed);
+
+/// Top-k app indices of a window by volume share (descending).
+std::vector<std::size_t> top_apps(const TraceWindow& w, std::size_t k);
+
+}  // namespace edgerep

@@ -1,0 +1,78 @@
+#include "baselines/centrality_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+TEST(CentralityS, AdmitsTinyQuery) {
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  const BaselineResult r = centrality_s(inst);
+  EXPECT_TRUE(r.plan.admitted(0));
+  EXPECT_TRUE(validate(r.plan).ok);
+}
+
+TEST(CentralityS, ThrowsOnMultiDemand) {
+  const Instance inst = testing::medium_instance(4, /*f_max=*/3);
+  EXPECT_THROW(centrality_s(inst), std::invalid_argument);
+}
+
+TEST(CentralityG, BothKindsValidateAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = testing::medium_instance(seed, /*f_max=*/3);
+    for (const CentralityKind kind :
+         {CentralityKind::kCloseness, CentralityKind::kBetweenness}) {
+      const BaselineResult r = centrality_g(inst, kind);
+      const ValidationResult vr = validate(r.plan);
+      EXPECT_TRUE(vr.ok) << "seed " << seed << ": "
+                         << (vr.violations.empty() ? "" : vr.violations[0]);
+      for (const Dataset& d : inst.datasets()) {
+        EXPECT_LE(r.plan.replica_count(d.id), inst.max_replicas());
+      }
+    }
+  }
+}
+
+TEST(CentralityG, DeterministicAcrossRuns) {
+  const Instance inst = testing::medium_instance(7, /*f_max=*/3);
+  const BaselineResult a = centrality_g(inst);
+  const BaselineResult b = centrality_g(inst);
+  EXPECT_DOUBLE_EQ(a.metrics.assigned_volume, b.metrics.assigned_volume);
+}
+
+TEST(CentralityG, PrefersCentralSites) {
+  // On a star of cloudlets the hub is the most central placement site: the
+  // first replica of every dataset must land there while capacity lasts.
+  Graph g;
+  const NodeId hub = g.add_node(NodeRole::kCloudlet);
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < 4; ++i) {
+    const NodeId leaf = g.add_node(NodeRole::kCloudlet);
+    g.add_edge(hub, leaf, 0.1);
+    leaves.push_back(leaf);
+  }
+  Instance inst(std::move(g));
+  const SiteId s_hub = inst.add_site(hub, 1000.0, 0.05);
+  std::vector<SiteId> s_leaves;
+  for (const NodeId leaf : leaves) {
+    s_leaves.push_back(inst.add_site(leaf, 1000.0, 0.05));
+  }
+  const DatasetId d = inst.add_dataset(2.0, s_leaves[0]);
+  for (const SiteId s : s_leaves) {
+    inst.add_query(s, 1.0, 10.0, {{d, 0.5}});
+  }
+  inst.set_max_replicas(2);
+  inst.finalize();
+  const BaselineResult r = centrality_g(inst);
+  EXPECT_TRUE(r.plan.has_replica(d, s_hub));
+  EXPECT_EQ(r.demands_rejected, 0u);
+}
+
+}  // namespace
+}  // namespace edgerep

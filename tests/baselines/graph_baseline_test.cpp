@@ -1,0 +1,98 @@
+#include "baselines/graph_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+TEST(AffinityProblem, VerticesAreQueriesPartsAreSites) {
+  const Instance inst = testing::medium_instance(1, /*f_max=*/3);
+  const PartitionProblem p = build_affinity_problem(inst);
+  EXPECT_EQ(p.num_vertices, inst.queries().size());
+  EXPECT_EQ(p.num_parts, inst.sites().size());
+  for (const Site& s : inst.sites()) {
+    EXPECT_DOUBLE_EQ(p.part_capacity[s.id], s.available);
+  }
+}
+
+TEST(AffinityProblem, EdgesOnlyBetweenSharingQueries) {
+  // Two queries sharing a dataset get an edge weighted by its volume; a
+  // third disjoint query stays isolated.
+  Graph g;
+  const NodeId cl = g.add_node(NodeRole::kCloudlet);
+  Instance inst(std::move(g));
+  const SiteId s = inst.add_site(cl, 100.0, 0.1);
+  const DatasetId d0 = inst.add_dataset(3.0, s);
+  const DatasetId d1 = inst.add_dataset(5.0, s);
+  inst.add_query(s, 1.0, 10.0, {{d0, 0.5}});
+  inst.add_query(s, 1.0, 10.0, {{d0, 0.5}});
+  inst.add_query(s, 1.0, 10.0, {{d1, 0.5}});
+  inst.finalize();
+  const PartitionProblem p = build_affinity_problem(inst);
+  ASSERT_EQ(p.edges.size(), 1u);
+  EXPECT_EQ(p.edges[0].u, 0u);
+  EXPECT_EQ(p.edges[0].v, 1u);
+  EXPECT_DOUBLE_EQ(p.edges[0].weight, 3.0);
+}
+
+TEST(GraphS, AdmitsTinyQuery) {
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  const BaselineResult r = graph_s(inst);
+  EXPECT_TRUE(r.plan.admitted(0));
+  EXPECT_TRUE(validate(r.plan).ok);
+}
+
+TEST(GraphS, ThrowsOnMultiDemand) {
+  const Instance inst = testing::medium_instance(7, /*f_max=*/4);
+  EXPECT_THROW(graph_s(inst), std::invalid_argument);
+}
+
+TEST(GraphS, PlansValidateAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = testing::small_instance(seed, /*f_max=*/1);
+    const BaselineResult r = graph_s(inst);
+    EXPECT_TRUE(validate(r.plan).ok) << "seed " << seed;
+  }
+}
+
+TEST(GraphG, HandlesMultiDemandAndValidates) {
+  for (std::uint64_t seed = 10; seed <= 15; ++seed) {
+    const Instance inst = testing::medium_instance(seed, /*f_max=*/4);
+    const BaselineResult r = graph_g(inst);
+    EXPECT_TRUE(validate(r.plan).ok) << "seed " << seed;
+  }
+}
+
+TEST(GraphG, CoLocatesSharingQueries) {
+  // Queries sharing a dataset should often land on the same replica: total
+  // replicas stays well below one per assigned demand.
+  const Instance inst = testing::medium_instance(16, /*f_max=*/3);
+  const BaselineResult r = graph_g(inst);
+  if (r.demands_assigned > 0) {
+    EXPECT_LT(r.plan.total_replicas(), r.demands_assigned);
+  }
+}
+
+TEST(GraphG, DeterministicAcrossRuns) {
+  const Instance inst = testing::medium_instance(17, /*f_max=*/3);
+  const BaselineResult a = graph_g(inst);
+  const BaselineResult b = graph_g(inst);
+  EXPECT_DOUBLE_EQ(a.metrics.assigned_volume, b.metrics.assigned_volume);
+}
+
+TEST(GraphG, RespectsReplicaBudget) {
+  const Instance inst = testing::medium_instance(18, /*f_max=*/3);
+  const BaselineResult r = graph_g(inst);
+  for (const Dataset& d : inst.datasets()) {
+    EXPECT_LE(r.plan.replica_count(d.id), inst.max_replicas());
+  }
+}
+
+}  // namespace
+}  // namespace edgerep

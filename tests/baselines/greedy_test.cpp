@@ -1,0 +1,96 @@
+#include "baselines/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+TEST(GreedyS, PlacesAtLargestCapacityFirst) {
+  // Deadline 3.0 makes both sites feasible; greedy goes for the DC (100 GHz
+  // available vs 10) and admits there.
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  const BaselineResult r = greedy_s(inst);
+  ASSERT_TRUE(r.plan.assignment(0, 0).has_value());
+  EXPECT_EQ(*r.plan.assignment(0, 0), 1u);
+  EXPECT_TRUE(validate(r.plan).ok);
+}
+
+TEST(GreedyS, WastesBudgetOnInfeasibleLargeSites) {
+  // Deadline 1.0: only the cloudlet works, but greedy first burns a replica
+  // on the (infeasible) DC — the paper-faithful pathology.
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  const BaselineResult r = greedy_s(inst);
+  EXPECT_TRUE(r.plan.has_replica(0, 1));  // wasted replica at the DC
+  EXPECT_TRUE(r.plan.admitted(0));        // still admitted at the cloudlet
+  EXPECT_EQ(r.plan.replica_count(0), 2u);
+}
+
+TEST(GreedyS, BudgetExhaustionCausesRejection) {
+  // K = 1: the single replica goes to the infeasible DC; query rejected.
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0, /*max_replicas=*/1);
+  const BaselineResult r = greedy_s(inst);
+  EXPECT_FALSE(r.plan.admitted(0));
+  EXPECT_EQ(r.demands_rejected, 1u);
+  EXPECT_TRUE(r.plan.has_replica(0, 1));
+}
+
+TEST(GreedyS, ThrowsOnMultiDemand) {
+  const Instance inst = testing::medium_instance(5, /*f_max=*/4);
+  EXPECT_THROW(greedy_s(inst), std::invalid_argument);
+}
+
+TEST(GreedyS, PlansValidateAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = testing::small_instance(seed, /*f_max=*/1);
+    const BaselineResult r = greedy_s(inst);
+    const ValidationResult vr = validate(r.plan);
+    EXPECT_TRUE(vr.ok) << "seed " << seed << ": "
+                       << (vr.violations.empty() ? "" : vr.violations[0]);
+  }
+}
+
+TEST(GreedyG, HandlesMultiDemandAndValidates) {
+  for (std::uint64_t seed = 10; seed <= 15; ++seed) {
+    const Instance inst = testing::medium_instance(seed, /*f_max=*/4);
+    const BaselineResult r = greedy_g(inst);
+    EXPECT_TRUE(validate(r.plan).ok) << "seed " << seed;
+    std::size_t total_demands = 0;
+    for (const Query& q : inst.queries()) total_demands += q.demands.size();
+    EXPECT_EQ(r.demands_assigned + r.demands_rejected, total_demands);
+  }
+}
+
+TEST(GreedyG, ReusesReplicasBeforeBurningBudget) {
+  // Two identical queries for the same dataset: the second must reuse the
+  // first's replica, not place a new one.
+  Graph g;
+  const NodeId cl = g.add_node(NodeRole::kCloudlet);
+  Instance inst(std::move(g));
+  const SiteId s = inst.add_site(cl, 100.0, 0.1);
+  const DatasetId d = inst.add_dataset(2.0, s);
+  inst.add_query(s, 1.0, 10.0, {{d, 0.5}});
+  inst.add_query(s, 1.0, 10.0, {{d, 0.5}});
+  inst.set_max_replicas(3);
+  inst.finalize();
+  const BaselineResult r = greedy_g(inst);
+  EXPECT_TRUE(r.plan.admitted(0));
+  EXPECT_TRUE(r.plan.admitted(1));
+  EXPECT_EQ(r.plan.replica_count(d), 1u);
+}
+
+TEST(GreedyG, DeterministicAcrossRuns) {
+  const Instance inst = testing::medium_instance(20, /*f_max=*/3);
+  const BaselineResult a = greedy_g(inst);
+  const BaselineResult b = greedy_g(inst);
+  EXPECT_DOUBLE_EQ(a.metrics.assigned_volume, b.metrics.assigned_volume);
+  EXPECT_EQ(a.plan.total_replicas(), b.plan.total_replicas());
+}
+
+}  // namespace
+}  // namespace edgerep

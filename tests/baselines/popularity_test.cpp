@@ -1,0 +1,84 @@
+#include "baselines/popularity.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+TEST(PopularityS, AdmitsTinyQuery) {
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  const BaselineResult r = popularity_s(inst);
+  EXPECT_TRUE(r.plan.admitted(0));
+  EXPECT_TRUE(validate(r.plan).ok);
+}
+
+TEST(PopularityS, ChecksDeadlineBeforePlacing) {
+  // Unlike Greedy, Popularity only places a replica where the deadline can
+  // be met, so no budget is wasted on the infeasible DC.
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  const BaselineResult r = popularity_s(inst);
+  EXPECT_TRUE(r.plan.admitted(0));
+  EXPECT_FALSE(r.plan.has_replica(0, 1));
+  EXPECT_EQ(r.plan.replica_count(0), 1u);
+}
+
+TEST(PopularityS, ThrowsOnMultiDemand) {
+  const Instance inst = testing::medium_instance(6, /*f_max=*/4);
+  EXPECT_THROW(popularity_s(inst), std::invalid_argument);
+}
+
+TEST(PopularityS, PlansValidateAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = testing::small_instance(seed, /*f_max=*/1);
+    const BaselineResult r = popularity_s(inst);
+    EXPECT_TRUE(validate(r.plan).ok) << "seed " << seed;
+  }
+}
+
+TEST(PopularityG, RichGetRicherConcentratesReplicas) {
+  // Many queries over many datasets from the same home: once one site
+  // accumulates replicas it keeps attracting them.  Verify the most popular
+  // site holds strictly more replicas than the median site.
+  const Instance inst = testing::medium_instance(9, /*f_max=*/3);
+  const BaselineResult r = popularity_g(inst);
+  std::vector<std::size_t> counts(inst.sites().size(), 0);
+  for (const Dataset& d : inst.datasets()) {
+    for (const SiteId l : r.plan.replica_sites(d.id)) ++counts[l];
+  }
+  std::sort(counts.begin(), counts.end());
+  if (r.plan.total_replicas() >= inst.sites().size()) {
+    EXPECT_GT(counts.back(), counts[counts.size() / 2]);
+  }
+}
+
+TEST(PopularityG, HandlesMultiDemandAndValidates) {
+  for (std::uint64_t seed = 10; seed <= 15; ++seed) {
+    const Instance inst = testing::medium_instance(seed, /*f_max=*/4);
+    const BaselineResult r = popularity_g(inst);
+    EXPECT_TRUE(validate(r.plan).ok) << "seed " << seed;
+  }
+}
+
+TEST(PopularityG, DeterministicAcrossRuns) {
+  const Instance inst = testing::medium_instance(21, /*f_max=*/3);
+  const BaselineResult a = popularity_g(inst);
+  const BaselineResult b = popularity_g(inst);
+  EXPECT_DOUBLE_EQ(a.metrics.assigned_volume, b.metrics.assigned_volume);
+}
+
+TEST(PopularityG, RespectsReplicaBudget) {
+  const Instance inst = testing::medium_instance(22, /*f_max=*/3);
+  const BaselineResult r = popularity_g(inst);
+  for (const Dataset& d : inst.datasets()) {
+    EXPECT_LE(r.plan.replica_count(d.id), inst.max_replicas());
+  }
+}
+
+}  // namespace
+}  // namespace edgerep

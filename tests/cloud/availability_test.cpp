@@ -1,0 +1,227 @@
+#include "cloud/availability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/appro.h"
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+ReplicaPlan admitted_tiny_plan(double deadline = 3.0) {
+  static Instance inst = TinyFixture::make(3.0);
+  (void)deadline;
+  ReplicaPlan plan(inst);
+  plan.place_replica(0, 0);
+  plan.assign(0, 0, 0);
+  return plan;
+}
+
+TEST(Availability, SingleReplicaMatchesClosedForm) {
+  const ReplicaPlan plan = admitted_tiny_plan();
+  const Query& q = plan.instance().query(0);
+  // One servable replica site: survival = 1 - p.
+  EXPECT_NEAR(demand_survival(plan, q, q.demands[0], 0.2), 0.8, 1e-12);
+  AvailabilityConfig cfg;
+  cfg.site_failure_prob = 0.2;
+  cfg.trials = 50000;
+  const AvailabilityReport rep = analyze_availability(plan, cfg);
+  ASSERT_EQ(rep.per_query.size(), 1u);
+  EXPECT_NEAR(rep.per_query[0].survival, 0.8, 0.01);
+  EXPECT_NEAR(rep.per_query[0].marginal_product, 0.8, 1e-12);
+  EXPECT_NEAR(rep.mean_survival, 0.8, 0.01);
+}
+
+TEST(Availability, TwoReplicasRaiseSurvival) {
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  ReplicaPlan plan(inst);
+  plan.place_replica(0, 0);
+  plan.place_replica(0, 1);  // both sites feasible at deadline 3.0
+  plan.assign(0, 0, 0);
+  const Query& q = inst.query(0);
+  // survival = 1 - p² with two servable sites.
+  EXPECT_NEAR(demand_survival(plan, q, q.demands[0], 0.3), 1.0 - 0.09, 1e-12);
+  AvailabilityConfig cfg;
+  cfg.site_failure_prob = 0.3;
+  cfg.trials = 50000;
+  const AvailabilityReport rep = analyze_availability(plan, cfg);
+  EXPECT_NEAR(rep.per_query[0].survival, 0.91, 0.01);
+}
+
+TEST(Availability, DeadlineInfeasibleReplicaDoesNotCount) {
+  // Deadline 1.0: the DC replica cannot serve the query, so it adds no
+  // availability.
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  ReplicaPlan plan(inst);
+  plan.place_replica(0, 0);
+  plan.place_replica(0, 1);  // infeasible for the deadline
+  plan.assign(0, 0, 0);
+  const Query& q = inst.query(0);
+  EXPECT_NEAR(demand_survival(plan, q, q.demands[0], 0.5), 0.5, 1e-12);
+}
+
+TEST(Availability, NoServableReplicaMeansZero) {
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  const ReplicaPlan plan(inst);
+  const Query& q = inst.query(0);
+  EXPECT_DOUBLE_EQ(demand_survival(plan, q, q.demands[0], 0.1), 0.0);
+}
+
+TEST(Availability, OnlyAdmittedQueriesAnalyzed) {
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  const ReplicaPlan plan(inst);  // nothing admitted
+  const AvailabilityReport rep = analyze_availability(plan);
+  EXPECT_TRUE(rep.per_query.empty());
+  EXPECT_DOUBLE_EQ(rep.expected_surviving_volume, 0.0);
+}
+
+TEST(Availability, ZeroFailureProbMeansCertainSurvival) {
+  const ReplicaPlan plan = admitted_tiny_plan();
+  AvailabilityConfig cfg;
+  cfg.site_failure_prob = 0.0;
+  cfg.trials = 1000;
+  const AvailabilityReport rep = analyze_availability(plan, cfg);
+  EXPECT_DOUBLE_EQ(rep.per_query[0].survival, 1.0);
+  EXPECT_NEAR(rep.expected_surviving_volume, 4.0, 1e-9);
+}
+
+TEST(Availability, DeterministicPerSeed) {
+  const Instance inst = testing::medium_instance(3, /*f_max=*/3);
+  const ReplicaPlan plan = appro_g(inst).plan;
+  AvailabilityConfig cfg;
+  cfg.trials = 2000;
+  const AvailabilityReport a = analyze_availability(plan, cfg);
+  const AvailabilityReport b = analyze_availability(plan, cfg);
+  EXPECT_DOUBLE_EQ(a.mean_survival, b.mean_survival);
+  EXPECT_DOUBLE_EQ(a.expected_surviving_volume, b.expected_surviving_volume);
+}
+
+TEST(Availability, MoreReplicasNeverHurtSurvival) {
+  // Same instance with K=1 vs K=5 plans from the same algorithm: mean
+  // survival under the bigger budget must not be lower.
+  WorkloadConfig cfg;
+  cfg.network_size = 20;
+  cfg.min_queries = 25;
+  cfg.max_queries = 25;
+  cfg.max_datasets_per_query = 2;
+  cfg.max_replicas = 1;
+  const Instance i1 = generate_instance(cfg, 11);
+  cfg.max_replicas = 5;
+  const Instance i5 = generate_instance(cfg, 11);
+  AvailabilityConfig acfg;
+  acfg.trials = 4000;
+  const auto r1 = analyze_availability(appro_g(i1).plan, acfg);
+  const auto r5 = analyze_availability(appro_g(i5).plan, acfg);
+  if (!r1.per_query.empty() && !r5.per_query.empty()) {
+    EXPECT_GE(r5.mean_survival, r1.mean_survival - 0.05);
+  }
+}
+
+TEST(Availability, MonteCarloTracksMarginalsOnDisjointDemands) {
+  // Demands on disjoint replica-site sets: the product of marginals is
+  // exact and the MC estimate must agree.
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kCloudlet);
+  const NodeId b = g.add_node(NodeRole::kCloudlet);
+  g.add_edge(a, b, 0.01);
+  Instance inst(std::move(g));
+  const SiteId sa = inst.add_site(a, 100.0, 0.1);
+  const SiteId sb = inst.add_site(b, 100.0, 0.1);
+  const DatasetId d0 = inst.add_dataset(1.0, sa);
+  const DatasetId d1 = inst.add_dataset(1.0, sb);
+  inst.add_query(sa, 1.0, 10.0, {{d0, 0.5}, {d1, 0.5}});
+  inst.finalize();
+  ReplicaPlan plan(inst);
+  plan.place_replica(d0, sa);
+  plan.place_replica(d1, sb);
+  plan.assign(0, d0, sa);
+  plan.assign(0, d1, sb);
+  AvailabilityConfig cfg;
+  cfg.site_failure_prob = 0.2;
+  cfg.trials = 100000;
+  const AvailabilityReport rep = analyze_availability(plan, cfg);
+  // Exact: 0.8 × 0.8 = 0.64.
+  EXPECT_NEAR(rep.per_query[0].marginal_product, 0.64, 1e-12);
+  EXPECT_NEAR(rep.per_query[0].survival, 0.64, 0.01);
+  EXPECT_NEAR(rep.per_query[0].weakest_demand, 0.8, 1e-12);
+}
+
+TEST(Harden, AddsBackupReplicaForWeakDemand) {
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  ReplicaPlan plan(inst);
+  plan.place_replica(0, 0);
+  plan.assign(0, 0, 0);
+  // Both sites are feasible at deadline 3.0; only one holds a replica.
+  const std::size_t added = harden_plan(plan, /*min_servable=*/2);
+  EXPECT_EQ(added, 1u);
+  EXPECT_TRUE(plan.has_replica(0, 1));
+  EXPECT_TRUE(validate(plan).ok);
+  // Survival improved: 1 - p² instead of 1 - p.
+  const Query& q = inst.query(0);
+  EXPECT_NEAR(demand_survival(plan, q, q.demands[0], 0.3), 0.91, 1e-12);
+}
+
+TEST(Harden, StopsAtReplicaBudget) {
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0, /*max_replicas=*/1);
+  ReplicaPlan plan(inst);
+  plan.place_replica(0, 0);
+  plan.assign(0, 0, 0);
+  EXPECT_EQ(harden_plan(plan, 3), 0u);
+  EXPECT_EQ(plan.replica_count(0), 1u);
+}
+
+TEST(Harden, NoOpWhenAlreadyRedundant) {
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  ReplicaPlan plan(inst);
+  plan.place_replica(0, 0);
+  plan.place_replica(0, 1);
+  plan.assign(0, 0, 0);
+  EXPECT_EQ(harden_plan(plan, 2), 0u);
+}
+
+TEST(Harden, IgnoresUnadmittedQueries) {
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  ReplicaPlan plan(inst);  // nothing admitted
+  EXPECT_EQ(harden_plan(plan, 2), 0u);
+  EXPECT_EQ(plan.total_replicas(), 0u);
+}
+
+TEST(Harden, PreservesAdmissionsAndValidityOnRealPlans) {
+  for (std::uint64_t seed = 70; seed <= 74; ++seed) {
+    const Instance inst = testing::medium_instance(seed, /*f_max=*/3);
+    ReplicaPlan plan = appro_g(inst).plan;
+    const PlanMetrics before = evaluate(plan);
+    harden_plan(plan, 2);
+    const PlanMetrics after = evaluate(plan);
+    EXPECT_DOUBLE_EQ(after.admitted_volume, before.admitted_volume);
+    EXPECT_EQ(after.admitted_queries, before.admitted_queries);
+    EXPECT_TRUE(validate(plan).ok) << "seed " << seed;
+    // Mean survival must not get worse.
+    AvailabilityConfig cfg;
+    cfg.trials = 3000;
+    ReplicaPlan plain = appro_g(inst).plan;
+    const auto r_plain = analyze_availability(plain, cfg);
+    const auto r_hard = analyze_availability(plan, cfg);
+    if (!r_plain.per_query.empty()) {
+      EXPECT_GE(r_hard.mean_survival, r_plain.mean_survival - 1e-9);
+    }
+  }
+}
+
+TEST(Availability, RejectsBadConfig) {
+  const ReplicaPlan plan = admitted_tiny_plan();
+  AvailabilityConfig cfg;
+  cfg.site_failure_prob = 1.5;
+  EXPECT_THROW(analyze_availability(plan, cfg), std::invalid_argument);
+  cfg.site_failure_prob = 0.1;
+  cfg.trials = 0;
+  EXPECT_THROW(analyze_availability(plan, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,163 @@
+#include "cloud/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+/// Tiny fixture: dataset 0 (4 GB) originates at the DC (site 1); a replica
+/// at the cloudlet (site 0) is 1.1 s/GB away.
+ReplicaPlan plan_with_remote_replica() {
+  static const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  ReplicaPlan plan(inst);
+  plan.place_replica(0, 0);  // remote replica at the cloudlet
+  return plan;
+}
+
+TEST(GrowthModel, UniformAndProportional) {
+  const Instance inst = TinyFixture::make();
+  const GrowthModel u = GrowthModel::uniform(inst, 0.5);
+  ASSERT_EQ(u.growth_gb_per_hour.size(), 1u);
+  EXPECT_DOUBLE_EQ(u.growth_gb_per_hour[0], 0.5);
+  const GrowthModel p = GrowthModel::proportional(inst, 0.1);
+  EXPECT_DOUBLE_EQ(p.growth_gb_per_hour[0], 0.4);  // 10% of 4 GB per hour
+}
+
+TEST(Consistency, HandComputedReport) {
+  const ReplicaPlan plan = plan_with_remote_replica();
+  const Instance& inst = plan.instance();
+  const GrowthModel growth = GrowthModel::uniform(inst, 0.5);  // GB/h
+  ConsistencyConfig cfg;
+  cfg.threshold = 0.25;  // Δ = 1 GB
+  const ConsistencyReport rep = analyze_consistency(plan, growth, cfg);
+  ASSERT_EQ(rep.per_dataset.size(), 1u);
+  const DatasetConsistency& dc = rep.per_dataset[0];
+  EXPECT_EQ(dc.replicas, 1u);
+  EXPECT_DOUBLE_EQ(dc.delta_gb, 1.0);
+  EXPECT_DOUBLE_EQ(dc.update_interval_hours, 2.0);  // 1 GB / 0.5 GB/h
+  EXPECT_DOUBLE_EQ(dc.traffic_gb_per_hour, 0.5);    // g × replicas
+  // Transfer cost: growth × dt(origin → replica) = 0.5 × 1.1.
+  EXPECT_NEAR(dc.transfer_cost_per_hour, 0.55, 1e-12);
+  EXPECT_DOUBLE_EQ(dc.mean_staleness_gb, 0.5);
+  EXPECT_NEAR(rep.total_transfer_cost_per_hour, 0.55, 1e-12);
+}
+
+TEST(Consistency, OriginReplicaCostsNothing) {
+  const Instance inst = TinyFixture::make();
+  ReplicaPlan plan(inst);
+  plan.place_replica(0, 1);  // replica at its own origin
+  const ConsistencyReport rep =
+      analyze_consistency(plan, GrowthModel::uniform(inst, 1.0));
+  EXPECT_DOUBLE_EQ(rep.total_traffic_gb_per_hour, 0.0);
+  EXPECT_DOUBLE_EQ(rep.total_transfer_cost_per_hour, 0.0);
+}
+
+TEST(Consistency, ZeroGrowthIsFree) {
+  const ReplicaPlan plan = plan_with_remote_replica();
+  const ConsistencyReport rep = analyze_consistency(
+      plan, GrowthModel::uniform(plan.instance(), 0.0));
+  EXPECT_DOUBLE_EQ(rep.total_traffic_gb_per_hour, 0.0);
+  EXPECT_DOUBLE_EQ(rep.per_dataset[0].update_interval_hours, 0.0);
+}
+
+TEST(Consistency, TrafficIndependentOfThreshold) {
+  // The threshold trades burst size for freshness; the long-run traffic
+  // rate must not change.
+  const ReplicaPlan plan = plan_with_remote_replica();
+  const GrowthModel growth = GrowthModel::uniform(plan.instance(), 0.7);
+  ConsistencyConfig fine;
+  fine.threshold = 0.05;
+  ConsistencyConfig coarse;
+  coarse.threshold = 0.5;
+  const auto r1 = analyze_consistency(plan, growth, fine);
+  const auto r2 = analyze_consistency(plan, growth, coarse);
+  EXPECT_NEAR(r1.total_traffic_gb_per_hour, r2.total_traffic_gb_per_hour,
+              1e-12);
+  EXPECT_LT(r1.mean_staleness_gb, r2.mean_staleness_gb);
+}
+
+TEST(Consistency, NetBenefitFallsWithMoreRemoteReplicas) {
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  const GrowthModel growth = GrowthModel::uniform(inst, 1.0);
+  ReplicaPlan one(inst);
+  one.place_replica(0, 1);  // origin only
+  ReplicaPlan two = one;
+  two.place_replica(0, 0);  // plus a remote replica, no extra admission
+  const auto r1 = analyze_consistency(one, growth);
+  const auto r2 = analyze_consistency(two, growth);
+  EXPECT_GT(r1.net_benefit, r2.net_benefit);
+}
+
+TEST(Consistency, RejectsBadInputs) {
+  const ReplicaPlan plan = plan_with_remote_replica();
+  GrowthModel bad;
+  bad.growth_gb_per_hour = {1.0, 2.0};  // wrong size
+  EXPECT_THROW(analyze_consistency(plan, bad), std::invalid_argument);
+  const GrowthModel growth = GrowthModel::uniform(plan.instance(), 1.0);
+  ConsistencyConfig cfg;
+  cfg.threshold = 0.0;
+  EXPECT_THROW(analyze_consistency(plan, growth, cfg), std::invalid_argument);
+  cfg.threshold = 1.5;
+  EXPECT_THROW(analyze_consistency(plan, growth, cfg), std::invalid_argument);
+  GrowthModel negative = growth;
+  negative.growth_gb_per_hour[0] = -1.0;
+  EXPECT_THROW(analyze_consistency(plan, negative), std::invalid_argument);
+}
+
+TEST(UpdateSchedule, EventsFollowTheThresholdRule) {
+  const ReplicaPlan plan = plan_with_remote_replica();
+  const GrowthModel growth = GrowthModel::uniform(plan.instance(), 0.5);
+  ConsistencyConfig cfg;
+  cfg.threshold = 0.25;  // Δ = 1 GB, interval = 2 h
+  const auto events = schedule_updates(plan, growth, cfg, 10.0);
+  // Updates at t = 2, 4, 6, 8 (strictly before the horizon).
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_NEAR(events[i].time_hours, 2.0 * static_cast<double>(i + 1), 1e-9);
+    EXPECT_EQ(events[i].dataset, 0u);
+    EXPECT_EQ(events[i].from, 1u);
+    EXPECT_EQ(events[i].to, 0u);
+    EXPECT_DOUBLE_EQ(events[i].delta_gb, 1.0);
+  }
+}
+
+TEST(UpdateSchedule, SortedAndScalesWithReplicas) {
+  const Instance inst = testing::medium_instance(5, /*f_max=*/2);
+  ReplicaPlan plan(inst);
+  for (const Dataset& d : inst.datasets()) {
+    // Two replicas everywhere possible.
+    std::size_t placed = 0;
+    for (const Site& s : inst.sites()) {
+      if (placed == 2) break;
+      plan.place_replica(d.id, s.id);
+      ++placed;
+    }
+  }
+  const auto events = schedule_updates(
+      plan, GrowthModel::proportional(inst, 0.05), ConsistencyConfig{}, 24.0);
+  EXPECT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time_hours, events[i].time_hours);
+  }
+  for (const UpdateEvent& e : events) {
+    EXPECT_NE(e.to, e.from);
+    EXPECT_GT(e.delta_gb, 0.0);
+    EXPECT_LT(e.time_hours, 24.0);
+  }
+}
+
+TEST(UpdateSchedule, NegativeHorizonThrows) {
+  const ReplicaPlan plan = plan_with_remote_replica();
+  const GrowthModel growth = GrowthModel::uniform(plan.instance(), 1.0);
+  EXPECT_THROW(schedule_updates(plan, growth, ConsistencyConfig{}, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,84 @@
+#include "cloud/delay.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+TEST(Delay, EvaluationDelayMatchesHandComputation) {
+  const Instance inst = TinyFixture::make();
+  const Query& q = inst.query(0);
+  const DatasetDemand& dd = q.demands[0];
+  // At the cloudlet (home): 4·0.2 processing + 0 transfer.
+  EXPECT_NEAR(evaluation_delay(inst, q, dd, 0), TinyFixture::kDelayAtCl, 1e-12);
+  // At the DC: 4·0.05 + 0.5·4·1.1.
+  EXPECT_NEAR(evaluation_delay(inst, q, dd, 1), TinyFixture::kDelayAtDc, 1e-12);
+}
+
+TEST(Delay, DeadlineOkRespectsBound) {
+  const Instance tight = TinyFixture::make(/*deadline=*/1.0);
+  const Query& q = tight.query(0);
+  EXPECT_TRUE(deadline_ok(tight, q, q.demands[0], 0));
+  EXPECT_FALSE(deadline_ok(tight, q, q.demands[0], 1));
+
+  const Instance loose = TinyFixture::make(/*deadline=*/3.0);
+  const Query& q2 = loose.query(0);
+  EXPECT_TRUE(deadline_ok(loose, q2, q2.demands[0], 0));
+  EXPECT_TRUE(deadline_ok(loose, q2, q2.demands[0], 1));
+}
+
+TEST(Delay, DeadlineBoundaryIsInclusive) {
+  const Instance inst = TinyFixture::make(/*deadline=*/TinyFixture::kDelayAtCl);
+  const Query& q = inst.query(0);
+  EXPECT_TRUE(deadline_ok(inst, q, q.demands[0], 0));
+}
+
+TEST(Delay, ResourceDemandIsVolumeTimesRate) {
+  const Instance inst = TinyFixture::make();
+  const Query& q = inst.query(0);
+  EXPECT_DOUBLE_EQ(resource_demand(inst, q, q.demands[0]), 4.0 * 1.0);
+}
+
+TEST(Delay, BestPossibleDelayIsMinOverSites) {
+  const Instance inst = TinyFixture::make();
+  const Query& q = inst.query(0);
+  EXPECT_NEAR(best_possible_delay(inst, q, q.demands[0]),
+              TinyFixture::kDelayAtCl, 1e-12);
+}
+
+TEST(Delay, SelectivityScalesTransmissionOnly) {
+  // Two otherwise-identical demands with different α: processing equal,
+  // transfer proportional.
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kCloudlet);
+  const NodeId b = g.add_node(NodeRole::kCloudlet);
+  g.add_edge(a, b, 2.0);
+  Instance inst(std::move(g));
+  const SiteId sa = inst.add_site(a, 10.0, 0.1);
+  const SiteId sb = inst.add_site(b, 10.0, 0.1);
+  const DatasetId d = inst.add_dataset(3.0, sa);
+  inst.add_query(sb, 1.0, 100.0, {{d, 0.2}});
+  inst.add_query(sb, 1.0, 100.0, {{d, 0.8}});
+  inst.finalize();
+  const double d1 = evaluation_delay(inst, inst.query(0),
+                                     inst.query(0).demands[0], sa);
+  const double d2 = evaluation_delay(inst, inst.query(1),
+                                     inst.query(1).demands[0], sa);
+  const double processing = 3.0 * 0.1;
+  EXPECT_NEAR(d1 - processing, 0.2 * 3.0 * 2.0, 1e-12);
+  EXPECT_NEAR(d2 - processing, 0.8 * 3.0 * 2.0, 1e-12);
+}
+
+TEST(Delay, HomeEvaluationHasNoTransfer) {
+  const Instance inst = TinyFixture::make();
+  const Query& q = inst.query(0);
+  const double at_home = evaluation_delay(inst, q, q.demands[0], q.home);
+  EXPECT_DOUBLE_EQ(at_home, inst.dataset(0).volume * inst.site(q.home).proc_delay);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,96 @@
+#include "cloud/plan_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+TEST(PlanDiff, IdenticalPlansAreEmpty) {
+  const Instance inst = TinyFixture::make();
+  ReplicaPlan a(inst);
+  a.place_replica(0, 0);
+  a.assign(0, 0, 0);
+  const ReplicaPlan b = a;
+  const PlanDiff d = diff_plans(a, b);
+  EXPECT_TRUE(d.empty());
+  std::ostringstream os;
+  print_diff(os, d, inst);
+  EXPECT_NE(os.str().find("identical"), std::string::npos);
+}
+
+TEST(PlanDiff, DetectsReplicaAddAndRemove) {
+  const Instance inst = TinyFixture::make();
+  ReplicaPlan before(inst);
+  before.place_replica(0, 0);
+  ReplicaPlan after(inst);
+  after.place_replica(0, 1);
+  const PlanDiff d = diff_plans(before, after);
+  ASSERT_EQ(d.replicas_added.size(), 1u);
+  ASSERT_EQ(d.replicas_removed.size(), 1u);
+  EXPECT_EQ(d.replicas_added[0].site, 1u);
+  EXPECT_EQ(d.replicas_removed[0].site, 0u);
+  // Migration cost = volume of the added replica's dataset (4 GB).
+  EXPECT_DOUBLE_EQ(d.migration_volume_gb(inst), 4.0);
+}
+
+TEST(PlanDiff, DetectsReassignment) {
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  ReplicaPlan before(inst);
+  before.place_replica(0, 0);
+  before.place_replica(0, 1);
+  before.assign(0, 0, 0);
+  ReplicaPlan after = before;
+  after.unassign(0, 0);
+  after.assign(0, 0, 1);
+  const PlanDiff d = diff_plans(before, after);
+  ASSERT_EQ(d.reassigned.size(), 1u);
+  EXPECT_EQ(d.reassigned[0].before, 0u);
+  EXPECT_EQ(d.reassigned[0].after, 1u);
+  EXPECT_TRUE(d.replicas_added.empty());
+}
+
+TEST(PlanDiff, DetectsNewlyAssignedAndDropped) {
+  const Instance inst = TinyFixture::make();
+  ReplicaPlan before(inst);
+  ReplicaPlan after(inst);
+  after.place_replica(0, 0);
+  after.assign(0, 0, 0);
+  const PlanDiff d = diff_plans(before, after);
+  ASSERT_EQ(d.reassigned.size(), 1u);
+  EXPECT_EQ(d.reassigned[0].before, kInvalidSite);
+  EXPECT_EQ(d.reassigned[0].after, 0u);
+  const PlanDiff rev = diff_plans(after, before);
+  EXPECT_EQ(rev.reassigned[0].after, kInvalidSite);
+}
+
+TEST(PlanDiff, RejectsDifferentInstances) {
+  const Instance a = TinyFixture::make();
+  const Instance b = TinyFixture::make();
+  const ReplicaPlan pa(a);
+  const ReplicaPlan pb(b);
+  EXPECT_THROW(diff_plans(pa, pb), std::invalid_argument);
+}
+
+TEST(PlanDiff, PrintsSummaryLine) {
+  const Instance inst = TinyFixture::make();
+  ReplicaPlan before(inst);
+  ReplicaPlan after(inst);
+  after.place_replica(0, 0);
+  after.assign(0, 0, 0);
+  std::ostringstream os;
+  print_diff(os, diff_plans(before, after), inst);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("+replica d0 @ site 0"), std::string::npos);
+  EXPECT_NE(out.find("1 replica(s) added"), std::string::npos);
+  EXPECT_NE(out.find("1 demand(s) reassigned"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,92 @@
+#include "core/lagrangian.h"
+
+#include <gtest/gtest.h>
+
+#include "core/appro.h"
+#include "core/exact.h"
+#include "helpers/fixtures.h"
+#include "util/stats.h"
+#include "lp/model.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+TEST(Lagrangian, SolvesTinyInstance) {
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  const LagrangianResult r = lagrangian_placement(inst);
+  EXPECT_TRUE(validate(r.plan).ok);
+  EXPECT_TRUE(r.plan.admitted(0));
+  EXPECT_DOUBLE_EQ(r.metrics.assigned_volume, 4.0);
+  // The bound must cover the primal.
+  EXPECT_GE(r.best_bound, r.metrics.assigned_volume - 1e-6);
+}
+
+TEST(Lagrangian, PlansValidateAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = testing::medium_instance(seed, /*f_max=*/3);
+    const LagrangianResult r = lagrangian_placement(inst);
+    const ValidationResult vr = validate(r.plan);
+    EXPECT_TRUE(vr.ok) << "seed " << seed << ": "
+                       << (vr.violations.empty() ? "" : vr.violations[0]);
+    EXPECT_GE(r.best_bound, r.metrics.assigned_volume - 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(Lagrangian, BoundCoversExactAssignedOptimum) {
+  // On small instances the (near-)bound must sit above the exact
+  // assigned-volume ILP optimum, modulo the greedy inner approximation —
+  // check with a small tolerance band.
+  for (std::uint64_t seed = 40; seed <= 44; ++seed) {
+    const Instance inst = testing::small_instance(seed, /*f_max=*/2);
+    const auto exact =
+        solve_exact(inst, ModelObjective::kAssignedVolume);
+    if (!exact || !exact->proven_optimal) continue;
+    const LagrangianResult r = lagrangian_placement(inst);
+    EXPECT_GE(r.best_bound, exact->objective * (1.0 - 1e-6))
+        << "seed " << seed;
+  }
+}
+
+TEST(Lagrangian, BoundTraceDecreasesOverall) {
+  const Instance inst = testing::medium_instance(9, /*f_max=*/3);
+  const LagrangianResult r = lagrangian_placement(inst);
+  ASSERT_FALSE(r.bound_trace.empty());
+  EXPECT_EQ(r.bound_trace.size(), r.iterations_run);
+  // The best bound improves on the first iterate (λ = 0 is the loosest).
+  EXPECT_LE(r.best_bound, r.bound_trace.front() + 1e-9);
+}
+
+TEST(Lagrangian, IterationBudgetRespected) {
+  const Instance inst = testing::medium_instance(10, /*f_max=*/2);
+  LagrangianOptions opts;
+  opts.iterations = 5;
+  const LagrangianResult r = lagrangian_placement(inst, opts);
+  EXPECT_EQ(r.iterations_run, 5u);
+}
+
+TEST(Lagrangian, ReplicaBudgetRespected) {
+  const Instance inst = testing::medium_instance(11, /*f_max=*/3);
+  const LagrangianResult r = lagrangian_placement(inst);
+  for (const Dataset& d : inst.datasets()) {
+    EXPECT_LE(r.plan.replica_count(d.id), inst.max_replicas());
+  }
+}
+
+TEST(Lagrangian, ComparableToApproOnAssignedVolume) {
+  // Not a dominance claim — just that the method is in the same league
+  // (within 2x) as the primal-dual heuristic, averaged over seeds.
+  RunningStat lag;
+  RunningStat app;
+  for (std::uint64_t seed = 20; seed <= 25; ++seed) {
+    const Instance inst = testing::medium_instance(seed, /*f_max=*/3);
+    lag.add(lagrangian_placement(inst).metrics.assigned_volume);
+    app.add(appro_g(inst).metrics.assigned_volume);
+  }
+  EXPECT_GT(lag.mean(), 0.4 * app.mean());
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,81 @@
+#include "core/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.h"
+#include "baselines/random_baseline.h"
+#include "core/appro.h"
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+TEST(LocalSearch, AdmitsFromAnEmptyPlan) {
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  const LocalSearchResult r = improve_plan(ReplicaPlan(inst));
+  EXPECT_TRUE(r.plan.admitted(0));
+  EXPECT_EQ(r.queries_admitted, 1u);
+  EXPECT_TRUE(validate(r.plan).ok);
+}
+
+TEST(LocalSearch, NeverDecreasesAdmittedVolume) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = testing::medium_instance(seed, /*f_max=*/3);
+    for (const ReplicaPlan& start :
+         {appro_g(inst).plan, greedy_g(inst).plan,
+          random_baseline(inst).plan, ReplicaPlan(inst)}) {
+      const double before = evaluate(start).admitted_volume;
+      const LocalSearchResult r = improve_plan(start);
+      EXPECT_GE(r.metrics.admitted_volume, before - 1e-9) << "seed " << seed;
+      EXPECT_TRUE(validate(r.plan).ok) << "seed " << seed;
+    }
+  }
+}
+
+TEST(LocalSearch, ReclaimsWastedGreedyReplicas) {
+  // Greedy with K=1 burns the single replica on the infeasible DC; local
+  // search must reclaim the unused replica and admit the query.
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0, /*max_replicas=*/1);
+  const BaselineResult greedy = greedy_s(inst);
+  ASSERT_FALSE(greedy.plan.admitted(0));
+  const LocalSearchResult r = improve_plan(greedy.plan);
+  EXPECT_TRUE(r.plan.admitted(0));
+  EXPECT_TRUE(validate(r.plan).ok);
+}
+
+TEST(LocalSearch, IsIdempotentAtFixedPoint) {
+  const Instance inst = testing::medium_instance(7, /*f_max=*/3);
+  const LocalSearchResult once = improve_plan(appro_g(inst).plan);
+  const LocalSearchResult twice = improve_plan(once.plan);
+  EXPECT_DOUBLE_EQ(twice.metrics.admitted_volume,
+                   once.metrics.admitted_volume);
+  EXPECT_EQ(twice.queries_admitted, 0u);
+}
+
+TEST(LocalSearch, RespectsPassLimit) {
+  const Instance inst = testing::medium_instance(8, /*f_max=*/3);
+  LocalSearchOptions opts;
+  opts.max_passes = 1;
+  const LocalSearchResult r = improve_plan(ReplicaPlan(inst), opts);
+  EXPECT_EQ(r.passes, 1u);
+  EXPECT_TRUE(validate(r.plan).ok);
+}
+
+TEST(LocalSearch, KeepsAllConstraintsOnRandomStarts) {
+  for (std::uint64_t seed = 30; seed <= 35; ++seed) {
+    const Instance inst = testing::medium_instance(seed, /*f_max=*/4);
+    const LocalSearchResult r =
+        improve_plan(random_baseline(inst, seed).plan);
+    const ValidationResult vr = validate(r.plan);
+    EXPECT_TRUE(vr.ok) << "seed " << seed << ": "
+                       << (vr.violations.empty() ? "" : vr.violations[0]);
+    for (const Dataset& d : inst.datasets()) {
+      EXPECT_LE(r.plan.replica_count(d.id), inst.max_replicas());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edgerep

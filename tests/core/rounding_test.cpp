@@ -1,0 +1,79 @@
+#include "core/rounding.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+TEST(LpRounding, SolvesTinyInstanceOptimally) {
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  const BaselineResult r = lp_rounding(inst);
+  EXPECT_TRUE(validate(r.plan).ok);
+  EXPECT_TRUE(r.plan.admitted(0));
+  EXPECT_DOUBLE_EQ(r.metrics.admitted_volume, 4.0);
+}
+
+TEST(LpRounding, PlansValidateAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = testing::small_instance(seed, /*f_max=*/2);
+    const BaselineResult r = lp_rounding(inst);
+    const ValidationResult vr = validate(r.plan);
+    EXPECT_TRUE(vr.ok) << "seed " << seed << ": "
+                       << (vr.violations.empty() ? "" : vr.violations[0]);
+  }
+}
+
+TEST(LpRounding, RespectsReplicaBudget) {
+  for (std::uint64_t seed = 10; seed <= 14; ++seed) {
+    const Instance inst = testing::small_instance(seed, /*f_max=*/2,
+                                                  /*max_replicas=*/1);
+    const BaselineResult r = lp_rounding(inst);
+    for (const Dataset& d : inst.datasets()) {
+      EXPECT_LE(r.plan.replica_count(d.id), 1u);
+    }
+  }
+}
+
+TEST(LpRounding, NeverExceedsLpBound) {
+  for (std::uint64_t seed = 20; seed <= 25; ++seed) {
+    const Instance inst = testing::small_instance(seed, /*f_max=*/2);
+    const BaselineResult r = lp_rounding(inst);
+    const double bound = lp_upper_bound(inst);
+    EXPECT_LE(r.metrics.admitted_volume, bound + 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(LpRounding, DeterministicByDefault) {
+  const Instance inst = testing::small_instance(3, /*f_max=*/2);
+  const BaselineResult a = lp_rounding(inst);
+  const BaselineResult b = lp_rounding(inst);
+  EXPECT_DOUBLE_EQ(a.metrics.admitted_volume, b.metrics.admitted_volume);
+  EXPECT_EQ(a.plan.total_replicas(), b.plan.total_replicas());
+}
+
+TEST(LpRounding, RandomizedModeIsSeededAndValid) {
+  const Instance inst = testing::small_instance(4, /*f_max=*/2);
+  RoundingOptions opts;
+  opts.randomized = true;
+  opts.seed = 5;
+  const BaselineResult a = lp_rounding(inst, opts);
+  const BaselineResult b = lp_rounding(inst, opts);
+  EXPECT_DOUBLE_EQ(a.metrics.admitted_volume, b.metrics.admitted_volume);
+  EXPECT_TRUE(validate(a.plan).ok);
+}
+
+TEST(LpRounding, CountsDemandsExactly) {
+  const Instance inst = testing::small_instance(6, /*f_max=*/3);
+  const BaselineResult r = lp_rounding(inst);
+  std::size_t total = 0;
+  for (const Query& q : inst.queries()) total += q.demands.size();
+  EXPECT_EQ(r.demands_assigned + r.demands_rejected, total);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,110 @@
+// Cross-module integration: generator → algorithms → validator → simulator,
+// plus topology serialization of generated instances.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "edgerep/edgerep.h"
+
+namespace edgerep {
+namespace {
+
+TEST(EndToEnd, SimulationPipelineOnGeneratedWorkload) {
+  WorkloadConfig cfg;
+  cfg.network_size = 32;
+  cfg.min_queries = 40;
+  cfg.max_queries = 40;
+  cfg.max_datasets_per_query = 3;
+  const Instance inst = generate_instance(cfg, 1234);
+  const ApproResult planned = appro_g(inst);
+  ASSERT_TRUE(validate(planned.plan).ok);
+  SimConfig sim_cfg;
+  sim_cfg.arrivals = SimConfig::Arrivals::kPoisson;
+  sim_cfg.arrival_rate = 5.0;
+  const SimReport rep = simulate(planned.plan, sim_cfg);
+  EXPECT_EQ(rep.total_queries, 40u);
+  // With planned capacity, simulation can only confirm static admissions.
+  EXPECT_LE(rep.admitted_queries, rep.served_queries);
+  EXPECT_EQ(rep.served_queries, planned.metrics.admitted_queries);
+}
+
+TEST(EndToEnd, TestbedPipelineComparesAlgorithms) {
+  const Instance inst = make_testbed_instance(TestbedWorkloadConfig{}, 99);
+  const ApproResult appro = appro_g(inst);
+  const BaselineResult pop = popularity_g(inst);
+  ASSERT_TRUE(validate(appro.plan).ok);
+  ASSERT_TRUE(validate(pop.plan).ok);
+  SimConfig sim_cfg;
+  sim_cfg.arrivals = SimConfig::Arrivals::kAllAtOnce;
+  const SimReport rep_a = simulate(appro.plan, sim_cfg);
+  const SimReport rep_p = simulate(pop.plan, sim_cfg);
+  EXPECT_EQ(rep_a.total_queries, rep_p.total_queries);
+  // Both pipelines must produce internally consistent reports.
+  EXPECT_GE(rep_a.served_queries, rep_a.admitted_queries);
+  EXPECT_GE(rep_p.served_queries, rep_p.admitted_queries);
+}
+
+TEST(EndToEnd, GeneratedTopologySerializationRoundTrip) {
+  const Instance inst = generate_instance(WorkloadConfig{}, 55);
+  std::ostringstream os;
+  write_topology(os, inst.graph());
+  std::istringstream is(os.str());
+  const Graph back = read_topology(is);
+  ASSERT_EQ(back.num_nodes(), inst.graph().num_nodes());
+  ASSERT_EQ(back.num_edges(), inst.graph().num_edges());
+  // Shortest-path structure must survive the round trip.
+  const auto orig = DelayMatrix::compute(inst.graph(), false);
+  const auto redo = DelayMatrix::compute(back, false);
+  for (NodeId u = 0; u < back.num_nodes(); ++u) {
+    EXPECT_NEAR(orig.at(u, 0), redo.at(u, 0), 1e-12);
+  }
+}
+
+TEST(EndToEnd, AllAlgorithmsAgreeOnTotalDemands) {
+  const Instance inst = generate_instance(WorkloadConfig{}, 77);
+  std::size_t total = 0;
+  for (const Query& q : inst.queries()) total += q.demands.size();
+  const ApproResult a = appro_g(inst);
+  const BaselineResult g = greedy_g(inst);
+  const BaselineResult gr = graph_g(inst);
+  const BaselineResult p = popularity_g(inst);
+  EXPECT_EQ(a.demands_assigned + a.demands_rejected, total);
+  EXPECT_EQ(g.demands_assigned + g.demands_rejected, total);
+  EXPECT_EQ(gr.demands_assigned + gr.demands_rejected, total);
+  EXPECT_EQ(p.demands_assigned + p.demands_rejected, total);
+}
+
+TEST(EndToEnd, ExactMatchesApproOnEasyInstance) {
+  // An instance with abundant resources where the heuristic should reach
+  // the optimum: every demand has a feasible site and capacity is plentiful.
+  Graph g;
+  const NodeId cl0 = g.add_node(NodeRole::kCloudlet);
+  const NodeId cl1 = g.add_node(NodeRole::kCloudlet);
+  g.add_edge(cl0, cl1, 0.05);
+  Instance inst(std::move(g));
+  const SiteId s0 = inst.add_site(cl0, 50.0, 0.1);
+  const SiteId s1 = inst.add_site(cl1, 50.0, 0.1);
+  const DatasetId d0 = inst.add_dataset(2.0, s0);
+  const DatasetId d1 = inst.add_dataset(3.0, s1);
+  inst.add_query(s0, 1.0, 5.0, {{d0, 0.5}});
+  inst.add_query(s1, 1.0, 5.0, {{d1, 0.5}});
+  inst.add_query(s0, 1.0, 5.0, {{d0, 0.3}, {d1, 0.3}});
+  inst.set_max_replicas(2);
+  inst.finalize();
+  const auto exact = solve_exact(inst);
+  ASSERT_TRUE(exact.has_value());
+  const ApproResult heur = appro_g(inst);
+  EXPECT_NEAR(heur.metrics.admitted_volume, exact->objective, 1e-6);
+  EXPECT_NEAR(exact->objective, 2.0 + 3.0 + 5.0, 1e-6);
+}
+
+TEST(EndToEnd, UmbrellaHeaderExposesEverything) {
+  // Compile-level check: the quickstart path works through edgerep.h alone.
+  const Instance inst = generate_instance(special_case_config(), 42);
+  const ApproResult r = appro_s(inst);
+  const PlanMetrics pm = evaluate(r.plan);
+  EXPECT_EQ(pm.total_queries, inst.queries().size());
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,116 @@
+// Shape checks for the paper's headline findings, on averaged randomized
+// workloads (not absolute numbers — see EXPERIMENTS.md):
+//  * Appro beats Greedy and Graph on admitted volume and throughput (Figs
+//    2–3),
+//  * both metrics grow with the replica budget K (Fig 5),
+//  * throughput falls as queries demand more datasets (Fig 4),
+//  * Appro beats Popularity on the emulated testbed (Figs 7–8).
+#include <gtest/gtest.h>
+
+#include "edgerep/edgerep.h"
+
+namespace edgerep {
+namespace {
+
+constexpr std::size_t kReps = 10;
+
+std::vector<AlgoStats> special_point(std::size_t network_size,
+                                     std::uint64_t seed) {
+  WorkloadConfig cfg = special_case_config(network_size);
+  return run_sweep_point(cfg, seed, kReps, algorithms_special());
+}
+
+TEST(PaperShape, ApproSBeatsBaselinesOnVolume) {
+  const auto stats = special_point(32, 0xf16);
+  const double appro = stats[0].admitted_volume.mean();
+  const double greedy = stats[1].admitted_volume.mean();
+  const double graph = stats[2].admitted_volume.mean();
+  EXPECT_GT(appro, greedy) << "Appro-S must beat Greedy-S (paper: ~4x)";
+  EXPECT_GT(appro, graph) << "Appro-S must beat Graph-S (paper: ~2x)";
+}
+
+TEST(PaperShape, ApproSBeatsBaselinesOnThroughput) {
+  const auto stats = special_point(32, 0xf17);
+  EXPECT_GE(stats[0].throughput.mean(), stats[1].throughput.mean());
+  EXPECT_GE(stats[0].throughput.mean(), stats[2].throughput.mean());
+}
+
+TEST(PaperShape, ApproGBeatsBaselinesGeneralCase) {
+  WorkloadConfig cfg;
+  cfg.network_size = 32;
+  cfg.max_datasets_per_query = 5;
+  const auto stats = run_sweep_point(cfg, 0xf18, kReps, algorithms_general());
+  EXPECT_GT(stats[0].admitted_volume.mean(), stats[1].admitted_volume.mean())
+      << "Appro-G must beat Greedy-G (paper: ~5x)";
+  EXPECT_GT(stats[0].admitted_volume.mean(), stats[2].admitted_volume.mean())
+      << "Appro-G must beat Graph-G (paper: ~1.7x)";
+}
+
+TEST(PaperShape, VolumeGrowsWithReplicaBudget) {
+  // Fig 5: more replicas → more admitted volume, for the core algorithm.
+  WorkloadConfig cfg;
+  cfg.network_size = 32;
+  cfg.max_datasets_per_query = 4;
+  RunningStat k1;
+  RunningStat k7;
+  for (std::size_t r = 0; r < kReps; ++r) {
+    cfg.max_replicas = 1;
+    const Instance i1 = generate_instance(cfg, derive_seed(0xf19, r));
+    cfg.max_replicas = 7;
+    const Instance i7 = generate_instance(cfg, derive_seed(0xf19, r));
+    k1.add(appro_g(i1).metrics.assigned_volume);
+    k7.add(appro_g(i7).metrics.assigned_volume);
+  }
+  EXPECT_GE(k7.mean(), k1.mean());
+}
+
+TEST(PaperShape, ThroughputFallsWithDatasetsPerQuery) {
+  // Fig 4: multi-dataset queries are harder to admit in full.
+  WorkloadConfig cfg;
+  cfg.network_size = 32;
+  RunningStat f1;
+  RunningStat f6;
+  for (std::size_t r = 0; r < kReps; ++r) {
+    cfg.min_datasets_per_query = 1;
+    cfg.max_datasets_per_query = 1;
+    const Instance i1 = generate_instance(cfg, derive_seed(0xf20, r));
+    cfg.min_datasets_per_query = 6;
+    cfg.max_datasets_per_query = 6;
+    const Instance i6 = generate_instance(cfg, derive_seed(0xf20, r));
+    f1.add(appro_g(i1).metrics.throughput);
+    f6.add(appro_g(i6).metrics.throughput);
+  }
+  EXPECT_GT(f1.mean(), f6.mean());
+}
+
+TEST(PaperShape, ApproBeatsPopularityOnTestbed) {
+  // Figs 7–8 analogue: averaged over seeds on the emulated testbed.
+  RunningStat appro_vol;
+  RunningStat pop_vol;
+  for (std::uint64_t seed = 0; seed < kReps; ++seed) {
+    const Instance inst =
+        make_testbed_instance(TestbedWorkloadConfig{}, derive_seed(0xf21, seed));
+    appro_vol.add(appro_g(inst).metrics.assigned_volume);
+    pop_vol.add(popularity_g(inst).metrics.assigned_volume);
+  }
+  EXPECT_GE(appro_vol.mean(), pop_vol.mean());
+}
+
+TEST(PaperShape, ApproBeatsRandomFloor) {
+  // Not in the paper, but any sensible heuristic must clear the random
+  // baseline on average.
+  WorkloadConfig cfg;
+  cfg.network_size = 32;
+  cfg.max_datasets_per_query = 4;
+  RunningStat appro_vol;
+  RunningStat rand_vol;
+  for (std::size_t r = 0; r < kReps; ++r) {
+    const Instance inst = generate_instance(cfg, derive_seed(0xf22, r));
+    appro_vol.add(appro_g(inst).metrics.admitted_volume);
+    rand_vol.add(random_baseline(inst).metrics.admitted_volume);
+  }
+  EXPECT_GE(appro_vol.mean(), rand_vol.mean());
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,138 @@
+// Parameterized property sweeps: every algorithm, on randomized instances,
+// must produce plans satisfying every ILP constraint, and the primal-dual
+// invariants must hold.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "edgerep/edgerep.h"
+
+namespace edgerep {
+namespace {
+
+struct AlgoCase {
+  const char* name;
+  ReplicaPlan (*run)(const Instance&);
+};
+
+ReplicaPlan run_appro(const Instance& i) { return appro_g(i).plan; }
+ReplicaPlan run_greedy(const Instance& i) { return greedy_g(i).plan; }
+ReplicaPlan run_graph(const Instance& i) { return graph_g(i).plan; }
+ReplicaPlan run_popularity(const Instance& i) { return popularity_g(i).plan; }
+ReplicaPlan run_random(const Instance& i) { return random_baseline(i).plan; }
+
+class AlgoConstraintProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, int>> {
+ protected:
+  static const AlgoCase& algo() {
+    static const AlgoCase kCases[] = {
+        {"Appro-G", run_appro},     {"Greedy-G", run_greedy},
+        {"Graph-G", run_graph},     {"Popularity-G", run_popularity},
+        {"Random", run_random},
+    };
+    return kCases[std::get<0>(GetParam())];
+  }
+};
+
+TEST_P(AlgoConstraintProperty, PlanSatisfiesAllIlpConstraints) {
+  const std::uint64_t seed = std::get<1>(GetParam());
+  const int k = std::get<2>(GetParam());
+  WorkloadConfig cfg;
+  cfg.network_size = 24;
+  cfg.min_queries = 20;
+  cfg.max_queries = 50;
+  cfg.max_datasets_per_query = 4;
+  cfg.max_replicas = static_cast<std::size_t>(k);
+  const Instance inst = generate_instance(cfg, seed);
+  const ReplicaPlan plan = algo().run(inst);
+  const ValidationResult vr = validate(plan);
+  EXPECT_TRUE(vr.ok) << algo().name << " seed=" << seed << " K=" << k << ": "
+                     << (vr.violations.empty() ? "" : vr.violations[0]);
+  // Replica budget (constraint 5) re-checked explicitly.
+  for (const Dataset& d : inst.datasets()) {
+    EXPECT_LE(plan.replica_count(d.id), inst.max_replicas());
+  }
+  // Ledger consistency.
+  for (const Site& s : inst.sites()) {
+    EXPECT_GE(plan.residual(s.id), -1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlgoConstraintProperty,
+    ::testing::Combine(::testing::Range(0, 5),                // algorithm
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4),  // seed
+                       ::testing::Values(1, 3, 7)));          // K
+
+class ApproDualityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproDualityProperty, RepairedDualBoundsThePrimal) {
+  WorkloadConfig cfg;
+  cfg.network_size = 24;
+  cfg.min_queries = 20;
+  cfg.max_queries = 40;
+  cfg.max_datasets_per_query = 3;
+  const Instance inst = generate_instance(cfg, GetParam());
+  const ApproResult r = appro_g(inst);
+  ASSERT_TRUE(r.duals.feasible());
+  EXPECT_LE(r.metrics.admitted_volume, r.dual_objective + 1e-6);
+  EXPECT_LE(r.metrics.assigned_volume,
+            inst.total_demanded_volume() + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproDualityProperty,
+                         ::testing::Range<std::uint64_t>(300, 312));
+
+class DeadlineNeverViolatedProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeadlineNeverViolatedProperty, EveryAssignmentMeetsQoS) {
+  // The central QoS claim, re-verified against the raw delay model rather
+  // than through the validator.
+  WorkloadConfig cfg;
+  cfg.network_size = 20;
+  cfg.min_queries = 30;
+  cfg.max_queries = 30;
+  cfg.max_datasets_per_query = 3;
+  const Instance inst = generate_instance(cfg, GetParam());
+  for (const ReplicaPlan& plan :
+       {appro_g(inst).plan, greedy_g(inst).plan, graph_g(inst).plan,
+        popularity_g(inst).plan}) {
+    for (const Query& q : inst.queries()) {
+      for (const DatasetDemand& dd : q.demands) {
+        const auto site = plan.assignment(q.id, dd.dataset);
+        if (site) {
+          EXPECT_LE(evaluation_delay(inst, q, dd, *site), q.deadline + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeadlineNeverViolatedProperty,
+                         ::testing::Range<std::uint64_t>(400, 408));
+
+class SimConsistencyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimConsistencyProperty, StaticAdmissionsSurviveSimulation) {
+  // At planned capacity with simultaneous arrivals, the DES must confirm
+  // exactly the statically admitted queries.
+  WorkloadConfig cfg;
+  cfg.network_size = 20;
+  cfg.min_queries = 25;
+  cfg.max_queries = 25;
+  cfg.max_datasets_per_query = 3;
+  const Instance inst = generate_instance(cfg, GetParam());
+  const ApproResult r = appro_g(inst);
+  SimConfig sim_cfg;
+  sim_cfg.arrivals = SimConfig::Arrivals::kAllAtOnce;
+  const SimReport rep = simulate(r.plan, sim_cfg);
+  EXPECT_EQ(rep.admitted_queries, r.metrics.admitted_queries);
+  EXPECT_NEAR(rep.admitted_volume, r.metrics.admitted_volume, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimConsistencyProperty,
+                         ::testing::Range<std::uint64_t>(500, 508));
+
+}  // namespace
+}  // namespace edgerep

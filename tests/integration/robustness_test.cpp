@@ -1,0 +1,207 @@
+// Robustness: extreme parameters, degenerate instances, and alternative
+// topology families — places where off-by-one and division-by-zero bugs
+// hide.
+#include <gtest/gtest.h>
+
+#include "edgerep/edgerep.h"
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+/// Build an instance over an arbitrary pre-made graph: every cloudlet/DC
+/// node becomes a site; datasets and queries are seeded deterministically.
+Instance instance_on_graph(Graph g, std::uint64_t seed,
+                           std::size_t num_datasets = 5,
+                           std::size_t num_queries = 20) {
+  Rng rng(seed);
+  Instance inst(std::move(g));
+  std::vector<SiteId> sites;
+  for (NodeId v = 0; v < inst.graph().num_nodes(); ++v) {
+    const NodeRole role = inst.graph().role(v);
+    if (role == NodeRole::kCloudlet) {
+      sites.push_back(inst.add_site(v, rng.uniform(8.0, 16.0),
+                                    rng.uniform(0.05, 0.25)));
+    } else if (role == NodeRole::kDataCenter) {
+      sites.push_back(inst.add_site(v, rng.uniform(200.0, 700.0),
+                                    rng.uniform(0.01, 0.04)));
+    }
+  }
+  if (sites.empty()) {
+    sites.push_back(inst.add_site(0, 10.0, 0.1));
+  }
+  for (std::size_t n = 0; n < num_datasets; ++n) {
+    inst.add_dataset(rng.uniform(1.0, 6.0),
+                     sites[static_cast<std::size_t>(
+                         rng.uniform_u64(0, sites.size() - 1))]);
+  }
+  for (std::size_t m = 0; m < num_queries; ++m) {
+    const auto ds = static_cast<DatasetId>(
+        rng.uniform_u64(0, num_datasets - 1));
+    const double vol = inst.dataset(ds).volume;
+    inst.add_query(sites[static_cast<std::size_t>(
+                       rng.uniform_u64(0, sites.size() - 1))],
+                   rng.uniform(0.75, 1.25), rng.uniform(0.2, 0.9) * vol,
+                   {{ds, rng.uniform(0.05, 0.8)}});
+  }
+  inst.set_max_replicas(3);
+  inst.finalize();
+  return inst;
+}
+
+TEST(Robustness, AlgorithmsRunOnWaxmanTopology) {
+  Rng rng(1);
+  Graph g = waxman(30, 0.9, 0.3, Range{0.05, 0.5}, rng);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    g.set_role(v, v < 25 ? NodeRole::kCloudlet : NodeRole::kDataCenter);
+  }
+  const Instance inst = instance_on_graph(std::move(g), 2);
+  EXPECT_TRUE(validate(appro_g(inst).plan).ok);
+  EXPECT_TRUE(validate(greedy_g(inst).plan).ok);
+  EXPECT_TRUE(validate(graph_g(inst).plan).ok);
+  EXPECT_TRUE(validate(popularity_g(inst).plan).ok);
+  EXPECT_TRUE(validate(centrality_g(inst).plan).ok);
+}
+
+TEST(Robustness, AlgorithmsRunOnTransitStubTopology) {
+  Rng rng(3);
+  TransitStubConfig cfg;
+  const TransitStubTopology ts = transit_stub(cfg, rng);
+  const Instance inst = instance_on_graph(ts.graph, 4);
+  const ApproResult r = appro_g(inst);
+  EXPECT_TRUE(validate(r.plan).ok);
+  EXPECT_LE(r.metrics.admitted_volume, r.dual_objective + 1e-6);
+}
+
+TEST(Robustness, SingleSiteInstance) {
+  Graph g;
+  g.add_node(NodeRole::kCloudlet);
+  Instance inst(std::move(g));
+  const SiteId s = inst.add_site(0, 10.0, 0.1);
+  const DatasetId d = inst.add_dataset(2.0, s);
+  inst.add_query(s, 1.0, 1.0, {{d, 0.5}});
+  inst.add_query(s, 1.0, 1.0, {{d, 0.5}});
+  inst.add_query(s, 1.0, 0.01, {{d, 0.5}});  // infeasible deadline
+  inst.set_max_replicas(1);
+  inst.finalize();
+  const ApproResult r = appro_g(inst);
+  EXPECT_TRUE(validate(r.plan).ok);
+  EXPECT_EQ(r.metrics.admitted_queries, 2u);
+  EXPECT_EQ(evaluate(greedy_g(inst).plan).admitted_queries, 2u);
+}
+
+TEST(Robustness, SingleQuerySingleDataset) {
+  const Instance inst = testing::TinyFixture::make();
+  for (const auto& algo :
+       {+[](const Instance& i) { return appro_s(i).plan; },
+        +[](const Instance& i) { return greedy_s(i).plan; },
+        +[](const Instance& i) { return graph_s(i).plan; },
+        +[](const Instance& i) { return popularity_s(i).plan; },
+        +[](const Instance& i) { return centrality_s(i).plan; }}) {
+    EXPECT_TRUE(validate(algo(inst)).ok);
+  }
+}
+
+TEST(Robustness, ImpossibleDeadlinesAdmitNothingEverywhere) {
+  WorkloadConfig cfg;
+  cfg.network_size = 16;
+  cfg.min_queries = 15;
+  cfg.max_queries = 15;
+  cfg.deadline_per_gb = {1e-6, 2e-6};  // no site can ever meet these
+  const Instance inst = generate_instance(cfg, 5);
+  EXPECT_DOUBLE_EQ(appro_g(inst).metrics.admitted_volume, 0.0);
+  EXPECT_DOUBLE_EQ(popularity_g(inst).metrics.assigned_volume, 0.0);
+  EXPECT_DOUBLE_EQ(random_baseline(inst).metrics.assigned_volume, 0.0);
+  EXPECT_DOUBLE_EQ(lagrangian_placement(inst).metrics.assigned_volume, 0.0);
+}
+
+TEST(Robustness, VeryLooseDeadlinesAdmitEverythingWithCapacity) {
+  WorkloadConfig cfg;
+  cfg.network_size = 16;
+  cfg.min_queries = 10;
+  cfg.max_queries = 10;
+  cfg.deadline_per_gb = {1e3, 2e3};
+  cfg.cl_capacity = {1e5, 1e5};
+  cfg.dc_capacity = {1e6, 1e6};
+  const Instance inst = generate_instance(cfg, 6);
+  EXPECT_DOUBLE_EQ(appro_g(inst).metrics.throughput, 1.0);
+}
+
+TEST(Robustness, HugeReplicaBudgetIsHarmless) {
+  WorkloadConfig cfg;
+  cfg.network_size = 16;
+  cfg.max_replicas = 1000;  // far above |V|
+  const Instance inst = generate_instance(cfg, 7);
+  const ApproResult r = appro_g(inst);
+  EXPECT_TRUE(validate(r.plan).ok);
+  for (const Dataset& d : inst.datasets()) {
+    EXPECT_LE(r.plan.replica_count(d.id), inst.sites().size());
+  }
+}
+
+TEST(Robustness, ZeroProcessingDelaySites) {
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kCloudlet);
+  const NodeId b = g.add_node(NodeRole::kCloudlet);
+  g.add_edge(a, b, 0.5);
+  Instance inst(std::move(g));
+  const SiteId sa = inst.add_site(a, 10.0, 0.0);  // instantaneous compute
+  inst.add_site(b, 10.0, 0.0);
+  const DatasetId d = inst.add_dataset(2.0, sa);
+  inst.add_query(sa, 1.0, 0.1, {{d, 0.5}});
+  inst.finalize();
+  const ApproResult r = appro_g(inst);
+  EXPECT_TRUE(r.plan.admitted(0));
+  // The simulator must handle zero-duration tasks in both disciplines.
+  for (const auto disc : {SimConfig::Discipline::kReservation,
+                          SimConfig::Discipline::kProcessorSharing}) {
+    SimConfig cfg;
+    cfg.arrivals = SimConfig::Arrivals::kAllAtOnce;
+    cfg.discipline = disc;
+    const SimReport rep = simulate(r.plan, cfg);
+    EXPECT_TRUE(rep.outcomes[0].fully_served);
+    EXPECT_NEAR(rep.outcomes[0].response_delay(), 0.0, 1e-9);
+  }
+}
+
+TEST(Robustness, ManyQueriesOneDataset) {
+  // 60 queries all hammering one dataset: replica budget and capacity both
+  // bind; every algorithm must stay consistent.
+  Graph g;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; ++i) nodes.push_back(g.add_node(NodeRole::kCloudlet));
+  for (int i = 1; i < 6; ++i) g.add_edge(nodes[0], nodes[i], 0.1);
+  Instance inst(std::move(g));
+  std::vector<SiteId> sites;
+  for (const NodeId v : nodes) sites.push_back(inst.add_site(v, 12.0, 0.1));
+  const DatasetId d = inst.add_dataset(3.0, sites[0]);
+  Rng rng(8);
+  for (int m = 0; m < 60; ++m) {
+    inst.add_query(sites[static_cast<std::size_t>(rng.uniform_u64(0, 5))],
+                   1.0, rng.uniform(0.3, 2.0), {{d, 0.5}});
+  }
+  inst.set_max_replicas(3);
+  inst.finalize();
+  for (const auto& plan : {appro_g(inst).plan, greedy_g(inst).plan,
+                           popularity_g(inst).plan}) {
+    EXPECT_TRUE(validate(plan).ok);
+    EXPECT_LE(plan.replica_count(d), 3u);
+    // Capacity: at most 3 replicas × 12 GHz / 3 GHz per query = 12 queries.
+    const PlanMetrics pm = evaluate(plan);
+    EXPECT_LE(pm.admitted_queries, 12u);
+  }
+}
+
+TEST(Robustness, LocalSearchAndHardenComposeSafely) {
+  const Instance inst = testing::medium_instance(90, /*f_max=*/3);
+  ReplicaPlan plan = greedy_g(inst).plan;
+  const LocalSearchResult ls = improve_plan(std::move(plan));
+  ReplicaPlan hardened = ls.plan;
+  harden_plan(hardened, 2);
+  EXPECT_TRUE(validate(hardened).ok);
+  EXPECT_DOUBLE_EQ(evaluate(hardened).admitted_volume,
+                   ls.metrics.admitted_volume);
+}
+
+}  // namespace
+}  // namespace edgerep

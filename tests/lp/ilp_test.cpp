@@ -1,0 +1,155 @@
+#include "lp/ilp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace edgerep {
+namespace {
+
+TEST(Ilp, KnapsackSmall) {
+  // max 60a + 100b + 120c s.t. 10a + 20b + 30c ≤ 50, binary → 220 (b + c).
+  LinearProgram lp;
+  lp.num_vars = 3;
+  lp.objective = {60.0, 100.0, 120.0};
+  lp.add_constraint({{0, 10.0}, {1, 20.0}, {2, 30.0}}, Relation::kLe, 50.0);
+  for (std::size_t j = 0; j < 3; ++j) lp.add_upper_bound(j, 1.0);
+  const IlpSolution s = solve_ilp(lp, {true, true, true});
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_TRUE(s.proven_optimal);
+  EXPECT_NEAR(s.objective, 220.0, 1e-6);
+  EXPECT_NEAR(s.x[0], 0.0, 1e-6);
+  EXPECT_NEAR(s.x[1], 1.0, 1e-6);
+  EXPECT_NEAR(s.x[2], 1.0, 1e-6);
+}
+
+TEST(Ilp, FractionalLpGapsClosed) {
+  // LP relaxation would take half an item; ILP must not.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.add_constraint({{0, 2.0}, {1, 2.0}}, Relation::kLe, 3.0);
+  lp.add_upper_bound(0, 1.0);
+  lp.add_upper_bound(1, 1.0);
+  const IlpSolution s = solve_ilp(lp, {true, true});
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+  EXPECT_GE(s.best_bound, s.objective - 1e-9);  // root LP ≥ ILP
+}
+
+TEST(Ilp, MixedIntegerKeepsContinuousVars) {
+  // max x + y, x integer ≤ 2.5, y continuous ≤ 0.5 → 2 + 0.5.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.add_upper_bound(0, 2.5);
+  lp.add_upper_bound(1, 0.5);
+  const IlpSolution s = solve_ilp(lp, {true, false});
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.5, 1e-6);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-6);
+  EXPECT_NEAR(s.x[1], 0.5, 1e-6);
+}
+
+TEST(Ilp, InfeasibleDetected) {
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_constraint({{0, 1.0}}, Relation::kGe, 2.0);
+  lp.add_constraint({{0, 1.0}}, Relation::kLe, 1.0);
+  const IlpSolution s = solve_ilp(lp, {true});
+  EXPECT_EQ(s.status, LpStatus::kInfeasible);
+}
+
+TEST(Ilp, IntegralityGapRequiresBranching) {
+  // max y s.t. y ≤ 0.5 + x, y ≤ 1.5 - x, x,y binary: LP opt y=1 at x=0.5;
+  // ILP opt y = ... x=0 → y ≤ 0.5 → y=0; x=1 → y ≤ 0.5 → y=0. So 0.
+  LinearProgram lp;
+  lp.num_vars = 2;  // x, y
+  lp.objective = {0.0, 1.0};
+  lp.add_constraint({{1, 1.0}, {0, -1.0}}, Relation::kLe, 0.5);
+  lp.add_constraint({{1, 1.0}, {0, 1.0}}, Relation::kLe, 1.5);
+  lp.add_upper_bound(0, 1.0);
+  lp.add_upper_bound(1, 1.0);
+  const IlpSolution s = solve_ilp(lp, {true, true});
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-6);
+  EXPECT_GT(s.nodes_explored, 1u);
+}
+
+TEST(Ilp, SizeMismatchThrows) {
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  EXPECT_THROW(solve_ilp(lp, {true}), std::invalid_argument);
+}
+
+TEST(Ilp, NodeBudgetReportsNotProven) {
+  // Root LP is certainly fractional (x = 1, y = 0.5), so a budget of one
+  // node cannot prove optimality.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.add_constraint({{0, 2.0}, {1, 2.0}}, Relation::kLe, 3.0);
+  lp.add_upper_bound(0, 1.0);
+  lp.add_upper_bound(1, 1.0);
+  IlpOptions opts;
+  opts.max_nodes = 1;
+  const IlpSolution s = solve_ilp(lp, {true, true}, opts);
+  EXPECT_FALSE(s.proven_optimal);
+}
+
+/// Property: B&B result equals brute-force enumeration on random binary
+/// knapsack-style programs.
+class IlpBruteForceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IlpBruteForceProperty, MatchesEnumeration) {
+  Rng rng(GetParam());
+  const std::size_t n = 6;
+  LinearProgram lp;
+  lp.num_vars = n;
+  lp.objective.resize(n);
+  std::vector<double> weight(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    lp.objective[j] = rng.uniform(1.0, 10.0);
+    weight[j] = rng.uniform(1.0, 5.0);
+    lp.add_upper_bound(j, 1.0);
+  }
+  const double cap = rng.uniform(4.0, 12.0);
+  {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t j = 0; j < n; ++j) terms.push_back({j, weight[j]});
+    lp.add_constraint(std::move(terms), Relation::kLe, cap);
+  }
+  // Brute force over 2^6 assignments.
+  double best = 0.0;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    double w = 0.0;
+    double val = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (mask & (1u << j)) {
+        w += weight[j];
+        val += lp.objective[j];
+      }
+    }
+    if (w <= cap) best = std::max(best, val);
+  }
+  const IlpSolution s = solve_ilp(lp, std::vector<bool>(n, true));
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, best, 1e-6);
+  // The reported solution vector must be binary and feasible.
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_TRUE(std::abs(s.x[j]) < 1e-9 || std::abs(s.x[j] - 1.0) < 1e-9);
+  }
+  EXPECT_TRUE(is_feasible(lp, s.x, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpBruteForceProperty,
+                         ::testing::Range<std::uint64_t>(100, 115));
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,76 @@
+#include "lp/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace edgerep {
+namespace {
+
+TEST(Matrix, ConstructsWithFill) {
+  const Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m.at(r, c), 1.5);
+    }
+  }
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  const Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, AtIsWritable) {
+  Matrix m(2, 2);
+  m.at(0, 1) = 7.0;
+  m.at(1, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 9.0);
+}
+
+TEST(Matrix, DotRow) {
+  Matrix m(1, 3);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(0, 2) = 3.0;
+  const std::vector<double> x{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(m.dot_row(0, x), 4.0 + 10.0 + 18.0);
+}
+
+TEST(Matrix, AxpyRow) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 10.0;
+  m.at(1, 1) = 20.0;
+  m.axpy_row(1, 0, -2.0);  // row1 += -2·row0
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 8.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 16.0);
+  // Zero factor is a no-op.
+  m.axpy_row(1, 0, 0.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 8.0);
+}
+
+TEST(Matrix, ScaleRow) {
+  Matrix m(2, 2, 3.0);
+  m.scale_row(0, 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);  // other rows untouched
+}
+
+}  // namespace
+}  // namespace edgerep

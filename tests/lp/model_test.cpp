@@ -1,0 +1,118 @@
+#include "lp/model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cloud/delay.h"
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+TEST(IlpModel, PrunesDeadlineInfeasiblePiVars) {
+  // Deadline 1.0: only the cloudlet is feasible → exactly one π variable.
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  const IlpModel model(inst, ModelObjective::kAdmittedVolume);
+  ASSERT_EQ(model.pi_vars().size(), 1u);
+  EXPECT_EQ(model.pi_vars()[0].site, 0u);
+  // Deadline 3.0: both sites feasible.
+  const Instance loose = TinyFixture::make(/*deadline=*/3.0);
+  const IlpModel model2(loose, ModelObjective::kAdmittedVolume);
+  EXPECT_EQ(model2.pi_vars().size(), 2u);
+}
+
+TEST(IlpModel, TinySolvesToFullAdmission) {
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  const IlpModel model(inst, ModelObjective::kAdmittedVolume);
+  const IlpSolution sol = model.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-6);
+  const ReplicaPlan plan = model.extract_plan(sol.x);
+  EXPECT_TRUE(plan.admitted(0));
+  EXPECT_TRUE(validate(plan).ok);
+}
+
+TEST(IlpModel, AssignedVolumeObjectiveHasNoZVars) {
+  const Instance inst = TinyFixture::make();
+  const IlpModel admitted(inst, ModelObjective::kAdmittedVolume);
+  const IlpModel assigned(inst, ModelObjective::kAssignedVolume);
+  EXPECT_TRUE(admitted.has_z());
+  EXPECT_FALSE(assigned.has_z());
+  EXPECT_EQ(admitted.lp().num_vars, assigned.lp().num_vars + 1);
+}
+
+TEST(IlpModel, RelaxationBoundsIlp) {
+  const Instance inst = testing::small_instance(7, /*f_max=*/2);
+  const IlpModel model(inst, ModelObjective::kAdmittedVolume);
+  const LpSolution relax = model.solve_relaxation();
+  ASSERT_EQ(relax.status, LpStatus::kOptimal);
+  const IlpSolution ilp = model.solve();
+  ASSERT_EQ(ilp.status, LpStatus::kOptimal);
+  EXPECT_GE(relax.objective, ilp.objective - 1e-6);
+}
+
+TEST(IlpModel, ExtractedPlanAlwaysValidates) {
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    const Instance inst = testing::small_instance(seed, /*f_max=*/2);
+    const IlpModel model(inst, ModelObjective::kAdmittedVolume);
+    const IlpSolution sol = model.solve();
+    if (sol.status != LpStatus::kOptimal) continue;
+    const ReplicaPlan plan = model.extract_plan(sol.x);
+    const ValidationResult vr = validate(plan);
+    EXPECT_TRUE(vr.ok) << "seed " << seed << ": "
+                       << (vr.violations.empty() ? "" : vr.violations[0]);
+    // Extracted metrics must reproduce the ILP objective.
+    const PlanMetrics pm = evaluate(plan);
+    EXPECT_NEAR(pm.admitted_volume, sol.objective, 1e-5) << "seed " << seed;
+  }
+}
+
+TEST(IlpModel, ReplicaBudgetHonored) {
+  const Instance inst = testing::small_instance(33, /*f_max=*/1,
+                                                /*max_replicas=*/1);
+  const IlpModel model(inst, ModelObjective::kAdmittedVolume);
+  const IlpSolution sol = model.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  const ReplicaPlan plan = model.extract_plan(sol.x);
+  for (const Dataset& d : inst.datasets()) {
+    EXPECT_LE(plan.replica_count(d.id), 1u);
+  }
+}
+
+TEST(IlpModel, RequiresFinalizedInstance) {
+  Graph g;
+  g.add_node();
+  Instance inst(std::move(g));
+  inst.add_site(0, 1.0, 0.1);
+  EXPECT_THROW(IlpModel(inst, ModelObjective::kAdmittedVolume),
+               std::invalid_argument);
+}
+
+TEST(IlpModel, ExtractRejectsShortVector) {
+  const Instance inst = TinyFixture::make();
+  const IlpModel model(inst, ModelObjective::kAdmittedVolume);
+  EXPECT_THROW(model.extract_plan({0.0}), std::invalid_argument);
+}
+
+TEST(IlpModel, AssignedObjectiveAtLeastAdmitted) {
+  // Partial credit can only increase the optimum: any admitted-volume
+  // solution is an assigned-volume solution of at least equal value.  Only
+  // *proven* optima are comparable (a budget-limited incumbent may not be).
+  IlpOptions opts;
+  opts.max_nodes = 20000;
+  for (std::uint64_t seed = 40; seed < 44; ++seed) {
+    const Instance inst = testing::small_instance(seed, /*f_max=*/2);
+    const IlpModel adm(inst, ModelObjective::kAdmittedVolume);
+    const IlpModel asg(inst, ModelObjective::kAssignedVolume);
+    const IlpSolution s_adm = adm.solve(opts);
+    const IlpSolution s_asg = asg.solve(opts);
+    if (!s_adm.proven_optimal || !s_asg.proven_optimal) continue;
+    EXPECT_GE(s_asg.objective, s_adm.objective - 1e-6) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace edgerep

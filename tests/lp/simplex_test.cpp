@@ -1,0 +1,194 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace edgerep {
+namespace {
+
+TEST(Simplex, TextbookTwoVariable) {
+  // max 3x + 5y  s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → opt 36 at (2, 6).
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {3.0, 5.0};
+  lp.add_constraint({{0, 1.0}}, Relation::kLe, 4.0);
+  lp.add_constraint({{1, 2.0}}, Relation::kLe, 12.0);
+  lp.add_constraint({{0, 3.0}, {1, 2.0}}, Relation::kLe, 18.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, GeConstraintsViaPhase1) {
+  // max -x - y (i.e. min x + y) s.t. x + y ≥ 4, x ≥ 1 → opt -4.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, -1.0};
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kGe, 4.0);
+  lp.add_constraint({{0, 1.0}}, Relation::kGe, 1.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -4.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // max x + 2y s.t. x + y = 3, y ≤ 2 → opt at (1, 2) = 5.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 2.0};
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kEq, 3.0);
+  lp.add_constraint({{1, 1.0}}, Relation::kLe, 2.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x ≤ 1 and x ≥ 2.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_constraint({{0, 1.0}}, Relation::kLe, 1.0);
+  lp.add_constraint({{0, 1.0}}, Relation::kGe, 2.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 0.0};
+  lp.add_constraint({{1, 1.0}}, Relation::kLe, 5.0);  // x unconstrained above
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // max -x s.t. -x ≤ -2  (i.e. x ≥ 2) → opt -2.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  lp.add_constraint({{0, -1.0}}, Relation::kLe, -2.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateTies) {
+  // Multiple optimal bases; must still terminate at the right value.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kLe, 1.0);
+  lp.add_constraint({{0, 1.0}}, Relation::kLe, 1.0);
+  lp.add_constraint({{1, 1.0}}, Relation::kLe, 1.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-9);
+}
+
+TEST(Simplex, ZeroVariables) {
+  LinearProgram lp;
+  lp.num_vars = 0;
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kOptimal);
+  lp.add_constraint({}, Relation::kGe, 1.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, UpperBoundHelper) {
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_upper_bound(0, 7.5);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 7.5, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // x + y = 2 stated twice: phase 1 leaves a redundant artificial basic.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 0.0};
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kEq, 2.0);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kEq, 2.0);
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(IsFeasible, ChecksAllRelations) {
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {0.0, 0.0};
+  lp.add_constraint({{0, 1.0}}, Relation::kLe, 1.0);
+  lp.add_constraint({{1, 1.0}}, Relation::kGe, 1.0);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kEq, 2.0);
+  EXPECT_TRUE(is_feasible(lp, {1.0, 1.0}));
+  EXPECT_FALSE(is_feasible(lp, {2.0, 0.0}));
+  EXPECT_FALSE(is_feasible(lp, {0.5, 0.5}));
+  EXPECT_FALSE(is_feasible(lp, {-0.1, 2.1}));
+}
+
+TEST(ObjectiveValue, DotProduct) {
+  LinearProgram lp;
+  lp.num_vars = 3;
+  lp.objective = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(objective_value(lp, {1.0, 1.0, 1.0}), 6.0);
+}
+
+/// Property: on random bounded LPs the simplex answer must be feasible and
+/// no worse than any random feasible point we can sample.
+class SimplexRandomProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandomProperty, OptimalBeatsRandomFeasiblePoints) {
+  Rng rng(GetParam());
+  LinearProgram lp;
+  lp.num_vars = 5;
+  lp.objective.resize(lp.num_vars);
+  for (auto& c : lp.objective) c = rng.uniform(-1.0, 2.0);
+  // Box [0, u] plus a handful of random ≤ cuts through the box: always
+  // feasible (origin) and always bounded.
+  std::vector<double> upper(lp.num_vars);
+  for (std::size_t j = 0; j < lp.num_vars; ++j) {
+    upper[j] = rng.uniform(0.5, 4.0);
+    lp.add_upper_bound(j, upper[j]);
+  }
+  for (int c = 0; c < 4; ++c) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t j = 0; j < lp.num_vars; ++j) {
+      terms.push_back({j, rng.uniform(0.0, 1.0)});
+    }
+    lp.add_constraint(std::move(terms), Relation::kLe, rng.uniform(1.0, 6.0));
+  }
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  ASSERT_TRUE(is_feasible(lp, s.x));
+  for (int t = 0; t < 300; ++t) {
+    std::vector<double> x(lp.num_vars);
+    for (std::size_t j = 0; j < lp.num_vars; ++j) {
+      x[j] = rng.uniform(0.0, upper[j]);
+    }
+    if (is_feasible(lp, x)) {
+      EXPECT_LE(objective_value(lp, x), s.objective + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(LpStatusString, Names) {
+  EXPECT_STREQ(to_string(LpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(LpStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(LpStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(LpStatus::kIterLimit), "iteration-limit");
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,114 @@
+#include "net/centrality.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace edgerep {
+namespace {
+
+Graph star(std::size_t leaves) {
+  Graph g(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) g.add_edge(0, v, 1.0);
+  return g;
+}
+
+Graph path(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, 1.0);
+  return g;
+}
+
+TEST(Closeness, StarCenterDominates) {
+  const Graph g = star(5);
+  const auto c = closeness_centrality(g);
+  for (NodeId v = 1; v <= 5; ++v) EXPECT_GT(c[0], c[v]);
+  // Center: 5 neighbors at distance 1 → c = 5/5 = 1.
+  EXPECT_NEAR(c[0], 1.0, 1e-12);
+  // Leaf: 1 + 4·2 = 9 total distance → 5/9.
+  EXPECT_NEAR(c[1], 5.0 / 9.0, 1e-12);
+}
+
+TEST(Closeness, PathMiddleBeatsEnds) {
+  const Graph g = path(5);
+  const auto c = closeness_centrality(g);
+  EXPECT_GT(c[2], c[0]);
+  EXPECT_GT(c[2], c[4]);
+  EXPECT_NEAR(c[0], c[4], 1e-12);  // symmetry
+}
+
+TEST(Closeness, IsolatedNodeIsZero) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto c = closeness_centrality(g);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+}
+
+TEST(Betweenness, StarCenterCarriesAllPairs) {
+  const Graph g = star(5);
+  const auto b = betweenness_centrality(g);
+  // Leaves lie on no shortest path between other pairs.
+  for (NodeId v = 1; v <= 5; ++v) EXPECT_NEAR(b[v], 0.0, 1e-9);
+  // Center carries all C(5,2) = 10 leaf pairs.
+  EXPECT_NEAR(b[0], 10.0, 1e-9);
+}
+
+TEST(Betweenness, PathInteriorCounts) {
+  const Graph g = path(4);  // 0-1-2-3
+  const auto b = betweenness_centrality(g);
+  // Node 1 lies on paths 0-2, 0-3; node 2 on 0-3, 1-3.
+  EXPECT_NEAR(b[0], 0.0, 1e-9);
+  EXPECT_NEAR(b[1], 2.0, 1e-9);
+  EXPECT_NEAR(b[2], 2.0, 1e-9);
+  EXPECT_NEAR(b[3], 0.0, 1e-9);
+}
+
+TEST(Betweenness, SplitsOverEqualShortestPaths) {
+  // Square: 0-1, 1-3, 0-2, 2-3 with equal delays; the 0→3 pair has two
+  // shortest paths, each interior node gets half a pair (plus nothing else).
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const auto b = betweenness_centrality(g);
+  EXPECT_NEAR(b[1], 0.5, 1e-9);
+  EXPECT_NEAR(b[2], 0.5, 1e-9);
+  EXPECT_NEAR(b[0], 0.5, 1e-9);  // 1↔2 pair routes through 0 or 3 equally
+  EXPECT_NEAR(b[3], 0.5, 1e-9);
+}
+
+TEST(Betweenness, WeightsChangeRouting) {
+  // Triangle where the direct 0-2 edge is expensive: all 0↔2 traffic goes
+  // through 1.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 10.0);
+  const auto b = betweenness_centrality(g);
+  EXPECT_NEAR(b[1], 1.0, 1e-9);
+  EXPECT_NEAR(b[0], 0.0, 1e-9);
+}
+
+TEST(Centrality, RandomGraphSanity) {
+  Rng rng(9);
+  const Graph g = gnp(40, 0.15, Range{0.5, 1.5}, rng);
+  const auto c = closeness_centrality(g);
+  const auto b = betweenness_centrality(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(c[v], 0.0);
+    EXPECT_GE(b[v], -1e-9);
+  }
+  // Total betweenness is bounded by (n-1)(n-2)/2 per node trivially; the
+  // sum over nodes counts each pair's interior length, positive on any
+  // graph with diameter ≥ 2.
+  const double total = std::accumulate(b.begin(), b.end(), 0.0);
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,129 @@
+#include "net/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace edgerep {
+namespace {
+
+TEST(Graph, StartsEmpty) {
+  const Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.connected());  // vacuously
+}
+
+TEST(Graph, AddNodesAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(NodeRole::kDataCenter), 1u);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.role(1), NodeRole::kDataCenter);
+}
+
+TEST(Graph, BulkAddNodes) {
+  Graph g;
+  g.add_nodes(5, NodeRole::kCloudlet);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.role(4), NodeRole::kCloudlet);
+}
+
+TEST(Graph, SetRole) {
+  Graph g(1);
+  g.set_role(0, NodeRole::kBaseStation);
+  EXPECT_EQ(g.role(0), NodeRole::kBaseStation);
+}
+
+TEST(Graph, EdgesAreUndirected) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 2, 1.5);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(e).delay, 1.5);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  ASSERT_EQ(g.neighbors(2).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].to, 2u);
+  EXPECT_EQ(g.neighbors(2)[0].to, 0u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(Graph, EdgeOther) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  EXPECT_EQ(g.edge(e).other(0), 1u);
+  EXPECT_EQ(g.edge(e).other(1), 0u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1, 1.0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsNegativeDelay) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 1, -0.1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), std::invalid_argument);
+}
+
+TEST(Graph, FindEdge) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_NE(g.find_edge(0, 1), kInvalidEdge);
+  EXPECT_NE(g.find_edge(1, 0), kInvalidEdge);
+  EXPECT_EQ(g.find_edge(0, 2), kInvalidEdge);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(Graph, ConnectivityDetection) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(1, 2, 1.0);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, ComponentsLabeling) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const auto comp = g.components();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[2], comp[3]);
+  // Labels ordered by smallest node id in each component.
+  EXPECT_EQ(comp[0], 0u);
+  EXPECT_EQ(comp[2], 1u);
+  EXPECT_EQ(comp[3], 2u);
+}
+
+TEST(Graph, SingleNodeIsConnected) {
+  const Graph g(1);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(NodeRole, ToString) {
+  EXPECT_STREQ(to_string(NodeRole::kDataCenter), "dc");
+  EXPECT_STREQ(to_string(NodeRole::kCloudlet), "cloudlet");
+  EXPECT_STREQ(to_string(NodeRole::kSwitch), "switch");
+  EXPECT_STREQ(to_string(NodeRole::kBaseStation), "bs");
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  // Multi-edges can arise from repair passes; both must be kept.
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,106 @@
+#include "net/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace edgerep {
+namespace {
+
+Graph sample_graph() {
+  Graph g;
+  g.add_node(NodeRole::kSwitch);
+  g.add_node(NodeRole::kCloudlet);
+  g.add_node(NodeRole::kDataCenter);
+  g.add_edge(0, 1, 0.25);
+  g.add_edge(1, 2, 1.75);
+  return g;
+}
+
+TEST(TopologyIo, RoundTripsNodesAndEdges) {
+  const Graph g = sample_graph();
+  std::ostringstream os;
+  write_topology(os, g);
+  std::istringstream is(os.str());
+  const Graph back = read_topology(is);
+  ASSERT_EQ(back.num_nodes(), g.num_nodes());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(back.role(v), g.role(v));
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(back.edges()[e].u, g.edges()[e].u);
+    EXPECT_EQ(back.edges()[e].v, g.edges()[e].v);
+    EXPECT_DOUBLE_EQ(back.edges()[e].delay, g.edges()[e].delay);
+  }
+}
+
+TEST(TopologyIo, RoundTripsGeneratedTopology) {
+  Rng rng(55);
+  const TwoTierTopology t = make_two_tier(TwoTierConfig{}, rng);
+  std::ostringstream os;
+  write_topology(os, t.graph);
+  std::istringstream is(os.str());
+  const Graph back = read_topology(is);
+  EXPECT_EQ(back.num_nodes(), t.graph.num_nodes());
+  EXPECT_EQ(back.num_edges(), t.graph.num_edges());
+}
+
+TEST(TopologyIo, IgnoresCommentsAndBlankLines) {
+  std::istringstream is(
+      "# comment\n"
+      "node 0 dc\n"
+      "\n"
+      "node 1 cloudlet\n"
+      "edge 0 1 2.5\n");
+  const Graph g = read_topology(is);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edges()[0].delay, 2.5);
+}
+
+TEST(TopologyIo, RejectsUnknownKeyword) {
+  std::istringstream is("vertex 0 dc\n");
+  EXPECT_THROW(read_topology(is), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsUnknownRole) {
+  std::istringstream is("node 0 mainframe\n");
+  EXPECT_THROW(read_topology(is), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsSparseNodeIds) {
+  std::istringstream is("node 5 dc\n");
+  EXPECT_THROW(read_topology(is), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsEdgeBeforeNodes) {
+  std::istringstream is("edge 0 1 1.0\n");
+  EXPECT_THROW(read_topology(is), std::runtime_error);
+}
+
+TEST(ParseRole, AllRoles) {
+  EXPECT_EQ(parse_role("dc"), NodeRole::kDataCenter);
+  EXPECT_EQ(parse_role("cloudlet"), NodeRole::kCloudlet);
+  EXPECT_EQ(parse_role("switch"), NodeRole::kSwitch);
+  EXPECT_EQ(parse_role("bs"), NodeRole::kBaseStation);
+  EXPECT_THROW(parse_role("nope"), std::runtime_error);
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  const Graph g = sample_graph();
+  std::ostringstream os;
+  write_dot(os, g);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("graph edgecloud"), std::string::npos);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+  EXPECT_NE(dot.find("dc2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,245 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/shortest_path.h"
+
+namespace edgerep {
+namespace {
+
+TEST(Gnp, ProducesConnectedGraph) {
+  Rng rng(1);
+  const Graph g = gnp(50, 0.05, Range{0.1, 1.0}, rng);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Gnp, ZeroProbabilityStillRepaired) {
+  Rng rng(2);
+  const Graph g = gnp(10, 0.0, Range{1.0, 1.0}, rng);
+  EXPECT_TRUE(g.connected());
+  // A tree needs exactly n-1 repair edges.
+  EXPECT_EQ(g.num_edges(), 9u);
+}
+
+TEST(Gnp, FullProbabilityIsComplete) {
+  Rng rng(3);
+  const Graph g = gnp(10, 1.0, Range{1.0, 1.0}, rng);
+  EXPECT_EQ(g.num_edges(), 45u);
+}
+
+TEST(Gnp, EdgeCountNearExpectation) {
+  Rng rng(4);
+  const Graph g = gnp(100, 0.2, Range{1.0, 1.0}, rng);
+  const double expected = 0.2 * 100 * 99 / 2;  // 990
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 150.0);
+}
+
+TEST(Gnp, DelaysWithinRange) {
+  Rng rng(5);
+  const Graph g = gnp(30, 0.3, Range{0.5, 2.5}, rng);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.delay, 0.5);
+    EXPECT_LE(e.delay, 2.5);
+  }
+}
+
+TEST(Waxman, ConnectedAndDelaysScaleWithDistance) {
+  Rng rng(6);
+  const Graph g = waxman(60, 0.9, 0.3, Range{0.1, 1.0}, rng);
+  EXPECT_TRUE(g.connected());
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.delay, 0.1 - 1e-12);
+    EXPECT_LE(e.delay, 1.0 + 1e-12);
+  }
+}
+
+TEST(Waxman, RejectsBadBeta) {
+  Rng rng(7);
+  EXPECT_THROW(waxman(10, 0.5, 0.0, Range{0.1, 1.0}, rng),
+               std::invalid_argument);
+}
+
+TEST(RepairConnectivity, JoinsAllComponents) {
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  Rng rng(8);
+  repair_connectivity(g, Range{1.0, 1.0}, rng);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(TwoTier, DefaultPaperShape) {
+  Rng rng(9);
+  const TwoTierTopology t = make_two_tier(TwoTierConfig{}, rng);
+  EXPECT_EQ(t.data_centers.size(), 6u);
+  EXPECT_EQ(t.cloudlets.size(), 24u);
+  EXPECT_EQ(t.switches.size(), 2u);
+  EXPECT_EQ(t.graph.num_nodes(), 32u);
+  EXPECT_TRUE(t.graph.connected());
+}
+
+TEST(TwoTier, RolesMatchIndexLists) {
+  Rng rng(10);
+  const TwoTierTopology t = make_two_tier(TwoTierConfig{}, rng);
+  for (const NodeId v : t.data_centers) {
+    EXPECT_EQ(t.graph.role(v), NodeRole::kDataCenter);
+  }
+  for (const NodeId v : t.cloudlets) {
+    EXPECT_EQ(t.graph.role(v), NodeRole::kCloudlet);
+  }
+  for (const NodeId v : t.switches) {
+    EXPECT_EQ(t.graph.role(v), NodeRole::kSwitch);
+  }
+}
+
+TEST(TwoTier, EveryDataCenterHasGatewayOrWanLink) {
+  Rng rng(11);
+  TwoTierConfig cfg;
+  cfg.link_prob = 0.0;  // force the explicit gateway guarantee
+  const TwoTierTopology t = make_two_tier(cfg, rng);
+  for (const NodeId dc : t.data_centers) {
+    EXPECT_GE(t.graph.degree(dc), 1u);
+  }
+}
+
+TEST(TwoTier, BaseStationsAttachToSwitches) {
+  Rng rng(12);
+  TwoTierConfig cfg;
+  cfg.num_base_stations = 5;
+  const TwoTierTopology t = make_two_tier(cfg, rng);
+  EXPECT_EQ(t.base_stations.size(), 5u);
+  for (const NodeId bs : t.base_stations) {
+    ASSERT_GE(t.graph.degree(bs), 1u);
+    const NodeRole up = t.graph.role(t.graph.neighbors(bs)[0].to);
+    EXPECT_TRUE(up == NodeRole::kSwitch || up == NodeRole::kCloudlet);
+  }
+}
+
+TEST(TwoTier, PlacementNodesAreClThenDc) {
+  Rng rng(13);
+  const TwoTierTopology t = make_two_tier(TwoTierConfig{}, rng);
+  const auto v = t.placement_nodes();
+  EXPECT_EQ(v.size(), 30u);
+  for (std::size_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(t.graph.role(v[i]), NodeRole::kCloudlet);
+  }
+  for (std::size_t i = 24; i < 30; ++i) {
+    EXPECT_EQ(t.graph.role(v[i]), NodeRole::kDataCenter);
+  }
+}
+
+TEST(TwoTier, WanLinksSlowerThanMetro) {
+  Rng rng(14);
+  TwoTierConfig cfg;
+  cfg.metro_delay = {0.01, 0.02};
+  cfg.wan_delay = {5.0, 6.0};
+  const TwoTierTopology t = make_two_tier(cfg, rng);
+  for (const Edge& e : t.graph.edges()) {
+    const bool wan = t.graph.role(e.u) == NodeRole::kDataCenter ||
+                     t.graph.role(e.v) == NodeRole::kDataCenter;
+    if (wan) {
+      EXPECT_GE(e.delay, 5.0);
+    } else {
+      EXPECT_LE(e.delay, 0.02 + 1e-12);
+    }
+  }
+}
+
+TEST(ScaledConfig, PreservesTotalAndProportions) {
+  for (const std::size_t total : {16u, 32u, 64u, 150u, 250u}) {
+    const TwoTierConfig cfg = scaled_config(total);
+    EXPECT_EQ(cfg.num_data_centers + cfg.num_cloudlets + cfg.num_switches,
+              total)
+        << "total=" << total;
+    EXPECT_GE(cfg.num_data_centers, 1u);
+    EXPECT_GE(cfg.num_cloudlets, 1u);
+    EXPECT_GE(cfg.num_switches, 1u);
+    // Cloudlets dominate, as in the 6/24/2 mix.
+    EXPECT_GT(cfg.num_cloudlets, cfg.num_data_centers);
+  }
+}
+
+TEST(ScaledConfig, DefaultSizeRoundTrips) {
+  const TwoTierConfig cfg = scaled_config(32);
+  EXPECT_EQ(cfg.num_data_centers, 6u);
+  EXPECT_EQ(cfg.num_switches, 2u);
+  EXPECT_EQ(cfg.num_cloudlets, 24u);
+}
+
+TEST(ScaledConfig, TooSmallThrows) {
+  EXPECT_THROW(scaled_config(2), std::invalid_argument);
+}
+
+TEST(TransitStub, ShapeMatchesConfig) {
+  Rng rng(21);
+  TransitStubConfig cfg;
+  const TransitStubTopology t = transit_stub(cfg, rng);
+  EXPECT_EQ(t.transit_nodes.size(),
+            cfg.num_transit_domains * cfg.transit_nodes_per_domain);
+  EXPECT_EQ(t.stub_nodes.size(), t.transit_nodes.size() *
+                                     cfg.stubs_per_transit_node *
+                                     cfg.nodes_per_stub);
+  EXPECT_EQ(t.graph.num_nodes(),
+            t.transit_nodes.size() + t.stub_nodes.size());
+  EXPECT_TRUE(t.graph.connected());
+}
+
+TEST(TransitStub, RolesAndStubLabels) {
+  Rng rng(22);
+  const TransitStubTopology t = transit_stub(TransitStubConfig{}, rng);
+  for (const NodeId v : t.transit_nodes) {
+    EXPECT_EQ(t.graph.role(v), NodeRole::kSwitch);
+    EXPECT_EQ(t.stub_of_node[v], TransitStubTopology::kNoStub);
+  }
+  for (const NodeId v : t.stub_nodes) {
+    EXPECT_EQ(t.graph.role(v), NodeRole::kCloudlet);
+    EXPECT_NE(t.stub_of_node[v], TransitStubTopology::kNoStub);
+  }
+}
+
+TEST(TransitStub, EveryStubNodeReachesBackbone) {
+  Rng rng(23);
+  const TransitStubTopology t = transit_stub(TransitStubConfig{}, rng);
+  const auto hops = bfs_hops(t.graph, t.transit_nodes[0]);
+  for (const NodeId v : t.stub_nodes) {
+    EXPECT_NE(hops[v], static_cast<std::uint32_t>(-1));
+  }
+}
+
+TEST(TransitStub, EmptyBackboneThrows) {
+  Rng rng(24);
+  TransitStubConfig bad;
+  bad.num_transit_domains = 0;
+  EXPECT_THROW(transit_stub(bad, rng), std::invalid_argument);
+}
+
+TEST(TransitStub, DeterministicGivenSeed) {
+  Rng a(25);
+  Rng b(25);
+  const TransitStubTopology ta = transit_stub(TransitStubConfig{}, a);
+  const TransitStubTopology tb = transit_stub(TransitStubConfig{}, b);
+  ASSERT_EQ(ta.graph.num_edges(), tb.graph.num_edges());
+  for (std::size_t e = 0; e < ta.graph.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(ta.graph.edges()[e].delay, tb.graph.edges()[e].delay);
+  }
+}
+
+TEST(TwoTier, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  const TwoTierTopology ta = make_two_tier(TwoTierConfig{}, a);
+  const TwoTierTopology tb = make_two_tier(TwoTierConfig{}, b);
+  ASSERT_EQ(ta.graph.num_edges(), tb.graph.num_edges());
+  for (std::size_t e = 0; e < ta.graph.num_edges(); ++e) {
+    EXPECT_EQ(ta.graph.edges()[e].u, tb.graph.edges()[e].u);
+    EXPECT_EQ(ta.graph.edges()[e].v, tb.graph.edges()[e].v);
+    EXPECT_DOUBLE_EQ(ta.graph.edges()[e].delay, tb.graph.edges()[e].delay);
+  }
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,158 @@
+#include "part/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace edgerep {
+namespace {
+
+PartitionProblem two_cliques() {
+  // Two 3-cliques joined by one light edge; natural bisection cuts it.
+  PartitionProblem p;
+  p.num_vertices = 6;
+  p.vertex_weight.assign(6, 1.0);
+  const auto heavy = 10.0;
+  p.edges = {{0, 1, heavy}, {1, 2, heavy}, {0, 2, heavy},
+             {3, 4, heavy}, {4, 5, heavy}, {3, 5, heavy},
+             {2, 3, 1.0}};
+  p.num_parts = 2;
+  p.part_capacity = {3.0, 3.0};
+  return p;
+}
+
+TEST(Partitioner, SeparatesTwoCliques) {
+  const PartitionProblem p = two_cliques();
+  const PartitionResult r = partition_graph(p);
+  // The light bridge is the only cut edge.
+  EXPECT_DOUBLE_EQ(r.cut_weight, 1.0);
+  EXPECT_EQ(r.part_of[0], r.part_of[1]);
+  EXPECT_EQ(r.part_of[1], r.part_of[2]);
+  EXPECT_EQ(r.part_of[3], r.part_of[4]);
+  EXPECT_EQ(r.part_of[4], r.part_of[5]);
+  EXPECT_NE(r.part_of[0], r.part_of[3]);
+}
+
+TEST(Partitioner, RespectsCapacities) {
+  PartitionProblem p = two_cliques();
+  p.part_capacity = {4.0, 2.0};
+  const PartitionResult r = partition_graph(p);
+  const auto loads = part_loads(p, r.part_of);
+  EXPECT_LE(loads[0], 4.0 + 1e-9);
+  EXPECT_LE(loads[1], 2.0 + 1e-9);
+}
+
+TEST(Partitioner, OverflowLeavesVerticesUnassigned) {
+  PartitionProblem p;
+  p.num_vertices = 3;
+  p.vertex_weight = {2.0, 2.0, 2.0};
+  p.num_parts = 1;
+  p.part_capacity = {4.0};  // room for only two vertices
+  const PartitionResult r = partition_graph(p);
+  int unassigned = 0;
+  for (const auto part : r.part_of) {
+    if (part == kUnassignedPart) ++unassigned;
+  }
+  EXPECT_EQ(unassigned, 1);
+}
+
+TEST(Partitioner, SinglePartTakesEverything) {
+  PartitionProblem p = two_cliques();
+  p.num_parts = 1;
+  p.part_capacity = {100.0};
+  const PartitionResult r = partition_graph(p);
+  EXPECT_DOUBLE_EQ(r.cut_weight, 0.0);
+  for (const auto part : r.part_of) EXPECT_EQ(part, 0u);
+}
+
+TEST(Partitioner, EmptyProblem) {
+  PartitionProblem p;
+  p.num_parts = 2;
+  p.part_capacity = {1.0, 1.0};
+  const PartitionResult r = partition_graph(p);
+  EXPECT_TRUE(r.part_of.empty());
+  EXPECT_DOUBLE_EQ(r.cut_weight, 0.0);
+}
+
+TEST(Partitioner, ValidatesInputs) {
+  PartitionProblem p;
+  p.num_vertices = 2;
+  p.vertex_weight = {1.0};  // wrong size
+  p.num_parts = 1;
+  p.part_capacity = {10.0};
+  EXPECT_THROW(partition_graph(p), std::invalid_argument);
+
+  PartitionProblem q;
+  q.num_vertices = 2;
+  q.vertex_weight = {1.0, 1.0};
+  q.num_parts = 0;
+  EXPECT_THROW(partition_graph(q), std::invalid_argument);
+
+  PartitionProblem r;
+  r.num_vertices = 2;
+  r.vertex_weight = {1.0, 1.0};
+  r.edges = {{0, 5, 1.0}};
+  r.num_parts = 1;
+  r.part_capacity = {10.0};
+  EXPECT_THROW(partition_graph(r), std::invalid_argument);
+}
+
+TEST(CutWeight, CountsCrossEdgesAndUnassigned) {
+  PartitionProblem p;
+  p.num_vertices = 3;
+  p.vertex_weight.assign(3, 1.0);
+  p.edges = {{0, 1, 2.0}, {1, 2, 3.0}};
+  p.num_parts = 2;
+  p.part_capacity = {10.0, 10.0};
+  EXPECT_DOUBLE_EQ(cut_weight(p, {0, 0, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(cut_weight(p, {0, 1, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(cut_weight(p, {0, kUnassignedPart, 0}), 5.0);
+}
+
+TEST(PartLoads, Sums) {
+  PartitionProblem p;
+  p.num_vertices = 3;
+  p.vertex_weight = {1.0, 2.0, 3.0};
+  p.num_parts = 2;
+  p.part_capacity = {10.0, 10.0};
+  const auto loads = part_loads(p, {0, 1, 1});
+  EXPECT_DOUBLE_EQ(loads[0], 1.0);
+  EXPECT_DOUBLE_EQ(loads[1], 5.0);
+}
+
+/// Property: refinement never worsens the greedy cut, capacities always
+/// hold, on random graphs.
+class PartitionerRandomProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionerRandomProperty, FeasibleAndStable) {
+  Rng rng(GetParam());
+  PartitionProblem p;
+  p.num_vertices = 40;
+  p.vertex_weight.resize(p.num_vertices);
+  for (auto& w : p.vertex_weight) w = rng.uniform(0.5, 2.0);
+  for (std::uint32_t u = 0; u < p.num_vertices; ++u) {
+    for (std::uint32_t v = u + 1; v < p.num_vertices; ++v) {
+      if (rng.bernoulli(0.1)) p.edges.push_back({u, v, rng.uniform(0.1, 3.0)});
+    }
+  }
+  p.num_parts = 4;
+  p.part_capacity.assign(4, 25.0);
+  const PartitionResult r = partition_graph(p);
+  const auto loads = part_loads(p, r.part_of);
+  for (std::size_t k = 0; k < p.num_parts; ++k) {
+    EXPECT_LE(loads[k], p.part_capacity[k] + 1e-9);
+  }
+  // Total capacity (100) exceeds total weight (≤ 80): everything placed.
+  for (const auto part : r.part_of) EXPECT_NE(part, kUnassignedPart);
+  // Reported cut must match an independent recount.
+  EXPECT_NEAR(r.cut_weight, cut_weight(p, r.part_of), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionerRandomProperty,
+                         ::testing::Range<std::uint64_t>(200, 212));
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,94 @@
+#include "sim/event.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace edgerep {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  EventQueue eq;
+  EXPECT_TRUE(eq.empty());
+  EXPECT_DOUBLE_EQ(eq.now(), 0.0);
+  EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(3.0, [&] { order.push_back(3); });
+  eq.schedule_at(1.0, [&] { order.push_back(1); });
+  eq.schedule_at(2.0, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongSimultaneousEvents) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eq.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RelativeScheduling) {
+  EventQueue eq;
+  double fired_at = -1.0;
+  eq.schedule_at(2.0, [&] {
+    eq.schedule_in(1.5, [&] { fired_at = eq.now(); });
+  });
+  eq.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue eq;
+  eq.schedule_at(5.0, [] {});
+  eq.run();
+  EXPECT_THROW(eq.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, EventsCanCascade) {
+  EventQueue eq;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 10) eq.schedule_in(1.0, chain);
+  };
+  eq.schedule_at(0.0, chain);
+  const std::size_t executed = eq.run();
+  EXPECT_EQ(executed, 10u);
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(eq.now(), 9.0);
+}
+
+TEST(EventQueue, RunBudgetStopsEarly) {
+  EventQueue eq;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    eq.schedule_in(1.0, forever);
+  };
+  eq.schedule_at(0.0, forever);
+  const std::size_t executed = eq.run(100);
+  EXPECT_EQ(executed, 100u);
+  EXPECT_EQ(count, 100);
+  EXPECT_FALSE(eq.empty());
+}
+
+TEST(EventQueue, PendingCount) {
+  EventQueue eq;
+  eq.schedule_at(1.0, [] {});
+  eq.schedule_at(2.0, [] {});
+  EXPECT_EQ(eq.pending(), 2u);
+  eq.step();
+  EXPECT_EQ(eq.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace edgerep

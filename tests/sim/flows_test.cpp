@@ -1,0 +1,187 @@
+#include "sim/flows.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "helpers/fixtures.h"
+#include "sim/simulator.h"
+
+namespace edgerep {
+namespace {
+
+TEST(MaxMinRates, SingleFlowGetsFullBottleneck) {
+  // Path over links of capacity 4 and 2: the flow runs at 2.
+  const auto r = max_min_rates({4.0, 2.0}, {{0, 1}});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0], 2.0, 1e-12);
+}
+
+TEST(MaxMinRates, EqualSharingOnSharedLink) {
+  // Two flows on the same 6-GB/s link: 3 each.
+  const auto r = max_min_rates({6.0}, {{0}, {0}});
+  EXPECT_NEAR(r[0], 3.0, 1e-12);
+  EXPECT_NEAR(r[1], 3.0, 1e-12);
+}
+
+TEST(MaxMinRates, ClassicThreeFlowExample) {
+  // Links: A(cap 10) and B(cap 4).  Flow 1 uses A only, flows 2 and 3 use
+  // both.  Max-min: flows 2,3 bottlenecked at B → 2 each; flow 1 takes the
+  // rest of A → 6.
+  const auto r = max_min_rates({10.0, 4.0}, {{0}, {0, 1}, {0, 1}});
+  EXPECT_NEAR(r[1], 2.0, 1e-12);
+  EXPECT_NEAR(r[2], 2.0, 1e-12);
+  EXPECT_NEAR(r[0], 6.0, 1e-12);
+}
+
+TEST(MaxMinRates, EmptyPathIsUnconstrained) {
+  const auto r = max_min_rates({1.0}, {{}, {0}});
+  EXPECT_EQ(r[0], kUnconstrainedRate);
+  EXPECT_NEAR(r[1], 1.0, 1e-12);
+}
+
+TEST(MaxMinRates, NoFlows) {
+  EXPECT_TRUE(max_min_rates({1.0, 2.0}, {}).empty());
+}
+
+TEST(MaxMinRates, AllocationIsFeasibleAndPareto) {
+  // Random-ish structured case: verify link loads never exceed capacity
+  // and every flow is bottlenecked somewhere (Pareto efficiency).
+  const std::vector<double> caps{5.0, 3.0, 7.0, 2.0};
+  const std::vector<std::vector<EdgeId>> paths{
+      {0, 1}, {1, 2}, {0, 2, 3}, {3}, {2}};
+  const auto r = max_min_rates(caps, paths);
+  std::vector<double> load(caps.size(), 0.0);
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    for (const EdgeId e : paths[f]) load[e] += r[f];
+  }
+  for (std::size_t e = 0; e < caps.size(); ++e) {
+    EXPECT_LE(load[e], caps[e] + 1e-9);
+  }
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    bool bottlenecked = false;
+    for (const EdgeId e : paths[f]) {
+      bottlenecked |= load[e] >= caps[e] - 1e-9;
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << f << " could still grow";
+  }
+}
+
+TEST(FlowEngine, SingleFlowCompletionTime) {
+  EventQueue eq;
+  FlowEngine fe(eq, {2.0});  // 2 GB/s
+  double done_at = -1.0;
+  fe.start_flow(6.0, {0}, [&] { done_at = eq.now(); });
+  eq.run();
+  EXPECT_NEAR(done_at, 3.0, 1e-9);
+  EXPECT_EQ(fe.active_flows(), 0u);
+}
+
+TEST(FlowEngine, TwoFlowsShareThenSpeedUp) {
+  // Flows of 4 GB and 2 GB on one 2-GB/s link, both start at t=0: share at
+  // 1 GB/s until the small one finishes at t=2, then the big one runs at 2:
+  // remaining 2 GB → done at t=3.
+  EventQueue eq;
+  FlowEngine fe(eq, {2.0});
+  double small_done = -1.0;
+  double big_done = -1.0;
+  eq.schedule_at(0.0, [&] {
+    fe.start_flow(4.0, {0}, [&] { big_done = eq.now(); });
+    fe.start_flow(2.0, {0}, [&] { small_done = eq.now(); });
+  });
+  eq.run();
+  EXPECT_NEAR(small_done, 2.0, 1e-9);
+  EXPECT_NEAR(big_done, 3.0, 1e-9);
+}
+
+TEST(FlowEngine, LateArrivalSlowsExistingFlow) {
+  // Flow A (4 GB) alone on a 2-GB/s link from t=0; flow B (2 GB) joins at
+  // t=1.  A: 2 GB done by t=1, then shares at 1 GB/s; B finishes at t=3,
+  // A's last 0 GB... A has 2 GB left at t=1, both at 1 GB/s: A done at 3,
+  // B done at 3.
+  EventQueue eq;
+  FlowEngine fe(eq, {2.0});
+  double a_done = -1.0;
+  double b_done = -1.0;
+  eq.schedule_at(0.0, [&] { fe.start_flow(4.0, {0}, [&] { a_done = eq.now(); }); });
+  eq.schedule_at(1.0, [&] { fe.start_flow(2.0, {0}, [&] { b_done = eq.now(); }); });
+  eq.run();
+  EXPECT_NEAR(a_done, 3.0, 1e-9);
+  EXPECT_NEAR(b_done, 3.0, 1e-9);
+}
+
+TEST(FlowEngine, ZeroSizeAndEmptyPathCompleteImmediately) {
+  EventQueue eq;
+  FlowEngine fe(eq, {1.0});
+  int completions = 0;
+  eq.schedule_at(5.0, [&] {
+    fe.start_flow(0.0, {0}, [&] { ++completions; });
+    fe.start_flow(3.0, {}, [&] { ++completions; });
+  });
+  eq.run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_DOUBLE_EQ(eq.now(), 5.0);
+}
+
+TEST(FlowEngine, RejectsBadInputs) {
+  EventQueue eq;
+  EXPECT_THROW(FlowEngine(eq, {0.0}), std::invalid_argument);
+  FlowEngine fe(eq, {1.0});
+  EXPECT_THROW(fe.start_flow(1.0, {7}, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorFlows, UncontendedFlowNoSlowerThanDelayModel) {
+  // Pipelined flow transfer finishes no later than store-and-forward for a
+  // single uncontended query.
+  const Instance inst = testing::TinyFixture::make(/*deadline=*/3.0);
+  ReplicaPlan plan(inst);
+  plan.place_replica(0, 1);
+  plan.assign(0, 0, 1);
+  SimConfig delay_cfg;
+  delay_cfg.arrivals = SimConfig::Arrivals::kAllAtOnce;
+  SimConfig flow_cfg = delay_cfg;
+  flow_cfg.transfers = SimConfig::TransferModel::kMaxMinFair;
+  const SimReport d = simulate(plan, delay_cfg);
+  const SimReport f = simulate(plan, flow_cfg);
+  EXPECT_LE(f.outcomes[0].response_delay(),
+            d.outcomes[0].response_delay() + 1e-9);
+  EXPECT_TRUE(f.outcomes[0].fully_served);
+}
+
+TEST(SimulatorFlows, WholeWorkloadRunsUnderFlowModel) {
+  // Bursty arrivals force concurrent flows sharing links; every fully
+  // assigned query must still complete (flows always make progress on
+  // positive-capacity links), and nothing else may.
+  const Instance inst = testing::medium_instance(62, /*f_max=*/3);
+  // First-fit valid plan, independent of the core algorithm.
+  ReplicaPlan p(inst);
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      for (const Site& s : inst.sites()) {
+        if (p.assignment(q.id, dd.dataset)) break;
+        const double need = resource_demand(inst, q, dd);
+        if (!deadline_ok(inst, q, dd, s.id) || !p.fits(s.id, need)) continue;
+        if (!p.has_replica(dd.dataset, s.id)) {
+          if (p.replica_count(dd.dataset) >= inst.max_replicas()) continue;
+          p.place_replica(dd.dataset, s.id);
+        }
+        p.assign(q.id, dd.dataset, s.id);
+      }
+    }
+  }
+  SimConfig cfg;
+  cfg.transfers = SimConfig::TransferModel::kMaxMinFair;
+  cfg.arrivals = SimConfig::Arrivals::kPoisson;
+  cfg.arrival_rate = 10.0;
+  const SimReport rep = simulate(p, cfg);
+  for (const QueryOutcome& o : rep.outcomes) {
+    bool all_assigned = true;
+    for (const DatasetDemand& dd : inst.query(o.query).demands) {
+      all_assigned &= p.assignment(o.query, dd.dataset).has_value();
+    }
+    EXPECT_EQ(o.fully_served, all_assigned);
+  }
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,135 @@
+#include "sim/online.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/appro.h"
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+TEST(Online, AdmitsTheTinyQueryReactively) {
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  const OnlineResult r = run_online(inst);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_TRUE(r.outcomes[0].admitted);
+  EXPECT_EQ(r.admitted_queries, 1u);
+  EXPECT_DOUBLE_EQ(r.admitted_volume, 4.0);
+  EXPECT_DOUBLE_EQ(r.throughput, 1.0);
+  // Completion = arrival + evaluation delay at the (only feasible) cloudlet.
+  EXPECT_NEAR(r.outcomes[0].completion_time - r.outcomes[0].arrival_time,
+              TinyFixture::kDelayAtCl, 1e-9);
+}
+
+TEST(Online, RejectsWhenNothingFeasible) {
+  const Instance inst = TinyFixture::make(/*deadline=*/0.05);
+  const OnlineResult r = run_online(inst);
+  EXPECT_FALSE(r.outcomes[0].admitted);
+  EXPECT_EQ(r.admitted_queries, 0u);
+}
+
+TEST(Online, WithoutReactiveReplicasOnlyOriginServes) {
+  // The dataset's origin is the DC; deadline 1.0 makes only the cloudlet
+  // feasible.  With reactive replicas disabled, the query must be rejected.
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  OnlineConfig cfg;
+  cfg.reactive_replicas = false;
+  const OnlineResult r = run_online(inst, cfg);
+  EXPECT_FALSE(r.outcomes[0].admitted);
+  // A loose deadline lets the origin serve it.
+  const Instance loose = TinyFixture::make(/*deadline=*/3.0);
+  const OnlineResult r2 = run_online(loose, cfg);
+  EXPECT_TRUE(r2.outcomes[0].admitted);
+}
+
+TEST(Online, ProactiveSeedBeatsNoReplicasWhenReactionIsOff) {
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  const ApproResult offline = appro_s(inst);
+  OnlineConfig cfg;
+  cfg.reactive_replicas = false;
+  const OnlineResult without = run_online(inst, cfg);
+  const OnlineResult with = run_online(inst, cfg, &offline.plan);
+  EXPECT_EQ(without.admitted_queries, 0u);
+  EXPECT_EQ(with.admitted_queries, 1u);
+}
+
+TEST(Online, TimeMultiplexingAdmitsMoreThanStaticReservation) {
+  // One 4-GHz site; three identical queries each needing 4 GHz for a short
+  // processing window.  The static model can admit only one (capacity is
+  // reserved forever); online with spread arrivals admits all three.
+  Graph g;
+  const NodeId cl = g.add_node(NodeRole::kCloudlet);
+  Instance inst(std::move(g));
+  const SiteId s = inst.add_site(cl, 4.0, 0.05);  // 4 GB × 0.05 = 0.2 s proc
+  const DatasetId d = inst.add_dataset(4.0, s);
+  for (int i = 0; i < 3; ++i) inst.add_query(s, 1.0, 2.0, {{d, 0.5}});
+  inst.set_max_replicas(1);
+  inst.finalize();
+  const ApproResult offline = appro_g(inst);
+  EXPECT_EQ(offline.metrics.admitted_queries, 1u);
+  OnlineConfig cfg;
+  cfg.arrivals = OnlineConfig::Arrivals::kUniform;
+  cfg.arrival_rate = 1.0;  // 1 s spacing ≫ 0.2 s processing
+  const OnlineResult online = run_online(inst, cfg);
+  EXPECT_EQ(online.admitted_queries, 3u);
+}
+
+TEST(Online, BurstArrivalsHitTheCapacityWall) {
+  // Same instance, but arrivals far faster than the processing window: the
+  // site is busy when the second query lands.
+  Graph g;
+  const NodeId cl = g.add_node(NodeRole::kCloudlet);
+  Instance inst(std::move(g));
+  const SiteId s = inst.add_site(cl, 4.0, 1.0);  // 4 s processing
+  const DatasetId d = inst.add_dataset(4.0, s);
+  for (int i = 0; i < 3; ++i) inst.add_query(s, 1.0, 10.0, {{d, 0.5}});
+  inst.set_max_replicas(1);
+  inst.finalize();
+  OnlineConfig cfg;
+  cfg.arrivals = OnlineConfig::Arrivals::kUniform;
+  cfg.arrival_rate = 10.0;  // 0.1 s spacing ≪ 4 s processing
+  const OnlineResult r = run_online(inst, cfg);
+  EXPECT_EQ(r.admitted_queries, 1u);
+  EXPECT_GT(r.peak_utilization, 0.9);
+}
+
+TEST(Online, DeterministicPerSeed) {
+  const Instance inst = testing::medium_instance(5, /*f_max=*/3);
+  const OnlineResult a = run_online(inst);
+  const OnlineResult b = run_online(inst);
+  EXPECT_EQ(a.admitted_queries, b.admitted_queries);
+  EXPECT_DOUBLE_EQ(a.admitted_volume, b.admitted_volume);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outcomes[i].arrival_time, b.outcomes[i].arrival_time);
+  }
+}
+
+TEST(Online, ReplicaBudgetRespected) {
+  const Instance inst = testing::medium_instance(6, /*f_max=*/3);
+  const OnlineResult r = run_online(inst);
+  for (const Dataset& d : inst.datasets()) {
+    EXPECT_LE(r.replica_sites[d.id].size(), inst.max_replicas());
+  }
+}
+
+TEST(Online, MismatchedProactivePlanThrows) {
+  const Instance a = testing::medium_instance(7, /*f_max=*/2);
+  const Instance b = testing::medium_instance(8, /*f_max=*/2);
+  const ApproResult plan_b = appro_g(b);
+  EXPECT_THROW(run_online(a, OnlineConfig{}, &plan_b.plan),
+               std::invalid_argument);
+}
+
+TEST(Online, BadRateThrows) {
+  const Instance inst = TinyFixture::make();
+  OnlineConfig cfg;
+  cfg.arrival_rate = 0.0;
+  EXPECT_THROW(run_online(inst, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgerep

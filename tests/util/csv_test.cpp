@@ -1,0 +1,77 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace edgerep {
+namespace {
+
+TEST(SplitCsvLine, Simple) {
+  const auto cells = split_csv_line("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(SplitCsvLine, EmptyFields) {
+  const auto cells = split_csv_line("a,,c,");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[1], "");
+  EXPECT_EQ(cells[3], "");
+}
+
+TEST(SplitCsvLine, QuotedComma) {
+  const auto cells = split_csv_line("\"a,b\",c");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], "a,b");
+}
+
+TEST(SplitCsvLine, EscapedQuote) {
+  const auto cells = split_csv_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], "say \"hi\"");
+}
+
+TEST(SplitCsvLine, UnterminatedQuoteThrows) {
+  EXPECT_THROW(split_csv_line("\"oops"), std::runtime_error);
+}
+
+TEST(ReadCsv, HeaderAndRows) {
+  std::istringstream is("x,y\n1,2\n3,4\n");
+  const CsvDocument doc = read_csv(is);
+  ASSERT_EQ(doc.header.size(), 2u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][0], "3");
+}
+
+TEST(ReadCsv, SkipsBlankLinesAndCr) {
+  std::istringstream is("h\r\n\r\nv\r\n");
+  const CsvDocument doc = read_csv(is);
+  EXPECT_EQ(doc.header.size(), 1u);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "v");
+}
+
+TEST(CsvDocument, ColumnLookup) {
+  CsvDocument doc;
+  doc.header = {"a", "b"};
+  EXPECT_EQ(doc.column("b"), 1u);
+  EXPECT_EQ(doc.column("zzz"), CsvDocument::npos);
+}
+
+TEST(Csv, RoundTrips) {
+  CsvDocument doc;
+  doc.header = {"k", "v"};
+  doc.rows = {{"quo\"te", "1"}, {"com,ma", "2"}};
+  std::ostringstream os;
+  write_csv(os, doc);
+  std::istringstream is(os.str());
+  const CsvDocument back = read_csv(is);
+  EXPECT_EQ(back.header, doc.header);
+  EXPECT_EQ(back.rows, doc.rows);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,46 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace edgerep {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LogTest, LevelsAreOrdered) {
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+}
+
+TEST_F(LogTest, MacroCompilesAndStreams) {
+  set_log_level(LogLevel::kError);  // silence output in the test log
+  LOG(kInfo) << "suppressed " << 42;
+  LOG(kError) << "emitted " << 3.14;  // goes to stderr; just must not crash
+  SUCCEED();
+}
+
+TEST_F(LogTest, SuppressedLevelSkipsEvaluationCost) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0) << "stream arguments of suppressed levels must "
+                               "not be evaluated";
+}
+
+}  // namespace
+}  // namespace edgerep

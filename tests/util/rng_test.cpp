@@ -1,0 +1,214 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace edgerep {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(DeriveSeed, DistinctStreamsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    seen.insert(derive_seed(7, s));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(DeriveSeed, IsPureFunction) {
+  EXPECT_EQ(derive_seed(123, 45), derive_seed(123, 45));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(3.0, 8.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 8.0);
+  }
+}
+
+TEST(Rng, UniformU64CoversClosedRange) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(10, 14));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 10u);
+  EXPECT_EQ(*seen.rbegin(), 14u);
+}
+
+TEST(Rng, UniformU64Degenerate) {
+  Rng rng(9);
+  EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+}
+
+TEST(Rng, UniformU64IsUnbiased) {
+  Rng rng(10);
+  // Chi-square-ish sanity: 6 buckets, 60000 draws.
+  std::array<int, 6> counts{};
+  for (int i = 0; i < 60000; ++i) ++counts[rng.uniform_u64(0, 5)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 400);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(14);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(15);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, ZipfInRange) {
+  Rng rng(16);
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = rng.zipf(100, 1.1);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 100u);
+  }
+}
+
+TEST(Rng, ZipfIsSkewed) {
+  Rng rng(17);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[rng.zipf(50, 1.2)];
+  // Rank 1 must dominate rank 10 by roughly 10^1.2 ≈ 16 (allow slack).
+  EXPECT_GT(counts[1], counts[10] * 5);
+}
+
+TEST(Rng, ZipfDegenerate) {
+  Rng rng(18);
+  EXPECT_EQ(rng.zipf(1, 1.0), 1u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(std::span<int>(v));
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleMoves) {
+  Rng rng(20);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(std::span<int>(v));
+  int displaced = 0;
+  for (int i = 0; i < 100; ++i) displaced += v[i] != i ? 1 : 0;
+  EXPECT_GT(displaced, 50);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(21);
+  const auto s = rng.sample_indices(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  const std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (const auto i : s) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, SampleIndicesAll) {
+  Rng rng(22);
+  const auto s = rng.sample_indices(10, 10);
+  const std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, SampleIndicesNone) {
+  Rng rng(23);
+  EXPECT_TRUE(rng.sample_indices(10, 0).empty());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  static_assert(std::uniform_random_bit_generator<SplitMix64>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace edgerep

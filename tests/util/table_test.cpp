@@ -1,0 +1,93 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace edgerep {
+namespace {
+
+TEST(Table, BuildsAndPrints) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("beta").cell(std::size_t{42});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.at(0, 0), "alpha");
+  EXPECT_EQ(t.at(0, 1), "1.5");
+  EXPECT_EQ(t.at(1, 1), "42");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t({"a", "b"});
+  t.row().cell("short").cell("x");
+  t.row().cell("much-longer-cell").cell("y");
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string header;
+  std::string rule;
+  std::string r1;
+  std::string r2;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, r1);
+  std::getline(is, r2);
+  // 'x' and 'y' start at the same column.
+  EXPECT_EQ(r1.find('x'), r2.find('y'));
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.row().cell("one");
+  EXPECT_THROW(t.cell("two"), std::out_of_range);
+}
+
+TEST(Table, AtOutOfRangeThrows) {
+  Table t({"h"});
+  EXPECT_THROW((void)t.at(0, 0), std::out_of_range);
+}
+
+TEST(Table, ImplicitFirstRow) {
+  Table t({"h"});
+  t.cell("v");  // no explicit row()
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0), "v");
+}
+
+TEST(Table, IntCells) {
+  Table t({"a", "b", "c"});
+  t.row().cell(-3).cell(static_cast<long long>(1LL << 40)).cell(0.25, 2);
+  EXPECT_EQ(t.at(0, 0), "-3");
+  EXPECT_EQ(t.at(0, 1), std::to_string(1LL << 40));
+  EXPECT_EQ(t.at(0, 2), "0.25");
+}
+
+TEST(CsvEscape, PassesPlainFields) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Table, PrintCsv) {
+  Table t({"k", "v"});
+  t.row().cell("a,b").cell("1");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "k,v\n\"a,b\",1\n");
+}
+
+}  // namespace
+}  // namespace edgerep

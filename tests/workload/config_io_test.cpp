@@ -1,0 +1,108 @@
+#include "workload/config_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace edgerep {
+namespace {
+
+TEST(ConfigIo, RoundTripsEveryField) {
+  WorkloadConfig cfg;
+  cfg.network_size = 77;
+  cfg.topology.link_prob = 0.31;
+  cfg.dc_capacity = {123.0, 456.0};
+  cfg.cl_capacity = {3.5, 9.25};
+  cfg.min_queries = 11;
+  cfg.max_queries = 99;
+  cfg.max_datasets_per_query = 4;
+  cfg.selectivity = {0.07, 0.66};
+  cfg.deadline_per_gb = {0.2, 0.9};
+  cfg.home_at_cloudlet = 0.42;
+  cfg.max_replicas = 5;
+  std::ostringstream os;
+  write_workload_config(os, cfg);
+  std::istringstream is(os.str());
+  const WorkloadConfig back = read_workload_config(is);
+  for (const std::string& key : workload_config_keys()) {
+    EXPECT_DOUBLE_EQ(get_field(back, key), get_field(cfg, key)) << key;
+  }
+}
+
+TEST(ConfigIo, PartialFileKeepsDefaults) {
+  std::istringstream is("network_size = 64\nmax_replicas = 7\n");
+  const WorkloadConfig cfg = read_workload_config(is);
+  EXPECT_EQ(cfg.network_size, 64u);
+  EXPECT_EQ(cfg.max_replicas, 7u);
+  const WorkloadConfig dflt;
+  EXPECT_DOUBLE_EQ(cfg.dc_capacity.lo, dflt.dc_capacity.lo);
+  EXPECT_EQ(cfg.min_queries, dflt.min_queries);
+}
+
+TEST(ConfigIo, CommentsAndWhitespaceIgnored) {
+  std::istringstream is(
+      "# a comment\n"
+      "\n"
+      "  network_size = 40  # trailing comment\n"
+      "\t max_queries=55\n");
+  const WorkloadConfig cfg = read_workload_config(is);
+  EXPECT_EQ(cfg.network_size, 40u);
+  EXPECT_EQ(cfg.max_queries, 55u);
+}
+
+TEST(ConfigIo, UnknownKeyThrows) {
+  std::istringstream is("netwrok_size = 40\n");
+  EXPECT_THROW(read_workload_config(is), std::runtime_error);
+}
+
+TEST(ConfigIo, MalformedValueThrows) {
+  std::istringstream is("network_size = forty\n");
+  EXPECT_THROW(read_workload_config(is), std::runtime_error);
+  std::istringstream is2("network_size 40\n");
+  EXPECT_THROW(read_workload_config(is2), std::runtime_error);
+}
+
+TEST(ConfigIo, CountFieldsRejectFractions) {
+  std::istringstream is("max_replicas = 2.5\n");
+  EXPECT_THROW(read_workload_config(is), std::runtime_error);
+}
+
+TEST(ConfigIo, SetAndGetFieldByKey) {
+  WorkloadConfig cfg;
+  set_field(cfg, "dataset_volume.hi", 9.0);
+  EXPECT_DOUBLE_EQ(cfg.dataset_volume.hi, 9.0);
+  EXPECT_DOUBLE_EQ(get_field(cfg, "dataset_volume.hi"), 9.0);
+  EXPECT_THROW(set_field(cfg, "nope", 1.0), std::runtime_error);
+  EXPECT_THROW(get_field(cfg, "nope"), std::runtime_error);
+}
+
+TEST(ConfigIo, KeysAreUniqueAndNonEmpty) {
+  const auto keys = workload_config_keys();
+  EXPECT_GT(keys.size(), 20u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_FALSE(keys[i].empty());
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(keys[i], keys[j]);
+    }
+  }
+}
+
+TEST(ConfigIo, ParsedConfigGeneratesIdenticalInstances) {
+  WorkloadConfig cfg;
+  cfg.network_size = 20;
+  cfg.max_queries = 30;
+  std::ostringstream os;
+  write_workload_config(os, cfg);
+  std::istringstream is(os.str());
+  const WorkloadConfig back = read_workload_config(is);
+  const Instance a = generate_instance(cfg, 9);
+  const Instance b = generate_instance(back, 9);
+  ASSERT_EQ(a.queries().size(), b.queries().size());
+  for (std::size_t m = 0; m < a.queries().size(); ++m) {
+    EXPECT_DOUBLE_EQ(a.query(m).deadline, b.query(m).deadline);
+  }
+}
+
+}  // namespace
+}  // namespace edgerep

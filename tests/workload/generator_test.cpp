@@ -1,0 +1,145 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace edgerep {
+namespace {
+
+TEST(Generator, DefaultConfigMatchesPaperRanges) {
+  const WorkloadConfig cfg;
+  const Instance inst = generate_instance(cfg, 1);
+  EXPECT_TRUE(inst.finalized());
+  // |S| ∈ [5, 20], |Q| ∈ [10, 100] (paper §4.1).
+  EXPECT_GE(inst.datasets().size(), 5u);
+  EXPECT_LE(inst.datasets().size(), 20u);
+  EXPECT_GE(inst.queries().size(), 10u);
+  EXPECT_LE(inst.queries().size(), 100u);
+  for (const Dataset& d : inst.datasets()) {
+    EXPECT_GE(d.volume, 1.0);
+    EXPECT_LE(d.volume, 6.0);
+  }
+  for (const Query& q : inst.queries()) {
+    EXPECT_GE(q.rate, 0.75);
+    EXPECT_LE(q.rate, 1.25);
+    EXPECT_GE(q.demands.size(), 1u);
+    EXPECT_LE(q.demands.size(), 7u);
+    EXPECT_GT(q.deadline, 0.0);
+  }
+}
+
+TEST(Generator, CapacitiesFollowRoles) {
+  const Instance inst = generate_instance(WorkloadConfig{}, 2);
+  for (const Site& s : inst.sites()) {
+    if (s.is_data_center()) {
+      EXPECT_GE(s.capacity, 200.0);
+      EXPECT_LE(s.capacity, 700.0);
+    } else {
+      EXPECT_GE(s.capacity, 8.0);
+      EXPECT_LE(s.capacity, 16.0);
+    }
+  }
+}
+
+TEST(Generator, NetworkSizeControlsSiteCount) {
+  WorkloadConfig cfg;
+  cfg.network_size = 64;
+  const Instance inst = generate_instance(cfg, 3);
+  // Sites = CL + DC; switches are not placement sites.
+  EXPECT_GT(inst.sites().size(), 50u);
+  EXPECT_LT(inst.sites().size(), 64u);
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const Instance a = generate_instance(WorkloadConfig{}, 77);
+  const Instance b = generate_instance(WorkloadConfig{}, 77);
+  ASSERT_EQ(a.queries().size(), b.queries().size());
+  ASSERT_EQ(a.datasets().size(), b.datasets().size());
+  for (std::size_t m = 0; m < a.queries().size(); ++m) {
+    EXPECT_DOUBLE_EQ(a.query(m).deadline, b.query(m).deadline);
+    EXPECT_EQ(a.query(m).home, b.query(m).home);
+    ASSERT_EQ(a.query(m).demands.size(), b.query(m).demands.size());
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Instance a = generate_instance(WorkloadConfig{}, 1);
+  const Instance b = generate_instance(WorkloadConfig{}, 2);
+  const bool differ = a.queries().size() != b.queries().size() ||
+                      a.datasets().size() != b.datasets().size() ||
+                      a.graph().num_edges() != b.graph().num_edges();
+  EXPECT_TRUE(differ);
+}
+
+TEST(Generator, QueryCountIndependentOfTopologyStream) {
+  // Changing only topology-ish knobs must not reshuffle query counts
+  // (independent substreams).
+  WorkloadConfig a;
+  WorkloadConfig b;
+  b.topology.link_prob = 0.5;
+  const Instance ia = generate_instance(a, 9);
+  const Instance ib = generate_instance(b, 9);
+  EXPECT_EQ(ia.queries().size(), ib.queries().size());
+  EXPECT_EQ(ia.datasets().size(), ib.datasets().size());
+}
+
+TEST(Generator, DemandsAreDistinctDatasets) {
+  const Instance inst = generate_instance(WorkloadConfig{}, 5);
+  for (const Query& q : inst.queries()) {
+    for (std::size_t i = 0; i < q.demands.size(); ++i) {
+      for (std::size_t j = i + 1; j < q.demands.size(); ++j) {
+        EXPECT_NE(q.demands[i].dataset, q.demands[j].dataset);
+      }
+    }
+  }
+}
+
+TEST(Generator, DeadlineScalesWithLargestDemandedVolume) {
+  const WorkloadConfig cfg;
+  const Instance inst = generate_instance(cfg, 6);
+  for (const Query& q : inst.queries()) {
+    double max_vol = 0.0;
+    for (const DatasetDemand& dd : q.demands) {
+      max_vol = std::max(max_vol, inst.dataset(dd.dataset).volume);
+    }
+    EXPECT_GE(q.deadline, cfg.deadline_per_gb.lo * max_vol - 1e-9);
+    EXPECT_LE(q.deadline, cfg.deadline_per_gb.hi * max_vol + 1e-9);
+  }
+}
+
+TEST(Generator, SpecialCaseConfigForcesSingleDataset) {
+  const Instance inst = generate_instance(special_case_config(), 7);
+  for (const Query& q : inst.queries()) {
+    EXPECT_EQ(q.demands.size(), 1u);
+  }
+}
+
+TEST(Generator, RejectsBadConfigs) {
+  WorkloadConfig bad;
+  bad.min_datasets_per_query = 0;
+  EXPECT_THROW(generate_instance(bad, 1), std::invalid_argument);
+  WorkloadConfig bad2;
+  bad2.min_queries = 50;
+  bad2.max_queries = 10;
+  EXPECT_THROW(generate_instance(bad2, 1), std::invalid_argument);
+  WorkloadConfig bad3;
+  bad3.min_datasets_per_query = 5;
+  bad3.max_datasets_per_query = 2;
+  EXPECT_THROW(generate_instance(bad3, 1), std::invalid_argument);
+}
+
+TEST(Generator, HomesAreMostlyCloudlets) {
+  WorkloadConfig cfg;
+  cfg.min_queries = 100;
+  cfg.max_queries = 100;
+  const Instance inst = generate_instance(cfg, 8);
+  std::size_t cloudlet_homes = 0;
+  for (const Query& q : inst.queries()) {
+    if (!inst.site(q.home).is_data_center()) ++cloudlet_homes;
+  }
+  EXPECT_GT(cloudlet_homes, inst.queries().size() / 2);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,69 @@
+#include "workload/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/appro.h"
+#include "cloud/plan.h"
+
+namespace edgerep {
+namespace {
+
+TEST(Scenarios, AllBuiltinsAreWellFormed) {
+  const auto& all = builtin_scenarios();
+  EXPECT_GE(all.size(), 6u);
+  for (const Scenario& s : all) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.description.empty());
+    // Every scenario must generate a valid, finalizable instance.
+    const Instance inst = generate_instance(s.config, 1);
+    EXPECT_TRUE(inst.finalized()) << s.name;
+    EXPECT_GT(inst.queries().size(), 0u) << s.name;
+  }
+}
+
+TEST(Scenarios, NamesAreUnique) {
+  const auto& all = builtin_scenarios();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i].name, all[j].name);
+    }
+  }
+}
+
+TEST(Scenarios, FindByName) {
+  EXPECT_EQ(find_scenario("paper-default").name, "paper-default");
+  EXPECT_EQ(find_scenario("scarce-edge").config.cl_capacity.hi, 8.0);
+  EXPECT_EQ(find_scenario("replica-starved").config.max_replicas, 1u);
+  EXPECT_THROW(find_scenario("nope"), std::invalid_argument);
+}
+
+TEST(Scenarios, SpecialCaseIsSingleDemand) {
+  const Instance inst =
+      generate_instance(find_scenario("special-case").config, 3);
+  for (const Query& q : inst.queries()) {
+    EXPECT_EQ(q.demands.size(), 1u);
+  }
+}
+
+TEST(Scenarios, RegimesOrderAsIntended) {
+  // Averaged over seeds: loose-qos admits more than paper-default, which
+  // admits more than scarce-edge (same algorithm throughout).
+  auto mean_throughput = [](const WorkloadConfig& cfg) {
+    double total = 0.0;
+    for (std::uint64_t r = 0; r < 8; ++r) {
+      total += appro_g(generate_instance(cfg, derive_seed(0xabc, r)))
+                   .metrics.throughput;
+    }
+    return total / 8.0;
+  };
+  const double loose = mean_throughput(find_scenario("loose-qos").config);
+  const double base = mean_throughput(find_scenario("paper-default").config);
+  const double scarce = mean_throughput(find_scenario("scarce-edge").config);
+  EXPECT_GT(loose, base);
+  EXPECT_GT(base, scarce);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,86 @@
+#include "workload/sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace edgerep {
+namespace {
+
+TEST(Sweep, LineupsHavePaperNames) {
+  const auto special = algorithms_special();
+  ASSERT_EQ(special.size(), 3u);
+  EXPECT_EQ(special[0].name, "Appro-S");
+  EXPECT_EQ(special[1].name, "Greedy-S");
+  EXPECT_EQ(special[2].name, "Graph-S");
+  const auto general = algorithms_general();
+  ASSERT_EQ(general.size(), 3u);
+  EXPECT_EQ(general[0].name, "Appro-G");
+  const auto tb_s = algorithms_testbed_special();
+  ASSERT_EQ(tb_s.size(), 2u);
+  EXPECT_EQ(tb_s[1].name, "Popularity-S");
+  const auto tb_g = algorithms_testbed_general();
+  ASSERT_EQ(tb_g.size(), 2u);
+  EXPECT_EQ(tb_g[1].name, "Popularity-G");
+}
+
+TEST(Sweep, AggregatesRequestedRepetitions) {
+  WorkloadConfig cfg = special_case_config(16);
+  cfg.min_queries = 10;
+  cfg.max_queries = 20;
+  const auto stats =
+      run_sweep_point(cfg, 42, 5, algorithms_special(), /*parallel=*/false);
+  ASSERT_EQ(stats.size(), 3u);
+  for (const AlgoStats& s : stats) {
+    EXPECT_EQ(s.admitted_volume.count(), 5u);
+    EXPECT_EQ(s.throughput.count(), 5u);
+    EXPECT_EQ(s.validation_failures, 0u);
+    EXPECT_GE(s.throughput.mean(), 0.0);
+    EXPECT_LE(s.throughput.mean(), 1.0);
+  }
+}
+
+TEST(Sweep, ParallelEqualsSerial) {
+  WorkloadConfig cfg = special_case_config(16);
+  cfg.min_queries = 10;
+  cfg.max_queries = 20;
+  const auto serial =
+      run_sweep_point(cfg, 7, 6, algorithms_special(), /*parallel=*/false);
+  const auto parallel =
+      run_sweep_point(cfg, 7, 6, algorithms_special(), /*parallel=*/true);
+  for (std::size_t a = 0; a < serial.size(); ++a) {
+    EXPECT_NEAR(serial[a].admitted_volume.mean(),
+                parallel[a].admitted_volume.mean(), 1e-9);
+    EXPECT_NEAR(serial[a].throughput.mean(), parallel[a].throughput.mean(),
+                1e-9);
+    EXPECT_DOUBLE_EQ(serial[a].admitted_volume.min(),
+                     parallel[a].admitted_volume.min());
+  }
+}
+
+TEST(Sweep, GeneralLineupRunsOnMultiDatasetWorkloads) {
+  WorkloadConfig cfg;
+  cfg.network_size = 16;
+  cfg.min_queries = 10;
+  cfg.max_queries = 20;
+  cfg.max_datasets_per_query = 4;
+  const auto stats =
+      run_sweep_point(cfg, 3, 4, algorithms_general(), /*parallel=*/true);
+  for (const AlgoStats& s : stats) {
+    EXPECT_EQ(s.validation_failures, 0u);
+    EXPECT_EQ(s.assigned_volume.count(), 4u);
+  }
+}
+
+TEST(Sweep, RuntimeIsRecorded) {
+  WorkloadConfig cfg = special_case_config(16);
+  cfg.min_queries = 10;
+  cfg.max_queries = 10;
+  const auto stats =
+      run_sweep_point(cfg, 1, 2, algorithms_special(), /*parallel=*/false);
+  for (const AlgoStats& s : stats) {
+    EXPECT_EQ(s.runtime_ms.count(), 2u);
+    EXPECT_GE(s.runtime_ms.mean(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace edgerep

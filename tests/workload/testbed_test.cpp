@@ -1,0 +1,139 @@
+#include "workload/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/appro.h"
+#include "cloud/plan.h"
+
+namespace edgerep {
+namespace {
+
+TEST(RegionLatency, SymmetricAndOrdered) {
+  for (std::size_t a = 0; a < kNumRegions; ++a) {
+    for (std::size_t b = 0; b < kNumRegions; ++b) {
+      EXPECT_DOUBLE_EQ(region_latency(static_cast<Region>(a),
+                                      static_cast<Region>(b)),
+                       region_latency(static_cast<Region>(b),
+                                      static_cast<Region>(a)));
+    }
+  }
+  // Singapore is the farthest from every American region.
+  EXPECT_GT(region_latency(Region::kSanFrancisco, Region::kSingapore),
+            region_latency(Region::kSanFrancisco, Region::kNewYork));
+  EXPECT_GT(region_latency(Region::kNewYork, Region::kSingapore),
+            region_latency(Region::kNewYork, Region::kToronto));
+}
+
+TEST(TestbedTopology, PaperShape) {
+  Rng rng(1);
+  const TestbedTopology tb = make_testbed_topology(TestbedConfig{}, rng);
+  EXPECT_EQ(tb.topo.data_centers.size(), 4u);
+  EXPECT_EQ(tb.topo.cloudlets.size(), 16u);
+  EXPECT_EQ(tb.topo.switches.size(), 2u);
+  EXPECT_EQ(tb.topo.graph.num_nodes(), 22u);
+  EXPECT_TRUE(tb.topo.graph.connected());
+  EXPECT_EQ(tb.region_of_node.size(), tb.topo.graph.num_nodes());
+}
+
+TEST(TestbedTopology, CloudletsSpreadAcrossRegions) {
+  Rng rng(2);
+  const TestbedTopology tb = make_testbed_topology(TestbedConfig{}, rng);
+  std::array<int, kNumRegions> per_region{};
+  for (const NodeId cl : tb.topo.cloudlets) {
+    ++per_region[static_cast<std::size_t>(tb.region_of_node[cl])];
+  }
+  for (const int n : per_region) EXPECT_EQ(n, 4);
+}
+
+TEST(TestbedTopology, InterRegionSlowerThanIntra) {
+  Rng rng(3);
+  const TestbedTopology tb = make_testbed_topology(TestbedConfig{}, rng);
+  const Graph& g = tb.topo.graph;
+  double max_intra = 0.0;
+  double min_dc_trunk = 1e18;
+  for (const Edge& e : g.edges()) {
+    const bool both_dc = g.role(e.u) == NodeRole::kDataCenter &&
+                         g.role(e.v) == NodeRole::kDataCenter;
+    const bool intra = tb.region_of_node[e.u] == tb.region_of_node[e.v];
+    if (both_dc) min_dc_trunk = std::min(min_dc_trunk, e.delay);
+    if (intra && !both_dc) max_intra = std::max(max_intra, e.delay);
+  }
+  EXPECT_GT(min_dc_trunk, max_intra);
+}
+
+TEST(TestbedInstance, BuildsFinalizedInstance) {
+  const TestbedWorkloadConfig cfg;
+  const Instance inst = make_testbed_instance(cfg, 1);
+  EXPECT_TRUE(inst.finalized());
+  EXPECT_EQ(inst.sites().size(), 20u);  // 16 CL + 4 DC
+  EXPECT_EQ(inst.datasets().size(), cfg.trace.num_datasets);
+  EXPECT_EQ(inst.queries().size(), cfg.num_queries);
+  EXPECT_EQ(inst.max_replicas(), cfg.max_replicas);
+}
+
+TEST(TestbedInstance, DatasetsOriginAtDataCenters) {
+  const Instance inst = make_testbed_instance(TestbedWorkloadConfig{}, 2);
+  for (const Dataset& d : inst.datasets()) {
+    ASSERT_NE(d.origin, kInvalidSite);
+    EXPECT_TRUE(inst.site(d.origin).is_data_center());
+  }
+}
+
+TEST(TestbedInstance, QueriesHomeAtCloudlets) {
+  const Instance inst = make_testbed_instance(TestbedWorkloadConfig{}, 3);
+  for (const Query& q : inst.queries()) {
+    EXPECT_FALSE(inst.site(q.home).is_data_center());
+  }
+}
+
+TEST(TestbedInstance, DemandsAreContiguousWindows) {
+  const TestbedWorkloadConfig cfg;
+  const Instance inst = make_testbed_instance(cfg, 4);
+  for (const Query& q : inst.queries()) {
+    EXPECT_GE(q.demands.size(), cfg.min_windows_per_query);
+    EXPECT_LE(q.demands.size(), cfg.max_windows_per_query);
+    for (std::size_t i = 1; i < q.demands.size(); ++i) {
+      EXPECT_EQ(q.demands[i].dataset, q.demands[i - 1].dataset + 1);
+    }
+  }
+}
+
+TEST(TestbedInstance, WindowKnobControlsDemandSpan) {
+  TestbedWorkloadConfig cfg;
+  cfg.min_windows_per_query = 3;
+  cfg.max_windows_per_query = 3;
+  const Instance inst = make_testbed_instance(cfg, 5);
+  for (const Query& q : inst.queries()) {
+    EXPECT_EQ(q.demands.size(), 3u);
+  }
+}
+
+TEST(TestbedInstance, DeterministicPerSeed) {
+  const Instance a = make_testbed_instance(TestbedWorkloadConfig{}, 6);
+  const Instance b = make_testbed_instance(TestbedWorkloadConfig{}, 6);
+  ASSERT_EQ(a.queries().size(), b.queries().size());
+  for (std::size_t m = 0; m < a.queries().size(); ++m) {
+    EXPECT_DOUBLE_EQ(a.query(m).deadline, b.query(m).deadline);
+  }
+}
+
+TEST(TestbedInstance, RejectsBadWindowConfig) {
+  TestbedWorkloadConfig bad;
+  bad.min_windows_per_query = 5;
+  bad.max_windows_per_query = 2;
+  EXPECT_THROW(make_testbed_instance(bad, 1), std::invalid_argument);
+}
+
+TEST(TestbedInstance, ApproGAdmitsSomething) {
+  // Sanity: the default testbed workload is neither trivially empty nor
+  // trivially saturated for the core algorithm.
+  const Instance inst = make_testbed_instance(TestbedWorkloadConfig{}, 7);
+  const ApproResult r = appro_g(inst);
+  EXPECT_TRUE(validate(r.plan).ok);
+  EXPECT_GT(r.metrics.assigned_volume, 0.0);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,109 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace edgerep {
+namespace {
+
+TEST(Trace, ProducesRequestedWindows) {
+  TraceConfig cfg;
+  cfg.num_datasets = 12;
+  const Trace t = synthesize_trace(cfg, 1);
+  ASSERT_EQ(t.windows.size(), 12u);
+  // Windows tile [0, days] contiguously.
+  EXPECT_DOUBLE_EQ(t.windows.front().start_day, 0.0);
+  EXPECT_NEAR(t.windows.back().end_day, cfg.days, 1e-9);
+  for (std::size_t w = 1; w < t.windows.size(); ++w) {
+    EXPECT_NEAR(t.windows[w].start_day, t.windows[w - 1].end_day, 1e-9);
+  }
+}
+
+TEST(Trace, VolumesArePositiveAndPlausible) {
+  const TraceConfig cfg;
+  const Trace t = synthesize_trace(cfg, 2);
+  // Expected: 30000 users · 8 events/day · 7.5 days · 2 KB ≈ 3.7 GB/window.
+  for (const TraceWindow& w : t.windows) {
+    EXPECT_GT(w.volume_gb, 1.0);
+    EXPECT_LT(w.volume_gb, 10.0);
+  }
+  EXPECT_NEAR(t.total_volume_gb,
+              std::accumulate(t.windows.begin(), t.windows.end(), 0.0,
+                              [](double acc, const TraceWindow& w) {
+                                return acc + w.volume_gb;
+                              }),
+              1e-9);
+}
+
+TEST(Trace, AppSharesAreDistributions) {
+  const Trace t = synthesize_trace(TraceConfig{}, 3);
+  for (const TraceWindow& w : t.windows) {
+    double sum = 0.0;
+    for (const double s : w.app_share) {
+      EXPECT_GE(s, 0.0);
+      sum += s;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  double psum = 0.0;
+  for (const double p : t.app_popularity) psum += p;
+  EXPECT_NEAR(psum, 1.0, 1e-9);
+}
+
+TEST(Trace, PopularityIsZipfSkewed) {
+  const Trace t = synthesize_trace(TraceConfig{}, 4);
+  // Rank 1 ≈ 2^1.1 × rank 2, and far above rank 100.
+  EXPECT_GT(t.app_popularity[0], t.app_popularity[1]);
+  EXPECT_GT(t.app_popularity[0], 10.0 * t.app_popularity[99]);
+}
+
+TEST(Trace, DeterministicPerSeed) {
+  const Trace a = synthesize_trace(TraceConfig{}, 5);
+  const Trace b = synthesize_trace(TraceConfig{}, 5);
+  for (std::size_t w = 0; w < a.windows.size(); ++w) {
+    EXPECT_DOUBLE_EQ(a.windows[w].volume_gb, b.windows[w].volume_gb);
+  }
+  const Trace c = synthesize_trace(TraceConfig{}, 6);
+  EXPECT_NE(a.windows[0].volume_gb, c.windows[0].volume_gb);
+}
+
+TEST(Trace, ScalesLinearlyWithUsers) {
+  TraceConfig small;
+  small.volume_noise = 0.0;
+  TraceConfig big = small;
+  big.num_users = small.num_users * 10;
+  const Trace ts = synthesize_trace(small, 7);
+  const Trace tb = synthesize_trace(big, 7);
+  EXPECT_NEAR(tb.total_volume_gb / ts.total_volume_gb, 10.0, 1e-6);
+}
+
+TEST(Trace, TopAppsSortedDescending) {
+  const Trace t = synthesize_trace(TraceConfig{}, 8);
+  const auto top = top_apps(t.windows[0], 10);
+  ASSERT_EQ(top.size(), 10u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(t.windows[0].app_share[top[i - 1]],
+              t.windows[0].app_share[top[i]]);
+  }
+}
+
+TEST(Trace, TopAppsClampsK) {
+  TraceConfig cfg;
+  cfg.num_apps = 5;
+  const Trace t = synthesize_trace(cfg, 9);
+  EXPECT_EQ(top_apps(t.windows[0], 100).size(), 5u);
+}
+
+TEST(Trace, RejectsBadConfig) {
+  TraceConfig bad;
+  bad.num_datasets = 0;
+  EXPECT_THROW(synthesize_trace(bad, 1), std::invalid_argument);
+  TraceConfig bad2;
+  bad2.days = -1.0;
+  EXPECT_THROW(synthesize_trace(bad2, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgerep

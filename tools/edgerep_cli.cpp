@@ -1,0 +1,305 @@
+// edgerep command-line tool: the operator-facing entry point tying the
+// library together.  Subcommands:
+//
+//   generate  — create a problem instance (paper-style random workload or a
+//               config file) and archive it
+//   solve     — run a placement algorithm on an instance; save the plan
+//   validate  — independently re-check a plan against every constraint
+//   simulate  — execute a plan on the discrete-event testbed
+//   analyze   — availability + consistency economics of a plan
+//   online    — reactive admission over arrivals (optionally seeded by a plan)
+//
+// Example session:
+//   edgerep_cli generate --size 32 --seed 7 --out inst.txt
+//   edgerep_cli solve --instance inst.txt --algorithm appro --out plan.txt
+//   edgerep_cli validate --instance inst.txt --plan plan.txt
+//   edgerep_cli simulate --instance inst.txt --plan plan.txt --discipline ps
+//   edgerep_cli analyze --instance inst.txt --plan plan.txt --failure-prob 0.1
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cloud/plan_io.h"
+#include "edgerep/edgerep.h"
+
+namespace edgerep {
+namespace {
+
+int usage() {
+  std::cout <<
+      "usage: edgerep_cli <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  generate --out FILE [--scenario NAME] [--config FILE] [--size N]\n"
+      "           [--queries N] [--f N] [--k N] [--seed S]\n"
+      "  scenarios                    list the built-in workload scenarios\n"
+      "  solve    --instance FILE --algorithm NAME [--out FILE] [--improve]\n"
+      "           NAME: appro | greedy | graph | popularity | random |\n"
+      "                 centrality | lp-rounding | exact\n"
+      "  validate --instance FILE --plan FILE\n"
+      "  simulate --instance FILE --plan FILE [--discipline fifo|ps]\n"
+      "           [--transfers delay|flow] [--arrival-rate R]\n"
+      "           [--capacity-factor F] [--seed S]\n"
+      "  analyze  --instance FILE --plan FILE [--failure-prob P]\n"
+      "           [--growth G] [--trials N] [--seed S]\n"
+      "  online   --instance FILE [--plan FILE] [--arrival-rate R]\n"
+      "           [--no-reactive] [--seed S]\n"
+      "  diff     --instance FILE --plan FILE --plan2 FILE\n";
+  return 2;
+}
+
+Instance load_instance(const Args& args) {
+  const std::string path = args.get("instance", "");
+  if (path.empty()) throw std::runtime_error("--instance is required");
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open instance file: " + path);
+  return read_instance(is);
+}
+
+ReplicaPlan load_plan(const Instance& inst, const Args& args) {
+  const std::string path = args.get("plan", "");
+  if (path.empty()) throw std::runtime_error("--plan is required");
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open plan file: " + path);
+  return read_plan(inst, is);
+}
+
+void print_metrics(const ReplicaPlan& plan) {
+  const PlanMetrics pm = evaluate(plan);
+  std::cout << "admitted volume: " << pm.admitted_volume << " GB\n"
+            << "assigned volume: " << pm.assigned_volume << " GB\n"
+            << "admitted queries: " << pm.admitted_queries << "/"
+            << pm.total_queries << " (throughput " << pm.throughput << ")\n"
+            << "replicas placed: " << pm.replicas_placed << "\n"
+            << "resource utilization: " << pm.utilization << "\n";
+}
+
+int cmd_scenarios() {
+  for (const Scenario& s : builtin_scenarios()) {
+    std::cout << s.name << "\n    " << s.description << "\n";
+  }
+  return 0;
+}
+
+int cmd_diff(const Args& args) {
+  const Instance inst = load_instance(args);
+  const ReplicaPlan before = load_plan(inst, args);
+  const std::string path = args.get("plan2", "");
+  if (path.empty()) throw std::runtime_error("--plan2 is required");
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open plan file: " + path);
+  const ReplicaPlan after = read_plan(inst, is);
+  const PlanDiff d = diff_plans(before, after);
+  print_diff(std::cout, d, inst);
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  WorkloadConfig cfg;
+  if (args.has("scenario")) {
+    cfg = find_scenario(args.get("scenario", "paper-default")).config;
+  }
+  if (args.has("config")) {
+    std::ifstream is(args.get("config", ""));
+    if (!is) throw std::runtime_error("cannot open config file");
+    cfg = read_workload_config(is);
+  }
+  if (args.has("size")) {
+    cfg.network_size = static_cast<std::size_t>(args.get_int("size", 32));
+  }
+  if (args.has("queries")) {
+    cfg.min_queries = cfg.max_queries =
+        static_cast<std::size_t>(args.get_int("queries", 60));
+  }
+  if (args.has("f")) {
+    cfg.max_datasets_per_query =
+        static_cast<std::size_t>(args.get_int("f", 5));
+  }
+  if (args.has("k")) {
+    cfg.max_replicas = static_cast<std::size_t>(args.get_int("k", 3));
+  }
+  const Instance inst = generate_instance(cfg, args.get_seed("seed", 1));
+  const std::string out = args.get("out", "");
+  if (out.empty()) throw std::runtime_error("--out is required");
+  std::ofstream os(out);
+  write_instance(os, inst);
+  std::cout << "wrote " << out << ": " << inst.sites().size() << " sites, "
+            << inst.datasets().size() << " datasets, "
+            << inst.queries().size() << " queries, K=" << inst.max_replicas()
+            << "\n";
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  const Instance inst = load_instance(args);
+  const std::string algo = args.get("algorithm", "appro");
+  ReplicaPlan plan(inst);
+  if (algo == "appro") {
+    const ApproResult r = inst.queries().size() > 0 ? appro_g(inst)
+                                                    : ApproResult{
+                                                          ReplicaPlan(inst),
+                                                          DualState(inst),
+                                                          0.0,
+                                                          {},
+                                                          0,
+                                                          0};
+    plan = r.plan;
+    std::cout << "dual upper bound: " << r.dual_objective << " GB\n";
+  } else if (algo == "greedy") {
+    plan = greedy_g(inst).plan;
+  } else if (algo == "graph") {
+    plan = graph_g(inst).plan;
+  } else if (algo == "popularity") {
+    plan = popularity_g(inst).plan;
+  } else if (algo == "random") {
+    plan = random_baseline(inst, args.get_seed("seed", 1)).plan;
+  } else if (algo == "centrality") {
+    plan = centrality_g(inst).plan;
+  } else if (algo == "lp-rounding") {
+    plan = lp_rounding(inst).plan;
+  } else if (algo == "exact") {
+    const auto res = solve_exact(inst);
+    if (!res) throw std::runtime_error("exact solver exhausted its budget");
+    std::cout << (res->proven_optimal ? "proven optimal" : "best incumbent")
+              << ", LP bound " << res->lp_upper_bound << " GB, "
+              << res->nodes_explored << " B&B nodes\n";
+    plan = res->plan;
+  } else {
+    throw std::runtime_error("unknown algorithm: " + algo);
+  }
+  if (args.get_bool("improve", false)) {
+    const LocalSearchResult ls = improve_plan(plan);
+    std::cout << "local search: +" << ls.queries_admitted << " queries, "
+              << ls.relocations << " relocations\n";
+    plan = ls.plan;
+  }
+  print_metrics(plan);
+  const ValidationResult vr = validate(plan);
+  std::cout << "valid: " << (vr.ok ? "yes" : "NO") << "\n";
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    write_plan(os, plan);
+    std::cout << "plan written to " << out << "\n";
+  }
+  return vr.ok ? 0 : 1;
+}
+
+int cmd_validate(const Args& args) {
+  const Instance inst = load_instance(args);
+  const ReplicaPlan plan = load_plan(inst, args);
+  const ValidationResult vr = validate(plan);
+  if (vr.ok) {
+    std::cout << "plan satisfies all constraints\n";
+    print_metrics(plan);
+    return 0;
+  }
+  std::cout << vr.violations.size() << " violation(s):\n";
+  for (const std::string& v : vr.violations) std::cout << "  " << v << "\n";
+  return 1;
+}
+
+int cmd_simulate(const Args& args) {
+  const Instance inst = load_instance(args);
+  const ReplicaPlan plan = load_plan(inst, args);
+  SimConfig cfg;
+  cfg.arrival_rate = args.get_double("arrival-rate", 2.0);
+  cfg.capacity_factor = args.get_double("capacity-factor", 1.0);
+  cfg.seed = args.get_seed("seed", 0xd15c);
+  const std::string disc = args.get("discipline", "fifo");
+  if (disc == "ps") {
+    cfg.discipline = SimConfig::Discipline::kProcessorSharing;
+  } else if (disc != "fifo") {
+    throw std::runtime_error("unknown discipline: " + disc);
+  }
+  const std::string tm = args.get("transfers", "delay");
+  if (tm == "flow") {
+    cfg.transfers = SimConfig::TransferModel::kMaxMinFair;
+  } else if (tm != "delay") {
+    throw std::runtime_error("unknown transfer model: " + tm);
+  }
+  const SimReport rep = simulate(plan, cfg);
+  std::cout << "served: " << rep.served_queries << "/" << rep.total_queries
+            << ", admitted (deadline met): " << rep.admitted_queries
+            << " (throughput " << rep.throughput << ")\n"
+            << "admitted volume: " << rep.admitted_volume << " GB\n"
+            << "response mean/p95/max: " << rep.mean_response << " / "
+            << rep.p95_response << " / " << rep.max_response << " s\n"
+            << "makespan: " << rep.makespan << " s\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const Instance inst = load_instance(args);
+  const ReplicaPlan plan = load_plan(inst, args);
+  AvailabilityConfig acfg;
+  acfg.site_failure_prob = args.get_double("failure-prob", 0.05);
+  acfg.trials = static_cast<std::size_t>(args.get_int("trials", 10000));
+  acfg.seed = args.get_seed("seed", 0xa1b2);
+  const AvailabilityReport avail = analyze_availability(plan, acfg);
+  std::cout << "availability @ p=" << acfg.site_failure_prob << ": mean "
+            << avail.mean_survival << ", min " << avail.min_survival
+            << ", expected surviving volume "
+            << avail.expected_surviving_volume << " GB\n";
+  const double growth = args.get_double("growth", 0.1);
+  const ConsistencyReport cons =
+      analyze_consistency(plan, GrowthModel::proportional(inst, growth));
+  std::cout << "consistency @ " << growth * 100 << "%/h growth: "
+            << cons.total_traffic_gb_per_hour << " GB/h update traffic, "
+            << "cost " << cons.total_transfer_cost_per_hour
+            << "/h, mean staleness " << cons.mean_staleness_gb << " GB, "
+            << "net benefit " << cons.net_benefit << "\n";
+  return 0;
+}
+
+int cmd_online(const Args& args) {
+  const Instance inst = load_instance(args);
+  OnlineConfig cfg;
+  cfg.arrival_rate = args.get_double("arrival-rate", 2.0);
+  cfg.seed = args.get_seed("seed", 0x0a11);
+  cfg.reactive_replicas = !args.get_bool("no-reactive", false);
+  OnlineResult res;
+  if (args.has("plan")) {
+    const ReplicaPlan seed_plan = load_plan(inst, args);
+    res = run_online(inst, cfg, &seed_plan);
+  } else {
+    res = run_online(inst, cfg);
+  }
+  std::cout << "online admission: " << res.admitted_queries << "/"
+            << inst.queries().size() << " (throughput " << res.throughput
+            << ")\nadmitted volume: " << res.admitted_volume
+            << " GB\npeak utilization: " << res.peak_utilization << "\n";
+  return 0;
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc - 1, argv + 1);
+  if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "solve") return cmd_solve(args);
+  if (cmd == "validate") return cmd_validate(args);
+  if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "analyze") return cmd_analyze(args);
+  if (cmd == "online") return cmd_online(args);
+  if (cmd == "diff") return cmd_diff(args);
+  if (cmd == "scenarios") return cmd_scenarios();
+  if (cmd == "help" || cmd == "--help") {
+    usage();
+    return 0;
+  }
+  std::cerr << "unknown command: " << cmd << "\n";
+  return usage();
+}
+
+}  // namespace
+}  // namespace edgerep
+
+int main(int argc, char** argv) {
+  try {
+    return edgerep::dispatch(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
