@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_availability.dir/ablation_availability.cpp.o"
+  "CMakeFiles/ablation_availability.dir/ablation_availability.cpp.o.d"
+  "ablation_availability"
+  "ablation_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

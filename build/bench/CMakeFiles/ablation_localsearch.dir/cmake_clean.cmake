@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_localsearch.dir/ablation_localsearch.cpp.o"
+  "CMakeFiles/ablation_localsearch.dir/ablation_localsearch.cpp.o.d"
+  "ablation_localsearch"
+  "ablation_localsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_localsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lp_gap.dir/ablation_lp_gap.cpp.o"
+  "CMakeFiles/ablation_lp_gap.dir/ablation_lp_gap.cpp.o.d"
+  "ablation_lp_gap"
+  "ablation_lp_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lp_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

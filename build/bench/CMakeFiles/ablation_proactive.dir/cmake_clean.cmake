@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_proactive.dir/ablation_proactive.cpp.o"
+  "CMakeFiles/ablation_proactive.dir/ablation_proactive.cpp.o.d"
+  "ablation_proactive"
+  "ablation_proactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sim_models.dir/ablation_sim_models.cpp.o"
+  "CMakeFiles/ablation_sim_models.dir/ablation_sim_models.cpp.o.d"
+  "ablation_sim_models"
+  "ablation_sim_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sim_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

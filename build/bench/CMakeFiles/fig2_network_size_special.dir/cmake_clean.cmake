@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_network_size_special.dir/fig2_network_size_special.cpp.o"
+  "CMakeFiles/fig2_network_size_special.dir/fig2_network_size_special.cpp.o.d"
+  "fig2_network_size_special"
+  "fig2_network_size_special.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_network_size_special.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_network_size_general.dir/fig3_network_size_general.cpp.o"
+  "CMakeFiles/fig3_network_size_general.dir/fig3_network_size_general.cpp.o.d"
+  "fig3_network_size_general"
+  "fig3_network_size_general.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_network_size_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_datasets_per_query.dir/fig4_datasets_per_query.cpp.o"
+  "CMakeFiles/fig4_datasets_per_query.dir/fig4_datasets_per_query.cpp.o.d"
+  "fig4_datasets_per_query"
+  "fig4_datasets_per_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_datasets_per_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

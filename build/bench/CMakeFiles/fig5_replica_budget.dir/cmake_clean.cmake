@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_replica_budget.dir/fig5_replica_budget.cpp.o"
+  "CMakeFiles/fig5_replica_budget.dir/fig5_replica_budget.cpp.o.d"
+  "fig5_replica_budget"
+  "fig5_replica_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_replica_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_testbed_special.dir/fig7_testbed_special.cpp.o"
+  "CMakeFiles/fig7_testbed_special.dir/fig7_testbed_special.cpp.o.d"
+  "fig7_testbed_special"
+  "fig7_testbed_special.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_testbed_special.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_testbed_general.dir/fig8_testbed_general.cpp.o"
+  "CMakeFiles/fig8_testbed_general.dir/fig8_testbed_general.cpp.o.d"
+  "fig8_testbed_general"
+  "fig8_testbed_general.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_testbed_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_analytics.dir/edge_analytics.cpp.o"
+  "CMakeFiles/edge_analytics.dir/edge_analytics.cpp.o.d"
+  "edge_analytics"
+  "edge_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/centrality_baseline.cpp" "src/CMakeFiles/edgerep_baselines.dir/baselines/centrality_baseline.cpp.o" "gcc" "src/CMakeFiles/edgerep_baselines.dir/baselines/centrality_baseline.cpp.o.d"
+  "/root/repo/src/baselines/graph_baseline.cpp" "src/CMakeFiles/edgerep_baselines.dir/baselines/graph_baseline.cpp.o" "gcc" "src/CMakeFiles/edgerep_baselines.dir/baselines/graph_baseline.cpp.o.d"
+  "/root/repo/src/baselines/greedy.cpp" "src/CMakeFiles/edgerep_baselines.dir/baselines/greedy.cpp.o" "gcc" "src/CMakeFiles/edgerep_baselines.dir/baselines/greedy.cpp.o.d"
+  "/root/repo/src/baselines/popularity.cpp" "src/CMakeFiles/edgerep_baselines.dir/baselines/popularity.cpp.o" "gcc" "src/CMakeFiles/edgerep_baselines.dir/baselines/popularity.cpp.o.d"
+  "/root/repo/src/baselines/random_baseline.cpp" "src/CMakeFiles/edgerep_baselines.dir/baselines/random_baseline.cpp.o" "gcc" "src/CMakeFiles/edgerep_baselines.dir/baselines/random_baseline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgerep_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_part.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

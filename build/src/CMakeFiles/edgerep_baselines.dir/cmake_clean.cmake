@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgerep_baselines.dir/baselines/centrality_baseline.cpp.o"
+  "CMakeFiles/edgerep_baselines.dir/baselines/centrality_baseline.cpp.o.d"
+  "CMakeFiles/edgerep_baselines.dir/baselines/graph_baseline.cpp.o"
+  "CMakeFiles/edgerep_baselines.dir/baselines/graph_baseline.cpp.o.d"
+  "CMakeFiles/edgerep_baselines.dir/baselines/greedy.cpp.o"
+  "CMakeFiles/edgerep_baselines.dir/baselines/greedy.cpp.o.d"
+  "CMakeFiles/edgerep_baselines.dir/baselines/popularity.cpp.o"
+  "CMakeFiles/edgerep_baselines.dir/baselines/popularity.cpp.o.d"
+  "CMakeFiles/edgerep_baselines.dir/baselines/random_baseline.cpp.o"
+  "CMakeFiles/edgerep_baselines.dir/baselines/random_baseline.cpp.o.d"
+  "libedgerep_baselines.a"
+  "libedgerep_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgerep_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/availability.cpp" "src/CMakeFiles/edgerep_cloud.dir/cloud/availability.cpp.o" "gcc" "src/CMakeFiles/edgerep_cloud.dir/cloud/availability.cpp.o.d"
+  "/root/repo/src/cloud/consistency.cpp" "src/CMakeFiles/edgerep_cloud.dir/cloud/consistency.cpp.o" "gcc" "src/CMakeFiles/edgerep_cloud.dir/cloud/consistency.cpp.o.d"
+  "/root/repo/src/cloud/delay.cpp" "src/CMakeFiles/edgerep_cloud.dir/cloud/delay.cpp.o" "gcc" "src/CMakeFiles/edgerep_cloud.dir/cloud/delay.cpp.o.d"
+  "/root/repo/src/cloud/instance.cpp" "src/CMakeFiles/edgerep_cloud.dir/cloud/instance.cpp.o" "gcc" "src/CMakeFiles/edgerep_cloud.dir/cloud/instance.cpp.o.d"
+  "/root/repo/src/cloud/instance_io.cpp" "src/CMakeFiles/edgerep_cloud.dir/cloud/instance_io.cpp.o" "gcc" "src/CMakeFiles/edgerep_cloud.dir/cloud/instance_io.cpp.o.d"
+  "/root/repo/src/cloud/plan.cpp" "src/CMakeFiles/edgerep_cloud.dir/cloud/plan.cpp.o" "gcc" "src/CMakeFiles/edgerep_cloud.dir/cloud/plan.cpp.o.d"
+  "/root/repo/src/cloud/plan_diff.cpp" "src/CMakeFiles/edgerep_cloud.dir/cloud/plan_diff.cpp.o" "gcc" "src/CMakeFiles/edgerep_cloud.dir/cloud/plan_diff.cpp.o.d"
+  "/root/repo/src/cloud/plan_io.cpp" "src/CMakeFiles/edgerep_cloud.dir/cloud/plan_io.cpp.o" "gcc" "src/CMakeFiles/edgerep_cloud.dir/cloud/plan_io.cpp.o.d"
+  "/root/repo/src/cloud/types.cpp" "src/CMakeFiles/edgerep_cloud.dir/cloud/types.cpp.o" "gcc" "src/CMakeFiles/edgerep_cloud.dir/cloud/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgerep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

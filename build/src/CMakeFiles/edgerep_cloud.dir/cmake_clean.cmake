@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgerep_cloud.dir/cloud/availability.cpp.o"
+  "CMakeFiles/edgerep_cloud.dir/cloud/availability.cpp.o.d"
+  "CMakeFiles/edgerep_cloud.dir/cloud/consistency.cpp.o"
+  "CMakeFiles/edgerep_cloud.dir/cloud/consistency.cpp.o.d"
+  "CMakeFiles/edgerep_cloud.dir/cloud/delay.cpp.o"
+  "CMakeFiles/edgerep_cloud.dir/cloud/delay.cpp.o.d"
+  "CMakeFiles/edgerep_cloud.dir/cloud/instance.cpp.o"
+  "CMakeFiles/edgerep_cloud.dir/cloud/instance.cpp.o.d"
+  "CMakeFiles/edgerep_cloud.dir/cloud/instance_io.cpp.o"
+  "CMakeFiles/edgerep_cloud.dir/cloud/instance_io.cpp.o.d"
+  "CMakeFiles/edgerep_cloud.dir/cloud/plan.cpp.o"
+  "CMakeFiles/edgerep_cloud.dir/cloud/plan.cpp.o.d"
+  "CMakeFiles/edgerep_cloud.dir/cloud/plan_diff.cpp.o"
+  "CMakeFiles/edgerep_cloud.dir/cloud/plan_diff.cpp.o.d"
+  "CMakeFiles/edgerep_cloud.dir/cloud/plan_io.cpp.o"
+  "CMakeFiles/edgerep_cloud.dir/cloud/plan_io.cpp.o.d"
+  "CMakeFiles/edgerep_cloud.dir/cloud/types.cpp.o"
+  "CMakeFiles/edgerep_cloud.dir/cloud/types.cpp.o.d"
+  "libedgerep_cloud.a"
+  "libedgerep_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgerep_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

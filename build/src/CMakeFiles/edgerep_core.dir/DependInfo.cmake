@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/appro.cpp" "src/CMakeFiles/edgerep_core.dir/core/appro.cpp.o" "gcc" "src/CMakeFiles/edgerep_core.dir/core/appro.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/CMakeFiles/edgerep_core.dir/core/exact.cpp.o" "gcc" "src/CMakeFiles/edgerep_core.dir/core/exact.cpp.o.d"
+  "/root/repo/src/core/lagrangian.cpp" "src/CMakeFiles/edgerep_core.dir/core/lagrangian.cpp.o" "gcc" "src/CMakeFiles/edgerep_core.dir/core/lagrangian.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/CMakeFiles/edgerep_core.dir/core/local_search.cpp.o" "gcc" "src/CMakeFiles/edgerep_core.dir/core/local_search.cpp.o.d"
+  "/root/repo/src/core/primal_dual.cpp" "src/CMakeFiles/edgerep_core.dir/core/primal_dual.cpp.o" "gcc" "src/CMakeFiles/edgerep_core.dir/core/primal_dual.cpp.o.d"
+  "/root/repo/src/core/rounding.cpp" "src/CMakeFiles/edgerep_core.dir/core/rounding.cpp.o" "gcc" "src/CMakeFiles/edgerep_core.dir/core/rounding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgerep_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

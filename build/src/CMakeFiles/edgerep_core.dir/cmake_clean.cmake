@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgerep_core.dir/core/appro.cpp.o"
+  "CMakeFiles/edgerep_core.dir/core/appro.cpp.o.d"
+  "CMakeFiles/edgerep_core.dir/core/exact.cpp.o"
+  "CMakeFiles/edgerep_core.dir/core/exact.cpp.o.d"
+  "CMakeFiles/edgerep_core.dir/core/lagrangian.cpp.o"
+  "CMakeFiles/edgerep_core.dir/core/lagrangian.cpp.o.d"
+  "CMakeFiles/edgerep_core.dir/core/local_search.cpp.o"
+  "CMakeFiles/edgerep_core.dir/core/local_search.cpp.o.d"
+  "CMakeFiles/edgerep_core.dir/core/primal_dual.cpp.o"
+  "CMakeFiles/edgerep_core.dir/core/primal_dual.cpp.o.d"
+  "CMakeFiles/edgerep_core.dir/core/rounding.cpp.o"
+  "CMakeFiles/edgerep_core.dir/core/rounding.cpp.o.d"
+  "libedgerep_core.a"
+  "libedgerep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgerep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

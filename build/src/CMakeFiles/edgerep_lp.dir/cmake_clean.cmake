@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgerep_lp.dir/lp/ilp.cpp.o"
+  "CMakeFiles/edgerep_lp.dir/lp/ilp.cpp.o.d"
+  "CMakeFiles/edgerep_lp.dir/lp/matrix.cpp.o"
+  "CMakeFiles/edgerep_lp.dir/lp/matrix.cpp.o.d"
+  "CMakeFiles/edgerep_lp.dir/lp/model.cpp.o"
+  "CMakeFiles/edgerep_lp.dir/lp/model.cpp.o.d"
+  "CMakeFiles/edgerep_lp.dir/lp/simplex.cpp.o"
+  "CMakeFiles/edgerep_lp.dir/lp/simplex.cpp.o.d"
+  "libedgerep_lp.a"
+  "libedgerep_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgerep_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgerep_lp.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/centrality.cpp" "src/CMakeFiles/edgerep_net.dir/net/centrality.cpp.o" "gcc" "src/CMakeFiles/edgerep_net.dir/net/centrality.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/CMakeFiles/edgerep_net.dir/net/graph.cpp.o" "gcc" "src/CMakeFiles/edgerep_net.dir/net/graph.cpp.o.d"
+  "/root/repo/src/net/io.cpp" "src/CMakeFiles/edgerep_net.dir/net/io.cpp.o" "gcc" "src/CMakeFiles/edgerep_net.dir/net/io.cpp.o.d"
+  "/root/repo/src/net/shortest_path.cpp" "src/CMakeFiles/edgerep_net.dir/net/shortest_path.cpp.o" "gcc" "src/CMakeFiles/edgerep_net.dir/net/shortest_path.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/edgerep_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/edgerep_net.dir/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgerep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

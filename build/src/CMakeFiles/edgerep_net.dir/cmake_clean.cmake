@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgerep_net.dir/net/centrality.cpp.o"
+  "CMakeFiles/edgerep_net.dir/net/centrality.cpp.o.d"
+  "CMakeFiles/edgerep_net.dir/net/graph.cpp.o"
+  "CMakeFiles/edgerep_net.dir/net/graph.cpp.o.d"
+  "CMakeFiles/edgerep_net.dir/net/io.cpp.o"
+  "CMakeFiles/edgerep_net.dir/net/io.cpp.o.d"
+  "CMakeFiles/edgerep_net.dir/net/shortest_path.cpp.o"
+  "CMakeFiles/edgerep_net.dir/net/shortest_path.cpp.o.d"
+  "CMakeFiles/edgerep_net.dir/net/topology.cpp.o"
+  "CMakeFiles/edgerep_net.dir/net/topology.cpp.o.d"
+  "libedgerep_net.a"
+  "libedgerep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgerep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

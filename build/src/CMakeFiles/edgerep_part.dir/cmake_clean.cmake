@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgerep_part.dir/part/partitioner.cpp.o"
+  "CMakeFiles/edgerep_part.dir/part/partitioner.cpp.o.d"
+  "libedgerep_part.a"
+  "libedgerep_part.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgerep_part.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

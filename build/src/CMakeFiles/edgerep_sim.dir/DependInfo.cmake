@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event.cpp" "src/CMakeFiles/edgerep_sim.dir/sim/event.cpp.o" "gcc" "src/CMakeFiles/edgerep_sim.dir/sim/event.cpp.o.d"
+  "/root/repo/src/sim/flows.cpp" "src/CMakeFiles/edgerep_sim.dir/sim/flows.cpp.o" "gcc" "src/CMakeFiles/edgerep_sim.dir/sim/flows.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/edgerep_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/edgerep_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/online.cpp" "src/CMakeFiles/edgerep_sim.dir/sim/online.cpp.o" "gcc" "src/CMakeFiles/edgerep_sim.dir/sim/online.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/edgerep_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/edgerep_sim.dir/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgerep_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgerep_sim.dir/sim/event.cpp.o"
+  "CMakeFiles/edgerep_sim.dir/sim/event.cpp.o.d"
+  "CMakeFiles/edgerep_sim.dir/sim/flows.cpp.o"
+  "CMakeFiles/edgerep_sim.dir/sim/flows.cpp.o.d"
+  "CMakeFiles/edgerep_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/edgerep_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/edgerep_sim.dir/sim/online.cpp.o"
+  "CMakeFiles/edgerep_sim.dir/sim/online.cpp.o.d"
+  "CMakeFiles/edgerep_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/edgerep_sim.dir/sim/simulator.cpp.o.d"
+  "libedgerep_sim.a"
+  "libedgerep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgerep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgerep_util.dir/util/args.cpp.o"
+  "CMakeFiles/edgerep_util.dir/util/args.cpp.o.d"
+  "CMakeFiles/edgerep_util.dir/util/csv.cpp.o"
+  "CMakeFiles/edgerep_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/edgerep_util.dir/util/log.cpp.o"
+  "CMakeFiles/edgerep_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/edgerep_util.dir/util/rng.cpp.o"
+  "CMakeFiles/edgerep_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/edgerep_util.dir/util/stats.cpp.o"
+  "CMakeFiles/edgerep_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/edgerep_util.dir/util/table.cpp.o"
+  "CMakeFiles/edgerep_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/edgerep_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/edgerep_util.dir/util/thread_pool.cpp.o.d"
+  "libedgerep_util.a"
+  "libedgerep_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgerep_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

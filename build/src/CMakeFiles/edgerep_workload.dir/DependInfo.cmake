@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/config_io.cpp" "src/CMakeFiles/edgerep_workload.dir/workload/config_io.cpp.o" "gcc" "src/CMakeFiles/edgerep_workload.dir/workload/config_io.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/edgerep_workload.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/edgerep_workload.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/scenarios.cpp" "src/CMakeFiles/edgerep_workload.dir/workload/scenarios.cpp.o" "gcc" "src/CMakeFiles/edgerep_workload.dir/workload/scenarios.cpp.o.d"
+  "/root/repo/src/workload/sweep.cpp" "src/CMakeFiles/edgerep_workload.dir/workload/sweep.cpp.o" "gcc" "src/CMakeFiles/edgerep_workload.dir/workload/sweep.cpp.o.d"
+  "/root/repo/src/workload/testbed.cpp" "src/CMakeFiles/edgerep_workload.dir/workload/testbed.cpp.o" "gcc" "src/CMakeFiles/edgerep_workload.dir/workload/testbed.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/edgerep_workload.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/edgerep_workload.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgerep_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_part.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgerep_workload.dir/workload/config_io.cpp.o"
+  "CMakeFiles/edgerep_workload.dir/workload/config_io.cpp.o.d"
+  "CMakeFiles/edgerep_workload.dir/workload/generator.cpp.o"
+  "CMakeFiles/edgerep_workload.dir/workload/generator.cpp.o.d"
+  "CMakeFiles/edgerep_workload.dir/workload/scenarios.cpp.o"
+  "CMakeFiles/edgerep_workload.dir/workload/scenarios.cpp.o.d"
+  "CMakeFiles/edgerep_workload.dir/workload/sweep.cpp.o"
+  "CMakeFiles/edgerep_workload.dir/workload/sweep.cpp.o.d"
+  "CMakeFiles/edgerep_workload.dir/workload/testbed.cpp.o"
+  "CMakeFiles/edgerep_workload.dir/workload/testbed.cpp.o.d"
+  "CMakeFiles/edgerep_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/edgerep_workload.dir/workload/trace.cpp.o.d"
+  "libedgerep_workload.a"
+  "libedgerep_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgerep_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/centrality_baseline_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/centrality_baseline_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/graph_baseline_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/graph_baseline_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/greedy_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/greedy_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/popularity_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/popularity_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/random_baseline_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/random_baseline_test.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cloud/availability_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/availability_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/availability_test.cpp.o.d"
+  "/root/repo/tests/cloud/consistency_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/consistency_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/consistency_test.cpp.o.d"
+  "/root/repo/tests/cloud/delay_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/delay_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/delay_test.cpp.o.d"
+  "/root/repo/tests/cloud/instance_io_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/instance_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/instance_io_test.cpp.o.d"
+  "/root/repo/tests/cloud/instance_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/instance_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/instance_test.cpp.o.d"
+  "/root/repo/tests/cloud/plan_diff_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/plan_diff_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/plan_diff_test.cpp.o.d"
+  "/root/repo/tests/cloud/plan_io_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/plan_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/plan_io_test.cpp.o.d"
+  "/root/repo/tests/cloud/plan_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/plan_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/plan_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgerep_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_part.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgerep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

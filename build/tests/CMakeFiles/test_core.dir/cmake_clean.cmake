@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/appro_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/appro_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/exact_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/exact_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/lagrangian_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/lagrangian_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/local_search_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/local_search_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/primal_dual_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/primal_dual_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/rounding_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/rounding_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgerep_cli.dir/edgerep_cli.cpp.o"
+  "CMakeFiles/edgerep_cli.dir/edgerep_cli.cpp.o.d"
+  "edgerep_cli"
+  "edgerep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgerep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
