@@ -48,17 +48,36 @@ bool admit_demand_greedy(const Instance& inst, const Query& q,
   return false;
 }
 
-BaselineResult run(const Instance& inst) {
+BaselineResult run(const Instance& inst, const GreedyOptions& opts) {
   if (!inst.finalized()) {
     throw std::invalid_argument("greedy: instance not finalized");
   }
   BaselineResult res{ReplicaPlan(inst), {}, 0, 0};
   for (const Query& q : inst.queries()) {
-    for (const DatasetDemand& dd : q.demands) {
-      if (admit_demand_greedy(inst, q, dd, res.plan)) {
-        ++res.demands_assigned;
+    if (opts.atomic_queries) {
+      const ReplicaPlan::Savepoint sp = res.plan.savepoint();
+      bool all_ok = true;
+      for (const DatasetDemand& dd : q.demands) {
+        if (!admit_demand_greedy(inst, q, dd, res.plan)) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (all_ok) {
+        res.plan.commit();
+        res.demands_assigned += q.demands.size();
       } else {
-        ++res.demands_rejected;
+        res.plan.rollback_to(sp);
+        res.plan.commit();
+        res.demands_rejected += q.demands.size();
+      }
+    } else {
+      for (const DatasetDemand& dd : q.demands) {
+        if (admit_demand_greedy(inst, q, dd, res.plan)) {
+          ++res.demands_assigned;
+        } else {
+          ++res.demands_rejected;
+        }
       }
     }
   }
@@ -68,16 +87,18 @@ BaselineResult run(const Instance& inst) {
 
 }  // namespace
 
-BaselineResult greedy_s(const Instance& inst) {
+BaselineResult greedy_s(const Instance& inst, const GreedyOptions& opts) {
   for (const Query& q : inst.queries()) {
     if (q.demands.size() != 1) {
       throw std::invalid_argument(
           "greedy_s: special case requires single-dataset queries");
     }
   }
-  return run(inst);
+  return run(inst, opts);
 }
 
-BaselineResult greedy_g(const Instance& inst) { return run(inst); }
+BaselineResult greedy_g(const Instance& inst, const GreedyOptions& opts) {
+  return run(inst, opts);
+}
 
 }  // namespace edgerep

@@ -18,11 +18,21 @@
 
 namespace edgerep {
 
+struct GreedyOptions {
+  /// Default (false) reproduces the paper's per-demand procedure: a query
+  /// can end up partially assigned, stranding capacity on demands that
+  /// never complete.  When true, each query's demands run under a plan
+  /// savepoint and roll back unless every demand lands (wasted replica
+  /// placements from failed delay checks roll back too) — the same
+  /// transaction layer the Appro engines use.
+  bool atomic_queries = false;
+};
+
 /// Special case: every query must demand exactly one dataset (throws
 /// std::invalid_argument otherwise).
-BaselineResult greedy_s(const Instance& inst);
+BaselineResult greedy_s(const Instance& inst, const GreedyOptions& opts = {});
 
 /// General case: the same per-demand procedure for multi-dataset queries.
-BaselineResult greedy_g(const Instance& inst);
+BaselineResult greedy_g(const Instance& inst, const GreedyOptions& opts = {});
 
 }  // namespace edgerep

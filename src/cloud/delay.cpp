@@ -26,9 +26,16 @@ double resource_demand(const Instance& inst, const Query& q,
 
 double best_possible_delay(const Instance& inst, const Query& q,
                            const DatasetDemand& dd) {
+  // Hoist the per-demand constants; only proc_delay and the path vary per
+  // site.  `sel_vol · path` keeps evaluation_delay's operation order, so the
+  // per-site values are bit-identical to calling it directly.
+  const Dataset& ds = inst.dataset(dd.dataset);
+  const double vol = ds.volume;
+  const double sel_vol = dd.selectivity * vol;
   double best = kInfDelay;
   for (const Site& s : inst.sites()) {
-    best = std::min(best, evaluation_delay(inst, q, dd, s.id));
+    best = std::min(best,
+                    vol * s.proc_delay + sel_vol * inst.path_delay(s.id, q.home));
   }
   return best;
 }

@@ -44,6 +44,9 @@ void ReplicaPlan::place_replica(DatasetId n, SiteId s) {
     throw std::invalid_argument("place_replica: site out of range");
   }
   sites.push_back(s);
+  if (journaling_) {
+    undo_log_.push_back({UndoEntry::Op::kPlaceReplica, n, s, 0, 0, 0.0});
+  }
 }
 
 void ReplicaPlan::remove_replica(DatasetId n, SiteId s) {
@@ -58,6 +61,10 @@ void ReplicaPlan::remove_replica(DatasetId n, SiteId s) {
     if (a && *a == s) {
       throw std::runtime_error("remove_replica: replica still in use");
     }
+  }
+  if (journaling_) {
+    const auto slot = static_cast<std::uint32_t>(it - sites.begin());
+    undo_log_.push_back({UndoEntry::Op::kRemoveReplica, n, s, 0, slot, 0.0});
   }
   sites.erase(it);
 }
@@ -91,6 +98,10 @@ void ReplicaPlan::assign(QueryId m, DatasetId n, SiteId s) {
   if (!fits(s, need)) {
     throw std::runtime_error("assign: insufficient residual capacity");
   }
+  if (journaling_) {
+    undo_log_.push_back({UndoEntry::Op::kAssign, n, s, m,
+                         static_cast<std::uint32_t>(di), load_[s]});
+  }
   demand_sites_[m][di] = s;
   load_[s] += need;
 }
@@ -103,8 +114,54 @@ void ReplicaPlan::unassign(QueryId m, DatasetId n) {
     throw std::runtime_error("unassign: demand is not assigned");
   }
   const SiteId s = demand_sites_[m][di];
+  if (journaling_) {
+    undo_log_.push_back({UndoEntry::Op::kUnassign, n, s, m,
+                         static_cast<std::uint32_t>(di), load_[s]});
+  }
   load_[s] -= resource_demand(*inst_, q, q.demands[di]);
   demand_sites_[m][di] = kInvalidSite;
+}
+
+ReplicaPlan::Savepoint ReplicaPlan::savepoint() {
+  journaling_ = true;
+  return undo_log_.size();
+}
+
+void ReplicaPlan::rollback_to(Savepoint sp) {
+  if (sp > undo_log_.size()) {
+    throw std::invalid_argument("rollback_to: savepoint ahead of undo log");
+  }
+  // LIFO replay: when entry k is undone every later entry already is, so the
+  // plan is in exactly the state right after mutation k — a placed replica
+  // is the last element of its list and a removed one re-inserts at its
+  // journaled slot.
+  while (undo_log_.size() > sp) {
+    const UndoEntry& e = undo_log_.back();
+    switch (e.op) {
+      case UndoEntry::Op::kPlaceReplica:
+        replicas_[e.dataset].pop_back();
+        break;
+      case UndoEntry::Op::kRemoveReplica: {
+        auto& sites = replicas_[e.dataset];
+        sites.insert(sites.begin() + e.index, e.site);
+        break;
+      }
+      case UndoEntry::Op::kAssign:
+        demand_sites_[e.query][e.index] = kInvalidSite;
+        load_[e.site] = e.prev_load;
+        break;
+      case UndoEntry::Op::kUnassign:
+        demand_sites_[e.query][e.index] = e.site;
+        load_[e.site] = e.prev_load;
+        break;
+    }
+    undo_log_.pop_back();
+  }
+}
+
+void ReplicaPlan::commit() noexcept {
+  undo_log_.clear();
+  journaling_ = false;
 }
 
 std::optional<SiteId> ReplicaPlan::assignment(QueryId m, DatasetId n) const {

@@ -5,8 +5,18 @@
 // `validate` independently re-checks every ILP constraint — capacity (2),
 // assignment-needs-replica (3), deadline (4) and replica budget (5) — so
 // tests can certify any algorithm's output without trusting its bookkeeping.
+//
+// Plans also support copy-free transactions via an append-only undo log:
+// `savepoint()` marks a point, mutations made while any savepoint is live
+// are journaled, and `rollback_to()` replays the journal backwards.  Undo
+// entries store the *previous* ledger value rather than re-deriving it, so
+// rollback restores loads bit-exactly (no `x += a; x -= a` drift), and
+// replica-list positions are journaled so site orderings are restored
+// exactly too — a rolled-back plan is indistinguishable from a copy that
+// was thrown away.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,14 +64,49 @@ class ReplicaPlan {
   /// Can `amount` more resource fit at s (with a small epsilon slack)?
   [[nodiscard]] bool fits(SiteId s, double amount) const;
 
+  /// --- transactions -----------------------------------------------------
+  /// Opaque marker into the undo log.  Savepoints nest: roll back to an
+  /// inner one first, then to an outer one.
+  using Savepoint = std::size_t;
+  /// Start (or continue) journaling mutations; returns the current log mark.
+  Savepoint savepoint();
+  /// Undo every mutation made after `sp`, restoring replica lists (including
+  /// element order), assignments, and the ledger bit-exactly.  Throws when
+  /// `sp` is ahead of the log (e.g. already committed past it).
+  void rollback_to(Savepoint sp);
+  /// Accept all journaled mutations and stop journaling.  Invalidates every
+  /// outstanding savepoint; call once the transaction scope is decided.
+  void commit() noexcept;
+  /// Journaled-but-uncommitted mutation count (0 when not in a transaction).
+  [[nodiscard]] std::size_t undo_log_size() const noexcept {
+    return undo_log_.size();
+  }
+
   [[nodiscard]] const Instance& instance() const noexcept { return *inst_; }
   [[nodiscard]] std::size_t total_replicas() const noexcept;
 
  private:
+  struct UndoEntry {
+    enum class Op : std::uint8_t {
+      kPlaceReplica,   ///< undo: pop the site appended to replicas_[dataset]
+      kRemoveReplica,  ///< undo: re-insert site at `index` in replicas_[dataset]
+      kAssign,         ///< undo: clear demand slot, restore prev_load
+      kUnassign,       ///< undo: re-set demand slot to site, restore prev_load
+    };
+    Op op;
+    DatasetId dataset = 0;
+    SiteId site = kInvalidSite;
+    QueryId query = 0;
+    std::uint32_t index = 0;  ///< demand index (assign) or replica slot (remove)
+    double prev_load = 0.0;   ///< load_[site] before the mutation
+  };
+
   const Instance* inst_;
   std::vector<std::vector<SiteId>> replicas_;          // per dataset
   std::vector<std::vector<SiteId>> demand_sites_;      // per query, per demand index
   std::vector<double> load_;                           // per site
+  std::vector<UndoEntry> undo_log_;
+  bool journaling_ = false;
 };
 
 /// Aggregate quality metrics of a plan (the paper's two reported series).

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cloud/delay.h"
+#include "core/candidate_index.h"
 #include "util/rng.h"
 
 namespace edgerep {
@@ -42,8 +43,8 @@ std::vector<QueryId> ordered_queries(const Instance& inst,
   return order;
 }
 
-/// Dual price of serving (q, dd) at `site`: the rate at which uniform
-/// raising makes dual constraint (9) tight there.
+/// Dual price of serving a demand at a candidate site: the rate at which
+/// uniform raising makes dual constraint (9) tight there.
 ///
 /// The capacity term is the site's relative fill *after* this placement,
 /// which equals θ_site + need/A(site) since θ evolves as relative load.
@@ -55,11 +56,15 @@ std::vector<QueryId> ordered_queries(const Instance& inst,
 /// replication and query assignment".
 ///
 /// The η term prices deadline-budget consumption, and fresh replicas pay a
-/// creation price μ amortized over the budget K.
+/// creation price μ amortized over the budget K.  All static factors (the
+/// capacity reciprocal, the η base, the demand's need) come precomputed
+/// from the CandidateIndex; only θ is dynamic.
+///
+/// `site_price` is the unhoisted form used by the strict-reuse ablation,
+/// whose replica-priority scan walks sites outside candidate order.
 double site_price(const Instance& inst, const DualState& duals, const Query& q,
-                  const DatasetDemand& dd, SiteId site, bool needs_replica,
-                  const ApproOptions& opts) {
-  const double need = resource_demand(inst, q, dd);
+                  const DatasetDemand& dd, double need, SiteId site,
+                  bool needs_replica, const ApproOptions& opts) {
   const double avail = std::max(inst.site(site).available, 1e-12);
   double p = duals.theta(site) + need / avail;
   p += opts.eta_weight * (evaluation_delay(inst, q, dd, site) / q.deadline);
@@ -72,28 +77,32 @@ double site_price(const Instance& inst, const DualState& duals, const Query& q,
 /// One Appro-S admission step for a single (query, demand): pick the
 /// cheapest feasible site, placing a replica when needed.  Returns true and
 /// updates plan/duals on success.
-bool admit_demand(const Instance& inst, const Query& q,
-                  const DatasetDemand& dd, ReplicaPlan& plan, DualState& duals,
-                  const ApproOptions& opts) {
-  const double need = resource_demand(inst, q, dd);
+bool admit_demand(const Instance& inst, const CandidateIndex& index,
+                  const Query& q, std::size_t di, ReplicaPlan& plan,
+                  DualState& duals, const ApproOptions& opts) {
+  const DatasetDemand& dd = q.demands[di];
+  const double need = index.need(q.id, di);
   const bool budget_left = plan.replica_count(dd.dataset) < inst.max_replicas();
+  const double mu_term =
+      opts.replica_weight / static_cast<double>(inst.max_replicas());
 
   SiteId best_site = kInvalidSite;
   bool best_needs_replica = false;
   double best_price = 0.0;
-  auto consider = [&](SiteId l, bool needs_replica) {
-    if (!deadline_ok(inst, q, dd, l)) return;
-    if (!plan.fits(l, need)) return;
-    const double p = site_price(inst, duals, q, dd, l, needs_replica, opts);
-    if (best_site == kInvalidSite || p < best_price) {
-      best_site = l;
-      best_needs_replica = needs_replica;
-      best_price = p;
-    }
-  };
 
   if (opts.strict_reuse) {
     // Ablation: sites that already hold a replica take absolute priority.
+    auto consider = [&](SiteId l, bool needs_replica) {
+      if (!deadline_ok(inst, q, dd, l)) return;
+      if (!plan.fits(l, need)) return;
+      const double p =
+          site_price(inst, duals, q, dd, need, l, needs_replica, opts);
+      if (best_site == kInvalidSite || p < best_price) {
+        best_site = l;
+        best_needs_replica = needs_replica;
+        best_price = p;
+      }
+    };
     for (const SiteId l : plan.replica_sites(dd.dataset)) {
       consider(l, /*needs_replica=*/false);
     }
@@ -106,11 +115,21 @@ bool admit_demand(const Instance& inst, const Query& q,
     }
   } else {
     // Default: replica sites and fresh placements compete on dual price
-    // (fresh ones carry the μ surcharge inside site_price).
-    for (const Site& s : inst.sites()) {
-      const bool has = plan.has_replica(dd.dataset, s.id);
+    // (fresh ones carry the μ surcharge).  The candidate list holds exactly
+    // the deadline-feasible sites in ascending id order — the same visit
+    // order as a full-site scan — with the η base precomputed.
+    for (const CandidateSite& c : index.candidates(q.id, di)) {
+      const bool has = plan.has_replica(dd.dataset, c.site);
       if (!has && !budget_left) continue;
-      consider(s.id, /*needs_replica=*/!has);
+      if (!plan.fits(c.site, need)) continue;
+      double p = duals.theta(c.site) + need * index.inv_avail(c.site) +
+                 opts.eta_weight * c.delay_over_deadline;
+      if (!has) p += mu_term;
+      if (best_site == kInvalidSite || p < best_price) {
+        best_site = c.site;
+        best_needs_replica = !has;
+        best_price = p;
+      }
     }
   }
 
@@ -129,34 +148,65 @@ bool admit_demand(const Instance& inst, const Query& q,
   return true;
 }
 
+/// Try every demand of q in place; savepoint first and roll back on the
+/// first infeasible demand, so a rejected query leaves no trace.
+bool admit_query_savepoint(const Instance& inst, const CandidateIndex& index,
+                           const Query& q, ReplicaPlan& plan, DualState& duals,
+                           const ApproOptions& opts) {
+  const ReplicaPlan::Savepoint sp_plan = plan.savepoint();
+  const DualState::Savepoint sp_duals = duals.savepoint();
+  for (std::size_t di = 0; di < q.demands.size(); ++di) {
+    if (!admit_demand(inst, index, q, di, plan, duals, opts)) {
+      plan.rollback_to(sp_plan);
+      duals.rollback_to(sp_duals);
+      plan.commit();
+      duals.commit();
+      return false;
+    }
+  }
+  plan.commit();
+  duals.commit();
+  return true;
+}
+
+/// Legacy trial-commit on deep copies (the seed implementation); kept for
+/// the equivalence tests and as the micro_appro speedup baseline.
+bool admit_query_copy(const Instance& inst, const CandidateIndex& index,
+                      const Query& q, ReplicaPlan& plan, DualState& duals,
+                      const ApproOptions& opts) {
+  ReplicaPlan trial_plan = plan;
+  DualState trial_duals = duals;
+  for (std::size_t di = 0; di < q.demands.size(); ++di) {
+    if (!admit_demand(inst, index, q, di, trial_plan, trial_duals, opts)) {
+      return false;
+    }
+  }
+  plan = std::move(trial_plan);
+  duals = std::move(trial_duals);
+  return true;
+}
+
 ApproResult run_appro(const Instance& inst, const ApproOptions& opts) {
   if (!inst.finalized()) {
     throw std::invalid_argument("appro: instance not finalized");
   }
+  const CandidateIndex index(inst);
   ApproResult res{ReplicaPlan(inst), DualState(inst), 0.0, {}, 0, 0};
   for (const QueryId m : ordered_queries(inst, opts)) {
     const Query& q = inst.query(m);
     if (opts.atomic_queries) {
-      // Trial-commit on copies; keep only if every demand lands.
-      ReplicaPlan trial_plan = res.plan;
-      DualState trial_duals = res.duals;
-      bool all_ok = true;
-      for (const DatasetDemand& dd : q.demands) {
-        if (!admit_demand(inst, q, dd, trial_plan, trial_duals, opts)) {
-          all_ok = false;
-          break;
-        }
-      }
-      if (all_ok) {
-        res.plan = std::move(trial_plan);
-        res.duals = std::move(trial_duals);
+      const bool ok =
+          opts.txn == ApproOptions::Txn::kSavepoint
+              ? admit_query_savepoint(inst, index, q, res.plan, res.duals, opts)
+              : admit_query_copy(inst, index, q, res.plan, res.duals, opts);
+      if (ok) {
         res.demands_assigned += q.demands.size();
       } else {
         res.demands_rejected += q.demands.size();
       }
     } else {
-      for (const DatasetDemand& dd : q.demands) {
-        if (admit_demand(inst, q, dd, res.plan, res.duals, opts)) {
+      for (std::size_t di = 0; di < q.demands.size(); ++di) {
+        if (admit_demand(inst, index, q, di, res.plan, res.duals, opts)) {
           ++res.demands_assigned;
         } else {
           ++res.demands_rejected;

@@ -58,6 +58,15 @@ struct ApproOptions {
   /// for that behaviour (the ABL-ORDER/ABL-REUSE benches exercise both).
   bool atomic_queries = true;
 
+  /// Mechanism behind atomic_queries.  kSavepoint (default) mutates the
+  /// plan and duals in place and rolls back rejected queries through the
+  /// undo log — no per-query state copies.  kCopy is the legacy
+  /// trial-copy-then-swap implementation; it produces bit-identical results
+  /// and is kept only for the equivalence tests and as the micro_appro
+  /// speedup baseline.
+  enum class Txn : std::uint8_t { kSavepoint, kCopy };
+  Txn txn = Txn::kSavepoint;
+
   std::uint64_t seed = 0x5eed;  ///< used only by Order::kRandom
 };
 

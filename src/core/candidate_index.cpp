@@ -1,0 +1,74 @@
+#include "core/candidate_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace edgerep {
+
+CandidateIndex::CandidateIndex(const Instance& inst, bool parallel) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("CandidateIndex: instance not finalized");
+  }
+  const auto sites = inst.sites();
+  const auto queries = inst.queries();
+
+  inv_avail_.resize(sites.size());
+  for (const Site& s : sites) {
+    inv_avail_[s.id] = 1.0 / std::max(s.available, 1e-12);
+  }
+
+  query_offset_.resize(queries.size() + 1);
+  std::size_t slots = 0;
+  for (const Query& q : queries) {
+    query_offset_[q.id] = slots;
+    slots += q.demands.size();
+  }
+  query_offset_[queries.size()] = slots;
+  need_.resize(slots);
+
+  // Sweep each demand's row of the delay model once; rows are independent,
+  // so big instances fill them in parallel (per-slot writes keep the result
+  // deterministic).
+  std::vector<std::vector<CandidateSite>> rows(slots);
+  auto fill_query = [&](std::size_t m) {
+    const Query& q = queries[m];
+    std::size_t slot = query_offset_[m];
+    for (const DatasetDemand& dd : q.demands) {
+      const Dataset& ds = inst.dataset(dd.dataset);
+      const double vol = ds.volume;
+      const double sel_vol = dd.selectivity * vol;
+      need_[slot] = vol * q.rate;
+      auto& row = rows[slot];
+      for (const Site& s : sites) {
+        const double delay =
+            vol * s.proc_delay + sel_vol * inst.path_delay(s.id, q.home);
+        if (delay <= q.deadline) {
+          row.push_back({s.id, delay, delay / q.deadline});
+        }
+      }
+      ++slot;
+    }
+  };
+  if (parallel && queries.size() * sites.size() > 4096) {
+    global_pool().parallel_for(queries.size(), fill_query);
+  } else {
+    for (std::size_t m = 0; m < queries.size(); ++m) fill_query(m);
+  }
+
+  slot_begin_.resize(slots + 1);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < slots; ++s) {
+    slot_begin_[s] = total;
+    total += rows[s].size();
+  }
+  slot_begin_[slots] = total;
+  candidates_.resize(total);
+  for (std::size_t s = 0; s < slots; ++s) {
+    std::copy(rows[s].begin(), rows[s].end(),
+              candidates_.begin() + slot_begin_[s]);
+  }
+}
+
+}  // namespace edgerep

@@ -1,0 +1,66 @@
+// Per-demand candidate-site index for the admission hot path.
+//
+// For every (query, demand) pair the index precomputes the deadline-feasible
+// site list in one pass over the delay matrix, caching the evaluation delay
+// and its deadline-relative form so `admit_demand`'s pricing scan touches
+// only feasible sites and never recomputes `volume·proc_delay +
+// α·volume·path_delay`.  Per-demand resource needs and per-site capacity
+// reciprocals are cached alongside, turning the per-candidate price into
+// three multiply-adds on dynamic dual state.
+//
+// Candidates are stored in ascending site-id order — the same order the
+// naive per-site scan visits them — so strict `<` argmin tie-breaking is
+// unchanged and plans are identical to the unindexed implementation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cloud/instance.h"
+
+namespace edgerep {
+
+/// One deadline-feasible evaluation site for a specific (query, demand).
+struct CandidateSite {
+  SiteId site = kInvalidSite;
+  double delay = 0.0;                ///< evaluation_delay at this site
+  double delay_over_deadline = 0.0;  ///< delay / q.deadline (the η base)
+};
+
+class CandidateIndex {
+ public:
+  /// Builds the index for a finalized instance; the per-query sweeps are
+  /// independent, so large instances build rows in parallel (mirroring
+  /// DelayMatrix::compute's threshold).
+  explicit CandidateIndex(const Instance& inst, bool parallel = true);
+
+  /// Feasible sites for query m's demand at position `demand` in
+  /// q.demands, ascending by site id.
+  [[nodiscard]] std::span<const CandidateSite> candidates(
+      QueryId m, std::size_t demand) const {
+    const std::size_t slot = query_offset_[m] + demand;
+    return {candidates_.data() + slot_begin_[slot],
+            candidates_.data() + slot_begin_[slot + 1]};
+  }
+
+  /// Cached resource_demand(inst, q, q.demands[demand]).
+  [[nodiscard]] double need(QueryId m, std::size_t demand) const {
+    return need_[query_offset_[m] + demand];
+  }
+
+  /// Cached 1 / max(A(v_l), 1e-12) — hoists the division out of pricing.
+  [[nodiscard]] double inv_avail(SiteId l) const { return inv_avail_[l]; }
+
+  /// Total candidate entries (diagnostics / tests).
+  [[nodiscard]] std::size_t size() const noexcept { return candidates_.size(); }
+
+ private:
+  std::vector<std::size_t> query_offset_;   ///< per query: first demand slot
+  std::vector<std::size_t> slot_begin_;     ///< CSR offsets into candidates_
+  std::vector<CandidateSite> candidates_;
+  std::vector<double> need_;                ///< per demand slot
+  std::vector<double> inv_avail_;           ///< per site
+};
+
+}  // namespace edgerep

@@ -53,17 +53,23 @@ bool replica_unused(const ReplicaPlan& plan, DatasetId n, SiteId l) {
   return true;
 }
 
-/// Try to fully admit query q on a trial copy; commit on success.
+/// Try to fully admit query q in place under a savepoint; roll back the
+/// partial work (including any replica reclaimed in step 3) on failure.
 bool try_admit(ReplicaPlan& plan, const Query& q) {
   const Instance& inst = plan.instance();
-  ReplicaPlan trial = plan;
+  const ReplicaPlan::Savepoint sp = plan.savepoint();
+  auto abort = [&] {
+    plan.rollback_to(sp);
+    plan.commit();
+    return false;
+  };
   for (const DatasetDemand& dd : q.demands) {
-    if (trial.assignment(q.id, dd.dataset)) continue;
+    if (plan.assignment(q.id, dd.dataset)) continue;
     const double need = resource_demand(inst, q, dd);
     SiteId chosen = kInvalidSite;
     // 1. An existing replica site.
-    for (const SiteId l : trial.replica_sites(dd.dataset)) {
-      if (deadline_ok(inst, q, dd, l) && trial.fits(l, need)) {
+    for (const SiteId l : plan.replica_sites(dd.dataset)) {
+      if (deadline_ok(inst, q, dd, l) && plan.fits(l, need)) {
         chosen = l;
         break;
       }
@@ -73,34 +79,34 @@ bool try_admit(ReplicaPlan& plan, const Query& q) {
       auto fresh_candidate = [&]() {
         SiteId best = kInvalidSite;
         for (const Site& s : inst.sites()) {
-          if (trial.has_replica(dd.dataset, s.id)) continue;
+          if (plan.has_replica(dd.dataset, s.id)) continue;
           if (!deadline_ok(inst, q, dd, s.id)) continue;
-          if (!trial.fits(s.id, need)) continue;
+          if (!plan.fits(s.id, need)) continue;
           if (best == kInvalidSite ||
-              trial.residual(s.id) > trial.residual(best)) {
+              plan.residual(s.id) > plan.residual(best)) {
             best = s.id;
           }
         }
         return best;
       };
-      if (trial.replica_count(dd.dataset) < inst.max_replicas()) {
+      if (plan.replica_count(dd.dataset) < inst.max_replicas()) {
         chosen = fresh_candidate();
       } else {
         // 3. Reclaim budget from an unused replica of this dataset.
-        for (const SiteId l : trial.replica_sites(dd.dataset)) {
-          if (replica_unused(trial, dd.dataset, l)) {
-            trial.remove_replica(dd.dataset, l);
+        for (const SiteId l : plan.replica_sites(dd.dataset)) {
+          if (replica_unused(plan, dd.dataset, l)) {
+            plan.remove_replica(dd.dataset, l);
             chosen = fresh_candidate();
             break;
           }
         }
       }
-      if (chosen != kInvalidSite) trial.place_replica(dd.dataset, chosen);
+      if (chosen != kInvalidSite) plan.place_replica(dd.dataset, chosen);
     }
-    if (chosen == kInvalidSite) return false;
-    trial.assign(q.id, dd.dataset, chosen);
+    if (chosen == kInvalidSite) return abort();
+    plan.assign(q.id, dd.dataset, chosen);
   }
-  plan = std::move(trial);
+  plan.commit();
   return true;
 }
 

@@ -1,6 +1,7 @@
 #include "core/primal_dual.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace edgerep {
 
@@ -12,7 +13,41 @@ DualState::DualState(const Instance& inst) : inst_(&inst) {
 
 void DualState::raise_theta(SiteId l, double resource_amount) {
   const double avail = inst_->site(l).available;
-  if (avail > 0.0) theta_.at(l) += resource_amount / avail;
+  if (avail > 0.0) {
+    journal(Var::kTheta, l, theta_.at(l));
+    theta_[l] += resource_amount / avail;
+  }
+}
+
+DualState::Savepoint DualState::savepoint() {
+  journaling_ = true;
+  return undo_log_.size();
+}
+
+void DualState::rollback_to(Savepoint sp) {
+  if (sp > undo_log_.size()) {
+    throw std::invalid_argument("rollback_to: savepoint ahead of undo log");
+  }
+  while (undo_log_.size() > sp) {
+    const UndoEntry& e = undo_log_.back();
+    switch (e.var) {
+      case Var::kTheta:
+        theta_[e.index] = e.prev;
+        break;
+      case Var::kY:
+        y_[e.index] = e.prev;
+        break;
+      case Var::kMu:
+        mu_[e.index] = e.prev;
+        break;
+    }
+    undo_log_.pop_back();
+  }
+}
+
+void DualState::commit() noexcept {
+  undo_log_.clear();
+  journaling_ = false;
 }
 
 void DualState::repair() {

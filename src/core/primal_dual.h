@@ -13,6 +13,7 @@
 // bound on any primal solution — weak duality that tests can assert.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "cloud/instance.h"
@@ -30,10 +31,28 @@ class DualState {
 
   [[nodiscard]] double mu(QueryId m) const { return mu_.at(m); }
   /// Raise μ_m by one unit — "we create one replica" (Algorithm 1 line 7).
-  void raise_mu(QueryId m) { mu_.at(m) += 1.0; }
+  void raise_mu(QueryId m) {
+    journal(Var::kMu, m, mu_.at(m));
+    mu_[m] += 1.0;
+  }
 
   [[nodiscard]] double y(QueryId m) const { return y_.at(m); }
-  void set_y(QueryId m, double v) { y_.at(m) = v; }
+  void set_y(QueryId m, double v) {
+    journal(Var::kY, m, y_.at(m));
+    y_[m] = v;
+  }
+
+  /// --- transactions -----------------------------------------------------
+  /// Same undo-log contract as ReplicaPlan: savepoints nest, rollback
+  /// restores every dual variable to its exact prior value (previous values
+  /// are journaled, not re-derived), and commit() discards the journal.
+  using Savepoint = std::size_t;
+  Savepoint savepoint();
+  void rollback_to(Savepoint sp);
+  void commit() noexcept;
+  [[nodiscard]] std::size_t undo_log_size() const noexcept {
+    return undo_log_.size();
+  }
 
   /// --- certificate -----------------------------------------------------
   /// Lift y and μ so that dual constraints (9) and (10) hold for every
@@ -48,10 +67,22 @@ class DualState {
   [[nodiscard]] bool feasible(double tol = 1e-9) const;
 
  private:
+  enum class Var : std::uint8_t { kTheta, kY, kMu };
+  struct UndoEntry {
+    Var var;
+    std::uint32_t index;
+    double prev;
+  };
+  void journal(Var var, std::uint32_t index, double prev) {
+    if (journaling_) undo_log_.push_back({var, index, prev});
+  }
+
   const Instance* inst_;
   std::vector<double> theta_;  ///< per site
   std::vector<double> y_;      ///< per query (y_{m,l} is nonzero at one site)
   std::vector<double> mu_;     ///< per query
+  std::vector<UndoEntry> undo_log_;
+  bool journaling_ = false;
 };
 
 }  // namespace edgerep

@@ -28,6 +28,7 @@
 #include "cloud/plan_io.h"              // IWYU pragma: export
 #include "cloud/types.h"                // IWYU pragma: export
 #include "core/appro.h"                 // IWYU pragma: export
+#include "core/candidate_index.h"       // IWYU pragma: export
 #include "core/exact.h"                 // IWYU pragma: export
 #include "core/lagrangian.h"            // IWYU pragma: export
 #include "core/local_search.h"          // IWYU pragma: export

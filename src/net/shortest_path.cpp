@@ -84,13 +84,25 @@ std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source) {
 
 std::uint32_t hop_diameter(const Graph& g) {
   constexpr auto kUnseen = static_cast<std::uint32_t>(-1);
-  std::uint32_t best = 0;
-  for (NodeId s = 0; s < g.num_nodes(); ++s) {
-    const auto hops = bfs_hops(g, s);
+  const std::size_t n = g.num_nodes();
+  // BFS sources are independent; write each source's eccentricity to its own
+  // slot and reduce afterwards, so the parallel run is deterministic.
+  std::vector<std::uint32_t> ecc(n, 0);
+  auto from_source = [&](std::size_t s) {
+    const auto hops = bfs_hops(g, static_cast<NodeId>(s));
+    std::uint32_t best = 0;
     for (const auto h : hops) {
       if (h != kUnseen) best = std::max(best, h);
     }
+    ecc[s] = best;
+  };
+  if (n > 64) {
+    global_pool().parallel_for(n, from_source);
+  } else {
+    for (std::size_t s = 0; s < n; ++s) from_source(s);
   }
+  std::uint32_t best = 0;
+  for (const auto e : ecc) best = std::max(best, e);
   return best;
 }
 

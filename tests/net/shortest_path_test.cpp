@@ -146,6 +146,12 @@ TEST(HopDiameter, LineGraph) {
   EXPECT_EQ(hop_diameter(line_graph(6)), 5u);
 }
 
+TEST(HopDiameter, LargeGraphTakesParallelPath) {
+  // n > 64 runs the per-source BFS fan-out on the thread pool; the result
+  // must match the obvious sequential answer.
+  EXPECT_EQ(hop_diameter(line_graph(100)), 99u);
+}
+
 TEST(HopDiameter, EmptyAndSingle) {
   EXPECT_EQ(hop_diameter(Graph{}), 0u);
   EXPECT_EQ(hop_diameter(Graph{1}), 0u);

@@ -1,0 +1,113 @@
+// Emits BENCH_appro.json: median ns/query of the admission engine for the
+// special (S, one dataset per query) and general (G, multi-dataset) cases
+// at three instance sizes, for both transaction mechanisms (savepoint vs
+// the legacy copy baseline), plus the resulting speedups.  The committed
+// file is the perf trajectory anchor; re-run after touching the admission
+// hot path:
+//
+//   ./build/tools/bench_json [--reps=9] [--out=BENCH_appro.json]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "edgerep/edgerep.h"
+
+namespace edgerep {
+namespace {
+
+struct CaseSpec {
+  const char* name;        // "S" or "G"
+  std::size_t network;
+  std::size_t queries;
+  std::size_t f_max;
+};
+
+double median_ns_per_query(const Instance& inst, const ApproOptions& opts,
+                           std::size_t queries, int reps) {
+  using clock = std::chrono::steady_clock;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    const ApproResult res = appro_g(inst, opts);
+    const auto t1 = clock::now();
+    // Keep the result alive past the timer so the run is not elided.
+    if (res.metrics.total_queries != queries) {
+      throw std::runtime_error("bench_json: unexpected query count");
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    samples.push_back(ns / static_cast<double>(queries));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+int run(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int reps = std::max(1, static_cast<int>(args.get_int("reps", 9)));
+  const std::string out_path = args.get("out", "BENCH_appro.json");
+
+  const std::vector<CaseSpec> cases = {
+      {"S", 32, 100, 1},  {"S", 64, 250, 1},  {"S", 100, 500, 1},
+      {"G", 32, 100, 5},  {"G", 64, 250, 5},  {"G", 100, 500, 5},
+  };
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_json: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"appro_admission\",\n"
+      << "  \"metric\": \"median_ns_per_query\",\n"
+      << "  \"atomic_queries\": true,\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"cases\": [\n";
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseSpec& c = cases[i];
+    WorkloadConfig cfg;
+    cfg.network_size = c.network;
+    cfg.min_queries = c.queries;
+    cfg.max_queries = c.queries;
+    cfg.min_datasets_per_query = 1;
+    cfg.max_datasets_per_query = c.f_max;
+    const Instance inst = generate_instance(cfg, /*seed=*/42);
+
+    ApproOptions sp_opts;
+    sp_opts.txn = ApproOptions::Txn::kSavepoint;
+    ApproOptions copy_opts;
+    copy_opts.txn = ApproOptions::Txn::kCopy;
+
+    const double sp_ns = median_ns_per_query(inst, sp_opts, c.queries, reps);
+    const double copy_ns =
+        median_ns_per_query(inst, copy_opts, c.queries, reps);
+    const double speedup = copy_ns / sp_ns;
+
+    out << "    {\"case\": \"" << c.name << "\", \"network_size\": "
+        << c.network << ", \"queries\": " << c.queries
+        << ", \"savepoint_ns_per_query\": " << static_cast<long long>(sp_ns)
+        << ", \"copy_ns_per_query\": " << static_cast<long long>(copy_ns)
+        << ", \"speedup\": "
+        << static_cast<double>(static_cast<long long>(speedup * 100.0)) / 100.0
+        << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+
+    std::cerr << c.name << " " << c.network << "x" << c.queries
+              << ": savepoint " << static_cast<long long>(sp_ns)
+              << " ns/query, copy " << static_cast<long long>(copy_ns)
+              << " ns/query, speedup " << speedup << "x\n";
+  }
+
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace edgerep
+
+int main(int argc, char** argv) { return edgerep::run(argc, argv); }
