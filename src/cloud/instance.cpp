@@ -86,7 +86,17 @@ void Instance::finalize() {
   }
   node_to_site_.assign(graph_.num_nodes(), kInvalidSite);
   for (const Site& s : sites_) node_to_site_[s.node] = s.id;
-  delays_ = DelayMatrix::compute(graph_);
+  graph_.seal();
+  if (backend_ == DelayBackend::kDense) {
+    dense_delays_ = DelayMatrix::compute(graph_);
+    site_delays_ = DelayTable{};
+  } else {
+    std::vector<NodeId> sources;
+    sources.reserve(sites_.size());
+    for (const Site& s : sites_) sources.push_back(s.node);
+    site_delays_ = DelayTable::compute(graph_, sources);
+    dense_delays_ = DelayMatrix{};
+  }
   finalized_ = true;
 }
 

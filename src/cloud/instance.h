@@ -1,9 +1,17 @@
 // A complete problem instance: topology + placement sites + datasets +
 // queries + the replica budget K.  Instances are built incrementally and
-// then `finalize()`d, which validates cross-references and precomputes the
-// all-pairs minimum-delay matrix used by the delay model.
+// then `finalize()`d, which validates cross-references, seals the graph
+// into its CSR form, and precomputes the minimum-delay rows used by the
+// delay model.
+//
+// The delay model only ever asks for delays *from placement sites* (the
+// nodes that may evaluate queries) *to query homes* (also sites), so the
+// default backend stores one Dijkstra row per site — |V|·n entries instead
+// of the dense n×n all-pairs matrix.  The dense matrix survives behind
+// DelayBackend::kDense as the equivalence oracle.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -13,6 +21,12 @@
 #include "net/shortest_path.h"
 
 namespace edgerep {
+
+/// Which precomputed structure backs Instance::path_delay().
+enum class DelayBackend : std::uint8_t {
+  kSiteRows,  ///< default: one Dijkstra row per placement site (|V|·n entries)
+  kDense,     ///< full n×n DelayMatrix — equivalence oracle / diagnostics
+};
 
 class Instance {
  public:
@@ -33,9 +47,21 @@ class Instance {
 
   void set_max_replicas(std::size_t k) { max_replicas_ = k; }
 
-  /// Validate cross-references and compute the delay matrix.  Throws
-  /// std::invalid_argument on inconsistency.  Must be called before the
-  /// query API below; idempotent.
+  /// Choose the delay precompute (default kSiteRows).  Switching after
+  /// finalize() un-finalizes the instance; call finalize() again to rebuild
+  /// the chosen structure.  kDense is the bit-for-bit equivalence oracle.
+  void set_delay_backend(DelayBackend backend) noexcept {
+    if (backend != backend_) {
+      backend_ = backend;
+      finalized_ = false;
+    }
+  }
+  [[nodiscard]] DelayBackend delay_backend() const noexcept { return backend_; }
+
+  /// Validate cross-references, seal the graph (CSR adjacency), and compute
+  /// the delay rows for the selected backend.  Throws std::invalid_argument
+  /// on inconsistency.  Must be called before the query API below;
+  /// idempotent.
   void finalize();
 
   /// --- queries (require finalize()) ------------------------------------
@@ -58,8 +84,21 @@ class Instance {
   }
 
   /// Minimum path delay per unit data between two sites' graph nodes.
+  /// Hot path: unchecked indexing with debug asserts (requires finalize()).
   [[nodiscard]] double path_delay(SiteId from, SiteId to) const {
-    return delays_.at(sites_.at(from).node, sites_.at(to).node);
+    assert(finalized_);
+    assert(from < sites_.size() && to < sites_.size());
+    const NodeId dst = sites_[to].node;
+    if (backend_ == DelayBackend::kDense) {
+      return dense_delays_.at(sites_[from].node, dst);
+    }
+    return site_delays_.at(from, dst);
+  }
+
+  /// The site-rows table (row r = delays from site r's node).  Empty under
+  /// DelayBackend::kDense.
+  [[nodiscard]] const DelayTable& site_delays() const noexcept {
+    return site_delays_;
   }
 
   /// Total volume demanded by a query: Σ_{S_n ∈ S(q_m)} |S_n|.
@@ -77,7 +116,9 @@ class Instance {
   std::vector<Dataset> datasets_;
   std::vector<Query> queries_;
   std::size_t max_replicas_ = 3;
-  DelayMatrix delays_;
+  DelayBackend backend_ = DelayBackend::kSiteRows;
+  DelayTable site_delays_;     ///< kSiteRows: one row per site
+  DelayMatrix dense_delays_;   ///< kDense oracle: n×n, empty otherwise
   std::vector<SiteId> node_to_site_;
   bool finalized_ = false;
 };

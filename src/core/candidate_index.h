@@ -1,7 +1,7 @@
 // Per-demand candidate-site index for the admission hot path.
 //
 // For every (query, demand) pair the index precomputes the deadline-feasible
-// site list in one pass over the delay matrix, caching the evaluation delay
+// site list in one pass over the delay rows, caching the evaluation delay
 // and its deadline-relative form so `admit_demand`'s pricing scan touches
 // only feasible sites and never recomputes `volume·proc_delay +
 // α·volume·path_delay`.  Per-demand resource needs and per-site capacity
@@ -13,6 +13,7 @@
 // unchanged and plans are identical to the unindexed implementation.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -31,26 +32,33 @@ struct CandidateSite {
 class CandidateIndex {
  public:
   /// Builds the index for a finalized instance; the per-query sweeps are
-  /// independent, so large instances build rows in parallel (mirroring
-  /// DelayMatrix::compute's threshold).
+  /// independent, so large instances build rows in parallel.
   explicit CandidateIndex(const Instance& inst, bool parallel = true);
 
   /// Feasible sites for query m's demand at position `demand` in
-  /// q.demands, ascending by site id.
+  /// q.demands, ascending by site id.  Hot path: unchecked indexing with
+  /// debug asserts.
   [[nodiscard]] std::span<const CandidateSite> candidates(
       QueryId m, std::size_t demand) const {
+    assert(m + 1 < query_offset_.size());
     const std::size_t slot = query_offset_[m] + demand;
+    assert(slot + 1 < slot_begin_.size());
     return {candidates_.data() + slot_begin_[slot],
             candidates_.data() + slot_begin_[slot + 1]};
   }
 
   /// Cached resource_demand(inst, q, q.demands[demand]).
   [[nodiscard]] double need(QueryId m, std::size_t demand) const {
+    assert(m + 1 < query_offset_.size() &&
+           query_offset_[m] + demand < need_.size());
     return need_[query_offset_[m] + demand];
   }
 
   /// Cached 1 / max(A(v_l), 1e-12) — hoists the division out of pricing.
-  [[nodiscard]] double inv_avail(SiteId l) const { return inv_avail_[l]; }
+  [[nodiscard]] double inv_avail(SiteId l) const {
+    assert(l < inv_avail_.size());
+    return inv_avail_[l];
+  }
 
   /// Total candidate entries (diagnostics / tests).
   [[nodiscard]] std::size_t size() const noexcept { return candidates_.size(); }

@@ -1,5 +1,6 @@
 #include "net/graph.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace edgerep {
@@ -22,12 +23,14 @@ NodeId Graph::add_node(NodeRole role) {
   const auto id = static_cast<NodeId>(adjacency_.size());
   adjacency_.emplace_back();
   roles_.push_back(role);
+  sealed_ = false;
   return id;
 }
 
 void Graph::add_nodes(std::size_t count, NodeRole role) {
   adjacency_.resize(adjacency_.size() + count);
   roles_.resize(roles_.size() + count, role);
+  sealed_ = false;
 }
 
 EdgeId Graph::add_edge(NodeId u, NodeId v, double delay) {
@@ -40,7 +43,26 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, double delay) {
   edges_.push_back(Edge{u, v, delay});
   adjacency_[u].push_back(HalfEdge{v, id, delay});
   adjacency_[v].push_back(HalfEdge{u, id, delay});
+  sealed_ = false;
   return id;
+}
+
+void Graph::seal() {
+  if (sealed_) return;
+  const std::size_t n = num_nodes();
+  csr_offset_.resize(n + 1);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    csr_offset_[v] = total;
+    total += adjacency_[v].size();
+  }
+  csr_offset_[n] = total;
+  csr_half_.resize(total);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::copy(adjacency_[v].begin(), adjacency_[v].end(),
+              csr_half_.begin() + static_cast<std::ptrdiff_t>(csr_offset_[v]));
+  }
+  sealed_ = true;
 }
 
 EdgeId Graph::find_edge(NodeId u, NodeId v) const {

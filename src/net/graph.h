@@ -3,10 +3,17 @@
 //
 // The structure is append-only (nodes and edges are added, never removed),
 // which lets us hand out stable ids and keep adjacency as flat vectors.
+//
+// Two adjacency representations coexist: per-node vectors (the append
+// path) and, after `seal()`, a CSR copy (one offset array + one flat
+// half-edge array) that traversal kernels walk as contiguous memory.
+// `neighbors()` serves from the CSR arrays when sealed; half-edge order is
+// identical in both, so traversal results do not depend on sealing.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace edgerep {
@@ -67,10 +74,34 @@ class Graph {
   [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
 
   [[nodiscard]] std::span<const HalfEdge> neighbors(NodeId v) const {
+    if (sealed_) {
+      if (v >= num_nodes()) {
+        throw std::out_of_range("Graph::neighbors: node out of range");
+      }
+      return {csr_half_.data() + csr_offset_[v],
+              csr_half_.data() + csr_offset_[v + 1]};
+    }
     return adjacency_.at(v);
   }
   [[nodiscard]] std::size_t degree(NodeId v) const {
     return adjacency_.at(v).size();
+  }
+
+  /// Build the flat CSR adjacency (offsets + half-edges) so traversal inner
+  /// loops walk contiguous memory.  Idempotent; any later mutation unseals.
+  /// Instance::finalize() seals its graph, so algorithm hot paths always run
+  /// on the CSR form.
+  void seal();
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+
+  /// CSR arrays (require sealed()): offsets has num_nodes()+1 entries;
+  /// node v's half-edges are csr_half()[csr_offsets()[v] ..
+  /// csr_offsets()[v+1]).
+  [[nodiscard]] std::span<const std::size_t> csr_offsets() const noexcept {
+    return csr_offset_;
+  }
+  [[nodiscard]] std::span<const HalfEdge> csr_half_edges() const noexcept {
+    return csr_half_;
   }
 
   [[nodiscard]] NodeRole role(NodeId v) const { return roles_.at(v); }
@@ -93,6 +124,9 @@ class Graph {
   std::vector<Edge> edges_;
   std::vector<std::vector<HalfEdge>> adjacency_;
   std::vector<NodeRole> roles_;
+  std::vector<std::size_t> csr_offset_;  ///< valid when sealed_; n+1 entries
+  std::vector<HalfEdge> csr_half_;       ///< valid when sealed_; 2·|E| entries
+  bool sealed_ = false;
 };
 
 }  // namespace edgerep

@@ -19,30 +19,148 @@ std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
   return path;
 }
 
+void DijkstraWorkspace::ensure_size(std::size_t n) {
+  if (dist_.size() < n) {
+    dist_.resize(n);
+    parent_.resize(n);
+    stamp_.resize(n, 0);
+  }
+}
+
+void DijkstraWorkspace::heap_push(HeapItem item) {
+  std::size_t i = heap_.size();
+  heap_.push_back(item);
+  while (i > 0) {
+    const std::size_t p = (i - 1) / 4;
+    if (!less(item, heap_[p])) break;
+    heap_[i] = heap_[p];
+    i = p;
+  }
+  heap_[i] = item;
+}
+
+DijkstraWorkspace::HeapItem DijkstraWorkspace::heap_pop() {
+  const HeapItem top = heap_.front();
+  const HeapItem last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t lim = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < lim; ++c) {
+        if (less(heap_[c], heap_[best])) best = c;
+      }
+      if (!less(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void DijkstraWorkspace::run(const Graph& g, NodeId source,
+                            std::span<double> out_dist,
+                            std::span<NodeId> out_parent) {
+  const std::size_t n = g.num_nodes();
+  if (source >= n) {
+    throw std::invalid_argument("DijkstraWorkspace::run: source out of range");
+  }
+  assert(out_dist.size() == n);
+  assert(out_parent.empty() || out_parent.size() == n);
+  ensure_size(n);
+  if (++generation_ == 0) {  // stamp wrap: invalidate every mark once
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    generation_ = 1;
+  }
+  heap_.clear();
+  dist_[source] = 0.0;
+  parent_[source] = kInvalidNode;
+  stamp_[source] = generation_;
+  heap_push({0.0, source});
+
+  // Hoist the CSR arrays out of the loop when available; otherwise fall
+  // back to the per-node adjacency vectors (unsealed graphs).
+  const bool csr = g.sealed();
+  const std::size_t* off = csr ? g.csr_offsets().data() : nullptr;
+  const HalfEdge* half = csr ? g.csr_half_edges().data() : nullptr;
+
+  while (!heap_.empty()) {
+    const HeapItem item = heap_pop();
+    const NodeId v = item.node;
+    if (item.dist > dist_[v]) continue;  // stale entry
+    const HalfEdge* he;
+    const HalfEdge* end;
+    if (csr) {
+      he = half + off[v];
+      end = half + off[v + 1];
+    } else {
+      const auto nb = g.neighbors(v);
+      he = nb.data();
+      end = he + nb.size();
+    }
+    for (; he != end; ++he) {
+      const NodeId to = he->to;
+      const double nd = item.dist + he->delay;
+      if (stamp_[to] != generation_ || nd < dist_[to]) {
+        dist_[to] = nd;
+        parent_[to] = v;
+        stamp_[to] = generation_;
+        heap_push({nd, to});
+      }
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    out_dist[v] = stamp_[v] == generation_ ? dist_[v] : kInfDelay;
+  }
+  if (!out_parent.empty()) {
+    for (std::size_t v = 0; v < n; ++v) {
+      out_parent[v] = stamp_[v] == generation_ ? parent_[v] : kInvalidNode;
+    }
+  }
+}
+
 ShortestPathTree dijkstra(const Graph& g, NodeId source) {
   if (source >= g.num_nodes()) {
     throw std::invalid_argument("dijkstra: source out of range");
   }
   ShortestPathTree t;
   t.source = source;
-  t.dist.assign(g.num_nodes(), kInfDelay);
-  t.parent.assign(g.num_nodes(), kInvalidNode);
-  using Item = std::pair<double, NodeId>;  // (dist, node)
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  t.dist[source] = 0.0;
-  heap.emplace(0.0, source);
-  while (!heap.empty()) {
-    const auto [d, v] = heap.top();
-    heap.pop();
-    if (d > t.dist[v]) continue;  // stale entry
-    for (const HalfEdge& he : g.neighbors(v)) {
-      const double nd = d + he.delay;
-      if (nd < t.dist[he.to]) {
-        t.dist[he.to] = nd;
-        t.parent[he.to] = v;
-        heap.emplace(nd, he.to);
-      }
+  t.dist.resize(g.num_nodes());
+  t.parent.resize(g.num_nodes());
+  thread_local DijkstraWorkspace ws;
+  ws.run(g, source, t.dist, t.parent);
+  return t;
+}
+
+DelayTable DelayTable::compute(const Graph& g, std::span<const NodeId> sources,
+                               bool parallel) {
+  DelayTable t;
+  t.n_ = g.num_nodes();
+  t.sources_.assign(sources.begin(), sources.end());
+  for (const NodeId s : t.sources_) {
+    if (s >= t.n_) {
+      throw std::invalid_argument("DelayTable::compute: source out of range");
     }
+  }
+  t.data_.resize(t.sources_.size() * t.n_);
+  auto fill_row = [&](std::size_t r) {
+    thread_local DijkstraWorkspace ws;
+    ws.run(g, t.sources_[r],
+           std::span<double>(t.data_.data() + r * t.n_, t.n_));
+  };
+  const bool fan_out =
+      parallel && t.sources_.size() > 1 &&
+      (t.n_ > kParallelForThreshold || t.sources_.size() > kParallelForThreshold);
+  if (fan_out) {
+    global_pool().parallel_for(t.sources_.size(), fill_row);
+  } else {
+    for (std::size_t r = 0; r < t.sources_.size(); ++r) fill_row(r);
   }
   return t;
 }
@@ -50,12 +168,13 @@ ShortestPathTree dijkstra(const Graph& g, NodeId source) {
 DelayMatrix DelayMatrix::compute(const Graph& g, bool parallel) {
   DelayMatrix m;
   m.n_ = g.num_nodes();
-  m.data_.assign(m.n_ * m.n_, kInfDelay);
+  m.data_.resize(m.n_ * m.n_);
   auto fill_row = [&](std::size_t v) {
-    const auto t = dijkstra(g, static_cast<NodeId>(v));
-    std::copy(t.dist.begin(), t.dist.end(), m.data_.begin() + v * m.n_);
+    thread_local DijkstraWorkspace ws;
+    ws.run(g, static_cast<NodeId>(v),
+           std::span<double>(m.data_.data() + v * m.n_, m.n_));
   };
-  if (parallel && m.n_ > 64) {
+  if (parallel && m.n_ > kParallelForThreshold) {
     global_pool().parallel_for(m.n_, fill_row);
   } else {
     for (std::size_t v = 0; v < m.n_; ++v) fill_row(v);
@@ -96,7 +215,7 @@ std::uint32_t hop_diameter(const Graph& g) {
     }
     ecc[s] = best;
   };
-  if (n > 64) {
+  if (n > kParallelForThreshold) {
     global_pool().parallel_for(n, from_source);
   } else {
     for (std::size_t s = 0; s < n; ++s) from_source(s);

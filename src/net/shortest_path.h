@@ -2,9 +2,18 @@
 // evaluation node to the query's home node "via a shortest path whose
 // transmission delay is the minimum one" (§3.2); dt(p_{v,h}) below is the
 // summed per-unit-data delay along that path.
+//
+// The scale-out substrate is the `DelayTable`: the delay model only ever
+// consumes minimum delays *from placement sites* to other sites' nodes, so
+// the table stores one Dijkstra row per site (|V|·n entries) instead of the
+// dense n×n matrix.  `DelayMatrix` is kept as the all-pairs oracle (and for
+// diagnostics); `DijkstraWorkspace` is the shared row engine.
 #pragma once
 
+#include <cassert>
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "net/graph.h"
@@ -20,19 +29,97 @@ struct ShortestPathTree {
   std::vector<NodeId> parent;   ///< predecessor on the shortest path (kInvalidNode at source/unreachable)
 
   [[nodiscard]] bool reachable(NodeId v) const {
-    return dist.at(v) < kInfDelay;
+    assert(v < dist.size());
+    return dist[v] < kInfDelay;
   }
 
   /// Node sequence source→target (empty when unreachable).
   [[nodiscard]] std::vector<NodeId> path_to(NodeId target) const;
 };
 
-/// Dijkstra with a binary heap; O((V+E) log V).
+/// Reusable single-source Dijkstra engine.  The dist/parent/heap buffers
+/// belong to the workspace, so repeated runs (one per table row) allocate
+/// nothing; visited marks are generation-stamped, making the per-run reset
+/// O(1) instead of an O(n) clear.  The heap is 4-ary (shallower than binary,
+/// parent/child index math stays cheap) with lazy deletion and pops in the
+/// same strict (dist, node) total order as the std::priority_queue it
+/// replaced, so distances, parents, and tie-breaks are bit-identical.
+class DijkstraWorkspace {
+ public:
+  /// Minimum delays from `source` into out_dist (size g.num_nodes(),
+  /// kInfDelay when unreachable).  When out_parent is non-empty it receives
+  /// predecessor ids (kInvalidNode at the source and unreachable nodes).
+  /// Walks the CSR arrays when the graph is sealed.
+  void run(const Graph& g, NodeId source, std::span<double> out_dist,
+           std::span<NodeId> out_parent = {});
+
+ private:
+  struct HeapItem {
+    double dist = 0.0;
+    NodeId node = kInvalidNode;
+  };
+
+  /// Strict (dist, node) lexicographic order — the exact comparator of the
+  /// std::priority_queue<pair<double, NodeId>, ..., greater<>> this engine
+  /// replaced, so pop order (and hence tie-breaking) is unchanged.
+  [[nodiscard]] static bool less(const HeapItem& a, const HeapItem& b) noexcept {
+    return a.dist < b.dist || (a.dist == b.dist && a.node < b.node);
+  }
+
+  void ensure_size(std::size_t n);
+  void heap_push(HeapItem item);
+  HeapItem heap_pop();
+
+  std::vector<double> dist_;
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> stamp_;  ///< dist_/parent_[v] valid iff == generation_
+  std::vector<HeapItem> heap_;
+  std::uint32_t generation_ = 0;
+};
+
+/// Dijkstra with the workspace engine; O((V+E) log V).
 ShortestPathTree dijkstra(const Graph& g, NodeId source);
+
+/// Minimum delays from a fixed set of source nodes (one row per source) to
+/// every node — |sources|·n entries instead of n·n.  Rows are independent
+/// per-source Dijkstras and are computed in parallel when `parallel` is
+/// true; Instance::finalize builds one with the placement sites' nodes as
+/// sources, so row r is the delay row of site r.
+class DelayTable {
+ public:
+  DelayTable() = default;
+
+  /// Throws std::invalid_argument when a source is out of range.
+  static DelayTable compute(const Graph& g, std::span<const NodeId> sources,
+                            bool parallel = true);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return sources_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+  [[nodiscard]] std::span<const NodeId> sources() const noexcept {
+    return sources_;
+  }
+  [[nodiscard]] double at(std::size_t row, NodeId to) const {
+    assert(row < sources_.size() && to < n_);
+    return data_[row * n_ + to];
+  }
+  [[nodiscard]] bool reachable(std::size_t row, NodeId to) const {
+    return at(row, to) < kInfDelay;
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    assert(r < sources_.size());
+    return {data_.data() + r * n_, n_};
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<NodeId> sources_;
+  std::vector<double> data_;
+};
 
 /// All-pairs minimum delays as a dense matrix (row-major, n×n).  Computed by
 /// n Dijkstra runs; rows are independent and are computed in parallel when
-/// `parallel` is true.
+/// `parallel` is true.  Superseded on the hot path by DelayTable (site rows
+/// only); kept as the equivalence oracle and for all-pairs diagnostics.
 class DelayMatrix {
  public:
   DelayMatrix() = default;
@@ -41,7 +128,8 @@ class DelayMatrix {
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
   [[nodiscard]] double at(NodeId from, NodeId to) const {
-    return data_.at(static_cast<std::size_t>(from) * n_ + to);
+    assert(from < n_ && to < n_);
+    return data_[static_cast<std::size_t>(from) * n_ + to];
   }
   [[nodiscard]] bool reachable(NodeId from, NodeId to) const {
     return at(from, to) < kInfDelay;

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -50,18 +51,24 @@ void ThreadPool::parallel_for(std::size_t n,
   std::exception_ptr error;
   std::mutex error_mutex;
   const std::size_t shards = std::min(size(), n);
+  // ~8 blocks per worker keeps the tail balanced while amortizing the
+  // shared-cursor bump over a whole block of indices.
+  const std::size_t block = std::max<std::size_t>(1, n / (shards * 8));
   std::vector<std::future<void>> futs;
   futs.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     futs.push_back(submit([&] {
       for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        try {
-          body(i);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) error = std::current_exception();
+        const std::size_t begin = next.fetch_add(block);
+        if (begin >= n) return;
+        const std::size_t end = std::min(n, begin + block);
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            body(i);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error) error = std::current_exception();
+          }
         }
       }
     }));

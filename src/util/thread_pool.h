@@ -16,6 +16,12 @@
 
 namespace edgerep {
 
+/// Work-item count above which data-parallel helpers fan out onto the
+/// global pool; below it the dispatch overhead outweighs the work.  Shared
+/// by DelayMatrix::compute, DelayTable::compute, and hop_diameter so the
+/// serial/parallel cutover is tuned in exactly one place.
+inline constexpr std::size_t kParallelForThreshold = 64;
+
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
@@ -44,7 +50,10 @@ class ThreadPool {
   }
 
   /// Run body(i) for i in [0, n) across the pool and wait for completion.
-  /// Exceptions from any iteration are rethrown (the first one observed).
+  /// Workers claim contiguous index blocks off a shared atomic cursor
+  /// (dynamic blocked chunking), so small per-index bodies pay one atomic
+  /// bump per block instead of one per index.  Exceptions from any
+  /// iteration are rethrown (the first one observed).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:

@@ -1,0 +1,134 @@
+// Substrate equivalence: every algorithm and the simulator must produce
+// bit-identical results whether Instance::path_delay is backed by the
+// site-rows DelayTable (default) or by the dense all-pairs DelayMatrix
+// oracle.  Plans, admission metrics, dual objectives, and simulated
+// outcomes are compared exactly — no tolerances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/graph_baseline.h"
+#include "baselines/greedy.h"
+#include "cloud/plan_diff.h"
+#include "core/appro.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace edgerep {
+namespace {
+
+void expect_same_metrics(const PlanMetrics& a, const PlanMetrics& b) {
+  EXPECT_EQ(a.admitted_volume, b.admitted_volume);
+  EXPECT_EQ(a.assigned_volume, b.assigned_volume);
+  EXPECT_EQ(a.admitted_queries, b.admitted_queries);
+  EXPECT_EQ(a.total_queries, b.total_queries);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.replicas_placed, b.replicas_placed);
+  EXPECT_EQ(a.utilization, b.utilization);
+}
+
+Instance make_instance(std::uint64_t seed, std::size_t f_max) {
+  WorkloadConfig cfg;
+  cfg.network_size = 48;
+  cfg.min_queries = 40;
+  cfg.max_queries = 60;
+  cfg.min_datasets_per_query = 1;
+  cfg.max_datasets_per_query = f_max;
+  return generate_instance(cfg, seed);
+}
+
+class SubstrateEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SubstrateEquivalence, PathDelaysIdenticalAcrossBackends) {
+  Instance inst = make_instance(GetParam(), 4);
+  ASSERT_EQ(inst.delay_backend(), DelayBackend::kSiteRows);
+  const std::size_t num_sites = inst.sites().size();
+  std::vector<double> rows(num_sites * num_sites);
+  for (SiteId a = 0; a < num_sites; ++a) {
+    for (SiteId b = 0; b < num_sites; ++b) {
+      rows[a * num_sites + b] = inst.path_delay(a, b);
+    }
+  }
+  inst.set_delay_backend(DelayBackend::kDense);
+  ASSERT_FALSE(inst.finalized());
+  inst.finalize();
+  for (SiteId a = 0; a < num_sites; ++a) {
+    for (SiteId b = 0; b < num_sites; ++b) {
+      EXPECT_EQ(rows[a * num_sites + b], inst.path_delay(a, b))
+          << "sites " << a << "→" << b;
+    }
+  }
+}
+
+TEST_P(SubstrateEquivalence, ApproPlansBitIdentical) {
+  for (const std::size_t f_max : {std::size_t{1}, std::size_t{5}}) {
+    Instance inst = make_instance(GetParam(), f_max);
+    const ApproResult site_rows =
+        f_max == 1 ? appro_s(inst) : appro_g(inst);
+    inst.set_delay_backend(DelayBackend::kDense);
+    inst.finalize();
+    const ApproResult dense = f_max == 1 ? appro_s(inst) : appro_g(inst);
+
+    EXPECT_TRUE(diff_plans(site_rows.plan, dense.plan).empty());
+    expect_same_metrics(site_rows.metrics, dense.metrics);
+    EXPECT_EQ(site_rows.dual_objective, dense.dual_objective);
+    EXPECT_EQ(site_rows.demands_assigned, dense.demands_assigned);
+    EXPECT_EQ(site_rows.demands_rejected, dense.demands_rejected);
+  }
+}
+
+TEST_P(SubstrateEquivalence, BaselinePlansBitIdentical) {
+  Instance inst = make_instance(GetParam(), 3);
+  const BaselineResult greedy_rows = greedy_g(inst);
+  const BaselineResult graph_rows = graph_g(inst);
+  inst.set_delay_backend(DelayBackend::kDense);
+  inst.finalize();
+  const BaselineResult greedy_dense = greedy_g(inst);
+  const BaselineResult graph_dense = graph_g(inst);
+
+  EXPECT_TRUE(diff_plans(greedy_rows.plan, greedy_dense.plan).empty());
+  expect_same_metrics(greedy_rows.metrics, greedy_dense.metrics);
+  EXPECT_EQ(greedy_rows.demands_assigned, greedy_dense.demands_assigned);
+
+  EXPECT_TRUE(diff_plans(graph_rows.plan, graph_dense.plan).empty());
+  expect_same_metrics(graph_rows.metrics, graph_dense.metrics);
+  EXPECT_EQ(graph_rows.demands_assigned, graph_dense.demands_assigned);
+}
+
+TEST_P(SubstrateEquivalence, SimulatedOutcomesBitIdentical) {
+  Instance inst = make_instance(GetParam(), 4);
+  const ReplicaPlan plan_rows = appro_g(inst).plan;
+  SimConfig cfg;
+  cfg.capacity_factor = 0.9;
+  cfg.transfers = SimConfig::TransferModel::kMaxMinFair;
+  const SimReport rows = simulate(plan_rows, cfg);
+
+  inst.set_delay_backend(DelayBackend::kDense);
+  inst.finalize();
+  const ReplicaPlan plan_dense = appro_g(inst).plan;
+  ASSERT_TRUE(diff_plans(plan_rows, plan_dense).empty());
+  const SimReport dense = simulate(plan_dense, cfg);
+
+  EXPECT_EQ(rows.total_queries, dense.total_queries);
+  EXPECT_EQ(rows.served_queries, dense.served_queries);
+  EXPECT_EQ(rows.admitted_queries, dense.admitted_queries);
+  EXPECT_EQ(rows.admitted_volume, dense.admitted_volume);
+  EXPECT_EQ(rows.throughput, dense.throughput);
+  EXPECT_EQ(rows.mean_response, dense.mean_response);
+  EXPECT_EQ(rows.p95_response, dense.p95_response);
+  EXPECT_EQ(rows.max_response, dense.max_response);
+  EXPECT_EQ(rows.makespan, dense.makespan);
+  ASSERT_EQ(rows.outcomes.size(), dense.outcomes.size());
+  for (std::size_t i = 0; i < rows.outcomes.size(); ++i) {
+    EXPECT_EQ(rows.outcomes[i].issue_time, dense.outcomes[i].issue_time);
+    EXPECT_EQ(rows.outcomes[i].completion_time,
+              dense.outcomes[i].completion_time);
+    EXPECT_EQ(rows.outcomes[i].met_deadline, dense.outcomes[i].met_deadline);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubstrateEquivalence,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,187 @@
+// Property tests for the scale-out substrate: the site-rows DelayTable must
+// be row-for-row bit-identical to the dense DelayMatrix oracle (and to an
+// independent reference Dijkstra), on connected and disconnected graphs,
+// sealed or not.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "net/shortest_path.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace edgerep {
+namespace {
+
+// Independent reference: the textbook binary-heap Dijkstra the workspace
+// engine replaced, kept here as the test oracle.
+std::vector<double> reference_dijkstra(const Graph& g, NodeId source) {
+  std::vector<double> dist(g.num_nodes(), kInfDelay);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (const HalfEdge& he : g.neighbors(v)) {
+      const double nd = d + he.delay;
+      if (nd < dist[he.to]) {
+        dist[he.to] = nd;
+        heap.emplace(nd, he.to);
+      }
+    }
+  }
+  return dist;
+}
+
+// Random graph WITHOUT the connectivity repair gnp() applies, so
+// disconnected components (and hence kInfDelay table entries) occur.
+Graph random_unrepaired(std::size_t n, double p, Rng& rng) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) g.add_edge(u, v, rng.uniform(0.05, 2.0));
+    }
+  }
+  return g;
+}
+
+std::vector<NodeId> random_sources(std::size_t n, std::size_t count, Rng& rng) {
+  std::vector<NodeId> sources;
+  sources.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<NodeId>(rng.uniform_u64(0, n - 1)));
+  }
+  return sources;
+}
+
+TEST(DelayTable, RowsMatchDenseMatrixOnRandomGraphs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    const std::size_t n = 20 + rng.uniform_u64(0, 60);
+    Graph g = gnp(n, 0.15, Range{0.1, 1.0}, rng);
+    const auto sources = random_sources(n, 1 + n / 8, rng);
+    const auto table = DelayTable::compute(g, sources, /*parallel=*/false);
+    const auto dense = DelayMatrix::compute(g, /*parallel=*/false);
+    ASSERT_EQ(table.rows(), sources.size());
+    ASSERT_EQ(table.cols(), n);
+    for (std::size_t r = 0; r < sources.size(); ++r) {
+      for (NodeId v = 0; v < n; ++v) {
+        EXPECT_EQ(table.at(r, v), dense.at(sources[r], v))
+            << "seed " << seed << " row " << r << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(DelayTable, DisconnectedGraphsCarryInfDelayAndMatchReference) {
+  bool saw_unreachable = false;
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u, 15u, 16u}) {
+    Rng rng(seed);
+    const std::size_t n = 16 + rng.uniform_u64(0, 48);
+    // Sparse enough that isolated nodes / split components are common.
+    Graph g = random_unrepaired(n, 1.5 / static_cast<double>(n), rng);
+    const auto sources = random_sources(n, 1 + n / 4, rng);
+    const auto table = DelayTable::compute(g, sources, /*parallel=*/false);
+    for (std::size_t r = 0; r < sources.size(); ++r) {
+      const auto ref = reference_dijkstra(g, sources[r]);
+      for (NodeId v = 0; v < n; ++v) {
+        EXPECT_EQ(table.at(r, v), ref[v]);
+        if (!table.reachable(r, v)) saw_unreachable = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_unreachable)
+      << "test graphs were all connected; tighten the edge probability";
+}
+
+TEST(DelayTable, ParallelEqualsSerial) {
+  Rng rng(77);
+  Graph g = gnp(150, 0.05, Range{0.1, 1.0}, rng);
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < 150; v += 3) sources.push_back(v);
+  const auto serial = DelayTable::compute(g, sources, /*parallel=*/false);
+  const auto parallel = DelayTable::compute(g, sources, /*parallel=*/true);
+  ASSERT_EQ(serial.rows(), parallel.rows());
+  for (std::size_t r = 0; r < serial.rows(); ++r) {
+    for (NodeId v = 0; v < serial.cols(); ++v) {
+      EXPECT_EQ(serial.at(r, v), parallel.at(r, v));
+    }
+  }
+}
+
+TEST(DelayTable, SealedGraphProducesIdenticalRows) {
+  Rng rng(31);
+  Graph g = gnp(80, 0.1, Range{0.1, 1.0}, rng);
+  std::vector<NodeId> sources{0, 7, 33, 79};
+  const auto unsealed = DelayTable::compute(g, sources, /*parallel=*/false);
+  g.seal();
+  ASSERT_TRUE(g.sealed());
+  const auto sealed = DelayTable::compute(g, sources, /*parallel=*/false);
+  for (std::size_t r = 0; r < sources.size(); ++r) {
+    for (NodeId v = 0; v < 80; ++v) {
+      EXPECT_EQ(unsealed.at(r, v), sealed.at(r, v));
+    }
+  }
+}
+
+TEST(DelayTable, RejectsOutOfRangeSources) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  const std::vector<NodeId> bad{0, 9};
+  EXPECT_THROW(DelayTable::compute(g, bad), std::invalid_argument);
+}
+
+TEST(GraphSeal, CsrMirrorsAdjacencyAndUnsealsOnMutation) {
+  Rng rng(5);
+  Graph g = gnp(40, 0.2, Range{0.1, 1.0}, rng);
+  // Snapshot adjacency before sealing.
+  std::vector<std::vector<HalfEdge>> before(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nb = g.neighbors(v);
+    before[v].assign(nb.begin(), nb.end());
+  }
+  g.seal();
+  ASSERT_TRUE(g.sealed());
+  ASSERT_EQ(g.csr_offsets().size(), g.num_nodes() + 1);
+  ASSERT_EQ(g.csr_half_edges().size(), 2 * g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nb = g.neighbors(v);
+    ASSERT_EQ(nb.size(), before[v].size());
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      EXPECT_EQ(nb[i].to, before[v][i].to);
+      EXPECT_EQ(nb[i].edge, before[v][i].edge);
+      EXPECT_EQ(nb[i].delay, before[v][i].delay);
+    }
+  }
+  EXPECT_THROW(static_cast<void>(g.neighbors(static_cast<NodeId>(g.num_nodes()))),
+               std::out_of_range);
+  // Mutation drops the seal; re-sealing picks up the new edge.
+  const NodeId extra = g.add_node();
+  EXPECT_FALSE(g.sealed());
+  g.add_edge(0, extra, 0.5);
+  g.seal();
+  EXPECT_EQ(g.neighbors(extra).size(), 1u);
+  EXPECT_EQ(g.neighbors(extra)[0].to, 0u);
+}
+
+TEST(GraphSeal, DijkstraIdenticalSealedVsUnsealed) {
+  Rng rng(91);
+  Graph g = random_unrepaired(50, 0.08, rng);
+  std::vector<ShortestPathTree> unsealed;
+  for (NodeId s = 0; s < 50; s += 7) unsealed.push_back(dijkstra(g, s));
+  g.seal();
+  std::size_t i = 0;
+  for (NodeId s = 0; s < 50; s += 7, ++i) {
+    const auto t = dijkstra(g, s);
+    EXPECT_EQ(t.dist, unsealed[i].dist);
+    EXPECT_EQ(t.parent, unsealed[i].parent);
+  }
+}
+
+}  // namespace
+}  // namespace edgerep

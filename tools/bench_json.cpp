@@ -1,11 +1,19 @@
-// Emits BENCH_appro.json: median ns/query of the admission engine for the
-// special (S, one dataset per query) and general (G, multi-dataset) cases
-// at three instance sizes, for both transaction mechanisms (savepoint vs
-// the legacy copy baseline), plus the resulting speedups.  The committed
-// file is the perf trajectory anchor; re-run after touching the admission
-// hot path:
+// Emits the committed perf-trajectory anchors; re-run after touching the
+// admission hot path or the network substrate:
 //
-//   ./build/tools/bench_json [--reps=9] [--out=BENCH_appro.json]
+//   ./build/tools/bench_json [--reps=9] [--substrate-reps=5]
+//                            [--out=BENCH_appro.json]
+//                            [--substrate-out=BENCH_substrate.json]
+//
+// BENCH_appro.json: median ns/query of the admission engine for the special
+// (S, one dataset per query) and general (G, multi-dataset) cases at three
+// instance sizes, for both transaction mechanisms (savepoint vs the legacy
+// copy baseline), plus the resulting speedups.
+//
+// BENCH_substrate.json: the site-rows DelayTable vs the dense all-pairs
+// DelayMatrix on ~degree-8 graphs with 10% placement sites — precompute
+// entry counts (|V|·n vs n²) and median Instance::finalize wall time per
+// backend at 1k–4k nodes, plus the memory ratio and finalize speedup.
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -18,6 +26,17 @@
 namespace edgerep {
 namespace {
 
+using clock_type = std::chrono::steady_clock;
+
+double median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+double round2(double x) {
+  return static_cast<double>(static_cast<long long>(x * 100.0)) / 100.0;
+}
+
 struct CaseSpec {
   const char* name;        // "S" or "G"
   std::size_t network;
@@ -27,13 +46,12 @@ struct CaseSpec {
 
 double median_ns_per_query(const Instance& inst, const ApproOptions& opts,
                            std::size_t queries, int reps) {
-  using clock = std::chrono::steady_clock;
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
-    const auto t0 = clock::now();
+    const auto t0 = clock_type::now();
     const ApproResult res = appro_g(inst, opts);
-    const auto t1 = clock::now();
+    const auto t1 = clock_type::now();
     // Keep the result alive past the timer so the run is not elided.
     if (res.metrics.total_queries != queries) {
       throw std::runtime_error("bench_json: unexpected query count");
@@ -42,15 +60,10 @@ double median_ns_per_query(const Instance& inst, const ApproOptions& opts,
         std::chrono::duration<double, std::nano>(t1 - t0).count();
     samples.push_back(ns / static_cast<double>(queries));
   }
-  std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
+  return median(std::move(samples));
 }
 
-int run(int argc, char** argv) {
-  const Args args(argc, argv);
-  const int reps = std::max(1, static_cast<int>(args.get_int("reps", 9)));
-  const std::string out_path = args.get("out", "BENCH_appro.json");
-
+int emit_appro(const std::string& out_path, int reps) {
   const std::vector<CaseSpec> cases = {
       {"S", 32, 100, 1},  {"S", 64, 250, 1},  {"S", 100, 500, 1},
       {"G", 32, 100, 5},  {"G", 64, 250, 5},  {"G", 100, 500, 5},
@@ -92,9 +105,8 @@ int run(int argc, char** argv) {
         << c.network << ", \"queries\": " << c.queries
         << ", \"savepoint_ns_per_query\": " << static_cast<long long>(sp_ns)
         << ", \"copy_ns_per_query\": " << static_cast<long long>(copy_ns)
-        << ", \"speedup\": "
-        << static_cast<double>(static_cast<long long>(speedup * 100.0)) / 100.0
-        << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+        << ", \"speedup\": " << round2(speedup) << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
 
     std::cerr << c.name << " " << c.network << "x" << c.queries
               << ": savepoint " << static_cast<long long>(sp_ns)
@@ -105,6 +117,105 @@ int run(int argc, char** argv) {
   out << "  ]\n}\n";
   std::cerr << "wrote " << out_path << "\n";
   return 0;
+}
+
+// Unfinalized scale instance: ~degree-8 G(n, p) graph, every 10th node a
+// placement site (the paper's V = CL ∪ DC is a small fraction of the
+// network), one token dataset/query so finalize's cost is the delay
+// precompute.
+Instance substrate_instance(std::size_t n) {
+  Rng rng(8);
+  Graph g = gnp(n, 8.0 / static_cast<double>(n), Range{0.05, 1.0}, rng);
+  Instance inst(std::move(g));
+  for (std::size_t v = 0; v < n; v += 10) {
+    inst.add_site(static_cast<NodeId>(v), 40.0, 0.1);
+  }
+  const DatasetId d = inst.add_dataset(4.0, 0);
+  inst.add_query(0, 1.0, 100.0, {{d, 0.5}});
+  return inst;
+}
+
+double median_finalize_ms(const Instance& proto, DelayBackend backend,
+                          int reps) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Instance inst = proto;
+    inst.set_delay_backend(backend);
+    const auto t0 = clock_type::now();
+    inst.finalize();
+    const auto t1 = clock_type::now();
+    if (!inst.finalized()) throw std::runtime_error("bench_json: finalize");
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return median(std::move(samples));
+}
+
+int emit_substrate(const std::string& out_path, int reps) {
+  const std::vector<std::size_t> sizes = {1024, 2048, 4096};
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_json: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"network_substrate\",\n"
+      << "  \"topology\": \"gnp_avg_degree_8\",\n"
+      << "  \"site_fraction\": 0.1,\n"
+      << "  \"metric\": \"median_finalize_ms\",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"cases\": [\n";
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const Instance proto = substrate_instance(n);
+    const std::size_t sites = proto.sites().size();
+    const auto dense_entries = static_cast<unsigned long long>(n) * n;
+    const auto site_entries = static_cast<unsigned long long>(sites) * n;
+
+    const double rows_ms =
+        median_finalize_ms(proto, DelayBackend::kSiteRows, reps);
+    const double dense_ms =
+        median_finalize_ms(proto, DelayBackend::kDense, reps);
+
+    out << "    {\"nodes\": " << n << ", \"sites\": " << sites
+        << ", \"dense_entries\": " << dense_entries
+        << ", \"site_rows_entries\": " << site_entries
+        << ", \"memory_ratio\": "
+        << round2(static_cast<double>(dense_entries) /
+                  static_cast<double>(site_entries))
+        << ", \"dense_finalize_ms\": " << round2(dense_ms)
+        << ", \"site_rows_finalize_ms\": " << round2(rows_ms)
+        << ", \"finalize_speedup\": " << round2(dense_ms / rows_ms) << "}"
+        << (i + 1 < sizes.size() ? "," : "") << "\n";
+
+    std::cerr << "substrate n=" << n << " sites=" << sites << ": site-rows "
+              << rows_ms << " ms, dense " << dense_ms << " ms, speedup "
+              << dense_ms / rows_ms << "x, memory ratio "
+              << static_cast<double>(dense_entries) /
+                     static_cast<double>(site_entries)
+              << "x\n";
+  }
+
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int reps = std::max(1, static_cast<int>(args.get_int("reps", 9)));
+  const int substrate_reps =
+      std::max(1, static_cast<int>(args.get_int("substrate-reps", 5)));
+  const std::string out_path = args.get("out", "BENCH_appro.json");
+  const std::string substrate_path =
+      args.get("substrate-out", "BENCH_substrate.json");
+
+  const int rc = emit_appro(out_path, reps);
+  if (rc != 0) return rc;
+  return emit_substrate(substrate_path, substrate_reps);
 }
 
 }  // namespace
