@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "cloud/delay.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace edgerep {
 
@@ -22,16 +25,57 @@ std::vector<SiteId> by_residual_desc(const Instance& inst,
   return order;
 }
 
+/// Audit-only classification mirroring core/appro.cpp's precedence
+/// (deadline < replica budget < capacity), evaluated against the plan state
+/// *after* the failed greedy attempt — greedy burns budget on replicas it
+/// places speculatively, and that spent budget is what binds.
+obs::AuditReason classify_rejection_greedy(const Instance& inst,
+                                           const Query& q,
+                                           const DatasetDemand& dd,
+                                           const ReplicaPlan& plan,
+                                           double need) {
+  bool any_deadline_ok = false;
+  bool budget_blocked = false;
+  const bool budget_left =
+      plan.replica_count(dd.dataset) < inst.max_replicas();
+  for (const Site& s : inst.sites()) {
+    if (!deadline_ok(inst, q, dd, s.id)) continue;
+    any_deadline_ok = true;
+    if (!plan.fits(s.id, need)) continue;
+    if (!budget_left && !plan.has_replica(dd.dataset, s.id)) {
+      budget_blocked = true;
+    }
+  }
+  if (!any_deadline_ok) return obs::AuditReason::kNoDeadlineFeasibleSite;
+  return budget_blocked ? obs::AuditReason::kReplicaBudgetSpent
+                        : obs::AuditReason::kCapacityExhausted;
+}
+
 bool admit_demand_greedy(const Instance& inst, const Query& q,
-                         const DatasetDemand& dd, ReplicaPlan& plan) {
+                         const DatasetDemand& dd, ReplicaPlan& plan,
+                         std::size_t di, obs::AuditEntry* audit) {
   const double need = resource_demand(inst, q, dd);
+  if (audit != nullptr) {
+    audit->query = q.id;
+    audit->demand = static_cast<std::uint32_t>(di);
+    audit->dataset = dd.dataset;
+  }
+  auto admitted_at = [&](SiteId l, bool placed) {
+    if (audit != nullptr) {
+      audit->admitted = true;
+      audit->reason = obs::AuditReason::kAdmitted;
+      audit->site = l;
+      audit->placed_replica = placed;
+    }
+    return true;
+  };
   // First try sites that already hold a replica (no budget cost), largest
   // residual capacity first.
   for (const SiteId l : by_residual_desc(inst, plan)) {
     if (!plan.has_replica(dd.dataset, l)) continue;
     if (deadline_ok(inst, q, dd, l) && plan.fits(l, need)) {
       plan.assign(q.id, dd.dataset, l);
-      return true;
+      return admitted_at(l, /*placed=*/false);
     }
   }
   // Then burn replica budget in capacity order: place at the largest
@@ -42,26 +86,39 @@ bool admit_demand_greedy(const Instance& inst, const Query& q,
     plan.place_replica(dd.dataset, l);  // spent even if the check fails
     if (deadline_ok(inst, q, dd, l) && plan.fits(l, need)) {
       plan.assign(q.id, dd.dataset, l);
-      return true;
+      return admitted_at(l, /*placed=*/true);
     }
+  }
+  if (audit != nullptr) {
+    audit->admitted = false;
+    audit->reason = classify_rejection_greedy(inst, q, dd, plan, need);
   }
   return false;
 }
 
 BaselineResult run(const Instance& inst, const GreedyOptions& opts) {
+  EDGEREP_TRACE_SCOPE("greedy.run");
   if (!inst.finalized()) {
     throw std::invalid_argument("greedy: instance not finalized");
   }
+  std::vector<obs::AuditEntry> audit_entries;
+  std::vector<obs::AuditEntry>* audit =
+      obs::audit_enabled() ? &audit_entries : nullptr;
   BaselineResult res{ReplicaPlan(inst), {}, 0, 0};
   for (const Query& q : inst.queries()) {
+    const std::size_t audit_begin = audit != nullptr ? audit->size() : 0;
     if (opts.atomic_queries) {
       const ReplicaPlan::Savepoint sp = res.plan.savepoint();
       bool all_ok = true;
+      std::size_t di = 0;
       for (const DatasetDemand& dd : q.demands) {
-        if (!admit_demand_greedy(inst, q, dd, res.plan)) {
+        obs::AuditEntry* entry = nullptr;
+        if (audit != nullptr) entry = &audit->emplace_back();
+        if (!admit_demand_greedy(inst, q, dd, res.plan, di, entry)) {
           all_ok = false;
           break;
         }
+        ++di;
       }
       if (all_ok) {
         res.plan.commit();
@@ -70,18 +127,50 @@ BaselineResult run(const Instance& inst, const GreedyOptions& opts) {
         res.plan.rollback_to(sp);
         res.plan.commit();
         res.demands_rejected += q.demands.size();
+        if (audit != nullptr) {
+          // Every sibling admitted before the failing demand was undone.
+          for (std::size_t i = audit_begin; i + 1 < audit->size(); ++i) {
+            (*audit)[i].admitted = false;
+            (*audit)[i].reason = obs::AuditReason::kAtomicRollback;
+          }
+        }
       }
     } else {
+      std::size_t di = 0;
       for (const DatasetDemand& dd : q.demands) {
-        if (admit_demand_greedy(inst, q, dd, res.plan)) {
+        obs::AuditEntry* entry = nullptr;
+        if (audit != nullptr) entry = &audit->emplace_back();
+        if (admit_demand_greedy(inst, q, dd, res.plan, di, entry)) {
           ++res.demands_assigned;
         } else {
           ++res.demands_rejected;
         }
+        ++di;
       }
     }
   }
   res.metrics = evaluate(res.plan);
+  if (audit != nullptr) {
+    for (obs::AuditEntry& e : audit_entries) e.algorithm = "greedy";
+    obs::audit_log().record_batch(audit_entries);
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& runs = obs::metrics().counter(
+        "edgerep_greedy_runs_total", "greedy baseline runs");
+    static obs::Counter& dem_adm = obs::metrics().counter(
+        "edgerep_greedy_demands_admitted_total",
+        "demands assigned by the greedy baseline");
+    static obs::Counter& dem_rej = obs::metrics().counter(
+        "edgerep_greedy_demands_rejected_total",
+        "demands rejected by the greedy baseline");
+    static obs::Counter& replicas = obs::metrics().counter(
+        "edgerep_greedy_replicas_placed_total",
+        "replicas in plans produced by the greedy baseline");
+    runs.inc();
+    dem_adm.inc(res.demands_assigned);
+    dem_rej.inc(res.demands_rejected);
+    replicas.inc(res.plan.total_replicas());
+  }
   return res;
 }
 

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace edgerep {
 
 SiteId Instance::add_site(NodeId node, double capacity, double proc_delay) {
@@ -55,6 +58,7 @@ QueryId Instance::add_query(SiteId home, double rate, double deadline,
 
 void Instance::finalize() {
   if (finalized_) return;
+  EDGEREP_TRACE_SCOPE("instance.finalize");
   if (sites_.empty()) throw std::invalid_argument("finalize: no sites");
   for (const Site& s : sites_) {
     if (s.node >= graph_.num_nodes()) {
@@ -86,16 +90,33 @@ void Instance::finalize() {
   }
   node_to_site_.assign(graph_.num_nodes(), kInvalidSite);
   for (const Site& s : sites_) node_to_site_[s.node] = s.id;
-  graph_.seal();
-  if (backend_ == DelayBackend::kDense) {
-    dense_delays_ = DelayMatrix::compute(graph_);
-    site_delays_ = DelayTable{};
-  } else {
-    std::vector<NodeId> sources;
-    sources.reserve(sites_.size());
-    for (const Site& s : sites_) sources.push_back(s.node);
-    site_delays_ = DelayTable::compute(graph_, sources);
-    dense_delays_ = DelayMatrix{};
+  {
+    EDGEREP_TRACE_SCOPE("finalize.seal_graph");
+    graph_.seal();
+  }
+  {
+    EDGEREP_TRACE_SCOPE("finalize.delay_table");
+    if (backend_ == DelayBackend::kDense) {
+      dense_delays_ = DelayMatrix::compute(graph_);
+      site_delays_ = DelayTable{};
+    } else {
+      std::vector<NodeId> sources;
+      sources.reserve(sites_.size());
+      for (const Site& s : sites_) sources.push_back(s.node);
+      site_delays_ = DelayTable::compute(graph_, sources);
+      dense_delays_ = DelayMatrix{};
+    }
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& finalizes = obs::metrics().counter(
+        "edgerep_instance_finalize_total", "Instance::finalize calls");
+    static obs::Counter& entries = obs::metrics().counter(
+        "edgerep_delay_entries_total",
+        "delay-table entries precomputed by finalize");
+    finalizes.inc();
+    const std::size_t rows =
+        backend_ == DelayBackend::kDense ? graph_.num_nodes() : sites_.size();
+    entries.inc(rows * graph_.num_nodes());
   }
   finalized_ = true;
 }

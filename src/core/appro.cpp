@@ -6,6 +6,9 @@
 
 #include "cloud/delay.h"
 #include "core/candidate_index.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace edgerep {
@@ -74,12 +77,41 @@ double site_price(const Instance& inst, const DualState& duals, const Query& q,
   return p;
 }
 
+/// Audit-only classification of a failed admission: which constraint bound?
+/// Runs solely on failure with auditing enabled — the admission scan itself
+/// never tracks diagnostics, so the hot path is identical either way.
+/// Deterministic precedence: deadline < replica budget < capacity (a
+/// budget-blocked verdict means relaxing K alone would have admitted the
+/// demand at some fitting site).
+obs::AuditReason classify_rejection(const CandidateIndex& index,
+                                    const Query& q, std::size_t di,
+                                    const ReplicaPlan& plan,
+                                    bool budget_left) {
+  const DatasetDemand& dd = q.demands[di];
+  const auto cands = index.candidates(q.id, di);
+  if (cands.empty()) return obs::AuditReason::kNoDeadlineFeasibleSite;
+  const double need = index.need(q.id, di);
+  for (const CandidateSite& c : cands) {
+    if (!plan.fits(c.site, need)) continue;
+    // A fitting site with a replica would have been admitted, so a fitting
+    // candidate here necessarily lacks one: the budget was the binding
+    // constraint.
+    if (!budget_left && !plan.has_replica(dd.dataset, c.site)) {
+      return obs::AuditReason::kReplicaBudgetSpent;
+    }
+  }
+  return obs::AuditReason::kCapacityExhausted;
+}
+
 /// One Appro-S admission step for a single (query, demand): pick the
 /// cheapest feasible site, placing a replica when needed.  Returns true and
-/// updates plan/duals on success.
+/// updates plan/duals on success.  When `audit` is non-null, the decision
+/// and (on success) the winning site's dual price breakdown are recorded
+/// into it; the admission logic is unchanged either way.
 bool admit_demand(const Instance& inst, const CandidateIndex& index,
                   const Query& q, std::size_t di, ReplicaPlan& plan,
-                  DualState& duals, const ApproOptions& opts) {
+                  DualState& duals, const ApproOptions& opts,
+                  obs::AuditEntry* audit = nullptr) {
   const DatasetDemand& dd = q.demands[di];
   const double need = index.need(q.id, di);
   const bool budget_left = plan.replica_count(dd.dataset) < inst.max_replicas();
@@ -133,6 +165,27 @@ bool admit_demand(const Instance& inst, const CandidateIndex& index,
     }
   }
 
+  if (audit != nullptr) {
+    audit->query = q.id;
+    audit->demand = static_cast<std::uint32_t>(di);
+    audit->dataset = dd.dataset;
+    if (best_site == kInvalidSite) {
+      audit->admitted = false;
+      audit->reason = classify_rejection(index, q, di, plan, budget_left);
+    } else {
+      audit->admitted = true;
+      audit->reason = obs::AuditReason::kAdmitted;
+      audit->site = best_site;
+      audit->placed_replica = best_needs_replica;
+      audit->theta_term = duals.theta(best_site);
+      audit->capacity_term = need * index.inv_avail(best_site);
+      audit->eta_term = opts.eta_weight *
+                        (evaluation_delay(inst, q, dd, best_site) / q.deadline);
+      audit->mu_term = best_needs_replica ? mu_term : 0.0;
+      audit->total_price = best_price;
+    }
+  }
+
   if (best_site == kInvalidSite) return false;
   if (best_needs_replica) {
     plan.place_replica(dd.dataset, best_site);
@@ -148,19 +201,36 @@ bool admit_demand(const Instance& inst, const CandidateIndex& index,
   return true;
 }
 
+/// Audit bookkeeping for an atomic-query abort: the failing demand keeps
+/// its classified reason; sibling demands admitted earlier in the same
+/// transaction are re-marked as rolled back (site/price preserved).
+void mark_rolled_back(std::vector<obs::AuditEntry>* audit,
+                      std::size_t query_begin) {
+  if (audit == nullptr) return;
+  for (std::size_t i = query_begin; i + 1 < audit->size(); ++i) {
+    (*audit)[i].admitted = false;
+    (*audit)[i].reason = obs::AuditReason::kAtomicRollback;
+  }
+}
+
 /// Try every demand of q in place; savepoint first and roll back on the
 /// first infeasible demand, so a rejected query leaves no trace.
 bool admit_query_savepoint(const Instance& inst, const CandidateIndex& index,
                            const Query& q, ReplicaPlan& plan, DualState& duals,
-                           const ApproOptions& opts) {
+                           const ApproOptions& opts,
+                           std::vector<obs::AuditEntry>* audit) {
+  const std::size_t audit_begin = audit != nullptr ? audit->size() : 0;
   const ReplicaPlan::Savepoint sp_plan = plan.savepoint();
   const DualState::Savepoint sp_duals = duals.savepoint();
   for (std::size_t di = 0; di < q.demands.size(); ++di) {
-    if (!admit_demand(inst, index, q, di, plan, duals, opts)) {
+    obs::AuditEntry* entry = nullptr;
+    if (audit != nullptr) entry = &audit->emplace_back();
+    if (!admit_demand(inst, index, q, di, plan, duals, opts, entry)) {
       plan.rollback_to(sp_plan);
       duals.rollback_to(sp_duals);
       plan.commit();
       duals.commit();
+      mark_rolled_back(audit, audit_begin);
       return false;
     }
   }
@@ -173,11 +243,17 @@ bool admit_query_savepoint(const Instance& inst, const CandidateIndex& index,
 /// the equivalence tests and as the micro_appro speedup baseline.
 bool admit_query_copy(const Instance& inst, const CandidateIndex& index,
                       const Query& q, ReplicaPlan& plan, DualState& duals,
-                      const ApproOptions& opts) {
+                      const ApproOptions& opts,
+                      std::vector<obs::AuditEntry>* audit) {
+  const std::size_t audit_begin = audit != nullptr ? audit->size() : 0;
   ReplicaPlan trial_plan = plan;
   DualState trial_duals = duals;
   for (std::size_t di = 0; di < q.demands.size(); ++di) {
-    if (!admit_demand(inst, index, q, di, trial_plan, trial_duals, opts)) {
+    obs::AuditEntry* entry = nullptr;
+    if (audit != nullptr) entry = &audit->emplace_back();
+    if (!admit_demand(inst, index, q, di, trial_plan, trial_duals, opts,
+                      entry)) {
+      mark_rolled_back(audit, audit_begin);
       return false;
     }
   }
@@ -187,36 +263,93 @@ bool admit_query_copy(const Instance& inst, const CandidateIndex& index,
 }
 
 ApproResult run_appro(const Instance& inst, const ApproOptions& opts) {
+  EDGEREP_TRACE_SCOPE("appro.run");
   if (!inst.finalized()) {
     throw std::invalid_argument("appro: instance not finalized");
   }
-  const CandidateIndex index(inst);
+  const CandidateIndex index = [&inst] {
+    EDGEREP_TRACE_SCOPE("appro.candidate_index");
+    return CandidateIndex(inst);
+  }();
+  // Audit entries accumulate locally and flush to the global log once, so
+  // per-demand recording never takes the log mutex.
+  std::vector<obs::AuditEntry> audit_entries;
+  std::vector<obs::AuditEntry>* audit =
+      obs::audit_enabled() ? &audit_entries : nullptr;
+  std::size_t queries_admitted = 0;
+  std::size_t queries_rejected = 0;
   ApproResult res{ReplicaPlan(inst), DualState(inst), 0.0, {}, 0, 0};
-  for (const QueryId m : ordered_queries(inst, opts)) {
-    const Query& q = inst.query(m);
-    if (opts.atomic_queries) {
-      const bool ok =
-          opts.txn == ApproOptions::Txn::kSavepoint
-              ? admit_query_savepoint(inst, index, q, res.plan, res.duals, opts)
-              : admit_query_copy(inst, index, q, res.plan, res.duals, opts);
-      if (ok) {
-        res.demands_assigned += q.demands.size();
-      } else {
-        res.demands_rejected += q.demands.size();
-      }
-    } else {
-      for (std::size_t di = 0; di < q.demands.size(); ++di) {
-        if (admit_demand(inst, index, q, di, res.plan, res.duals, opts)) {
-          ++res.demands_assigned;
+  {
+    EDGEREP_TRACE_SCOPE("appro.admission");
+    for (const QueryId m : ordered_queries(inst, opts)) {
+      const Query& q = inst.query(m);
+      if (opts.atomic_queries) {
+        const bool ok =
+            opts.txn == ApproOptions::Txn::kSavepoint
+                ? admit_query_savepoint(inst, index, q, res.plan, res.duals,
+                                        opts, audit)
+                : admit_query_copy(inst, index, q, res.plan, res.duals, opts,
+                                   audit);
+        if (ok) {
+          res.demands_assigned += q.demands.size();
+          ++queries_admitted;
         } else {
-          ++res.demands_rejected;
+          res.demands_rejected += q.demands.size();
+          ++queries_rejected;
+        }
+      } else {
+        bool all_ok = true;
+        for (std::size_t di = 0; di < q.demands.size(); ++di) {
+          obs::AuditEntry* entry = nullptr;
+          if (audit != nullptr) entry = &audit->emplace_back();
+          if (admit_demand(inst, index, q, di, res.plan, res.duals, opts,
+                           entry)) {
+            ++res.demands_assigned;
+          } else {
+            ++res.demands_rejected;
+            all_ok = false;
+          }
+        }
+        if (all_ok) {
+          ++queries_admitted;
+        } else {
+          ++queries_rejected;
         }
       }
     }
   }
-  res.duals.repair();
+  {
+    EDGEREP_TRACE_SCOPE("appro.dual_repair");
+    res.duals.repair();
+  }
   res.dual_objective = res.duals.objective();
   res.metrics = evaluate(res.plan);
+  if (audit != nullptr) {
+    for (obs::AuditEntry& e : audit_entries) e.algorithm = "appro";
+    obs::audit_log().record_batch(audit_entries);
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& runs =
+        obs::metrics().counter("edgerep_appro_runs_total", "run_appro calls");
+    static obs::Counter& dem_adm = obs::metrics().counter(
+        "edgerep_appro_demands_admitted_total", "demands assigned by appro");
+    static obs::Counter& dem_rej = obs::metrics().counter(
+        "edgerep_appro_demands_rejected_total", "demands rejected by appro");
+    static obs::Counter& q_adm = obs::metrics().counter(
+        "edgerep_appro_queries_admitted_total",
+        "queries fully admitted by appro");
+    static obs::Counter& q_rej = obs::metrics().counter(
+        "edgerep_appro_queries_rejected_total", "queries rejected by appro");
+    static obs::Counter& replicas = obs::metrics().counter(
+        "edgerep_appro_replicas_placed_total",
+        "replicas in plans produced by appro");
+    runs.inc();
+    dem_adm.inc(res.demands_assigned);
+    dem_rej.inc(res.demands_rejected);
+    q_adm.inc(queries_admitted);
+    q_rej.inc(queries_rejected);
+    replicas.inc(res.plan.total_replicas());
+  }
   return res;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "cloud/delay.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace edgerep {
 
@@ -114,9 +116,11 @@ bool try_admit(ReplicaPlan& plan, const Query& q) {
 
 LocalSearchResult improve_plan(ReplicaPlan plan,
                                const LocalSearchOptions& opts) {
+  EDGEREP_TRACE_SCOPE("local_search.improve");
   LocalSearchResult res{std::move(plan), {}, 0, 0, 0};
   const Instance& inst = res.plan.instance();
   for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
+    EDGEREP_TRACE_SCOPE("local_search.pass");
     ++res.passes;
     res.relocations += rebalance_pass(res.plan);
     std::size_t admitted_this_pass = 0;
@@ -128,6 +132,22 @@ LocalSearchResult improve_plan(ReplicaPlan plan,
     if (admitted_this_pass == 0) break;
   }
   res.metrics = evaluate(res.plan);
+  if (obs::metrics_enabled()) {
+    static obs::Counter& runs = obs::metrics().counter(
+        "edgerep_local_search_runs_total", "improve_plan calls");
+    static obs::Counter& passes = obs::metrics().counter(
+        "edgerep_local_search_passes_total", "local-search sweeps executed");
+    static obs::Counter& moves = obs::metrics().counter(
+        "edgerep_local_search_relocations_total",
+        "assignments relocated by rebalancing");
+    static obs::Counter& admitted = obs::metrics().counter(
+        "edgerep_local_search_queries_admitted_total",
+        "previously rejected queries admitted by local search");
+    runs.inc();
+    passes.inc(res.passes);
+    moves.inc(res.relocations);
+    admitted.inc(res.queries_admitted);
+  }
   return res;
 }
 

@@ -42,6 +42,10 @@
 #include "net/io.h"                     // IWYU pragma: export
 #include "net/shortest_path.h"          // IWYU pragma: export
 #include "net/topology.h"               // IWYU pragma: export
+#include "obs/audit.h"                  // IWYU pragma: export
+#include "obs/metrics.h"                // IWYU pragma: export
+#include "obs/obs.h"                    // IWYU pragma: export
+#include "obs/trace.h"                  // IWYU pragma: export
 #include "part/partitioner.h"           // IWYU pragma: export
 #include "sim/event.h"                  // IWYU pragma: export
 #include "sim/flows.h"                  // IWYU pragma: export
@@ -49,6 +53,7 @@
 #include "sim/online.h"                 // IWYU pragma: export
 #include "sim/simulator.h"              // IWYU pragma: export
 #include "util/args.h"                  // IWYU pragma: export
+#include "util/log.h"                   // IWYU pragma: export
 #include "util/rng.h"                   // IWYU pragma: export
 #include "util/stats.h"                 // IWYU pragma: export
 #include "util/table.h"                 // IWYU pragma: export

@@ -1,0 +1,124 @@
+#include "obs/audit.h"
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace edgerep::obs {
+
+const char* to_string(AuditReason r) noexcept {
+  switch (r) {
+    case AuditReason::kAdmitted:
+      return "admitted";
+    case AuditReason::kNoDeadlineFeasibleSite:
+      return "no_deadline_feasible_site";
+    case AuditReason::kCapacityExhausted:
+      return "capacity_exhausted";
+    case AuditReason::kReplicaBudgetSpent:
+      return "replica_budget_spent";
+    case AuditReason::kAtomicRollback:
+      return "atomic_rollback";
+  }
+  return "?";
+}
+
+AuditSummary summarize_audit(const std::vector<AuditEntry>& entries) {
+  // Per (algorithm, query): admitted unless any entry was rejected; the
+  // binding reason is the first non-rollback rejection.
+  struct Verdict {
+    bool rejected = false;
+    AuditReason reason = AuditReason::kAtomicRollback;
+  };
+  std::map<std::pair<std::string, std::uint32_t>, Verdict> verdicts;
+  for (const AuditEntry& e : entries) {
+    Verdict& v = verdicts[{e.algorithm, e.query}];
+    if (e.admitted) continue;
+    if (!v.rejected || (v.reason == AuditReason::kAtomicRollback &&
+                        e.reason != AuditReason::kAtomicRollback)) {
+      v.reason = e.reason;
+    }
+    v.rejected = true;
+  }
+  AuditSummary s;
+  for (const auto& [key, v] : verdicts) {
+    if (v.rejected) {
+      ++s.rejected_queries;
+      ++s.rejected_by_reason[static_cast<std::size_t>(v.reason)];
+    } else {
+      ++s.admitted_queries;
+    }
+  }
+  return s;
+}
+
+void AuditLog::record(const AuditEntry& e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(e);
+}
+
+void AuditLog::record_batch(const std::vector<AuditEntry>& batch) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.insert(entries_.end(), batch.begin(), batch.end());
+}
+
+std::vector<AuditEntry> AuditLog::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::size_t AuditLog::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void AuditLog::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+void AuditLog::write_json(std::ostream& os) const {
+  std::vector<AuditEntry> entries = snapshot();
+  const AuditSummary s = summarize_audit(entries);
+  const auto old = os.precision(17);
+  os << "{\n\"entries\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const AuditEntry& e = entries[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"algorithm\": \"" << e.algorithm
+       << "\", \"query\": " << e.query << ", \"demand\": " << e.demand
+       << ", \"dataset\": " << e.dataset
+       << ", \"admitted\": " << (e.admitted ? "true" : "false")
+       << ", \"reason\": \"" << to_string(e.reason) << "\"";
+    if (e.admitted) {
+      os << ", \"site\": " << e.site
+         << ", \"placed_replica\": " << (e.placed_replica ? "true" : "false")
+         << ", \"price\": {\"theta\": " << e.theta_term
+         << ", \"capacity\": " << e.capacity_term
+         << ", \"eta\": " << e.eta_term << ", \"mu\": " << e.mu_term
+         << ", \"total\": " << e.total_price << "}";
+    } else if (e.reason == AuditReason::kAtomicRollback) {
+      os << ", \"site\": " << e.site;  // where it briefly ran before the abort
+    }
+    os << "}";
+  }
+  os << (entries.empty() ? "" : "\n") << "],\n\"summary\": {"
+     << "\"admitted_queries\": " << s.admitted_queries
+     << ", \"rejected_queries\": " << s.rejected_queries
+     << ", \"rejected_by_reason\": {";
+  bool first = true;
+  for (std::size_t r = 1; r < kAuditReasonCount; ++r) {
+    os << (first ? "" : ", ") << "\""
+       << to_string(static_cast<AuditReason>(r))
+       << "\": " << s.rejected_by_reason[r];
+    first = false;
+  }
+  os << "}}\n}\n";
+  os.precision(old);
+}
+
+AuditLog& audit_log() {
+  static AuditLog log;
+  return log;
+}
+
+}  // namespace edgerep::obs

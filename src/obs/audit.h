@@ -1,0 +1,95 @@
+// Admission-decision audit log.
+//
+// The admission engines (core/appro.cpp, baselines/greedy.cpp) record one
+// entry per (query, demand) decision when obs::audit_enabled(): admitted
+// entries carry the winning site and its dual price breakdown (θ, capacity,
+// η, μ terms); rejected entries carry the binding reason.  Demands that were
+// admitted and then undone by an atomic-query abort are re-recorded with
+// reason kAtomicRollback (their site/price fields keep the original values
+// for forensics).
+//
+// Reason classification is a deterministic precedence over the constraints
+// the engine actually checked:
+//   1. kNoDeadlineFeasibleSite — no site satisfies the QoS deadline at all;
+//   2. kReplicaBudgetSpent     — some deadline-feasible site has room but no
+//                                replica, and the budget K is exhausted;
+//   3. kCapacityExhausted      — every deadline-feasible site lacks residual
+//                                capacity.
+// The classification pass runs only on failure with auditing on; the hot
+// admission scan is untouched, so enabling the audit never changes a plan.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace edgerep::obs {
+
+enum class AuditReason : std::uint8_t {
+  kAdmitted = 0,
+  kNoDeadlineFeasibleSite,
+  kCapacityExhausted,
+  kReplicaBudgetSpent,
+  kAtomicRollback,
+};
+inline constexpr std::size_t kAuditReasonCount = 5;
+
+[[nodiscard]] const char* to_string(AuditReason r) noexcept;
+
+struct AuditEntry {
+  const char* algorithm = "";  ///< static string: "appro", "greedy", ...
+  std::uint32_t query = 0;
+  std::uint32_t demand = 0;    ///< index into the query's demand list
+  std::uint32_t dataset = 0;
+  bool admitted = false;
+  AuditReason reason = AuditReason::kAdmitted;
+  std::uint32_t site = static_cast<std::uint32_t>(-1);  ///< winning site
+  bool placed_replica = false;
+  /// Dual price breakdown of the winning site (admitted entries only).
+  double theta_term = 0.0;     ///< θ_site: capacity price before this demand
+  double capacity_term = 0.0;  ///< need / A(site)
+  double eta_term = 0.0;       ///< η weight · delay / deadline
+  double mu_term = 0.0;        ///< replica-creation surcharge (fresh replicas)
+  double total_price = 0.0;    ///< the argmin price the scan selected
+};
+
+/// Per-query aggregate over a batch of entries, keyed by (algorithm, query).
+/// A query is rejected when any of its demands has a non-admitted entry; its
+/// binding reason is the first non-rollback rejection recorded for it.
+struct AuditSummary {
+  std::size_t admitted_queries = 0;
+  std::size_t rejected_queries = 0;
+  /// Rejected-query counts indexed by AuditReason (kAdmitted slot unused;
+  /// kAtomicRollback counts queries whose only rejection was the rollback
+  /// of a sibling demand — by construction that does not happen, every
+  /// aborted query also logs the failing demand's reason).
+  std::array<std::size_t, kAuditReasonCount> rejected_by_reason{};
+};
+
+[[nodiscard]] AuditSummary summarize_audit(
+    const std::vector<AuditEntry>& entries);
+
+class AuditLog {
+ public:
+  void record(const AuditEntry& e);
+  void record_batch(const std::vector<AuditEntry>& batch);
+  [[nodiscard]] std::vector<AuditEntry> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// {"entries": [...], "summary": {...}} with reason names spelled out.
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<AuditEntry> entries_;
+};
+
+/// Process-wide audit log used by the admission engines.
+AuditLog& audit_log();
+
+}  // namespace edgerep::obs

@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace edgerep::obs {
+
+namespace {
+
+/// JSON-escape a metric name (names are identifiers, but stay strict).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void write_double(std::ostream& os, double v) {
+  // JSON has no inf/nan literals; clamp to null-free sentinels.
+  if (v != v) {
+    os << 0;
+    return;
+  }
+  if (v == std::numeric_limits<double>::infinity()) {
+    os << 1e308;
+    return;
+  }
+  if (v == -std::numeric_limits<double>::infinity()) {
+    os << -1e308;
+    return;
+  }
+  const auto old = os.precision(17);
+  os << v;
+  os.precision(old);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty() || !std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram: upper bounds must be non-empty and strictly ascending");
+  }
+  counts_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::observe(double x) noexcept {
+  if (!metrics_enabled()) return;
+  // Prometheus le semantics: first bucket whose bound is >= x.
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  detail::add_double(sum_, x);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.count(name) || histograms_.count(name)) {
+    throw std::invalid_argument("metric name already used by another kind: " +
+                                name);
+  }
+  auto& slot = counters_[name];
+  if (!slot.second) {
+    slot.first = help;
+    slot.second = std::make_unique<Counter>();
+  }
+  return *slot.second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) || histograms_.count(name)) {
+    throw std::invalid_argument("metric name already used by another kind: " +
+                                name);
+  }
+  auto& slot = gauges_[name];
+  if (!slot.second) {
+    slot.first = help;
+    slot.second = std::make_unique<Gauge>();
+  }
+  return *slot.second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds,
+                                      const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) || gauges_.count(name)) {
+    throw std::invalid_argument("metric name already used by another kind: " +
+                                name);
+  }
+  auto& slot = histograms_[name];
+  if (!slot.second) {
+    slot.first = help;
+    slot.second = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *slot.second;
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : counters_) {
+    if (!entry.first.empty()) os << "# HELP " << name << " " << entry.first << "\n";
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << entry.second->value() << "\n";
+  }
+  for (const auto& [name, entry] : gauges_) {
+    if (!entry.first.empty()) os << "# HELP " << name << " " << entry.first << "\n";
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " ";
+    write_double(os, entry.second->value());
+    os << "\n";
+  }
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.second;
+    if (!entry.first.empty()) os << "# HELP " << name << " " << entry.first << "\n";
+    os << "# TYPE " << name << " histogram\n";
+    const std::vector<std::uint64_t> buckets = h.bucket_counts();
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+      cum += buckets[i];
+      os << name << "_bucket{le=\"";
+      write_double(os, h.upper_bounds()[i]);
+      os << "\"} " << cum << "\n";
+    }
+    cum += buckets.back();
+    os << name << "_bucket{le=\"+Inf\"} " << cum << "\n";
+    os << name << "_sum ";
+    write_double(os, h.sum());
+    os << "\n";
+    os << name << "_count " << cum << "\n";
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, entry] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << entry.second->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, entry] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": ";
+    write_double(os, entry.second->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.second;
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": {\"buckets\": [";
+    const std::vector<std::uint64_t> buckets = h.bucket_counts();
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+      cum += buckets[i];
+      if (i > 0) os << ", ";
+      os << "{\"le\": ";
+      write_double(os, h.upper_bounds()[i]);
+      os << ", \"count\": " << cum << "}";
+    }
+    cum += buckets.back();
+    if (!h.upper_bounds().empty()) os << ", ";
+    os << "{\"le\": \"+Inf\", \"count\": " << cum << "}";
+    os << "], \"sum\": ";
+    write_double(os, h.sum());
+    os << ", \"count\": " << cum << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : counters_) entry.second->reset();
+  for (auto& [name, entry] : gauges_) entry.second->reset();
+  for (auto& [name, entry] : histograms_) entry.second->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace edgerep::obs

@@ -1,0 +1,160 @@
+// Lock-cheap metrics registry: monotonic counters, gauges, and fixed-bucket
+// histograms, with Prometheus-text and JSON exporters.
+//
+// Counters stripe their cells across cache lines and pick a stripe by
+// thread ordinal, so concurrent increments from `parallel_for` workers sum
+// exactly without a shared hot cache line.  All cells are relaxed atomics:
+// a snapshot taken while writers are active is race-free (it may simply
+// miss in-flight increments); a snapshot taken after joining the writers
+// (futures, `parallel_for` return) is exact.
+//
+// When obs::metrics_enabled() is false every mutation is a single relaxed
+// atomic load and an untaken branch — nothing is recorded.
+//
+// Instrumented call sites cache the handle so the name lookup happens once:
+//
+//   if (obs::metrics_enabled()) {
+//     static obs::Counter& c =
+//         obs::metrics().counter("edgerep_appro_runs_total", "appro runs");
+//     c.inc();
+//   }
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace edgerep::obs {
+
+namespace detail {
+/// Portable fetch-add for atomic<double> (CAS loop; relaxed is enough for
+/// statistics accumulation).
+inline void add_double(std::atomic<double>& a, double x) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonic counter with cache-line-striped cells.
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  void inc(std::uint64_t n = 1) noexcept {
+    if (!metrics_enabled()) return;
+    cells_[thread_ordinal() % kStripes].v.fetch_add(n,
+                                                    std::memory_order_relaxed);
+  }
+
+  /// Sum of all stripes.  Exact once writers are joined; a lower bound while
+  /// they run.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_{};
+};
+
+/// Last-write-wins instantaneous value (e.g. queue depth).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!metrics_enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    if (!metrics_enabled()) return;
+    detail::add_double(v_, delta);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` semantics: bucket i counts
+/// observations x ≤ upper_bounds[i]; one implicit +Inf bucket catches the
+/// rest.  Bounds are fixed at registration and must be strictly ascending.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Per-bucket (non-cumulative) counts; last entry is the +Inf bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept {
+    return bounds_;
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size()+1
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name → metric registry.  Registration takes a mutex; returned references
+/// are stable for the registry's lifetime, so call sites cache them and the
+/// hot path never locks.  `reset()` zeroes values but keeps registrations
+/// (cached references stay valid).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// Re-registering an existing histogram returns it unchanged (the bounds
+  /// argument is ignored); a name may hold only one metric kind.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds,
+                       const std::string& help = "");
+
+  /// Prometheus text exposition format (HELP/TYPE comments, cumulative
+  /// histogram buckets with `le` labels).
+  void write_prometheus(std::ostream& os) const;
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} with cumulative bucket counts.
+  void write_json(std::ostream& os) const;
+
+  /// Zero every value, keep every registration.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::pair<std::string, std::unique_ptr<Counter>>>
+      counters_;
+  std::map<std::string, std::pair<std::string, std::unique_ptr<Gauge>>>
+      gauges_;
+  std::map<std::string, std::pair<std::string, std::unique_ptr<Histogram>>>
+      histograms_;
+};
+
+/// Process-wide registry used by all engine instrumentation.
+MetricsRegistry& metrics();
+
+}  // namespace edgerep::obs

@@ -1,0 +1,64 @@
+#include "obs/obs.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace edgerep::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_on{false};
+std::atomic<bool> g_trace_on{false};
+std::atomic<bool> g_audit_on{false};
+
+namespace {
+
+bool env_default() {
+  const char* v = std::getenv("EDGEREP_OBS");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Applies EDGEREP_OBS once during static initialization so main() and tests
+// see the environment default without an explicit init call.
+struct EnvInit {
+  EnvInit() { init_from_env(); }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+}  // namespace detail
+
+void set_metrics_enabled(bool on) noexcept {
+  detail::g_metrics_on.store(on, std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on) noexcept {
+  detail::g_trace_on.store(on, std::memory_order_relaxed);
+}
+void set_audit_enabled(bool on) noexcept {
+  detail::g_audit_on.store(on, std::memory_order_relaxed);
+}
+void set_all_enabled(bool on) noexcept {
+  set_metrics_enabled(on);
+  set_trace_enabled(on);
+  set_audit_enabled(on);
+}
+
+void init_from_env() { set_all_enabled(detail::env_default()); }
+
+std::uint64_t now_ns() noexcept {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+std::size_t thread_ordinal() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace edgerep::obs

@@ -1,0 +1,58 @@
+// Engine-wide observability switches and the shared monotonic clock.
+//
+// Three independently toggleable facets:
+//   metrics — counters / gauges / histograms (obs/metrics.h)
+//   trace   — RAII phase scopes → chrome://tracing JSON (obs/trace.h)
+//   audit   — per-(query, demand) admission decisions (obs/audit.h)
+//
+// All facets default OFF; setting the environment variable EDGEREP_OBS=1
+// turns every facet on at startup (CI runs the whole test suite that way).
+// The `set_*` functions override the environment at any time.
+//
+// Contract: with every facet disabled, instrumented code paths are
+// bit-neutral — they read an atomic flag and do nothing else, so plans,
+// duals, and simulation outcomes are identical to an uninstrumented build.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace edgerep::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_on;
+extern std::atomic<bool> g_trace_on;
+extern std::atomic<bool> g_audit_on;
+}  // namespace detail
+
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return detail::g_metrics_on.load(std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  return detail::g_trace_on.load(std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool audit_enabled() noexcept {
+  return detail::g_audit_on.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) noexcept;
+void set_trace_enabled(bool on) noexcept;
+void set_audit_enabled(bool on) noexcept;
+/// Convenience: flip all three facets at once.
+void set_all_enabled(bool on) noexcept;
+
+/// Re-read EDGEREP_OBS and reset every facet accordingly (tests use this to
+/// restore the process default after toggling flags explicitly).
+void init_from_env();
+
+/// Monotonic nanoseconds since process start.  Shared by LOG timestamps,
+/// the phase tracer, and metric snapshots so all observability output is on
+/// one clock.
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// Small dense per-thread ordinal (0, 1, 2, ...) assigned on first call;
+/// used for counter striping and as the tracer's tid.
+[[nodiscard]] std::size_t thread_ordinal() noexcept;
+
+}  // namespace edgerep::obs

@@ -1,0 +1,60 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+namespace edgerep::obs {
+
+void Tracer::record(const TraceEvent& ev) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(ev);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\": [";
+  const auto old = os.precision(3);
+  os.setf(std::ios::fixed);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"name\": \"" << ev.name
+       << "\", \"cat\": \"edgerep\", \"ph\": \"X\", \"ts\": "
+       << static_cast<double>(ev.start_ns) / 1e3
+       << ", \"dur\": " << static_cast<double>(ev.dur_ns) / 1e3
+       << ", \"pid\": 1, \"tid\": " << ev.tid << "}";
+  }
+  os.unsetf(std::ios::fixed);
+  os.precision(old);
+  os << (events_.empty() ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+TraceScope::~TraceScope() {
+  if (name_ == nullptr) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.start_ns = start_;
+  ev.dur_ns = now_ns() - start_;
+  ev.tid = static_cast<std::uint32_t>(thread_ordinal());
+  tracer().record(ev);
+}
+
+}  // namespace edgerep::obs

@@ -1,0 +1,79 @@
+// RAII phase tracer emitting a chrome://tracing-compatible profile.
+//
+//   void Instance::finalize() {
+//     EDGEREP_TRACE_SCOPE("instance.finalize");
+//     ...
+//     { EDGEREP_TRACE_SCOPE("finalize.delay_table"); compute(); }
+//   }
+//
+// Scopes record complete ("ph":"X") events on obs::now_ns(); nesting shows
+// up as the flame layout chrome://tracing / Perfetto derive from
+// overlapping events on one tid.  Scope names must be string literals (the
+// tracer stores the pointer, not a copy).
+//
+// When obs::trace_enabled() is false a scope costs one relaxed atomic load
+// at construction and one null check at destruction; nothing is recorded.
+// Recording takes a mutex, so scopes belong around phases (finalize, an
+// algorithm run, a simulation), not in per-item inner loops.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace edgerep::obs {
+
+struct TraceEvent {
+  const char* name = "";      ///< static string (scope macro literal)
+  std::uint64_t start_ns = 0;  ///< obs::now_ns() at scope entry
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;       ///< obs::thread_ordinal() of the recording thread
+};
+
+class Tracer {
+ public:
+  void record(const TraceEvent& ev);
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}, ts/dur in µs) —
+  /// loadable in chrome://tracing and Perfetto.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Process-wide tracer used by all engine instrumentation.
+Tracer& tracer();
+
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) noexcept {
+    if (trace_enabled()) {
+      name_ = name;
+      start_ = now_ns();
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope();
+
+ private:
+  const char* name_ = nullptr;  ///< null when tracing was off at entry
+  std::uint64_t start_ = 0;
+};
+
+#define EDGEREP_TRACE_CONCAT_IMPL(a, b) a##b
+#define EDGEREP_TRACE_CONCAT(a, b) EDGEREP_TRACE_CONCAT_IMPL(a, b)
+/// Trace the enclosing scope under `name` (a string literal).
+#define EDGEREP_TRACE_SCOPE(name)          \
+  ::edgerep::obs::TraceScope EDGEREP_TRACE_CONCAT(edgerep_trace_scope_, \
+                                                  __COUNTER__)(name)
+
+}  // namespace edgerep::obs

@@ -25,6 +25,11 @@ SimReport build_report(const Instance& inst,
                        ? static_cast<double>(rep.admitted_queries) /
                              static_cast<double>(rep.total_queries)
                        : 0.0;
+  // Zero-served / empty-outcomes runs must aggregate to exact zeros:
+  // `summarize` on an empty sample returns a zero Summary (never NaN), and
+  // makespan keeps its 0 initializer.  Guarded here anyway so the report's
+  // contract does not depend on the stats helper's empty-set behaviour —
+  // tests/sim/metrics_report_test.cpp pins both paths.
   if (!responses.empty()) {
     const Summary s = summarize(responses);
     rep.mean_response = s.mean;

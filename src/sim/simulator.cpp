@@ -9,6 +9,8 @@
 
 #include "cloud/delay.h"
 #include "net/shortest_path.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event.h"
 #include "sim/flows.h"
 #include "util/rng.h"
@@ -224,6 +226,7 @@ std::vector<EdgeId> path_edges(const Graph& g,
 }  // namespace
 
 SimReport simulate(const ReplicaPlan& plan, const SimConfig& cfg) {
+  EDGEREP_TRACE_SCOPE("sim.simulate");
   const Instance& inst = plan.instance();
   EventQueue eq;
   Rng rng(cfg.seed);
@@ -313,7 +316,11 @@ SimReport simulate(const ReplicaPlan& plan, const SimConfig& cfg) {
     }
   }
 
-  const std::size_t executed = eq.run(cfg.max_events);
+  std::size_t executed = 0;
+  {
+    EDGEREP_TRACE_SCOPE("sim.run_events");
+    executed = eq.run(cfg.max_events);
+  }
   if (executed >= cfg.max_events) {
     throw std::runtime_error("simulate: event budget exhausted (livelock?)");
   }
@@ -330,6 +337,31 @@ SimReport simulate(const ReplicaPlan& plan, const SimConfig& cfg) {
     o.met_deadline =
         o.fully_served && o.response_delay() <= q.deadline + 1e-9;
     outcomes.push_back(o);
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& sims = obs::metrics().counter(
+        "edgerep_sim_runs_total", "simulate() calls");
+    static obs::Counter& events = obs::metrics().counter(
+        "edgerep_sim_events_executed_total",
+        "discrete events executed by the testbed simulator");
+    static obs::Counter& served = obs::metrics().counter(
+        "edgerep_sim_queries_served_total",
+        "queries fully served on the testbed");
+    static obs::Counter& missed = obs::metrics().counter(
+        "edgerep_sim_deadline_misses_total",
+        "served queries that missed their QoS deadline");
+    static obs::Histogram& response = obs::metrics().histogram(
+        "edgerep_sim_response_seconds",
+        {0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0},
+        "end-to-end response delay of served queries");
+    sims.inc();
+    events.inc(executed);
+    for (const QueryOutcome& o : outcomes) {
+      if (!o.fully_served) continue;
+      served.inc();
+      if (!o.met_deadline) missed.inc();
+      response.observe(o.response_delay());
+    }
   }
   return build_report(inst, std::move(outcomes));
 }

@@ -1,8 +1,12 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+
+#include "obs/obs.h"
 
 namespace edgerep {
 
@@ -31,10 +35,34 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
+bool set_log_level_from_env(const char* var) {
+  const char* value = std::getenv(var);
+  if (value == nullptr || value[0] == '\0') return false;
+  std::string lower;
+  for (const char* p = value; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug") {
+    set_log_level(LogLevel::kDebug);
+  } else if (lower == "info") {
+    set_log_level(LogLevel::kInfo);
+  } else if (lower == "warn" || lower == "warning") {
+    set_log_level(LogLevel::kWarn);
+  } else if (lower == "error") {
+    set_log_level(LogLevel::kError);
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
+  const double seconds = static_cast<double>(obs::now_ns()) / 1e9;
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "[%9.3fs %s] %s\n", seconds, level_name(level),
+               message.c_str());
 }
 
 }  // namespace edgerep

@@ -13,7 +13,15 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emit one formatted line ("[LEVEL] message") to stderr under a mutex.
+/// Apply a level named by the environment variable `var`
+/// (debug|info|warn|error, case-insensitive).  Unset or unrecognized values
+/// leave the level unchanged; returns true when a level was applied.
+/// Entry points (edgerep_cli, bench_json) call this at startup.
+bool set_log_level_from_env(const char* var = "EDGEREP_LOG");
+
+/// Emit one formatted line ("[   12.345s LEVEL] message") to stderr under a
+/// mutex; the timestamp is obs::now_ns() (seconds since process start), the
+/// same clock the phase tracer stamps events with.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

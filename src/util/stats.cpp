@@ -50,9 +50,10 @@ double RunningStat::sem() const noexcept {
 double RunningStat::ci95_halfwidth() const noexcept { return 1.96 * sem(); }
 
 double percentile_sorted(std::span<const double> sorted, double p) noexcept {
-  assert(!sorted.empty());
   assert(p >= 0.0 && p <= 100.0);
+  if (sorted.empty()) return 0.0;  // empty sample: defined result, no UB
   if (sorted.size() == 1) return sorted[0];
+  p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);

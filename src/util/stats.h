@@ -53,6 +53,7 @@ struct Summary {
 Summary summarize(std::span<const double> xs);
 
 /// Linear-interpolated percentile of a *sorted* sample, p in [0, 100].
+/// An empty sample yields 0.0 (not UB); p is clamped into [0, 100].
 double percentile_sorted(std::span<const double> sorted, double p) noexcept;
 
 /// Pretty "mean ± ci95" string with the given precision.

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace edgerep {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -26,6 +28,17 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+namespace detail {
+
+void note_queue_depth(std::size_t depth) noexcept {
+  if (!obs::metrics_enabled()) return;
+  static obs::Gauge& depth_gauge = obs::metrics().gauge(
+      "edgerep_pool_queue_depth", "tasks waiting in the shared pool queue");
+  depth_gauge.set(static_cast<double>(depth));
+}
+
+}  // namespace detail
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -35,14 +48,30 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop();
+      detail::note_queue_depth(queue_.size());
     }
     task();
+    if (obs::metrics_enabled()) {
+      static obs::Counter& executed = obs::metrics().counter(
+          "edgerep_pool_tasks_executed_total",
+          "tasks executed by the shared pool workers");
+      executed.inc();
+    }
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  if (obs::metrics_enabled()) {
+    static obs::Counter& calls = obs::metrics().counter(
+        "edgerep_pool_parallel_for_total", "parallel_for invocations");
+    static obs::Counter& items = obs::metrics().counter(
+        "edgerep_pool_parallel_for_items_total",
+        "work items dispatched through parallel_for");
+    calls.inc();
+    items.inc(n);
+  }
   if (n == 1 || size() == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;

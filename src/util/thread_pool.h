@@ -16,6 +16,13 @@
 
 namespace edgerep {
 
+namespace detail {
+/// Observability hook: records the shared task-queue depth into the
+/// `edgerep_pool_queue_depth` gauge (no-op while metrics are disabled).
+/// Out-of-line so this header does not pull in the metrics registry.
+void note_queue_depth(std::size_t depth) noexcept;
+}  // namespace detail
+
 /// Work-item count above which data-parallel helpers fan out onto the
 /// global pool; below it the dispatch overhead outweighs the work.  Shared
 /// by DelayMatrix::compute, DelayTable::compute, and hop_diameter so the
@@ -44,6 +51,7 @@ class ThreadPool {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
       queue_.emplace([task] { (*task)(); });
+      detail::note_queue_depth(queue_.size());
     }
     cv_.notify_one();
     return fut;

@@ -1,0 +1,145 @@
+// Bit-neutrality contract of the observability layer: enabling metrics,
+// tracing, and the admission audit must not change a single bit of engine
+// output.  Plans (serialized), dual objectives, and simulated reports are
+// compared across obs-off and obs-on runs of the same inputs, and the audit
+// log's per-query verdicts are cross-checked against the plan's own
+// admission counts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "baselines/greedy.h"
+#include "cloud/plan_io.h"
+#include "core/appro.h"
+#include "core/local_search.h"
+#include "helpers/fixtures.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace edgerep {
+namespace {
+
+class ObsEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_all_enabled(false);
+    obs::audit_log().clear();
+    obs::tracer().clear();
+  }
+  void TearDown() override {
+    obs::set_all_enabled(false);
+    obs::audit_log().clear();
+    obs::tracer().clear();
+    obs::init_from_env();
+  }
+
+  static std::string serialize(const ReplicaPlan& plan) {
+    std::ostringstream os;
+    write_plan(os, plan);
+    return os.str();
+  }
+};
+
+TEST_F(ObsEquivalenceTest, ApproPlanAndDualsAreBitIdentical) {
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    const Instance inst = testing::medium_instance(seed);
+
+    obs::set_all_enabled(false);
+    const ApproResult off = appro_g(inst);
+
+    obs::set_all_enabled(true);
+    const ApproResult on = appro_g(inst);
+    obs::set_all_enabled(false);
+
+    EXPECT_EQ(serialize(off.plan), serialize(on.plan)) << "seed " << seed;
+    EXPECT_EQ(off.dual_objective, on.dual_objective) << "seed " << seed;
+    EXPECT_EQ(off.metrics.admitted_queries, on.metrics.admitted_queries);
+    EXPECT_EQ(off.metrics.admitted_volume, on.metrics.admitted_volume);
+  }
+}
+
+TEST_F(ObsEquivalenceTest, GreedyPlanIsBitIdentical) {
+  for (const std::uint64_t seed : {3u, 11u}) {
+    const Instance inst = testing::medium_instance(seed);
+
+    obs::set_all_enabled(false);
+    const BaselineResult off = greedy_g(inst);
+
+    obs::set_all_enabled(true);
+    const BaselineResult on = greedy_g(inst);
+    obs::set_all_enabled(false);
+
+    EXPECT_EQ(serialize(off.plan), serialize(on.plan)) << "seed " << seed;
+    EXPECT_EQ(off.demands_assigned, on.demands_assigned);
+    EXPECT_EQ(off.demands_rejected, on.demands_rejected);
+  }
+}
+
+TEST_F(ObsEquivalenceTest, LocalSearchIsBitIdentical) {
+  const Instance inst = testing::medium_instance(5);
+  obs::set_all_enabled(false);
+  const LocalSearchResult off = improve_plan(appro_g(inst).plan);
+  obs::set_all_enabled(true);
+  const LocalSearchResult on = improve_plan(appro_g(inst).plan);
+  obs::set_all_enabled(false);
+  EXPECT_EQ(serialize(off.plan), serialize(on.plan));
+  EXPECT_EQ(off.passes, on.passes);
+  EXPECT_EQ(off.relocations, on.relocations);
+}
+
+TEST_F(ObsEquivalenceTest, SimulatedReportIsBitIdentical) {
+  const Instance inst = testing::medium_instance(9);
+  obs::set_all_enabled(false);
+  const ReplicaPlan plan = appro_g(inst).plan;
+  SimConfig cfg;
+  cfg.seed = 1234;
+
+  const SimReport off = simulate(plan, cfg);
+  obs::set_all_enabled(true);
+  const SimReport on = simulate(plan, cfg);
+  obs::set_all_enabled(false);
+
+  EXPECT_EQ(off.served_queries, on.served_queries);
+  EXPECT_EQ(off.admitted_queries, on.admitted_queries);
+  EXPECT_EQ(off.admitted_volume, on.admitted_volume);
+  EXPECT_EQ(off.mean_response, on.mean_response);
+  EXPECT_EQ(off.p95_response, on.p95_response);
+  EXPECT_EQ(off.max_response, on.max_response);
+  EXPECT_EQ(off.makespan, on.makespan);
+  ASSERT_EQ(off.outcomes.size(), on.outcomes.size());
+  for (std::size_t i = 0; i < off.outcomes.size(); ++i) {
+    EXPECT_EQ(off.outcomes[i].completion_time, on.outcomes[i].completion_time);
+    EXPECT_EQ(off.outcomes[i].met_deadline, on.outcomes[i].met_deadline);
+  }
+}
+
+TEST_F(ObsEquivalenceTest, AuditVerdictsMatchPlanAdmissionCounts) {
+  // The audit log is not just bit-neutral: its per-query verdicts must agree
+  // with the plan, and every rejected query must carry a concrete reason
+  // (reasons sum to total - admitted).
+  for (const std::uint64_t seed : {2u, 13u}) {
+    const Instance inst = testing::medium_instance(seed);
+    obs::audit_log().clear();
+    obs::set_audit_enabled(true);
+    const ApproResult res = appro_g(inst);
+    obs::set_audit_enabled(false);
+
+    const obs::AuditSummary s =
+        summarize_audit(obs::audit_log().snapshot());
+    EXPECT_EQ(s.admitted_queries, res.metrics.admitted_queries)
+        << "seed " << seed;
+    EXPECT_EQ(s.admitted_queries + s.rejected_queries, inst.queries().size())
+        << "seed " << seed;
+    std::size_t by_reason = 0;
+    for (const std::size_t n : s.rejected_by_reason) by_reason += n;
+    EXPECT_EQ(by_reason, inst.queries().size() - res.metrics.admitted_queries)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace edgerep {
+namespace {
+
+/// Every test runs with metrics on and restores the process default after.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::set_metrics_enabled(true); }
+  void TearDown() override {
+    obs::set_metrics_enabled(false);
+    obs::init_from_env();
+  }
+};
+
+TEST_F(MetricsTest, CounterIncrementAndValue) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsSumExactly) {
+  // parallel_for joins its workers before returning, so the striped cells
+  // must sum to exactly n — no lost updates, no double counts.
+  obs::Counter c;
+  constexpr std::size_t kN = 100000;
+  global_pool().parallel_for(kN, [&](std::size_t) { c.inc(); });
+  EXPECT_EQ(c.value(), kN);
+  global_pool().parallel_for(kN, [&](std::size_t) { c.inc(2); });
+  EXPECT_EQ(c.value(), 3 * kN);
+}
+
+TEST_F(MetricsTest, SnapshotWhileWritingIsRaceFree) {
+  // Readers (value(), exporters) may run while writers increment: relaxed
+  // atomics everywhere, so this must be clean under TSan/ASan and every
+  // observed value must be a plausible partial sum.
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("inflight_total", "racing counter");
+  constexpr std::uint64_t kPerWriter = 20000;
+  std::vector<std::future<void>> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.push_back(global_pool().submit([&c] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) c.inc();
+    }));
+  }
+  std::uint64_t last = 0;
+  for (int r = 0; r < 50; ++r) {
+    const std::uint64_t v = c.value();
+    EXPECT_LE(last, v);  // monotonic: increments are never lost
+    last = v;
+    std::ostringstream os;
+    reg.write_prometheus(os);
+    EXPECT_NE(os.str().find("inflight_total"), std::string::npos);
+  }
+  for (auto& f : writers) f.get();
+  EXPECT_EQ(c.value(), 4 * kPerWriter);
+}
+
+TEST_F(MetricsTest, DisabledModeRecordsNothing) {
+  obs::set_metrics_enabled(false);
+  obs::Counter c;
+  c.inc(100);
+  EXPECT_EQ(c.value(), 0u);
+  obs::Gauge g;
+  g.set(3.5);
+  g.add(1.0);
+  EXPECT_EQ(g.value(), 0.0);
+  obs::Histogram h({1.0, 2.0});
+  h.observe(1.5);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST_F(MetricsTest, GaugeSetAndAdd) {
+  obs::Gauge g;
+  g.set(7.0);
+  EXPECT_EQ(g.value(), 7.0);
+  g.add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+  g.set(1.0);  // last write wins
+  EXPECT_EQ(g.value(), 1.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundaries) {
+  // Prometheus `le` semantics: bucket i counts x <= bounds[i]; an
+  // observation exactly on a boundary lands in that bucket, and anything
+  // above the last bound goes to the implicit +Inf bucket.
+  obs::Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (boundary inclusive)
+  h.observe(1.5);   // bucket 1
+  h.observe(5.0);   // bucket 2 (boundary inclusive)
+  h.observe(100.0); // +Inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 108.0);
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST_F(MetricsTest, HistogramRejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram({}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableReferences) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x_total", "help");
+  obs::Counter& b = reg.counter("x_total");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST_F(MetricsTest, RegistryRejectsCrossKindNames) {
+  obs::MetricsRegistry reg;
+  reg.counter("name_total");
+  EXPECT_THROW(reg.gauge("name_total"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("name_total", {1.0}), std::invalid_argument);
+}
+
+TEST_F(MetricsTest, RegistryResetZeroesButKeepsRegistrations) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c_total");
+  obs::Gauge& g = reg.gauge("g");
+  obs::Histogram& h = reg.histogram("h_seconds", {1.0, 2.0});
+  c.inc(5);
+  g.set(2.0);
+  h.observe(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // cached reference still valid
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(&c, &reg.counter("c_total"));
+}
+
+TEST_F(MetricsTest, PrometheusExposition) {
+  obs::MetricsRegistry reg;
+  reg.counter("requests_total", "requests seen").inc(3);
+  reg.gauge("depth", "queue depth").set(2.0);
+  obs::Histogram& h = reg.histogram("latency_seconds", {1.0, 2.0}, "latency");
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# HELP requests_total requests seen"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_seconds histogram"), std::string::npos);
+  // Cumulative buckets: le="2" includes the le="1" observation.
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 3"), std::string::npos);
+}
+
+TEST_F(MetricsTest, JsonExport) {
+  obs::MetricsRegistry reg;
+  reg.counter("c_total").inc(2);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h", {1.0}).observe(0.5);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string text = os.str();
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("\"c_total\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(text.find("\"+Inf\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, GlobalRegistryIsASingleton) {
+  obs::Counter& c = obs::metrics().counter("metrics_test_singleton_total");
+  const std::uint64_t before = c.value();
+  obs::metrics().counter("metrics_test_singleton_total").inc();
+  EXPECT_EQ(c.value(), before + 1);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,104 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace edgerep {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::tracer().clear();
+    obs::set_trace_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_trace_enabled(false);
+    obs::tracer().clear();
+    obs::init_from_env();
+  }
+};
+
+TEST_F(TraceTest, ScopeRecordsCompleteEvent) {
+  {
+    EDGEREP_TRACE_SCOPE("test.outer");
+  }
+  ASSERT_EQ(obs::tracer().size(), 1u);
+  const std::vector<obs::TraceEvent> evs = obs::tracer().snapshot();
+  EXPECT_STREQ(evs[0].name, "test.outer");
+  EXPECT_LE(evs[0].start_ns, evs[0].start_ns + evs[0].dur_ns);
+}
+
+TEST_F(TraceTest, NestedScopesRecordInCloseOrder) {
+  {
+    EDGEREP_TRACE_SCOPE("test.outer");
+    {
+      EDGEREP_TRACE_SCOPE("test.inner");
+    }
+  }
+  const std::vector<obs::TraceEvent> evs = obs::tracer().snapshot();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_STREQ(evs[0].name, "test.inner");  // inner destructs first
+  EXPECT_STREQ(evs[1].name, "test.outer");
+  // The outer event encloses the inner one (same thread, same clock).
+  EXPECT_LE(evs[1].start_ns, evs[0].start_ns);
+  EXPECT_EQ(evs[0].tid, evs[1].tid);
+}
+
+TEST_F(TraceTest, DisabledScopeRecordsNothing) {
+  obs::set_trace_enabled(false);
+  {
+    EDGEREP_TRACE_SCOPE("test.ignored");
+  }
+  EXPECT_EQ(obs::tracer().size(), 0u);
+}
+
+TEST_F(TraceTest, EnableStateIsSampledAtScopeEntry) {
+  // A scope that was disabled at entry records nothing even if tracing is
+  // switched on before it closes — and vice versa.
+  obs::set_trace_enabled(false);
+  {
+    EDGEREP_TRACE_SCOPE("test.off_at_entry");
+    obs::set_trace_enabled(true);
+  }
+  EXPECT_EQ(obs::tracer().size(), 0u);
+  {
+    EDGEREP_TRACE_SCOPE("test.on_at_entry");
+    obs::set_trace_enabled(false);
+  }
+  ASSERT_EQ(obs::tracer().size(), 1u);
+  EXPECT_STREQ(obs::tracer().snapshot()[0].name, "test.on_at_entry");
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  {
+    EDGEREP_TRACE_SCOPE("test.phase");
+  }
+  std::ostringstream os;
+  obs::tracer().write_chrome_json(os);
+  const std::string text = os.str();
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"test.phase\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"cat\": \"edgerep\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearEmptiesTheBuffer) {
+  {
+    EDGEREP_TRACE_SCOPE("test.phase");
+  }
+  EXPECT_EQ(obs::tracer().size(), 1u);
+  obs::tracer().clear();
+  EXPECT_EQ(obs::tracer().size(), 0u);
+  std::ostringstream os;
+  obs::tracer().write_chrome_json(os);
+  EXPECT_NE(os.str().find("\"traceEvents\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edgerep

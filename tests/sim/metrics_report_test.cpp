@@ -1,0 +1,67 @@
+// Regression tests for SimReport aggregation over degenerate outcome sets:
+// no outcomes at all, and outcomes where nothing was fully served.  The
+// response statistics must come out as exact zeros (never NaN or garbage
+// from an empty percentile).
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+TEST(SimReportTest, EmptyOutcomesYieldZeroedReport) {
+  const Instance inst = testing::TinyFixture::make();
+  const SimReport rep = build_report(inst, {});
+  EXPECT_EQ(rep.total_queries, inst.queries().size());
+  EXPECT_EQ(rep.served_queries, 0u);
+  EXPECT_EQ(rep.admitted_queries, 0u);
+  EXPECT_EQ(rep.admitted_volume, 0.0);
+  EXPECT_EQ(rep.throughput, 0.0);
+  EXPECT_EQ(rep.mean_response, 0.0);
+  EXPECT_EQ(rep.p95_response, 0.0);
+  EXPECT_EQ(rep.max_response, 0.0);
+  EXPECT_EQ(rep.makespan, 0.0);
+  EXPECT_FALSE(std::isnan(rep.mean_response));
+  EXPECT_FALSE(std::isnan(rep.p95_response));
+}
+
+TEST(SimReportTest, NoFullyServedOutcomesYieldZeroResponseStats) {
+  const Instance inst = testing::TinyFixture::make();
+  QueryOutcome never_served;
+  never_served.query = 0;
+  never_served.issue_time = 1.0;
+  never_served.fully_served = false;
+  const SimReport rep = build_report(inst, {never_served});
+  EXPECT_EQ(rep.served_queries, 0u);
+  EXPECT_EQ(rep.admitted_queries, 0u);
+  EXPECT_EQ(rep.throughput, 0.0);
+  EXPECT_EQ(rep.mean_response, 0.0);
+  EXPECT_EQ(rep.p95_response, 0.0);
+  EXPECT_EQ(rep.max_response, 0.0);
+  EXPECT_EQ(rep.makespan, 0.0);
+}
+
+TEST(SimReportTest, ServedButMissedDeadlineCountsAsServedOnly) {
+  const Instance inst = testing::TinyFixture::make(/*deadline=*/1.0);
+  QueryOutcome o;
+  o.query = 0;
+  o.issue_time = 0.0;
+  o.completion_time = 5.0;  // served, way past the 1.0 s deadline
+  o.fully_served = true;
+  o.met_deadline = false;
+  const SimReport rep = build_report(inst, {o});
+  EXPECT_EQ(rep.served_queries, 1u);
+  EXPECT_EQ(rep.admitted_queries, 0u);
+  EXPECT_EQ(rep.admitted_volume, 0.0);
+  EXPECT_DOUBLE_EQ(rep.mean_response, 5.0);
+  EXPECT_DOUBLE_EQ(rep.p95_response, 5.0);
+  EXPECT_DOUBLE_EQ(rep.max_response, 5.0);
+  EXPECT_DOUBLE_EQ(rep.makespan, 5.0);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace edgerep {
 namespace {
 
@@ -40,6 +42,30 @@ TEST_F(LogTest, SuppressedLevelSkipsEvaluationCost) {
   LOG(kDebug) << expensive();
   EXPECT_EQ(evaluations, 0) << "stream arguments of suppressed levels must "
                                "not be evaluated";
+}
+
+TEST_F(LogTest, EnvVariableSetsLevel) {
+  ::setenv("EDGEREP_LOG_TEST_VAR", "debug", 1);
+  EXPECT_TRUE(set_log_level_from_env("EDGEREP_LOG_TEST_VAR"));
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  ::setenv("EDGEREP_LOG_TEST_VAR", "ERROR", 1);  // case-insensitive
+  EXPECT_TRUE(set_log_level_from_env("EDGEREP_LOG_TEST_VAR"));
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  ::setenv("EDGEREP_LOG_TEST_VAR", "warning", 1);  // alias for warn
+  EXPECT_TRUE(set_log_level_from_env("EDGEREP_LOG_TEST_VAR"));
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  ::unsetenv("EDGEREP_LOG_TEST_VAR");
+}
+
+TEST_F(LogTest, UnsetOrUnknownEnvLeavesLevelUnchanged) {
+  set_log_level(LogLevel::kWarn);
+  ::unsetenv("EDGEREP_LOG_TEST_VAR");
+  EXPECT_FALSE(set_log_level_from_env("EDGEREP_LOG_TEST_VAR"));
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  ::setenv("EDGEREP_LOG_TEST_VAR", "loudest", 1);
+  EXPECT_FALSE(set_log_level_from_env("EDGEREP_LOG_TEST_VAR"));
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  ::unsetenv("EDGEREP_LOG_TEST_VAR");
 }
 
 }  // namespace

@@ -95,6 +95,10 @@ TEST(PercentileSorted, SingleElement) {
   EXPECT_DOUBLE_EQ(percentile_sorted(v, 37.0), 7.0);
 }
 
+TEST(PercentileSorted, EmptyYieldsZero) {
+  EXPECT_DOUBLE_EQ(percentile_sorted(std::vector<double>{}, 95.0), 0.0);
+}
+
 TEST(Summarize, Basic) {
   const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
   const Summary s = summarize(xs);

@@ -114,7 +114,46 @@ int emit_appro(const std::string& out_path, int reps) {
               << " ns/query, speedup " << speedup << "x\n";
   }
 
-  out << "  ]\n}\n";
+  // Observability overhead on the largest G case: the same workload timed
+  // with every obs facet off and again with metrics+trace+audit recording,
+  // plus a snapshot of the engine counters accumulated by the enabled run.
+  {
+    const CaseSpec& c = cases.back();
+    WorkloadConfig cfg;
+    cfg.network_size = c.network;
+    cfg.min_queries = c.queries;
+    cfg.max_queries = c.queries;
+    cfg.min_datasets_per_query = 1;
+    cfg.max_datasets_per_query = c.f_max;
+    const Instance inst = generate_instance(cfg, /*seed=*/42);
+
+    obs::set_all_enabled(false);
+    const double off_ns = median_ns_per_query(inst, {}, c.queries, reps);
+    obs::set_all_enabled(true);
+    obs::metrics().reset();
+    obs::tracer().clear();
+    obs::audit_log().clear();
+    const double on_ns = median_ns_per_query(inst, {}, c.queries, reps);
+    obs::set_all_enabled(false);
+
+    out << "  ],\n"
+        << "  \"obs_overhead\": {\"case\": \"" << c.name
+        << "\", \"network_size\": " << c.network << ", \"queries\": "
+        << c.queries << ", \"disabled_ns_per_query\": "
+        << static_cast<long long>(off_ns) << ", \"enabled_ns_per_query\": "
+        << static_cast<long long>(on_ns) << ", \"overhead_pct\": "
+        << round2((on_ns / off_ns - 1.0) * 100.0) << "},\n"
+        << "  \"counters\": ";
+    obs::metrics().write_json(out);
+    out << "\n}\n";
+    obs::tracer().clear();
+    obs::audit_log().clear();
+
+    std::cerr << "obs overhead on " << c.name << " " << c.network << "x"
+              << c.queries << ": off " << static_cast<long long>(off_ns)
+              << " ns/query, on " << static_cast<long long>(on_ns)
+              << " ns/query (" << (on_ns / off_ns - 1.0) * 100.0 << "%)\n";
+  }
   std::cerr << "wrote " << out_path << "\n";
   return 0;
 }
@@ -205,6 +244,7 @@ int emit_substrate(const std::string& out_path, int reps) {
 }
 
 int run(int argc, char** argv) {
+  set_log_level_from_env();
   const Args args(argc, argv);
   const int reps = std::max(1, static_cast<int>(args.get_int("reps", 9)));
   const int substrate_reps =

@@ -16,6 +16,7 @@
 //   edgerep_cli simulate --instance inst.txt --plan plan.txt --discipline ps
 //   edgerep_cli analyze --instance inst.txt --plan plan.txt --failure-prob 0.1
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 
@@ -44,7 +45,14 @@ int usage() {
       "           [--growth G] [--trials N] [--seed S]\n"
       "  online   --instance FILE [--plan FILE] [--arrival-rate R]\n"
       "           [--no-reactive] [--seed S]\n"
-      "  diff     --instance FILE --plan FILE --plan2 FILE\n";
+      "  diff     --instance FILE --plan FILE --plan2 FILE\n"
+      "\n"
+      "observability (any command):\n"
+      "  --metrics-out FILE   write engine counters/gauges/histograms\n"
+      "                       (.prom/.txt: Prometheus text, else JSON)\n"
+      "  --trace-out FILE     write chrome://tracing JSON of engine phases\n"
+      "  --audit-out FILE     write per-demand admission audit log (JSON)\n"
+      "environment: EDGEREP_LOG=debug|info|warn|error, EDGEREP_OBS=1\n";
   return 2;
 }
 
@@ -272,10 +280,53 @@ int cmd_online(const Args& args) {
   return 0;
 }
 
-int dispatch(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  const Args args(argc - 1, argv + 1);
+/// True when `path` asks for Prometheus text exposition (else JSON).
+bool wants_prometheus(const std::string& path) {
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string ext = path.substr(dot);
+  return ext == ".prom" || ext == ".txt";
+}
+
+/// Parse the global --metrics-out/--trace-out/--audit-out flags and switch
+/// the matching obs facets on *before* the command runs.  Returns a closure
+/// that writes the requested files once the command has finished.
+std::function<void()> setup_observability(const Args& args) {
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string audit_out = args.get("audit-out", "");
+  if (!metrics_out.empty()) obs::set_metrics_enabled(true);
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
+  if (!audit_out.empty()) obs::set_audit_enabled(true);
+  return [metrics_out, trace_out, audit_out] {
+    auto open = [](const std::string& path) {
+      std::ofstream os(path);
+      if (!os) throw std::runtime_error("cannot open output file: " + path);
+      return os;
+    };
+    if (!metrics_out.empty()) {
+      std::ofstream os = open(metrics_out);
+      if (wants_prometheus(metrics_out)) {
+        obs::metrics().write_prometheus(os);
+      } else {
+        obs::metrics().write_json(os);
+      }
+      std::cout << "metrics written to " << metrics_out << "\n";
+    }
+    if (!trace_out.empty()) {
+      std::ofstream os = open(trace_out);
+      obs::tracer().write_chrome_json(os);
+      std::cout << "trace written to " << trace_out << "\n";
+    }
+    if (!audit_out.empty()) {
+      std::ofstream os = open(audit_out);
+      obs::audit_log().write_json(os);
+      std::cout << "audit log written to " << audit_out << "\n";
+    }
+  };
+}
+
+int run_command(const std::string& cmd, const Args& args) {
   if (cmd == "generate") return cmd_generate(args);
   if (cmd == "solve") return cmd_solve(args);
   if (cmd == "validate") return cmd_validate(args);
@@ -290,6 +341,17 @@ int dispatch(int argc, char** argv) {
   }
   std::cerr << "unknown command: " << cmd << "\n";
   return usage();
+}
+
+int dispatch(int argc, char** argv) {
+  set_log_level_from_env();
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc - 1, argv + 1);
+  const std::function<void()> flush_obs = setup_observability(args);
+  const int rc = run_command(cmd, args);
+  flush_obs();  // skipped when the command throws: no partial files
+  return rc;
 }
 
 }  // namespace
