@@ -1,0 +1,88 @@
+// Failure-repair microbenchmarks: incremental primal-dual repair vs the
+// full-recompute oracle after a crash of the most-loaded site, plus the
+// fault-model primitives the repair path leans on (event application and
+// masked-Dijkstra delay overlay rebuilds).
+#include <benchmark/benchmark.h>
+
+#include "edgerep/edgerep.h"
+
+namespace edgerep {
+namespace {
+
+Instance bench_instance(std::size_t network, std::size_t queries) {
+  WorkloadConfig cfg;
+  cfg.network_size = network;
+  cfg.min_queries = queries;
+  cfg.max_queries = queries;
+  cfg.min_datasets_per_query = 1;
+  cfg.max_datasets_per_query = 5;
+  return generate_instance(cfg, /*seed=*/42);
+}
+
+SiteId most_loaded_site(const Instance& inst, const ReplicaPlan& plan) {
+  SiteId victim = 0;
+  for (const Site& s : inst.sites()) {
+    if (plan.load(s.id) > plan.load(victim)) victim = s.id;
+  }
+  return victim;
+}
+
+void repair_benchmark(benchmark::State& state, bool full_recompute) {
+  const Instance inst =
+      bench_instance(static_cast<std::size_t>(state.range(0)),
+                     static_cast<std::size_t>(state.range(1)));
+  const ApproResult solved = appro_g(inst);
+  FaultState faults(inst);
+  faults.apply({0.0, FaultKind::kSiteDown, most_loaded_site(inst, solved.plan),
+                kInvalidEdge, 0.0});
+  const RepairEngine engine(inst);
+  RepairOptions opts;
+  opts.full_recompute = full_recompute;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ReplicaPlan plan = solved.plan;
+    DualState duals = solved.duals;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.repair(plan, duals, faults, opts));
+  }
+}
+
+void BM_RepairIncremental(benchmark::State& state) {
+  repair_benchmark(state, /*full_recompute=*/false);
+}
+BENCHMARK(BM_RepairIncremental)->Args({32, 100})->Args({64, 250});
+
+void BM_RepairFullRecompute(benchmark::State& state) {
+  repair_benchmark(state, /*full_recompute=*/true);
+}
+BENCHMARK(BM_RepairFullRecompute)->Args({32, 100})->Args({64, 250});
+
+void BM_FaultStateApply(benchmark::State& state) {
+  const Instance inst = bench_instance(64, 250);
+  const FaultEvent down{0.0, FaultKind::kSiteDown, 0, kInvalidEdge, 0.0};
+  const FaultEvent up{1.0, FaultKind::kSiteUp, 0, kInvalidEdge, 0.0};
+  FaultState faults(inst);
+  for (auto _ : state) {
+    faults.apply(down);
+    faults.apply(up);
+  }
+  benchmark::DoNotOptimize(faults.events_applied());
+}
+BENCHMARK(BM_FaultStateApply);
+
+// One link-down event then a delay query: pays the lazy per-site Dijkstra
+// overlay rebuild with the downed edge masked.
+void BM_MaskedOverlayRebuild(benchmark::State& state) {
+  const Instance inst = bench_instance(64, 250);
+  for (auto _ : state) {
+    FaultState faults(inst);
+    faults.apply({0.0, FaultKind::kLinkDown, kInvalidSite, 0, 0.0});
+    benchmark::DoNotOptimize(faults.path_delay(0, 1));
+  }
+}
+BENCHMARK(BM_MaskedOverlayRebuild);
+
+}  // namespace
+}  // namespace edgerep
+
+BENCHMARK_MAIN();

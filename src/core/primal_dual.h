@@ -29,6 +29,15 @@ class DualState {
   /// Raise θ_l by the relative load `amount / A(v_l)` (uniform raising step).
   void raise_theta(SiteId l, double resource_amount);
 
+  /// Directly re-price θ_l (journaled).  The repair engine uses this to
+  /// reset a site's capacity price to `load / effective availability` after
+  /// a failure changes A(v_l) or evicts committed load — uniform raising
+  /// then continues from the re-priced value.
+  void set_theta(SiteId l, double v) {
+    journal(Var::kTheta, l, theta_.at(l));
+    theta_[l] = v;
+  }
+
   [[nodiscard]] double mu(QueryId m) const { return mu_.at(m); }
   /// Raise μ_m by one unit — "we create one replica" (Algorithm 1 line 7).
   void raise_mu(QueryId m) {

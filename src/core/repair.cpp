@@ -1,0 +1,454 @@
+#include "core/repair.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "cloud/delay.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+
+namespace edgerep {
+
+namespace {
+
+constexpr double kCapacityEps = 1e-9;
+
+/// Rank `queries` by the admission order knob (same comparators as the
+/// admission engine, applied to the displaced subset).  The input is sorted
+/// by id first so the result is a pure function of the set, not of the
+/// order eviction passes discovered its members in.
+void order_displaced(const Instance& inst, const ApproOptions& opts,
+                     std::vector<QueryId>& queries) {
+  std::sort(queries.begin(), queries.end());
+  switch (opts.order) {
+    case ApproOptions::Order::kInput:
+      break;
+    case ApproOptions::Order::kVolumeDesc:
+      std::stable_sort(queries.begin(), queries.end(),
+                       [&](QueryId a, QueryId b) {
+                         return inst.demanded_volume(a) >
+                                inst.demanded_volume(b);
+                       });
+      break;
+    case ApproOptions::Order::kVolumeAsc:
+      std::stable_sort(queries.begin(), queries.end(),
+                       [&](QueryId a, QueryId b) {
+                         return inst.demanded_volume(a) <
+                                inst.demanded_volume(b);
+                       });
+      break;
+    case ApproOptions::Order::kDeadlineAsc:
+      std::stable_sort(queries.begin(), queries.end(),
+                       [&](QueryId a, QueryId b) {
+                         return inst.query(a).deadline < inst.query(b).deadline;
+                       });
+      break;
+    case ApproOptions::Order::kRandom: {
+      Rng rng(opts.seed);
+      rng.shuffle(std::span<QueryId>(queries));
+      break;
+    }
+  }
+}
+
+/// Fault-aware flavour of the admission engine's per-demand step: candidates
+/// come from the fault-free pruned index (a superset — faults only remove
+/// edges and capacity), then the effective checks (site up, degraded
+/// capacity, downed-link delays) filter and re-price them.
+bool admit_demand_faulted(const Instance& inst, const CandidateIndex& index,
+                          const FaultState& faults, const Query& q,
+                          std::size_t di, ReplicaPlan& plan, DualState& duals,
+                          const ApproOptions& opts,
+                          obs::AuditEntry* audit = nullptr) {
+  const DatasetDemand& dd = q.demands[di];
+  const double need = index.need(q.id, di);
+  const bool budget_left = plan.replica_count(dd.dataset) < inst.max_replicas();
+  const double mu_term =
+      opts.replica_weight / static_cast<double>(inst.max_replicas());
+  const bool link_faults = faults.any_link_down();
+
+  SiteId best_site = kInvalidSite;
+  bool best_needs_replica = false;
+  double best_price = 0.0;
+  double best_eta = 0.0;
+  double best_capacity_term = 0.0;
+  // Rejection diagnostics, gathered in the same scan (repair runs are rare
+  // enough that the hot-path/audit split of the admission engine would buy
+  // nothing here).
+  bool saw_feasible_site = false;
+  bool blocked_by_budget = false;
+
+  for (const CandidateSite& c : index.candidates(q.id, di)) {
+    if (!faults.site_up(c.site)) continue;
+    double eta_base = c.delay_over_deadline;
+    if (link_faults) {
+      const double ed = faults.evaluation_delay(q, dd, c.site);
+      if (ed > q.deadline) continue;
+      eta_base = ed / q.deadline;
+    }
+    saw_feasible_site = true;
+    const bool has = plan.has_replica(dd.dataset, c.site);
+    const double eff = faults.available(c.site);
+    if (plan.load(c.site) + need > eff + kCapacityEps) continue;
+    if (!has && !budget_left) {
+      blocked_by_budget = true;
+      continue;
+    }
+    const double capacity_term = need / std::max(eff, 1e-12);
+    double p = duals.theta(c.site) + capacity_term +
+               opts.eta_weight * eta_base;
+    if (!has) p += mu_term;
+    if (best_site == kInvalidSite || p < best_price) {
+      best_site = c.site;
+      best_needs_replica = !has;
+      best_price = p;
+      best_eta = opts.eta_weight * eta_base;
+      best_capacity_term = capacity_term;
+    }
+  }
+
+  if (audit != nullptr) {
+    audit->query = q.id;
+    audit->demand = static_cast<std::uint32_t>(di);
+    audit->dataset = dd.dataset;
+    if (best_site == kInvalidSite) {
+      audit->admitted = false;
+      if (!saw_feasible_site) {
+        audit->reason = obs::AuditReason::kNoDeadlineFeasibleSite;
+      } else if (blocked_by_budget) {
+        audit->reason = obs::AuditReason::kReplicaBudgetSpent;
+      } else {
+        audit->reason = obs::AuditReason::kCapacityExhausted;
+      }
+    } else {
+      audit->admitted = true;
+      audit->reason = obs::AuditReason::kAdmitted;
+      audit->site = best_site;
+      audit->placed_replica = best_needs_replica;
+      audit->theta_term = duals.theta(best_site);
+      audit->capacity_term = best_capacity_term;
+      audit->eta_term = best_eta;
+      audit->mu_term = best_needs_replica ? mu_term : 0.0;
+      audit->total_price = best_price;
+    }
+  }
+
+  if (best_site == kInvalidSite) return false;
+  if (best_needs_replica) {
+    plan.place_replica(dd.dataset, best_site);
+    duals.raise_mu(q.id);
+  }
+  plan.assign(q.id, dd.dataset, best_site);
+  // Uniform raise of the capacity price against the *effective*
+  // availability; set_theta journals, so rollback restores it exactly.
+  const double eff = faults.available(best_site);
+  duals.set_theta(best_site,
+                  duals.theta(best_site) + need / std::max(eff, 1e-12));
+  const double vol = inst.dataset(dd.dataset).volume;
+  const double tight =
+      std::max(0.0, vol * (1.0 - q.rate * duals.theta(best_site)));
+  duals.set_y(q.id, std::max(duals.y(q.id), tight));
+  return true;
+}
+
+void mark_rolled_back(std::vector<obs::AuditEntry>* audit,
+                      std::size_t query_begin) {
+  if (audit == nullptr) return;
+  for (std::size_t i = query_begin; i + 1 < audit->size(); ++i) {
+    (*audit)[i].admitted = false;
+    (*audit)[i].reason = obs::AuditReason::kAtomicRollback;
+  }
+}
+
+/// Transactional re-admission of one displaced query (the PR-1 savepoint
+/// pattern): roll the plan and duals back on the first infeasible demand.
+bool readmit_query(const Instance& inst, const CandidateIndex& index,
+                   const FaultState& faults, const Query& q, ReplicaPlan& plan,
+                   DualState& duals, const ApproOptions& opts,
+                   std::vector<obs::AuditEntry>* audit) {
+  const std::size_t audit_begin = audit != nullptr ? audit->size() : 0;
+  if (!faults.site_up(q.home)) {
+    // Nowhere to aggregate results: the query is infeasible outright.
+    if (audit != nullptr) {
+      obs::AuditEntry& e = audit->emplace_back();
+      e.query = q.id;
+      e.dataset = q.demands.empty() ? 0 : q.demands[0].dataset;
+      e.admitted = false;
+      e.reason = obs::AuditReason::kNoDeadlineFeasibleSite;
+    }
+    return false;
+  }
+  const ReplicaPlan::Savepoint sp_plan = plan.savepoint();
+  const DualState::Savepoint sp_duals = duals.savepoint();
+  for (std::size_t di = 0; di < q.demands.size(); ++di) {
+    obs::AuditEntry* entry = nullptr;
+    if (audit != nullptr) entry = &audit->emplace_back();
+    if (!admit_demand_faulted(inst, index, faults, q, di, plan, duals, opts,
+                              entry)) {
+      plan.rollback_to(sp_plan);
+      duals.rollback_to(sp_duals);
+      plan.commit();
+      duals.commit();
+      mark_rolled_back(audit, audit_begin);
+      return false;
+    }
+  }
+  plan.commit();
+  duals.commit();
+  return true;
+}
+
+}  // namespace
+
+RepairEngine::RepairEngine(const Instance& inst)
+    : inst_(&inst), index_(inst) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("RepairEngine: instance not finalized");
+  }
+}
+
+RepairStats RepairEngine::repair(ReplicaPlan& plan, DualState& duals,
+                                 const FaultState& faults,
+                                 const RepairOptions& opts) const {
+  EDGEREP_TRACE_SCOPE("repair.run");
+  const Instance& inst = *inst_;
+  if (&plan.instance() != inst_ || &faults.instance() != inst_) {
+    throw std::invalid_argument("repair: plan/faults built for a different "
+                                "instance");
+  }
+
+  RepairStats stats;
+  std::vector<obs::AuditEntry> audit_entries;
+  std::vector<obs::AuditEntry>* audit =
+      obs::audit_enabled() ? &audit_entries : nullptr;
+  std::vector<QueryId> displaced;
+  std::vector<char> evicted(inst.queries().size(), 0);
+  const std::size_t replicas_before = plan.total_replicas();
+
+  // Evict one query entirely: unassign every demand (crediting the ledger)
+  // and zero its dual y.  Queries stay atomic through repair — a displaced
+  // query either re-seats every demand or contributes nothing.
+  auto evict_query = [&](const Query& q) {
+    if (evicted[q.id]) return;
+    evicted[q.id] = 1;
+    for (std::size_t di = 0; di < q.demands.size(); ++di) {
+      const DatasetDemand& dd = q.demands[di];
+      const auto site = plan.assignment(q.id, dd.dataset);
+      if (!site) continue;
+      if (audit != nullptr) {
+        obs::AuditEntry& e = audit->emplace_back();
+        e.query = q.id;
+        e.demand = static_cast<std::uint32_t>(di);
+        e.dataset = dd.dataset;
+        e.admitted = false;
+        e.reason = obs::AuditReason::kFaultEvicted;
+        e.site = *site;  // where it ran before the fault (forensics)
+      }
+      plan.unassign(q.id, dd.dataset);
+    }
+    duals.set_y(q.id, 0.0);
+    ++stats.queries_evicted;
+    stats.evicted_volume += inst.demanded_volume(q.id);
+    displaced.push_back(q.id);
+  };
+
+  if (opts.full_recompute) {
+    // Oracle: forget the incumbent entirely and re-run fault-aware
+    // admission over the whole query population.
+    EDGEREP_TRACE_SCOPE("repair.full_recompute_reset");
+    for (const Query& q : inst.queries()) {
+      if (plan.assigned_demands(q.id) > 0) evict_query(q);
+    }
+    displaced.clear();
+    displaced.reserve(inst.queries().size());
+    for (const Query& q : inst.queries()) displaced.push_back(q.id);
+    plan = ReplicaPlan(inst);
+    duals = DualState(inst);
+    stats.replicas_lost = replicas_before;
+  } else {
+    {
+      EDGEREP_TRACE_SCOPE("repair.evict");
+      const bool link_faults = faults.any_link_down();
+      // Pass 1: assignments invalidated outright — evaluation site down,
+      // home site down, or effective delay past the deadline.
+      for (const Query& q : inst.queries()) {
+        bool bad = false;
+        bool any = false;
+        for (const DatasetDemand& dd : q.demands) {
+          const auto site = plan.assignment(q.id, dd.dataset);
+          if (!site) continue;
+          any = true;
+          if (!faults.site_up(*site) ||
+              (link_faults && !faults.deadline_ok(q, dd, *site))) {
+            bad = true;
+            break;
+          }
+        }
+        if (any && !faults.site_up(q.home)) bad = true;
+        if (bad) evict_query(q);
+      }
+      // Pass 2: replicas stored on crashed sites are lost; their budget
+      // frees up for re-placement (every user was evicted in pass 1).
+      for (const Dataset& d : inst.datasets()) {
+        const std::vector<SiteId> sites = plan.replica_sites(d.id);
+        for (const SiteId s : sites) {
+          if (faults.site_up(s)) continue;
+          plan.remove_replica(d.id, s);
+          ++stats.replicas_lost;
+        }
+      }
+      // Pass 3: degraded sites may now be overcommitted; shed queries in
+      // ascending (demanded volume, id) order — a deterministic greedy that
+      // sacrifices the least objective per unit of freed capacity — until
+      // the committed load fits the effective availability.
+      for (const Site& s : inst.sites()) {
+        if (!faults.site_up(s.id)) continue;
+        const double eff = faults.available(s.id);
+        if (plan.load(s.id) <= eff + kCapacityEps) continue;
+        std::vector<QueryId> here;
+        for (const Query& q : inst.queries()) {
+          if (evicted[q.id]) continue;
+          for (const DatasetDemand& dd : q.demands) {
+            const auto site = plan.assignment(q.id, dd.dataset);
+            if (site && *site == s.id) {
+              here.push_back(q.id);
+              break;
+            }
+          }
+        }
+        std::sort(here.begin(), here.end(), [&](QueryId a, QueryId b) {
+          const double va = inst.demanded_volume(a);
+          const double vb = inst.demanded_volume(b);
+          if (va != vb) return va < vb;
+          return a < b;
+        });
+        for (const QueryId m : here) {
+          if (plan.load(s.id) <= eff + kCapacityEps) break;
+          evict_query(inst.query(m));
+        }
+      }
+    }
+    {
+      // Re-price θ at every site the faults or evictions touched: uniform
+      // raising maintains θ_l = load_l / A(v_l), so after capacity or load
+      // changed we reset it to load / effective availability (0 for downed
+      // sites — they are excluded from candidacy anyway).
+      EDGEREP_TRACE_SCOPE("repair.reprice");
+      for (const Site& s : inst.sites()) {
+        const double scale = faults.capacity_scale(s.id);
+        const bool touched = scale != 1.0 || stats.queries_evicted > 0;
+        if (!touched) continue;
+        const double eff = faults.available(s.id);
+        duals.set_theta(s.id, eff > 0.0 ? plan.load(s.id) / eff : 0.0);
+      }
+    }
+  }
+
+  {
+    EDGEREP_TRACE_SCOPE("repair.readmit");
+    order_displaced(inst, opts.admission, displaced);
+    for (const QueryId m : displaced) {
+      const Query& q = inst.query(m);
+      if (q.demands.empty()) continue;
+      if (readmit_query(inst, index_, faults, q, plan, duals, opts.admission,
+                        audit)) {
+        ++stats.queries_readmitted;
+        stats.readmitted_volume += inst.demanded_volume(m);
+      }
+    }
+    stats.queries_lost = stats.queries_evicted >= stats.queries_readmitted
+                             ? stats.queries_evicted - stats.queries_readmitted
+                             : 0;
+  }
+  stats.replicas_placed =
+      plan.total_replicas() + stats.replicas_lost >= replicas_before
+          ? plan.total_replicas() + stats.replicas_lost - replicas_before
+          : 0;
+
+  duals.repair();
+
+  if (audit != nullptr) {
+    for (obs::AuditEntry& e : audit_entries) e.algorithm = "repair";
+    obs::audit_log().record_batch(audit_entries);
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& runs = obs::metrics().counter(
+        "edgerep_repair_runs_total", "repair engine invocations");
+    static obs::Counter& evicted_total = obs::metrics().counter(
+        "edgerep_repair_queries_evicted_total",
+        "queries displaced by injected faults");
+    static obs::Counter& readmitted_total = obs::metrics().counter(
+        "edgerep_repair_queries_readmitted_total",
+        "displaced queries re-seated by repair");
+    static obs::Counter& lost_total = obs::metrics().counter(
+        "edgerep_repair_queries_lost_total",
+        "displaced queries repair could not re-seat");
+    static obs::Counter& replicas_lost_total = obs::metrics().counter(
+        "edgerep_repair_replicas_lost_total",
+        "replicas lost to crashed sites");
+    static obs::Counter& replicas_placed_total = obs::metrics().counter(
+        "edgerep_repair_replicas_placed_total",
+        "fresh replicas placed during re-admission");
+    runs.inc();
+    evicted_total.inc(stats.queries_evicted);
+    readmitted_total.inc(stats.queries_readmitted);
+    lost_total.inc(stats.queries_lost);
+    replicas_lost_total.inc(stats.replicas_lost);
+    replicas_placed_total.inc(stats.replicas_placed);
+  }
+  return stats;
+}
+
+ValidationResult validate_under_faults(const ReplicaPlan& plan,
+                                       const FaultState& faults) {
+  const Instance& inst = plan.instance();
+  if (&faults.instance() != &inst) {
+    throw std::invalid_argument("validate_under_faults: fault state built "
+                                "for a different instance");
+  }
+  ValidationResult vr = validate(plan);  // fault-free constraints first
+  auto violation = [&vr](std::string msg) {
+    vr.ok = false;
+    vr.violations.push_back(std::move(msg));
+  };
+  for (const Dataset& d : inst.datasets()) {
+    for (const SiteId s : plan.replica_sites(d.id)) {
+      if (!faults.site_up(s)) {
+        violation("replica of dataset " + std::to_string(d.id) +
+                  " on downed site " + std::to_string(s));
+      }
+    }
+  }
+  for (const Site& s : inst.sites()) {
+    const double eff = faults.available(s.id);
+    if (plan.load(s.id) > eff + 1e-6) {
+      violation("site " + std::to_string(s.id) + " load " +
+                std::to_string(plan.load(s.id)) +
+                " exceeds effective availability " + std::to_string(eff));
+    }
+  }
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      const auto site = plan.assignment(q.id, dd.dataset);
+      if (!site) continue;
+      if (!faults.site_up(*site)) {
+        violation("query " + std::to_string(q.id) + " assigned to downed "
+                  "site " + std::to_string(*site));
+      } else if (!faults.deadline_ok(q, dd, *site)) {
+        violation("query " + std::to_string(q.id) + " misses its deadline "
+                  "at site " + std::to_string(*site) +
+                  " under effective delays");
+      }
+      if (!faults.site_up(q.home)) {
+        violation("query " + std::to_string(q.id) + " assigned while its "
+                  "home site " + std::to_string(q.home) + " is down");
+      }
+    }
+  }
+  return vr;
+}
+
+}  // namespace edgerep

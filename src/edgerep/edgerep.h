@@ -33,6 +33,7 @@
 #include "core/lagrangian.h"            // IWYU pragma: export
 #include "core/local_search.h"          // IWYU pragma: export
 #include "core/primal_dual.h"           // IWYU pragma: export
+#include "core/repair.h"                // IWYU pragma: export
 #include "core/rounding.h"              // IWYU pragma: export
 #include "lp/ilp.h"                     // IWYU pragma: export
 #include "lp/model.h"                   // IWYU pragma: export
@@ -48,6 +49,7 @@
 #include "obs/trace.h"                  // IWYU pragma: export
 #include "part/partitioner.h"           // IWYU pragma: export
 #include "sim/event.h"                  // IWYU pragma: export
+#include "sim/faults.h"                 // IWYU pragma: export
 #include "sim/flows.h"                  // IWYU pragma: export
 #include "sim/metrics.h"                // IWYU pragma: export
 #include "sim/online.h"                 // IWYU pragma: export
@@ -58,6 +60,7 @@
 #include "util/stats.h"                 // IWYU pragma: export
 #include "util/table.h"                 // IWYU pragma: export
 #include "workload/config_io.h"         // IWYU pragma: export
+#include "workload/fault_gen.h"         // IWYU pragma: export
 #include "workload/generator.h"         // IWYU pragma: export
 #include "workload/scenarios.h"         // IWYU pragma: export
 #include "workload/sweep.h"             // IWYU pragma: export

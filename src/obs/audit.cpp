@@ -19,6 +19,8 @@ const char* to_string(AuditReason r) noexcept {
       return "replica_budget_spent";
     case AuditReason::kAtomicRollback:
       return "atomic_rollback";
+    case AuditReason::kFaultEvicted:
+      return "fault_evicted";
   }
   return "?";
 }

@@ -35,8 +35,12 @@ enum class AuditReason : std::uint8_t {
   kCapacityExhausted,
   kReplicaBudgetSpent,
   kAtomicRollback,
+  /// The demand was admitted but its site (or path, or capacity headroom)
+  /// was lost to an injected fault; recorded by the repair engine when it
+  /// evicts the assignment (core/repair.cpp).
+  kFaultEvicted,
 };
-inline constexpr std::size_t kAuditReasonCount = 5;
+inline constexpr std::size_t kAuditReasonCount = 6;
 
 [[nodiscard]] const char* to_string(AuditReason r) noexcept;
 

@@ -12,8 +12,19 @@ namespace edgerep {
 namespace {
 
 struct SiteLoad {
-  double available = 0.0;
+  double available = 0.0;  ///< fault-free A(v_l); faults scale it on query
   double in_use = 0.0;
+};
+
+/// One admitted demand currently holding resource at a site.  Flights are
+/// append-only; `alive` flips when the work completes or a fault kills it,
+/// so a stale completion event is a no-op instead of a double-credit.
+struct Inflight {
+  QueryId query = 0;
+  std::uint32_t demand = 0;
+  SiteId site = kInvalidSite;
+  double need = 0.0;
+  bool alive = false;
 };
 
 }  // namespace
@@ -26,12 +37,13 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
   if (cfg.arrival_rate <= 0.0) {
     throw std::invalid_argument("run_online: arrival rate must be positive");
   }
+  validate_fault_trace(inst, cfg.faults);
   Rng rng(cfg.seed);
   EventQueue eq;
+  FaultState faults(inst);
 
   OnlineResult res;
   res.replica_sites.resize(inst.datasets().size());
-  std::size_t replicas_placed_total = 0;
   if (proactive != nullptr) {
     if (&proactive->instance() != &inst) {
       throw std::invalid_argument("run_online: proactive plan is for a "
@@ -39,17 +51,14 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
     }
     for (const Dataset& d : inst.datasets()) {
       res.replica_sites[d.id] = proactive->replica_sites(d.id);
-      replicas_placed_total += res.replica_sites[d.id].size();
     }
   } else if (cfg.origin_counts_as_replica) {
     for (const Dataset& d : inst.datasets()) {
       if (d.origin != kInvalidSite) {
         res.replica_sites[d.id].push_back(d.origin);
-        ++replicas_placed_total;
       }
     }
   }
-  (void)replicas_placed_total;
 
   std::vector<SiteLoad> sites(inst.sites().size());
   double total_available = 0.0;
@@ -57,6 +66,10 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
     sites[s.id].available = s.available;
     total_available += s.available;
   }
+
+  std::vector<Inflight> flights;
+  std::vector<std::vector<std::size_t>> by_site(sites.size());
+  std::vector<std::vector<std::size_t>> by_query(inst.queries().size());
 
   auto has_replica = [&](DatasetId n, SiteId l) {
     const auto& v = res.replica_sites[n];
@@ -71,9 +84,144 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
                                     used / total_available);
   };
 
+  /// Release a flight's resource (idempotent).
+  auto kill_flight = [&](std::size_t idx) {
+    Inflight& f = flights[idx];
+    if (!f.alive) return;
+    f.alive = false;
+    sites[f.site].in_use -= f.need;
+  };
+
+  /// Register a new flight at `site` and schedule its completion.
+  auto launch_flight = [&](QueryId m, std::uint32_t demand, SiteId site,
+                           double need, double proc) {
+    const std::size_t idx = flights.size();
+    flights.push_back({m, demand, site, need, true});
+    by_site[site].push_back(idx);
+    by_query[m].push_back(idx);
+    sites[site].in_use += need;
+    eq.schedule_in(proc, [&flights, &sites, idx] {
+      Inflight& f = flights[idx];
+      if (!f.alive) return;
+      f.alive = false;
+      sites[f.site].in_use -= f.need;
+    });
+  };
+
+  /// An admitted query lost a demand it could not recover: kill its other
+  /// flights (a query only counts when every demand completes) and flip the
+  /// outcome.
+  auto fail_query = [&](QueryId m) {
+    if (res.outcomes[m].failed_by_fault) return;
+    for (const std::size_t idx : by_query[m]) kill_flight(idx);
+    res.outcomes[m].admitted = false;
+    res.outcomes[m].failed_by_fault = true;
+    ++res.queries_failed_by_fault;
+  };
+
+  /// Pick the least-relatively-filled surviving site able to serve one
+  /// demand right now (same scarcity rule as admission).  Returns
+  /// kInvalidSite when none fits.
+  auto best_site_for = [&](const Query& q, const DatasetDemand& dd,
+                           double need, bool* new_replica) {
+    SiteId best = kInvalidSite;
+    double best_fill = 0.0;
+    for (const Site& s : inst.sites()) {
+      if (!faults.site_up(s.id)) continue;
+      const bool replica_here = has_replica(dd.dataset, s.id);
+      if (!replica_here) {
+        if (!cfg.reactive_replicas) continue;
+        if (res.replica_sites[dd.dataset].size() >= inst.max_replicas()) {
+          continue;
+        }
+      }
+      if (!faults.deadline_ok(q, dd, s.id)) continue;
+      const double eff = faults.available(s.id);
+      const double load = sites[s.id].in_use;
+      if (load + need > eff + 1e-9) continue;
+      const double fill = eff > 0.0 ? (load + need) / eff : 1e18;
+      if (best == kInvalidSite || fill < best_fill) {
+        best = s.id;
+        *new_replica = !replica_here;
+        best_fill = fill;
+      }
+    }
+    return best;
+  };
+
+  /// Re-seat one displaced (dead) flight on a surviving site.  The work
+  /// restarts from scratch at the new site (the partial result died with
+  /// the old one).
+  auto relocate = [&](std::size_t idx) {
+    const Inflight f = flights[idx];
+    const Query& q = inst.query(f.query);
+    const DatasetDemand& dd = q.demands[f.demand];
+    bool new_replica = false;
+    const SiteId site = best_site_for(q, dd, f.need, &new_replica);
+    if (site == kInvalidSite) return false;
+    if (new_replica) res.replica_sites[dd.dataset].push_back(site);
+    const Dataset& ds = inst.dataset(dd.dataset);
+    launch_flight(f.query, f.demand, site, f.need,
+                  ds.volume * inst.site(site).proc_delay);
+    res.outcomes[f.query].completion_time =
+        std::max(res.outcomes[f.query].completion_time,
+                 eq.now() + faults.evaluation_delay(q, dd, site));
+    ++res.demands_relocated;
+    return true;
+  };
+
+  /// A displaced flight either relocates or takes its whole query down.
+  auto displace = [&](std::size_t idx) {
+    const QueryId m = flights[idx].query;
+    if (res.outcomes[m].failed_by_fault) return;
+    if (!cfg.repair_on_failure || !relocate(idx)) fail_query(m);
+  };
+
+  auto on_site_down = [&](SiteId s) {
+    // Replicas stored at the crashed site are lost (recovery restores
+    // capacity, not data).
+    for (auto& v : res.replica_sites) {
+      const auto it = std::find(v.begin(), v.end(), s);
+      if (it != v.end()) {
+        v.erase(it);
+        ++res.replicas_lost_to_faults;
+      }
+    }
+    // Kill the in-flight work first so relocations see the freed ledger,
+    // then re-seat (or fail) in admission order.
+    std::vector<std::size_t> displaced;
+    for (const std::size_t idx : by_site[s]) {
+      if (flights[idx].alive) displaced.push_back(idx);
+    }
+    for (const std::size_t idx : displaced) kill_flight(idx);
+    by_site[s].clear();
+    for (const std::size_t idx : displaced) displace(idx);
+    // Queries aggregating at the crashed home cannot deliver results.
+    for (std::size_t idx = 0; idx < flights.size(); ++idx) {
+      if (flights[idx].alive && inst.query(flights[idx].query).home == s) {
+        fail_query(flights[idx].query);
+      }
+    }
+  };
+
+  auto on_capacity_loss = [&](SiteId s) {
+    const double eff = faults.available(s);
+    if (sites[s].in_use <= eff + 1e-9) return;
+    // Shed the most recently admitted work first until the site fits its
+    // degraded availability (LIFO: the oldest work is closest to done).
+    auto& here = by_site[s];
+    for (auto it = here.rbegin();
+         it != here.rend() && sites[s].in_use > eff + 1e-9; ++it) {
+      if (!flights[*it].alive) continue;
+      kill_flight(*it);
+      displace(*it);
+    }
+  };
+
   // Admission of one query at its arrival instant.  Transactional: collect
   // a tentative per-demand decision, commit only when every demand lands.
   auto admit = [&](const Query& q, OnlineOutcome& outcome) {
+    if (!faults.site_up(q.home)) return false;  // nowhere to aggregate
     struct Decision {
       SiteId site = kInvalidSite;
       bool new_replica = false;
@@ -91,6 +239,7 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
       Decision best;
       double best_fill = 0.0;
       for (const Site& s : inst.sites()) {
+        if (!faults.site_up(s.id)) continue;
         const bool replica_here = has_replica(dd.dataset, s.id);
         if (!replica_here) {
           if (!cfg.reactive_replicas) continue;
@@ -98,13 +247,12 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
                                     tentative_replicas[dd.dataset];
           if (count >= inst.max_replicas()) continue;
         }
-        if (!deadline_ok(inst, q, dd, s.id)) continue;
+        if (!faults.deadline_ok(q, dd, s.id)) continue;
+        const double eff = faults.available(s.id);
         const double load = sites[s.id].in_use + tentative[s.id];
-        if (load + need > sites[s.id].available + 1e-9) continue;
+        if (load + need > eff + 1e-9) continue;
         // Same scarcity rule as the offline pricer: least relative fill.
-        const double fill = sites[s.id].available > 0.0
-                                ? (load + need) / sites[s.id].available
-                                : 1e18;
+        const double fill = eff > 0.0 ? (load + need) / eff : 1e18;
         if (best.site == kInvalidSite || fill < best_fill) {
           best.site = s.id;
           best.new_replica = !replica_here;
@@ -115,7 +263,8 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
       best.need = need;
       const Dataset& ds = inst.dataset(dd.dataset);
       best.proc = ds.volume * inst.site(best.site).proc_delay;
-      best.total_delay = evaluation_delay(inst, q, dd, best.site);
+      best.total_delay = faults.evaluation_delay(inst.query(q.id), dd,
+                                                 best.site);
       tentative[best.site] += need;
       if (best.new_replica) ++tentative_replicas[dd.dataset];
       decisions.push_back(best);
@@ -128,18 +277,34 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
       if (d.new_replica && !has_replica(n, d.site)) {
         res.replica_sites[n].push_back(d.site);
       }
-      sites[d.site].in_use += d.need;
-      const SiteId site = d.site;
-      const double need = d.need;
-      eq.schedule_in(d.proc, [&sites, site, need] {
-        sites[site].in_use -= need;
-      });
+      launch_flight(q.id, static_cast<std::uint32_t>(i), d.site, d.need,
+                    d.proc);
       response = std::max(response, d.total_delay);
     }
     track_peak();
     outcome.completion_time = eq.now() + response;
     return true;
   };
+
+  // Fault events first: at equal times a fault resolves before an arrival
+  // (FIFO tie-break on insertion order).
+  for (const FaultEvent& e : cfg.faults.events) {
+    eq.schedule_at(e.time, [&faults, &res, &on_site_down, &on_capacity_loss,
+                            e] {
+      faults.apply(e);
+      ++res.fault_events_applied;
+      switch (e.kind) {
+        case FaultKind::kSiteDown:
+          on_site_down(e.site);
+          break;
+        case FaultKind::kCapacityLoss:
+          on_capacity_loss(e.site);
+          break;
+        default:
+          break;  // recoveries and link events shape future decisions only
+      }
+    });
+  }
 
   // Arrival schedule (instance order).  Outcomes are pre-sized so the
   // events can safely index into the vector.
@@ -149,7 +314,7 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
     clock += cfg.arrivals == OnlineConfig::Arrivals::kPoisson
                  ? rng.exponential(cfg.arrival_rate)
                  : 1.0 / cfg.arrival_rate;
-    res.outcomes[q.id] = OnlineOutcome{q.id, clock, false, 0.0};
+    res.outcomes[q.id] = OnlineOutcome{q.id, clock, false, 0.0, false};
     const QueryId m = q.id;
     eq.schedule_at(clock, [&inst, &res, &admit, m] {
       res.outcomes[m].admitted = admit(inst.query(m), res.outcomes[m]);

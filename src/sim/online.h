@@ -11,12 +11,33 @@
 // seeded from a proactive plan computed offline — comparing the two
 // quantifies the value of *proactive* replication, the premise of the
 // paper's title (bench: ablation_proactive).
+//
+// Fault injection: `OnlineConfig::faults` carries a time-ordered
+// `FaultTrace` (sim/faults.h) whose events fire on the same discrete-event
+// clock as the arrivals.  A site crash kills the work in flight there and
+// loses the replicas it stored; with `repair_on_failure` the displaced
+// demands are immediately re-seated on surviving sites when capacity and
+// effective deadlines allow, otherwise the affected queries fail.  Capacity
+// degradation sheds the most recently admitted work first until the site
+// fits its reduced availability; link faults reroute future admissions over
+// the surviving topology (in-flight transfers are not re-simulated).
+//
+// Determinism contract: the arrival process is the *only* consumer of
+// randomness, drawn from `Rng(seed)`; fault traces are pre-generated,
+// deterministic inputs (workload/fault_gen.h derives per-component
+// substreams from its own seed).  Fault events are scheduled before
+// arrivals, so a fault and an arrival at the same instant resolve
+// fault-first.  Nothing in the run is threaded — identical (instance,
+// config) inputs therefore reproduce identical fault+arrival event
+// orderings and outcomes bit-for-bit, regardless of the thread count used
+// to finalize the instance (pinned by tests/sim/online_test.cpp).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "cloud/plan.h"
+#include "sim/faults.h"
 
 namespace edgerep {
 
@@ -24,12 +45,24 @@ struct OnlineConfig {
   enum class Arrivals : std::uint8_t { kPoisson, kUniform };
   Arrivals arrivals = Arrivals::kPoisson;
   double arrival_rate = 2.0;  ///< queries/second
+  /// Master seed of the arrival process (see the determinism contract in
+  /// the header comment).  Identical seeds ⇒ identical arrival times and
+  /// event orderings, with or without faults.
   std::uint64_t seed = 0x0a11;
   /// Allow placing new replicas at admission time (within K).  With false,
   /// only replicas present in the seed plan (or dataset origins) are usable.
   bool reactive_replicas = true;
   /// Count each dataset's origin as a free replica (data exists somewhere).
   bool origin_counts_as_replica = true;
+
+  /// Failure events injected during the horizon (validated against the
+  /// instance; must be time-ordered).  Empty = fault-free, bit-identical to
+  /// the pre-fault-model simulator.
+  FaultTrace faults;
+  /// On a crash or capacity loss, immediately try to re-seat the displaced
+  /// in-flight demands on surviving sites (reactive repair).  With false,
+  /// displaced queries simply fail.
+  bool repair_on_failure = true;
 };
 
 struct OnlineOutcome {
@@ -37,6 +70,9 @@ struct OnlineOutcome {
   double arrival_time = 0.0;
   bool admitted = false;
   double completion_time = 0.0;  ///< arrival + max per-demand delay
+  /// Admitted on arrival, then killed by a fault mid-flight (admitted is
+  /// false for these — a failed query does not count toward throughput).
+  bool failed_by_fault = false;
 };
 
 struct OnlineResult {
@@ -44,10 +80,17 @@ struct OnlineResult {
   std::size_t admitted_queries = 0;
   double admitted_volume = 0.0;
   double throughput = 0.0;
-  /// Max over time of total in-use GHz / total available GHz.
+  /// Max over time of total in-use GHz / total available GHz (availability
+  /// is the fault-free total; a crash shows up as lost utilization).
   double peak_utilization = 0.0;
   /// Replica placement state at the end of the horizon.
   std::vector<std::vector<SiteId>> replica_sites;  ///< per dataset
+
+  /// --- fault accounting (all zero on fault-free runs) ------------------
+  std::size_t fault_events_applied = 0;
+  std::size_t queries_failed_by_fault = 0;
+  std::size_t demands_relocated = 0;  ///< displaced and re-seated in flight
+  std::size_t replicas_lost_to_faults = 0;
 };
 
 /// Run online admission over the instance's query population (arrival order

@@ -1,0 +1,212 @@
+#include "core/repair.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cloud/plan_io.h"
+#include "core/appro.h"
+#include "helpers/fixtures.h"
+#include "obs/audit.h"
+#include "obs/obs.h"
+
+namespace edgerep {
+namespace {
+
+using testing::medium_instance;
+
+std::string plan_string(const ReplicaPlan& plan) {
+  std::ostringstream os;
+  write_plan(os, plan);
+  return os.str();
+}
+
+SiteId most_loaded_site(const Instance& inst, const ReplicaPlan& plan) {
+  SiteId victim = 0;
+  for (const Site& s : inst.sites()) {
+    if (plan.load(s.id) > plan.load(victim)) victim = s.id;
+  }
+  return victim;
+}
+
+FaultState crash(const Instance& inst, SiteId s) {
+  FaultState fs(inst);
+  fs.apply({0.0, FaultKind::kSiteDown, s, kInvalidEdge, 0.0});
+  return fs;
+}
+
+TEST(Repair, NoFaultsIsANoOp) {
+  const Instance inst = medium_instance(11);
+  const ApproResult solved = appro_g(inst);
+  ReplicaPlan plan = solved.plan;
+  DualState duals = solved.duals;
+  const FaultState clean(inst);
+  const RepairEngine engine(inst);
+  const RepairStats st = engine.repair(plan, duals, clean);
+  EXPECT_EQ(st.queries_evicted, 0u);
+  EXPECT_EQ(st.queries_readmitted, 0u);
+  EXPECT_EQ(st.replicas_lost, 0u);
+  EXPECT_EQ(plan_string(plan), plan_string(solved.plan));
+}
+
+TEST(Repair, SingleSiteCrashYieldsAdmissiblePlan) {
+  const Instance inst = medium_instance(7);
+  const ApproResult solved = appro_g(inst);
+  const SiteId victim = most_loaded_site(inst, solved.plan);
+  ASSERT_GT(solved.plan.load(victim), 0.0);
+  const FaultState faults = crash(inst, victim);
+  const RepairEngine engine(inst);
+
+  ReplicaPlan plan = solved.plan;
+  DualState duals = solved.duals;
+  const RepairStats st = engine.repair(plan, duals, faults);
+
+  EXPECT_GT(st.queries_evicted, 0u);
+  const ValidationResult vr = validate_under_faults(plan, faults);
+  EXPECT_TRUE(vr.ok) << (vr.violations.empty() ? "" : vr.violations[0]);
+  EXPECT_NEAR(plan.load(victim), 0.0, 1e-9);
+  EXPECT_TRUE(plan.replica_sites(0).empty() ||
+              plan.replica_sites(0)[0] != victim);
+
+  // Untouched queries keep their assignments, so the repaired objective can
+  // lose at most the evicted volume.
+  const PlanMetrics before = evaluate(solved.plan);
+  const PlanMetrics after = evaluate(plan);
+  EXPECT_GE(after.admitted_volume,
+            before.admitted_volume - st.evicted_volume - 1e-9);
+  EXPECT_DOUBLE_EQ(after.admitted_volume, before.admitted_volume -
+                                              st.evicted_volume +
+                                              st.readmitted_volume);
+}
+
+TEST(Repair, RepairIsDeterministic) {
+  const Instance inst = medium_instance(7);
+  const ApproResult solved = appro_g(inst);
+  const FaultState faults =
+      crash(inst, most_loaded_site(inst, solved.plan));
+  const RepairEngine engine(inst);
+
+  ReplicaPlan plan_a = solved.plan;
+  DualState duals_a = solved.duals;
+  ReplicaPlan plan_b = solved.plan;
+  DualState duals_b = solved.duals;
+  engine.repair(plan_a, duals_a, faults);
+  engine.repair(plan_b, duals_b, faults);
+  // Bit-matching replay: same inputs, same plan, byte for byte.
+  EXPECT_EQ(plan_string(plan_a), plan_string(plan_b));
+  for (const Site& s : inst.sites()) {
+    EXPECT_DOUBLE_EQ(duals_a.theta(s.id), duals_b.theta(s.id));
+  }
+}
+
+TEST(Repair, IncrementalStaysWithinEvictedVolumeOfOracle) {
+  for (const std::uint64_t seed : {7u, 21u, 33u}) {
+    const Instance inst = medium_instance(seed);
+    const ApproResult solved = appro_g(inst);
+    const FaultState faults =
+        crash(inst, most_loaded_site(inst, solved.plan));
+    const RepairEngine engine(inst);
+
+    ReplicaPlan inc_plan = solved.plan;
+    DualState inc_duals = solved.duals;
+    const RepairStats inc = engine.repair(inc_plan, inc_duals, faults);
+
+    ReplicaPlan full_plan = solved.plan;
+    DualState full_duals = solved.duals;
+    RepairOptions oracle;
+    oracle.full_recompute = true;
+    engine.repair(full_plan, full_duals, faults, oracle);
+
+    EXPECT_TRUE(validate_under_faults(inc_plan, faults).ok);
+    EXPECT_TRUE(validate_under_faults(full_plan, faults).ok);
+    const double inc_vol = evaluate(inc_plan).admitted_volume;
+    const double full_vol = evaluate(full_plan).admitted_volume;
+    // The tested objective bound: the incremental result trails the
+    // from-scratch oracle by at most the volume the fault displaced.
+    EXPECT_GE(inc_vol, full_vol - inc.evicted_volume - 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Repair, CapacityLossShedsUntilTheSiteFits) {
+  const Instance inst = medium_instance(7);
+  const ApproResult solved = appro_g(inst);
+  const SiteId victim = most_loaded_site(inst, solved.plan);
+  const double load = solved.plan.load(victim);
+  const double avail = inst.site(victim).available;
+  ASSERT_GT(load, 0.0);
+  // Degrade the busiest site to half its current load, guaranteeing it
+  // overflows and must shed work.
+  const double fraction = 1.0 - 0.5 * load / avail;
+  FaultState faults(inst);
+  faults.apply({0.0, FaultKind::kCapacityLoss, victim, kInvalidEdge, fraction});
+  const RepairEngine engine(inst);
+
+  ReplicaPlan plan = solved.plan;
+  DualState duals = solved.duals;
+  const RepairStats st = engine.repair(plan, duals, faults);
+  EXPECT_GT(st.queries_evicted, 0u);
+  EXPECT_LE(plan.load(victim), faults.available(victim) + 1e-6);
+  EXPECT_TRUE(validate_under_faults(plan, faults).ok);
+  // Degradation keeps the site's replicas: only capacity is lost, not data.
+  EXPECT_EQ(st.replicas_lost, 0u);
+}
+
+TEST(Repair, LinkFaultsEvictDeadlineViolators) {
+  // Cut every edge incident to the busiest site's node: its evaluations
+  // lose their routes, so deadline-driven evictions must leave the plan
+  // admissible under the effective delays.
+  const Instance inst = medium_instance(9);
+  const ApproResult solved = appro_g(inst);
+  const SiteId victim = most_loaded_site(inst, solved.plan);
+  FaultState faults(inst);
+  const NodeId node = inst.site(victim).node;
+  for (EdgeId e = 0; e < inst.graph().num_edges(); ++e) {
+    const Edge& edge = inst.graph().edge(e);
+    if (edge.u == node || edge.v == node) {
+      faults.apply({0.0, FaultKind::kLinkDown, kInvalidSite, e, 0.0});
+    }
+  }
+  ASSERT_TRUE(faults.any_link_down());
+  const RepairEngine engine(inst);
+  ReplicaPlan plan = solved.plan;
+  DualState duals = solved.duals;
+  engine.repair(plan, duals, faults);
+  EXPECT_TRUE(validate_under_faults(plan, faults).ok);
+}
+
+TEST(Repair, AuditRecordsEvictionsUnderTheRepairAlgorithm) {
+  const Instance inst = medium_instance(7);
+  const ApproResult solved = appro_g(inst);
+  const FaultState faults =
+      crash(inst, most_loaded_site(inst, solved.plan));
+  const RepairEngine engine(inst);
+
+  obs::set_audit_enabled(true);
+  obs::audit_log().clear();
+  ReplicaPlan plan = solved.plan;
+  DualState duals = solved.duals;
+  const RepairStats st = engine.repair(plan, duals, faults);
+  const auto entries = obs::audit_log().snapshot();
+  obs::audit_log().clear();
+  obs::set_audit_enabled(false);
+
+  std::size_t evictions = 0;
+  for (const obs::AuditEntry& e : entries) {
+    EXPECT_STREQ(e.algorithm, "repair");
+    if (e.reason == obs::AuditReason::kFaultEvicted) ++evictions;
+  }
+  EXPECT_GT(evictions, 0u);
+  EXPECT_GT(st.queries_evicted, 0u);
+
+  // Observability must not steer the result: an un-instrumented run
+  // produces the identical plan.
+  ReplicaPlan plain = solved.plan;
+  DualState plain_duals = solved.duals;
+  engine.repair(plain, plain_duals, faults);
+  EXPECT_EQ(plan_string(plan), plan_string(plain));
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,115 @@
+// Property suite for the failure-repair pipeline: random instances, random
+// fault scenarios, and the invariants the repair engine promises —
+//
+//   P1  both the incremental repair and the full-recompute oracle leave the
+//       plan admissible under the faulted constraints,
+//   P2  untouched queries keep their assignments, so the incremental
+//       objective loses at most the evicted volume,
+//   P3  the incremental result trails the oracle by at most the evicted
+//       volume (the bound from core/repair.h),
+//   P4  repair is a pure function of (plan, duals, faults): replays are
+//       bit-identical.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "cloud/plan_io.h"
+#include "core/appro.h"
+#include "core/repair.h"
+#include "helpers/fixtures.h"
+#include "workload/fault_gen.h"
+
+namespace edgerep {
+namespace {
+
+std::string plan_string(const ReplicaPlan& plan) {
+  std::ostringstream os;
+  write_plan(os, plan);
+  return os.str();
+}
+
+TEST(RepairProperty, RandomScenariosSatisfyTheRepairInvariants) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const Instance inst = testing::medium_instance(seed);
+    const ApproResult solved = appro_g(inst);
+    const double before_vol = evaluate(solved.plan).admitted_volume;
+
+    FaultScenarioConfig fcfg;
+    fcfg.horizon = 20.0;
+    fcfg.site_crashes = 2;
+    fcfg.link_failures = 2;
+    fcfg.capacity_losses = 1;
+    fcfg.mean_repair_time = 0.0;  // permanent: apply_until folds them all
+    const FaultTrace trace = generate_fault_trace(inst, fcfg, seed * 101);
+    FaultState faults(inst);
+    faults.apply_until(trace, fcfg.horizon);
+    ASSERT_TRUE(faults.degraded());
+
+    const RepairEngine engine(inst);
+    ReplicaPlan inc_plan = solved.plan;
+    DualState inc_duals = solved.duals;
+    const RepairStats inc = engine.repair(inc_plan, inc_duals, faults);
+
+    ReplicaPlan full_plan = solved.plan;
+    DualState full_duals = solved.duals;
+    RepairOptions oracle;
+    oracle.full_recompute = true;
+    engine.repair(full_plan, full_duals, faults, oracle);
+
+    // P1: admissibility under the effective constraints.
+    const ValidationResult inc_ok = validate_under_faults(inc_plan, faults);
+    EXPECT_TRUE(inc_ok.ok)
+        << (inc_ok.violations.empty() ? "" : inc_ok.violations[0]);
+    const ValidationResult full_ok = validate_under_faults(full_plan, faults);
+    EXPECT_TRUE(full_ok.ok)
+        << (full_ok.violations.empty() ? "" : full_ok.violations[0]);
+
+    // P2: the incremental path only loses what the faults displaced.
+    const double inc_vol = evaluate(inc_plan).admitted_volume;
+    EXPECT_GE(inc_vol, before_vol - inc.evicted_volume - 1e-6);
+
+    // P3: bounded gap to the from-scratch oracle.
+    const double full_vol = evaluate(full_plan).admitted_volume;
+    EXPECT_GE(inc_vol, full_vol - inc.evicted_volume - 1e-6);
+
+    // P4: bit-identical replay.
+    ReplicaPlan replay_plan = solved.plan;
+    DualState replay_duals = solved.duals;
+    const RepairStats replay = engine.repair(replay_plan, replay_duals, faults);
+    EXPECT_EQ(plan_string(inc_plan), plan_string(replay_plan));
+    EXPECT_EQ(inc.queries_evicted, replay.queries_evicted);
+    EXPECT_EQ(inc.queries_readmitted, replay.queries_readmitted);
+    EXPECT_DOUBLE_EQ(inc.evicted_volume, replay.evicted_volume);
+  }
+}
+
+TEST(RepairProperty, RepairedPlansSurviveProgressiveDegradation) {
+  // Fold the same trace in stages, repairing after each stage: every
+  // intermediate plan must stay admissible for the faults seen so far.
+  const Instance inst = testing::medium_instance(13);
+  const ApproResult solved = appro_g(inst);
+  FaultScenarioConfig fcfg;
+  fcfg.horizon = 30.0;
+  fcfg.site_crashes = 3;
+  fcfg.capacity_losses = 2;
+  fcfg.mean_repair_time = 0.0;
+  const FaultTrace trace = generate_fault_trace(inst, fcfg, 77);
+
+  const RepairEngine engine(inst);
+  ReplicaPlan plan = solved.plan;
+  DualState duals = solved.duals;
+  FaultState faults(inst);
+  for (const double until : {10.0, 20.0, 30.0}) {
+    faults.apply_until(trace, until);
+    engine.repair(plan, duals, faults);
+    const ValidationResult vr = validate_under_faults(plan, faults);
+    EXPECT_TRUE(vr.ok) << "until " << until << ": "
+                       << (vr.violations.empty() ? "" : vr.violations[0]);
+  }
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,150 @@
+#include "sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cloud/delay.h"
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::TinyFixture;
+
+FaultEvent site_down(SiteId s, double t = 0.0) {
+  return {t, FaultKind::kSiteDown, s, kInvalidEdge, 0.0};
+}
+
+FaultEvent site_up(SiteId s, double t = 0.0) {
+  return {t, FaultKind::kSiteUp, s, kInvalidEdge, 0.0};
+}
+
+TEST(FaultTrace, ValidationRejectsBadEvents) {
+  const Instance inst = TinyFixture::make();
+  FaultTrace trace;
+  trace.events.push_back(site_down(99));
+  EXPECT_THROW(validate_fault_trace(inst, trace), std::invalid_argument);
+
+  trace.events.clear();
+  trace.events.push_back({5.0, FaultKind::kLinkDown, kInvalidSite, 42, 0.0});
+  EXPECT_THROW(validate_fault_trace(inst, trace), std::invalid_argument);
+
+  trace.events.clear();
+  trace.events.push_back({1.0, FaultKind::kCapacityLoss, 0, kInvalidEdge, 1.5});
+  EXPECT_THROW(validate_fault_trace(inst, trace), std::invalid_argument);
+
+  // Times must be non-decreasing.
+  trace.events.clear();
+  trace.events.push_back(site_down(0, 2.0));
+  trace.events.push_back(site_up(0, 1.0));
+  EXPECT_THROW(validate_fault_trace(inst, trace), std::invalid_argument);
+
+  trace.events.clear();
+  trace.events.push_back(site_down(0, 1.0));
+  trace.events.push_back(site_up(0, 2.0));
+  EXPECT_NO_THROW(validate_fault_trace(inst, trace));
+}
+
+TEST(FaultState, SiteCrashAndRecovery) {
+  const Instance inst = TinyFixture::make();
+  FaultState fs(inst);
+  EXPECT_TRUE(fs.site_up(0));
+  EXPECT_DOUBLE_EQ(fs.available(0), inst.site(0).available);
+  EXPECT_FALSE(fs.degraded());
+
+  fs.apply(site_down(0));
+  EXPECT_FALSE(fs.site_up(0));
+  EXPECT_DOUBLE_EQ(fs.available(0), 0.0);
+  EXPECT_DOUBLE_EQ(fs.capacity_scale(0), 0.0);
+  EXPECT_EQ(fs.sites_down(), 1u);
+  EXPECT_TRUE(fs.degraded());
+
+  fs.apply(site_down(0));  // idempotent
+  EXPECT_EQ(fs.sites_down(), 1u);
+
+  fs.apply(site_up(0, 1.0));
+  EXPECT_TRUE(fs.site_up(0));
+  EXPECT_DOUBLE_EQ(fs.available(0), inst.site(0).available);
+  EXPECT_EQ(fs.sites_down(), 0u);
+  EXPECT_FALSE(fs.degraded());
+  EXPECT_EQ(fs.events_applied(), 3u);
+}
+
+TEST(FaultState, CapacityLossScalesAvailability) {
+  const Instance inst = TinyFixture::make();
+  FaultState fs(inst);
+  fs.apply({0.0, FaultKind::kCapacityLoss, 1, kInvalidEdge, 0.25});
+  EXPECT_TRUE(fs.site_up(1));
+  EXPECT_DOUBLE_EQ(fs.capacity_scale(1), 0.75);
+  EXPECT_DOUBLE_EQ(fs.available(1), 0.75 * inst.site(1).available);
+  EXPECT_TRUE(fs.degraded());
+
+  // A later loss replaces (not stacks with) the earlier fraction.
+  fs.apply({1.0, FaultKind::kCapacityLoss, 1, kInvalidEdge, 0.5});
+  EXPECT_DOUBLE_EQ(fs.capacity_scale(1), 0.5);
+
+  fs.apply({2.0, FaultKind::kCapacityRestore, 1, kInvalidEdge, 0.0});
+  EXPECT_DOUBLE_EQ(fs.available(1), inst.site(1).available);
+  EXPECT_FALSE(fs.degraded());
+}
+
+TEST(FaultState, EffectiveDelaysMatchFaultFreePrecompute) {
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  const Query& q = inst.query(0);
+  const DatasetDemand& dd = q.demands[0];
+  FaultState fs(inst);
+  for (SiteId s = 0; s < 2; ++s) {
+    EXPECT_DOUBLE_EQ(fs.path_delay(0, s), inst.path_delay(0, s));
+    EXPECT_DOUBLE_EQ(fs.evaluation_delay(q, dd, s),
+                     evaluation_delay(inst, q, dd, s));
+    EXPECT_EQ(fs.deadline_ok(q, dd, s), deadline_ok(inst, q, dd, s));
+  }
+}
+
+TEST(FaultState, LinkDownLengthensOrDisconnectsPaths) {
+  // TinyFixture topology: cl --e0-- sw --e1-- dc.  Cutting e1 disconnects
+  // the two sites; restoring it brings the delay back to the precompute.
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  const Query& q = inst.query(0);
+  const DatasetDemand& dd = q.demands[0];
+  FaultState fs(inst);
+  const double base = fs.path_delay(0, 1);
+
+  fs.apply({0.0, FaultKind::kLinkDown, kInvalidSite, 1, 0.0});
+  EXPECT_TRUE(fs.any_link_down());
+  EXPECT_FALSE(fs.edge_up(1));
+  EXPECT_GT(fs.path_delay(0, 1), base);  // disconnected: +inf
+  // Evaluation at the remote DC (site 1) now misses any finite deadline;
+  // local evaluation at the cloudlet is unaffected.
+  EXPECT_FALSE(fs.deadline_ok(q, dd, 1));
+  EXPECT_DOUBLE_EQ(fs.evaluation_delay(q, dd, 0),
+                   evaluation_delay(inst, q, dd, 0));
+
+  fs.apply({1.0, FaultKind::kLinkUp, kInvalidSite, 1, 0.0});
+  EXPECT_FALSE(fs.any_link_down());
+  EXPECT_DOUBLE_EQ(fs.path_delay(0, 1), base);
+  EXPECT_EQ(fs.links_down(), 0u);
+}
+
+TEST(FaultState, ApplyUntilFoldsPrefixInOrder) {
+  const Instance inst = TinyFixture::make();
+  FaultTrace trace;
+  trace.events.push_back(site_down(0, 1.0));
+  trace.events.push_back(site_up(0, 2.0));
+  trace.events.push_back(site_down(1, 3.0));
+
+  FaultState fs(inst);
+  fs.apply_until(trace, 2.5);
+  EXPECT_EQ(fs.events_applied(), 2u);
+  EXPECT_TRUE(fs.site_up(0));
+  EXPECT_TRUE(fs.site_up(1));
+
+  FaultState all(inst);
+  all.apply_until(trace, 100.0);
+  EXPECT_EQ(all.events_applied(), 3u);
+  EXPECT_FALSE(all.site_up(1));
+}
+
+}  // namespace
+}  // namespace edgerep

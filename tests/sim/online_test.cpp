@@ -6,6 +6,7 @@
 
 #include "core/appro.h"
 #include "helpers/fixtures.h"
+#include "workload/fault_gen.h"
 
 namespace edgerep {
 namespace {
@@ -129,6 +130,184 @@ TEST(Online, BadRateThrows) {
   OnlineConfig cfg;
   cfg.arrival_rate = 0.0;
   EXPECT_THROW(run_online(inst, cfg), std::invalid_argument);
+}
+
+// --- fault injection --------------------------------------------------------
+//
+// With uniform arrivals at rate 1, TinyFixture's single query arrives at
+// t = 1.0.  A loose deadline (3.0) lets admission pick the DC (site 1,
+// least relative fill); processing there is 4 GB × 0.05 = 0.2 s.
+
+OnlineConfig uniform_cfg() {
+  OnlineConfig cfg;
+  cfg.arrivals = OnlineConfig::Arrivals::kUniform;
+  cfg.arrival_rate = 1.0;
+  return cfg;
+}
+
+TEST(OnlineFaults, CrashRelocatesWorkToTheSurvivor) {
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  OnlineConfig cfg = uniform_cfg();
+  // DC crashes mid-flight (t = 1.1, work would finish at 1.2).
+  cfg.faults.events.push_back(
+      {1.1, FaultKind::kSiteDown, 1, kInvalidEdge, 0.0});
+  const OnlineResult r = run_online(inst, cfg);
+  EXPECT_EQ(r.fault_events_applied, 1u);
+  EXPECT_EQ(r.demands_relocated, 1u);
+  EXPECT_EQ(r.queries_failed_by_fault, 0u);
+  EXPECT_EQ(r.admitted_queries, 1u);
+  EXPECT_TRUE(r.outcomes[0].admitted);
+  // The DC's replica (the dataset origin) died with it; relocation placed a
+  // fresh one at the cloudlet.
+  EXPECT_EQ(r.replicas_lost_to_faults, 1u);
+  ASSERT_EQ(r.replica_sites[0].size(), 1u);
+  EXPECT_EQ(r.replica_sites[0][0], 0);
+  // Relocation can only delay completion, never pull it earlier: the
+  // original response estimate (arrival + delay at the DC) still dominates
+  // the restart at the cloudlet (crash + delay there).
+  EXPECT_NEAR(r.outcomes[0].completion_time, 1.0 + TinyFixture::kDelayAtDc,
+              1e-9);
+}
+
+TEST(OnlineFaults, CrashFailsTheQueryWhenNothingElseIsFeasible) {
+  // Deadline 1.0: only the cloudlet is feasible, and the cloudlet is also
+  // the query's home — its crash leaves nowhere to relocate or aggregate.
+  const Instance inst = TinyFixture::make(/*deadline=*/1.0);
+  OnlineConfig cfg = uniform_cfg();
+  cfg.faults.events.push_back(
+      {1.5, FaultKind::kSiteDown, 0, kInvalidEdge, 0.0});
+  const OnlineResult r = run_online(inst, cfg);
+  EXPECT_EQ(r.queries_failed_by_fault, 1u);
+  EXPECT_EQ(r.demands_relocated, 0u);
+  EXPECT_EQ(r.admitted_queries, 0u);
+  EXPECT_FALSE(r.outcomes[0].admitted);
+  EXPECT_TRUE(r.outcomes[0].failed_by_fault);
+  // The reactive replica placed at admission died with the cloudlet.
+  EXPECT_EQ(r.replicas_lost_to_faults, 1u);
+}
+
+TEST(OnlineFaults, FaultAtTheArrivalInstantResolvesFaultFirst) {
+  // Contract: at equal times, fault events precede arrivals.  The query
+  // therefore sees its home already down and is rejected at arrival — a
+  // rejection, not a mid-flight fault kill.
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  OnlineConfig cfg = uniform_cfg();
+  cfg.faults.events.push_back(
+      {1.0, FaultKind::kSiteDown, 0, kInvalidEdge, 0.0});
+  const OnlineResult r = run_online(inst, cfg);
+  EXPECT_FALSE(r.outcomes[0].admitted);
+  EXPECT_FALSE(r.outcomes[0].failed_by_fault);
+  EXPECT_EQ(r.queries_failed_by_fault, 0u);
+  EXPECT_EQ(r.admitted_queries, 0u);
+}
+
+TEST(OnlineFaults, CapacityLossShedsAndRelocates) {
+  // Degrading the DC to 0.1% of its capacity evicts the in-flight demand,
+  // which re-seats at the cloudlet.  Degradation loses no data: the DC
+  // keeps its origin replica, the cloudlet gains a reactive one.
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  OnlineConfig cfg = uniform_cfg();
+  cfg.faults.events.push_back(
+      {1.1, FaultKind::kCapacityLoss, 1, kInvalidEdge, 0.999});
+  const OnlineResult r = run_online(inst, cfg);
+  EXPECT_EQ(r.demands_relocated, 1u);
+  EXPECT_EQ(r.queries_failed_by_fault, 0u);
+  EXPECT_EQ(r.replicas_lost_to_faults, 0u);
+  EXPECT_EQ(r.admitted_queries, 1u);
+  EXPECT_EQ(r.replica_sites[0].size(), 2u);
+}
+
+TEST(OnlineFaults, RepairKnobOffTurnsDisplacementIntoFailure) {
+  const Instance inst = TinyFixture::make(/*deadline=*/3.0);
+  OnlineConfig cfg = uniform_cfg();
+  cfg.faults.events.push_back(
+      {1.1, FaultKind::kSiteDown, 1, kInvalidEdge, 0.0});
+  cfg.repair_on_failure = false;
+  const OnlineResult r = run_online(inst, cfg);
+  EXPECT_EQ(r.demands_relocated, 0u);
+  EXPECT_EQ(r.queries_failed_by_fault, 1u);
+  EXPECT_EQ(r.admitted_queries, 0u);
+  EXPECT_TRUE(r.outcomes[0].failed_by_fault);
+}
+
+TEST(OnlineFaults, InvalidTraceIsRejectedUpFront) {
+  const Instance inst = TinyFixture::make();
+  OnlineConfig cfg;
+  cfg.faults.events.push_back(
+      {1.0, FaultKind::kSiteDown, 99, kInvalidEdge, 0.0});
+  EXPECT_THROW(run_online(inst, cfg), std::invalid_argument);
+}
+
+TEST(OnlineFaults, IdenticalSeedsReproduceFaultedRunsBitExactly) {
+  // The determinism contract (sim/online.h): identical (instance, config)
+  // inputs — fault trace included — reproduce identical event orderings
+  // and outcomes, bit for bit.
+  const Instance inst = testing::medium_instance(5, /*f_max=*/3);
+  FaultScenarioConfig fcfg;
+  fcfg.horizon = 10.0;
+  fcfg.site_crashes = 2;
+  fcfg.link_failures = 1;
+  fcfg.capacity_losses = 1;
+  fcfg.mean_repair_time = 4.0;
+  OnlineConfig cfg;
+  cfg.seed = 0xbeef;
+  cfg.faults = generate_fault_trace(inst, fcfg, 17);
+  const OnlineResult a = run_online(inst, cfg);
+  const OnlineResult b = run_online(inst, cfg);
+  EXPECT_EQ(a.fault_events_applied, b.fault_events_applied);
+  EXPECT_EQ(a.queries_failed_by_fault, b.queries_failed_by_fault);
+  EXPECT_EQ(a.demands_relocated, b.demands_relocated);
+  EXPECT_EQ(a.replicas_lost_to_faults, b.replicas_lost_to_faults);
+  EXPECT_EQ(a.admitted_queries, b.admitted_queries);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outcomes[i].arrival_time, b.outcomes[i].arrival_time);
+    EXPECT_EQ(a.outcomes[i].admitted, b.outcomes[i].admitted);
+    EXPECT_EQ(a.outcomes[i].failed_by_fault, b.outcomes[i].failed_by_fault);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].completion_time,
+                     b.outcomes[i].completion_time);
+  }
+  EXPECT_EQ(a.replica_sites, b.replica_sites);
+}
+
+TEST(OnlineFaults, OutcomesAreIndependentOfFinalizeScheduling) {
+  // Thread count enters the pipeline only through Instance::finalize's
+  // parallel delay precompute (sizes above kParallelForThreshold); the run
+  // itself is single-threaded.  Two independently finalized copies of the
+  // same instance — each with its own worker interleaving — must therefore
+  // drive byte-identical faulted runs.
+  WorkloadConfig wcfg;
+  wcfg.network_size = 100;  // > kParallelForThreshold: parallel precompute
+  wcfg.min_queries = 40;
+  wcfg.max_queries = 40;
+  const Instance first = generate_instance(wcfg, 23);
+  const Instance second = generate_instance(wcfg, 23);
+
+  FaultScenarioConfig fcfg;
+  fcfg.horizon = 8.0;
+  fcfg.site_crashes = 2;
+  fcfg.link_failures = 2;
+  OnlineConfig cfg;
+  cfg.seed = 0xd15e;
+  cfg.faults = generate_fault_trace(first, fcfg, 41);
+  const FaultTrace again = generate_fault_trace(second, fcfg, 41);
+  ASSERT_EQ(cfg.faults.size(), again.size());
+
+  const OnlineResult a = run_online(first, cfg);
+  OnlineConfig cfg2 = cfg;
+  cfg2.faults = again;
+  const OnlineResult b = run_online(second, cfg2);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outcomes[i].arrival_time, b.outcomes[i].arrival_time);
+    EXPECT_EQ(a.outcomes[i].admitted, b.outcomes[i].admitted);
+    EXPECT_EQ(a.outcomes[i].failed_by_fault, b.outcomes[i].failed_by_fault);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].completion_time,
+                     b.outcomes[i].completion_time);
+  }
+  EXPECT_EQ(a.replica_sites, b.replica_sites);
+  EXPECT_EQ(a.queries_failed_by_fault, b.queries_failed_by_fault);
+  EXPECT_EQ(a.demands_relocated, b.demands_relocated);
 }
 
 }  // namespace

@@ -14,6 +14,11 @@
 // DelayMatrix on ~degree-8 graphs with 10% placement sites — precompute
 // entry counts (|V|·n vs n²) and median Instance::finalize wall time per
 // backend at 1k–4k nodes, plus the memory ratio and finalize speedup.
+//
+// BENCH_repair.json: median wall time of post-failure plan repair (crash of
+// the most-loaded site) for the incremental primal-dual path vs the
+// full-recompute oracle, at the same three instance sizes
+// ([--repair-out=BENCH_repair.json] [--repair-reps=9]).
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -243,6 +248,96 @@ int emit_substrate(const std::string& out_path, int reps) {
   return 0;
 }
 
+/// Median repair wall time (ms) over fresh copies of the solved state, plus
+/// the stats of one representative run (every rep is deterministic, so the
+/// stats are identical across reps).
+double median_repair_ms(const ApproResult& solved, const RepairEngine& engine,
+                        const FaultState& faults, const RepairOptions& opts,
+                        int reps, RepairStats* stats_out) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    ReplicaPlan plan = solved.plan;
+    DualState duals = solved.duals;
+    const auto t0 = clock_type::now();
+    const RepairStats st = engine.repair(plan, duals, faults, opts);
+    const auto t1 = clock_type::now();
+    if (!validate_under_faults(plan, faults).ok) {
+      throw std::runtime_error("bench_json: repaired plan invalid");
+    }
+    *stats_out = st;
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return median(std::move(samples));
+}
+
+int emit_repair(const std::string& out_path, int reps) {
+  const std::vector<CaseSpec> cases = {
+      {"G", 32, 100, 5}, {"G", 64, 250, 5}, {"G", 100, 500, 5}};
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_json: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"failure_repair\",\n"
+      << "  \"fault\": \"crash_most_loaded_site\",\n"
+      << "  \"metric\": \"median_repair_ms\",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"cases\": [\n";
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseSpec& c = cases[i];
+    WorkloadConfig cfg;
+    cfg.network_size = c.network;
+    cfg.min_queries = c.queries;
+    cfg.max_queries = c.queries;
+    cfg.min_datasets_per_query = 1;
+    cfg.max_datasets_per_query = c.f_max;
+    const Instance inst = generate_instance(cfg, /*seed=*/42);
+    const ApproResult solved = appro_g(inst);
+
+    SiteId victim = 0;
+    for (const Site& s : inst.sites()) {
+      if (solved.plan.load(s.id) > solved.plan.load(victim)) victim = s.id;
+    }
+    FaultState faults(inst);
+    faults.apply({0.0, FaultKind::kSiteDown, victim, kInvalidEdge, 0.0});
+
+    const RepairEngine engine(inst);
+    RepairOptions incremental;
+    RepairOptions oracle;
+    oracle.full_recompute = true;
+
+    RepairStats inc_st;
+    RepairStats full_st;
+    const double inc_ms =
+        median_repair_ms(solved, engine, faults, incremental, reps, &inc_st);
+    const double full_ms =
+        median_repair_ms(solved, engine, faults, oracle, reps, &full_st);
+
+    out << "    {\"case\": \"" << c.name << "\", \"network_size\": "
+        << c.network << ", \"queries\": " << c.queries
+        << ", \"evicted\": " << inc_st.queries_evicted
+        << ", \"readmitted\": " << inc_st.queries_readmitted
+        << ", \"incremental_ms\": " << round2(inc_ms)
+        << ", \"full_recompute_ms\": " << round2(full_ms)
+        << ", \"speedup\": " << round2(full_ms / inc_ms) << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
+
+    std::cerr << "repair " << c.network << "x" << c.queries << ": evicted "
+              << inc_st.queries_evicted << ", incremental " << inc_ms
+              << " ms, full " << full_ms << " ms, speedup "
+              << full_ms / inc_ms << "x\n";
+  }
+
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
 int run(int argc, char** argv) {
   set_log_level_from_env();
   const Args args(argc, argv);
@@ -252,10 +347,15 @@ int run(int argc, char** argv) {
   const std::string out_path = args.get("out", "BENCH_appro.json");
   const std::string substrate_path =
       args.get("substrate-out", "BENCH_substrate.json");
+  const int repair_reps =
+      std::max(1, static_cast<int>(args.get_int("repair-reps", 9)));
+  const std::string repair_path = args.get("repair-out", "BENCH_repair.json");
 
-  const int rc = emit_appro(out_path, reps);
+  int rc = emit_appro(out_path, reps);
   if (rc != 0) return rc;
-  return emit_substrate(substrate_path, substrate_reps);
+  rc = emit_substrate(substrate_path, substrate_reps);
+  if (rc != 0) return rc;
+  return emit_repair(repair_path, repair_reps);
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 //   simulate  — execute a plan on the discrete-event testbed
 //   analyze   — availability + consistency economics of a plan
 //   online    — reactive admission over arrivals (optionally seeded by a plan)
+//   genfaults — draw a random fault scenario for an instance; archive it
+//   repair    — solve, inject faults, repair incrementally; compare oracle
 //
 // Example session:
 //   edgerep_cli generate --size 32 --seed 7 --out inst.txt
@@ -18,6 +20,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 #include "cloud/plan_io.h"
@@ -44,7 +47,11 @@ int usage() {
       "  analyze  --instance FILE --plan FILE [--failure-prob P]\n"
       "           [--growth G] [--trials N] [--seed S]\n"
       "  online   --instance FILE [--plan FILE] [--arrival-rate R]\n"
-      "           [--no-reactive] [--seed S]\n"
+      "           [--no-reactive] [--seed S] [--faults FILE] [--no-repair]\n"
+      "  genfaults --instance FILE --out FILE [--config FILE] [--crashes N]\n"
+      "           [--links N] [--degrade N] [--horizon T] [--mttr T] [--seed S]\n"
+      "  repair   --instance FILE --faults FILE [--until T] [--full]\n"
+      "           [--out FILE]\n"
       "  diff     --instance FILE --plan FILE --plan2 FILE\n"
       "\n"
       "observability (any command):\n"
@@ -260,12 +267,22 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
+FaultTrace load_faults(const Instance& inst, const Args& args) {
+  const std::string path = args.get("faults", "");
+  if (path.empty()) throw std::runtime_error("--faults is required");
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open fault trace file: " + path);
+  return read_fault_trace(is, inst);
+}
+
 int cmd_online(const Args& args) {
   const Instance inst = load_instance(args);
   OnlineConfig cfg;
   cfg.arrival_rate = args.get_double("arrival-rate", 2.0);
   cfg.seed = args.get_seed("seed", 0x0a11);
   cfg.reactive_replicas = !args.get_bool("no-reactive", false);
+  cfg.repair_on_failure = !args.get_bool("no-repair", false);
+  if (args.has("faults")) cfg.faults = load_faults(inst, args);
   OnlineResult res;
   if (args.has("plan")) {
     const ReplicaPlan seed_plan = load_plan(inst, args);
@@ -277,7 +294,84 @@ int cmd_online(const Args& args) {
             << inst.queries().size() << " (throughput " << res.throughput
             << ")\nadmitted volume: " << res.admitted_volume
             << " GB\npeak utilization: " << res.peak_utilization << "\n";
+  if (!cfg.faults.empty()) {
+    std::cout << "faults applied: " << res.fault_events_applied
+              << ", queries failed by fault: " << res.queries_failed_by_fault
+              << ", demands relocated: " << res.demands_relocated
+              << ", replicas lost: " << res.replicas_lost_to_faults << "\n";
+  }
   return 0;
+}
+
+int cmd_genfaults(const Args& args) {
+  const Instance inst = load_instance(args);
+  FaultScenarioConfig cfg;
+  if (args.has("config")) {
+    std::ifstream is(args.get("config", ""));
+    if (!is) throw std::runtime_error("cannot open fault config file");
+    cfg = read_fault_config(is);
+  }
+  if (args.has("crashes")) {
+    cfg.site_crashes = static_cast<std::size_t>(args.get_int("crashes", 1));
+  }
+  if (args.has("links")) {
+    cfg.link_failures = static_cast<std::size_t>(args.get_int("links", 0));
+  }
+  if (args.has("degrade")) {
+    cfg.capacity_losses = static_cast<std::size_t>(args.get_int("degrade", 0));
+  }
+  if (args.has("horizon")) cfg.horizon = args.get_double("horizon", 50.0);
+  if (args.has("mttr")) cfg.mean_repair_time = args.get_double("mttr", 10.0);
+  const FaultTrace trace =
+      generate_fault_trace(inst, cfg, args.get_seed("seed", 0xfa17));
+  const std::string out = args.get("out", "");
+  if (out.empty()) throw std::runtime_error("--out is required");
+  std::ofstream os(out);
+  write_fault_trace(os, trace);
+  std::cout << "wrote " << out << ": " << trace.size() << " events ("
+            << cfg.site_crashes << " crashes, " << cfg.link_failures
+            << " link failures, " << cfg.capacity_losses
+            << " degradations)\n";
+  return 0;
+}
+
+int cmd_repair(const Args& args) {
+  const Instance inst = load_instance(args);
+  const FaultTrace trace = load_faults(inst, args);
+  ApproResult solved = appro_g(inst);
+  const PlanMetrics before = evaluate(solved.plan);
+  std::cout << "pre-fault plan: " << before.admitted_queries << "/"
+            << before.total_queries << " admitted, "
+            << before.admitted_volume << " GB\n";
+  FaultState faults(inst);
+  faults.apply_until(trace, args.get_double("until",
+                                            std::numeric_limits<double>::max()));
+  std::cout << "faults applied: " << faults.events_applied() << " events, "
+            << faults.sites_down() << " sites down, " << faults.links_down()
+            << " links down\n";
+  const RepairEngine engine(inst);
+  RepairOptions opts;
+  opts.full_recompute = args.get_bool("full", false);
+  const RepairStats st = engine.repair(solved.plan, solved.duals, faults, opts);
+  const PlanMetrics after = evaluate(solved.plan);
+  std::cout << (opts.full_recompute ? "full recompute" : "incremental repair")
+            << ": evicted " << st.queries_evicted << " (" << st.evicted_volume
+            << " GB), re-admitted " << st.queries_readmitted << " ("
+            << st.readmitted_volume << " GB), lost " << st.queries_lost
+            << "\nreplicas lost/placed: " << st.replicas_lost << "/"
+            << st.replicas_placed << "\npost-repair plan: "
+            << after.admitted_queries << "/" << after.total_queries
+            << " admitted, " << after.admitted_volume << " GB\n";
+  const ValidationResult vr = validate_under_faults(solved.plan, faults);
+  std::cout << "valid under faults: " << (vr.ok ? "yes" : "NO") << "\n";
+  for (const std::string& v : vr.violations) std::cout << "  " << v << "\n";
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    write_plan(os, solved.plan);
+    std::cout << "repaired plan written to " << out << "\n";
+  }
+  return vr.ok ? 0 : 1;
 }
 
 /// True when `path` asks for Prometheus text exposition (else JSON).
@@ -333,6 +427,8 @@ int run_command(const std::string& cmd, const Args& args) {
   if (cmd == "simulate") return cmd_simulate(args);
   if (cmd == "analyze") return cmd_analyze(args);
   if (cmd == "online") return cmd_online(args);
+  if (cmd == "genfaults") return cmd_genfaults(args);
+  if (cmd == "repair") return cmd_repair(args);
   if (cmd == "diff") return cmd_diff(args);
   if (cmd == "scenarios") return cmd_scenarios();
   if (cmd == "help" || cmd == "--help") {
