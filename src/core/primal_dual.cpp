@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
 namespace edgerep {
+
+namespace {
+
+/// Mirror a θ mutation to the live telemetry board.  Gated here (not in the
+/// board) so the disabled path is one relaxed load — bit-neutrality of the
+/// solver does not depend on the board's mutex.
+inline void publish_theta(SiteId l, double v) {
+  if (obs::metrics_enabled()) {
+    obs::dual_prices().publish(l, v);
+  }
+}
+
+}  // namespace
 
 DualState::DualState(const Instance& inst) : inst_(&inst) {
   theta_.assign(inst.sites().size(), 0.0);
@@ -16,7 +32,20 @@ void DualState::raise_theta(SiteId l, double resource_amount) {
   if (avail > 0.0) {
     journal(Var::kTheta, l, theta_.at(l));
     theta_[l] += resource_amount / avail;
+    publish_theta(l, theta_[l]);
+    if (obs::metrics_enabled()) {
+      static obs::Counter& raises = obs::metrics().counter(
+          "edgerep_dual_theta_raises_total",
+          "uniform theta raising steps taken by the primal-dual engines");
+      raises.inc();
+    }
   }
+}
+
+void DualState::set_theta(SiteId l, double v) {
+  journal(Var::kTheta, l, theta_.at(l));
+  theta_[l] = v;
+  publish_theta(l, v);
 }
 
 DualState::Savepoint DualState::savepoint() {
@@ -33,6 +62,7 @@ void DualState::rollback_to(Savepoint sp) {
     switch (e.var) {
       case Var::kTheta:
         theta_[e.index] = e.prev;
+        publish_theta(e.index, e.prev);  // keep the live board honest
         break;
       case Var::kY:
         y_[e.index] = e.prev;

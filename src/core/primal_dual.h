@@ -33,10 +33,7 @@ class DualState {
   /// reset a site's capacity price to `load / effective availability` after
   /// a failure changes A(v_l) or evicts committed load — uniform raising
   /// then continues from the re-priced value.
-  void set_theta(SiteId l, double v) {
-    journal(Var::kTheta, l, theta_.at(l));
-    theta_[l] = v;
-  }
+  void set_theta(SiteId l, double v);
 
   [[nodiscard]] double mu(QueryId m) const { return mu_.at(m); }
   /// Raise μ_m by one unit — "we create one replica" (Algorithm 1 line 7).

@@ -392,12 +392,16 @@ RepairStats RepairEngine::repair(ReplicaPlan& plan, DualState& duals,
     static obs::Counter& replicas_placed_total = obs::metrics().counter(
         "edgerep_repair_replicas_placed_total",
         "fresh replicas placed during re-admission");
+    static obs::Gauge& evicted_volume = obs::metrics().gauge(
+        "edgerep_repair_evicted_volume_gb",
+        "cumulative demanded volume displaced by faults across repair runs");
     runs.inc();
     evicted_total.inc(stats.queries_evicted);
     readmitted_total.inc(stats.queries_readmitted);
     lost_total.inc(stats.queries_lost);
     replicas_lost_total.inc(stats.replicas_lost);
     replicas_placed_total.inc(stats.replicas_placed);
+    evicted_volume.add(stats.evicted_volume);
   }
   return stats;
 }

@@ -44,8 +44,10 @@
 #include "net/shortest_path.h"          // IWYU pragma: export
 #include "net/topology.h"               // IWYU pragma: export
 #include "obs/audit.h"                  // IWYU pragma: export
+#include "obs/http_server.h"            // IWYU pragma: export
 #include "obs/metrics.h"                // IWYU pragma: export
 #include "obs/obs.h"                    // IWYU pragma: export
+#include "obs/timeseries.h"             // IWYU pragma: export
 #include "obs/trace.h"                  // IWYU pragma: export
 #include "part/partitioner.h"           // IWYU pragma: export
 #include "sim/event.h"                  // IWYU pragma: export

@@ -60,7 +60,12 @@ void AuditLog::record(const AuditEntry& e) {
 }
 
 void AuditLog::record_batch(const std::vector<AuditEntry>& batch) {
+  if (batch.empty()) return;
+  // One lock and at most one reallocation per batch: the admission engines
+  // log a whole run's entries in one call, so the hot path must not take
+  // the mutex (or grow the vector) per entry.
   const std::lock_guard<std::mutex> lock(mu_);
+  entries_.reserve(entries_.size() + batch.size());
   entries_.insert(entries_.end(), batch.begin(), batch.end());
 }
 

@@ -1,0 +1,208 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace edgerep::obs {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 8 * 1024;
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client went away; nothing sensible to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const HttpResponse& resp) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << resp.status << " " << status_text(resp.status)
+     << "\r\n"
+     << "Content-Type: " << resp.content_type << "\r\n"
+     << "Content-Length: " << resp.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << resp.body;
+  send_all(fd, os.str());
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::route(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+void HttpServer::start(std::uint16_t port) {
+  if (started_) {
+    throw std::runtime_error("HttpServer: already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("HttpServer: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // telemetry stays local
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("HttpServer: bind(127.0.0.1:" +
+                             std::to_string(port) +
+                             ") failed: " + std::strerror(err));
+  }
+  if (::listen(fd, 16) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("HttpServer: listen() failed: " +
+                             std::string(std::strerror(err)));
+  }
+  // Recover the kernel's port choice when started with 0.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  } else {
+    port_.store(port, std::memory_order_release);
+  }
+
+  listen_fd_ = fd;
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!started_) return;
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    // Break the blocking accept(): shutdown makes it return with an error
+    // on every platform we care about; close() alone is not guaranteed to.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::serve_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      if (!running_.load(std::memory_order_acquire)) break;
+      continue;  // transient accept failure; keep serving
+    }
+    // A stalled or malicious client must not wedge the serving thread.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  std::string header;
+  char buf[1024];
+  while (header.find("\r\n\r\n") == std::string::npos) {
+    if (header.size() > kMaxHeaderBytes) {
+      send_response(fd, {400, "text/plain; charset=utf-8",
+                         "request header too large\n"});
+      return;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // timeout or disconnect mid-request
+    }
+    header.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP target SP version.
+  const std::size_t line_end = header.find("\r\n");
+  const std::string line = header.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    send_response(fd,
+                  {400, "text/plain; charset=utf-8", "malformed request\n"});
+    return;
+  }
+
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    req.path = std::move(target);
+  } else {
+    req.path = target.substr(0, qmark);
+    req.query = target.substr(qmark + 1);
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_enabled()) {
+    static Counter& served = metrics().counter(
+        "edgerep_http_requests_total",
+        "HTTP requests handled by the embedded telemetry server");
+    served.inc();
+  }
+
+  if (req.method != "GET") {
+    send_response(fd, {405, "text/plain; charset=utf-8",
+                       "only GET is supported\n"});
+    return;
+  }
+  const auto it = routes_.find(req.path);
+  if (it == routes_.end()) {
+    send_response(fd,
+                  {404, "text/plain; charset=utf-8", "unknown endpoint\n"});
+    return;
+  }
+  send_response(fd, it->second(req));
+}
+
+}  // namespace edgerep::obs

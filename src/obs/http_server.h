@@ -1,0 +1,94 @@
+// Embedded std-only HTTP/1.0 server for live telemetry.
+//
+// A blocking accept loop on one dedicated thread, loopback-only
+// (127.0.0.1), no third-party dependencies: just enough HTTP to let `curl`
+// and a Prometheus scraper read `/metrics`, `/healthz`, `/status`, and
+// `/timeseries` while the engine runs.  Not a general web server — one
+// request per connection ("Connection: close"), GET only, exact-path
+// dispatch, 8 KiB header budget, and short socket timeouts so a stalled
+// client cannot wedge the serving thread.
+//
+//   obs::HttpServer server;
+//   server.route("/metrics", [](const obs::HttpRequest&) {
+//     std::ostringstream os;
+//     obs::metrics().write_prometheus(os);
+//     return obs::HttpResponse{200, "text/plain; version=0.0.4", os.str()};
+//   });
+//   server.start(0);                 // 0 = kernel-assigned ephemeral port
+//   ... server.port() is now bound ...
+//   server.stop();                   // joins the serving thread
+//
+// Handlers run on the serving thread and must be thread-safe against the
+// engine (the obs registries are; snapshot boards take their own locks).
+// The server is start-once: construct a fresh instance to serve again.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "obs/obs.h"
+
+namespace edgerep::obs {
+
+struct HttpRequest {
+  std::string method;  ///< "GET"
+  std::string path;    ///< decoded-free path, no query string ("/metrics")
+  std::string query;   ///< raw text after '?', empty when absent
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register an exact-match route.  Call before start(); unknown paths get
+  /// a 404 and non-GET methods a 405.
+  void route(const std::string& path, Handler handler);
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral) and launch the accept thread.
+  /// Throws std::runtime_error on bind failure or if already started.
+  void start(std::uint16_t port);
+
+  /// Stop accepting, close the listening socket, and join the thread.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// Bound port (the kernel's pick when started with 0); 0 before start().
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return port_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace edgerep::obs

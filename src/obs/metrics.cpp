@@ -26,18 +26,36 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-void write_double(std::ostream& os, double v) {
-  // JSON has no inf/nan literals; clamp to null-free sentinels.
+/// Escape a HELP string: the exposition format requires `\\` and `\n` to be
+/// backslash-escaped in help text.
+std::string help_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus_double(std::ostream& os, double v) {
   if (v != v) {
-    os << 0;
+    os << "NaN";
     return;
   }
   if (v == std::numeric_limits<double>::infinity()) {
-    os << 1e308;
+    os << "+Inf";
     return;
   }
   if (v == -std::numeric_limits<double>::infinity()) {
-    os << -1e308;
+    os << "-Inf";
     return;
   }
   const auto old = os.precision(17);
@@ -45,7 +63,23 @@ void write_double(std::ostream& os, double v) {
   os.precision(old);
 }
 
-}  // namespace
+void write_json_double(std::ostream& os, double v) {
+  if (v != v) {
+    os << "null";
+    return;
+  }
+  if (v == std::numeric_limits<double>::infinity()) {
+    os << "\"+Inf\"";
+    return;
+  }
+  if (v == -std::numeric_limits<double>::infinity()) {
+    os << "\"-Inf\"";
+    return;
+  }
+  const auto old = os.precision(17);
+  os << v;
+  os.precision(old);
+}
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)) {
@@ -140,33 +174,39 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 void MetricsRegistry::write_prometheus(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, entry] : counters_) {
-    if (!entry.first.empty()) os << "# HELP " << name << " " << entry.first << "\n";
+    if (!entry.first.empty()) {
+      os << "# HELP " << name << " " << help_escape(entry.first) << "\n";
+    }
     os << "# TYPE " << name << " counter\n";
     os << name << " " << entry.second->value() << "\n";
   }
   for (const auto& [name, entry] : gauges_) {
-    if (!entry.first.empty()) os << "# HELP " << name << " " << entry.first << "\n";
+    if (!entry.first.empty()) {
+      os << "# HELP " << name << " " << help_escape(entry.first) << "\n";
+    }
     os << "# TYPE " << name << " gauge\n";
     os << name << " ";
-    write_double(os, entry.second->value());
+    write_prometheus_double(os, entry.second->value());
     os << "\n";
   }
   for (const auto& [name, entry] : histograms_) {
     const Histogram& h = *entry.second;
-    if (!entry.first.empty()) os << "# HELP " << name << " " << entry.first << "\n";
+    if (!entry.first.empty()) {
+      os << "# HELP " << name << " " << help_escape(entry.first) << "\n";
+    }
     os << "# TYPE " << name << " histogram\n";
     const std::vector<std::uint64_t> buckets = h.bucket_counts();
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
       cum += buckets[i];
       os << name << "_bucket{le=\"";
-      write_double(os, h.upper_bounds()[i]);
+      write_prometheus_double(os, h.upper_bounds()[i]);
       os << "\"} " << cum << "\n";
     }
     cum += buckets.back();
     os << name << "_bucket{le=\"+Inf\"} " << cum << "\n";
     os << name << "_sum ";
-    write_double(os, h.sum());
+    write_prometheus_double(os, h.sum());
     os << "\n";
     os << name << "_count " << cum << "\n";
   }
@@ -185,7 +225,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   first = true;
   for (const auto& [name, entry] : gauges_) {
     os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": ";
-    write_double(os, entry.second->value());
+    write_json_double(os, entry.second->value());
     first = false;
   }
   os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
@@ -200,14 +240,14 @@ void MetricsRegistry::write_json(std::ostream& os) const {
       cum += buckets[i];
       if (i > 0) os << ", ";
       os << "{\"le\": ";
-      write_double(os, h.upper_bounds()[i]);
+      write_json_double(os, h.upper_bounds()[i]);
       os << ", \"count\": " << cum << "}";
     }
     cum += buckets.back();
     if (!h.upper_bounds().empty()) os << ", ";
     os << "{\"le\": \"+Inf\", \"count\": " << cum << "}";
     os << "], \"sum\": ";
-    write_double(os, h.sum());
+    write_json_double(os, h.sum());
     os << ", \"count\": " << cum << "}";
     first = false;
   }

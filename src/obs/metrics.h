@@ -157,4 +157,13 @@ class MetricsRegistry {
 /// Process-wide registry used by all engine instrumentation.
 MetricsRegistry& metrics();
 
+/// Write `v` in Prometheus text exposition form.  Non-finite values use the
+/// spelling the format defines: `+Inf`, `-Inf`, `NaN`.
+void write_prometheus_double(std::ostream& os, double v);
+
+/// Write `v` as a valid JSON value.  JSON has no non-finite literals, so
+/// NaN becomes `null` and infinities become the string sentinels `"+Inf"` /
+/// `"-Inf"` — the output always parses.
+void write_json_double(std::ostream& os, double v);
+
 }  // namespace edgerep::obs

@@ -1,0 +1,189 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace edgerep::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  ring_.resize(capacity_);
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() { stop(); }
+
+void TimeSeriesSampler::add_series(std::string name, Probe probe) {
+  if (started_) {
+    throw std::logic_error("TimeSeriesSampler: add_series after start");
+  }
+  names_.push_back(std::move(name));
+  probes_.push_back(std::move(probe));
+}
+
+void TimeSeriesSampler::add_counter_series(const std::string& metric_name) {
+  Counter& c = metrics().counter(metric_name);
+  add_series(metric_name,
+             [&c] { return static_cast<double>(c.value()); });
+}
+
+void TimeSeriesSampler::add_gauge_series(const std::string& metric_name) {
+  Gauge& g = metrics().gauge(metric_name);
+  add_series(metric_name, [&g] { return g.value(); });
+}
+
+void TimeSeriesSampler::start(std::uint64_t interval_ms) {
+  if (started_) {
+    throw std::logic_error("TimeSeriesSampler: already started");
+  }
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this, interval_ms] { run_loop(interval_ms); });
+}
+
+void TimeSeriesSampler::stop() {
+  if (!started_) return;
+  {
+    const std::lock_guard<std::mutex> lock(stop_mu_);
+    running_.store(false, std::memory_order_release);
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+void TimeSeriesSampler::sample_now() {
+  // Evaluate the probes outside the ring mutex: they may take their own
+  // locks (status board, registry), and holding ours across them would
+  // stall readers for no reason.
+  Sample s;
+  s.t_ns = now_ns();
+  s.values.reserve(probes_.size());
+  for (const Probe& p : probes_) s.values.push_back(p());
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_[head_] = std::move(s);
+  head_ = (head_ + 1) % capacity_;
+  if (count_ < capacity_) ++count_;
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TimeSeriesSampler::run_loop(std::uint64_t interval_ms) {
+  const auto interval =
+      std::chrono::milliseconds(interval_ms > 0 ? interval_ms : 1);
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (running_.load(std::memory_order_acquire)) {
+    lock.unlock();
+    sample_now();
+    lock.lock();
+    stop_cv_.wait_for(lock, interval, [this] {
+      return !running_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+std::vector<std::string> TimeSeriesSampler::series_names() const {
+  return names_;
+}
+
+std::vector<Sample> TimeSeriesSampler::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(count_);
+  // Oldest sample sits at head_ once the ring has wrapped, at 0 before.
+  const std::size_t start = count_ == capacity_ ? head_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+void TimeSeriesSampler::write_csv(std::ostream& os) const {
+  os << "t_ns";
+  for (const std::string& n : names_) os << "," << n;
+  os << "\n";
+  const auto old = os.precision(17);
+  for (const Sample& s : snapshot()) {
+    os << s.t_ns;
+    for (double v : s.values) os << "," << v;
+    os << "\n";
+  }
+  os.precision(old);
+}
+
+void TimeSeriesSampler::write_json(std::ostream& os) const {
+  os << "{\n  \"series\": [";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "\"" << names_[i] << "\"";
+  }
+  os << "],\n  \"samples\": [";
+  const std::vector<Sample> samples = snapshot();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"t_ns\": " << s.t_ns
+       << ", \"values\": [";
+    for (std::size_t j = 0; j < s.values.size(); ++j) {
+      if (j > 0) os << ", ";
+      write_json_double(os, s.values[j]);
+    }
+    os << "]}";
+  }
+  os << (samples.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+void DualPriceBoard::publish(std::uint32_t site, double theta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (site >= theta_.size()) {
+    theta_.resize(site + 1, 0.0);
+    touched_.resize(site + 1, 0);
+  }
+  theta_[site] = theta;
+  touched_[site] = 1;
+}
+
+double DualPriceBoard::theta(std::uint32_t site) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return site < theta_.size() ? theta_[site] : 0.0;
+}
+
+bool DualPriceBoard::touched(std::uint32_t site) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return site < touched_.size() && touched_[site] != 0;
+}
+
+std::size_t DualPriceBoard::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return theta_.size();
+}
+
+double DualPriceBoard::max_theta() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  double best = 0.0;
+  for (std::size_t i = 0; i < theta_.size(); ++i) {
+    if (touched_[i] != 0 && theta_[i] > best) best = theta_[i];
+  }
+  return best;
+}
+
+std::size_t DualPriceBoard::touched_sites() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (char t : touched_) n += t != 0 ? 1 : 0;
+  return n;
+}
+
+void DualPriceBoard::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  theta_.clear();
+  touched_.clear();
+}
+
+DualPriceBoard& dual_prices() {
+  static DualPriceBoard board;
+  return board;
+}
+
+}  // namespace edgerep::obs

@@ -1,0 +1,138 @@
+// Time-series sampler and dual-price board for live telemetry.
+//
+// TimeSeriesSampler turns the point-in-time obs registries into history: it
+// evaluates a set of named probes (counters, gauges, solver internals) at a
+// fixed interval on its own thread and keeps the last `capacity` snapshots
+// in a ring buffer, exportable as CSV or JSON and servable over the
+// embedded HTTP server.  Probes are arbitrary `double()` callables; they
+// run on the sampler thread and must be thread-safe (atomic reads or their
+// own locks).
+//
+//   obs::TimeSeriesSampler sampler;
+//   sampler.add_counter_series("edgerep_online_arrivals_total");
+//   sampler.add_series("inflight", [&] { return double(board.inflight()); });
+//   sampler.start(100);   // one snapshot every 100 ms
+//   ...
+//   sampler.stop();
+//   sampler.write_csv(out);
+//
+// DualPriceBoard is the solver-side half: primal_dual and repair publish
+// each θ (storage dual price) they touch, so the sampler — or a /status
+// scrape — can watch prices move without reaching into solver state.  All
+// publishes are gated by obs::metrics_enabled() at the call site, keeping
+// the disabled path bit-neutral.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace edgerep::obs {
+
+/// One snapshot: sample wall-clock time plus one value per registered
+/// series, in registration order.
+struct Sample {
+  std::uint64_t t_ns = 0;
+  std::vector<double> values;
+};
+
+class TimeSeriesSampler {
+ public:
+  using Probe = std::function<double()>;
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TimeSeriesSampler(std::size_t capacity = kDefaultCapacity);
+  ~TimeSeriesSampler();
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Register a named probe.  Call before start().
+  void add_series(std::string name, Probe probe);
+  /// Convenience: track a registry counter / gauge by name (registers the
+  /// metric if it does not exist yet and caches the stable reference).
+  void add_counter_series(const std::string& metric_name);
+  void add_gauge_series(const std::string& metric_name);
+
+  /// Launch the sampling thread; one snapshot every `interval_ms`.
+  void start(std::uint64_t interval_ms);
+  /// Stop promptly (condition-variable wakeup, no interval-long wait) and
+  /// join.  Idempotent; also called by the destructor.
+  void stop();
+
+  /// Take one snapshot immediately (also usable without start()).
+  void sample_now();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::vector<std::string> series_names() const;
+  /// Buffered samples, oldest first (at most `capacity` of them).
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+  /// Total snapshots ever taken, including ones the ring has overwritten.
+  [[nodiscard]] std::uint64_t total_samples() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Header row `t_ns,<series...>` then one row per sample, oldest first.
+  void write_csv(std::ostream& os) const;
+  /// {"series": [...], "samples": [{"t_ns": ..., "values": [...]}, ...]}
+  /// Non-finite values use the JSON-safe sentinels from metrics.h.
+  void write_json(std::ostream& os) const;
+
+ private:
+  void run_loop(std::uint64_t interval_ms);
+
+  const std::size_t capacity_;
+  std::vector<std::string> names_;
+  std::vector<Probe> probes_;
+
+  mutable std::mutex mu_;          // guards ring_/head_/count_
+  std::vector<Sample> ring_;
+  std::size_t head_ = 0;           // next write slot
+  std::size_t count_ = 0;          // filled slots, ≤ capacity_
+  std::atomic<std::uint64_t> total_{0};
+
+  std::mutex stop_mu_;             // pairs with stop_cv_ for prompt stop
+  std::condition_variable stop_cv_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  std::thread thread_;
+};
+
+/// Latest θ (storage dual price) per site, published by the solvers.
+/// Readers (sampler probes, /status) see the most recent value and whether
+/// the site was ever touched; reset() clears between runs.  Callers gate
+/// publish() with obs::metrics_enabled() so the disabled path stays
+/// bit-neutral.
+class DualPriceBoard {
+ public:
+  void publish(std::uint32_t site, double theta);
+
+  [[nodiscard]] double theta(std::uint32_t site) const;
+  [[nodiscard]] bool touched(std::uint32_t site) const;
+  [[nodiscard]] std::size_t size() const;
+  /// Max θ across touched sites (0 when none) — a one-number congestion
+  /// signal for dashboards.
+  [[nodiscard]] double max_theta() const;
+  [[nodiscard]] std::size_t touched_sites() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> theta_;
+  std::vector<char> touched_;
+};
+
+/// Process-wide board the solver hooks publish into.
+DualPriceBoard& dual_prices();
+
+}  // namespace edgerep::obs

@@ -2,11 +2,37 @@
 
 #include <ostream>
 
+#include "obs/metrics.h"
+
 namespace edgerep::obs {
 
 void Tracer::record(const TraceEvent& ev) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(ev);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < capacity_) {
+      events_.push_back(ev);
+      return;
+    }
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_enabled()) {
+    static Counter& dropped_total = metrics().counter(
+        "edgerep_trace_dropped_total",
+        "trace events discarded because the tracer buffer was full");
+    dropped_total.inc();
+  }
+}
+
+void Tracer::record_async(char phase, const char* name, std::uint64_t id,
+                          std::uint64_t ts_ns, std::uint32_t pid) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.start_ns = ts_ns;
+  ev.tid = static_cast<std::uint32_t>(thread_ordinal());
+  ev.phase = phase;
+  ev.pid = pid;
+  ev.id = id;
+  record(ev);
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {
@@ -22,6 +48,18 @@ std::size_t Tracer::size() const {
 void Tracer::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  events_.shrink_to_fit();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::set_capacity(std::size_t cap) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = cap > 0 ? cap : 1;
+}
+
+std::size_t Tracer::capacity() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
 }
 
 void Tracer::write_chrome_json(std::ostream& os) const {
@@ -32,10 +70,14 @@ void Tracer::write_chrome_json(std::ostream& os) const {
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const TraceEvent& ev = events_[i];
     os << (i == 0 ? "\n" : ",\n") << "  {\"name\": \"" << ev.name
-       << "\", \"cat\": \"edgerep\", \"ph\": \"X\", \"ts\": "
-       << static_cast<double>(ev.start_ns) / 1e3
-       << ", \"dur\": " << static_cast<double>(ev.dur_ns) / 1e3
-       << ", \"pid\": 1, \"tid\": " << ev.tid << "}";
+       << "\", \"cat\": \"edgerep\", \"ph\": \"" << ev.phase
+       << "\", \"ts\": " << static_cast<double>(ev.start_ns) / 1e3;
+    if (ev.phase == 'X') {
+      os << ", \"dur\": " << static_cast<double>(ev.dur_ns) / 1e3;
+    } else {
+      os << ", \"id\": " << ev.id;
+    }
+    os << ", \"pid\": " << ev.pid << ", \"tid\": " << ev.tid << "}";
   }
   os.unsetf(std::ios::fixed);
   os.precision(old);

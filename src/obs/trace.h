@@ -11,12 +11,25 @@
 // overlapping events on one tid.  Scope names must be string literals (the
 // tracer stores the pointer, not a copy).
 //
+// Async spans ("ph":"b"/"e"/"n" with an explicit id) carry caller-supplied
+// timestamps, so the online simulator can emit per-query timelines on the
+// *simulated* clock (sim/online.cpp maps sim seconds to trace seconds and
+// uses pid 2 to keep them off the wall-clock track).  Events with the same
+// id render as one per-query row.
+//
 // When obs::trace_enabled() is false a scope costs one relaxed atomic load
 // at construction and one null check at destruction; nothing is recorded.
 // Recording takes a mutex, so scopes belong around phases (finalize, an
 // algorithm run, a simulation), not in per-item inner loops.
+//
+// The event buffer is bounded (kDefaultCapacity events, ~48 MB; tune with
+// set_capacity) so a week-long `online --serve` run cannot grow memory
+// without bound: once full, new events are dropped, counted by dropped()
+// and the edgerep_trace_dropped_total counter.  The cap never truncates
+// events already recorded.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
@@ -31,14 +44,38 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;  ///< obs::now_ns() at scope entry
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;       ///< obs::thread_ordinal() of the recording thread
+  /// Chrome trace-event phase: 'X' complete (default), 'b'/'e' async
+  /// begin/end, 'n' async instant.  Async phases carry `id` and ignore
+  /// dur_ns.
+  char phase = 'X';
+  std::uint32_t pid = 1;       ///< track group: 1 = wall clock, 2 = sim clock
+  std::uint64_t id = 0;        ///< async span id (same id ⇒ same row)
 };
 
 class Tracer {
  public:
+  /// Default event cap: generous (≈48 MB of events) but finite.
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
   void record(const TraceEvent& ev);
+  /// Record an async event ('b' begin / 'e' end / 'n' instant) at an
+  /// explicit timestamp.  `name` must be a string literal.
+  void record_async(char phase, const char* name, std::uint64_t id,
+                    std::uint64_t ts_ns, std::uint32_t pid = 2);
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
   [[nodiscard]] std::size_t size() const;
-  void clear();
+  void clear();  ///< drops events and zeroes the dropped counter
+
+  /// Maximum events held; once reached, record() drops (and counts) new
+  /// events instead of growing.  Lowering the cap below size() keeps the
+  /// stored events and only blocks future growth.
+  void set_capacity(std::size_t cap);
+  [[nodiscard]] std::size_t capacity() const;
+  /// Events discarded because the buffer was full (also exported as the
+  /// edgerep_trace_dropped_total counter when metrics are on).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Chrome trace-event JSON ({"traceEvents": [...]}, ts/dur in µs) —
   /// loadable in chrome://tracing and Perfetto.
@@ -47,6 +84,8 @@ class Tracer {
  private:
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 /// Process-wide tracer used by all engine instrumentation.

@@ -1,13 +1,87 @@
 #include "sim/online.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <ostream>
 #include <stdexcept>
 
 #include "cloud/delay.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace edgerep {
+
+void OnlineStatusBoard::publish(const OnlineStatus& s) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  status_ = s;
+}
+
+OnlineStatus OnlineStatusBoard::read() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+bool OnlineStatusBoard::due(std::uint64_t min_gap_ns) {
+  const std::uint64_t now = obs::now_ns();
+  std::uint64_t last = last_pub_ns_.load(std::memory_order_relaxed);
+  if (last != 0 && now - last < min_gap_ns) return false;
+  return last_pub_ns_.compare_exchange_strong(last, now,
+                                              std::memory_order_relaxed);
+}
+
+double OnlineStatusBoard::sim_clock() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return status_.sim_clock;
+}
+
+std::size_t OnlineStatusBoard::inflight() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return status_.inflight_demands;
+}
+
+double OnlineStatusBoard::utilization() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return status_.utilization;
+}
+
+bool OnlineStatusBoard::finished() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return status_.finished;
+}
+
+void OnlineStatusBoard::write_json(std::ostream& os) const {
+  const OnlineStatus s = read();
+  const auto old = os.precision(17);
+  os << "{\"sim_clock\": ";
+  obs::write_json_double(os, s.sim_clock);
+  os << ", \"finished\": " << (s.finished ? "true" : "false")
+     << ", \"arrivals_seen\": " << s.arrivals_seen
+     << ", \"inflight_demands\": " << s.inflight_demands
+     << ", \"admitted_queries\": " << s.admitted_queries
+     << ", \"rejected_queries\": " << s.rejected_queries
+     << ", \"failed_by_fault\": " << s.failed_by_fault
+     << ", \"demands_relocated\": " << s.demands_relocated
+     << ", \"fault_events_applied\": " << s.fault_events_applied
+     << ", \"replicas_lost\": " << s.replicas_lost << ", \"utilization\": ";
+  obs::write_json_double(os, s.utilization);
+  os << ", \"site_in_use\": [";
+  for (std::size_t i = 0; i < s.site_in_use.size(); ++i) {
+    if (i > 0) os << ", ";
+    obs::write_json_double(os, s.site_in_use[i]);
+  }
+  os << "], \"site_available\": [";
+  for (std::size_t i = 0; i < s.site_available.size(); ++i) {
+    if (i > 0) os << ", ";
+    obs::write_json_double(os, s.site_available[i]);
+  }
+  os << "]}\n";
+  os.precision(old);
+}
 
 namespace {
 
@@ -27,6 +101,45 @@ struct Inflight {
   bool alive = false;
 };
 
+/// Where (and when, absolute sim seconds) one admitted demand finally
+/// completed — relocation overwrites it.  Feeds the deadline-SLO rollup.
+struct DemandEnd {
+  SiteId site = kInvalidSite;
+  double completion = 0.0;
+};
+
+/// One async span on the sim clock, buffered locally and emitted to the
+/// Tracer after the run (so tracing never interleaves with event dispatch).
+struct SpanRec {
+  const char* name = "";
+  std::uint64_t id = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+
+/// Stable async-span ids: a query's span and its per-demand
+/// transfer/compute spans share the qid prefix so they group in the viewer.
+std::uint64_t query_span_id(QueryId m) {
+  return static_cast<std::uint64_t>(m) << 20;
+}
+std::uint64_t demand_span_id(QueryId m, std::uint32_t d, unsigned kind) {
+  return (static_cast<std::uint64_t>(m) << 20) |
+         (static_cast<std::uint64_t>(d + 1) << 2) | kind;
+}
+
+std::uint64_t sim_ns(double seconds) {
+  return seconds <= 0.0
+             ? 0
+             : static_cast<std::uint64_t>(std::llround(seconds * 1e9));
+}
+
+double slack_percentile(std::vector<double>& xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return percentile_sorted(xs, p);
+}
+
 }  // namespace
 
 OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
@@ -41,6 +154,31 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
   Rng rng(cfg.seed);
   EventQueue eq;
   FaultState faults(inst);
+
+  // Telemetry facets, sampled once so a mid-run toggle cannot tear the run.
+  // None of them feeds back into a decision: the simulation is bit-identical
+  // with every facet on or off (pinned by obs_equivalence_test).
+  const bool metrics_on = obs::metrics_enabled();
+  const bool trace_on = obs::trace_enabled();
+  const bool audit_on = obs::audit_enabled();
+  OnlineStatusBoard* board = cfg.status_board;
+  std::vector<obs::AuditEntry> audit_entries;
+
+  // Arrival-path counters, resolved once: the per-arrival cost is a null
+  // check and two striped increments, not three registry guard loads.
+  obs::Counter* c_arrivals = nullptr;
+  obs::Counter* c_admitted = nullptr;
+  obs::Counter* c_rejected = nullptr;
+  if (metrics_on) {
+    c_arrivals = &obs::metrics().counter("edgerep_online_arrivals_total",
+                                         "query arrivals seen");
+    c_admitted =
+        &obs::metrics().counter("edgerep_online_queries_admitted_total",
+                                "queries admitted on arrival");
+    c_rejected =
+        &obs::metrics().counter("edgerep_online_queries_rejected_total",
+                                "queries rejected on arrival");
+  }
 
   OnlineResult res;
   res.replica_sites.resize(inst.datasets().size());
@@ -70,6 +208,22 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
   std::vector<Inflight> flights;
   std::vector<std::vector<std::size_t>> by_site(sites.size());
   std::vector<std::vector<std::size_t>> by_query(inst.queries().size());
+  // Running aggregates for the status board; maintained unconditionally
+  // (two additions per launch/retire) so the board never perturbs the run.
+  std::size_t inflight_count = 0;
+  double in_use_total = 0.0;
+  std::size_t arrivals_seen = 0;
+  std::size_t rejected_queries = 0;
+
+  // Deadline-SLO bookkeeping: final serving site + absolute completion per
+  // admitted demand (relocation overwrites).
+  std::vector<std::vector<DemandEnd>> demand_ends(inst.queries().size());
+
+  // Span timelines (trace facet): buffered locally, emitted after the run.
+  std::vector<SpanRec> spans;
+  std::vector<SpanRec> instants;  // t0 only; 'n' events (crash / relocate)
+  std::vector<std::size_t> query_span(inst.queries().size(), kNoSpan);
+  std::vector<std::array<std::size_t, 2>> flight_spans;  // [transfer, compute]
 
   auto has_replica = [&](DatasetId n, SiteId l) {
     const auto& v = res.replica_sites[n];
@@ -84,27 +238,108 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
                                     used / total_available);
   };
 
+  /// Publish a throttled snapshot to the status board and refresh the live
+  /// gauges.  Reads sim state, never writes it.  Gauges and snapshots are
+  /// point-in-time views, so both ride the same two-stage throttle: a
+  /// branch-and-mask event pre-gate (every event), then a ~2 ms wall-clock
+  /// floor (every 32nd event) — scrapers see fresh-enough data and the
+  /// event loop never reads a clock or builds vectors per event.
+  std::uint32_t status_tick = 0;
+  auto push_status = [&](bool force) {
+    if (!metrics_on && board == nullptr) return;
+    if (!force) {
+      if ((++status_tick & 31u) != 0) return;
+      if (board != nullptr && !board->due(2'000'000)) return;
+    }
+    if (metrics_on) {
+      static obs::Gauge& g_inflight = obs::metrics().gauge(
+          "edgerep_online_inflight", "demands currently holding resource");
+      static obs::Gauge& g_clock = obs::metrics().gauge(
+          "edgerep_online_sim_clock_seconds", "simulated seconds elapsed");
+      static obs::Gauge& g_util = obs::metrics().gauge(
+          "edgerep_online_utilization",
+          "in-use GHz over fault-free total GHz");
+      g_inflight.set(static_cast<double>(inflight_count));
+      g_clock.set(eq.now());
+      g_util.set(total_available > 0.0 ? in_use_total / total_available
+                                       : 0.0);
+    }
+    if (board == nullptr) return;
+    OnlineStatus st;
+    st.sim_clock = eq.now();
+    st.arrivals_seen = arrivals_seen;
+    st.inflight_demands = inflight_count;
+    st.admitted_queries = res.admitted_queries;
+    st.rejected_queries = rejected_queries;
+    st.failed_by_fault = res.queries_failed_by_fault;
+    st.demands_relocated = res.demands_relocated;
+    st.fault_events_applied = res.fault_events_applied;
+    st.replicas_lost = res.replicas_lost_to_faults;
+    st.utilization =
+        total_available > 0.0 ? in_use_total / total_available : 0.0;
+    st.site_in_use.reserve(sites.size());
+    st.site_available.reserve(sites.size());
+    for (const Site& s : inst.sites()) {
+      st.site_in_use.push_back(sites[s.id].in_use);
+      st.site_available.push_back(faults.available(s.id));
+    }
+    st.finished = force && arrivals_seen == inst.queries().size();
+    board->publish(st);
+  };
+
+  /// Truncate a killed flight's spans at the kill instant (a demand span
+  /// that never started is dropped at emission: t1 ≤ t0).
+  auto truncate_flight_spans = [&](std::size_t idx) {
+    if (!trace_on) return;
+    for (const std::size_t si : flight_spans[idx]) {
+      if (si == kNoSpan) continue;
+      spans[si].t0 = std::min(spans[si].t0, eq.now());
+      spans[si].t1 = std::min(spans[si].t1, eq.now());
+    }
+  };
+
   /// Release a flight's resource (idempotent).
   auto kill_flight = [&](std::size_t idx) {
     Inflight& f = flights[idx];
     if (!f.alive) return;
     f.alive = false;
     sites[f.site].in_use -= f.need;
+    --inflight_count;
+    in_use_total -= f.need;
+    truncate_flight_spans(idx);
   };
 
-  /// Register a new flight at `site` and schedule its completion.
+  /// Register a new flight at `site` and schedule its completion.  `total`
+  /// is the full evaluation delay (transfer + processing) for the span
+  /// timeline; resource is held for the processing window `proc` only.
   auto launch_flight = [&](QueryId m, std::uint32_t demand, SiteId site,
-                           double need, double proc) {
+                           double need, double proc, double total) {
     const std::size_t idx = flights.size();
     flights.push_back({m, demand, site, need, true});
+    flight_spans.push_back({kNoSpan, kNoSpan});
+    if (trace_on) {
+      const double t0 = eq.now();
+      const double t_mid = t0 + std::max(0.0, total - proc);
+      flight_spans[idx][0] = spans.size();
+      spans.push_back({"online.transfer", demand_span_id(m, demand, 1), t0,
+                       t_mid});
+      flight_spans[idx][1] = spans.size();
+      spans.push_back({"online.compute", demand_span_id(m, demand, 2), t_mid,
+                       t0 + total});
+    }
     by_site[site].push_back(idx);
     by_query[m].push_back(idx);
     sites[site].in_use += need;
-    eq.schedule_in(proc, [&flights, &sites, idx] {
+    ++inflight_count;
+    in_use_total += need;
+    eq.schedule_in(proc, [&, idx] {
       Inflight& f = flights[idx];
       if (!f.alive) return;
       f.alive = false;
       sites[f.site].in_use -= f.need;
+      --inflight_count;
+      in_use_total -= f.need;
+      push_status(false);
     });
   };
 
@@ -114,9 +349,37 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
   auto fail_query = [&](QueryId m) {
     if (res.outcomes[m].failed_by_fault) return;
     for (const std::size_t idx : by_query[m]) kill_flight(idx);
+    // Keep the provisional live count honest; the exact count is recomputed
+    // from outcomes after eq.run().
+    if (res.outcomes[m].admitted && res.admitted_queries > 0) {
+      --res.admitted_queries;
+    }
     res.outcomes[m].admitted = false;
     res.outcomes[m].failed_by_fault = true;
     ++res.queries_failed_by_fault;
+    if (trace_on) {
+      if (query_span[m] != kNoSpan) {
+        spans[query_span[m]].t1 =
+            std::min(spans[query_span[m]].t1, eq.now());
+      }
+      instants.push_back({"online.crash", query_span_id(m), eq.now(), 0.0});
+    }
+    if (metrics_on) {
+      static obs::Counter& failed = obs::metrics().counter(
+          "edgerep_online_queries_failed_by_fault_total",
+          "admitted queries killed mid-flight by an injected fault");
+      failed.inc();
+    }
+    if (audit_on) {
+      const Query& q = inst.query(m);
+      obs::AuditEntry e;
+      e.algorithm = "online";
+      e.query = m;
+      e.dataset = q.demands.empty() ? 0 : q.demands.front().dataset;
+      e.admitted = false;
+      e.reason = obs::AuditReason::kFaultEvicted;
+      audit_entries.push_back(e);
+    }
   };
 
   /// Pick the least-relatively-filled surviving site able to serve one
@@ -161,12 +424,29 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
     if (site == kInvalidSite) return false;
     if (new_replica) res.replica_sites[dd.dataset].push_back(site);
     const Dataset& ds = inst.dataset(dd.dataset);
+    const double total = faults.evaluation_delay(q, dd, site);
     launch_flight(f.query, f.demand, site, f.need,
-                  ds.volume * inst.site(site).proc_delay);
+                  ds.volume * inst.site(site).proc_delay, total);
+    const double completion = eq.now() + total;
     res.outcomes[f.query].completion_time =
-        std::max(res.outcomes[f.query].completion_time,
-                 eq.now() + faults.evaluation_delay(q, dd, site));
+        std::max(res.outcomes[f.query].completion_time, completion);
+    demand_ends[f.query][f.demand] = {site, completion};
     ++res.demands_relocated;
+    if (trace_on) {
+      instants.push_back({"online.relocate",
+                          demand_span_id(f.query, f.demand, 0), eq.now(),
+                          0.0});
+      if (query_span[f.query] != kNoSpan) {
+        spans[query_span[f.query]].t1 =
+            std::max(spans[query_span[f.query]].t1, completion);
+      }
+    }
+    if (metrics_on) {
+      static obs::Counter& relocated = obs::metrics().counter(
+          "edgerep_online_demands_relocated_total",
+          "displaced demands re-seated on surviving sites");
+      relocated.inc();
+    }
     return true;
   };
 
@@ -221,7 +501,6 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
   // Admission of one query at its arrival instant.  Transactional: collect
   // a tentative per-demand decision, commit only when every demand lands.
   auto admit = [&](const Query& q, OnlineOutcome& outcome) {
-    if (!faults.site_up(q.home)) return false;  // nowhere to aggregate
     struct Decision {
       SiteId site = kInvalidSite;
       bool new_replica = false;
@@ -234,6 +513,61 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
     // Tentative loads so one query's demands see each other's reservations.
     std::vector<double> tentative(sites.size(), 0.0);
     std::vector<std::size_t> tentative_replicas(inst.datasets().size(), 0);
+
+    /// Forensics on the failing demand (audit facet only; reads state, so
+    /// the hot admission scan below stays untouched).
+    auto classify_rejection = [&](const DatasetDemand& dd) {
+      bool any_deadline = false;
+      bool any_budget = false;
+      for (const Site& s : inst.sites()) {
+        if (!faults.site_up(s.id)) continue;
+        if (!faults.deadline_ok(q, dd, s.id)) continue;
+        any_deadline = true;
+        if (!has_replica(dd.dataset, s.id)) {
+          if (!cfg.reactive_replicas) continue;
+          if (res.replica_sites[dd.dataset].size() +
+                  tentative_replicas[dd.dataset] >=
+              inst.max_replicas()) {
+            continue;
+          }
+        }
+        any_budget = true;
+      }
+      if (!any_deadline) return obs::AuditReason::kNoDeadlineFeasibleSite;
+      if (!any_budget) return obs::AuditReason::kReplicaBudgetSpent;
+      return obs::AuditReason::kCapacityExhausted;
+    };
+    /// Log the abort: already-decided siblings roll back, the failing
+    /// demand carries the binding reason.
+    auto audit_abort = [&](std::uint32_t failing, obs::AuditReason why) {
+      if (!audit_on) return;
+      for (std::uint32_t j = 0; j < failing; ++j) {
+        obs::AuditEntry e;
+        e.algorithm = "online";
+        e.query = q.id;
+        e.demand = j;
+        e.dataset = q.demands[j].dataset;
+        e.admitted = false;
+        e.reason = obs::AuditReason::kAtomicRollback;
+        e.site = decisions[j].site;
+        audit_entries.push_back(e);
+      }
+      obs::AuditEntry e;
+      e.algorithm = "online";
+      e.query = q.id;
+      e.demand = failing;
+      e.dataset = failing < q.demands.size()
+                      ? q.demands[failing].dataset
+                      : (q.demands.empty() ? 0 : q.demands.front().dataset);
+      e.admitted = false;
+      e.reason = why;
+      audit_entries.push_back(e);
+    };
+
+    if (!faults.site_up(q.home)) {  // nowhere to aggregate
+      audit_abort(0, obs::AuditReason::kNoDeadlineFeasibleSite);
+      return false;
+    }
     for (const DatasetDemand& dd : q.demands) {
       const double need = resource_demand(inst, q, dd);
       Decision best;
@@ -259,7 +593,11 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
           best_fill = fill;
         }
       }
-      if (best.site == kInvalidSite) return false;
+      if (best.site == kInvalidSite) {
+        audit_abort(static_cast<std::uint32_t>(decisions.size()),
+                    classify_rejection(dd));
+        return false;
+      }
       best.need = need;
       const Dataset& ds = inst.dataset(dd.dataset);
       best.proc = ds.volume * inst.site(best.site).proc_delay;
@@ -271,6 +609,12 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
     }
     // Commit.
     double response = 0.0;
+    demand_ends[q.id].resize(q.demands.size());
+    if (trace_on) {
+      query_span[q.id] = spans.size();
+      spans.push_back({"online.query", query_span_id(q.id), eq.now(),
+                       eq.now()});
+    }
     for (std::size_t i = 0; i < q.demands.size(); ++i) {
       const Decision& d = decisions[i];
       const DatasetId n = q.demands[i].dataset;
@@ -278,19 +622,33 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
         res.replica_sites[n].push_back(d.site);
       }
       launch_flight(q.id, static_cast<std::uint32_t>(i), d.site, d.need,
-                    d.proc);
+                    d.proc, d.total_delay);
+      demand_ends[q.id][i] = {d.site, eq.now() + d.total_delay};
       response = std::max(response, d.total_delay);
+      if (audit_on) {
+        obs::AuditEntry e;
+        e.algorithm = "online";
+        e.query = q.id;
+        e.demand = static_cast<std::uint32_t>(i);
+        e.dataset = n;
+        e.admitted = true;
+        e.site = d.site;
+        e.placed_replica = d.new_replica;
+        audit_entries.push_back(e);
+      }
     }
     track_peak();
     outcome.completion_time = eq.now() + response;
+    if (trace_on && query_span[q.id] != kNoSpan) {
+      spans[query_span[q.id]].t1 = outcome.completion_time;
+    }
     return true;
   };
 
   // Fault events first: at equal times a fault resolves before an arrival
   // (FIFO tie-break on insertion order).
   for (const FaultEvent& e : cfg.faults.events) {
-    eq.schedule_at(e.time, [&faults, &res, &on_site_down, &on_capacity_loss,
-                            e] {
+    eq.schedule_at(e.time, [&, e] {
       faults.apply(e);
       ++res.fault_events_applied;
       switch (e.kind) {
@@ -303,6 +661,13 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
         default:
           break;  // recoveries and link events shape future decisions only
       }
+      if (metrics_on) {
+        static obs::Counter& fault_events = obs::metrics().counter(
+            "edgerep_online_fault_events_total",
+            "fault-trace events applied by the online simulator");
+        fault_events.inc();
+      }
+      push_status(false);
     });
   }
 
@@ -316,12 +681,27 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
                  : 1.0 / cfg.arrival_rate;
     res.outcomes[q.id] = OnlineOutcome{q.id, clock, false, 0.0, false};
     const QueryId m = q.id;
-    eq.schedule_at(clock, [&inst, &res, &admit, m] {
-      res.outcomes[m].admitted = admit(inst.query(m), res.outcomes[m]);
+    eq.schedule_at(clock, [&, m] {
+      ++arrivals_seen;
+      const bool ok = admit(inst.query(m), res.outcomes[m]);
+      res.outcomes[m].admitted = ok;
+      if (ok) {
+        ++res.admitted_queries;  // provisional; faults may revoke below
+      } else {
+        ++rejected_queries;
+      }
+      if (c_arrivals != nullptr) {
+        c_arrivals->inc();
+        (ok ? c_admitted : c_rejected)->inc();
+      }
+      push_status(false);
     });
   }
+  // The arrival loop above keeps a provisional admitted count so the status
+  // board can show it live; recompute exactly below once faults settle.
   eq.run();
 
+  res.admitted_queries = 0;
   for (const OnlineOutcome& o : res.outcomes) {
     if (o.admitted) {
       ++res.admitted_queries;
@@ -332,6 +712,77 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
                        ? 0.0
                        : static_cast<double>(res.admitted_queries) /
                              static_cast<double>(inst.queries().size());
+
+  // Deadline-SLO rollup over the surviving queries.  Slack can go negative
+  // only via fault-forced relocation (admission itself is deadline-safe).
+  {
+    std::vector<double> query_slacks;
+    std::vector<std::vector<double>> site_slacks(sites.size());
+    std::vector<std::size_t> site_hits(sites.size(), 0);
+    query_slacks.reserve(res.admitted_queries);
+    for (const OnlineOutcome& o : res.outcomes) {
+      if (!o.admitted) continue;
+      const Query& q = inst.query(o.query);
+      query_slacks.push_back(q.deadline -
+                             (o.completion_time - o.arrival_time));
+      for (const DemandEnd& de : demand_ends[o.query]) {
+        if (de.site == kInvalidSite) continue;
+        const double slack = q.deadline - (de.completion - o.arrival_time);
+        site_slacks[de.site].push_back(slack);
+        if (slack >= -1e-9) ++site_hits[de.site];
+      }
+    }
+    res.slo.admitted_queries = res.admitted_queries;
+    for (const double s : query_slacks) {
+      if (s >= -1e-9) ++res.slo.deadline_hits;
+    }
+    res.slo.hit_ratio =
+        query_slacks.empty()
+            ? 0.0
+            : static_cast<double>(res.slo.deadline_hits) /
+                  static_cast<double>(query_slacks.size());
+    res.slo.p50_slack = slack_percentile(query_slacks, 50.0);
+    res.slo.p95_slack = slack_percentile(query_slacks, 5.0);
+    res.slo.p99_slack = slack_percentile(query_slacks, 1.0);
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      if (site_slacks[s].empty()) continue;
+      OnlineSiteSlo slo;
+      slo.site = static_cast<SiteId>(s);
+      slo.demands = site_slacks[s].size();
+      slo.deadline_hits = site_hits[s];
+      slo.p50_slack = slack_percentile(site_slacks[s], 50.0);
+      slo.p95_slack = slack_percentile(site_slacks[s], 5.0);
+      slo.p99_slack = slack_percentile(site_slacks[s], 1.0);
+      res.slo.per_site.push_back(slo);
+    }
+  }
+
+  // Emit the buffered span timeline: async 'b'/'e' pairs (and 'n' instants)
+  // on pid 2 — the sim-clock track — so Perfetto shows each query's
+  // arrival → transfer → compute → completion lane next to the wall-clock
+  // phase spans on pid 1.
+  if (trace_on) {
+    obs::Tracer& tr = obs::tracer();
+    for (const SpanRec& sp : spans) {
+      if (sp.t1 <= sp.t0) continue;  // killed before it started
+      tr.record_async('b', sp.name, sp.id, sim_ns(sp.t0));
+      tr.record_async('e', sp.name, sp.id, sim_ns(sp.t1));
+    }
+    for (const SpanRec& in : instants) {
+      tr.record_async('n', in.name, in.id, sim_ns(in.t0));
+    }
+  }
+
+  if (audit_on) {
+    obs::audit_log().record_batch(audit_entries);
+  }
+  if (metrics_on) {
+    static obs::Gauge& g_hit_ratio = obs::metrics().gauge(
+        "edgerep_online_slo_hit_ratio",
+        "deadline hit ratio of the last online run");
+    g_hit_ratio.set(res.slo.hit_ratio);
+  }
+  push_status(true);
   return res;
 }
 

@@ -33,13 +33,64 @@
 // to finalize the instance (pinned by tests/sim/online_test.cpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <iosfwd>
+#include <mutex>
 #include <vector>
 
 #include "cloud/plan.h"
+#include "obs/obs.h"
 #include "sim/faults.h"
 
 namespace edgerep {
+
+/// Point-in-time snapshot of a running online simulation, published by
+/// run_online into an OnlineStatusBoard so the telemetry HTTP server can
+/// answer /status while the run is in progress.
+struct OnlineStatus {
+  double sim_clock = 0.0;          ///< seconds of simulated time elapsed
+  std::size_t arrivals_seen = 0;
+  std::size_t inflight_demands = 0;
+  std::size_t admitted_queries = 0;
+  std::size_t rejected_queries = 0;
+  std::size_t failed_by_fault = 0;
+  std::size_t demands_relocated = 0;
+  std::size_t fault_events_applied = 0;
+  std::size_t replicas_lost = 0;
+  double utilization = 0.0;        ///< in-use GHz / fault-free total GHz
+  std::vector<double> site_in_use;     ///< per site, GHz
+  std::vector<double> site_available;  ///< per site, fault-scaled GHz
+  bool finished = false;
+};
+
+/// Mailbox between the (single-threaded, deterministic) simulation and
+/// concurrent telemetry readers.  The simulation publishes snapshots; the
+/// HTTP server and sampler read them.  Publication never feeds back into
+/// the simulation, so attaching a board cannot change results.
+class OnlineStatusBoard {
+ public:
+  void publish(const OnlineStatus& s);
+  [[nodiscard]] OnlineStatus read() const;
+
+  /// Wall-clock throttle for the publisher: true (and arms the next gap)
+  /// when at least `min_gap_ns` elapsed since the last granted publish.
+  bool due(std::uint64_t min_gap_ns);
+
+  /// Cheap scalar reads for sampler probes (one mutex hop, no copies).
+  [[nodiscard]] double sim_clock() const;
+  [[nodiscard]] std::size_t inflight() const;
+  [[nodiscard]] double utilization() const;
+  [[nodiscard]] bool finished() const;
+
+  /// One JSON object mirroring OnlineStatus (arrays included).
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  OnlineStatus status_;
+  std::atomic<std::uint64_t> last_pub_ns_{0};
+};
 
 struct OnlineConfig {
   enum class Arrivals : std::uint8_t { kPoisson, kUniform };
@@ -63,6 +114,12 @@ struct OnlineConfig {
   /// in-flight demands on surviving sites (reactive repair).  With false,
   /// displaced queries simply fail.
   bool repair_on_failure = true;
+
+  /// Optional live-status mailbox (not owned).  When set, the run publishes
+  /// throttled OnlineStatus snapshots for the telemetry endpoints; results
+  /// are bit-identical with or without a board (pinned by
+  /// tests/integration/obs_equivalence_test.cpp).
+  OnlineStatusBoard* status_board = nullptr;
 };
 
 struct OnlineOutcome {
@@ -73,6 +130,34 @@ struct OnlineOutcome {
   /// Admitted on arrival, then killed by a fault mid-flight (admitted is
   /// false for these — a failed query does not count toward throughput).
   bool failed_by_fault = false;
+};
+
+/// Deadline-SLO aggregates for the demands a site ended up serving.  Slack
+/// is `deadline − (completion − arrival)` in seconds; negative slack means
+/// a fault-forced relocation finished the work after the deadline.
+struct OnlineSiteSlo {
+  SiteId site = kInvalidSite;
+  std::size_t demands = 0;        ///< admitted demands finally served here
+  std::size_t deadline_hits = 0;  ///< of those, finished with slack ≥ 0
+  double p50_slack = 0.0;
+  double p95_slack = 0.0;
+  double p99_slack = 0.0;
+};
+
+/// Deadline-SLO rollup over the queries that survived the horizon.
+/// Fault-free runs hit every deadline by construction (admission only
+/// commits deadline-feasible sites), so hit_ratio < 1 is a fault signature.
+struct SloRollup {
+  std::size_t admitted_queries = 0;
+  std::size_t deadline_hits = 0;
+  double hit_ratio = 0.0;  ///< deadline_hits / admitted_queries (0 if none)
+  /// Tail percentiles of per-query slack, seconds: pXX_slack is the slack
+  /// the worst (100 − XX)% of queries fall below — 95% of queries finished
+  /// with at least p95_slack to spare.
+  double p50_slack = 0.0;
+  double p95_slack = 0.0;
+  double p99_slack = 0.0;
+  std::vector<OnlineSiteSlo> per_site;  ///< only sites that served demands
 };
 
 struct OnlineResult {
@@ -91,6 +176,9 @@ struct OnlineResult {
   std::size_t queries_failed_by_fault = 0;
   std::size_t demands_relocated = 0;  ///< displaced and re-seated in flight
   std::size_t replicas_lost_to_faults = 0;
+
+  /// Deadline-SLO rollup (computed on every run; deterministic).
+  SloRollup slo;
 };
 
 /// Run online admission over the instance's query population (arrival order

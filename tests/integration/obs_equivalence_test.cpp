@@ -17,8 +17,11 @@
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "sim/online.h"
 #include "sim/simulator.h"
+#include "workload/fault_gen.h"
 
 namespace edgerep {
 namespace {
@@ -115,6 +118,75 @@ TEST_F(ObsEquivalenceTest, SimulatedReportIsBitIdentical) {
     EXPECT_EQ(off.outcomes[i].completion_time, on.outcomes[i].completion_time);
     EXPECT_EQ(off.outcomes[i].met_deadline, on.outcomes[i].met_deadline);
   }
+}
+
+TEST_F(ObsEquivalenceTest, OnlineRunIsBitIdentical) {
+  // The full telemetry plane — metrics, span tracing, audit, dual-price
+  // board, and a live status board — attached to a faulted online run must
+  // not change a single bit of the result.
+  const Instance inst = testing::medium_instance(11, /*f_max=*/3);
+  FaultScenarioConfig fcfg;
+  fcfg.horizon = 10.0;
+  fcfg.site_crashes = 2;
+  fcfg.capacity_losses = 1;
+  fcfg.mean_repair_time = 4.0;
+  OnlineConfig cfg;
+  cfg.seed = 0x5e55;
+  cfg.faults = generate_fault_trace(inst, fcfg, 29);
+
+  obs::set_all_enabled(false);
+  const OnlineResult off = run_online(inst, cfg);
+
+  obs::set_all_enabled(true);
+  OnlineStatusBoard board;
+  OnlineConfig cfg_on = cfg;
+  cfg_on.status_board = &board;
+  const OnlineResult on = run_online(inst, cfg_on);
+  obs::set_all_enabled(false);
+
+  ASSERT_EQ(off.outcomes.size(), on.outcomes.size());
+  for (std::size_t i = 0; i < off.outcomes.size(); ++i) {
+    EXPECT_EQ(off.outcomes[i].admitted, on.outcomes[i].admitted);
+    EXPECT_EQ(off.outcomes[i].failed_by_fault, on.outcomes[i].failed_by_fault);
+    EXPECT_EQ(off.outcomes[i].arrival_time, on.outcomes[i].arrival_time);
+    EXPECT_EQ(off.outcomes[i].completion_time, on.outcomes[i].completion_time);
+  }
+  EXPECT_EQ(off.admitted_queries, on.admitted_queries);
+  EXPECT_EQ(off.admitted_volume, on.admitted_volume);
+  EXPECT_EQ(off.throughput, on.throughput);
+  EXPECT_EQ(off.peak_utilization, on.peak_utilization);
+  EXPECT_EQ(off.replica_sites, on.replica_sites);
+  EXPECT_EQ(off.fault_events_applied, on.fault_events_applied);
+  EXPECT_EQ(off.queries_failed_by_fault, on.queries_failed_by_fault);
+  EXPECT_EQ(off.demands_relocated, on.demands_relocated);
+  EXPECT_EQ(off.replicas_lost_to_faults, on.replicas_lost_to_faults);
+
+  // SLO rollup, bit-for-bit as well.
+  EXPECT_EQ(off.slo.admitted_queries, on.slo.admitted_queries);
+  EXPECT_EQ(off.slo.deadline_hits, on.slo.deadline_hits);
+  EXPECT_EQ(off.slo.hit_ratio, on.slo.hit_ratio);
+  EXPECT_EQ(off.slo.p50_slack, on.slo.p50_slack);
+  EXPECT_EQ(off.slo.p95_slack, on.slo.p95_slack);
+  EXPECT_EQ(off.slo.p99_slack, on.slo.p99_slack);
+  ASSERT_EQ(off.slo.per_site.size(), on.slo.per_site.size());
+  for (std::size_t i = 0; i < off.slo.per_site.size(); ++i) {
+    EXPECT_EQ(off.slo.per_site[i].site, on.slo.per_site[i].site);
+    EXPECT_EQ(off.slo.per_site[i].demands, on.slo.per_site[i].demands);
+    EXPECT_EQ(off.slo.per_site[i].deadline_hits,
+              on.slo.per_site[i].deadline_hits);
+    EXPECT_EQ(off.slo.per_site[i].p50_slack, on.slo.per_site[i].p50_slack);
+    EXPECT_EQ(off.slo.per_site[i].p95_slack, on.slo.per_site[i].p95_slack);
+    EXPECT_EQ(off.slo.per_site[i].p99_slack, on.slo.per_site[i].p99_slack);
+  }
+
+  // The enabled run really did publish telemetry: the board saw the end of
+  // the run and the tracer holds the span timeline.
+  EXPECT_TRUE(board.finished());
+  EXPECT_EQ(board.read().admitted_queries, on.admitted_queries);
+  EXPECT_GT(obs::tracer().size(), 0u);
+  obs::tracer().clear();
+  obs::audit_log().clear();
+  obs::dual_prices().reset();
 }
 
 TEST_F(ObsEquivalenceTest, AuditVerdictsMatchPlanAdmissionCounts) {

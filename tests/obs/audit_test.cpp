@@ -230,5 +230,44 @@ TEST_F(AuditTest, WriteJsonShape) {
   EXPECT_NE(text.find("\"admitted_queries\": 1"), std::string::npos);
 }
 
+TEST_F(AuditTest, RecordBatchMatchesSingularRecords) {
+  std::vector<obs::AuditEntry> batch;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    obs::AuditEntry e;
+    e.algorithm = "batch_test";
+    e.query = i;
+    e.demand = i % 2;
+    e.admitted = (i % 2) == 0;
+    e.reason = e.admitted ? obs::AuditReason::kAdmitted
+                          : obs::AuditReason::kCapacityExhausted;
+    e.site = i;
+    batch.push_back(e);
+  }
+
+  obs::AuditLog singular;
+  for (const obs::AuditEntry& e : batch) singular.record(e);
+  obs::AuditLog batched;
+  batched.record_batch(batch);
+
+  const auto a = singular.snapshot();
+  const auto b = batched.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_STREQ(a[i].algorithm, b[i].algorithm);
+    EXPECT_EQ(a[i].query, b[i].query);
+    EXPECT_EQ(a[i].demand, b[i].demand);
+    EXPECT_EQ(a[i].admitted, b[i].admitted);
+    EXPECT_EQ(a[i].reason, b[i].reason);
+    EXPECT_EQ(a[i].site, b[i].site);
+  }
+
+  // Batches append after existing entries and an empty batch is a no-op.
+  batched.record_batch({});
+  EXPECT_EQ(batched.size(), batch.size());
+  batched.record_batch(batch);
+  EXPECT_EQ(batched.size(), 2 * batch.size());
+  EXPECT_EQ(batched.snapshot()[batch.size()].query, 0u);
+}
+
 }  // namespace
 }  // namespace edgerep

@@ -1,0 +1,170 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace edgerep {
+namespace {
+
+/// Minimal raw-socket HTTP client: one GET, read to EOF (the server closes
+/// every connection), return the whole response text.
+std::string http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)!::send(fd, req.data(), req.size(), 0);
+  std::string out;
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string http_request_raw(std::uint16_t port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return "";
+  }
+  (void)!::send(fd, raw.data(), raw.size(), 0);
+  std::string out;
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(HttpServerTest, ServesRegisteredRouteOnEphemeralPort) {
+  obs::HttpServer server;
+  server.route("/hello", [](const obs::HttpRequest& req) {
+    EXPECT_EQ(req.method, "GET");
+    return obs::HttpResponse{200, "text/plain", "hi there\n"};
+  });
+  server.start(0);
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  const std::string resp = http_get(server.port(), "/hello");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 9"), std::string::npos);
+  EXPECT_NE(resp.find("Connection: close"), std::string::npos);
+  EXPECT_NE(resp.find("hi there"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 1u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, QueryStringIsSplitOffThePath) {
+  obs::HttpServer server;
+  std::string seen_query;
+  server.route("/data", [&seen_query](const obs::HttpRequest& req) {
+    seen_query = req.query;
+    return obs::HttpResponse{};
+  });
+  server.start(0);
+  const std::string resp = http_get(server.port(), "/data?format=csv&n=3");
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_EQ(seen_query, "format=csv&n=3");
+  server.stop();
+}
+
+TEST(HttpServerTest, UnknownPathIs404AndNonGetIs405) {
+  obs::HttpServer server;
+  server.route("/only", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{};
+  });
+  server.start(0);
+  EXPECT_NE(http_get(server.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(
+      http_request_raw(server.port(),
+                       "POST /only HTTP/1.1\r\nHost: x\r\n\r\n")
+          .find("HTTP/1.1 405"),
+      std::string::npos);
+  EXPECT_NE(http_request_raw(server.port(), "garbage\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServerTest, ServesLiveMetricsRegistry) {
+  obs::set_metrics_enabled(true);
+  obs::Counter& c =
+      obs::metrics().counter("http_test_hits_total", "test counter");
+  c.inc(3);
+
+  obs::HttpServer server;
+  server.route("/metrics", [](const obs::HttpRequest&) {
+    std::ostringstream os;
+    obs::metrics().write_prometheus(os);
+    return obs::HttpResponse{200, "text/plain; version=0.0.4", os.str()};
+  });
+  server.start(0);
+  const std::string resp = http_get(server.port(), "/metrics");
+  EXPECT_NE(resp.find("http_test_hits_total"), std::string::npos);
+  server.stop();
+  obs::set_metrics_enabled(false);
+  obs::init_from_env();
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartIsRejected) {
+  obs::HttpServer server;
+  server.route("/x", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{};
+  });
+  server.start(0);
+  server.stop();
+  server.stop();  // second stop is a no-op
+  EXPECT_FALSE(server.running());
+  EXPECT_THROW(server.start(0), std::runtime_error);  // start-once contract
+}
+
+TEST(HttpServerTest, ManySequentialRequestsAreAllServed) {
+  obs::HttpServer server;
+  server.route("/ping", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, "text/plain", "pong"};
+  });
+  server.start(0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NE(http_get(server.port(), "/ping").find("pong"),
+              std::string::npos);
+  }
+  EXPECT_EQ(server.requests_served(), 20u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace edgerep

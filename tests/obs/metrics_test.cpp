@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -192,6 +193,65 @@ TEST_F(MetricsTest, JsonExport) {
   EXPECT_NE(text.find("\"gauges\""), std::string::npos);
   EXPECT_NE(text.find("\"histograms\""), std::string::npos);
   EXPECT_NE(text.find("\"+Inf\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, NonFiniteDoublesUsePrometheusSpellings) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  std::ostringstream os;
+  obs::write_prometheus_double(os, kInf);
+  os << " ";
+  obs::write_prometheus_double(os, -kInf);
+  os << " ";
+  obs::write_prometheus_double(os, kNan);
+  os << " ";
+  obs::write_prometheus_double(os, 2.5);
+  EXPECT_EQ(os.str(), "+Inf -Inf NaN 2.5");
+}
+
+TEST_F(MetricsTest, NonFiniteDoublesStayValidJson) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  std::ostringstream os;
+  os << "[";
+  obs::write_json_double(os, kNan);
+  os << ", ";
+  obs::write_json_double(os, kInf);
+  os << ", ";
+  obs::write_json_double(os, -kInf);
+  os << ", ";
+  obs::write_json_double(os, 0.5);
+  os << "]";
+  // NaN → null, infinities → string sentinels: the array always parses.
+  EXPECT_EQ(os.str(), "[null, \"+Inf\", \"-Inf\", 0.5]");
+}
+
+TEST_F(MetricsTest, GaugeExportSurvivesNonFiniteValues) {
+  obs::MetricsRegistry reg;
+  reg.gauge("weird_gauge").set(std::numeric_limits<double>::infinity());
+  reg.gauge("nan_gauge").set(std::numeric_limits<double>::quiet_NaN());
+
+  std::ostringstream prom;
+  reg.write_prometheus(prom);
+  EXPECT_NE(prom.str().find("weird_gauge +Inf"), std::string::npos);
+  EXPECT_NE(prom.str().find("nan_gauge NaN"), std::string::npos);
+
+  std::ostringstream json;
+  reg.write_json(json);
+  EXPECT_NE(json.str().find("\"weird_gauge\": \"+Inf\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"nan_gauge\": null"), std::string::npos);
+  // No raw non-finite literal may leak into the JSON document.
+  EXPECT_EQ(json.str().find("nan_gauge\": nan"), std::string::npos);
+  EXPECT_EQ(json.str().find("inf,"), std::string::npos);
+}
+
+TEST_F(MetricsTest, HelpTextWithNewlineAndBackslashIsEscaped) {
+  obs::MetricsRegistry reg;
+  reg.counter("escaped_total", "line one\nline two \\ done");
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  EXPECT_NE(os.str().find("line one\\nline two \\\\ done"),
+            std::string::npos);
 }
 
 TEST_F(MetricsTest, GlobalRegistryIsASingleton) {

@@ -1,0 +1,286 @@
+// Exposition-compliance tests for the Prometheus text format: a small
+// checked-in parser validates whatever MetricsRegistry::write_prometheus
+// (and the /metrics endpoint) emits — metric-name grammar, HELP/TYPE
+// comment placement, cumulative histogram buckets, and the non-finite
+// value spellings a real scraper expects.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/http_server.h"
+#include "obs/metrics.h"
+
+namespace edgerep {
+namespace {
+
+/// One parsed sample line: `name{labels} value`.
+struct PromSample {
+  std::string name;
+  std::string labels;  ///< raw text between the braces, empty when none
+  std::string value;   ///< raw token; parse_value() interprets it
+};
+
+struct PromFamily {
+  std::string name;
+  std::string type;  ///< from # TYPE, empty when absent
+  bool has_help = false;
+  std::vector<PromSample> samples;
+};
+
+/// Metric-name grammar from the exposition-format spec.
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  };
+  auto tail = [&head](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name[0])) return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (!tail(name[i])) return false;
+  }
+  return true;
+}
+
+/// Value token → double, honoring the spec's +Inf/-Inf/NaN spellings.
+double parse_value(const std::string& tok) {
+  if (tok == "+Inf") return std::numeric_limits<double>::infinity();
+  if (tok == "-Inf") return -std::numeric_limits<double>::infinity();
+  if (tok == "NaN") return std::numeric_limits<double>::quiet_NaN();
+  return std::strtod(tok.c_str(), nullptr);
+}
+
+/// Strip a `_bucket` / `_sum` / `_count` suffix to the family name.
+std::string family_of(const std::string& sample_name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (sample_name.size() > s.size() &&
+        sample_name.compare(sample_name.size() - s.size(), s.size(), s) ==
+            0) {
+      return sample_name.substr(0, sample_name.size() - s.size());
+    }
+  }
+  return sample_name;
+}
+
+/// Parse a whole exposition document.  Fails the current test on any
+/// malformed line; HELP/TYPE must precede the samples of their family.
+std::map<std::string, PromFamily> parse_exposition(const std::string& text) {
+  std::map<std::string, PromFamily> families;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_help = line[2] == 'H';
+      std::istringstream ls(line.substr(7));
+      std::string name;
+      ls >> name;
+      EXPECT_TRUE(valid_metric_name(name)) << line;
+      PromFamily& fam = families[name];
+      fam.name = name;
+      EXPECT_TRUE(fam.samples.empty())
+          << "HELP/TYPE after samples of " << name;
+      if (is_help) {
+        fam.has_help = true;
+      } else {
+        std::string type;
+        ls >> type;
+        EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                    type == "histogram")
+            << line;
+        fam.type = type;
+      }
+      continue;
+    }
+    EXPECT_NE(line[0], '#') << "unknown comment form: " << line;
+    PromSample s;
+    std::string head = line.substr(0, line.find(' '));
+    const std::size_t brace = head.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(head.back(), '}') << line;
+      if (head.back() != '}') continue;
+      s.name = head.substr(0, brace);
+      s.labels = head.substr(brace + 1, head.size() - brace - 2);
+    } else {
+      s.name = head;
+    }
+    EXPECT_TRUE(valid_metric_name(s.name)) << line;
+    const std::size_t sp = line.find(' ');
+    EXPECT_NE(sp, std::string::npos) << line;
+    if (sp == std::string::npos) continue;
+    s.value = line.substr(sp + 1);
+    EXPECT_FALSE(s.value.empty()) << line;
+    families[family_of(s.name)].samples.push_back(s);
+  }
+  return families;
+}
+
+/// Pull the `le` label out of a bucket's label text.
+std::string le_of(const std::string& labels) {
+  const std::size_t at = labels.find("le=\"");
+  EXPECT_NE(at, std::string::npos) << labels;
+  const std::size_t end = labels.find('"', at + 4);
+  return labels.substr(at + 4, end - at - 4);
+}
+
+/// Histogram invariants: buckets cumulative and monotone, the +Inf bucket
+/// present and equal to _count, and _sum present.
+void check_histogram(const PromFamily& fam) {
+  double prev_bound = -std::numeric_limits<double>::infinity();
+  double prev_cum = 0.0;
+  bool saw_inf = false;
+  double inf_count = 0.0;
+  double count = -1.0;
+  bool saw_sum = false;
+  for (const PromSample& s : fam.samples) {
+    if (s.name == fam.name + "_bucket") {
+      const std::string le = le_of(s.labels);
+      const double bound = parse_value(le);
+      EXPECT_GT(bound, prev_bound) << fam.name << " le=" << le;
+      prev_bound = bound;
+      const double cum = parse_value(s.value);
+      EXPECT_GE(cum, prev_cum) << fam.name << " buckets not cumulative";
+      prev_cum = cum;
+      if (le == "+Inf") {
+        saw_inf = true;
+        inf_count = cum;
+      }
+    } else if (s.name == fam.name + "_sum") {
+      saw_sum = true;
+    } else if (s.name == fam.name + "_count") {
+      count = parse_value(s.value);
+    }
+  }
+  EXPECT_TRUE(saw_inf) << fam.name << " lacks the +Inf bucket";
+  EXPECT_TRUE(saw_sum) << fam.name << " lacks _sum";
+  EXPECT_EQ(inf_count, count) << fam.name << " +Inf bucket != _count";
+}
+
+void check_document(const std::string& text) {
+  const auto families = parse_exposition(text);
+  EXPECT_FALSE(families.empty());
+  for (const auto& [name, fam] : families) {
+    EXPECT_FALSE(fam.type.empty()) << name << " lacks # TYPE";
+    EXPECT_FALSE(fam.samples.empty()) << name << " has no samples";
+    if (fam.type == "histogram") check_histogram(fam);
+  }
+}
+
+class PrometheusFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::set_metrics_enabled(true); }
+  void TearDown() override {
+    obs::set_metrics_enabled(false);
+    obs::init_from_env();
+  }
+};
+
+TEST_F(PrometheusFormatTest, RegistryExportParsesClean) {
+  obs::MetricsRegistry reg;
+  reg.counter("prom_test_ops_total", "operations").inc(5);
+  reg.gauge("prom_test_depth", "queue depth").set(3.5);
+  obs::Histogram& h =
+      reg.histogram("prom_test_latency", {0.1, 1.0, 10.0}, "latency");
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(100.0);
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  check_document(os.str());
+
+  const auto families = parse_exposition(os.str());
+  const PromFamily& hist = families.at("prom_test_latency");
+  EXPECT_EQ(hist.type, "histogram");
+  EXPECT_TRUE(hist.has_help);
+  // 3 observations → +Inf bucket and _count agree at 3.
+  bool checked = false;
+  for (const PromSample& s : hist.samples) {
+    if (s.name == "prom_test_latency_count") {
+      EXPECT_EQ(s.value, "3");
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(PrometheusFormatTest, NonFiniteGaugesSurviveTheParser) {
+  obs::MetricsRegistry reg;
+  reg.gauge("prom_test_pos_inf").set(std::numeric_limits<double>::infinity());
+  reg.gauge("prom_test_neg_inf")
+      .set(-std::numeric_limits<double>::infinity());
+  reg.gauge("prom_test_nan").set(std::numeric_limits<double>::quiet_NaN());
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  check_document(os.str());
+  const auto families = parse_exposition(os.str());
+  EXPECT_EQ(families.at("prom_test_pos_inf").samples[0].value, "+Inf");
+  EXPECT_EQ(families.at("prom_test_neg_inf").samples[0].value, "-Inf");
+  EXPECT_EQ(families.at("prom_test_nan").samples[0].value, "NaN");
+}
+
+TEST_F(PrometheusFormatTest, GlobalRegistryExportParsesClean) {
+  // Whatever instrumentation has accumulated in this process must already
+  // be exposition-compliant.
+  obs::metrics().counter("prom_test_global_total").inc();
+  std::ostringstream os;
+  obs::metrics().write_prometheus(os);
+  check_document(os.str());
+}
+
+/// End-to-end: scrape a live embedded server the way Prometheus would.
+TEST_F(PrometheusFormatTest, ScrapedMetricsEndpointParsesClean) {
+  obs::metrics().counter("prom_test_scraped_total", "scrape me").inc(2);
+  obs::HttpServer server;
+  server.route("/metrics", [](const obs::HttpRequest&) {
+    std::ostringstream os;
+    obs::metrics().write_prometheus(os);
+    return obs::HttpResponse{200, "text/plain; version=0.0.4", os.str()};
+  });
+  server.start(0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  const std::string req = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.stop();
+
+  const std::size_t body_at = resp.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = resp.substr(body_at + 4);
+  EXPECT_NE(body.find("prom_test_scraped_total"), std::string::npos);
+  check_document(body);
+}
+
+}  // namespace
+}  // namespace edgerep

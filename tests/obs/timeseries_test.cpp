@@ -1,0 +1,154 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace edgerep {
+namespace {
+
+class TimeSeriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::set_metrics_enabled(true); }
+  void TearDown() override {
+    obs::set_metrics_enabled(false);
+    obs::dual_prices().reset();
+    obs::init_from_env();
+  }
+};
+
+TEST_F(TimeSeriesTest, SampleNowRecordsProbesInOrder) {
+  obs::TimeSeriesSampler sampler;
+  double x = 1.0;
+  sampler.add_series("a", [&x] { return x; });
+  sampler.add_series("b", [&x] { return 2.0 * x; });
+  sampler.sample_now();
+  x = 5.0;
+  sampler.sample_now();
+
+  const auto names = sampler.series_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  const auto samples = sampler.snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].values[0], 1.0);
+  EXPECT_EQ(samples[0].values[1], 2.0);
+  EXPECT_EQ(samples[1].values[0], 5.0);
+  EXPECT_EQ(samples[1].values[1], 10.0);
+  EXPECT_LE(samples[0].t_ns, samples[1].t_ns);
+  EXPECT_EQ(sampler.total_samples(), 2u);
+}
+
+TEST_F(TimeSeriesTest, RingBufferKeepsTheNewestSamplesInOrder) {
+  obs::TimeSeriesSampler sampler(/*capacity=*/3);
+  double x = 0.0;
+  sampler.add_series("x", [&x] { return x; });
+  for (int i = 1; i <= 5; ++i) {
+    x = static_cast<double>(i);
+    sampler.sample_now();
+  }
+  const auto samples = sampler.snapshot();
+  ASSERT_EQ(samples.size(), 3u);  // 1 and 2 were overwritten
+  EXPECT_EQ(samples[0].values[0], 3.0);
+  EXPECT_EQ(samples[1].values[0], 4.0);
+  EXPECT_EQ(samples[2].values[0], 5.0);
+  EXPECT_EQ(sampler.total_samples(), 5u);
+}
+
+TEST_F(TimeSeriesTest, CounterAndGaugeSeriesTrackTheRegistry) {
+  obs::Counter& c = obs::metrics().counter("ts_test_ticks_total");
+  obs::Gauge& g = obs::metrics().gauge("ts_test_level");
+  obs::TimeSeriesSampler sampler;
+  sampler.add_counter_series("ts_test_ticks_total");
+  sampler.add_gauge_series("ts_test_level");
+  const std::uint64_t base = c.value();
+  c.inc(7);
+  g.set(2.5);
+  sampler.sample_now();
+  const auto samples = sampler.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].values[0], static_cast<double>(base + 7));
+  EXPECT_EQ(samples[0].values[1], 2.5);
+}
+
+TEST_F(TimeSeriesTest, BackgroundThreadSamplesAndStopsPromptly) {
+  obs::TimeSeriesSampler sampler;
+  sampler.add_series("one", [] { return 1.0; });
+  sampler.start(1);  // 1 ms interval
+  EXPECT_TRUE(sampler.running());
+  // The first sample is taken immediately; wait for a few more.
+  for (int tries = 0; tries < 200 && sampler.total_samples() < 3; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(sampler.total_samples(), 3u);
+  const auto t0 = std::chrono::steady_clock::now();
+  sampler.stop();
+  const auto stop_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_LT(stop_ms, 1000.0);  // condition-variable stop, not interval wait
+}
+
+TEST_F(TimeSeriesTest, CsvAndJsonExports) {
+  obs::TimeSeriesSampler sampler;
+  sampler.add_series("good", [] { return 1.5; });
+  sampler.add_series("bad", [] {
+    return std::numeric_limits<double>::quiet_NaN();
+  });
+  sampler.sample_now();
+
+  std::ostringstream csv;
+  sampler.write_csv(csv);
+  EXPECT_EQ(csv.str().rfind("t_ns,good,bad", 0), 0u);  // header first
+  EXPECT_NE(csv.str().find(",1.5,"), std::string::npos);
+
+  std::ostringstream json;
+  sampler.write_json(json);
+  EXPECT_NE(json.str().find("\"series\": [\"good\", \"bad\"]"),
+            std::string::npos);
+  EXPECT_NE(json.str().find("[1.5, null]"), std::string::npos);  // JSON-safe
+}
+
+TEST_F(TimeSeriesTest, AddSeriesAfterStartThrows) {
+  obs::TimeSeriesSampler sampler;
+  sampler.add_series("x", [] { return 0.0; });
+  sampler.start(1000);
+  EXPECT_THROW(sampler.add_series("y", [] { return 0.0; }),
+               std::logic_error);
+  sampler.stop();
+}
+
+TEST_F(TimeSeriesTest, DualPriceBoardTracksLatestThetaPerSite) {
+  obs::DualPriceBoard& board = obs::dual_prices();
+  board.reset();
+  EXPECT_EQ(board.touched_sites(), 0u);
+  EXPECT_EQ(board.max_theta(), 0.0);
+  EXPECT_FALSE(board.touched(3));
+
+  board.publish(3, 0.25);
+  board.publish(1, 0.75);
+  board.publish(3, 0.5);  // latest wins
+  EXPECT_TRUE(board.touched(3));
+  EXPECT_TRUE(board.touched(1));
+  EXPECT_FALSE(board.touched(0));
+  EXPECT_EQ(board.theta(3), 0.5);
+  EXPECT_EQ(board.theta(1), 0.75);
+  EXPECT_EQ(board.theta(99), 0.0);  // never-published sites read as 0
+  EXPECT_EQ(board.max_theta(), 0.75);
+  EXPECT_EQ(board.touched_sites(), 2u);
+  EXPECT_GE(board.size(), 4u);
+
+  board.reset();
+  EXPECT_EQ(board.touched_sites(), 0u);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -88,6 +88,55 @@ TEST_F(TraceTest, ChromeJsonShape) {
   EXPECT_NE(text.find("\"cat\": \"edgerep\""), std::string::npos);
 }
 
+TEST_F(TraceTest, BufferCapacityBoundsEventCountAndCountsDrops) {
+  obs::tracer().set_capacity(3);
+  for (int i = 0; i < 10; ++i) {
+    EDGEREP_TRACE_SCOPE("test.flood");
+  }
+  EXPECT_EQ(obs::tracer().size(), 3u);
+  EXPECT_EQ(obs::tracer().dropped(), 7u);
+  obs::tracer().set_capacity(obs::Tracer::kDefaultCapacity);
+}
+
+TEST_F(TraceTest, ClearResetsDropCounter) {
+  obs::tracer().set_capacity(1);
+  {
+    EDGEREP_TRACE_SCOPE("test.kept");
+  }
+  {
+    EDGEREP_TRACE_SCOPE("test.dropped");
+  }
+  EXPECT_EQ(obs::tracer().dropped(), 1u);
+  obs::tracer().clear();
+  EXPECT_EQ(obs::tracer().dropped(), 0u);
+  obs::tracer().set_capacity(obs::Tracer::kDefaultCapacity);
+}
+
+TEST_F(TraceTest, AsyncEventsCarryPhaseIdAndPid) {
+  obs::tracer().record_async('b', "test.span", 42, 1'000'000'000);
+  obs::tracer().record_async('e', "test.span", 42, 2'000'000'000);
+  obs::tracer().record_async('n', "test.mark", 7, 1'500'000'000);
+  const std::vector<obs::TraceEvent> evs = obs::tracer().snapshot();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].phase, 'b');
+  EXPECT_EQ(evs[1].phase, 'e');
+  EXPECT_EQ(evs[2].phase, 'n');
+  EXPECT_EQ(evs[0].id, 42u);
+  EXPECT_EQ(evs[0].pid, 2u);  // sim-clock track by default
+  EXPECT_EQ(evs[0].start_ns, 1'000'000'000u);
+
+  std::ostringstream os;
+  obs::tracer().write_chrome_json(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"ph\": \"b\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"e\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"n\""), std::string::npos);
+  EXPECT_NE(text.find("\"id\": 42"), std::string::npos);
+  EXPECT_NE(text.find("\"pid\": 2"), std::string::npos);
+  // Async events carry explicit begin/end timestamps, never a duration.
+  EXPECT_EQ(text.find("\"dur\""), std::string::npos);
+}
+
 TEST_F(TraceTest, ClearEmptiesTheBuffer) {
   {
     EDGEREP_TRACE_SCOPE("test.phase");

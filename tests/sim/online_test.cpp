@@ -132,6 +132,69 @@ TEST(Online, BadRateThrows) {
   EXPECT_THROW(run_online(inst, cfg), std::invalid_argument);
 }
 
+// --- deadline-SLO rollup ----------------------------------------------------
+
+TEST(OnlineSlo, FaultFreeRunsHitEveryDeadline) {
+  // Admission only ever commits deadline-feasible sites, so without faults
+  // the hit ratio is exactly 1 and no slack is negative.
+  const Instance inst = testing::medium_instance(5, /*f_max=*/3);
+  const OnlineResult r = run_online(inst);
+  ASSERT_GT(r.admitted_queries, 0u);
+  EXPECT_EQ(r.slo.admitted_queries, r.admitted_queries);
+  EXPECT_EQ(r.slo.deadline_hits, r.admitted_queries);
+  EXPECT_DOUBLE_EQ(r.slo.hit_ratio, 1.0);
+  EXPECT_GE(r.slo.p99_slack, 0.0);
+  // Tail ordering: the worst 1% is no better off than the worst 5%, which
+  // is no better off than the median.
+  EXPECT_LE(r.slo.p99_slack, r.slo.p95_slack);
+  EXPECT_LE(r.slo.p95_slack, r.slo.p50_slack);
+}
+
+TEST(OnlineSlo, PerSiteRollupCoversEveryAdmittedDemand) {
+  const Instance inst = testing::medium_instance(6, /*f_max=*/3);
+  const OnlineResult r = run_online(inst);
+  std::size_t demands_expected = 0;
+  for (const OnlineOutcome& o : r.outcomes) {
+    if (o.admitted) demands_expected += inst.query(o.query).demands.size();
+  }
+  std::size_t demands_seen = 0;
+  for (const OnlineSiteSlo& s : r.slo.per_site) {
+    EXPECT_NE(s.site, kInvalidSite);
+    EXPECT_GT(s.demands, 0u);
+    EXPECT_LE(s.deadline_hits, s.demands);
+    EXPECT_EQ(s.deadline_hits, s.demands);  // fault-free: every demand hits
+    EXPECT_LE(s.p99_slack, s.p50_slack);
+    demands_seen += s.demands;
+  }
+  EXPECT_EQ(demands_seen, demands_expected);
+}
+
+TEST(OnlineSlo, EmptyRunHasZeroRollup) {
+  const Instance inst = TinyFixture::make(/*deadline=*/0.05);  // infeasible
+  const OnlineResult r = run_online(inst);
+  EXPECT_EQ(r.admitted_queries, 0u);
+  EXPECT_EQ(r.slo.admitted_queries, 0u);
+  EXPECT_EQ(r.slo.deadline_hits, 0u);
+  EXPECT_DOUBLE_EQ(r.slo.hit_ratio, 0.0);
+  EXPECT_TRUE(r.slo.per_site.empty());
+}
+
+TEST(OnlineSlo, RollupIsDeterministic) {
+  const Instance inst = testing::medium_instance(7, /*f_max=*/3);
+  const OnlineResult a = run_online(inst);
+  const OnlineResult b = run_online(inst);
+  EXPECT_EQ(a.slo.deadline_hits, b.slo.deadline_hits);
+  EXPECT_DOUBLE_EQ(a.slo.p50_slack, b.slo.p50_slack);
+  EXPECT_DOUBLE_EQ(a.slo.p95_slack, b.slo.p95_slack);
+  EXPECT_DOUBLE_EQ(a.slo.p99_slack, b.slo.p99_slack);
+  ASSERT_EQ(a.slo.per_site.size(), b.slo.per_site.size());
+  for (std::size_t i = 0; i < a.slo.per_site.size(); ++i) {
+    EXPECT_EQ(a.slo.per_site[i].site, b.slo.per_site[i].site);
+    EXPECT_EQ(a.slo.per_site[i].demands, b.slo.per_site[i].demands);
+    EXPECT_DOUBLE_EQ(a.slo.per_site[i].p95_slack, b.slo.per_site[i].p95_slack);
+  }
+}
+
 // --- fault injection --------------------------------------------------------
 //
 // With uniform arrivals at rate 1, TinyFixture's single query arrives at
@@ -268,6 +331,33 @@ TEST(OnlineFaults, IdenticalSeedsReproduceFaultedRunsBitExactly) {
                      b.outcomes[i].completion_time);
   }
   EXPECT_EQ(a.replica_sites, b.replica_sites);
+}
+
+TEST(OnlineFaults, SloRollupStaysConsistentUnderFaults) {
+  // Faults may push slack negative (relocation restarts work late), but the
+  // rollup's internal arithmetic must stay coherent.
+  const Instance inst = testing::medium_instance(5, /*f_max=*/3);
+  FaultScenarioConfig fcfg;
+  fcfg.horizon = 10.0;
+  fcfg.site_crashes = 2;
+  fcfg.capacity_losses = 1;
+  fcfg.mean_repair_time = 4.0;
+  OnlineConfig cfg;
+  cfg.seed = 0xbeef;
+  cfg.faults = generate_fault_trace(inst, fcfg, 17);
+  const OnlineResult r = run_online(inst, cfg);
+  EXPECT_EQ(r.slo.admitted_queries, r.admitted_queries);
+  EXPECT_LE(r.slo.deadline_hits, r.slo.admitted_queries);
+  if (r.admitted_queries > 0) {
+    EXPECT_DOUBLE_EQ(r.slo.hit_ratio,
+                     static_cast<double>(r.slo.deadline_hits) /
+                         static_cast<double>(r.admitted_queries));
+  }
+  EXPECT_LE(r.slo.p99_slack, r.slo.p95_slack);
+  EXPECT_LE(r.slo.p95_slack, r.slo.p50_slack);
+  for (const OnlineSiteSlo& s : r.slo.per_site) {
+    EXPECT_LE(s.deadline_hits, s.demands);
+  }
 }
 
 TEST(OnlineFaults, OutcomesAreIndependentOfFinalizeScheduling) {

@@ -19,6 +19,11 @@
 // the most-loaded site) for the incremental primal-dual path vs the
 // full-recompute oracle, at the same three instance sizes
 // ([--repair-out=BENCH_repair.json] [--repair-reps=9]).
+//
+// BENCH_serve.json: telemetry serve-path overhead — the 100-site online
+// case timed with everything off vs metrics + status board + 100 ms
+// time-series sampler + live HTTP server, as median wall time of a
+// 20-run batch ([--serve-out=BENCH_serve.json] [--serve-reps=9]).
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -338,6 +343,104 @@ int emit_repair(const std::string& out_path, int reps) {
   return 0;
 }
 
+/// Wall time (ms) of `batch` back-to-back online runs.  Single runs finish
+/// in a couple of milliseconds — too close to timer noise to resolve a 2%
+/// overhead — so the serve-path comparison times batches.
+double online_batch_ms(const Instance& inst, const OnlineConfig& cfg,
+                       int batch) {
+  const auto t0 = clock_type::now();
+  for (int b = 0; b < batch; ++b) {
+    const OnlineResult res = run_online(inst, cfg);
+    if (res.outcomes.size() != inst.queries().size()) {
+      throw std::runtime_error("bench_json: unexpected outcome count");
+    }
+  }
+  const auto t1 = clock_type::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+int emit_serve(const std::string& out_path, int reps) {
+  constexpr int kBatch = 20;
+  const CaseSpec c = {"G", 100, 500, 5};
+  WorkloadConfig cfg;
+  cfg.network_size = c.network;
+  cfg.min_queries = c.queries;
+  cfg.max_queries = c.queries;
+  cfg.min_datasets_per_query = 1;
+  cfg.max_datasets_per_query = c.f_max;
+  const Instance inst = generate_instance(cfg, /*seed=*/42);
+
+  // Serve path under test: metrics + status board + sampler at the
+  // documented 100 ms interval + a live (unscraped) HTTP server — the
+  // `online --serve` setup.  The baseline has every facet off and no board.
+  OnlineStatusBoard board;
+  obs::TimeSeriesSampler sampler;
+  sampler.add_counter_series("edgerep_online_arrivals_total");
+  sampler.add_counter_series("edgerep_online_queries_admitted_total");
+  sampler.add_series("online_sim_clock_seconds",
+                     [&board] { return board.sim_clock(); });
+  sampler.add_series("online_utilization",
+                     [&board] { return board.utilization(); });
+  sampler.add_series("dual_theta_max",
+                     [] { return obs::dual_prices().max_theta(); });
+  obs::HttpServer server;
+  server.route("/metrics", [](const obs::HttpRequest&) {
+    std::ostringstream os;
+    obs::metrics().write_prometheus(os);
+    return obs::HttpResponse{200, "text/plain; version=0.0.4", os.str()};
+  });
+  server.start(0);
+  obs::metrics().reset();
+  OnlineConfig serve_cfg;
+  serve_cfg.status_board = &board;
+  sampler.start(100);
+
+  // Interleave plain and serving batches so slow machine drift (frequency
+  // scaling, background load) hits both sides equally instead of biasing
+  // whichever loop runs second.
+  std::vector<double> plain_samples, serve_samples;
+  plain_samples.reserve(static_cast<std::size_t>(reps));
+  serve_samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    obs::set_all_enabled(false);
+    plain_samples.push_back(online_batch_ms(inst, {}, kBatch));
+    obs::set_metrics_enabled(true);
+    serve_samples.push_back(online_batch_ms(inst, serve_cfg, kBatch));
+  }
+  const double plain_ms = median(std::move(plain_samples));
+  const double serving_ms = median(std::move(serve_samples));
+  sampler.stop();
+  server.stop();
+  obs::set_all_enabled(false);
+
+  const double overhead_pct = (serving_ms / plain_ms - 1.0) * 100.0;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_json: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"telemetry_serve_path\",\n"
+      << "  \"metric\": \"median_batch_ms\",\n"
+      << "  \"sample_interval_ms\": 100,\n"
+      << "  \"batch\": " << kBatch << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"cases\": [\n"
+      << "    {\"case\": \"" << c.name << "\", \"network_size\": "
+      << c.network << ", \"queries\": " << c.queries
+      << ", \"plain_ms\": " << round2(plain_ms)
+      << ", \"serving_ms\": " << round2(serving_ms)
+      << ", \"overhead_pct\": " << round2(overhead_pct) << "}\n"
+      << "  ]\n}\n";
+
+  std::cerr << "serve path " << c.network << "x" << c.queries << " (batch "
+            << kBatch << "): plain " << plain_ms << " ms, serving "
+            << serving_ms << " ms (" << overhead_pct << "%)\n"
+            << "wrote " << out_path << "\n";
+  return 0;
+}
+
 int run(int argc, char** argv) {
   set_log_level_from_env();
   const Args args(argc, argv);
@@ -350,12 +453,17 @@ int run(int argc, char** argv) {
   const int repair_reps =
       std::max(1, static_cast<int>(args.get_int("repair-reps", 9)));
   const std::string repair_path = args.get("repair-out", "BENCH_repair.json");
+  const int serve_reps =
+      std::max(1, static_cast<int>(args.get_int("serve-reps", 9)));
+  const std::string serve_path = args.get("serve-out", "BENCH_serve.json");
 
   int rc = emit_appro(out_path, reps);
   if (rc != 0) return rc;
   rc = emit_substrate(substrate_path, substrate_reps);
   if (rc != 0) return rc;
-  return emit_repair(repair_path, repair_reps);
+  rc = emit_repair(repair_path, repair_reps);
+  if (rc != 0) return rc;
+  return emit_serve(serve_path, serve_reps);
 }
 
 }  // namespace

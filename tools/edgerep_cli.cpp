@@ -17,11 +17,14 @@
 //   edgerep_cli validate --instance inst.txt --plan plan.txt
 //   edgerep_cli simulate --instance inst.txt --plan plan.txt --discipline ps
 //   edgerep_cli analyze --instance inst.txt --plan plan.txt --failure-prob 0.1
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "cloud/plan_io.h"
 #include "edgerep/edgerep.h"
@@ -48,6 +51,12 @@ int usage() {
       "           [--growth G] [--trials N] [--seed S]\n"
       "  online   --instance FILE [--plan FILE] [--arrival-rate R]\n"
       "           [--no-reactive] [--seed S] [--faults FILE] [--no-repair]\n"
+      "           [--serve PORT] [--sample-interval MS] [--serve-linger SEC]\n"
+      "           [--timeseries-out FILE]\n"
+      "           --serve starts an embedded HTTP server on 127.0.0.1:PORT\n"
+      "           (0 = ephemeral) with /metrics /healthz /status /timeseries\n"
+      "           /quitquitquit; it lingers SEC seconds after the run so\n"
+      "           scrapers can read the final state\n"
       "  genfaults --instance FILE --out FILE [--config FILE] [--crashes N]\n"
       "           [--links N] [--degrade N] [--horizon T] [--mttr T] [--seed S]\n"
       "  repair   --instance FILE --faults FILE [--until T] [--full]\n"
@@ -275,6 +284,79 @@ FaultTrace load_faults(const Instance& inst, const Args& args) {
   return read_fault_trace(is, inst);
 }
 
+/// Register the live-telemetry series the online serve path samples: the
+/// online counters/gauges, the solver dual-price board, and the in-use GHz
+/// of the first sites (capped so a 1000-site run doesn't make every sample
+/// copy the board 1000 times).
+void add_online_series(obs::TimeSeriesSampler& sampler,
+                       OnlineStatusBoard& board, std::size_t site_count) {
+  sampler.add_counter_series("edgerep_online_arrivals_total");
+  sampler.add_counter_series("edgerep_online_queries_admitted_total");
+  sampler.add_counter_series("edgerep_online_queries_rejected_total");
+  sampler.add_counter_series("edgerep_online_queries_failed_by_fault_total");
+  sampler.add_counter_series("edgerep_online_demands_relocated_total");
+  sampler.add_counter_series("edgerep_online_fault_events_total");
+  sampler.add_series("online_sim_clock_seconds",
+                     [&board] { return board.sim_clock(); });
+  sampler.add_series("online_inflight_demands", [&board] {
+    return static_cast<double>(board.inflight());
+  });
+  sampler.add_series("online_utilization",
+                     [&board] { return board.utilization(); });
+  sampler.add_series("dual_theta_max",
+                     [] { return obs::dual_prices().max_theta(); });
+  sampler.add_series("dual_theta_touched_sites", [] {
+    return static_cast<double>(obs::dual_prices().touched_sites());
+  });
+  constexpr std::size_t kMaxPerSiteSeries = 16;
+  const std::size_t tracked = std::min(site_count, kMaxPerSiteSeries);
+  for (std::size_t i = 0; i < tracked; ++i) {
+    sampler.add_series("site" + std::to_string(i) + "_in_use_ghz",
+                       [&board, i] {
+                         const OnlineStatus s = board.read();
+                         return i < s.site_in_use.size() ? s.site_in_use[i]
+                                                         : 0.0;
+                       });
+  }
+}
+
+/// Wire the four read endpoints (+ the shutdown latch) onto the server.
+void add_online_routes(obs::HttpServer& server, OnlineStatusBoard& board,
+                       obs::TimeSeriesSampler& sampler,
+                       std::atomic<bool>& quit) {
+  server.route("/metrics", [](const obs::HttpRequest&) {
+    std::ostringstream os;
+    obs::metrics().write_prometheus(os);
+    return obs::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                             os.str()};
+  });
+  server.route("/healthz", [&server](const obs::HttpRequest&) {
+    std::ostringstream os;
+    os << "{\"ok\": true, \"requests_served\": " << server.requests_served()
+       << "}\n";
+    return obs::HttpResponse{200, "application/json", os.str()};
+  });
+  server.route("/status", [&board](const obs::HttpRequest&) {
+    std::ostringstream os;
+    board.write_json(os);
+    return obs::HttpResponse{200, "application/json", os.str()};
+  });
+  server.route("/timeseries", [&sampler](const obs::HttpRequest& req) {
+    std::ostringstream os;
+    if (req.query.find("format=csv") != std::string::npos) {
+      sampler.write_csv(os);
+      return obs::HttpResponse{200, "text/csv", os.str()};
+    }
+    sampler.write_json(os);
+    return obs::HttpResponse{200, "application/json", os.str()};
+  });
+  server.route("/quitquitquit", [&quit](const obs::HttpRequest&) {
+    quit.store(true, std::memory_order_release);
+    return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                             "shutting down\n"};
+  });
+}
+
 int cmd_online(const Args& args) {
   const Instance inst = load_instance(args);
   OnlineConfig cfg;
@@ -283,6 +365,33 @@ int cmd_online(const Args& args) {
   cfg.reactive_replicas = !args.get_bool("no-reactive", false);
   cfg.repair_on_failure = !args.get_bool("no-repair", false);
   if (args.has("faults")) cfg.faults = load_faults(inst, args);
+
+  const bool serve = args.has("serve");
+  const std::string ts_out = args.get("timeseries-out", "");
+  const bool sampling = serve || !ts_out.empty();
+  const auto sample_interval =
+      static_cast<std::uint64_t>(args.get_int("sample-interval", 100));
+  const double linger = args.get_double("serve-linger", 30.0);
+
+  OnlineStatusBoard board;
+  obs::TimeSeriesSampler sampler;
+  obs::HttpServer server;
+  std::atomic<bool> quit{false};
+  if (sampling) {
+    // Live sampling needs the counters/gauges flowing; the run itself is
+    // bit-identical either way (pinned by obs_equivalence_test).
+    obs::set_metrics_enabled(true);
+    cfg.status_board = &board;
+    add_online_series(sampler, board, inst.sites().size());
+  }
+  if (serve) {
+    add_online_routes(server, board, sampler, quit);
+    server.start(static_cast<std::uint16_t>(args.get_int("serve", 0)));
+    std::cout << "serving telemetry on http://127.0.0.1:" << server.port()
+              << " (/metrics /healthz /status /timeseries)\n";
+  }
+  if (sampling) sampler.start(sample_interval);
+
   OnlineResult res;
   if (args.has("plan")) {
     const ReplicaPlan seed_plan = load_plan(inst, args);
@@ -300,6 +409,40 @@ int cmd_online(const Args& args) {
               << ", demands relocated: " << res.demands_relocated
               << ", replicas lost: " << res.replicas_lost_to_faults << "\n";
   }
+  std::cout << "deadline SLO: " << res.slo.deadline_hits << "/"
+            << res.slo.admitted_queries << " hits (ratio "
+            << res.slo.hit_ratio << "), slack p50/p95/p99: "
+            << res.slo.p50_slack << " / " << res.slo.p95_slack << " / "
+            << res.slo.p99_slack << " s\n";
+
+  if (serve && linger > 0.0) {
+    // Keep the endpoints up so scrapers can read the final state; a GET on
+    // /quitquitquit (or the linger budget) ends the wait.
+    std::cout << "lingering " << linger
+              << " s for scrapers (GET /quitquitquit to exit now)\n";
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(linger);
+    while (!quit.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  if (sampling) {
+    sampler.stop();
+    if (!ts_out.empty()) {
+      std::ofstream os(ts_out);
+      if (!os) throw std::runtime_error("cannot open output file: " + ts_out);
+      const auto dot = ts_out.rfind('.');
+      if (dot != std::string::npos && ts_out.substr(dot) == ".csv") {
+        sampler.write_csv(os);
+      } else {
+        sampler.write_json(os);
+      }
+      std::cout << "time series written to " << ts_out << " ("
+                << sampler.total_samples() << " samples)\n";
+    }
+  }
+  server.stop();
   return 0;
 }
 
