@@ -9,9 +9,6 @@ namespace edgerep {
 
 namespace {
 
-/// Slack for floating-point capacity comparisons.
-constexpr double kEps = 1e-9;
-
 /// Index of dataset n inside query m's demand list, or npos.
 std::size_t demand_index(const Query& q, DatasetId n) {
   for (std::size_t i = 0; i < q.demands.size(); ++i) {
@@ -193,7 +190,7 @@ double ReplicaPlan::residual(SiteId s) const {
 }
 
 bool ReplicaPlan::fits(SiteId s, double amount) const {
-  return amount <= residual(s) + kEps;
+  return amount <= residual(s) + kCapacityEps;
 }
 
 std::size_t ReplicaPlan::total_replicas() const noexcept {

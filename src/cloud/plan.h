@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,10 @@
 #include "cloud/instance.h"
 
 namespace edgerep {
+
+/// Slack for floating-point capacity comparisons.  Shared with the pricing
+/// kernel so its feasibility mask reproduces `ReplicaPlan::fits` bit-exactly.
+inline constexpr double kCapacityEps = 1e-9;
 
 class ReplicaPlan {
  public:
@@ -63,6 +68,12 @@ class ReplicaPlan {
   [[nodiscard]] double residual(SiteId s) const;
   /// Can `amount` more resource fit at s (with a small epsilon slack)?
   [[nodiscard]] bool fits(SiteId s, double amount) const;
+  /// The whole committed-load ledger, indexed by site.  Read-only view for
+  /// the pricing kernel's feasibility gathers and the shard engines'
+  /// epoch-start snapshots.
+  [[nodiscard]] std::span<const double> loads() const noexcept {
+    return load_;
+  }
 
   /// --- transactions -----------------------------------------------------
   /// Opaque marker into the undo log.  Savepoints nest: roll back to an

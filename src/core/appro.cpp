@@ -6,6 +6,7 @@
 
 #include "cloud/delay.h"
 #include "core/candidate_index.h"
+#include "core/pricing.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -46,37 +47,6 @@ std::vector<QueryId> ordered_queries(const Instance& inst,
   return order;
 }
 
-/// Dual price of serving a demand at a candidate site: the rate at which
-/// uniform raising makes dual constraint (9) tight there.
-///
-/// The capacity term is the site's relative fill *after* this placement,
-/// which equals θ_site + need/A(site) since θ evolves as relative load.
-/// Minimizing it sends demands to the sites where computing resource is
-/// least scarce — large remote data centers when the deadline permits —
-/// and so preserves the tiny cloudlets for the deadline-bound queries that
-/// have nowhere else to go.  This is what the paper means by placing
-/// replicas "from an overall perspective, jointly considering data
-/// replication and query assignment".
-///
-/// The η term prices deadline-budget consumption, and fresh replicas pay a
-/// creation price μ amortized over the budget K.  All static factors (the
-/// capacity reciprocal, the η base, the demand's need) come precomputed
-/// from the CandidateIndex; only θ is dynamic.
-///
-/// `site_price` is the unhoisted form used by the strict-reuse ablation,
-/// whose replica-priority scan walks sites outside candidate order.
-double site_price(const Instance& inst, const DualState& duals, const Query& q,
-                  const DatasetDemand& dd, double need, SiteId site,
-                  bool needs_replica, const ApproOptions& opts) {
-  const double avail = std::max(inst.site(site).available, 1e-12);
-  double p = duals.theta(site) + need / avail;
-  p += opts.eta_weight * (evaluation_delay(inst, q, dd, site) / q.deadline);
-  if (needs_replica) {
-    p += opts.replica_weight / static_cast<double>(inst.max_replicas());
-  }
-  return p;
-}
-
 /// Audit-only classification of a failed admission: which constraint bound?
 /// Runs solely on failure with auditing enabled — the admission scan itself
 /// never tracks diagnostics, so the hot path is identical either way.
@@ -108,9 +78,20 @@ obs::AuditReason classify_rejection(const CandidateIndex& index,
 /// updates plan/duals on success.  When `audit` is non-null, the decision
 /// and (on success) the winning site's dual price breakdown are recorded
 /// into it; the admission logic is unchanged either way.
+///
+/// The dual price of serving a demand at site l is the rate at which uniform
+/// raising makes constraint (9) tight there: the capacity term θ_l +
+/// need·(1/A(v_l)) is the site's relative fill *after* the placement (θ
+/// evolves as relative load), the η term prices deadline-budget consumption,
+/// and fresh replicas pay a creation price μ amortized over the budget K.
+/// Minimizing it sends demands where computing resource is least scarce —
+/// large remote data centers when the deadline permits — preserving the tiny
+/// cloudlets for deadline-bound queries: the paper's "overall perspective,
+/// jointly considering data replication and query assignment".
 bool admit_demand(const Instance& inst, const CandidateIndex& index,
                   const Query& q, std::size_t di, ReplicaPlan& plan,
                   DualState& duals, const ApproOptions& opts,
+                  ReplicaMaskWorkspace& mask,
                   obs::AuditEntry* audit = nullptr) {
   const DatasetDemand& dd = q.demands[di];
   const double need = index.need(q.id, di);
@@ -124,11 +105,17 @@ bool admit_demand(const Instance& inst, const CandidateIndex& index,
 
   if (opts.strict_reuse) {
     // Ablation: sites that already hold a replica take absolute priority.
+    // The per-demand factors (need, the capacity reciprocal, the η base's
+    // 1/deadline) come precomputed; the evaluation delay is computed once
+    // per site and reused for both the deadline gate and the η term.
+    const double inv_deadline = 1.0 / q.deadline;
     auto consider = [&](SiteId l, bool needs_replica) {
-      if (!deadline_ok(inst, q, dd, l)) return;
+      const double delay = evaluation_delay(inst, q, dd, l);
+      if (delay > q.deadline) return;
       if (!plan.fits(l, need)) return;
-      const double p =
-          site_price(inst, duals, q, dd, need, l, needs_replica, opts);
+      double p = duals.theta(l) + need * index.inv_avail(l) +
+                 opts.eta_weight * (delay * inv_deadline);
+      if (needs_replica) p += mu_term;
       if (best_site == kInvalidSite || p < best_price) {
         best_site = l;
         best_needs_replica = needs_replica;
@@ -145,11 +132,28 @@ bool admit_demand(const Instance& inst, const CandidateIndex& index,
         }
       }
     }
-  } else {
+  } else if (opts.pricing == ApproOptions::Pricing::kVectorized) {
     // Default: replica sites and fresh placements compete on dual price
-    // (fresh ones carry the μ surcharge).  The candidate list holds exactly
-    // the deadline-feasible sites in ascending id order — the same visit
-    // order as a full-site scan — with the η base precomputed.
+    // (fresh ones carry the μ surcharge).  One kernel pass over the SoA
+    // candidate buffers; the replica list is flipped into a byte-mask for
+    // the duration of the scan (O(K) set/clear instead of a per-candidate
+    // list walk).
+    const std::vector<SiteId>& reps = plan.replica_sites(dd.dataset);
+    mask.set(reps);
+    const PricedChoice ch = price_candidates(
+        index.soa(q.id, di),
+        {duals.theta_data(), index.avail(), plan.loads(), mask.bytes(),
+         budget_left},
+        need, opts.eta_weight, mu_term);
+    mask.clear(reps);
+    if (ch.candidate != PricedChoice::kNoCandidate) {
+      best_site = ch.site;
+      best_needs_replica = ch.needs_replica;
+      best_price = ch.price;
+    }
+  } else {
+    // Scalar oracle: candidate-at-a-time walk, bit-identical to the kernel
+    // by construction (same FP sequence, same ascending-id visit order).
     for (const CandidateSite& c : index.candidates(q.id, di)) {
       const bool has = plan.has_replica(dd.dataset, c.site);
       if (!has && !budget_left) continue;
@@ -217,7 +221,7 @@ void mark_rolled_back(std::vector<obs::AuditEntry>* audit,
 /// first infeasible demand, so a rejected query leaves no trace.
 bool admit_query_savepoint(const Instance& inst, const CandidateIndex& index,
                            const Query& q, ReplicaPlan& plan, DualState& duals,
-                           const ApproOptions& opts,
+                           const ApproOptions& opts, ReplicaMaskWorkspace& mask,
                            std::vector<obs::AuditEntry>* audit) {
   const std::size_t audit_begin = audit != nullptr ? audit->size() : 0;
   const ReplicaPlan::Savepoint sp_plan = plan.savepoint();
@@ -225,7 +229,7 @@ bool admit_query_savepoint(const Instance& inst, const CandidateIndex& index,
   for (std::size_t di = 0; di < q.demands.size(); ++di) {
     obs::AuditEntry* entry = nullptr;
     if (audit != nullptr) entry = &audit->emplace_back();
-    if (!admit_demand(inst, index, q, di, plan, duals, opts, entry)) {
+    if (!admit_demand(inst, index, q, di, plan, duals, opts, mask, entry)) {
       plan.rollback_to(sp_plan);
       duals.rollback_to(sp_duals);
       plan.commit();
@@ -243,7 +247,7 @@ bool admit_query_savepoint(const Instance& inst, const CandidateIndex& index,
 /// the equivalence tests and as the micro_appro speedup baseline.
 bool admit_query_copy(const Instance& inst, const CandidateIndex& index,
                       const Query& q, ReplicaPlan& plan, DualState& duals,
-                      const ApproOptions& opts,
+                      const ApproOptions& opts, ReplicaMaskWorkspace& mask,
                       std::vector<obs::AuditEntry>* audit) {
   const std::size_t audit_begin = audit != nullptr ? audit->size() : 0;
   ReplicaPlan trial_plan = plan;
@@ -251,7 +255,7 @@ bool admit_query_copy(const Instance& inst, const CandidateIndex& index,
   for (std::size_t di = 0; di < q.demands.size(); ++di) {
     obs::AuditEntry* entry = nullptr;
     if (audit != nullptr) entry = &audit->emplace_back();
-    if (!admit_demand(inst, index, q, di, trial_plan, trial_duals, opts,
+    if (!admit_demand(inst, index, q, di, trial_plan, trial_duals, opts, mask,
                       entry)) {
       mark_rolled_back(audit, audit_begin);
       return false;
@@ -279,6 +283,8 @@ ApproResult run_appro(const Instance& inst, const ApproOptions& opts) {
   std::size_t queries_admitted = 0;
   std::size_t queries_rejected = 0;
   ApproResult res{ReplicaPlan(inst), DualState(inst), 0.0, {}, 0, 0};
+  ReplicaMaskWorkspace mask;
+  mask.resize(inst.sites().size());
   {
     EDGEREP_TRACE_SCOPE("appro.admission");
     for (const QueryId m : ordered_queries(inst, opts)) {
@@ -287,9 +293,9 @@ ApproResult run_appro(const Instance& inst, const ApproOptions& opts) {
         const bool ok =
             opts.txn == ApproOptions::Txn::kSavepoint
                 ? admit_query_savepoint(inst, index, q, res.plan, res.duals,
-                                        opts, audit)
+                                        opts, mask, audit)
                 : admit_query_copy(inst, index, q, res.plan, res.duals, opts,
-                                   audit);
+                                   mask, audit);
         if (ok) {
           res.demands_assigned += q.demands.size();
           ++queries_admitted;
@@ -302,7 +308,7 @@ ApproResult run_appro(const Instance& inst, const ApproOptions& opts) {
         for (std::size_t di = 0; di < q.demands.size(); ++di) {
           obs::AuditEntry* entry = nullptr;
           if (audit != nullptr) entry = &audit->emplace_back();
-          if (admit_demand(inst, index, q, di, res.plan, res.duals, opts,
+          if (admit_demand(inst, index, q, di, res.plan, res.duals, opts, mask,
                            entry)) {
             ++res.demands_assigned;
           } else {

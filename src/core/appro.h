@@ -58,6 +58,16 @@ struct ApproOptions {
   /// for that behaviour (the ABL-ORDER/ABL-REUSE benches exercise both).
   bool atomic_queries = true;
 
+  /// Pricing implementation for the default (joint) admission scan.
+  /// kVectorized (default) prices a demand's whole candidate list in one
+  /// branch-light pass over the CandidateIndex's struct-of-arrays buffers
+  /// with a replica byte-mask; kScalar is the per-candidate walk kept as the
+  /// equivalence oracle — both produce bit-identical plans (same winner,
+  /// same price, ties broken by candidate order).  The strict_reuse ablation
+  /// always uses its own scalar scan.
+  enum class Pricing : std::uint8_t { kVectorized, kScalar };
+  Pricing pricing = Pricing::kVectorized;
+
   /// Mechanism behind atomic_queries.  kSavepoint (default) mutates the
   /// plan and duals in place and rolls back rejected queries through the
   /// undo log — no per-query state copies.  kCopy is the legacy

@@ -15,8 +15,10 @@ CandidateIndex::CandidateIndex(const Instance& inst, bool parallel) {
   const auto queries = inst.queries();
 
   inv_avail_.resize(sites.size());
+  avail_.resize(sites.size());
   for (const Site& s : sites) {
     inv_avail_[s.id] = 1.0 / std::max(s.available, 1e-12);
+    avail_[s.id] = s.available;
   }
 
   query_offset_.resize(queries.size() + 1);
@@ -68,6 +70,18 @@ CandidateIndex::CandidateIndex(const Instance& inst, bool parallel) {
   for (std::size_t s = 0; s < slots; ++s) {
     std::copy(rows[s].begin(), rows[s].end(),
               candidates_.begin() + slot_begin_[s]);
+  }
+
+  // SoA mirrors for the vectorized pricing kernel: same entries, same order,
+  // split into contiguous parallel arrays with the reciprocal pre-gathered.
+  soa_site_.resize(total);
+  soa_inv_.resize(total);
+  soa_dod_.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const CandidateSite& c = candidates_[i];
+    soa_site_[i] = c.site;
+    soa_inv_[i] = inv_avail_[c.site];
+    soa_dod_[i] = c.delay_over_deadline;
   }
 }
 

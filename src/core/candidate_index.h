@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cloud/instance.h"
+#include "core/pricing.h"
 
 namespace edgerep {
 
@@ -60,6 +61,26 @@ class CandidateIndex {
     return inv_avail_[l];
   }
 
+  /// Struct-of-arrays view of the same candidate row as `candidates`, for
+  /// the vectorized pricing kernel: site ids, pre-gathered capacity
+  /// reciprocals, and η bases in three contiguous parallel arrays.
+  [[nodiscard]] CandidateSoA soa(QueryId m, std::size_t demand) const {
+    assert(m + 1 < query_offset_.size());
+    const std::size_t slot = query_offset_[m] + demand;
+    assert(slot + 1 < slot_begin_.size());
+    const std::size_t b = slot_begin_[slot];
+    const std::size_t e = slot_begin_[slot + 1];
+    return {{soa_site_.data() + b, soa_site_.data() + e},
+            {soa_inv_.data() + b, soa_inv_.data() + e},
+            {soa_dod_.data() + b, soa_dod_.data() + e}};
+  }
+
+  /// Raw per-site availabilities A(v_l), indexed by site id — the kernel's
+  /// capacity-check operand (paired with a plan-loads span).
+  [[nodiscard]] std::span<const double> avail() const noexcept {
+    return avail_;
+  }
+
   /// Total candidate entries (diagnostics / tests).
   [[nodiscard]] std::size_t size() const noexcept { return candidates_.size(); }
 
@@ -69,6 +90,11 @@ class CandidateIndex {
   std::vector<CandidateSite> candidates_;
   std::vector<double> need_;                ///< per demand slot
   std::vector<double> inv_avail_;           ///< per site
+  std::vector<double> avail_;               ///< per site, raw A(v_l)
+  // SoA mirrors of candidates_, aligned entry-for-entry with slot_begin_.
+  std::vector<SiteId> soa_site_;
+  std::vector<double> soa_inv_;   ///< inv_avail_[site], pre-gathered
+  std::vector<double> soa_dod_;   ///< delay_over_deadline
 };
 
 }  // namespace edgerep

@@ -1,0 +1,135 @@
+// Vectorized dual-pricing kernel for the admission hot loop.
+//
+// The per-candidate price of serving a demand at site l is
+//
+//   p(l) = θ_l + need·(1/A(v_l)) + η·(delay_l/deadline) [+ μ/K if fresh]
+//
+// and the admission step is an argmin over the pruned candidate list with
+// feasibility masking (existing replica or budget left, residual capacity
+// fits).  The scalar path walks the candidates as an array of structs and
+// asks the plan per candidate (`has_replica` is a linear scan of the replica
+// list, `fits` a call chain); this kernel instead lays the static factors
+// out as struct-of-arrays (site ids, capacity reciprocals, η bases) and
+// computes every candidate's price in one branch-light pass over contiguous
+// buffers, gathering only the dynamic state (θ, committed load, a replica
+// byte-mask) by site id.
+//
+// Equivalence contract: the kernel performs *exactly* the scalar path's
+// floating-point operations in the same order — `θ + need·inv + η·dod`, a
+// conditional `+ μ` (adding 0.0 keeps bits: every term is ≥ 0), and the
+// `fits` comparison against `(available − load) + kCapacityEps` — and its
+// strict `<` argmin visits candidates in the same ascending-site order, so
+// winner and price are bit-identical to the scalar oracle, ties broken by
+// candidate order.  tests/core/pricing_test.cpp pins this over randomized
+// instances; bench/micro_stream.cpp measures the speedup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cloud/plan.h"
+#include "cloud/types.h"
+
+namespace edgerep {
+
+/// Struct-of-arrays view of one demand's pruned candidate list.  All three
+/// spans have equal length; entry i describes the i-th deadline-feasible
+/// site in ascending site-id order.
+struct CandidateSoA {
+  std::span<const SiteId> site;        ///< candidate site ids
+  std::span<const double> inv_avail;   ///< 1 / max(A(v), 1e-12), pre-gathered
+  std::span<const double> dod;         ///< delay / deadline (the η base)
+
+  [[nodiscard]] std::size_t size() const noexcept { return site.size(); }
+};
+
+/// Dynamic state the kernel gathers by site id.  `avail` and `load` back the
+/// capacity check `need ≤ (avail[s] − load[s]) + kCapacityEps`; `replica`
+/// is a byte-mask (1 = site holds a replica of the demanded dataset) over
+/// all sites, maintained by the caller (see ReplicaMaskWorkspace).
+struct PricingState {
+  std::span<const double> theta;         ///< per site: dual capacity price
+  std::span<const double> avail;         ///< per site: A(v_l), raw
+  std::span<const double> load;          ///< per site: committed load
+  std::span<const std::uint8_t> replica; ///< per site: replica mask bytes
+  bool budget_left = true;               ///< replica budget K not exhausted
+};
+
+/// Argmin result.  `candidate == kNoCandidate` when no feasible site exists.
+struct PricedChoice {
+  static constexpr std::size_t kNoCandidate = static_cast<std::size_t>(-1);
+  std::size_t candidate = kNoCandidate;  ///< index into the SoA arrays
+  SiteId site = kInvalidSite;
+  double price = 0.0;
+  bool needs_replica = false;
+};
+
+/// One branch-light pass over the SoA buffers: price every candidate, mask
+/// infeasible ones, and return the strict-< argmin (first winner on ties).
+PricedChoice price_candidates(const CandidateSoA& soa,
+                              const PricingState& state, double need,
+                              double eta_weight, double mu_term);
+
+/// Scalar walk over the same mask-backed inputs as the kernel: one candidate
+/// at a time with branchy skips.  Used by the engines' Pricing::kScalar mode
+/// and as the same-inputs equivalence baseline; must stay in lockstep with
+/// price_candidates.
+PricedChoice price_candidates_scalar(const CandidateSoA& soa,
+                                     const PricingState& state, double need,
+                                     double eta_weight, double mu_term);
+
+/// Inputs of the reference oracle — the pre-kernel `site_price` walk, which
+/// asked the *plan* per candidate: replica membership is a linear scan of
+/// the demanded dataset's replica site list (`ReplicaPlan::has_replica`),
+/// not an O(1) byte-mask probe.  The kernel's PricingState flattens exactly
+/// this list into ReplicaMaskWorkspace bytes.
+struct ReferencePricingState {
+  std::span<const double> theta;         ///< per site: dual capacity price
+  std::span<const double> avail;         ///< per site: A(v_l), raw
+  std::span<const double> load;          ///< per site: committed load
+  std::span<const SiteId> replicas;      ///< sites holding the dataset
+  bool budget_left = true;               ///< replica budget K not exhausted
+};
+
+/// Reference oracle: the original per-candidate walk, bit-identical to the
+/// kernel by construction (same FP sequence, same strict-< argmin) but with
+/// the plan-shaped replica scan.  This is the speedup denominator committed
+/// in BENCH_throughput.json and the third leg of the equivalence suite.
+PricedChoice price_candidates_reference(const CandidateSoA& soa,
+                                        const ReferencePricingState& state,
+                                        double need, double eta_weight,
+                                        double mu_term);
+
+/// Reusable per-site replica byte-mask.  The kernel needs O(1) "does site s
+/// hold a replica of dataset n" lookups; plans store replica lists (a few
+/// entries), so callers set the listed sites before pricing and clear them
+/// after — O(K) per demand instead of O(candidates·K) scalar scans.
+class ReplicaMaskWorkspace {
+ public:
+  void resize(std::size_t sites) { mask_.assign(sites, 0); }
+
+  /// Mark every site in `sites` as holding a replica.
+  void set(std::span<const SiteId> sites) {
+    for (const SiteId s : sites) mask_[s] = 1;
+  }
+  void set_one(SiteId s) { mask_[s] = 1; }
+
+  /// Clear exactly the sites set since the last clear (callers pass the same
+  /// lists back; the mask itself keeps no touch journal).
+  void clear(std::span<const SiteId> sites) {
+    for (const SiteId s : sites) mask_[s] = 0;
+  }
+  void clear_one(SiteId s) { mask_[s] = 0; }
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return mask_;
+  }
+  [[nodiscard]] bool test(SiteId s) const noexcept { return mask_[s] != 0; }
+
+ private:
+  std::vector<std::uint8_t> mask_;
+};
+
+}  // namespace edgerep

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cloud/instance.h"
@@ -26,6 +27,10 @@ class DualState {
 
   /// --- evolving prices used during the primal run ----------------------
   [[nodiscard]] double theta(SiteId l) const { return theta_.at(l); }
+  /// Contiguous θ vector for the pricing kernel's unchecked gathers.
+  [[nodiscard]] std::span<const double> theta_data() const noexcept {
+    return theta_;
+  }
   /// Raise θ_l by the relative load `amount / A(v_l)` (uniform raising step).
   void raise_theta(SiteId l, double resource_amount);
 

@@ -14,8 +14,6 @@ namespace edgerep {
 
 namespace {
 
-constexpr double kCapacityEps = 1e-9;
-
 /// Rank `queries` by the admission order knob (same comparators as the
 /// admission engine, applied to the displaced subset).  The input is sorted
 /// by id first so the result is a pure function of the set, not of the

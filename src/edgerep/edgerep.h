@@ -32,6 +32,7 @@
 #include "core/exact.h"                 // IWYU pragma: export
 #include "core/lagrangian.h"            // IWYU pragma: export
 #include "core/local_search.h"          // IWYU pragma: export
+#include "core/pricing.h"               // IWYU pragma: export
 #include "core/primal_dual.h"           // IWYU pragma: export
 #include "core/repair.h"                // IWYU pragma: export
 #include "core/rounding.h"              // IWYU pragma: export
@@ -56,11 +57,16 @@
 #include "sim/metrics.h"                // IWYU pragma: export
 #include "sim/online.h"                 // IWYU pragma: export
 #include "sim/simulator.h"              // IWYU pragma: export
+#include "stream/ledger.h"              // IWYU pragma: export
+#include "stream/shard_engine.h"        // IWYU pragma: export
+#include "stream/shard_map.h"           // IWYU pragma: export
+#include "stream/stream_engine.h"       // IWYU pragma: export
 #include "util/args.h"                  // IWYU pragma: export
 #include "util/log.h"                   // IWYU pragma: export
 #include "util/rng.h"                   // IWYU pragma: export
 #include "util/stats.h"                 // IWYU pragma: export
 #include "util/table.h"                 // IWYU pragma: export
+#include "workload/arrival_gen.h"       // IWYU pragma: export
 #include "workload/config_io.h"         // IWYU pragma: export
 #include "workload/fault_gen.h"         // IWYU pragma: export
 #include "workload/generator.h"         // IWYU pragma: export

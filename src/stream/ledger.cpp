@@ -1,0 +1,34 @@
+#include "stream/ledger.h"
+
+#include <stdexcept>
+
+namespace edgerep {
+
+CapacityLedger::CapacityLedger(const Instance& inst) : inst_(&inst) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("CapacityLedger: instance not finalized");
+  }
+  load_.assign(inst.sites().size(), 0.0);
+}
+
+bool CapacityLedger::try_reserve(SiteId s, double need) {
+  if (!fits(s, need)) {
+    ++conflicts_;
+    return false;
+  }
+  journal_.push_back({s, load_[s]});
+  load_[s] += need;
+  ++reserves_;
+  return true;
+}
+
+void CapacityLedger::release_all() {
+  while (!journal_.empty()) {
+    const Reservation& r = journal_.back();
+    load_[r.site] = r.prev_load;
+    journal_.pop_back();
+    ++releases_;
+  }
+}
+
+}  // namespace edgerep

@@ -1,0 +1,77 @@
+// Global capacity ledger for epoch reconciliation.
+//
+// During an epoch every shard admits against a frozen snapshot of the global
+// plan, so two shards can independently promise the same boundary site's
+// residual capacity.  The reconciler replays their intents serially and uses
+// this ledger as the authoritative residual check: per query it *reserves*
+// each demand's resource (journaled), then either *commits* the reservations
+// (the query's placements are applied to the plan) or *releases* them (a
+// conflict loser — the query is re-queued into the next epoch).
+//
+// The ledger's loads mirror the plan's ledger bit-exactly: every committed
+// reservation performs the same `load[s] += need` the subsequent
+// ReplicaPlan::assign performs, from an identical prior value (induction
+// from a common zero start), and `fits` uses the shared kCapacityEps.  A
+// successful reserve therefore guarantees the plan mutation cannot throw.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cloud/instance.h"
+#include "cloud/plan.h"
+
+namespace edgerep {
+
+class CapacityLedger {
+ public:
+  explicit CapacityLedger(const Instance& inst);
+
+  /// Committed + currently-reserved resource at site s.
+  [[nodiscard]] double load(SiteId s) const { return load_.at(s); }
+  [[nodiscard]] std::span<const double> loads() const noexcept {
+    return load_;
+  }
+
+  /// Same feasibility predicate as ReplicaPlan::fits.
+  [[nodiscard]] bool fits(SiteId s, double amount) const {
+    return amount <= (inst_->site(s).available - load_[s]) + kCapacityEps;
+  }
+
+  /// Reserve `need` at site s if it fits; journaled for release.  Returns
+  /// false (and counts a conflict) when the residual is insufficient.
+  bool try_reserve(SiteId s, double need);
+
+  /// Release every un-committed reservation (LIFO, restoring the exact
+  /// journaled prior loads) — the conflict-loser path.
+  void release_all();
+
+  /// Accept every outstanding reservation as committed load.
+  void commit_all() noexcept { journal_.clear(); }
+
+  /// Reservations currently outstanding (0 between queries).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return journal_.size();
+  }
+
+  /// --- accounting (monotonic over the ledger's lifetime) ----------------
+  [[nodiscard]] std::size_t reserves() const noexcept { return reserves_; }
+  [[nodiscard]] std::size_t conflicts() const noexcept { return conflicts_; }
+  [[nodiscard]] std::size_t releases() const noexcept { return releases_; }
+
+ private:
+  struct Reservation {
+    SiteId site;
+    double prev_load;  ///< load_[site] before the reserve
+  };
+
+  const Instance* inst_;
+  std::vector<double> load_;  ///< per site, mirrors ReplicaPlan::loads()
+  std::vector<Reservation> journal_;
+  std::size_t reserves_ = 0;
+  std::size_t conflicts_ = 0;
+  std::size_t releases_ = 0;
+};
+
+}  // namespace edgerep

@@ -1,0 +1,146 @@
+#include "stream/shard_engine.h"
+
+#include <algorithm>
+
+namespace edgerep {
+
+ShardEngine::ShardEngine(const Instance& inst, const ShardMap& map,
+                         std::uint32_t shard, const StreamOptions& opts)
+    : inst_(&inst),
+      map_(&map),
+      shard_(shard),
+      opts_(opts),
+      num_sites_(inst.sites().size()),
+      duals_(inst) {
+  local_load_.assign(num_sites_, 0.0);
+  avail_.resize(num_sites_);
+  inv_avail_.resize(num_sites_);
+  for (const Site& s : inst.sites()) {
+    avail_[s.id] = s.available;
+    inv_avail_[s.id] = 1.0 / std::max(s.available, 1e-12);
+  }
+  const std::size_t datasets = inst.datasets().size();
+  replica_mask_.assign(datasets * num_sites_, 0);
+  mask_synced_.assign(datasets, 0);
+  replica_seen_.assign(datasets, 0);
+  const std::size_t scan = map.scan_sites(shard).size();
+  cand_site_.reserve(scan);
+  cand_inv_.reserve(scan);
+  cand_dod_.reserve(scan);
+}
+
+void ShardEngine::begin_epoch(const ReplicaPlan& plan) {
+  // Drop last epoch's pending bits: winners reappear below as newly
+  // committed plan replicas, losers vanish.
+  for (const AdmissionIntent::Placement& p : epoch_pending_) {
+    replica_mask_[static_cast<std::size_t>(p.dataset) * num_sites_ + p.site] =
+        0;
+  }
+  epoch_pending_.clear();
+
+  // Bit-exact load snapshot: these values were produced by the same `+=`
+  // sequence this shard replays locally, so copying them preserves the
+  // scalar-path equivalence of every subsequent capacity comparison.
+  const std::span<const double> loads = plan.loads();
+  std::copy(loads.begin(), loads.end(), local_load_.begin());
+
+  // Fold newly committed replica sites into the masks.  Replicas are never
+  // removed by the streaming plane, so a per-dataset high-water mark makes
+  // the sync O(new replicas) instead of O(datasets × K).
+  for (const Dataset& ds : inst_->datasets()) {
+    const std::vector<SiteId>& sites = plan.replica_sites(ds.id);
+    for (std::size_t i = mask_synced_[ds.id]; i < sites.size(); ++i) {
+      replica_mask_[static_cast<std::size_t>(ds.id) * num_sites_ + sites[i]] =
+          1;
+    }
+    mask_synced_[ds.id] = static_cast<std::uint32_t>(sites.size());
+    replica_seen_[ds.id] = static_cast<std::uint32_t>(sites.size());
+  }
+}
+
+bool ShardEngine::admit(const Query& q, AdmissionIntent& out) {
+  const DualState::Savepoint sp = duals_.savepoint();
+  load_journal_.clear();
+  query_pending_.clear();
+  out.query = q.id;
+  out.placements.clear();
+  const double mu_term =
+      opts_.replica_weight / static_cast<double>(inst_->max_replicas());
+
+  bool ok = true;
+  for (const DatasetDemand& dd : q.demands) {
+    const Dataset& ds = inst_->dataset(dd.dataset);
+    const double vol = ds.volume;
+    const double need = vol * q.rate;  // == resource_demand
+    const double sel_vol = dd.selectivity * vol;
+
+    // Build this demand's pruned candidate list over the shard's scan set —
+    // ascending site id, the same visit order and FP factors as the batch
+    // CandidateIndex row (vol·proc + (α·vol)·path, delay/deadline).
+    cand_site_.clear();
+    cand_inv_.clear();
+    cand_dod_.clear();
+    for (const SiteId s : map_->scan_sites(shard_)) {
+      const double delay = vol * inst_->site(s).proc_delay +
+                           sel_vol * inst_->path_delay(s, q.home);
+      if (delay <= q.deadline) {
+        cand_site_.push_back(s);
+        cand_inv_.push_back(inv_avail_[s]);
+        cand_dod_.push_back(delay / q.deadline);
+      }
+    }
+
+    const bool budget_left = replica_seen_[dd.dataset] < inst_->max_replicas();
+    const CandidateSoA soa{cand_site_, cand_inv_, cand_dod_};
+    const PricingState state{duals_.theta_data(), avail_, local_load_,
+                             mask_row(dd.dataset), budget_left};
+    const PricedChoice ch =
+        opts_.pricing == ApproOptions::Pricing::kVectorized
+            ? price_candidates(soa, state, need, opts_.eta_weight, mu_term)
+            : price_candidates_scalar(soa, state, need, opts_.eta_weight,
+                                      mu_term);
+    if (ch.candidate == PricedChoice::kNoCandidate) {
+      ok = false;
+      break;
+    }
+
+    // Apply locally, mirroring the batch admit step's operation order.
+    if (ch.needs_replica) {
+      replica_mask_[static_cast<std::size_t>(dd.dataset) * num_sites_ +
+                    ch.site] = 1;
+      ++replica_seen_[dd.dataset];
+      query_pending_.push_back({dd.dataset, ch.site, true});
+      duals_.raise_mu(q.id);
+    }
+    out.placements.push_back({dd.dataset, ch.site, ch.needs_replica});
+    load_journal_.push_back({ch.site, local_load_[ch.site]});
+    local_load_[ch.site] += need;
+    duals_.raise_theta(ch.site, need);
+    const double tight =
+        std::max(0.0, vol * (1.0 - q.rate * duals_.theta(ch.site)));
+    duals_.set_y(q.id, std::max(duals_.y(q.id), tight));
+  }
+
+  if (!ok) {
+    duals_.rollback_to(sp);
+    duals_.commit();
+    // LIFO load restore to the exact journaled prior values.
+    while (!load_journal_.empty()) {
+      local_load_[load_journal_.back().site] = load_journal_.back().prev_load;
+      load_journal_.pop_back();
+    }
+    for (const AdmissionIntent::Placement& p : query_pending_) {
+      replica_mask_[static_cast<std::size_t>(p.dataset) * num_sites_ +
+                    p.site] = 0;
+      --replica_seen_[p.dataset];
+    }
+    out.placements.clear();
+    return false;
+  }
+  duals_.commit();
+  epoch_pending_.insert(epoch_pending_.end(), query_pending_.begin(),
+                        query_pending_.end());
+  return true;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,129 @@
+// Per-shard admission engine for the streaming plane (phase 1 of an epoch).
+//
+// Each shard owns a DualState and prices its queries only against its
+// ShardMap scan set (owned ∪ boundary sites), using the same vectorized
+// pricing kernel as the batch path.  Because the full CandidateIndex is
+// quadratic in (queries × sites) — hopeless at 1M queries × 10k sites — the
+// engine builds each demand's pruned candidate list on the fly over the
+// shard's scan sites into reusable SoA scratch buffers: per query the work
+// is O(|scan set|), which is how S shards cut the admission cost by ~S even
+// on a single core.
+//
+// Epoch protocol (determinism contract):
+//  * begin_epoch(plan) freezes the global state for this shard — it copies
+//    the plan's load ledger (bit-exact: the values were produced by the same
+//    `+=` sequence reconciliation replays) and folds newly committed replica
+//    sites into persistent per-dataset byte-masks via a high-water mark.
+//  * admit() runs whole queries atomically against that snapshot plus the
+//    shard's own pending admissions, emitting an AdmissionIntent per
+//    admitted query.  A query with any infeasible demand rolls back its
+//    dual raises, load debits and pending replica bits exactly.
+//  * Intents are applied (or refused) serially by the reconciler; dual
+//    raises of conflict losers deliberately persist — the shard has seen
+//    real contention for those sites, so pricing them higher is
+//    conservative, never inadmissible.
+// Phase 1 never touches shared mutable state, so shards run in parallel
+// with no synchronization and the result is independent of interleaving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/instance.h"
+#include "cloud/plan.h"
+#include "core/appro.h"
+#include "core/pricing.h"
+#include "core/primal_dual.h"
+#include "stream/shard_map.h"
+
+namespace edgerep {
+
+/// Knobs of the streaming admission plane (shared by ShardEngine and
+/// run_stream).
+struct StreamOptions {
+  std::size_t shards = 1;
+  /// Micro-epoch length in seconds of arrival time.
+  double epoch_length = 0.05;
+  /// How many times a reconcile-conflict loser is re-queued before it is
+  /// rejected for good.
+  std::size_t max_requeues = 2;
+  BoundaryPolicy boundary = BoundaryPolicy::kNone;
+  /// Pricing implementation inside each shard (kernel by default; the
+  /// scalar oracle is the equivalence baseline).
+  ApproOptions::Pricing pricing = ApproOptions::Pricing::kVectorized;
+  double eta_weight = 0.25;     ///< matches ApproOptions::eta_weight
+  double replica_weight = 0.5;  ///< matches ApproOptions::replica_weight
+  /// Run phase 1 of each epoch on the global thread pool.
+  bool parallel = true;
+};
+
+/// A shard's committed phase-1 decision for one query: where each demand
+/// should run and whether the shard believes a fresh replica is required
+/// (the reconciler re-derives the truth against the live plan).
+struct AdmissionIntent {
+  struct Placement {
+    DatasetId dataset = 0;
+    SiteId site = kInvalidSite;
+    bool place_replica = false;
+  };
+  QueryId query = 0;
+  std::vector<Placement> placements;  ///< in demand order
+};
+
+class ShardEngine {
+ public:
+  ShardEngine(const Instance& inst, const ShardMap& map, std::uint32_t shard,
+              const StreamOptions& opts);
+
+  /// Freeze the global plan for this epoch: snapshot its load ledger, clear
+  /// last epoch's pending replica bits, and fold newly committed replica
+  /// sites into the masks.
+  void begin_epoch(const ReplicaPlan& plan);
+
+  /// Phase-1 admission of one query against the epoch snapshot plus this
+  /// shard's pending state.  On success fills `out` and returns true; on
+  /// failure restores all shard state exactly and returns false.
+  bool admit(const Query& q, AdmissionIntent& out);
+
+  [[nodiscard]] const DualState& duals() const noexcept { return duals_; }
+  [[nodiscard]] std::uint32_t shard() const noexcept { return shard_; }
+
+ private:
+  [[nodiscard]] std::span<const std::uint8_t> mask_row(DatasetId d) const {
+    return {replica_mask_.data() + static_cast<std::size_t>(d) * num_sites_,
+            num_sites_};
+  }
+
+  const Instance* inst_;
+  const ShardMap* map_;
+  std::uint32_t shard_;
+  StreamOptions opts_;
+  std::size_t num_sites_;
+
+  DualState duals_;
+  std::vector<double> local_load_;  ///< per site: epoch snapshot + pending
+  std::vector<double> avail_;      ///< per site: A(v_l)
+  std::vector<double> inv_avail_;  ///< per site: 1 / max(A(v_l), 1e-12)
+
+  /// Per (dataset, site) byte-mask: frozen-plan replicas ∪ shard-pending
+  /// placements.  Flat row-major [dataset][site].
+  std::vector<std::uint8_t> replica_mask_;
+  std::vector<std::uint32_t> mask_synced_;   ///< per dataset: plan sites folded
+  std::vector<std::uint32_t> replica_seen_;  ///< per dataset: frozen + pending
+  /// Pending bits set this epoch (cleared at the next begin_epoch).
+  std::vector<AdmissionIntent::Placement> epoch_pending_;
+
+  // Per-demand SoA scratch (reused across queries; sized to the scan set).
+  std::vector<SiteId> cand_site_;
+  std::vector<double> cand_inv_;
+  std::vector<double> cand_dod_;
+  // Per-query undo journal for atomic rollback.
+  struct LoadUndo {
+    SiteId site;
+    double prev_load;
+  };
+  std::vector<LoadUndo> load_journal_;
+  std::vector<AdmissionIntent::Placement> query_pending_;
+};
+
+}  // namespace edgerep

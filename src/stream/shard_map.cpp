@@ -1,0 +1,50 @@
+#include "stream/shard_map.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgerep {
+
+ShardMap::ShardMap(const Instance& inst, std::size_t shards,
+                   BoundaryPolicy policy)
+    : policy_(policy) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("ShardMap: instance not finalized");
+  }
+  if (shards == 0) {
+    throw std::invalid_argument("ShardMap: need at least one shard");
+  }
+  const std::size_t num_sites = inst.sites().size();
+  shards = std::min(shards, std::max<std::size_t>(num_sites, 1));
+
+  site_shard_.assign(num_sites, kBoundaryShard);
+  std::vector<SiteId> ownable;
+  ownable.reserve(num_sites);
+  for (const Site& s : inst.sites()) {
+    if (policy == BoundaryPolicy::kDataCenters && s.is_data_center()) {
+      boundary_.push_back(s.id);
+    } else {
+      ownable.push_back(s.id);
+    }
+  }
+
+  // Contiguous balanced ranges over the ownable sites in ascending id order:
+  // site k of n goes to shard ⌊k·shards/n⌋, so shard sizes differ by at most
+  // one and the assignment is independent of iteration order.
+  owned_.resize(shards);
+  for (std::size_t k = 0; k < ownable.size(); ++k) {
+    const auto shard = static_cast<std::uint32_t>(k * shards / ownable.size());
+    site_shard_[ownable[k]] = shard;
+    owned_[shard].push_back(ownable[k]);
+  }
+
+  scan_.resize(shards);
+  for (std::size_t sh = 0; sh < shards; ++sh) {
+    auto& scan = scan_[sh];
+    scan.reserve(owned_[sh].size() + boundary_.size());
+    std::merge(owned_[sh].begin(), owned_[sh].end(), boundary_.begin(),
+               boundary_.end(), std::back_inserter(scan));
+  }
+}
+
+}  // namespace edgerep

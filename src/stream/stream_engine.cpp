@@ -1,0 +1,230 @@
+#include "stream/stream_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace edgerep {
+
+namespace {
+
+struct PendingQuery {
+  QueryId query = 0;
+};
+
+/// Outcome of replaying one intent against the live plan + ledger.
+enum class Reconcile : std::uint8_t { kCommitted, kConflict };
+
+/// Phase-2 replay of one shard intent.  Reserve every demand's resource on
+/// the ledger first (pure capacity pre-flight), then re-derive replica
+/// placements against the live plan (another shard may have placed — or
+/// used up the budget for — the same dataset earlier in this epoch), and
+/// only then mutate the plan, which is guaranteed not to throw.
+Reconcile reconcile(const Instance& inst, const AdmissionIntent& intent,
+                    ReplicaPlan& plan, CapacityLedger& ledger) {
+  const Query& q = inst.query(intent.query);
+  for (const AdmissionIntent::Placement& p : intent.placements) {
+    const double need = inst.dataset(p.dataset).volume * q.rate;
+    if (!ledger.try_reserve(p.site, need)) {
+      ledger.release_all();
+      return Reconcile::kConflict;
+    }
+  }
+  // Replica budget re-check against the live plan.  A placement the shard
+  // thought was free-riding an existing replica may need a fresh one here
+  // (the shard-local replica it saw belonged to a conflict loser), and vice
+  // versa.  Demands of one query address distinct datasets, so counting
+  // per-placement against the plan is exact.
+  for (const AdmissionIntent::Placement& p : intent.placements) {
+    if (!plan.has_replica(p.dataset, p.site) &&
+        plan.replica_count(p.dataset) >= inst.max_replicas()) {
+      ledger.release_all();
+      return Reconcile::kConflict;
+    }
+  }
+  ledger.commit_all();
+  for (const AdmissionIntent::Placement& p : intent.placements) {
+    if (!plan.has_replica(p.dataset, p.site)) {
+      plan.place_replica(p.dataset, p.site);
+    }
+    plan.assign(intent.query, p.dataset, p.site);
+  }
+  return Reconcile::kCommitted;
+}
+
+void record_run_metrics(const StreamResult& res) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& runs = obs::metrics().counter(
+      "edgerep_stream_runs_total", "run_stream invocations");
+  static obs::Counter& epochs = obs::metrics().counter(
+      "edgerep_stream_epochs_total", "micro-epochs processed");
+  static obs::Counter& admitted = obs::metrics().counter(
+      "edgerep_stream_queries_admitted_total",
+      "queries admitted by the streaming plane");
+  static obs::Counter& rejected = obs::metrics().counter(
+      "edgerep_stream_queries_rejected_total",
+      "queries rejected by the streaming plane");
+  static obs::Counter& requeues = obs::metrics().counter(
+      "edgerep_stream_requeues_total",
+      "conflict losers re-queued into a later epoch");
+  static obs::Counter& conflicts = obs::metrics().counter(
+      "edgerep_stream_reconcile_conflicts_total",
+      "intents refused during epoch reconciliation");
+  runs.inc();
+  epochs.inc(res.epochs);
+  admitted.inc(res.queries_admitted);
+  rejected.inc(res.queries_rejected);
+  requeues.inc(res.requeues);
+  conflicts.inc(res.conflicts);
+  obs::metrics()
+      .gauge("edgerep_stream_ledger_reserves",
+             "capacity reservations taken by the last streaming run")
+      .set(static_cast<double>(res.ledger_reserves));
+  obs::metrics()
+      .gauge("edgerep_stream_ledger_releases",
+             "capacity reservations released by the last streaming run")
+      .set(static_cast<double>(res.ledger_releases));
+  for (std::size_t sh = 0; sh < res.shard_stats.size(); ++sh) {
+    const std::string suffix = "{shard=\"" + std::to_string(sh) + "\"}";
+    obs::metrics()
+        .gauge("edgerep_stream_shard_admitted" + suffix,
+               "queries admitted per shard in the last streaming run")
+        .set(static_cast<double>(res.shard_stats[sh].admitted));
+    obs::metrics()
+        .gauge("edgerep_stream_shard_conflicts" + suffix,
+               "reconcile conflicts per shard in the last streaming run")
+        .set(static_cast<double>(res.shard_stats[sh].conflicts));
+  }
+}
+
+}  // namespace
+
+StreamResult run_stream(const Instance& inst, std::span<const Arrival> stream,
+                        const StreamOptions& opts) {
+  EDGEREP_TRACE_SCOPE("stream.run");
+  if (!inst.finalized()) {
+    throw std::invalid_argument("run_stream: instance not finalized");
+  }
+  if (!(opts.epoch_length > 0.0)) {
+    throw std::invalid_argument("run_stream: epoch_length must be > 0");
+  }
+  const std::size_t shards =
+      std::max<std::size_t>(1, std::min(opts.shards, inst.sites().size()));
+
+  const ShardMap map(inst, shards, opts.boundary);
+  std::vector<ShardEngine> engines;
+  engines.reserve(shards);
+  for (std::uint32_t sh = 0; sh < shards; ++sh) {
+    engines.emplace_back(inst, map, sh, opts);
+  }
+
+  StreamResult res{ReplicaPlan(inst), {}, 0, 0, 0, 0, 0, 0, 0, {}};
+  res.shard_stats.resize(shards);
+  CapacityLedger ledger(inst);
+  std::vector<std::uint32_t> retries(inst.queries().size(), 0);
+
+  std::vector<PendingQuery> requeued;
+  std::vector<std::vector<PendingQuery>> shard_batch(shards);
+  std::vector<std::vector<AdmissionIntent>> shard_intents(shards);
+  std::vector<std::vector<QueryId>> shard_infeasible(shards);
+
+  std::size_t cursor = 0;
+  std::size_t epoch = 0;
+  while (cursor < stream.size() || !requeued.empty()) {
+    // Skip empty windows in O(1): jump to the epoch holding the next
+    // arrival when nothing is queued for this one.
+    if (requeued.empty() && cursor < stream.size()) {
+      const auto next = static_cast<std::size_t>(
+          std::floor(stream[cursor].time / opts.epoch_length));
+      epoch = std::max(epoch, next);
+    }
+    const double window_end =
+        static_cast<double>(epoch + 1) * opts.epoch_length;
+
+    // Batch: re-queued losers first (their arrival preceded this window),
+    // then this window's arrivals, routed in order.
+    for (auto& b : shard_batch) b.clear();
+    for (const PendingQuery& pq : requeued) {
+      const std::uint32_t sh = map.shard_of_query(inst.query(pq.query));
+      shard_batch[sh].push_back(pq);
+      ++res.shard_stats[sh].routed;
+    }
+    requeued.clear();
+    while (cursor < stream.size() && stream[cursor].time < window_end) {
+      const QueryId m = stream[cursor].query;
+      const std::uint32_t sh = map.shard_of_query(inst.query(m));
+      shard_batch[sh].push_back({m});
+      ++res.shard_stats[sh].routed;
+      ++cursor;
+    }
+
+    // Phase 1: parallel per-shard admission against the frozen plan.
+    {
+      EDGEREP_TRACE_SCOPE("stream.phase1");
+      auto run_shard = [&](std::size_t sh) {
+        ShardEngine& eng = engines[sh];
+        eng.begin_epoch(res.plan);
+        auto& intents = shard_intents[sh];
+        auto& infeasible = shard_infeasible[sh];
+        intents.clear();
+        infeasible.clear();
+        for (const PendingQuery& pq : shard_batch[sh]) {
+          AdmissionIntent intent;
+          if (eng.admit(inst.query(pq.query), intent)) {
+            intents.push_back(std::move(intent));
+          } else {
+            infeasible.push_back(pq.query);
+          }
+        }
+      };
+      if (opts.parallel && shards > 1) {
+        global_pool().parallel_for(shards, run_shard);
+      } else {
+        for (std::size_t sh = 0; sh < shards; ++sh) run_shard(sh);
+      }
+    }
+
+    // Phase 2: serial reconciliation in (shard id, intent order).
+    {
+      EDGEREP_TRACE_SCOPE("stream.reconcile");
+      for (std::size_t sh = 0; sh < shards; ++sh) {
+        for (const AdmissionIntent& intent : shard_intents[sh]) {
+          if (reconcile(inst, intent, res.plan, ledger) ==
+              Reconcile::kCommitted) {
+            ++res.queries_admitted;
+            ++res.shard_stats[sh].admitted;
+            continue;
+          }
+          ++res.conflicts;
+          ++res.shard_stats[sh].conflicts;
+          if (retries[intent.query] < opts.max_requeues) {
+            ++retries[intent.query];
+            ++res.requeues;
+            requeued.push_back({intent.query});
+          } else {
+            ++res.queries_rejected;
+          }
+        }
+        // Phase-1 infeasibility is terminal: load and θ only grow over the
+        // stream, so the same shard can never admit the query later.
+        res.queries_rejected += shard_infeasible[sh].size();
+        res.shard_stats[sh].infeasible += shard_infeasible[sh].size();
+      }
+    }
+    ++res.epochs;
+    ++epoch;
+  }
+
+  res.ledger_reserves = ledger.reserves();
+  res.ledger_releases = ledger.releases();
+  res.metrics = evaluate(res.plan);
+  record_run_metrics(res);
+  return res;
+}
+
+}  // namespace edgerep

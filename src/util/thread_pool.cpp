@@ -1,9 +1,5 @@
 #include "util/thread_pool.h"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
-
 #include "obs/metrics.h"
 
 namespace edgerep {
@@ -37,6 +33,17 @@ void note_queue_depth(std::size_t depth) noexcept {
   depth_gauge.set(static_cast<double>(depth));
 }
 
+void note_parallel_for(std::size_t n) noexcept {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& calls = obs::metrics().counter(
+      "edgerep_pool_parallel_for_total", "parallel_for invocations");
+  static obs::Counter& items = obs::metrics().counter(
+      "edgerep_pool_parallel_for_items_total",
+      "work items dispatched through parallel_for");
+  calls.inc();
+  items.inc(n);
+}
+
 }  // namespace detail
 
 void ThreadPool::worker_loop() {
@@ -62,48 +69,11 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
-  if (n == 0) return;
-  if (obs::metrics_enabled()) {
-    static obs::Counter& calls = obs::metrics().counter(
-        "edgerep_pool_parallel_for_total", "parallel_for invocations");
-    static obs::Counter& items = obs::metrics().counter(
-        "edgerep_pool_parallel_for_items_total",
-        "work items dispatched through parallel_for");
-    calls.inc();
-    items.inc(n);
-  }
-  if (n == 1 || size() == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  const std::size_t shards = std::min(size(), n);
-  // ~8 blocks per worker keeps the tail balanced while amortizing the
-  // shared-cursor bump over a whole block of indices.
-  const std::size_t block = std::max<std::size_t>(1, n / (shards * 8));
-  std::vector<std::future<void>> futs;
-  futs.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    futs.push_back(submit([&] {
-      for (;;) {
-        const std::size_t begin = next.fetch_add(block);
-        if (begin >= n) return;
-        const std::size_t end = std::min(n, begin + block);
-        for (std::size_t i = begin; i < end; ++i) {
-          try {
-            body(i);
-          } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!error) error = std::current_exception();
-          }
-        }
-      }
-    }));
-  }
-  for (auto& f : futs) f.get();
-  if (error) std::rethrow_exception(error);
+  // Thin adapter over the blocked-range template; the erased call is paid
+  // once per index inside the block loop, block claiming is shared.
+  parallel_for_blocked(n, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
 }
 
 ThreadPool& global_pool() {

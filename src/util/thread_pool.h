@@ -5,8 +5,11 @@
 // and results are written to per-index slots.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -17,10 +20,12 @@
 namespace edgerep {
 
 namespace detail {
-/// Observability hook: records the shared task-queue depth into the
-/// `edgerep_pool_queue_depth` gauge (no-op while metrics are disabled).
-/// Out-of-line so this header does not pull in the metrics registry.
+/// Observability hooks, out-of-line so this header does not pull in the
+/// metrics registry (all no-ops while metrics are disabled).
+/// Records the shared task-queue depth into `edgerep_pool_queue_depth`.
 void note_queue_depth(std::size_t depth) noexcept;
+/// Counts a parallel_for / parallel_for_blocked dispatch of `n` items.
+void note_parallel_for(std::size_t n) noexcept;
 }  // namespace detail
 
 /// Work-item count above which data-parallel helpers fan out onto the
@@ -63,6 +68,49 @@ class ThreadPool {
   /// bump per block instead of one per index.  Exceptions from any
   /// iteration are rethrown (the first one observed).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Blocked-range variant: run body(begin, end) over contiguous chunks of
+  /// [0, n) claimed off the shared cursor, waiting for completion.  The
+  /// callable is a template parameter, so tight inner loops see a directly
+  /// inlinable body — no per-index (or even per-block) std::function
+  /// dispatch, which the erased `parallel_for` pays.  Exception semantics
+  /// match parallel_for: the first exception observed is rethrown after all
+  /// workers drain.
+  template <typename F>
+  void parallel_for_blocked(std::size_t n, F&& body) {
+    if (n == 0) return;
+    detail::note_parallel_for(n);
+    if (n == 1 || size() == 1) {
+      body(std::size_t{0}, n);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    const std::size_t shards = std::min(size(), n);
+    // ~8 blocks per worker keeps the tail balanced while amortizing the
+    // shared-cursor bump over a whole block of indices.
+    const std::size_t block = std::max<std::size_t>(1, n / (shards * 8));
+    std::vector<std::future<void>> futs;
+    futs.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      futs.push_back(submit([&] {
+        for (;;) {
+          const std::size_t begin = next.fetch_add(block);
+          if (begin >= n) return;
+          const std::size_t end = std::min(n, begin + block);
+          try {
+            body(begin, end);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error) error = std::current_exception();
+          }
+        }
+      }));
+    }
+    for (auto& f : futs) f.get();
+    if (error) std::rethrow_exception(error);
+  }
 
  private:
   void worker_loop();

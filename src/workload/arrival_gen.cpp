@@ -1,0 +1,75 @@
+#include "workload/arrival_gen.h"
+
+#include <span>
+#include <stdexcept>
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace edgerep {
+
+std::vector<Arrival> generate_arrival_stream(const Instance& inst, double rate,
+                                             std::uint64_t seed,
+                                             ArrivalOrder order) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("generate_arrival_stream: not finalized");
+  }
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("generate_arrival_stream: rate must be > 0");
+  }
+  const std::size_t n = inst.queries().size();
+  std::vector<QueryId> ids(n);
+  for (QueryId m = 0; m < n; ++m) ids[m] = m;
+  if (order == ArrivalOrder::kShuffled) {
+    Rng shuffle_rng(derive_seed(seed, 1));
+    shuffle_rng.shuffle(std::span<QueryId>(ids));
+  }
+  Rng gap_rng(derive_seed(seed, 2));
+  std::vector<Arrival> stream(n);
+  double t = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    t += gap_rng.exponential(rate);
+    stream[k] = {t, ids[k]};
+  }
+  return stream;
+}
+
+Instance stream_instance(const StreamWorkloadConfig& cfg, std::uint64_t seed) {
+  if (cfg.sites < 2 || cfg.datasets == 0 || cfg.queries == 0) {
+    throw std::invalid_argument("stream_instance: bad counts");
+  }
+  // Independent substreams per concern, mirroring generate_instance: the
+  // site draw is stable when the query count changes and vice versa.
+  Rng topo_rng(derive_seed(seed, 1));
+  Rng site_rng(derive_seed(seed, 2));
+  Rng data_rng(derive_seed(seed, 3));
+  Rng query_rng(derive_seed(seed, 4));
+
+  const double p =
+      cfg.avg_degree / static_cast<double>(cfg.sites - 1);
+  Instance inst(gnp(cfg.sites, p, cfg.link_delay, topo_rng));
+  for (std::size_t n = 0; n < cfg.sites; ++n) {
+    inst.add_site(static_cast<NodeId>(n), cfg.capacity.sample(site_rng),
+                  cfg.proc_delay.sample(site_rng));
+  }
+  for (std::size_t n = 0; n < cfg.datasets; ++n) {
+    const auto origin =
+        static_cast<SiteId>(data_rng.uniform_u64(0, cfg.sites - 1));
+    inst.add_dataset(cfg.volume.sample(data_rng), origin);
+  }
+  for (std::size_t m = 0; m < cfg.queries; ++m) {
+    const auto home =
+        static_cast<SiteId>(query_rng.uniform_u64(0, cfg.sites - 1));
+    const auto ds =
+        static_cast<DatasetId>(query_rng.uniform_u64(0, cfg.datasets - 1));
+    const double vol = inst.dataset(ds).volume;
+    const double deadline = cfg.deadline_per_gb.sample(query_rng) * vol;
+    inst.add_query(home, cfg.rate.sample(query_rng), deadline,
+                   {DatasetDemand{ds, cfg.selectivity.sample(query_rng)}});
+  }
+  inst.set_max_replicas(cfg.max_replicas);
+  inst.finalize();
+  return inst;
+}
+
+}  // namespace edgerep

@@ -1,0 +1,96 @@
+#include "stream/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+TEST(CapacityLedger, ReserveCommitRelease) {
+  const Instance inst = testing::TinyFixture::make();
+  CapacityLedger ledger(inst);
+  const double cap0 = inst.site(0).available;
+
+  ASSERT_TRUE(ledger.try_reserve(0, cap0 - 1.0));
+  EXPECT_EQ(ledger.pending(), 1u);
+  EXPECT_EQ(ledger.load(0), cap0 - 1.0);
+
+  // Over-reserve fails, counts a conflict, and changes nothing.
+  EXPECT_FALSE(ledger.try_reserve(0, 2.0));
+  EXPECT_EQ(ledger.conflicts(), 1u);
+  EXPECT_EQ(ledger.load(0), cap0 - 1.0);
+
+  // Release restores the exact prior load.
+  ledger.release_all();
+  EXPECT_EQ(ledger.load(0), 0.0);
+  EXPECT_EQ(ledger.pending(), 0u);
+  EXPECT_EQ(ledger.releases(), 1u);
+
+  // Commit makes reservations permanent: release_all no longer undoes them.
+  ASSERT_TRUE(ledger.try_reserve(0, 3.0));
+  ledger.commit_all();
+  ledger.release_all();
+  EXPECT_EQ(ledger.load(0), 3.0);
+}
+
+TEST(CapacityLedger, FitsAgreesWithPlanFitsOnSharedLoads) {
+  const Instance inst = testing::medium_instance(19);
+  CapacityLedger ledger(inst);
+  ReplicaPlan plan(inst);
+  // Fill site 0 with repeated identical commits on both sides, checking the
+  // feasibility predicates agree at every step — including the final one
+  // where the residual sits at the epsilon boundary.
+  const Query& q = inst.queries()[0];
+  const DatasetDemand& dd = q.demands[0];
+  const double need = resource_demand(inst, q, dd);
+  const SiteId s = 0;
+  plan.place_replica(dd.dataset, s);
+  std::vector<QueryId> assigned;
+  for (const Query& other : inst.queries()) {
+    if (other.demands[0].dataset != dd.dataset) continue;
+    const double other_need = resource_demand(inst, other, other.demands[0]);
+    ASSERT_EQ(plan.fits(s, other_need), ledger.fits(s, other_need));
+    if (!plan.fits(s, other_need)) break;
+    ASSERT_TRUE(ledger.try_reserve(s, other_need));
+    plan.assign(other.id, other.demands[0].dataset, s);
+    assigned.push_back(other.id);
+    EXPECT_EQ(ledger.load(s), plan.load(s));
+  }
+  ASSERT_FALSE(assigned.empty());
+  EXPECT_EQ(plan.fits(s, need), ledger.fits(s, need));
+}
+
+TEST(CapacityLedger, LoadsMirrorPlanLedgerThroughIdenticalOps) {
+  const Instance inst = testing::medium_instance(23);
+  CapacityLedger ledger(inst);
+  ReplicaPlan plan(inst);
+  // Apply the same admissions to both; loads must stay bit-identical.
+  std::size_t applied = 0;
+  for (const Query& q : inst.queries()) {
+    const DatasetDemand& dd = q.demands[0];
+    const double need = resource_demand(inst, q, dd);
+    const SiteId s = q.home;
+    if (!plan.fits(s, need)) continue;
+    if (!plan.has_replica(dd.dataset, s)) {
+      if (plan.replica_count(dd.dataset) >= inst.max_replicas()) continue;
+      plan.place_replica(dd.dataset, s);
+    }
+    ASSERT_TRUE(ledger.try_reserve(s, need));
+    plan.assign(q.id, dd.dataset, s);
+    ++applied;
+  }
+  ledger.commit_all();
+  ASSERT_GT(applied, 0u);
+  for (const Site& site : inst.sites()) {
+    EXPECT_EQ(ledger.load(site.id), plan.load(site.id)) << "site " << site.id;
+  }
+}
+
+TEST(CapacityLedger, RejectsUnfinalizedInstance) {
+  Instance raw;
+  EXPECT_THROW(CapacityLedger{raw}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -1,0 +1,106 @@
+#include "stream/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::medium_instance;
+
+TEST(ShardMap, TotalPartitionUnderNoBoundaryPolicy) {
+  const Instance inst = medium_instance(7);
+  const ShardMap map(inst, 4, BoundaryPolicy::kNone);
+  ASSERT_EQ(map.shards(), 4u);
+  EXPECT_TRUE(map.boundary_sites().empty());
+  std::set<SiteId> seen;
+  for (std::uint32_t sh = 0; sh < 4; ++sh) {
+    for (const SiteId s : map.owned_sites(sh)) {
+      EXPECT_EQ(map.shard_of_site(s), sh);
+      EXPECT_TRUE(seen.insert(s).second) << "site owned twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), inst.sites().size());
+}
+
+TEST(ShardMap, BalancedContiguousRanges) {
+  const Instance inst = medium_instance(7);
+  const std::size_t shards = 3;
+  const ShardMap map(inst, shards);
+  std::size_t lo = inst.sites().size();
+  std::size_t hi = 0;
+  for (std::uint32_t sh = 0; sh < shards; ++sh) {
+    const auto owned = map.owned_sites(sh);
+    lo = std::min(lo, owned.size());
+    hi = std::max(hi, owned.size());
+    EXPECT_TRUE(std::is_sorted(owned.begin(), owned.end()));
+  }
+  EXPECT_LE(hi - lo, 1u) << "partition imbalanced";
+}
+
+TEST(ShardMap, DataCenterBoundaryIsSharedByEveryShard) {
+  const Instance inst = medium_instance(7);
+  const ShardMap map(inst, 4, BoundaryPolicy::kDataCenters);
+  std::size_t dcs = 0;
+  for (const Site& s : inst.sites()) {
+    if (s.is_data_center()) {
+      ++dcs;
+      EXPECT_EQ(map.shard_of_site(s.id), ShardMap::kBoundaryShard);
+    } else {
+      EXPECT_NE(map.shard_of_site(s.id), ShardMap::kBoundaryShard);
+    }
+  }
+  ASSERT_GT(dcs, 0u) << "fixture must contain data centers";
+  EXPECT_EQ(map.boundary_sites().size(), dcs);
+  // Every shard's scan set contains all boundary sites plus its owned sites,
+  // ascending by id.
+  for (std::uint32_t sh = 0; sh < 4; ++sh) {
+    const auto scan = map.scan_sites(sh);
+    EXPECT_TRUE(std::is_sorted(scan.begin(), scan.end()));
+    EXPECT_EQ(scan.size(), map.owned_sites(sh).size() + dcs);
+    for (const SiteId b : map.boundary_sites()) {
+      EXPECT_TRUE(std::binary_search(scan.begin(), scan.end(), b));
+    }
+  }
+}
+
+TEST(ShardMap, QueryRoutingFollowsHomeSiteOwner) {
+  const Instance inst = medium_instance(7);
+  const ShardMap map(inst, 4, BoundaryPolicy::kDataCenters);
+  for (const Query& q : inst.queries()) {
+    const std::uint32_t sh = map.shard_of_query(q);
+    ASSERT_LT(sh, map.shards());
+    const std::uint32_t home_shard = map.shard_of_site(q.home);
+    if (home_shard != ShardMap::kBoundaryShard) {
+      EXPECT_EQ(sh, home_shard);
+    } else {
+      EXPECT_EQ(sh, q.id % map.shards());  // boundary homes spread by id
+    }
+  }
+}
+
+TEST(ShardMap, SingleShardOwnsEverything) {
+  const Instance inst = medium_instance(7);
+  const ShardMap map(inst, 1);
+  EXPECT_EQ(map.scan_sites(0).size(), inst.sites().size());
+}
+
+TEST(ShardMap, ShardCountClampsToSiteCount) {
+  const Instance inst = testing::TinyFixture::make();
+  const ShardMap map(inst, 64);  // only 2 sites exist
+  EXPECT_LE(map.shards(), inst.sites().size());
+}
+
+TEST(ShardMap, RejectsUnfinalizedAndZeroShards) {
+  const Instance inst = medium_instance(7);
+  EXPECT_THROW(ShardMap(inst, 0), std::invalid_argument);
+  Instance raw;
+  EXPECT_THROW(ShardMap(raw, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgerep

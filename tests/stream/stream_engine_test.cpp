@@ -1,0 +1,183 @@
+// The streaming plane's contracts: 1-shard runs reproduce the batch engine
+// exactly (admitted volume and per-demand assignments), multi-shard runs
+// stay admissible under independent validation, and a fixed (instance,
+// stream, options) triple is deterministic regardless of threading.
+#include "stream/stream_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/appro.h"
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::medium_instance;
+using testing::small_instance;
+
+std::vector<Arrival> id_stream(const Instance& inst, std::uint64_t seed) {
+  return generate_arrival_stream(inst, /*rate=*/200.0, seed,
+                                 ArrivalOrder::kQueryId);
+}
+
+/// Satellite: a 1-shard streaming run over a query-id-ordered stream must
+/// admit exactly what the batch engine admits with Order::kInput — the
+/// exact per-demand plan, pinned on small instances.
+TEST(StreamEngine, OneShardReproducesBatchPlanExactly) {
+  for (const std::uint64_t seed : {3ULL, 17ULL, 29ULL}) {
+    const Instance inst = small_instance(seed, /*f_max=*/3);
+    ApproOptions batch_opts;
+    batch_opts.order = ApproOptions::Order::kInput;
+    const ApproResult batch = appro_g(inst, batch_opts);
+
+    StreamOptions sopts;
+    sopts.shards = 1;
+    const StreamResult stream =
+        run_stream(inst, id_stream(inst, seed), sopts);
+
+    EXPECT_EQ(stream.metrics.admitted_queries,
+              batch.metrics.admitted_queries);
+    EXPECT_EQ(stream.metrics.admitted_volume, batch.metrics.admitted_volume);
+    EXPECT_EQ(stream.plan.total_replicas(), batch.plan.total_replicas());
+    EXPECT_EQ(stream.conflicts, 0u) << "single shard can never conflict";
+    for (const Query& q : inst.queries()) {
+      for (const DatasetDemand& dd : q.demands) {
+        EXPECT_EQ(stream.plan.assignment(q.id, dd.dataset),
+                  batch.plan.assignment(q.id, dd.dataset))
+            << "seed " << seed << " query " << q.id;
+      }
+    }
+  }
+}
+
+TEST(StreamEngine, OneShardMatchesBatchVolumeOnMediumInstances) {
+  for (const std::uint64_t seed : {5ULL, 41ULL}) {
+    const Instance inst = medium_instance(seed);
+    ApproOptions batch_opts;
+    batch_opts.order = ApproOptions::Order::kInput;
+    const ApproResult batch = appro_g(inst, batch_opts);
+    StreamOptions sopts;
+    sopts.shards = 1;
+    const StreamResult stream =
+        run_stream(inst, id_stream(inst, seed), sopts);
+    EXPECT_EQ(stream.metrics.admitted_volume, batch.metrics.admitted_volume);
+    EXPECT_EQ(stream.metrics.admitted_queries,
+              batch.metrics.admitted_queries);
+  }
+}
+
+TEST(StreamEngine, MultiShardPlansStayAdmissible) {
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    const Instance inst = medium_instance(13);
+    StreamOptions opts;
+    opts.shards = shards;
+    const StreamResult res = run_stream(inst, id_stream(inst, 13), opts);
+    const ValidationResult vr = validate(res.plan);
+    EXPECT_TRUE(vr.ok) << shards << " shards: "
+                       << (vr.violations.empty() ? "" : vr.violations[0]);
+    // Every query reaches a terminal state exactly once.
+    EXPECT_EQ(res.queries_admitted + res.queries_rejected,
+              inst.queries().size());
+    EXPECT_EQ(res.shard_stats.size(), shards);
+  }
+}
+
+TEST(StreamEngine, BoundaryPolicySharesDataCenters) {
+  const Instance inst = medium_instance(13);
+  StreamOptions opts;
+  opts.shards = 4;
+  opts.boundary = BoundaryPolicy::kDataCenters;
+  const StreamResult res = run_stream(inst, id_stream(inst, 13), opts);
+  EXPECT_TRUE(validate(res.plan).ok);
+  EXPECT_EQ(res.queries_admitted + res.queries_rejected,
+            inst.queries().size());
+}
+
+/// Determinism: parallel phase 1 and serial phase 1 produce bit-identical
+/// plans — the epoch protocol's result cannot depend on interleaving.
+TEST(StreamEngine, ParallelAndSerialPhase1AreBitIdentical) {
+  const Instance inst = medium_instance(31);
+  const std::vector<Arrival> stream = id_stream(inst, 31);
+  StreamOptions par;
+  par.shards = 4;
+  par.parallel = true;
+  StreamOptions ser = par;
+  ser.parallel = false;
+  const StreamResult a = run_stream(inst, stream, par);
+  const StreamResult b = run_stream(inst, stream, ser);
+  EXPECT_EQ(a.metrics.admitted_volume, b.metrics.admitted_volume);
+  EXPECT_EQ(a.conflicts, b.conflicts);
+  EXPECT_EQ(a.requeues, b.requeues);
+  EXPECT_EQ(a.epochs, b.epochs);
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      EXPECT_EQ(a.plan.assignment(q.id, dd.dataset),
+                b.plan.assignment(q.id, dd.dataset));
+    }
+  }
+}
+
+TEST(StreamEngine, ScalarPricingMatchesVectorizedEndToEnd) {
+  const Instance inst = medium_instance(37);
+  const std::vector<Arrival> stream = id_stream(inst, 37);
+  StreamOptions vec;
+  vec.shards = 4;
+  StreamOptions sca = vec;
+  sca.pricing = ApproOptions::Pricing::kScalar;
+  const StreamResult a = run_stream(inst, stream, vec);
+  const StreamResult b = run_stream(inst, stream, sca);
+  EXPECT_EQ(a.metrics.admitted_volume, b.metrics.admitted_volume);
+  for (const Query& q : inst.queries()) {
+    for (const DatasetDemand& dd : q.demands) {
+      EXPECT_EQ(a.plan.assignment(q.id, dd.dataset),
+                b.plan.assignment(q.id, dd.dataset));
+    }
+  }
+}
+
+TEST(StreamEngine, RequeueAccountingIsConsistent) {
+  const Instance inst = medium_instance(43);
+  StreamOptions opts;
+  opts.shards = 8;
+  opts.max_requeues = 3;
+  const StreamResult res = run_stream(inst, id_stream(inst, 43), opts);
+  // A conflict either re-queues the query or rejects it for good.
+  EXPECT_GE(res.conflicts, res.requeues);
+  EXPECT_EQ(res.ledger_reserves >= res.ledger_releases, true);
+  EXPECT_EQ(res.queries_admitted + res.queries_rejected,
+            inst.queries().size());
+}
+
+TEST(StreamEngine, EmptyStreamYieldsEmptyPlan) {
+  const Instance inst = medium_instance(3);
+  const StreamResult res = run_stream(inst, {}, {});
+  EXPECT_EQ(res.epochs, 0u);
+  EXPECT_EQ(res.queries_admitted, 0u);
+  EXPECT_EQ(res.metrics.admitted_volume, 0.0);
+}
+
+TEST(StreamEngine, SparseArrivalsSkipEmptyEpochsInConstantTime) {
+  // Arrivals 1000 s apart with 50 ms epochs: the run must jump between
+  // occupied windows instead of iterating 20k empty ones per gap.
+  const Instance inst = testing::small_instance(11);
+  std::vector<Arrival> stream;
+  for (QueryId m = 0; m < inst.queries().size(); ++m) {
+    stream.push_back({1000.0 * static_cast<double>(m + 1), m});
+  }
+  const StreamResult res = run_stream(inst, stream, {});
+  EXPECT_EQ(res.queries_admitted + res.queries_rejected,
+            inst.queries().size());
+  EXPECT_LE(res.epochs, inst.queries().size());
+}
+
+TEST(StreamEngine, RejectsBadOptions) {
+  const Instance inst = testing::small_instance(11);
+  StreamOptions opts;
+  opts.epoch_length = 0.0;
+  EXPECT_THROW(run_stream(inst, {}, opts), std::invalid_argument);
+  Instance raw;
+  EXPECT_THROW(run_stream(raw, {}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgerep

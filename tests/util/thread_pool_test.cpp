@@ -91,6 +91,46 @@ TEST(ThreadPool, ParallelResultsMatchSerial) {
   EXPECT_EQ(parallel_out, serial_out);
 }
 
+TEST(ThreadPool, ParallelForBlockedCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.parallel_for_blocked(hits.size(), [&](std::size_t b, std::size_t e) {
+    ASSERT_LE(b, e);
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForBlockedZeroAndOne) {
+  ThreadPool pool(4);
+  bool touched = false;
+  pool.parallel_for_blocked(0, [&](std::size_t, std::size_t) {
+    touched = true;
+  });
+  EXPECT_FALSE(touched);
+  // n == 1 runs inline as a single [0, 1) block.
+  pool.parallel_for_blocked(1, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+    touched = true;
+  });
+  EXPECT_TRUE(touched);
+}
+
+TEST(ThreadPool, ParallelForBlockedPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for_blocked(1000,
+                                [&](std::size_t b, std::size_t e) {
+                                  for (std::size_t i = b; i < e; ++i) {
+                                    if (i == 613) {
+                                      throw std::logic_error("bad block");
+                                    }
+                                  }
+                                }),
+      std::logic_error);
+}
+
 TEST(GlobalPool, IsSingleton) {
   EXPECT_EQ(&global_pool(), &global_pool());
   EXPECT_GE(global_pool().size(), 1u);

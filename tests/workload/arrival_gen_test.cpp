@@ -1,0 +1,111 @@
+#include "workload/arrival_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "helpers/fixtures.h"
+
+namespace edgerep {
+namespace {
+
+using testing::medium_instance;
+
+TEST(ArrivalGen, OneArrivalPerQueryStrictlyIncreasing) {
+  const Instance inst = medium_instance(7);
+  const std::vector<Arrival> stream = generate_arrival_stream(inst, 50.0, 42);
+  ASSERT_EQ(stream.size(), inst.queries().size());
+  std::vector<bool> seen(inst.queries().size(), false);
+  double prev = 0.0;
+  for (const Arrival& a : stream) {
+    EXPECT_GT(a.time, prev) << "times must be strictly increasing";
+    prev = a.time;
+    ASSERT_LT(a.query, seen.size());
+    EXPECT_FALSE(seen[a.query]) << "query " << a.query << " arrives twice";
+    seen[a.query] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(ArrivalGen, DeterministicPerSeed) {
+  const Instance inst = medium_instance(7);
+  const auto a = generate_arrival_stream(inst, 50.0, 42);
+  const auto b = generate_arrival_stream(inst, 50.0, 42);
+  const auto c = generate_arrival_stream(inst, 50.0, 43);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].query, b[i].query);
+  }
+  // A different seed must change the sequence somewhere.
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].time != c[i].time || a[i].query != c[i].query;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ArrivalGen, QueryIdOrderPreservesBatchSequence) {
+  const Instance inst = medium_instance(11);
+  const auto stream =
+      generate_arrival_stream(inst, 50.0, 42, ArrivalOrder::kQueryId);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].query, static_cast<QueryId>(i));
+  }
+}
+
+TEST(ArrivalGen, ShuffledOrderActuallyShuffles) {
+  const Instance inst = medium_instance(11);
+  const auto stream =
+      generate_arrival_stream(inst, 50.0, 42, ArrivalOrder::kShuffled);
+  bool moved = false;
+  for (std::size_t i = 0; i < stream.size() && !moved; ++i) {
+    moved = stream[i].query != static_cast<QueryId>(i);
+  }
+  EXPECT_TRUE(moved) << "shuffle left the identity permutation";
+}
+
+TEST(ArrivalGen, MeanGapTracksRate) {
+  const Instance inst = medium_instance(13);
+  const double rate = 100.0;
+  const auto stream = generate_arrival_stream(inst, rate, 7);
+  const double span = stream.back().time;
+  const double mean_gap = span / static_cast<double>(stream.size());
+  // Loose statistical envelope — just catch a mis-parameterized exponential.
+  EXPECT_GT(mean_gap, 0.2 / rate);
+  EXPECT_LT(mean_gap, 5.0 / rate);
+}
+
+TEST(ArrivalGen, RejectsBadInputs) {
+  const Instance inst = medium_instance(7);
+  EXPECT_THROW(generate_arrival_stream(inst, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(generate_arrival_stream(inst, -1.0, 1), std::invalid_argument);
+  Instance raw;
+  EXPECT_THROW(generate_arrival_stream(raw, 10.0, 1), std::invalid_argument);
+}
+
+TEST(ArrivalGen, StreamInstanceBuildsSmallFinalizedWorkload) {
+  StreamWorkloadConfig cfg;
+  cfg.sites = 40;
+  cfg.avg_degree = 6.0;
+  cfg.queries = 120;
+  cfg.datasets = 8;
+  cfg.max_replicas = 16;
+  const Instance inst = stream_instance(cfg, 5);
+  EXPECT_TRUE(inst.finalized());
+  EXPECT_EQ(inst.sites().size(), cfg.sites);
+  EXPECT_EQ(inst.queries().size(), cfg.queries);
+  EXPECT_EQ(inst.datasets().size(), cfg.datasets);
+  for (const Query& q : inst.queries()) {
+    ASSERT_EQ(q.demands.size(), 1u) << "stream workloads are single-demand";
+    EXPECT_GT(q.deadline, 0.0);
+  }
+  // Deterministic per seed.
+  const Instance again = stream_instance(cfg, 5);
+  EXPECT_EQ(again.queries()[7].deadline, inst.queries()[7].deadline);
+  EXPECT_EQ(again.site(11).available, inst.site(11).available);
+}
+
+}  // namespace
+}  // namespace edgerep

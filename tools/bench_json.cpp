@@ -441,6 +441,180 @@ int emit_serve(const std::string& out_path, int reps) {
   return 0;
 }
 
+/// Deterministic pricing problem for the kernel-vs-oracle comparison:
+/// `n` candidates over `2n` sites, the demanded dataset holding 16 replicas
+/// (mirrors bench/micro_stream.cpp so the numbers line up).
+struct KernelArrays {
+  std::vector<SiteId> site;
+  std::vector<double> inv_avail;
+  std::vector<double> dod;
+  std::vector<double> theta;
+  std::vector<double> avail;
+  std::vector<double> load;
+  std::vector<SiteId> replicas;
+
+  explicit KernelArrays(std::size_t n) {
+    Rng rng(0xbe9c5ULL + n);
+    const std::size_t sites = 2 * n;
+    theta.resize(sites);
+    avail.resize(sites);
+    load.resize(sites);
+    for (std::size_t s = 0; s < sites; ++s) {
+      theta[s] = rng.uniform(0.0, 2.0);
+      avail[s] = rng.uniform(50.0, 100.0);
+      load[s] = rng.uniform(0.0, avail[s]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto s = static_cast<SiteId>(2 * i);
+      site.push_back(s);
+      inv_avail.push_back(1.0 / avail[s]);
+      dod.push_back(rng.uniform(0.0, 1.0));
+    }
+    for (const std::size_t s : rng.sample_indices(sites, 16)) {
+      replicas.push_back(static_cast<SiteId>(s));
+    }
+  }
+};
+
+/// ns per candidate of either pricing path.  The vectorized side pays the
+/// mask set/clear inside the timed region (it is part of the kernel's
+/// per-demand protocol); the reference side is the original plan-walk with
+/// its linear has_replica scan.
+double kernel_ns_per_candidate(const KernelArrays& c, bool reference,
+                               std::size_t iters) {
+  const CandidateSoA soa{c.site, c.inv_avail, c.dod};
+  ReplicaMaskWorkspace mask;
+  mask.resize(c.theta.size());
+  double sink = 0.0;
+  const auto t0 = clock_type::now();
+  if (reference) {
+    const ReferencePricingState st{c.theta, c.avail, c.load, c.replicas,
+                                   true};
+    for (std::size_t i = 0; i < iters; ++i) {
+      sink += static_cast<double>(
+          price_candidates_reference(soa, st, 3.0, 0.25, 0.5).site);
+    }
+  } else {
+    for (std::size_t i = 0; i < iters; ++i) {
+      mask.set(c.replicas);
+      const PricingState st{c.theta, c.avail, c.load, mask.bytes(), true};
+      sink += static_cast<double>(
+          price_candidates(soa, st, 3.0, 0.25, 0.5).site);
+      mask.clear(c.replicas);
+    }
+  }
+  const auto t1 = clock_type::now();
+  if (sink < 0.0) throw std::runtime_error("bench_json: kernel sink");
+  const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  return ns / static_cast<double>(iters * c.site.size());
+}
+
+int emit_throughput(const std::string& out_path, int reps) {
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_json: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"stream_throughput\",\n"
+      << "  \"metric\": \"median_run_ms\",\n"
+      << "  \"epoch_length_s\": 0.05,\n"
+      << "  \"arrival_rate_qps\": 20000,\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"cases\": [\n";
+
+  // Pricing kernel vs scalar oracle on identical candidate sets.  The
+  // ns/candidate figures are informational (too microscopic for the CI
+  // regression guard); the committed speedups document the >=2x contract.
+  const std::vector<std::size_t> cand_sizes = {64, 256, 1024, 4096};
+  for (const std::size_t n : cand_sizes) {
+    const KernelArrays arrays(n);
+    const std::size_t iters = std::max<std::size_t>(1, 50'000'000 / n);
+    // Warm up, then interleave-free single passes (each pass covers tens of
+    // millions of candidate evaluations, amortizing timer noise).
+    kernel_ns_per_candidate(arrays, false, iters / 10 + 1);
+    const double vec_ns = kernel_ns_per_candidate(arrays, false, iters);
+    const double sca_ns = kernel_ns_per_candidate(arrays, true, iters);
+    out << "    {\"case\": \"kernel_" << n << "\", \"candidates\": " << n
+        << ", \"vectorized_ns_per_candidate\": " << round2(vec_ns)
+        << ", \"scalar_ns_per_candidate\": " << round2(sca_ns)
+        << ", \"kernel_speedup\": " << round2(sca_ns / vec_ns) << "},\n";
+    std::cerr << "kernel n=" << n << ": vectorized " << vec_ns
+              << " ns/cand, scalar " << sca_ns << " ns/cand, speedup "
+              << sca_ns / vec_ns << "x\n";
+  }
+
+  // Shard sweep over the streaming workloads.  The flagship case is the
+  // issue's 10k-site / 1M-query target; the small case gives fast signal.
+  struct StreamSpec {
+    const char* name;
+    std::size_t sites;
+    std::size_t queries;
+  };
+  const std::vector<StreamSpec> specs = {
+      {"stream_small", 1'000, 100'000},
+      {"stream_full", 10'000, 1'000'000},
+  };
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8, 16};
+
+  for (const StreamSpec& spec : specs) {
+    StreamWorkloadConfig cfg;
+    cfg.sites = spec.sites;
+    cfg.queries = spec.queries;
+    const auto b0 = clock_type::now();
+    const Instance inst = stream_instance(cfg, /*seed=*/42);
+    const std::vector<Arrival> stream =
+        generate_arrival_stream(inst, /*rate=*/20'000.0, /*seed=*/42);
+    const auto b1 = clock_type::now();
+    std::cerr << spec.name << ": built " << spec.sites << " sites / "
+              << spec.queries << " queries in "
+              << std::chrono::duration<double>(b1 - b0).count() << " s\n";
+
+    double base_ms = 0.0;
+    for (std::size_t si = 0; si < shard_counts.size(); ++si) {
+      const std::size_t shards = shard_counts[si];
+      StreamOptions opts;
+      opts.shards = shards;
+      std::vector<double> samples;
+      std::size_t admitted = 0;
+      for (int r = 0; r < reps; ++r) {
+        const auto t0 = clock_type::now();
+        const StreamResult res = run_stream(inst, stream, opts);
+        const auto t1 = clock_type::now();
+        if (res.queries_admitted + res.queries_rejected != spec.queries) {
+          throw std::runtime_error("bench_json: stream lost queries");
+        }
+        admitted = res.queries_admitted;
+        samples.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+      const double run_ms = median(std::move(samples));
+      if (shards == 1) base_ms = run_ms;
+      const double admitted_per_sec =
+          static_cast<double>(admitted) / (run_ms / 1000.0);
+      out << "    {\"case\": \"" << spec.name
+          << "_s" << shards << "\", \"sites\": " << spec.sites
+          << ", \"queries\": " << spec.queries << ", \"shards\": " << shards
+          << ", \"run_ms\": " << round2(run_ms)
+          << ", \"admitted\": " << admitted
+          << ", \"admitted_per_sec\": " << static_cast<long long>(
+                 admitted_per_sec)
+          << ", \"speedup_vs_1shard\": " << round2(base_ms / run_ms) << "}";
+      const bool last = (&spec == &specs.back()) &&
+                        (si + 1 == shard_counts.size());
+      out << (last ? "" : ",") << "\n";
+      std::cerr << spec.name << " shards=" << shards << ": " << run_ms
+                << " ms, admitted " << admitted << " ("
+                << static_cast<long long>(admitted_per_sec)
+                << " q/s), speedup " << base_ms / run_ms << "x\n";
+    }
+  }
+
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
 int run(int argc, char** argv) {
   set_log_level_from_env();
   const Args args(argc, argv);
@@ -456,6 +630,13 @@ int run(int argc, char** argv) {
   const int serve_reps =
       std::max(1, static_cast<int>(args.get_int("serve-reps", 9)));
   const std::string serve_path = args.get("serve-out", "BENCH_serve.json");
+  // The flagship throughput case runs 1M queries per (shard count, rep):
+  // one rep keeps the full suite in minutes while still averaging over a
+  // million admissions.
+  const int throughput_reps =
+      std::max(1, static_cast<int>(args.get_int("throughput-reps", 1)));
+  const std::string throughput_path =
+      args.get("throughput-out", "BENCH_throughput.json");
 
   int rc = emit_appro(out_path, reps);
   if (rc != 0) return rc;
@@ -463,7 +644,9 @@ int run(int argc, char** argv) {
   if (rc != 0) return rc;
   rc = emit_repair(repair_path, repair_reps);
   if (rc != 0) return rc;
-  return emit_serve(serve_path, serve_reps);
+  rc = emit_serve(serve_path, serve_reps);
+  if (rc != 0) return rc;
+  return emit_throughput(throughput_path, throughput_reps);
 }
 
 }  // namespace

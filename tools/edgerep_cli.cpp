@@ -57,6 +57,13 @@ int usage() {
       "           (0 = ephemeral) with /metrics /healthz /status /timeseries\n"
       "           /quitquitquit; it lingers SEC seconds after the run so\n"
       "           scrapers can read the final state\n"
+      "  stream   --instance FILE [--shards N] [--epoch-ms MS]\n"
+      "           [--arrival-rate R] [--seed S] [--max-requeues N]\n"
+      "           [--boundary none|dc] [--scalar-pricing] [--serial]\n"
+      "           [--id-order] [--json-out FILE] [--out FILE]\n"
+      "           continuous admission: Poisson arrivals batched into\n"
+      "           micro-epochs, admitted by region-sharded engines and\n"
+      "           reconciled against the global capacity ledger\n"
       "  genfaults --instance FILE --out FILE [--config FILE] [--crashes N]\n"
       "           [--links N] [--degrade N] [--horizon T] [--mttr T] [--seed S]\n"
       "  repair   --instance FILE --faults FILE [--until T] [--full]\n"
@@ -446,6 +453,89 @@ int cmd_online(const Args& args) {
   return 0;
 }
 
+int cmd_stream(const Args& args) {
+  const Instance inst = load_instance(args);
+  StreamOptions opts;
+  opts.shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  opts.epoch_length = args.get_double("epoch-ms", 50.0) / 1000.0;
+  opts.max_requeues =
+      static_cast<std::size_t>(args.get_int("max-requeues", 2));
+  opts.parallel = !args.get_bool("serial", false);
+  if (args.get_bool("scalar-pricing", false)) {
+    opts.pricing = ApproOptions::Pricing::kScalar;
+  }
+  const std::string boundary = args.get("boundary", "none");
+  if (boundary == "dc") {
+    opts.boundary = BoundaryPolicy::kDataCenters;
+  } else if (boundary != "none") {
+    throw std::runtime_error("unknown boundary policy: " + boundary);
+  }
+  const double rate = args.get_double("arrival-rate", 100.0);
+  const std::uint64_t seed = args.get_seed("seed", 0x57e4);
+  const ArrivalOrder order = args.get_bool("id-order", false)
+                                 ? ArrivalOrder::kQueryId
+                                 : ArrivalOrder::kShuffled;
+  const std::vector<Arrival> stream =
+      generate_arrival_stream(inst, rate, seed, order);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const StreamResult res = run_stream(inst, stream, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double run_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double admitted_per_sec =
+      run_ms > 0.0
+          ? static_cast<double>(res.queries_admitted) / (run_ms / 1000.0)
+          : 0.0;
+
+  std::cout << "streamed " << stream.size() << " arrivals through "
+            << opts.shards << " shard(s) in " << res.epochs << " epochs ("
+            << run_ms << " ms, "
+            << static_cast<long long>(admitted_per_sec)
+            << " admitted/s)\n"
+            << "admitted: " << res.queries_admitted << ", rejected: "
+            << res.queries_rejected << ", requeues: " << res.requeues
+            << ", reconcile conflicts: " << res.conflicts << "\n";
+  for (const ShardStats& st : res.shard_stats) {
+    std::cout << "  shard " << (&st - res.shard_stats.data()) << ": routed "
+              << st.routed << ", admitted " << st.admitted << ", infeasible "
+              << st.infeasible << ", conflicts " << st.conflicts << "\n";
+  }
+  print_metrics(res.plan);
+  const ValidationResult vr = validate(res.plan);
+  std::cout << "valid: " << (vr.ok ? "yes" : "NO") << "\n";
+  for (const std::string& v : vr.violations) std::cout << "  " << v << "\n";
+
+  const std::string json_out = args.get("json-out", "");
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) throw std::runtime_error("cannot open output file: " + json_out);
+    os << "{\n"
+       << "  \"shards\": " << opts.shards << ",\n"
+       << "  \"epochs\": " << res.epochs << ",\n"
+       << "  \"arrivals\": " << stream.size() << ",\n"
+       << "  \"admitted\": " << res.queries_admitted << ",\n"
+       << "  \"rejected\": " << res.queries_rejected << ",\n"
+       << "  \"requeues\": " << res.requeues << ",\n"
+       << "  \"conflicts\": " << res.conflicts << ",\n"
+       << "  \"ledger_reserves\": " << res.ledger_reserves << ",\n"
+       << "  \"ledger_releases\": " << res.ledger_releases << ",\n"
+       << "  \"admitted_volume\": " << res.metrics.admitted_volume << ",\n"
+       << "  \"total_replicas\": " << res.plan.total_replicas() << ",\n"
+       << "  \"run_ms\": " << run_ms << ",\n"
+       << "  \"valid\": " << (vr.ok ? "true" : "false") << "\n"
+       << "}\n";
+    std::cout << "summary written to " << json_out << "\n";
+  }
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    write_plan(os, res.plan);
+    std::cout << "plan written to " << out << "\n";
+  }
+  return vr.ok ? 0 : 1;
+}
+
 int cmd_genfaults(const Args& args) {
   const Instance inst = load_instance(args);
   FaultScenarioConfig cfg;
@@ -570,6 +660,7 @@ int run_command(const std::string& cmd, const Args& args) {
   if (cmd == "simulate") return cmd_simulate(args);
   if (cmd == "analyze") return cmd_analyze(args);
   if (cmd == "online") return cmd_online(args);
+  if (cmd == "stream") return cmd_stream(args);
   if (cmd == "genfaults") return cmd_genfaults(args);
   if (cmd == "repair") return cmd_repair(args);
   if (cmd == "diff") return cmd_diff(args);
