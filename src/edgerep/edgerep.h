@@ -52,6 +52,7 @@
 #include "obs/trace.h"                  // IWYU pragma: export
 #include "part/partitioner.h"           // IWYU pragma: export
 #include "sim/event.h"                  // IWYU pragma: export
+#include "sim/event_kernel.h"           // IWYU pragma: export
 #include "sim/faults.h"                 // IWYU pragma: export
 #include "sim/flows.h"                  // IWYU pragma: export
 #include "sim/metrics.h"                // IWYU pragma: export

@@ -9,6 +9,7 @@ void EventQueue::schedule_at(double when, Action action) {
     throw std::invalid_argument("EventQueue: scheduling into the past");
   }
   heap_.push(Item{when, next_seq_++, std::move(action)});
+  if (heap_.size() > peak_) peak_ = heap_.size();
 }
 
 bool EventQueue::step() {

@@ -27,6 +27,9 @@ class EventQueue {
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  /// High-water of pending() over the queue's lifetime (bench accounting;
+  /// the closure kernel pre-schedules whole horizons, so this is O(N)).
+  [[nodiscard]] std::size_t peak_pending() const noexcept { return peak_; }
 
   /// Pop and run the earliest event; returns false when the queue is empty.
   bool step();
@@ -51,6 +54,7 @@ class EventQueue {
   std::priority_queue<Item, std::vector<Item>, Later> heap_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::size_t peak_ = 0;
 };
 
 }  // namespace edgerep

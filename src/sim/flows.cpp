@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace edgerep {
 
@@ -66,73 +67,323 @@ std::vector<double> max_min_rates(
   return rate;
 }
 
-FlowEngine::FlowEngine(EventQueue& eq, std::vector<double> link_capacity)
-    : eq_(&eq), link_capacity_(std::move(link_capacity)) {
-  for (const double c : link_capacity_) {
+namespace {
+
+void validate_capacities(const std::vector<double>& caps) {
+  for (const double c : caps) {
     if (c <= 0.0) {
       throw std::invalid_argument("FlowEngine: link capacity must be > 0");
     }
   }
 }
 
-void FlowEngine::start_flow(double size_gb, std::vector<EdgeId> path,
-                            std::function<void()> on_complete) {
+}  // namespace
+
+FlowEngine::FlowEngine(EventQueue& eq, std::vector<double> link_capacity)
+    : eq_(&eq), link_capacity_(std::move(link_capacity)) {
+  validate_capacities(link_capacity_);
+  const std::size_t n = link_capacity_.size();
+  link_users_.resize(n);
+  link_mark_.resize(n, 0);
+  sat_mark_.resize(n, 0);
+  users_.resize(n, 0);
+  residual_.resize(n, 0.0);
+}
+
+FlowEngine::FlowEngine(TypedEventQueue& queue,
+                       std::vector<double> link_capacity)
+    : tq_(&queue), link_capacity_(std::move(link_capacity)) {
+  validate_capacities(link_capacity_);
+  const std::size_t n = link_capacity_.size();
+  link_users_.resize(n);
+  link_mark_.resize(n, 0);
+  sat_mark_.resize(n, 0);
+  users_.resize(n, 0);
+  residual_.resize(n, 0.0);
+}
+
+double FlowEngine::now() const noexcept {
+  return eq_ != nullptr ? eq_->now() : tq_->now();
+}
+
+void FlowEngine::validate_path(const std::vector<EdgeId>& path) const {
   for (const EdgeId e : path) {
     if (e >= link_capacity_.size()) {
       throw std::invalid_argument("FlowEngine: path edge out of range");
     }
   }
-  advance();
-  flows_.push_back(Flow{std::max(size_gb, 0.0), std::move(path),
-                        std::move(on_complete)});
-  recompute_and_schedule();
 }
 
-void FlowEngine::advance() {
-  const double now = eq_->now();
-  const double dt = now - last_update_;
-  if (dt > 0.0) {
-    for (std::size_t f = 0; f < flows_.size(); ++f) {
-      flows_[f].remaining_gb -= dt * rates_[f];
-    }
+std::uint32_t FlowEngine::alloc_slot() {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(flows_.size());
+    flows_.emplace_back();
+    flow_mark_.push_back(0);
+    frozen_mark_.push_back(0);
+    fill_rate_.push_back(0.0);
   }
-  last_update_ = now;
+  return slot;
 }
 
-void FlowEngine::recompute_and_schedule() {
-  // Complete any flow that has drained (or was born trivial).
-  for (std::size_t f = 0; f < flows_.size();) {
-    if (flows_[f].remaining_gb <= 1e-12 ||
-        flows_[f].path.empty()) {
-      auto done = std::move(flows_[f].on_complete);
-      flows_.erase(flows_.begin() + static_cast<std::ptrdiff_t>(f));
-      if (done) {
-        // Completion is "now"; schedule so callbacks run outside this frame.
-        eq_->schedule_in(0.0, std::move(done));
+void FlowEngine::unlink(std::uint32_t slot) {
+  for (const EdgeId e : flows_[slot].path) {
+    auto& users = link_users_[e];
+    const auto it = std::find(users.begin(), users.end(), slot);
+    *it = users.back();
+    users.pop_back();
+  }
+}
+
+void FlowEngine::schedule_completion(std::uint32_t slot) {
+  Flow& f = flows_[slot];
+  if (f.rate <= 0.0) return;  // starved (cannot happen with >0 capacities)
+  const double eta = std::max(f.remaining / f.rate, 0.0);
+  if (tq_ != nullptr) {
+    tq_->push_dynamic(EvKind::kTransferDone, tq_->now() + eta, slot, f.gen);
+  } else {
+    const std::uint32_t gen = f.gen;
+    eq_->schedule_in(eta, [this, slot, gen] {
+      const Flow& fl = flows_[slot];
+      if (fl.state != State::kActive || fl.gen != gen) return;  // superseded
+      recompute(slot, /*force_complete=*/true);
+    });
+  }
+}
+
+void FlowEngine::complete_flow(std::uint32_t slot, bool via_event) {
+  Flow& f = flows_[slot];
+  if (f.state == State::kActive) --active_;
+  f.rate = 0.0;
+  f.remaining = 0.0;
+  ++f.gen;  // any armed prediction for the old rate goes stale
+  if (eq_ != nullptr) {
+    // Closure mode: deliver via the queue so the callback runs outside the
+    // engine frame, and recycle the slot right away.
+    f.state = State::kFree;
+    free_.push_back(slot);
+    if (f.done) eq_->schedule_in(0.0, std::move(f.done));
+    f.done = nullptr;
+  } else if (via_event) {
+    // The flow's own current event is being handled — already delivered.
+    f.state = State::kFree;
+    free_.push_back(slot);
+  } else {
+    // Park until the authoritative kTransferDone below is consumed by
+    // handle_event (the slot must not be reused before delivery).
+    f.state = State::kCompleting;
+    tq_->push_dynamic(EvKind::kTransferDone, tq_->now(), slot, f.gen);
+  }
+}
+
+void FlowEngine::gather_component(std::uint32_t seed) {
+  comp_flows_.clear();
+  comp_links_.clear();
+  stack_.clear();
+  flow_mark_[seed] = epoch_;
+  comp_flows_.push_back(seed);
+  stack_.push_back(seed);
+  while (!stack_.empty()) {
+    const std::uint32_t f = stack_.back();
+    stack_.pop_back();
+    for (const EdgeId e : flows_[f].path) {
+      if (link_mark_[e] == epoch_) continue;
+      link_mark_[e] = epoch_;
+      comp_links_.push_back(e);
+      for (const std::uint32_t u : link_users_[e]) {
+        if (flow_mark_[u] == epoch_) continue;
+        flow_mark_[u] = epoch_;
+        comp_flows_.push_back(u);
+        stack_.push_back(u);
       }
-    } else {
-      ++f;
     }
   }
-  // Fresh allocation for the survivors.
-  std::vector<std::vector<EdgeId>> paths;
-  paths.reserve(flows_.size());
-  for (const Flow& fl : flows_) paths.push_back(fl.path);
-  rates_ = max_min_rates(link_capacity_, paths);
-  const std::uint64_t token = ++gen_;
-  if (flows_.empty()) return;
-  double eta = std::numeric_limits<double>::infinity();
-  for (std::size_t f = 0; f < flows_.size(); ++f) {
-    if (rates_[f] > 0.0) {
-      eta = std::min(eta, flows_[f].remaining_gb / rates_[f]);
+  // Ascending slot order is the canonical iteration order of every pass
+  // over the component (advance, retire, fill) — it makes the fill a pure
+  // function of the component's membership.
+  std::sort(comp_flows_.begin(), comp_flows_.end());
+}
+
+void FlowEngine::fill_component() {
+  for (const EdgeId e : comp_links_) residual_[e] = link_capacity_[e];
+  for (const std::uint32_t f : comp_flows_) fill_rate_[f] = 0.0;
+  const std::uint64_t fill_id = ++round_;
+  std::size_t remaining = comp_flows_.size();
+  // Progressive filling restricted to the component: same arithmetic, same
+  // epsilons as max_min_rates above, over exactly the component's links and
+  // flows.  `remaining` (the data left to move) never enters the rates.
+  while (remaining > 0) {
+    for (const EdgeId e : comp_links_) users_[e] = 0;
+    for (const std::uint32_t f : comp_flows_) {
+      if (frozen_mark_[f] == fill_id) continue;
+      for (const EdgeId e : flows_[f].path) ++users_[e];
+    }
+    double best_share = std::numeric_limits<double>::infinity();
+    for (const EdgeId e : comp_links_) {
+      if (users_[e] > 0) {
+        best_share = std::min(best_share,
+                              residual_[e] / static_cast<double>(users_[e]));
+      }
+    }
+    if (!std::isfinite(best_share)) break;  // defensive; cannot happen
+    best_share = std::max(best_share, 0.0);
+    const std::uint64_t rs = ++round_;
+    for (const EdgeId e : comp_links_) {
+      if (users_[e] > 0 &&
+          residual_[e] / static_cast<double>(users_[e]) <=
+              best_share + 1e-12) {
+        sat_mark_[e] = rs;
+      }
+    }
+    for (const std::uint32_t f : comp_flows_) {
+      if (frozen_mark_[f] == fill_id) continue;
+      fill_rate_[f] += best_share;
+      bool stop = false;
+      for (const EdgeId e : flows_[f].path) {
+        residual_[e] -= best_share;
+        stop |= sat_mark_[e] == rs;
+      }
+      if (stop) {
+        frozen_mark_[f] = fill_id;
+        --remaining;
+      }
     }
   }
-  if (!std::isfinite(eta)) return;  // all starved (cannot happen with >0 caps)
-  eq_->schedule_in(std::max(eta, 0.0), [this, token] {
-    if (gen_ != token) return;  // superseded
-    advance();
-    recompute_and_schedule();
-  });
+  // Apply: only flows whose rate actually changed get a new generation and
+  // a new predicted-completion event; unchanged flows keep their armed
+  // event — this is what makes kFull bit-identical to kIncremental.
+  for (const std::uint32_t f : comp_flows_) {
+    Flow& fl = flows_[f];
+    const double r = fill_rate_[f];
+    if (r == fl.rate) continue;
+    fl.rate = r;
+    ++fl.gen;
+    schedule_completion(f);
+  }
+}
+
+void FlowEngine::recompute(std::uint32_t seed, bool force_complete) {
+  // Phase A: gather the changed flow's connected component.
+  ++epoch_;
+  gather_component(seed);
+  touched_buf_.assign(comp_flows_.begin(), comp_flows_.end());
+  // Phase B: integrate the component's transferred bytes up to now.
+  const double t = now();
+  for (const std::uint32_t f : touched_buf_) {
+    Flow& fl = flows_[f];
+    const double dt = t - fl.last_advance;
+    if (dt > 0.0) fl.remaining -= dt * fl.rate;
+    fl.last_advance = t;
+  }
+  // Phase C: retire drained flows (ascending slot order, matching the old
+  // engine's erase order); the seed of a completion event retires
+  // unconditionally — its event is the authoritative completion instant.
+  retire_buf_.clear();
+  for (const std::uint32_t f : touched_buf_) {
+    if ((force_complete && f == seed) || flows_[f].remaining <= 1e-12) {
+      retire_buf_.push_back(f);
+    }
+  }
+  for (const std::uint32_t f : retire_buf_) {
+    unlink(f);
+    complete_flow(f, force_complete && f == seed);
+  }
+  // Phase D: refill the surviving components.  A retirement may have split
+  // the gathered component; each true component is gathered and filled
+  // separately so rates stay a pure function of component membership.
+  ++epoch_;
+  if (mode_ == Recompute::kIncremental) {
+    for (const std::uint32_t f : touched_buf_) {
+      if (flows_[f].state != State::kActive || flow_mark_[f] == epoch_) {
+        continue;
+      }
+      gather_component(f);
+      fill_component();
+    }
+  } else {
+    for (std::uint32_t f = 0; f < flows_.size(); ++f) {
+      if (flows_[f].state != State::kActive || flow_mark_[f] == epoch_) {
+        continue;
+      }
+      gather_component(f);
+      fill_component();
+    }
+  }
+}
+
+void FlowEngine::start_flow(double size_gb, std::vector<EdgeId> path,
+                            std::function<void()> on_complete) {
+  if (eq_ == nullptr) {
+    throw std::logic_error("FlowEngine: closure start on a typed-mode engine");
+  }
+  validate_path(path);
+  if (path.empty() || size_gb <= 1e-12) {
+    // Trivial flows complete at now without touching the registry.
+    if (on_complete) eq_->schedule_in(0.0, std::move(on_complete));
+    return;
+  }
+  const std::uint32_t slot = alloc_slot();
+  Flow& f = flows_[slot];
+  f.remaining = size_gb;
+  f.rate = 0.0;
+  f.last_advance = now();
+  f.path = std::move(path);
+  f.done = std::move(on_complete);
+  f.state = State::kActive;
+  ++active_;
+  for (const EdgeId e : f.path) link_users_[e].push_back(slot);
+  recompute(slot, /*force_complete=*/false);
+}
+
+std::uint32_t FlowEngine::start_flow(double size_gb, std::vector<EdgeId> path,
+                                     std::uint32_t tag) {
+  if (tq_ == nullptr) {
+    throw std::logic_error("FlowEngine: typed start on a closure-mode engine");
+  }
+  validate_path(path);
+  const std::uint32_t slot = alloc_slot();
+  Flow& f = flows_[slot];
+  f.tag = tag;
+  f.done = nullptr;
+  if (path.empty() || size_gb <= 1e-12) {
+    f.remaining = 0.0;
+    f.rate = 0.0;
+    f.path.clear();
+    f.state = State::kCompleting;
+    ++f.gen;
+    tq_->push_dynamic(EvKind::kTransferDone, tq_->now(), slot, f.gen);
+    return slot;
+  }
+  f.remaining = size_gb;
+  f.rate = 0.0;
+  f.last_advance = now();
+  f.path = std::move(path);
+  f.state = State::kActive;
+  ++active_;
+  for (const EdgeId e : f.path) link_users_[e].push_back(slot);
+  recompute(slot, /*force_complete=*/false);
+  return slot;
+}
+
+std::uint32_t FlowEngine::handle_event(const SimEvent& ev) {
+  if (tq_ == nullptr || ev.kind != EvKind::kTransferDone) return kNoFlow;
+  const std::uint32_t slot = ev.a;
+  if (slot >= flows_.size()) return kNoFlow;
+  Flow& f = flows_[slot];
+  if (f.state == State::kFree || f.gen != ev.b) return kNoFlow;  // stale
+  const std::uint32_t tag = f.tag;
+  if (f.state == State::kCompleting) {
+    // Parked delivery (threshold-drained or trivial flow): just free.
+    ++f.gen;
+    f.state = State::kFree;
+    free_.push_back(slot);
+    return tag;
+  }
+  recompute(slot, /*force_complete=*/true);
+  return tag;
 }
 
 }  // namespace edgerep

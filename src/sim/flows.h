@@ -5,9 +5,27 @@
 // This engine models what a real testbed does instead: concurrent transfers
 // crossing the same link share its bandwidth, with rates given by the
 // classic max-min fair (progressive-filling) allocation, recomputed whenever
-// a flow starts or finishes.  Completion events carry generation tokens so
-// stale predictions are discarded after rate changes, mirroring the
-// processor-sharing CPU engine.
+// a flow starts or finishes.
+//
+// The engine is incremental: a start or completion re-allocates only the
+// *connected component* of flows transitively sharing a link with the
+// changed flow — untouched components keep their rates (and their armed
+// completion events) bit for bit.  Rate computation is a pure function of
+// (link capacities, component's flow paths), canonicalized by ascending
+// slot order, so `Recompute::kFull` — which re-fills every component — is
+// bit-identical to the incremental path and serves as its oracle (pinned by
+// tests/sim/flows_test.cpp).
+//
+// Flows live in a slot registry with free-list reuse; paths are moved in,
+// never copied.  Completion events carry the flow's generation, which bumps
+// on every rate change, so a stale prediction self-discards.  The engine
+// runs on either event core:
+//
+//  * closure mode (EventQueue): completions call the std::function the
+//    caller provided — the testbed simulator's mode (sim/simulator.h).
+//  * typed mode (TypedEventQueue): completions surface as
+//    EvKind::kTransferDone events; the owning run loop feeds them to
+//    handle_event(), which returns the caller's tag when the flow is done.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +34,7 @@
 
 #include "net/graph.h"
 #include "sim/event.h"
+#include "sim/event_kernel.h"
 
 namespace edgerep {
 
@@ -30,35 +49,113 @@ std::vector<double> max_min_rates(
 
 class FlowEngine {
  public:
+  /// Sentinel returned by handle_event for stale or foreign events.
+  static constexpr std::uint32_t kNoFlow = static_cast<std::uint32_t>(-1);
+
+  /// Re-allocation scope: `kIncremental` refills only the changed flow's
+  /// connected component (production); `kFull` refills every component
+  /// (oracle; bit-identical by construction, used by the equivalence tests).
+  enum class Recompute : std::uint8_t { kIncremental, kFull };
+
+  /// Closure mode: completions fire the caller's std::function on `eq`.
   /// `link_capacity[e]` is the bandwidth of edge e in GB/s.
   FlowEngine(EventQueue& eq, std::vector<double> link_capacity);
 
+  /// Typed mode: completions surface as kTransferDone events on `queue`.
+  FlowEngine(TypedEventQueue& queue, std::vector<double> link_capacity);
+
+  void set_recompute_mode(Recompute mode) noexcept { mode_ = mode; }
+
   /// Begin transferring `size_gb` along `path` (edge ids); `on_complete`
   /// fires at the simulated completion instant.  A flow of size 0 or with
-  /// an empty path completes immediately (scheduled at now).
+  /// an empty path completes immediately (scheduled at now).  Closure mode
+  /// only.
   void start_flow(double size_gb, std::vector<EdgeId> path,
                   std::function<void()> on_complete);
 
-  [[nodiscard]] std::size_t active_flows() const noexcept {
-    return flows_.size();
-  }
+  /// Typed-mode start: the completion arrives on the queue as
+  /// kTransferDone{a = slot, b = generation}; `tag` is returned by
+  /// handle_event when that event is current.  Returns the flow's slot.
+  std::uint32_t start_flow(double size_gb, std::vector<EdgeId> path,
+                           std::uint32_t tag);
+
+  /// Feed a popped kTransferDone event to the engine.  Returns the starting
+  /// call's `tag` when the event is a current completion, kNoFlow when it
+  /// is stale (the flow's rate changed after it was scheduled) or not a
+  /// kTransferDone at all.  Typed mode only.
+  [[nodiscard]] std::uint32_t handle_event(const SimEvent& ev);
+
+  [[nodiscard]] std::size_t active_flows() const noexcept { return active_; }
 
  private:
+  enum class State : std::uint8_t { kFree, kActive, kCompleting };
+
   struct Flow {
-    double remaining_gb = 0.0;
-    std::vector<EdgeId> path;
-    std::function<void()> on_complete;
+    double remaining = 0.0;
+    double rate = 0.0;
+    double last_advance = 0.0;
+    std::vector<EdgeId> path;        ///< moved in; capacity reused on reuse
+    std::function<void()> done;      ///< closure mode
+    std::uint32_t tag = 0;           ///< typed mode
+    std::uint32_t gen = 0;           ///< bumps on rate change and retire
+    State state = State::kFree;
   };
 
-  void advance();
-  void recompute_and_schedule();
+  [[nodiscard]] double now() const noexcept;
+  void validate_path(const std::vector<EdgeId>& path) const;
+  std::uint32_t alloc_slot();
+  void unlink(std::uint32_t slot);
 
-  EventQueue* eq_;
+  /// Predicted-completion event for `slot` at its current (rate, gen).
+  void schedule_completion(std::uint32_t slot);
+
+  /// Deliver a completed flow: closure mode schedules `done` at now and
+  /// frees the slot; typed mode parks the slot in kCompleting and emits the
+  /// authoritative kTransferDone (freed when handle_event consumes it).
+  /// `via_event` marks the flow whose own current event is being handled —
+  /// it is already delivered, so its slot frees directly.
+  void complete_flow(std::uint32_t slot, bool via_event);
+
+  /// Gather the connected component containing `seed` into comp_flows_ /
+  /// comp_links_ (epoch-marked; comp_flows_ sorted ascending).
+  void gather_component(std::uint32_t seed);
+
+  /// Canonical progressive filling over comp_flows_/comp_links_ alone.
+  /// Pure function of (link capacities, component paths); flows whose rate
+  /// changed bitwise get a new generation + completion event.
+  void fill_component();
+
+  /// Advance the seed's component to now, complete drained flows
+  /// (`force_complete` = the seed itself finishes regardless of residual),
+  /// then refill the surviving components — the seed's under kIncremental,
+  /// every component under kFull.
+  void recompute(std::uint32_t seed, bool force_complete);
+
+  EventQueue* eq_ = nullptr;          // closure mode
+  TypedEventQueue* tq_ = nullptr;     // typed mode
   std::vector<double> link_capacity_;
+  Recompute mode_ = Recompute::kIncremental;
+
   std::vector<Flow> flows_;
-  std::vector<double> rates_;
-  double last_update_ = 0.0;
-  std::uint64_t gen_ = 0;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::vector<std::uint32_t>> link_users_;  ///< active flows/link
+  std::size_t active_ = 0;
+
+  // --- re-allocation scratch (sized once, epoch-validated) ---------------
+  std::uint64_t epoch_ = 0;                ///< component-gather epoch
+  std::uint64_t round_ = 0;                ///< per-fill saturation round
+  std::vector<std::uint64_t> flow_mark_;   ///< gather visit marks
+  std::vector<std::uint64_t> link_mark_;
+  std::vector<std::uint64_t> frozen_mark_;  ///< fill: flow frozen this epoch
+  std::vector<std::uint64_t> sat_mark_;     ///< fill: link saturated round
+  std::vector<std::uint32_t> stack_;
+  std::vector<std::uint32_t> comp_flows_;
+  std::vector<EdgeId> comp_links_;
+  std::vector<std::uint32_t> users_;       ///< per comp link, per round
+  std::vector<double> residual_;           ///< per comp link, per fill
+  std::vector<double> fill_rate_;          ///< per comp flow, per fill
+  std::vector<std::uint32_t> retire_buf_;  ///< drained flows per recompute
+  std::vector<std::uint32_t> touched_buf_;  ///< advanced flows per recompute
 };
 
 }  // namespace edgerep

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <ostream>
 #include <stdexcept>
@@ -11,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/event.h"
+#include "sim/online_internal.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -83,12 +85,108 @@ void OnlineStatusBoard::write_json(std::ostream& os) const {
   os.precision(old);
 }
 
+namespace online_detail {
 namespace {
 
-struct SiteLoad {
-  double available = 0.0;  ///< fault-free A(v_l); faults scale it on query
-  double in_use = 0.0;
-};
+double slack_percentile(std::vector<double>& xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return percentile_sorted(xs, p);
+}
+
+std::uint64_t sim_ns(double seconds) {
+  return seconds <= 0.0
+             ? 0
+             : static_cast<std::uint64_t>(std::llround(seconds * 1e9));
+}
+
+}  // namespace
+
+void finalize_online_result(const Instance& inst, const DemandLayout& layout,
+                            const std::vector<DemandEnd>& demand_ends,
+                            OnlineResult* res) {
+  res->admitted_queries = 0;
+  for (const OnlineOutcome& o : res->outcomes) {
+    if (o.admitted) {
+      ++res->admitted_queries;
+      res->admitted_volume += inst.demanded_volume(o.query);
+    }
+  }
+  res->throughput = inst.queries().empty()
+                        ? 0.0
+                        : static_cast<double>(res->admitted_queries) /
+                              static_cast<double>(inst.queries().size());
+
+  // Deadline-SLO rollup over the surviving queries.  Slack can go negative
+  // only via fault-forced relocation (admission itself is deadline-safe).
+  std::vector<double> query_slacks;
+  std::vector<std::vector<double>> site_slacks(inst.sites().size());
+  std::vector<std::size_t> site_hits(inst.sites().size(), 0);
+  query_slacks.reserve(res->admitted_queries);
+  for (const OnlineOutcome& o : res->outcomes) {
+    if (!o.admitted) continue;
+    const Query& q = inst.query(o.query);
+    query_slacks.push_back(q.deadline - (o.completion_time - o.arrival_time));
+    const std::size_t base = layout.at(o.query, 0);
+    for (std::size_t d = 0; d < q.demands.size(); ++d) {
+      const DemandEnd& de = demand_ends[base + d];
+      if (de.site == kInvalidSite) continue;
+      const double slack = q.deadline - (de.completion - o.arrival_time);
+      site_slacks[de.site].push_back(slack);
+      if (slack >= -1e-9) ++site_hits[de.site];
+    }
+  }
+  res->slo.admitted_queries = res->admitted_queries;
+  for (const double s : query_slacks) {
+    if (s >= -1e-9) ++res->slo.deadline_hits;
+  }
+  res->slo.hit_ratio = query_slacks.empty()
+                           ? 0.0
+                           : static_cast<double>(res->slo.deadline_hits) /
+                                 static_cast<double>(query_slacks.size());
+  res->slo.p50_slack = slack_percentile(query_slacks, 50.0);
+  res->slo.p95_slack = slack_percentile(query_slacks, 5.0);
+  res->slo.p99_slack = slack_percentile(query_slacks, 1.0);
+  for (std::size_t s = 0; s < site_slacks.size(); ++s) {
+    if (site_slacks[s].empty()) continue;
+    OnlineSiteSlo slo;
+    slo.site = static_cast<SiteId>(s);
+    slo.demands = site_slacks[s].size();
+    slo.deadline_hits = site_hits[s];
+    slo.p50_slack = slack_percentile(site_slacks[s], 50.0);
+    slo.p95_slack = slack_percentile(site_slacks[s], 5.0);
+    slo.p99_slack = slack_percentile(site_slacks[s], 1.0);
+    res->slo.per_site.push_back(slo);
+  }
+}
+
+void emit_online_spans(const std::vector<SpanRec>& spans,
+                       const std::vector<SpanRec>& instants) {
+  // Async 'b'/'e' pairs (and 'n' instants) on pid 2 — the sim-clock track —
+  // so Perfetto shows each query's arrival → transfer → compute →
+  // completion lane next to the wall-clock phase spans on pid 1.
+  obs::Tracer& tr = obs::tracer();
+  for (const SpanRec& sp : spans) {
+    if (sp.t1 <= sp.t0) continue;  // killed before it started
+    tr.record_async('b', sp.name, sp.id, sim_ns(sp.t0));
+    tr.record_async('e', sp.name, sp.id, sim_ns(sp.t1));
+  }
+  for (const SpanRec& in : instants) {
+    tr.record_async('n', in.name, in.id, sim_ns(in.t0));
+  }
+}
+
+}  // namespace online_detail
+
+namespace {
+
+using online_detail::DemandEnd;
+using online_detail::DemandLayout;
+using online_detail::demand_span_id;
+using online_detail::kNoSpan;
+using online_detail::OnlineArrivalStream;
+using online_detail::query_span_id;
+using online_detail::SiteLoad;
+using online_detail::SpanRec;
 
 /// One admitted demand currently holding resource at a site.  Flights are
 /// append-only; `alive` flips when the work completes or a fault kills it,
@@ -101,57 +199,11 @@ struct Inflight {
   bool alive = false;
 };
 
-/// Where (and when, absolute sim seconds) one admitted demand finally
-/// completed — relocation overwrites it.  Feeds the deadline-SLO rollup.
-struct DemandEnd {
-  SiteId site = kInvalidSite;
-  double completion = 0.0;
-};
-
-/// One async span on the sim clock, buffered locally and emitted to the
-/// Tracer after the run (so tracing never interleaves with event dispatch).
-struct SpanRec {
-  const char* name = "";
-  std::uint64_t id = 0;
-  double t0 = 0.0;
-  double t1 = 0.0;
-};
-
-constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
-
-/// Stable async-span ids: a query's span and its per-demand
-/// transfer/compute spans share the qid prefix so they group in the viewer.
-std::uint64_t query_span_id(QueryId m) {
-  return static_cast<std::uint64_t>(m) << 20;
-}
-std::uint64_t demand_span_id(QueryId m, std::uint32_t d, unsigned kind) {
-  return (static_cast<std::uint64_t>(m) << 20) |
-         (static_cast<std::uint64_t>(d + 1) << 2) | kind;
-}
-
-std::uint64_t sim_ns(double seconds) {
-  return seconds <= 0.0
-             ? 0
-             : static_cast<std::uint64_t>(std::llround(seconds * 1e9));
-}
-
-double slack_percentile(std::vector<double>& xs, double p) {
-  std::sort(xs.begin(), xs.end());
-  return percentile_sorted(xs, p);
-}
-
-}  // namespace
-
-OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
-                        const ReplicaPlan* proactive) {
-  if (!inst.finalized()) {
-    throw std::invalid_argument("run_online: instance not finalized");
-  }
-  if (cfg.arrival_rate <= 0.0) {
-    throw std::invalid_argument("run_online: arrival rate must be positive");
-  }
-  validate_fault_trace(inst, cfg.faults);
-  Rng rng(cfg.seed);
+/// The original closure-based engine, kept as the bit-identity oracle for
+/// the typed kernel (OnlineKernel::kClosure): one std::function per event,
+/// whole horizon pre-scheduled, grow-only flight vector.
+OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
+                                const ReplicaPlan* proactive) {
   EventQueue eq;
   FaultState faults(inst);
 
@@ -181,12 +233,9 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
   }
 
   OnlineResult res;
+  res.kernel_stats.kernel = OnlineKernel::kClosure;
   res.replica_sites.resize(inst.datasets().size());
   if (proactive != nullptr) {
-    if (&proactive->instance() != &inst) {
-      throw std::invalid_argument("run_online: proactive plan is for a "
-                                  "different instance");
-    }
     for (const Dataset& d : inst.datasets()) {
       res.replica_sites[d.id] = proactive->replica_sites(d.id);
     }
@@ -216,8 +265,9 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
   std::size_t rejected_queries = 0;
 
   // Deadline-SLO bookkeeping: final serving site + absolute completion per
-  // admitted demand (relocation overwrites).
-  std::vector<std::vector<DemandEnd>> demand_ends(inst.queries().size());
+  // admitted demand (relocation overwrites), in one flat table.
+  const DemandLayout layout(inst);
+  std::vector<DemandEnd> demand_ends(layout.total());
 
   // Span timelines (trace facet): buffered locally, emitted after the run.
   std::vector<SpanRec> spans;
@@ -230,12 +280,14 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
     return std::find(v.begin(), v.end(), l) != v.end();
   };
 
+  // O(1): in_use_total is already maintained incrementally by every
+  // launch/retire, so the peak never needs a sum over sites.  The typed
+  // kernel applies the identical ±need sequence, so the quotient is
+  // bit-identical across kernels.
   auto track_peak = [&] {
     if (total_available <= 0.0) return;
-    double used = 0.0;
-    for (const SiteLoad& s : sites) used += s.in_use;
-    res.peak_utilization = std::max(res.peak_utilization,
-                                    used / total_available);
+    res.peak_utilization =
+        std::max(res.peak_utilization, in_use_total / total_available);
   };
 
   /// Publish a throttled snapshot to the status board and refresh the live
@@ -331,6 +383,9 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
     by_query[m].push_back(idx);
     sites[site].in_use += need;
     ++inflight_count;
+    if (inflight_count > res.kernel_stats.peak_flights) {
+      res.kernel_stats.peak_flights = inflight_count;
+    }
     in_use_total += need;
     eq.schedule_in(proc, [&, idx] {
       Inflight& f = flights[idx];
@@ -430,7 +485,7 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
     const double completion = eq.now() + total;
     res.outcomes[f.query].completion_time =
         std::max(res.outcomes[f.query].completion_time, completion);
-    demand_ends[f.query][f.demand] = {site, completion};
+    demand_ends[layout.at(f.query, f.demand)] = {site, completion};
     ++res.demands_relocated;
     if (trace_on) {
       instants.push_back({"online.relocate",
@@ -489,12 +544,17 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
     if (sites[s].in_use <= eff + 1e-9) return;
     // Shed the most recently admitted work first until the site fits its
     // degraded availability (LIFO: the oldest work is closest to done).
+    // Index-based over the size at entry: a relocation can re-seat work on
+    // this same site (appending to `here`), which would invalidate
+    // iterators; appended flights are by construction within the reduced
+    // availability and are never shed here.
     auto& here = by_site[s];
-    for (auto it = here.rbegin();
-         it != here.rend() && sites[s].in_use > eff + 1e-9; ++it) {
-      if (!flights[*it].alive) continue;
-      kill_flight(*it);
-      displace(*it);
+    for (std::size_t i = here.size(); i > 0; --i) {
+      if (sites[s].in_use <= eff + 1e-9) break;
+      const std::size_t idx = here[i - 1];
+      if (!flights[idx].alive) continue;
+      kill_flight(idx);
+      displace(idx);
     }
   };
 
@@ -609,7 +669,6 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
     }
     // Commit.
     double response = 0.0;
-    demand_ends[q.id].resize(q.demands.size());
     if (trace_on) {
       query_span[q.id] = spans.size();
       spans.push_back({"online.query", query_span_id(q.id), eq.now(),
@@ -623,7 +682,8 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
       }
       launch_flight(q.id, static_cast<std::uint32_t>(i), d.site, d.need,
                     d.proc, d.total_delay);
-      demand_ends[q.id][i] = {d.site, eq.now() + d.total_delay};
+      demand_ends[layout.at(q.id, static_cast<std::uint32_t>(i))] = {
+          d.site, eq.now() + d.total_delay};
       response = std::max(response, d.total_delay);
       if (audit_on) {
         obs::AuditEntry e;
@@ -671,17 +731,17 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
     });
   }
 
-  // Arrival schedule (instance order).  Outcomes are pre-sized so the
-  // events can safely index into the vector.
+  // Arrival schedule (instance order), drained from the shared stream up
+  // front — the closure engine needs every event in the heap before run().
+  // Outcomes are pre-sized so the events can safely index into the vector.
   res.outcomes.resize(inst.queries().size());
-  double clock = 0.0;
-  for (const Query& q : inst.queries()) {
-    clock += cfg.arrivals == OnlineConfig::Arrivals::kPoisson
-                 ? rng.exponential(cfg.arrival_rate)
-                 : 1.0 / cfg.arrival_rate;
-    res.outcomes[q.id] = OnlineOutcome{q.id, clock, false, 0.0, false};
-    const QueryId m = q.id;
-    eq.schedule_at(clock, [&, m] {
+  OnlineArrivalStream arrivals(inst.queries().size(), cfg.arrivals,
+                               cfg.arrival_rate, cfg.seed);
+  double when = 0.0;
+  QueryId m = 0;
+  while (arrivals.next(&when, &m)) {
+    res.outcomes[m] = OnlineOutcome{m, when, false, 0.0, false};
+    eq.schedule_at(when, [&, m] {
       ++arrivals_seen;
       const bool ok = admit(inst.query(m), res.outcomes[m]);
       res.outcomes[m].admitted = ok;
@@ -699,80 +759,16 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
   }
   // The arrival loop above keeps a provisional admitted count so the status
   // board can show it live; recompute exactly below once faults settle.
-  eq.run();
+  res.kernel_stats.events_processed = eq.run();
+  res.kernel_stats.peak_pending_events = eq.peak_pending();
+  res.kernel_stats.peak_event_bytes =
+      eq.peak_pending() * (sizeof(double) + sizeof(std::uint64_t) +
+                           sizeof(std::function<void()>));
+  res.kernel_stats.flight_bytes = flights.capacity() * sizeof(Inflight);
 
-  res.admitted_queries = 0;
-  for (const OnlineOutcome& o : res.outcomes) {
-    if (o.admitted) {
-      ++res.admitted_queries;
-      res.admitted_volume += inst.demanded_volume(o.query);
-    }
-  }
-  res.throughput = inst.queries().empty()
-                       ? 0.0
-                       : static_cast<double>(res.admitted_queries) /
-                             static_cast<double>(inst.queries().size());
+  online_detail::finalize_online_result(inst, layout, demand_ends, &res);
 
-  // Deadline-SLO rollup over the surviving queries.  Slack can go negative
-  // only via fault-forced relocation (admission itself is deadline-safe).
-  {
-    std::vector<double> query_slacks;
-    std::vector<std::vector<double>> site_slacks(sites.size());
-    std::vector<std::size_t> site_hits(sites.size(), 0);
-    query_slacks.reserve(res.admitted_queries);
-    for (const OnlineOutcome& o : res.outcomes) {
-      if (!o.admitted) continue;
-      const Query& q = inst.query(o.query);
-      query_slacks.push_back(q.deadline -
-                             (o.completion_time - o.arrival_time));
-      for (const DemandEnd& de : demand_ends[o.query]) {
-        if (de.site == kInvalidSite) continue;
-        const double slack = q.deadline - (de.completion - o.arrival_time);
-        site_slacks[de.site].push_back(slack);
-        if (slack >= -1e-9) ++site_hits[de.site];
-      }
-    }
-    res.slo.admitted_queries = res.admitted_queries;
-    for (const double s : query_slacks) {
-      if (s >= -1e-9) ++res.slo.deadline_hits;
-    }
-    res.slo.hit_ratio =
-        query_slacks.empty()
-            ? 0.0
-            : static_cast<double>(res.slo.deadline_hits) /
-                  static_cast<double>(query_slacks.size());
-    res.slo.p50_slack = slack_percentile(query_slacks, 50.0);
-    res.slo.p95_slack = slack_percentile(query_slacks, 5.0);
-    res.slo.p99_slack = slack_percentile(query_slacks, 1.0);
-    for (std::size_t s = 0; s < sites.size(); ++s) {
-      if (site_slacks[s].empty()) continue;
-      OnlineSiteSlo slo;
-      slo.site = static_cast<SiteId>(s);
-      slo.demands = site_slacks[s].size();
-      slo.deadline_hits = site_hits[s];
-      slo.p50_slack = slack_percentile(site_slacks[s], 50.0);
-      slo.p95_slack = slack_percentile(site_slacks[s], 5.0);
-      slo.p99_slack = slack_percentile(site_slacks[s], 1.0);
-      res.slo.per_site.push_back(slo);
-    }
-  }
-
-  // Emit the buffered span timeline: async 'b'/'e' pairs (and 'n' instants)
-  // on pid 2 — the sim-clock track — so Perfetto shows each query's
-  // arrival → transfer → compute → completion lane next to the wall-clock
-  // phase spans on pid 1.
-  if (trace_on) {
-    obs::Tracer& tr = obs::tracer();
-    for (const SpanRec& sp : spans) {
-      if (sp.t1 <= sp.t0) continue;  // killed before it started
-      tr.record_async('b', sp.name, sp.id, sim_ns(sp.t0));
-      tr.record_async('e', sp.name, sp.id, sim_ns(sp.t1));
-    }
-    for (const SpanRec& in : instants) {
-      tr.record_async('n', in.name, in.id, sim_ns(in.t0));
-    }
-  }
-
+  if (trace_on) online_detail::emit_online_spans(spans, instants);
   if (audit_on) {
     obs::audit_log().record_batch(audit_entries);
   }
@@ -784,6 +780,85 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
   }
   push_status(true);
   return res;
+}
+
+}  // namespace
+
+OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
+                        const ReplicaPlan* proactive) {
+  if (!inst.finalized()) {
+    throw std::invalid_argument("run_online: instance not finalized");
+  }
+  if (cfg.arrival_rate <= 0.0) {
+    throw std::invalid_argument("run_online: arrival rate must be positive");
+  }
+  if (proactive != nullptr && &proactive->instance() != &inst) {
+    throw std::invalid_argument("run_online: proactive plan is for a "
+                                "different instance");
+  }
+  validate_fault_trace(inst, cfg.faults);
+  return cfg.kernel == OnlineKernel::kTyped
+             ? run_online_typed(inst, cfg, proactive)
+             : run_online_closure(inst, cfg, proactive);
+}
+
+namespace {
+
+inline void hash_bytes(std::uint64_t* h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= 1099511628211ull;  // FNV-1a 64-bit prime
+  }
+}
+inline void hash_u64(std::uint64_t* h, std::uint64_t v) {
+  hash_bytes(h, &v, sizeof v);
+}
+inline void hash_double(std::uint64_t* h, double v) {
+  hash_u64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::uint64_t online_result_hash(const OnlineResult& res) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  hash_u64(&h, res.outcomes.size());
+  for (const OnlineOutcome& o : res.outcomes) {
+    hash_u64(&h, o.query);
+    hash_double(&h, o.arrival_time);
+    hash_u64(&h, o.admitted ? 1 : 0);
+    hash_double(&h, o.completion_time);
+    hash_u64(&h, o.failed_by_fault ? 1 : 0);
+  }
+  hash_u64(&h, res.admitted_queries);
+  hash_double(&h, res.admitted_volume);
+  hash_double(&h, res.throughput);
+  hash_double(&h, res.peak_utilization);
+  hash_u64(&h, res.replica_sites.size());
+  for (const auto& v : res.replica_sites) {
+    hash_u64(&h, v.size());
+    for (const SiteId s : v) hash_u64(&h, s);
+  }
+  hash_u64(&h, res.fault_events_applied);
+  hash_u64(&h, res.queries_failed_by_fault);
+  hash_u64(&h, res.demands_relocated);
+  hash_u64(&h, res.replicas_lost_to_faults);
+  hash_u64(&h, res.slo.admitted_queries);
+  hash_u64(&h, res.slo.deadline_hits);
+  hash_double(&h, res.slo.hit_ratio);
+  hash_double(&h, res.slo.p50_slack);
+  hash_double(&h, res.slo.p95_slack);
+  hash_double(&h, res.slo.p99_slack);
+  hash_u64(&h, res.slo.per_site.size());
+  for (const OnlineSiteSlo& s : res.slo.per_site) {
+    hash_u64(&h, s.site);
+    hash_u64(&h, s.demands);
+    hash_u64(&h, s.deadline_hits);
+    hash_double(&h, s.p50_slack);
+    hash_double(&h, s.p95_slack);
+    hash_double(&h, s.p99_slack);
+  }
+  return h;
 }
 
 }  // namespace edgerep

@@ -92,6 +92,28 @@ class OnlineStatusBoard {
   std::atomic<std::uint64_t> last_pub_ns_{0};
 };
 
+/// Which discrete-event core executes the run.  `kTyped` is the production
+/// path: POD events in a 4-ary (time, seq) heap with lazily streamed
+/// arrivals and a slab flight registry (sim/event_kernel.h).  `kClosure` is
+/// the original std::function engine, kept as the bit-identity oracle —
+/// fixed (instance, config, faults) produce bit-identical OnlineResult on
+/// both kernels (pinned by tests/sim/online_equivalence_test.cpp).
+enum class OnlineKernel : std::uint8_t { kTyped, kClosure };
+
+/// Executive accounting of one run's event core (not part of the
+/// equivalence contract; excluded from online_result_hash).
+struct OnlineKernelStats {
+  OnlineKernel kernel = OnlineKernel::kTyped;
+  std::size_t events_processed = 0;
+  /// High-water of simultaneously pending events.  O(inflight) on the
+  /// typed kernel; O(queries + faults) on the closure kernel, which
+  /// pre-schedules the whole horizon.
+  std::size_t peak_pending_events = 0;
+  std::size_t peak_event_bytes = 0;  ///< event-storage high-water, bytes
+  std::size_t peak_flights = 0;      ///< max concurrently live flights
+  std::size_t flight_bytes = 0;      ///< flight-registry storage, bytes
+};
+
 struct OnlineConfig {
   enum class Arrivals : std::uint8_t { kPoisson, kUniform };
   Arrivals arrivals = Arrivals::kPoisson;
@@ -120,6 +142,9 @@ struct OnlineConfig {
   /// are bit-identical with or without a board (pinned by
   /// tests/integration/obs_equivalence_test.cpp).
   OnlineStatusBoard* status_board = nullptr;
+
+  /// Event core selection; results are bit-identical across kernels.
+  OnlineKernel kernel = OnlineKernel::kTyped;
 };
 
 struct OnlineOutcome {
@@ -179,6 +204,10 @@ struct OnlineResult {
 
   /// Deadline-SLO rollup (computed on every run; deterministic).
   SloRollup slo;
+
+  /// Event-core accounting (differs across kernels by design; excluded
+  /// from the equivalence contract and from online_result_hash).
+  OnlineKernelStats kernel_stats;
 };
 
 /// Run online admission over the instance's query population (arrival order
@@ -188,5 +217,12 @@ struct OnlineResult {
 /// by construction: admission reserves resource for the processing window.
 OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg = {},
                         const ReplicaPlan* proactive = nullptr);
+
+/// FNV-1a fingerprint over every contract field of the result (outcomes,
+/// aggregates, replica placement, fault accounting, SLO rollup — raw double
+/// bits, no rounding).  Two runs agree on the hash iff they agree bitwise;
+/// kernel_stats is excluded.  Used by the cross-kernel CI smoke and the
+/// equivalence suite.
+[[nodiscard]] std::uint64_t online_result_hash(const OnlineResult& res);
 
 }  // namespace edgerep

@@ -1,0 +1,125 @@
+// Internals shared by the two run_online kernels (closure oracle in
+// online.cpp, typed production path in online_typed.cpp).  Everything here
+// is arithmetic both kernels must perform identically — the bit-identity
+// contract between them is only as strong as this sharing.  Not part of
+// the public API (not exported through edgerep/edgerep.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/instance.h"
+#include "sim/online.h"
+#include "util/rng.h"
+
+namespace edgerep {
+namespace online_detail {
+
+struct SiteLoad {
+  double available = 0.0;  ///< fault-free A(v_l); faults scale it on query
+  double in_use = 0.0;
+};
+
+/// Where (and when, absolute sim seconds) one admitted demand finally
+/// completed — relocation overwrites it.  Feeds the deadline-SLO rollup.
+struct DemandEnd {
+  SiteId site = kInvalidSite;
+  double completion = 0.0;
+};
+
+/// One async span on the sim clock, buffered locally and emitted to the
+/// Tracer after the run (so tracing never interleaves with event dispatch).
+struct SpanRec {
+  const char* name = "";
+  std::uint64_t id = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+inline constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+
+/// Stable async-span ids: a query's span and its per-demand
+/// transfer/compute spans share the qid prefix so they group in the viewer.
+inline std::uint64_t query_span_id(QueryId m) {
+  return static_cast<std::uint64_t>(m) << 20;
+}
+inline std::uint64_t demand_span_id(QueryId m, std::uint32_t d,
+                                    unsigned kind) {
+  return (static_cast<std::uint64_t>(m) << 20) |
+         (static_cast<std::uint64_t>(d + 1) << 2) | kind;
+}
+
+/// Flat per-(query, demand) addressing: slot of (m, d) is
+/// `offsets[m] + d`.  Replaces the per-query vector-of-vectors the closure
+/// kernel used to allocate lazily — one contiguous table, sized once.
+struct DemandLayout {
+  std::vector<std::size_t> offsets;  ///< size |Q| + 1 (prefix sums)
+
+  explicit DemandLayout(const Instance& inst) {
+    offsets.resize(inst.queries().size() + 1, 0);
+    for (const Query& q : inst.queries()) {
+      offsets[q.id + 1] = q.demands.size();
+    }
+    for (std::size_t m = 1; m < offsets.size(); ++m) {
+      offsets[m] += offsets[m - 1];
+    }
+  }
+  [[nodiscard]] std::size_t at(QueryId m, std::uint32_t d) const {
+    return offsets[m] + d;
+  }
+  [[nodiscard]] std::size_t total() const { return offsets.back(); }
+};
+
+/// The arrival process, streamed one arrival at a time.  Both kernels draw
+/// from this class so the Rng consumption sequence is shared: the closure
+/// kernel drains it up front (pre-scheduling the horizon), the typed
+/// kernel pulls lazily (one pending arrival in the heap) — same draws in
+/// the same order, so identical times bit for bit.
+class OnlineArrivalStream {
+ public:
+  OnlineArrivalStream(std::size_t queries, OnlineConfig::Arrivals mode,
+                      double rate, std::uint64_t seed)
+      : rng_(seed), remaining_(queries), rate_(rate), mode_(mode) {}
+
+  /// Next arrival in instance order; false when the horizon is exhausted.
+  bool next(double* time, QueryId* query) {
+    if (remaining_ == 0) return false;
+    clock_ += mode_ == OnlineConfig::Arrivals::kPoisson
+                  ? rng_.exponential(rate_)
+                  : 1.0 / rate_;
+    *time = clock_;
+    *query = next_id_++;
+    --remaining_;
+    return true;
+  }
+
+ private:
+  Rng rng_;
+  double clock_ = 0.0;
+  QueryId next_id_ = 0;
+  std::size_t remaining_;
+  double rate_;
+  OnlineConfig::Arrivals mode_;
+};
+
+/// Post-run aggregation shared verbatim by both kernels: exact admitted
+/// recount, throughput, and the deadline-SLO rollup over the flat
+/// demand-end table.  Pure function of its inputs.
+void finalize_online_result(const Instance& inst, const DemandLayout& layout,
+                            const std::vector<DemandEnd>& demand_ends,
+                            OnlineResult* res);
+
+/// Emit the buffered span timeline as async 'b'/'e' pairs (and 'n'
+/// instants) on the sim-clock trace track.  Call only when the trace facet
+/// is on.
+void emit_online_spans(const std::vector<SpanRec>& spans,
+                       const std::vector<SpanRec>& instants);
+
+}  // namespace online_detail
+
+/// Typed-kernel implementation (online_typed.cpp); reached via run_online
+/// with OnlineConfig::kernel == OnlineKernel::kTyped.
+OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
+                              const ReplicaPlan* proactive);
+
+}  // namespace edgerep

@@ -1,0 +1,730 @@
+// Typed-kernel implementation of run_online (OnlineKernel::kTyped).
+//
+// Same admission/fault/repair semantics as the closure oracle in
+// online.cpp, executed on the allocation-free event core of
+// sim/event_kernel.h:
+//
+//  * POD events in a 4-ary (time, seq) heap; dispatch is the switch in the
+//    run loop below.  Banded seqs reproduce the closure kernel's global
+//    insertion order (see event_kernel.h).
+//  * Arrivals and fault events stream lazily — the heap holds one pending
+//    arrival, one pending fault, the in-flight completions, and at most one
+//    status tick, so event storage is O(inflight), not O(horizon).
+//  * Flights live in a generation-stamped slab: a completion event for a
+//    killed or relocated flight dereferences to null and self-discards.
+//  * Replica membership is mirrored in a per-(dataset, site) byte mask, so
+//    the admission scan's replica check is O(1) instead of O(|replicas|).
+//
+// Every floating-point accumulation (site loads, in_use_total, tentative
+// reservations) applies the same operations in the same order as the
+// closure kernel, so results are bit-identical (pinned by
+// tests/sim/online_equivalence_test.cpp).
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cloud/delay.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/event_kernel.h"
+#include "sim/online.h"
+#include "sim/online_internal.h"
+
+namespace edgerep {
+
+namespace {
+
+using online_detail::DemandEnd;
+using online_detail::DemandLayout;
+using online_detail::demand_span_id;
+using online_detail::kNoSpan;
+using online_detail::OnlineArrivalStream;
+using online_detail::query_span_id;
+using online_detail::SiteLoad;
+using online_detail::SpanRec;
+
+/// Sim-time gap between telemetry refresh ticks when a status board is
+/// attached.  Ticks read state and publish; they never write sim state, so
+/// the cadence is not part of the equivalence contract.
+constexpr double kStatusTickGap = 0.25;
+
+}  // namespace
+
+OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
+                              const ReplicaPlan* proactive) {
+  TypedEventQueue queue;
+  queue.reserve(256);
+  FlightSlab slab;
+  FaultState faults(inst);
+
+  const bool metrics_on = obs::metrics_enabled();
+  const bool trace_on = obs::trace_enabled();
+  const bool audit_on = obs::audit_enabled();
+  OnlineStatusBoard* board = cfg.status_board;
+  std::vector<obs::AuditEntry> audit_entries;
+
+  obs::Counter* c_arrivals = nullptr;
+  obs::Counter* c_admitted = nullptr;
+  obs::Counter* c_rejected = nullptr;
+  if (metrics_on) {
+    c_arrivals = &obs::metrics().counter("edgerep_online_arrivals_total",
+                                         "query arrivals seen");
+    c_admitted =
+        &obs::metrics().counter("edgerep_online_queries_admitted_total",
+                                "queries admitted on arrival");
+    c_rejected =
+        &obs::metrics().counter("edgerep_online_queries_rejected_total",
+                                "queries rejected on arrival");
+  }
+
+  OnlineResult res;
+  res.kernel_stats.kernel = OnlineKernel::kTyped;
+  const std::size_t num_sites = inst.sites().size();
+  const std::size_t num_datasets = inst.datasets().size();
+
+  // Replica state: the per-dataset site vectors are the contract-visible
+  // representation; the byte mask is an O(1)-lookup mirror of it (the hot
+  // admission scan asks "replica here?" once per site per demand).
+  res.replica_sites.resize(num_datasets);
+  std::vector<std::uint8_t> replica_mask(num_datasets * num_sites, 0);
+  auto add_replica = [&](DatasetId n, SiteId l) {
+    res.replica_sites[n].push_back(l);
+    replica_mask[static_cast<std::size_t>(n) * num_sites + l] = 1;
+  };
+  auto has_replica = [&](DatasetId n, SiteId l) {
+    return replica_mask[static_cast<std::size_t>(n) * num_sites + l] != 0;
+  };
+  if (proactive != nullptr) {
+    for (const Dataset& d : inst.datasets()) {
+      for (const SiteId l : proactive->replica_sites(d.id)) {
+        add_replica(d.id, l);
+      }
+    }
+  } else if (cfg.origin_counts_as_replica) {
+    for (const Dataset& d : inst.datasets()) {
+      if (d.origin != kInvalidSite) add_replica(d.id, d.origin);
+    }
+  }
+
+  std::vector<SiteLoad> sites(num_sites);
+  double total_available = 0.0;
+  for (const Site& s : inst.sites()) {
+    sites[s.id].available = s.available;
+    total_available += s.available;
+  }
+
+  // Per-site flight handles (consulted only by fault handlers).  Stale
+  // handles are skipped on read and compacted when they outnumber the live
+  // ones, so each list stays O(peak live at that site), not O(launches).
+  std::vector<std::vector<FlightHandle>> site_flights(num_sites);
+  std::vector<std::uint32_t> site_live(num_sites, 0);
+  auto compact_site = [&](std::vector<FlightHandle>& v) {
+    std::size_t w = 0;
+    for (const FlightHandle h : v) {
+      if (slab.get(h) != nullptr) v[w++] = h;
+    }
+    v.resize(w);
+  };
+
+  std::size_t inflight_count = 0;
+  double in_use_total = 0.0;
+  std::size_t arrivals_seen = 0;
+  std::size_t rejected_queries = 0;
+
+  const DemandLayout layout(inst);
+  std::vector<DemandEnd> demand_ends(layout.total());
+  // Latest flight per (query, demand) — the fault path's kill index.
+  std::vector<FlightHandle> qd_flight(layout.total());
+
+  std::vector<SpanRec> spans;
+  std::vector<SpanRec> instants;
+  std::vector<std::size_t> query_span(inst.queries().size(), kNoSpan);
+
+  auto track_peak = [&] {
+    if (total_available <= 0.0) return;
+    res.peak_utilization =
+        std::max(res.peak_utilization, in_use_total / total_available);
+  };
+
+  std::uint32_t status_tick = 0;
+  auto publish_board = [&](bool finished) {
+    OnlineStatus st;
+    st.sim_clock = queue.now();
+    st.arrivals_seen = arrivals_seen;
+    st.inflight_demands = inflight_count;
+    st.admitted_queries = res.admitted_queries;
+    st.rejected_queries = rejected_queries;
+    st.failed_by_fault = res.queries_failed_by_fault;
+    st.demands_relocated = res.demands_relocated;
+    st.fault_events_applied = res.fault_events_applied;
+    st.replicas_lost = res.replicas_lost_to_faults;
+    st.utilization =
+        total_available > 0.0 ? in_use_total / total_available : 0.0;
+    st.site_in_use.reserve(num_sites);
+    st.site_available.reserve(num_sites);
+    for (const Site& s : inst.sites()) {
+      st.site_in_use.push_back(sites[s.id].in_use);
+      st.site_available.push_back(faults.available(s.id));
+    }
+    st.finished = finished;
+    board->publish(st);
+  };
+  auto push_status = [&](bool force) {
+    if (!metrics_on && board == nullptr) return;
+    if (!force) {
+      if ((++status_tick & 31u) != 0) return;
+      if (board != nullptr && !board->due(2'000'000)) return;
+    }
+    if (metrics_on) {
+      static obs::Gauge& g_inflight = obs::metrics().gauge(
+          "edgerep_online_inflight", "demands currently holding resource");
+      static obs::Gauge& g_clock = obs::metrics().gauge(
+          "edgerep_online_sim_clock_seconds", "simulated seconds elapsed");
+      static obs::Gauge& g_util = obs::metrics().gauge(
+          "edgerep_online_utilization",
+          "in-use GHz over fault-free total GHz");
+      g_inflight.set(static_cast<double>(inflight_count));
+      g_clock.set(queue.now());
+      g_util.set(total_available > 0.0 ? in_use_total / total_available
+                                       : 0.0);
+    }
+    if (board == nullptr) return;
+    publish_board(force && arrivals_seen == inst.queries().size());
+  };
+
+  auto truncate_flight_spans = [&](const Flight& f) {
+    if (!trace_on) return;
+    for (const std::uint32_t si : {f.span_transfer, f.span_compute}) {
+      if (si == kNilSlot) continue;
+      spans[si].t0 = std::min(spans[si].t0, queue.now());
+      spans[si].t1 = std::min(spans[si].t1, queue.now());
+    }
+  };
+
+  /// Release a flight's resource and recycle its slot (no-op on stale
+  /// handles — the generation check subsumes the closure kernel's `alive`
+  /// flag).
+  auto kill_flight = [&](FlightHandle h) {
+    Flight* f = slab.get(h);
+    if (f == nullptr) return;
+    sites[f->site].in_use -= f->need;
+    --inflight_count;
+    in_use_total -= f->need;
+    --site_live[f->site];
+    truncate_flight_spans(*f);
+    slab.destroy(h);
+  };
+
+  auto launch_flight = [&](QueryId m, std::uint32_t demand, SiteId site,
+                           double need, double proc, double total) {
+    const FlightHandle h = slab.create();
+    Flight& f = slab.at(h.slot);
+    f.query = m;
+    f.demand = demand;
+    f.site = site;
+    f.need = need;
+    if (trace_on) {
+      const double t0 = queue.now();
+      const double t_mid = t0 + std::max(0.0, total - proc);
+      f.span_transfer = static_cast<std::uint32_t>(spans.size());
+      spans.push_back({"online.transfer", demand_span_id(m, demand, 1), t0,
+                       t_mid});
+      f.span_compute = static_cast<std::uint32_t>(spans.size());
+      spans.push_back({"online.compute", demand_span_id(m, demand, 2), t_mid,
+                       t0 + total});
+    }
+    site_flights[site].push_back(h);
+    ++site_live[site];
+    if (site_flights[site].size() > 64 &&
+        site_flights[site].size() > 2 * site_live[site]) {
+      compact_site(site_flights[site]);
+    }
+    qd_flight[layout.at(m, demand)] = h;
+    sites[site].in_use += need;
+    ++inflight_count;
+    in_use_total += need;
+    queue.push_dynamic(EvKind::kComputeDone, queue.now() + proc, h.slot,
+                       h.gen);
+  };
+
+  // Scratch for fail_query: (birth, handle) of the query's live flights.
+  std::vector<std::pair<std::uint64_t, FlightHandle>> kill_buf;
+  auto fail_query = [&](QueryId m) {
+    if (res.outcomes[m].failed_by_fault) return;
+    // Kill in launch order — the order the closure kernel's grow-only
+    // per-query index yields — so the load ledger sees the same ± sequence.
+    const Query& q = inst.query(m);
+    kill_buf.clear();
+    const std::size_t base = layout.at(m, 0);
+    for (std::size_t d = 0; d < q.demands.size(); ++d) {
+      const FlightHandle h = qd_flight[base + d];
+      const Flight* f = slab.get(h);
+      if (f != nullptr) kill_buf.emplace_back(f->birth, h);
+    }
+    std::sort(kill_buf.begin(), kill_buf.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [birth, h] : kill_buf) kill_flight(h);
+    if (res.outcomes[m].admitted && res.admitted_queries > 0) {
+      --res.admitted_queries;
+    }
+    res.outcomes[m].admitted = false;
+    res.outcomes[m].failed_by_fault = true;
+    ++res.queries_failed_by_fault;
+    if (trace_on) {
+      if (query_span[m] != kNoSpan) {
+        spans[query_span[m]].t1 =
+            std::min(spans[query_span[m]].t1, queue.now());
+      }
+      instants.push_back({"online.crash", query_span_id(m), queue.now(),
+                          0.0});
+    }
+    if (metrics_on) {
+      static obs::Counter& failed = obs::metrics().counter(
+          "edgerep_online_queries_failed_by_fault_total",
+          "admitted queries killed mid-flight by an injected fault");
+      failed.inc();
+    }
+    if (audit_on) {
+      obs::AuditEntry e;
+      e.algorithm = "online";
+      e.query = m;
+      e.dataset = q.demands.empty() ? 0 : q.demands.front().dataset;
+      e.admitted = false;
+      e.reason = obs::AuditReason::kFaultEvicted;
+      audit_entries.push_back(e);
+    }
+  };
+
+  // Admission scratch, reused across arrivals.  `tentative` and
+  // `tentative_replicas` are dirty-reset: only the entries an admission
+  // touched are zeroed, so each arrival sees exact zeros (bit-identical to
+  // the closure kernel's freshly-allocated vectors) without O(sites) work.
+  struct Decision {
+    SiteId site = kInvalidSite;
+    bool new_replica = false;
+    double need = 0.0;
+    double proc = 0.0;
+    double total_delay = 0.0;
+  };
+  std::vector<Decision> decisions;
+  std::vector<double> tentative(num_sites, 0.0);
+  std::vector<SiteId> tentative_dirty;
+  std::vector<std::size_t> tentative_replicas(num_datasets, 0);
+  std::vector<DatasetId> tentative_rep_dirty;
+
+  // Candidate-ordered site selection.  The closure kernel's spec scan
+  // computes the evaluation delay of every site, which at 10k sites means
+  // one strided delay-table row per candidate — a cache miss each.  Here
+  // the capacity/replica filters and the fill run first over contiguous
+  // state, then the deadline (the only delay-table touch) is tested in
+  // (fill, site) order.  The winner is exactly the spec scan's argmin:
+  // strict `<` keeps the lowest site id among equal fills, and every fill
+  // is the same `(load + need) / eff` double the spec scan would compare.
+  std::vector<std::pair<double, SiteId>> cand;
+  auto select_site = [&](const Query& q, const DatasetDemand& dd, double need,
+                         bool use_tentative, bool* new_replica) {
+    cand.clear();
+    const std::size_t replicas =
+        res.replica_sites[dd.dataset].size() +
+        (use_tentative ? tentative_replicas[dd.dataset] : 0);
+    const bool budget_left =
+        cfg.reactive_replicas && replicas < inst.max_replicas();
+    for (const Site& s : inst.sites()) {
+      if (!faults.site_up(s.id)) continue;
+      if (!has_replica(dd.dataset, s.id) && !budget_left) continue;
+      const double eff = faults.available(s.id);
+      const double load =
+          sites[s.id].in_use + (use_tentative ? tentative[s.id] : 0.0);
+      if (load + need > eff + 1e-9) continue;
+      const double fill = eff > 0.0 ? (load + need) / eff : 1e18;
+      cand.emplace_back(fill, s.id);
+    }
+    std::size_t misses = 0;
+    while (!cand.empty()) {
+      if (misses >= 8) {
+        // Deadline-hostile regime: order the survivors once and walk.
+        std::sort(cand.begin(), cand.end());
+        for (const auto& [fill, site] : cand) {
+          if (faults.deadline_ok(q, dd, site)) {
+            *new_replica = !has_replica(dd.dataset, site);
+            return site;
+          }
+        }
+        return kInvalidSite;
+      }
+      const auto it = std::min_element(cand.begin(), cand.end());
+      const SiteId site = it->second;
+      if (faults.deadline_ok(q, dd, site)) {
+        *new_replica = !has_replica(dd.dataset, site);
+        return site;
+      }
+      *it = cand.back();
+      cand.pop_back();
+      ++misses;
+    }
+    return kInvalidSite;
+  };
+
+  auto best_site_for = [&](const Query& q, const DatasetDemand& dd,
+                           double need, bool* new_replica) {
+    return select_site(q, dd, need, /*use_tentative=*/false, new_replica);
+  };
+
+  auto try_relocate = [&](QueryId m, std::uint32_t demand, double need) {
+    const Query& q = inst.query(m);
+    const DatasetDemand& dd = q.demands[demand];
+    bool new_replica = false;
+    const SiteId site = best_site_for(q, dd, need, &new_replica);
+    if (site == kInvalidSite) return false;
+    if (new_replica) add_replica(dd.dataset, site);
+    const Dataset& ds = inst.dataset(dd.dataset);
+    const double total = faults.evaluation_delay(q, dd, site);
+    launch_flight(m, demand, site, need,
+                  ds.volume * inst.site(site).proc_delay, total);
+    const double completion = queue.now() + total;
+    res.outcomes[m].completion_time =
+        std::max(res.outcomes[m].completion_time, completion);
+    demand_ends[layout.at(m, demand)] = {site, completion};
+    ++res.demands_relocated;
+    if (trace_on) {
+      instants.push_back({"online.relocate", demand_span_id(m, demand, 0),
+                          queue.now(), 0.0});
+      if (query_span[m] != kNoSpan) {
+        spans[query_span[m]].t1 =
+            std::max(spans[query_span[m]].t1, completion);
+      }
+    }
+    if (metrics_on) {
+      static obs::Counter& relocated = obs::metrics().counter(
+          "edgerep_online_demands_relocated_total",
+          "displaced demands re-seated on surviving sites");
+      relocated.inc();
+    }
+    return true;
+  };
+
+  /// kRelocate handler: the typed form of the closure kernel's `displace`.
+  /// The displaced flight was already killed (its slot may be reused), so
+  /// the event payload carries everything relocation needs.
+  auto handle_relocate = [&](const SimEvent& ev) {
+    const QueryId m = ev.a;
+    if (res.outcomes[m].failed_by_fault) return;
+    if (!cfg.repair_on_failure || !try_relocate(m, ev.b, ev.c)) {
+      fail_query(m);
+    }
+  };
+
+  auto on_site_down = [&](SiteId s) {
+    // Replicas stored at the crashed site are lost.
+    for (DatasetId n = 0; n < num_datasets; ++n) {
+      if (!has_replica(n, s)) continue;
+      auto& v = res.replica_sites[n];
+      v.erase(std::find(v.begin(), v.end(), s));
+      replica_mask[static_cast<std::size_t>(n) * num_sites + s] = 0;
+      ++res.replicas_lost_to_faults;
+    }
+    // Kill every displaced flight first (so relocations see the freed
+    // ledger), then post + drain their relocations in admission order.
+    struct Displaced {
+      QueryId query;
+      std::uint32_t demand;
+      double need;
+      FlightHandle h;
+    };
+    std::vector<Displaced> displaced;
+    for (const FlightHandle h : site_flights[s]) {
+      const Flight* f = slab.get(h);
+      if (f != nullptr) displaced.push_back({f->query, f->demand, f->need, h});
+    }
+    for (const Displaced& d : displaced) kill_flight(d.h);
+    site_flights[s].clear();
+    for (const Displaced& d : displaced) {
+      queue.post(SimEvent{0.0, 0, d.query, d.demand, d.need,
+                          EvKind::kRelocate});
+    }
+    SimEvent iv;
+    while (queue.pop_immediate(&iv)) handle_relocate(iv);
+    // Queries aggregating at the crashed home cannot deliver results.
+    // Snapshot the live list (creation order == the closure kernel's flight
+    // index order among survivors) — fail_query mutates it while we walk.
+    std::vector<FlightHandle> live;
+    live.reserve(slab.live_count());
+    for (std::uint32_t slot = slab.live_head(); slot != kNilSlot;
+         slot = slab.at(slot).next) {
+      live.push_back(FlightHandle{slot, slab.at(slot).gen});
+    }
+    for (const FlightHandle h : live) {
+      const Flight* f = slab.get(h);
+      if (f != nullptr && inst.query(f->query).home == s) {
+        fail_query(f->query);
+      }
+    }
+  };
+
+  auto on_capacity_loss = [&](SiteId s) {
+    const double eff = faults.available(s);
+    if (sites[s].in_use <= eff + 1e-9) return;
+    // Shed the most recently admitted work first, relocating each displaced
+    // flight before considering the next — a relocation may legitimately
+    // re-seat on this same (degraded) site.  Index-based over the size at
+    // entry: relocations append, and appended flights fit the reduced
+    // availability by construction.
+    auto& here = site_flights[s];
+    for (std::size_t i = here.size(); i > 0; --i) {
+      if (sites[s].in_use <= eff + 1e-9) break;
+      const FlightHandle h = here[i - 1];
+      const Flight* f = slab.get(h);
+      if (f == nullptr) continue;
+      const QueryId m = f->query;
+      const std::uint32_t demand = f->demand;
+      const double need = f->need;
+      kill_flight(h);
+      queue.post(SimEvent{0.0, 0, m, demand, need, EvKind::kRelocate});
+      SimEvent iv;
+      while (queue.pop_immediate(&iv)) handle_relocate(iv);
+    }
+  };
+
+  auto admit = [&](const Query& q, OnlineOutcome& outcome) {
+    decisions.clear();
+    for (const SiteId s : tentative_dirty) tentative[s] = 0.0;
+    tentative_dirty.clear();
+    for (const DatasetId n : tentative_rep_dirty) tentative_replicas[n] = 0;
+    tentative_rep_dirty.clear();
+
+    auto classify_rejection = [&](const DatasetDemand& dd) {
+      bool any_deadline = false;
+      bool any_budget = false;
+      for (const Site& s : inst.sites()) {
+        if (!faults.site_up(s.id)) continue;
+        if (!faults.deadline_ok(q, dd, s.id)) continue;
+        any_deadline = true;
+        if (!has_replica(dd.dataset, s.id)) {
+          if (!cfg.reactive_replicas) continue;
+          if (res.replica_sites[dd.dataset].size() +
+                  tentative_replicas[dd.dataset] >=
+              inst.max_replicas()) {
+            continue;
+          }
+        }
+        any_budget = true;
+      }
+      if (!any_deadline) return obs::AuditReason::kNoDeadlineFeasibleSite;
+      if (!any_budget) return obs::AuditReason::kReplicaBudgetSpent;
+      return obs::AuditReason::kCapacityExhausted;
+    };
+    auto audit_abort = [&](std::uint32_t failing, obs::AuditReason why) {
+      if (!audit_on) return;
+      for (std::uint32_t j = 0; j < failing; ++j) {
+        obs::AuditEntry e;
+        e.algorithm = "online";
+        e.query = q.id;
+        e.demand = j;
+        e.dataset = q.demands[j].dataset;
+        e.admitted = false;
+        e.reason = obs::AuditReason::kAtomicRollback;
+        e.site = decisions[j].site;
+        audit_entries.push_back(e);
+      }
+      obs::AuditEntry e;
+      e.algorithm = "online";
+      e.query = q.id;
+      e.demand = failing;
+      e.dataset = failing < q.demands.size()
+                      ? q.demands[failing].dataset
+                      : (q.demands.empty() ? 0 : q.demands.front().dataset);
+      e.admitted = false;
+      e.reason = why;
+      audit_entries.push_back(e);
+    };
+
+    if (!faults.site_up(q.home)) {
+      audit_abort(0, obs::AuditReason::kNoDeadlineFeasibleSite);
+      return false;
+    }
+    for (const DatasetDemand& dd : q.demands) {
+      const double need = resource_demand(inst, q, dd);
+      Decision best;
+      best.site =
+          select_site(q, dd, need, /*use_tentative=*/true, &best.new_replica);
+      if (best.site == kInvalidSite) {
+        audit_abort(static_cast<std::uint32_t>(decisions.size()),
+                    classify_rejection(dd));
+        return false;
+      }
+      best.need = need;
+      const Dataset& ds = inst.dataset(dd.dataset);
+      best.proc = ds.volume * inst.site(best.site).proc_delay;
+      best.total_delay = faults.evaluation_delay(inst.query(q.id), dd,
+                                                 best.site);
+      if (tentative[best.site] == 0.0) tentative_dirty.push_back(best.site);
+      tentative[best.site] += need;
+      if (best.new_replica) {
+        if (tentative_replicas[dd.dataset] == 0) {
+          tentative_rep_dirty.push_back(dd.dataset);
+        }
+        ++tentative_replicas[dd.dataset];
+      }
+      decisions.push_back(best);
+    }
+    double response = 0.0;
+    if (trace_on) {
+      query_span[q.id] = spans.size();
+      spans.push_back({"online.query", query_span_id(q.id), queue.now(),
+                       queue.now()});
+    }
+    for (std::size_t i = 0; i < q.demands.size(); ++i) {
+      const Decision& d = decisions[i];
+      const DatasetId n = q.demands[i].dataset;
+      if (d.new_replica && !has_replica(n, d.site)) add_replica(n, d.site);
+      launch_flight(q.id, static_cast<std::uint32_t>(i), d.site, d.need,
+                    d.proc, d.total_delay);
+      demand_ends[layout.at(q.id, static_cast<std::uint32_t>(i))] = {
+          d.site, queue.now() + d.total_delay};
+      response = std::max(response, d.total_delay);
+      if (audit_on) {
+        obs::AuditEntry e;
+        e.algorithm = "online";
+        e.query = q.id;
+        e.demand = static_cast<std::uint32_t>(i);
+        e.dataset = n;
+        e.admitted = true;
+        e.site = d.site;
+        e.placed_replica = d.new_replica;
+        audit_entries.push_back(e);
+      }
+    }
+    track_peak();
+    outcome.completion_time = queue.now() + response;
+    if (trace_on && query_span[q.id] != kNoSpan) {
+      spans[query_span[q.id]].t1 = outcome.completion_time;
+    }
+    return true;
+  };
+
+  // --- seed the event streams --------------------------------------------
+  res.outcomes.resize(inst.queries().size());
+  const std::size_t num_faults = cfg.faults.events.size();
+  std::size_t next_fault = 0;
+  if (next_fault < num_faults) {
+    queue.push(SimEvent{cfg.faults.events[0].time,
+                        evseq::make(evseq::kFaultBand, 0),
+                        0, 0, 0.0, EvKind::kFaultApply});
+  }
+  OnlineArrivalStream arrivals(inst.queries().size(), cfg.arrivals,
+                               cfg.arrival_rate, cfg.seed);
+  auto push_next_arrival = [&] {
+    double when = 0.0;
+    QueryId m = 0;
+    if (!arrivals.next(&when, &m)) return;
+    res.outcomes[m] = OnlineOutcome{m, when, false, 0.0, false};
+    queue.push(SimEvent{when, evseq::make(evseq::kArrivalBand, m), m, 0, 0.0,
+                        EvKind::kArrival});
+  };
+  push_next_arrival();
+  if (board != nullptr) queue.push_status(0.0);
+
+  // --- the run loop: one switch, no captures -----------------------------
+  SimEvent ev;
+  while (queue.pop(&ev)) {
+    switch (ev.kind) {
+      case EvKind::kArrival: {
+        const QueryId m = ev.a;
+        push_next_arrival();  // keep exactly one pending arrival in the heap
+        ++arrivals_seen;
+        const bool ok = admit(inst.query(m), res.outcomes[m]);
+        res.outcomes[m].admitted = ok;
+        if (ok) {
+          ++res.admitted_queries;  // provisional; exact recount in finalize
+        } else {
+          ++rejected_queries;
+        }
+        if (c_arrivals != nullptr) {
+          c_arrivals->inc();
+          (ok ? c_admitted : c_rejected)->inc();
+        }
+        push_status(false);
+        break;
+      }
+      case EvKind::kComputeDone: {
+        Flight* f = slab.get(FlightHandle{ev.a, ev.b});
+        if (f == nullptr) break;  // killed or relocated; stale by generation
+        sites[f->site].in_use -= f->need;
+        --inflight_count;
+        in_use_total -= f->need;
+        --site_live[f->site];
+        slab.destroy(FlightHandle{ev.a, ev.b});
+        push_status(false);
+        break;
+      }
+      case EvKind::kFaultApply: {
+        const FaultEvent& e = cfg.faults.events[next_fault];
+        ++next_fault;
+        if (next_fault < num_faults) {
+          queue.push(SimEvent{cfg.faults.events[next_fault].time,
+                              evseq::make(evseq::kFaultBand, next_fault),
+                              0, 0, 0.0, EvKind::kFaultApply});
+        }
+        faults.apply(e);
+        ++res.fault_events_applied;
+        switch (e.kind) {
+          case FaultKind::kSiteDown:
+            on_site_down(e.site);
+            break;
+          case FaultKind::kCapacityLoss:
+            on_capacity_loss(e.site);
+            break;
+          default:
+            break;
+        }
+        if (metrics_on) {
+          static obs::Counter& fault_events = obs::metrics().counter(
+              "edgerep_online_fault_events_total",
+              "fault-trace events applied by the online simulator");
+          fault_events.inc();
+        }
+        push_status(false);
+        break;
+      }
+      case EvKind::kRelocate:
+        // Normally drained inside the fault handlers above; reaching here
+        // only means a handler returned with the ring non-empty.
+        handle_relocate(ev);
+        break;
+      case EvKind::kStatusTick: {
+        if (board != nullptr && board->due(2'000'000)) publish_board(false);
+        if (arrivals_seen < inst.queries().size() || inflight_count > 0) {
+          queue.push_status(queue.now() + kStatusTickGap);
+        }
+        break;
+      }
+      case EvKind::kTransferDone:
+        break;  // FlowEngine events; the online model does not start flows
+    }
+  }
+
+  res.kernel_stats.events_processed = queue.events_popped();
+  res.kernel_stats.peak_pending_events = queue.peak_pending();
+  res.kernel_stats.peak_event_bytes = queue.peak_bytes();
+  res.kernel_stats.peak_flights = slab.peak_live();
+  res.kernel_stats.flight_bytes = slab.capacity_bytes();
+
+  online_detail::finalize_online_result(inst, layout, demand_ends, &res);
+
+  if (trace_on) online_detail::emit_online_spans(spans, instants);
+  if (audit_on) {
+    obs::audit_log().record_batch(audit_entries);
+  }
+  if (metrics_on) {
+    static obs::Gauge& g_hit_ratio = obs::metrics().gauge(
+        "edgerep_online_slo_hit_ratio",
+        "deadline hit ratio of the last online run");
+    g_hit_ratio.set(res.slo.hit_ratio);
+  }
+  push_status(true);
+  return res;
+}
+
+}  // namespace edgerep

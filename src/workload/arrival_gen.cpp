@@ -60,12 +60,33 @@ Instance stream_instance(const StreamWorkloadConfig& cfg, std::uint64_t seed) {
   for (std::size_t m = 0; m < cfg.queries; ++m) {
     const auto home =
         static_cast<SiteId>(query_rng.uniform_u64(0, cfg.sites - 1));
-    const auto ds =
-        static_cast<DatasetId>(query_rng.uniform_u64(0, cfg.datasets - 1));
-    const double vol = inst.dataset(ds).volume;
+    if (cfg.max_demands <= 1) {
+      // Special case, drawn in the historical order so every existing
+      // (config, seed) pair keeps its exact instance bit-for-bit.
+      const auto ds =
+          static_cast<DatasetId>(query_rng.uniform_u64(0, cfg.datasets - 1));
+      const double vol = inst.dataset(ds).volume;
+      const double deadline = cfg.deadline_per_gb.sample(query_rng) * vol;
+      inst.add_query(home, cfg.rate.sample(query_rng), deadline,
+                     {DatasetDemand{ds, cfg.selectivity.sample(query_rng)}});
+      continue;
+    }
+    const std::size_t want = query_rng.uniform_u64(1, cfg.max_demands);
+    std::vector<DatasetDemand> demands;
+    demands.reserve(want);
+    double vol = 0.0;
+    for (std::size_t d = 0; d < want; ++d) {
+      const auto ds =
+          static_cast<DatasetId>(query_rng.uniform_u64(0, cfg.datasets - 1));
+      bool dup = false;
+      for (const DatasetDemand& have : demands) dup |= have.dataset == ds;
+      if (dup) continue;  // distinct datasets; duplicates shrink the draw
+      vol += inst.dataset(ds).volume;
+      demands.push_back({ds, cfg.selectivity.sample(query_rng)});
+    }
     const double deadline = cfg.deadline_per_gb.sample(query_rng) * vol;
     inst.add_query(home, cfg.rate.sample(query_rng), deadline,
-                   {DatasetDemand{ds, cfg.selectivity.sample(query_rng)}});
+                   std::move(demands));
   }
   inst.set_max_replicas(cfg.max_replicas);
   inst.finalize();

@@ -48,6 +48,10 @@ struct StreamWorkloadConfig {
   double avg_degree = 8.0;        ///< G(n, p) with p = avg_degree / (n - 1)
   std::size_t queries = 1'000'000;
   std::size_t datasets = 64;
+  /// Demands per query are drawn uniformly from [1, max_demands] (distinct
+  /// datasets).  The default keeps the paper's special case — and the draw
+  /// sequence of every existing seed — untouched.
+  std::size_t max_demands = 1;
   std::size_t max_replicas = 1024;  ///< K; generous so replication is not the
                                     ///< binding constraint at bench scale
 

@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "helpers/fixtures.h"
+#include "sim/event_kernel.h"
 #include "sim/simulator.h"
+#include "util/rng.h"
 
 namespace edgerep {
 namespace {
@@ -128,6 +133,137 @@ TEST(FlowEngine, RejectsBadInputs) {
   EXPECT_THROW(FlowEngine(eq, {0.0}), std::invalid_argument);
   FlowEngine fe(eq, {1.0});
   EXPECT_THROW(fe.start_flow(1.0, {7}, [] {}), std::invalid_argument);
+}
+
+// Randomized workload driver shared by the engine-equivalence tests below:
+// `starts[i]` = (time, size, path).  Returns each flow's completion time.
+struct FlowStart {
+  double time;
+  double size;
+  std::vector<EdgeId> path;
+};
+
+std::vector<FlowStart> random_starts(std::uint64_t seed, std::size_t links,
+                                     std::size_t flows) {
+  Rng rng(seed);
+  std::vector<FlowStart> starts;
+  starts.reserve(flows);
+  double t = 0.0;
+  for (std::size_t i = 0; i < flows; ++i) {
+    t += rng.exponential(2.0);
+    FlowStart fs;
+    fs.time = t;
+    fs.size = rng.uniform(0.1, 4.0);
+    const std::size_t hops = static_cast<std::size_t>(rng.uniform_u64(1, 3));
+    const std::size_t first =
+        static_cast<std::size_t>(rng.uniform_u64(0, links - 1));
+    for (std::size_t h = 0; h < hops; ++h) {
+      fs.path.push_back(static_cast<EdgeId>((first + h) % links));
+    }
+    starts.push_back(std::move(fs));
+  }
+  return starts;
+}
+
+std::vector<double> drive_closure(const std::vector<FlowStart>& starts,
+                                  const std::vector<double>& caps,
+                                  FlowEngine::Recompute mode) {
+  EventQueue eq;
+  FlowEngine fe(eq, caps);
+  fe.set_recompute_mode(mode);
+  std::vector<double> done(starts.size(), -1.0);
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    eq.schedule_at(starts[i].time, [&, i] {
+      fe.start_flow(starts[i].size, starts[i].path,
+                    [&, i] { done[i] = eq.now(); });
+    });
+  }
+  eq.run();
+  return done;
+}
+
+TEST(FlowEngineEquivalence, IncrementalMatchesFullRecomputeBitForBit) {
+  // The incremental engine refills only the changed component; the full
+  // mode refills everything.  Rates are a pure function of component
+  // membership, so every completion instant must agree bit for bit.
+  for (const std::uint64_t seed : {7u, 19u, 140u, 4111u}) {
+    const std::vector<double> caps(12, 1.5);
+    const auto starts = random_starts(seed, caps.size(), 120);
+    const auto inc =
+        drive_closure(starts, caps, FlowEngine::Recompute::kIncremental);
+    const auto full =
+        drive_closure(starts, caps, FlowEngine::Recompute::kFull);
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(inc[i]),
+                std::bit_cast<std::uint64_t>(full[i]))
+          << "flow " << i << " seed " << seed << ": " << inc[i] << " vs "
+          << full[i];
+    }
+  }
+}
+
+TEST(FlowEngineEquivalence, TypedEventsMatchClosureCompletionsBitForBit) {
+  // Same schedule on both event cores: the closure engine fires callbacks,
+  // the typed engine emits kTransferDone events consumed by handle_event.
+  const std::vector<double> caps(8, 2.0);
+  const auto starts = random_starts(77, caps.size(), 80);
+  const auto closure =
+      drive_closure(starts, caps, FlowEngine::Recompute::kIncremental);
+
+  TypedEventQueue q;
+  FlowEngine fe(q, caps);
+  std::vector<double> done(starts.size(), -1.0);
+  // kArrival events stand in for the start schedule (tag = flow index).
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    const std::uint64_t seq =
+        evseq::make(evseq::kArrivalBand, static_cast<std::uint64_t>(i));
+    q.push(SimEvent{starts[i].time, seq, static_cast<std::uint32_t>(i), 0, 0.0,
+                    EvKind::kArrival});
+  }
+  SimEvent ev;
+  while (q.pop(&ev)) {
+    if (ev.kind == EvKind::kArrival) {
+      const std::size_t i = ev.a;
+      fe.start_flow(starts[i].size, starts[i].path,
+                    static_cast<std::uint32_t>(i));
+    } else if (ev.kind == EvKind::kTransferDone) {
+      const std::uint32_t tag = fe.handle_event(ev);
+      if (tag != FlowEngine::kNoFlow) done[tag] = q.now();
+    }
+  }
+  EXPECT_EQ(fe.active_flows(), 0u);
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(done[i]),
+              std::bit_cast<std::uint64_t>(closure[i]))
+        << "flow " << i << ": " << done[i] << " vs " << closure[i];
+  }
+}
+
+TEST(FlowEngineEquivalence, TypedTrivialFlowsDeliverTags) {
+  TypedEventQueue q;
+  FlowEngine fe(q, {1.0});
+  fe.start_flow(0.0, {0}, 5u);   // zero size
+  fe.start_flow(3.0, {}, 6u);    // empty path
+  std::vector<std::uint32_t> tags;
+  SimEvent ev;
+  while (q.pop(&ev)) {
+    const std::uint32_t tag = fe.handle_event(ev);
+    if (tag != FlowEngine::kNoFlow) tags.push_back(tag);
+  }
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0], 5u);
+  EXPECT_EQ(tags[1], 6u);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_EQ(fe.active_flows(), 0u);
+}
+
+TEST(FlowEngineEquivalence, ModeMisuseThrows) {
+  EventQueue eq;
+  FlowEngine closure_fe(eq, {1.0});
+  EXPECT_THROW(closure_fe.start_flow(1.0, {0}, 9u), std::logic_error);
+  TypedEventQueue q;
+  FlowEngine typed_fe(q, {1.0});
+  EXPECT_THROW(typed_fe.start_flow(1.0, {0}, [] {}), std::logic_error);
 }
 
 TEST(SimulatorFlows, UncontendedFlowNoSlowerThanDelayModel) {

@@ -1,0 +1,171 @@
+// The bit-identity contract between the two run_online kernels: for a fixed
+// (instance, config, fault trace), the typed kernel (event_kernel.h) and
+// the closure oracle must produce bit-identical OnlineResult — every
+// outcome double, every replica list, every SLO percentile.  Randomized
+// over instances, arrival models, fault scenarios, proactive seeding, and
+// the reactive/repair toggles.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "core/appro.h"
+#include "helpers/fixtures.h"
+#include "sim/online.h"
+#include "workload/fault_gen.h"
+
+namespace edgerep {
+namespace {
+
+using testing::medium_instance;
+
+#define EXPECT_BITEQ(x, y)                                   \
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(x),                 \
+            std::bit_cast<std::uint64_t>(y))                 \
+      << #x " differs: " << (x) << " vs " << (y)
+
+void expect_bit_identical(const OnlineResult& a, const OnlineResult& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].query, b.outcomes[i].query);
+    EXPECT_BITEQ(a.outcomes[i].arrival_time, b.outcomes[i].arrival_time);
+    EXPECT_EQ(a.outcomes[i].admitted, b.outcomes[i].admitted) << "query " << i;
+    EXPECT_BITEQ(a.outcomes[i].completion_time, b.outcomes[i].completion_time);
+    EXPECT_EQ(a.outcomes[i].failed_by_fault, b.outcomes[i].failed_by_fault);
+  }
+  EXPECT_EQ(a.admitted_queries, b.admitted_queries);
+  EXPECT_BITEQ(a.admitted_volume, b.admitted_volume);
+  EXPECT_BITEQ(a.throughput, b.throughput);
+  EXPECT_BITEQ(a.peak_utilization, b.peak_utilization);
+  ASSERT_EQ(a.replica_sites.size(), b.replica_sites.size());
+  for (std::size_t n = 0; n < a.replica_sites.size(); ++n) {
+    EXPECT_EQ(a.replica_sites[n], b.replica_sites[n]) << "dataset " << n;
+  }
+  EXPECT_EQ(a.fault_events_applied, b.fault_events_applied);
+  EXPECT_EQ(a.queries_failed_by_fault, b.queries_failed_by_fault);
+  EXPECT_EQ(a.demands_relocated, b.demands_relocated);
+  EXPECT_EQ(a.replicas_lost_to_faults, b.replicas_lost_to_faults);
+  EXPECT_EQ(a.slo.admitted_queries, b.slo.admitted_queries);
+  EXPECT_EQ(a.slo.deadline_hits, b.slo.deadline_hits);
+  EXPECT_BITEQ(a.slo.hit_ratio, b.slo.hit_ratio);
+  EXPECT_BITEQ(a.slo.p50_slack, b.slo.p50_slack);
+  EXPECT_BITEQ(a.slo.p95_slack, b.slo.p95_slack);
+  EXPECT_BITEQ(a.slo.p99_slack, b.slo.p99_slack);
+  ASSERT_EQ(a.slo.per_site.size(), b.slo.per_site.size());
+  for (std::size_t s = 0; s < a.slo.per_site.size(); ++s) {
+    EXPECT_EQ(a.slo.per_site[s].site, b.slo.per_site[s].site);
+    EXPECT_EQ(a.slo.per_site[s].demands, b.slo.per_site[s].demands);
+    EXPECT_EQ(a.slo.per_site[s].deadline_hits,
+              b.slo.per_site[s].deadline_hits);
+    EXPECT_BITEQ(a.slo.per_site[s].p50_slack, b.slo.per_site[s].p50_slack);
+    EXPECT_BITEQ(a.slo.per_site[s].p95_slack, b.slo.per_site[s].p95_slack);
+    EXPECT_BITEQ(a.slo.per_site[s].p99_slack, b.slo.per_site[s].p99_slack);
+  }
+  // The hash must agree with the field-by-field verdict (it is what the CI
+  // cross-kernel smoke compares).
+  EXPECT_EQ(online_result_hash(a), online_result_hash(b));
+}
+
+void run_both_and_compare(const Instance& inst, OnlineConfig cfg,
+                          const ReplicaPlan* plan = nullptr) {
+  cfg.kernel = OnlineKernel::kTyped;
+  const OnlineResult typed = run_online(inst, cfg, plan);
+  cfg.kernel = OnlineKernel::kClosure;
+  const OnlineResult closure = run_online(inst, cfg, plan);
+  EXPECT_EQ(typed.kernel_stats.kernel, OnlineKernel::kTyped);
+  EXPECT_EQ(closure.kernel_stats.kernel, OnlineKernel::kClosure);
+  expect_bit_identical(typed, closure);
+}
+
+FaultTrace stress_trace(const Instance& inst, std::uint64_t seed) {
+  FaultScenarioConfig fc;
+  fc.horizon = 40.0;
+  fc.site_crashes = 2;
+  fc.link_failures = 2;
+  fc.capacity_losses = 2;
+  fc.mean_repair_time = 8.0;
+  fc.cloudlets_only = false;  // let data centers crash too
+  return generate_fault_trace(inst, fc, seed);
+}
+
+class OnlineKernelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(OnlineKernelEquivalence, FaultFreePoisson) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Instance inst = medium_instance(seed, /*f_max=*/4);
+  OnlineConfig cfg;
+  cfg.seed = 0xBEEF + seed;
+  run_both_and_compare(inst, cfg);
+}
+
+TEST_P(OnlineKernelEquivalence, FaultsWithRepair) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Instance inst = medium_instance(seed, /*f_max=*/4);
+  OnlineConfig cfg;
+  cfg.arrival_rate = 4.0;  // dense horizon: faults land mid-flight
+  cfg.faults = stress_trace(inst, seed * 977 + 5);
+  run_both_and_compare(inst, cfg);
+}
+
+TEST_P(OnlineKernelEquivalence, FaultsWithoutRepair) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Instance inst = medium_instance(seed, /*f_max=*/3);
+  OnlineConfig cfg;
+  cfg.arrival_rate = 4.0;
+  cfg.repair_on_failure = false;
+  cfg.faults = stress_trace(inst, seed * 31 + 1);
+  run_both_and_compare(inst, cfg);
+}
+
+TEST_P(OnlineKernelEquivalence, UniformArrivalsNoReactiveReplicas) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Instance inst = medium_instance(seed, /*f_max=*/3);
+  OnlineConfig cfg;
+  cfg.arrivals = OnlineConfig::Arrivals::kUniform;
+  cfg.arrival_rate = 3.0;
+  cfg.reactive_replicas = false;
+  cfg.faults = stress_trace(inst, seed + 404);
+  run_both_and_compare(inst, cfg);
+}
+
+TEST_P(OnlineKernelEquivalence, ProactiveSeedWithFaults) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Instance inst = medium_instance(seed, /*f_max=*/4);
+  const ApproResult offline = appro_g(inst);
+  OnlineConfig cfg;
+  cfg.arrival_rate = 4.0;
+  cfg.faults = stress_trace(inst, seed * 13 + 7);
+  run_both_and_compare(inst, cfg, &offline.plan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineKernelEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(OnlineKernelEquivalenceEdge, TypedKernelIsDeterministic) {
+  const Instance inst = medium_instance(21, /*f_max=*/4);
+  OnlineConfig cfg;
+  cfg.faults = stress_trace(inst, 99);
+  const std::uint64_t a = online_result_hash(run_online(inst, cfg));
+  const std::uint64_t b = online_result_hash(run_online(inst, cfg));
+  EXPECT_EQ(a, b);
+}
+
+TEST(OnlineKernelEquivalenceEdge, HashDetectsOutcomeDifferences) {
+  const Instance inst = medium_instance(22, /*f_max=*/3);
+  OnlineResult r = run_online(inst);
+  const std::uint64_t before = online_result_hash(r);
+  r.outcomes.front().completion_time += 1e-12;  // one ulp-scale nudge
+  EXPECT_NE(before, online_result_hash(r));
+}
+
+TEST(OnlineKernelEquivalenceEdge, KernelStatsExcludedFromHash) {
+  const Instance inst = medium_instance(23, /*f_max=*/3);
+  OnlineResult r = run_online(inst);
+  const std::uint64_t before = online_result_hash(r);
+  r.kernel_stats.events_processed += 1000;
+  r.kernel_stats.peak_pending_events += 7;
+  EXPECT_EQ(before, online_result_hash(r));
+}
+
+}  // namespace
+}  // namespace edgerep

@@ -107,5 +107,38 @@ TEST(ArrivalGen, StreamInstanceBuildsSmallFinalizedWorkload) {
   EXPECT_EQ(again.site(11).available, inst.site(11).available);
 }
 
+TEST(ArrivalGen, StreamInstanceMultiDemandKnob) {
+  StreamWorkloadConfig cfg;
+  cfg.sites = 40;
+  cfg.queries = 200;
+  cfg.datasets = 8;
+  cfg.max_demands = 3;
+  const Instance inst = stream_instance(cfg, 5);
+  bool saw_multi = false;
+  for (const Query& q : inst.queries()) {
+    ASSERT_GE(q.demands.size(), 1u);
+    ASSERT_LE(q.demands.size(), cfg.max_demands);
+    saw_multi |= q.demands.size() > 1;
+    for (std::size_t i = 0; i < q.demands.size(); ++i) {
+      for (std::size_t j = i + 1; j < q.demands.size(); ++j) {
+        EXPECT_NE(q.demands[i].dataset, q.demands[j].dataset)
+            << "demands must target distinct datasets";
+      }
+    }
+  }
+  EXPECT_TRUE(saw_multi) << "200 queries at max_demands=3 with no multi";
+
+  // Sites and datasets come from independent substreams: turning the knob
+  // must not disturb them.
+  StreamWorkloadConfig base = cfg;
+  base.max_demands = 1;
+  const Instance single = stream_instance(base, 5);
+  EXPECT_EQ(single.site(11).available, inst.site(11).available);
+  EXPECT_EQ(single.dataset(3).volume, inst.dataset(3).volume);
+  for (const Query& q : single.queries()) {
+    ASSERT_EQ(q.demands.size(), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace edgerep

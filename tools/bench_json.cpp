@@ -24,10 +24,17 @@
 // case timed with everything off vs metrics + status board + 100 ms
 // time-series sampler + live HTTP server, as median wall time of a
 // 20-run batch ([--serve-out=BENCH_serve.json] [--serve-reps=9]).
+//
+// BENCH_online.json: the typed event kernel vs the closure oracle at 10k
+// sites (run_ms, events/sec, cross-checked result hashes) plus the typed
+// kernel's 1M- and 10M-query horizon sweeps with peak event-heap sizes —
+// the O(inflight) memory evidence
+// ([--online-out=BENCH_online.json] [--online-reps=3]).
 #include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -509,6 +516,125 @@ double kernel_ns_per_candidate(const KernelArrays& c, bool reference,
   return ns / static_cast<double>(iters * c.site.size());
 }
 
+double timed_online_ms(const Instance& inst, const OnlineConfig& cfg,
+                       OnlineResult* out) {
+  const auto t0 = clock_type::now();
+  *out = run_online(inst, cfg);
+  const auto t1 = clock_type::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+int emit_online(const std::string& out_path, int reps) {
+  // Head-to-head at the 10k-site scale: the spec (closure) kernel pays one
+  // strided delay-table row per candidate site per admission; the typed
+  // kernel's candidate-ordered selection touches the table once per
+  // accepted candidate.  Hashes are cross-checked every rep — this bench
+  // doubles as a large-N equivalence smoke.
+  StreamWorkloadConfig wc10k;
+  wc10k.sites = 10'000;
+  wc10k.queries = 20'000;
+  std::cerr << "online bench: generating 10k-site instance...\n";
+  const Instance inst10k = stream_instance(wc10k, 0x10f5);
+  OnlineConfig cfg;
+  cfg.arrival_rate = 20.0;
+
+  std::vector<double> typed_ms_s, closure_ms_s;
+  OnlineResult typed_res, closure_res;
+  for (int r = 0; r < reps; ++r) {
+    cfg.kernel = OnlineKernel::kTyped;
+    typed_ms_s.push_back(timed_online_ms(inst10k, cfg, &typed_res));
+    cfg.kernel = OnlineKernel::kClosure;
+    closure_ms_s.push_back(timed_online_ms(inst10k, cfg, &closure_res));
+    if (online_result_hash(typed_res) != online_result_hash(closure_res)) {
+      std::cerr << "bench_json: kernel hash mismatch at 10k sites!\n";
+      return 1;
+    }
+  }
+  const double typed_ms = median(std::move(typed_ms_s));
+  const double closure_ms = median(std::move(closure_ms_s));
+  const auto events_per_sec = [](const OnlineResult& r, double ms) {
+    return static_cast<long long>(
+        static_cast<double>(r.kernel_stats.events_processed) / (ms / 1000.0));
+  };
+  const double speedup = closure_ms / typed_ms;
+  std::cerr << "online 10k sites x " << wc10k.queries << ": typed "
+            << typed_ms << " ms, closure " << closure_ms << " ms ("
+            << speedup << "x)\n";
+
+  // Memory-bound horizon sweep, typed kernel only (the closure oracle
+  // pre-schedules every arrival, so its heap is O(queries) by design —
+  // recorded once above via peak_pending_events).
+  struct SweepSpec {
+    const char* name;
+    std::size_t sites;
+    std::size_t queries;
+    double rate;
+  };
+  const SweepSpec sweeps[] = {
+      {"typed_1m", 1'024, 1'000'000, 50.0},
+      {"typed_10m", 256, 10'000'000, 100.0},
+  };
+  std::string sweep_json;
+  for (const SweepSpec& sp : sweeps) {
+    StreamWorkloadConfig swc;
+    swc.sites = sp.sites;
+    swc.queries = sp.queries;
+    std::cerr << "online bench: generating " << sp.name << " instance...\n";
+    const Instance inst = stream_instance(swc, 0x5eed);
+    OnlineConfig scfg;
+    scfg.arrival_rate = sp.rate;
+    OnlineResult r;
+    const double ms = timed_online_ms(inst, scfg, &r);
+    const auto& ks = r.kernel_stats;
+    std::ostringstream os;
+    os << "    {\"case\": \"" << sp.name << "\", \"sites\": " << sp.sites
+       << ", \"queries\": " << sp.queries
+       << ", \"run_ms\": " << round2(ms)
+       << ", \"events_per_sec\": " << events_per_sec(r, ms)
+       << ", \"peak_pending_events\": " << ks.peak_pending_events
+       << ", \"peak_flights\": " << ks.peak_flights
+       << ", \"peak_event_bytes\": " << ks.peak_event_bytes << "},\n";
+    sweep_json += os.str();
+    std::cerr << sp.name << ": " << ms << " ms, "
+              << events_per_sec(r, ms) << " events/s, peak pending "
+              << ks.peak_pending_events << " events ("
+              << ks.peak_event_bytes << " B) for " << sp.queries
+              << " queries\n";
+  }
+  if (!sweep_json.empty()) {
+    sweep_json.erase(sweep_json.size() - 2, 1);  // drop trailing comma
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_json: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"online_event_kernel\",\n"
+      << "  \"metric\": \"median_run_ms\",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"cases\": [\n"
+      << "    {\"case\": \"closure_10k\", \"sites\": " << wc10k.sites
+      << ", \"queries\": " << wc10k.queries
+      << ", \"run_ms\": " << round2(closure_ms)
+      << ", \"events_per_sec\": " << events_per_sec(closure_res, closure_ms)
+      << ", \"peak_pending_events\": "
+      << closure_res.kernel_stats.peak_pending_events << "},\n"
+      << "    {\"case\": \"typed_10k\", \"sites\": " << wc10k.sites
+      << ", \"queries\": " << wc10k.queries
+      << ", \"run_ms\": " << round2(typed_ms)
+      << ", \"events_per_sec\": " << events_per_sec(typed_res, typed_ms)
+      << ", \"peak_pending_events\": "
+      << typed_res.kernel_stats.peak_pending_events
+      << ", \"peak_flights\": " << typed_res.kernel_stats.peak_flights
+      << ", \"speedup_vs_closure\": " << round2(speedup) << "},\n"
+      << sweep_json
+      << "  ]\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
 int emit_throughput(const std::string& out_path, int reps) {
   std::ofstream out(out_path);
   if (!out) {
@@ -637,16 +763,39 @@ int run(int argc, char** argv) {
       std::max(1, static_cast<int>(args.get_int("throughput-reps", 1)));
   const std::string throughput_path =
       args.get("throughput-out", "BENCH_throughput.json");
+  // Head-to-head reps for the 10k-site kernel comparison; the 1M/10M
+  // horizon sweeps always run once (each averages over >=1M admissions).
+  const int online_reps =
+      std::max(1, static_cast<int>(args.get_int("online-reps", 3)));
+  const std::string online_path =
+      args.get("online-out", "BENCH_online.json");
 
-  int rc = emit_appro(out_path, reps);
-  if (rc != 0) return rc;
-  rc = emit_substrate(substrate_path, substrate_reps);
-  if (rc != 0) return rc;
-  rc = emit_repair(repair_path, repair_reps);
-  if (rc != 0) return rc;
-  rc = emit_serve(serve_path, serve_reps);
-  if (rc != 0) return rc;
-  return emit_throughput(throughput_path, throughput_reps);
+  // `--only SECTION` regenerates a single anchor after a targeted change
+  // (appro | substrate | repair | serve | throughput | online).
+  const std::string only = args.get("only", "");
+  const auto wants = [&only](const char* section) {
+    return only.empty() || only == section;
+  };
+  int rc = 0;
+  if (wants("appro") && (rc = emit_appro(out_path, reps)) != 0) return rc;
+  if (wants("substrate") &&
+      (rc = emit_substrate(substrate_path, substrate_reps)) != 0) {
+    return rc;
+  }
+  if (wants("repair") && (rc = emit_repair(repair_path, repair_reps)) != 0) {
+    return rc;
+  }
+  if (wants("serve") && (rc = emit_serve(serve_path, serve_reps)) != 0) {
+    return rc;
+  }
+  if (wants("throughput") &&
+      (rc = emit_throughput(throughput_path, throughput_reps)) != 0) {
+    return rc;
+  }
+  if (wants("online") && (rc = emit_online(online_path, online_reps)) != 0) {
+    return rc;
+  }
+  return 0;
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include <chrono>
 #include <fstream>
 #include <functional>
+#include <iomanip>
 #include <iostream>
 #include <limits>
 #include <sstream>
@@ -51,6 +52,10 @@ int usage() {
       "           [--growth G] [--trials N] [--seed S]\n"
       "  online   --instance FILE [--plan FILE] [--arrival-rate R]\n"
       "           [--no-reactive] [--seed S] [--faults FILE] [--no-repair]\n"
+      "           [--kernel typed|closure]\n"
+      "           [--gen-sites N] [--gen-queries N] [--gen-max-demands F]\n"
+      "           [--gen-seed S]  (generate a stream-workload instance\n"
+      "           in-process instead of --instance)\n"
       "           [--serve PORT] [--sample-interval MS] [--serve-linger SEC]\n"
       "           [--timeseries-out FILE]\n"
       "           --serve starts an embedded HTTP server on 127.0.0.1:PORT\n"
@@ -365,12 +370,32 @@ void add_online_routes(obs::HttpServer& server, OnlineStatusBoard& board,
 }
 
 int cmd_online(const Args& args) {
-  const Instance inst = load_instance(args);
+  // `--gen-sites N --gen-queries M` sidesteps the instance file and runs on
+  // a deterministic stream-workload instance — the large-N smoke path (an
+  // on-disk 1M-query instance would be hundreds of MB).
+  Instance inst = [&args] {
+    if (!args.has("gen-sites") && !args.has("gen-queries")) {
+      return load_instance(args);
+    }
+    StreamWorkloadConfig wc;
+    wc.sites = static_cast<std::size_t>(args.get_int("gen-sites", 1024));
+    wc.queries =
+        static_cast<std::size_t>(args.get_int("gen-queries", 100'000));
+    wc.max_demands =
+        static_cast<std::size_t>(args.get_int("gen-max-demands", 1));
+    return stream_instance(wc, args.get_seed("gen-seed", 0x5eed));
+  }();
   OnlineConfig cfg;
   cfg.arrival_rate = args.get_double("arrival-rate", 2.0);
   cfg.seed = args.get_seed("seed", 0x0a11);
   cfg.reactive_replicas = !args.get_bool("no-reactive", false);
   cfg.repair_on_failure = !args.get_bool("no-repair", false);
+  const std::string kernel = args.get("kernel", "typed");
+  if (kernel == "closure") {
+    cfg.kernel = OnlineKernel::kClosure;
+  } else if (kernel != "typed") {
+    throw std::runtime_error("--kernel must be typed or closure");
+  }
   if (args.has("faults")) cfg.faults = load_faults(inst, args);
 
   const bool serve = args.has("serve");
@@ -410,6 +435,15 @@ int cmd_online(const Args& args) {
             << inst.queries().size() << " (throughput " << res.throughput
             << ")\nadmitted volume: " << res.admitted_volume
             << " GB\npeak utilization: " << res.peak_utilization << "\n";
+  std::cout << "kernel: "
+            << (res.kernel_stats.kernel == OnlineKernel::kTyped ? "typed"
+                                                                : "closure")
+            << ", events: " << res.kernel_stats.events_processed
+            << ", peak pending: " << res.kernel_stats.peak_pending_events
+            << ", peak flights: " << res.kernel_stats.peak_flights << "\n";
+  std::cout << "result hash: " << std::hex << std::setw(16)
+            << std::setfill('0') << online_result_hash(res) << std::dec
+            << std::setfill(' ') << "\n";
   if (!cfg.faults.empty()) {
     std::cout << "faults applied: " << res.fault_events_applied
               << ", queries failed by fault: " << res.queries_failed_by_fault
