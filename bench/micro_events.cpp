@@ -30,9 +30,12 @@ std::vector<double> event_times(std::size_t n) {
 void BM_TypedQueuePushPop(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::vector<double> times = event_times(n);
-  TypedEventQueue q;
-  q.reserve(n);
   for (auto _ : state) {
+    // Fresh queue per iteration: draining resets now() to ~1000, so reusing
+    // the queue would push times below now() (precondition violation) — and
+    // the closure bench below pays the same per-iteration construction.
+    TypedEventQueue q;
+    q.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       SimEvent ev{};
       ev.time = times[i];

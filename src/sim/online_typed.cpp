@@ -463,18 +463,26 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
     }
   };
 
+  // Scratch for on_capacity_loss: the struck site's handle list as of the
+  // fault instant.
+  std::vector<FlightHandle> shed_buf;
   auto on_capacity_loss = [&](SiteId s) {
     const double eff = faults.available(s);
     if (sites[s].in_use <= eff + 1e-9) return;
     // Shed the most recently admitted work first, relocating each displaced
     // flight before considering the next — a relocation may legitimately
-    // re-seat on this same (degraded) site.  Index-based over the size at
-    // entry: relocations append, and appended flights fit the reduced
-    // availability by construction.
-    auto& here = site_flights[s];
-    for (std::size_t i = here.size(); i > 0; --i) {
+    // re-seat on this same (degraded) site, which appends to site_flights[s]
+    // and can trigger compact_site mid-shed.  Walk a snapshot of the handles
+    // present at entry so the live vector is free to grow and compact
+    // underneath us.  Re-seated flights carry fresh generations (their
+    // snapshot handles dereference to null) and fit the reduced availability
+    // by construction, so they are never shed; compaction earlier in the run
+    // only dropped stale handles, so the snapshot's back-to-front walk is
+    // the closure kernel's grow-only-list order among live flights.
+    shed_buf.assign(site_flights[s].begin(), site_flights[s].end());
+    for (std::size_t i = shed_buf.size(); i > 0; --i) {
       if (sites[s].in_use <= eff + 1e-9) break;
-      const FlightHandle h = here[i - 1];
+      const FlightHandle h = shed_buf[i - 1];
       const Flight* f = slab.get(h);
       if (f == nullptr) continue;
       const QueryId m = f->query;

@@ -12,6 +12,7 @@
 #include "core/appro.h"
 #include "helpers/fixtures.h"
 #include "sim/online.h"
+#include "workload/arrival_gen.h"
 #include "workload/fault_gen.h"
 
 namespace edgerep {
@@ -140,6 +141,52 @@ TEST_P(OnlineKernelEquivalence, ProactiveSeedWithFaults) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OnlineKernelEquivalence,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// The typed kernel compacts a site's handle list once it holds > 64 entries
+// with more stale than live — a threshold the medium instances above never
+// cross.  Drive heavy churn through a handful of sites (hundreds of
+// launches and completions each), then strike them with repeated capacity
+// losses so the shed path runs while relocations re-seat onto (and compact)
+// the very lists being walked.  Guards the compaction × capacity-loss
+// interaction the randomized suite cannot reach.
+TEST(OnlineKernelEquivalenceEdge, CompactionChurnWithCapacityLoss) {
+  StreamWorkloadConfig wc;
+  wc.sites = 4;
+  wc.queries = 3000;
+  wc.datasets = 8;
+  wc.proc_delay = {0.1, 0.3};  // seconds-long flights: deep per-site lists
+  const Instance inst = stream_instance(wc, 0xc0de);
+  OnlineConfig cfg;
+  cfg.arrival_rate = 150.0;
+  cfg.seed = 0xfeed;
+  FaultTrace trace;
+  auto loss = [&trace](double t, SiteId s, double frac) {
+    FaultEvent e;
+    e.time = t;
+    e.kind = FaultKind::kCapacityLoss;
+    e.site = s;
+    e.fraction = frac;
+    trace.events.push_back(e);
+  };
+  auto restore = [&trace](double t, SiteId s) {
+    FaultEvent e;
+    e.time = t;
+    e.kind = FaultKind::kCapacityRestore;
+    e.site = s;
+    trace.events.push_back(e);
+  };
+  // Four loss/restore rounds across every site: each round sheds into an
+  // already-degraded neighborhood, so displaced flights re-seat wherever
+  // fill is lowest — including the struck site itself.
+  for (int round = 0; round < 4; ++round) {
+    const double base = 4.0 + 4.0 * round;
+    for (SiteId s = 0; s < 4; ++s) loss(base + 0.1 * s, s, 0.75);
+    for (SiteId s = 0; s < 4; ++s) restore(base + 2.0 + 0.1 * s, s);
+  }
+  validate_fault_trace(inst, trace);
+  cfg.faults = trace;
+  run_both_and_compare(inst, cfg);
+}
 
 TEST(OnlineKernelEquivalenceEdge, TypedKernelIsDeterministic) {
   const Instance inst = medium_instance(21, /*f_max=*/4);

@@ -17,6 +17,7 @@
 //   edgerep_cli validate --instance inst.txt --plan plan.txt
 //   edgerep_cli simulate --instance inst.txt --plan plan.txt --discipline ps
 //   edgerep_cli analyze --instance inst.txt --plan plan.txt --failure-prob 0.1
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -56,6 +57,8 @@ int usage() {
       "           [--gen-sites N] [--gen-queries N] [--gen-max-demands F]\n"
       "           [--gen-seed S]  (generate a stream-workload instance\n"
       "           in-process instead of --instance)\n"
+      "           [--gen-faults N] [--gen-fault-seed S]  (draw N crashes +\n"
+      "           N capacity losses over the arrival horizon in-process)\n"
       "           [--serve PORT] [--sample-interval MS] [--serve-linger SEC]\n"
       "           [--timeseries-out FILE]\n"
       "           --serve starts an embedded HTTP server on 127.0.0.1:PORT\n"
@@ -397,6 +400,25 @@ int cmd_online(const Args& args) {
     throw std::runtime_error("--kernel must be typed or closure");
   }
   if (args.has("faults")) cfg.faults = load_faults(inst, args);
+  // `--gen-faults N` draws N site crashes + N capacity losses (with repair)
+  // over the arrival horizon in-process — how the large-N cross-kernel
+  // smoke reaches the fault, shed, and relocation paths on a generated
+  // instance that has no trace file.
+  if (args.has("gen-faults")) {
+    if (args.has("faults")) {
+      throw std::runtime_error("--gen-faults conflicts with --faults");
+    }
+    const auto n = static_cast<std::size_t>(args.get_int("gen-faults", 4));
+    FaultScenarioConfig fc;
+    fc.horizon = 0.8 * static_cast<double>(inst.queries().size()) /
+                 std::max(cfg.arrival_rate, 1e-9);
+    fc.site_crashes = n;
+    fc.capacity_losses = n;
+    fc.mean_repair_time = fc.horizon / 8.0;
+    fc.cloudlets_only = false;
+    cfg.faults =
+        generate_fault_trace(inst, fc, args.get_seed("gen-fault-seed", 0xfa11));
+  }
 
   const bool serve = args.has("serve");
   const std::string ts_out = args.get("timeseries-out", "");
