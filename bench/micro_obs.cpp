@@ -97,6 +97,62 @@ void BM_CounterIncParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_CounterIncParallel);
 
+obs::JournalRecord flight_record() {
+  obs::JournalRecord r;
+  r.time = 1.25;
+  r.v0 = 3.5;
+  r.v1 = 0.5;
+  r.a = 7;
+  r.b = 11;
+  r.site = 3;
+  r.kind = static_cast<std::uint8_t>(obs::RecordKind::kTransferStart);
+  r.arg = 1;
+  return r;
+}
+
+/// Cost of the recorder gate with the facet off: one relaxed load and an
+/// untaken branch — the shape every kernel append site compiles to.
+void BM_RecorderAppendDisabled(benchmark::State& state) {
+  obs::set_recorder_enabled(false);
+  const obs::JournalRecord r = flight_record();
+  for (auto _ : state) {
+    if (obs::recorder_enabled()) obs::recorder().append(r);
+    benchmark::DoNotOptimize(&obs::recorder());
+  }
+  obs::init_from_env();
+}
+BENCHMARK(BM_RecorderAppendDisabled);
+
+/// Full-mode append throughput: a 40-byte store into a growing arena.  The
+/// journal is cleared every 1M records to bound memory; the clear (and the
+/// geometric regrowth it forces) is amortized into the reported rate.
+void BM_RecorderAppendFull(benchmark::State& state) {
+  obs::Recorder rec;
+  const obs::JournalRecord r = flight_record();
+  for (auto _ : state) {
+    rec.append(r);
+    if (rec.size() == (1u << 20)) rec.clear();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sizeof(r)));
+  state.counters["records/sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RecorderAppendFull);
+
+/// Ring-mode steady-state overwrite: zero allocation once the ring is warm.
+void BM_RecorderAppendRing(benchmark::State& state) {
+  obs::Recorder rec;
+  rec.configure(obs::RecorderMode::kRing, 1u << 16);
+  const obs::JournalRecord r = flight_record();
+  for (auto _ : state) rec.append(r);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sizeof(r)));
+  state.counters["records/sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RecorderAppendRing);
+
 }  // namespace
 }  // namespace edgerep
 

@@ -7,6 +7,7 @@
 #include "cloud/delay.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 
@@ -222,6 +223,11 @@ RepairStats RepairEngine::repair(ReplicaPlan& plan, DualState& duals,
   std::vector<obs::AuditEntry> audit_entries;
   std::vector<obs::AuditEntry>* audit =
       obs::audit_enabled() ? &audit_entries : nullptr;
+  // Flight-recorder facet: the batch repair engine has no simulation clock,
+  // so its evict / re-admit records carry time 0 — the journal still names
+  // every displaced (query, demand, site) and where it was re-seated.
+  const bool rec_on = obs::recorder_enabled();
+  obs::Recorder* const rec = rec_on ? &obs::recorder() : nullptr;
   std::vector<QueryId> displaced;
   std::vector<char> evicted(inst.queries().size(), 0);
   const std::size_t replicas_before = plan.total_replicas();
@@ -244,6 +250,16 @@ RepairStats RepairEngine::repair(ReplicaPlan& plan, DualState& duals,
         e.admitted = false;
         e.reason = obs::AuditReason::kFaultEvicted;
         e.site = *site;  // where it ran before the fault (forensics)
+      }
+      if (rec_on) {
+        obs::JournalRecord r;
+        r.a = q.id;
+        r.b = dd.dataset;
+        r.site = *site;
+        r.kind = static_cast<std::uint8_t>(obs::RecordKind::kShed);
+        r.arg = static_cast<std::uint8_t>(di);
+        r.flags = 2;  // repair eviction (vs. online site-down / capacity)
+        rec->append(r);
       }
       plan.unassign(q.id, dd.dataset);
     }
@@ -355,6 +371,20 @@ RepairStats RepairEngine::repair(ReplicaPlan& plan, DualState& duals,
                         audit)) {
         ++stats.queries_readmitted;
         stats.readmitted_volume += inst.demanded_volume(m);
+        if (rec_on) {
+          for (std::size_t di = 0; di < q.demands.size(); ++di) {
+            const auto site = plan.assignment(q.id, q.demands[di].dataset);
+            if (!site) continue;
+            obs::JournalRecord r;
+            r.a = q.id;
+            r.b = q.demands[di].dataset;
+            r.site = *site;
+            r.kind = static_cast<std::uint8_t>(obs::RecordKind::kRelocate);
+            r.arg = static_cast<std::uint8_t>(di);
+            r.flags = inst.site(*site).is_data_center() ? 1 : 0;
+            rec->append(r);
+          }
+        }
       }
     }
     stats.queries_lost = stats.queries_evicted >= stats.queries_readmitted

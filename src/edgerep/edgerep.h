@@ -48,6 +48,8 @@
 #include "obs/http_server.h"            // IWYU pragma: export
 #include "obs/metrics.h"                // IWYU pragma: export
 #include "obs/obs.h"                    // IWYU pragma: export
+#include "obs/postmortem.h"             // IWYU pragma: export
+#include "obs/recorder.h"               // IWYU pragma: export
 #include "obs/timeseries.h"             // IWYU pragma: export
 #include "obs/trace.h"                  // IWYU pragma: export
 #include "part/partitioner.h"           // IWYU pragma: export

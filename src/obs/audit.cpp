@@ -21,6 +21,8 @@ const char* to_string(AuditReason r) noexcept {
       return "atomic_rollback";
     case AuditReason::kFaultEvicted:
       return "fault_evicted";
+    case AuditReason::kReconcileConflict:
+      return "reconcile_conflict";
   }
   return "?";
 }

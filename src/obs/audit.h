@@ -39,8 +39,12 @@ enum class AuditReason : std::uint8_t {
   /// was lost to an injected fault; recorded by the repair engine when it
   /// evicts the assignment (core/repair.cpp).
   kFaultEvicted,
+  /// A shard's phase-1 intent lost the serial reconciliation race — another
+  /// shard committed the capacity or replica budget first — and the query
+  /// was re-queued into a later epoch (stream/stream_engine.cpp).
+  kReconcileConflict,
 };
-inline constexpr std::size_t kAuditReasonCount = 6;
+inline constexpr std::size_t kAuditReasonCount = 7;
 
 [[nodiscard]] const char* to_string(AuditReason r) noexcept;
 

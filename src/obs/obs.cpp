@@ -10,6 +10,7 @@ namespace detail {
 std::atomic<bool> g_metrics_on{false};
 std::atomic<bool> g_trace_on{false};
 std::atomic<bool> g_audit_on{false};
+std::atomic<bool> g_recorder_on{false};
 
 namespace {
 
@@ -37,13 +38,19 @@ void set_trace_enabled(bool on) noexcept {
 void set_audit_enabled(bool on) noexcept {
   detail::g_audit_on.store(on, std::memory_order_relaxed);
 }
+void set_recorder_enabled(bool on) noexcept {
+  detail::g_recorder_on.store(on, std::memory_order_relaxed);
+}
 void set_all_enabled(bool on) noexcept {
   set_metrics_enabled(on);
   set_trace_enabled(on);
   set_audit_enabled(on);
 }
 
-void init_from_env() { set_all_enabled(detail::env_default()); }
+void init_from_env() {
+  set_all_enabled(detail::env_default());
+  detail::recorder_apply_env();
+}
 
 std::uint64_t now_ns() noexcept {
   static const std::chrono::steady_clock::time_point t0 =

@@ -1,0 +1,607 @@
+#include "obs/postmortem.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+#include "obs/audit.h"
+#include "obs/metrics.h"
+
+namespace edgerep::obs {
+
+namespace {
+
+// Mirror of util/stats.h percentile_sorted — the obs layer sits below util
+// and cannot link it; bitwise agreement with the simulator's rollup is
+// pinned by tests/obs/postmortem_test.cpp.
+double percentile_sorted_mirror(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double slack_percentile_mirror(std::vector<double>& xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return percentile_sorted_mirror(xs, p);
+}
+
+constexpr double kSlackTolerance = -1e-9;  // mirrors finalize_online_result
+
+struct DemandState {
+  bool seen = false;
+  std::uint32_t site = kNoSite;
+  double completion = 0.0;  ///< latest flight's start + total delay
+};
+
+struct QueryState {
+  bool arrived = false;
+  bool rejected = false;
+  bool failed = false;
+  bool has_flight = false;
+  std::uint8_t reject_reason = 0;
+  std::uint32_t n_demands = 0;
+  std::uint32_t relocations = 0;
+  std::uint32_t sheds = 0;
+  double arrival = 0.0;
+  double deadline = 0.0;
+  /// Running max over every flight record's completion — the same
+  /// max-accumulate the kernels apply (admission response, then each
+  /// relocation), so it is bit-identical to OnlineOutcome::completion_time.
+  double completion = 0.0;
+  // Critical flight: the record that set the running max.
+  std::uint32_t crit_demand = 0;
+  std::uint32_t crit_site = kNoSite;
+  std::uint32_t crit_dataset = 0;
+  bool crit_on_dc = false;
+  double crit_start = 0.0;
+  double crit_total = 0.0;
+  double crit_proc = 0.0;
+  std::size_t demand_off = 0;
+};
+
+struct BucketAccum {
+  std::size_t breaches = 0;
+  std::size_t served = 0;
+  double worst_slack = 0.0;
+  double total_overrun = 0.0;
+};
+
+std::vector<BreachBucket> flatten_buckets(
+    const std::map<std::uint32_t, BucketAccum>& accum) {
+  std::vector<BreachBucket> out;
+  out.reserve(accum.size());
+  for (const auto& [key, acc] : accum) {
+    BreachBucket b;
+    b.key = key;
+    b.breaches = acc.breaches;
+    b.served = acc.served;
+    b.worst_slack = acc.worst_slack;
+    b.total_overrun = acc.total_overrun;
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace
+
+PostmortemReport analyze_journal(const Journal& journal) {
+  PostmortemReport report;
+  report.rejects_by_reason.assign(kAuditReasonCount, 0);
+
+  std::vector<QueryState> queries;
+  std::vector<DemandState> demands;
+  std::uint32_t max_site = 0;
+  bool any_site = false;
+
+  auto query_at = [&queries](std::uint32_t id) -> QueryState& {
+    if (id >= queries.size()) queries.resize(id + 1);
+    return queries[id];
+  };
+
+  for (const JournalRecord& rec : journal.records) {
+    switch (static_cast<RecordKind>(rec.kind)) {
+      case RecordKind::kArrival: {
+        QueryState& qs = query_at(rec.a);
+        qs.arrived = true;
+        qs.arrival = rec.time;
+        qs.deadline = rec.v0;
+        qs.n_demands = rec.b;
+        qs.demand_off = demands.size();
+        demands.resize(demands.size() + rec.b);
+        ++report.arrivals;
+        break;
+      }
+      case RecordKind::kTransferStart:
+      case RecordKind::kRelocate: {
+        QueryState& qs = query_at(rec.a);
+        if (!qs.arrived || rec.arg >= qs.n_demands) break;  // ring orphan
+        if (static_cast<RecordKind>(rec.kind) == RecordKind::kRelocate) {
+          ++qs.relocations;
+          ++report.relocations;
+        }
+        DemandState& ds = demands[qs.demand_off + rec.arg];
+        ds.seen = true;
+        ds.site = rec.site;
+        ds.completion = rec.time + rec.v0;
+        if (rec.site != kNoSite) {
+          max_site = std::max(max_site, rec.site);
+          any_site = true;
+        }
+        if (!qs.has_flight || ds.completion > qs.completion) {
+          qs.completion = ds.completion;
+          qs.crit_demand = rec.arg;
+          qs.crit_site = rec.site;
+          qs.crit_dataset = rec.b;
+          qs.crit_on_dc = (rec.flags & 1u) != 0;
+          qs.crit_start = rec.time;
+          qs.crit_total = rec.v0;
+          qs.crit_proc = rec.v1;
+        }
+        qs.has_flight = true;
+        break;
+      }
+      case RecordKind::kComputeDone:
+        break;
+      case RecordKind::kReject: {
+        QueryState& qs = query_at(rec.a);
+        qs.rejected = true;
+        qs.reject_reason = rec.arg;
+        if (rec.arg < report.rejects_by_reason.size()) {
+          ++report.rejects_by_reason[rec.arg];
+        }
+        ++report.rejected;
+        break;
+      }
+      case RecordKind::kShed: {
+        QueryState& qs = query_at(rec.a);
+        ++qs.sheds;
+        ++report.sheds;
+        break;
+      }
+      case RecordKind::kFail: {
+        QueryState& qs = query_at(rec.a);
+        if (!qs.failed) {
+          qs.failed = true;
+          ++report.failed_by_fault;
+        }
+        break;
+      }
+      case RecordKind::kFaultApply:
+        ++report.fault_events;
+        break;
+      case RecordKind::kEpochBegin: {
+        EpochStats es;
+        es.epoch = rec.b;
+        es.batch = rec.a;
+        es.window_end = rec.v0;
+        report.epochs.push_back(es);
+        break;
+      }
+      case RecordKind::kIntent:
+        ++report.stream_intents;
+        if (!report.epochs.empty()) ++report.epochs.back().intents;
+        break;
+      case RecordKind::kCommit:
+        ++report.stream_commits;
+        if (!report.epochs.empty()) ++report.epochs.back().commits;
+        break;
+      case RecordKind::kConflict:
+        ++report.stream_conflicts;
+        if (!report.epochs.empty()) ++report.epochs.back().conflicts;
+        break;
+      case RecordKind::kRequeue:
+        ++report.stream_requeues;
+        if (!report.epochs.empty()) ++report.epochs.back().requeues;
+        break;
+      case RecordKind::kStreamReject:
+        ++report.stream_rejects;
+        if (!report.epochs.empty()) ++report.epochs.back().rejects;
+        break;
+    }
+  }
+
+  // SLO rollup — the exact fold finalize_online_result applies, replayed
+  // from the journal's doubles.
+  std::vector<double> query_slacks;
+  std::vector<std::vector<double>> site_slacks(any_site ? max_site + 1 : 0);
+  std::vector<std::size_t> site_hits(site_slacks.size(), 0);
+  report.timelines.reserve(report.arrivals);
+
+  std::map<std::uint32_t, BucketAccum> by_site;
+  std::map<std::uint32_t, BucketAccum> by_dataset;
+  std::map<std::uint32_t, BucketAccum> by_role;
+
+  for (std::uint32_t id = 0; id < queries.size(); ++id) {
+    const QueryState& qs = queries[id];
+    if (!qs.arrived) continue;
+    const bool admitted =
+        qs.has_flight && !qs.rejected && !qs.failed;
+    QueryTimeline tl;
+    tl.query = id;
+    tl.arrival = qs.arrival;
+    tl.deadline = qs.deadline;
+    tl.completion = qs.completion;
+    tl.n_demands = qs.n_demands;
+    tl.admitted = admitted;
+    tl.rejected = qs.rejected;
+    tl.failed = qs.failed;
+    tl.reject_reason = qs.reject_reason;
+    tl.relocations = qs.relocations;
+    tl.sheds = qs.sheds;
+    if (qs.has_flight) {
+      tl.critical_demand = qs.crit_demand;
+      tl.critical_site = qs.crit_site;
+      tl.critical_dataset = qs.crit_dataset;
+      tl.critical_on_dc = qs.crit_on_dc;
+      tl.compute = qs.crit_proc;
+      tl.transfer = qs.crit_total - qs.crit_proc;
+      tl.wait = (qs.completion - qs.arrival) - qs.crit_total;
+      tl.slack = qs.deadline - (qs.completion - qs.arrival);
+    }
+    if (admitted) {
+      ++report.admitted;
+      query_slacks.push_back(qs.deadline - (qs.completion - qs.arrival));
+      for (std::uint32_t d = 0; d < qs.n_demands; ++d) {
+        const DemandState& ds = demands[qs.demand_off + d];
+        if (!ds.seen || ds.site == kNoSite) continue;
+        const double slack = qs.deadline - (ds.completion - qs.arrival);
+        site_slacks[ds.site].push_back(slack);
+        if (slack >= kSlackTolerance) ++site_hits[ds.site];
+      }
+      const bool breach = tl.slack < kSlackTolerance;
+      for (auto* accum : {&by_site, &by_dataset, &by_role}) {
+        std::uint32_t key = 0;
+        if (accum == &by_site) {
+          key = qs.crit_site;
+        } else if (accum == &by_dataset) {
+          key = qs.crit_dataset;
+        } else {
+          key = qs.crit_on_dc ? 1u : 0u;
+        }
+        BucketAccum& acc = (*accum)[key];
+        ++acc.served;
+        if (breach) {
+          ++acc.breaches;
+          acc.worst_slack = std::min(acc.worst_slack, tl.slack);
+          acc.total_overrun += -tl.slack;
+        }
+      }
+    }
+    report.timelines.push_back(tl);
+  }
+
+  report.slo.admitted_queries = report.admitted;
+  for (const double s : query_slacks) {
+    if (s >= kSlackTolerance) ++report.slo.deadline_hits;
+  }
+  report.slo.hit_ratio =
+      query_slacks.empty()
+          ? 0.0
+          : static_cast<double>(report.slo.deadline_hits) /
+                static_cast<double>(query_slacks.size());
+  report.slo.p50_slack = slack_percentile_mirror(query_slacks, 50.0);
+  report.slo.p95_slack = slack_percentile_mirror(query_slacks, 5.0);
+  report.slo.p99_slack = slack_percentile_mirror(query_slacks, 1.0);
+  for (std::size_t s = 0; s < site_slacks.size(); ++s) {
+    if (site_slacks[s].empty()) continue;
+    PostmortemSiteSlo row;
+    row.site = static_cast<std::uint32_t>(s);
+    row.demands = site_slacks[s].size();
+    row.deadline_hits = site_hits[s];
+    row.p50_slack = slack_percentile_mirror(site_slacks[s], 50.0);
+    row.p95_slack = slack_percentile_mirror(site_slacks[s], 5.0);
+    row.p99_slack = slack_percentile_mirror(site_slacks[s], 1.0);
+    report.slo.per_site.push_back(row);
+  }
+
+  report.by_site = flatten_buckets(by_site);
+  report.by_dataset = flatten_buckets(by_dataset);
+  report.by_role = flatten_buckets(by_role);
+  return report;
+}
+
+namespace {
+
+std::vector<const QueryTimeline*> worst_breaches(
+    const PostmortemReport& report, std::size_t top) {
+  std::vector<const QueryTimeline*> breached;
+  for (const QueryTimeline& tl : report.timelines) {
+    if (tl.admitted && tl.slack < kSlackTolerance) breached.push_back(&tl);
+  }
+  std::sort(breached.begin(), breached.end(),
+            [](const QueryTimeline* a, const QueryTimeline* b) {
+              if (a->slack != b->slack) return a->slack < b->slack;
+              return a->query < b->query;
+            });
+  if (breached.size() > top) breached.resize(top);
+  return breached;
+}
+
+const char* bucket_kind_name(int which) {
+  switch (which) {
+    case 0:
+      return "site";
+    case 1:
+      return "dataset";
+    default:
+      return "role";
+  }
+}
+
+void write_bucket_text(std::ostream& os, const std::vector<BreachBucket>& bs,
+                       int which) {
+  for (const BreachBucket& b : bs) {
+    if (b.breaches == 0) continue;
+    os << "  " << bucket_kind_name(which) << ' ';
+    if (which == 2) {
+      os << (b.key == 1 ? "data_center" : "cloudlet");
+    } else {
+      os << b.key;
+    }
+    os << ": " << b.breaches << " breach(es) / " << b.served
+       << " served, worst slack " << b.worst_slack << " s, overrun "
+       << b.total_overrun << " s\n";
+  }
+}
+
+}  // namespace
+
+void write_report_text(std::ostream& os, const PostmortemReport& report,
+                       std::size_t top_breaches) {
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os << std::setprecision(17);
+  if (report.arrivals > 0 || report.epochs.empty()) {
+    os << "arrivals: " << report.arrivals << "\n"
+       << "admitted: " << report.admitted << "\n"
+       << "rejected: " << report.rejected << "\n"
+       << "failed by fault: " << report.failed_by_fault << "\n"
+       << "fault events: " << report.fault_events << ", sheds: "
+       << report.sheds << ", relocations: " << report.relocations << "\n";
+    os << "slo: hits " << report.slo.deadline_hits << "/"
+       << report.slo.admitted_queries << ", hit ratio "
+       << report.slo.hit_ratio << "\n"
+       << "slack p50/p95/p99: " << report.slo.p50_slack << " "
+       << report.slo.p95_slack << " " << report.slo.p99_slack << "\n";
+    bool any_reason = false;
+    for (std::size_t r = 1; r < report.rejects_by_reason.size(); ++r) {
+      if (report.rejects_by_reason[r] == 0) continue;
+      os << (any_reason ? " " : "rejections by reason: ")
+         << to_string(static_cast<AuditReason>(r)) << "="
+         << report.rejects_by_reason[r];
+      any_reason = true;
+    }
+    if (any_reason) os << "\n";
+    const std::size_t total_breaches =
+        report.slo.admitted_queries - report.slo.deadline_hits;
+    if (total_breaches > 0) {
+      os << "breach attribution (by critical demand):\n";
+      write_bucket_text(os, report.by_site, 0);
+      write_bucket_text(os, report.by_dataset, 1);
+      write_bucket_text(os, report.by_role, 2);
+      const auto worst = worst_breaches(report, top_breaches);
+      if (!worst.empty()) {
+        os << "worst breaches:\n";
+        for (const QueryTimeline* tl : worst) {
+          os << "  query " << tl->query << ": slack " << tl->slack
+             << " s (deadline " << tl->deadline << ", wait " << tl->wait
+             << ", transfer " << tl->transfer << ", compute " << tl->compute
+             << ") site " << tl->critical_site << " dataset "
+             << tl->critical_dataset << " relocations " << tl->relocations
+             << "\n";
+        }
+      }
+    }
+  }
+  if (!report.epochs.empty() || report.stream_intents > 0) {
+    os << "stream: " << report.epochs.size() << " epoch(s), "
+       << report.stream_intents << " intents, " << report.stream_commits
+       << " commits, " << report.stream_conflicts << " conflicts, "
+       << report.stream_requeues << " requeues, " << report.stream_rejects
+       << " rejects\n";
+    for (const EpochStats& es : report.epochs) {
+      os << "  epoch " << es.epoch << ": batch " << es.batch << ", intents "
+         << es.intents << ", commits " << es.commits << ", conflicts "
+         << es.conflicts << ", requeues " << es.requeues << ", rejects "
+         << es.rejects << "\n";
+    }
+  }
+  os.flags(flags);
+  os.precision(precision);
+}
+
+namespace {
+
+void write_bucket_json(std::ostream& os, const std::vector<BreachBucket>& bs,
+                       const char* key_name) {
+  os << "[";
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"" << key_name << "\":" << bs[i].key
+       << ",\"breaches\":" << bs[i].breaches << ",\"served\":" << bs[i].served
+       << ",\"worst_slack\":";
+    write_json_double(os, bs[i].worst_slack);
+    os << ",\"total_overrun\":";
+    write_json_double(os, bs[i].total_overrun);
+    os << "}";
+  }
+  os << "]";
+}
+
+}  // namespace
+
+void write_report_json(std::ostream& os, const PostmortemReport& report,
+                       std::size_t top_breaches) {
+  os << "{\"arrivals\":" << report.arrivals
+     << ",\"admitted\":" << report.admitted
+     << ",\"rejected\":" << report.rejected
+     << ",\"failed_by_fault\":" << report.failed_by_fault
+     << ",\"fault_events\":" << report.fault_events
+     << ",\"sheds\":" << report.sheds
+     << ",\"relocations\":" << report.relocations;
+  os << ",\"rejects_by_reason\":{";
+  bool first = true;
+  for (std::size_t r = 0; r < report.rejects_by_reason.size(); ++r) {
+    if (report.rejects_by_reason[r] == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << to_string(static_cast<AuditReason>(r))
+       << "\":" << report.rejects_by_reason[r];
+  }
+  os << "}";
+  os << ",\"slo\":{\"admitted_queries\":" << report.slo.admitted_queries
+     << ",\"deadline_hits\":" << report.slo.deadline_hits
+     << ",\"hit_ratio\":";
+  write_json_double(os, report.slo.hit_ratio);
+  os << ",\"p50_slack\":";
+  write_json_double(os, report.slo.p50_slack);
+  os << ",\"p95_slack\":";
+  write_json_double(os, report.slo.p95_slack);
+  os << ",\"p99_slack\":";
+  write_json_double(os, report.slo.p99_slack);
+  os << ",\"per_site\":[";
+  for (std::size_t i = 0; i < report.slo.per_site.size(); ++i) {
+    const PostmortemSiteSlo& row = report.slo.per_site[i];
+    if (i > 0) os << ",";
+    os << "{\"site\":" << row.site << ",\"demands\":" << row.demands
+       << ",\"deadline_hits\":" << row.deadline_hits << ",\"p50_slack\":";
+    write_json_double(os, row.p50_slack);
+    os << ",\"p95_slack\":";
+    write_json_double(os, row.p95_slack);
+    os << ",\"p99_slack\":";
+    write_json_double(os, row.p99_slack);
+    os << "}";
+  }
+  os << "]}";
+  os << ",\"breaches\":{\"by_site\":";
+  write_bucket_json(os, report.by_site, "site");
+  os << ",\"by_dataset\":";
+  write_bucket_json(os, report.by_dataset, "dataset");
+  os << ",\"by_role\":";
+  write_bucket_json(os, report.by_role, "role");
+  os << ",\"worst\":[";
+  const auto worst = worst_breaches(report, top_breaches);
+  for (std::size_t i = 0; i < worst.size(); ++i) {
+    const QueryTimeline* tl = worst[i];
+    if (i > 0) os << ",";
+    os << "{\"query\":" << tl->query << ",\"slack\":";
+    write_json_double(os, tl->slack);
+    os << ",\"deadline\":";
+    write_json_double(os, tl->deadline);
+    os << ",\"wait\":";
+    write_json_double(os, tl->wait);
+    os << ",\"transfer\":";
+    write_json_double(os, tl->transfer);
+    os << ",\"compute\":";
+    write_json_double(os, tl->compute);
+    os << ",\"site\":" << tl->critical_site
+       << ",\"dataset\":" << tl->critical_dataset
+       << ",\"relocations\":" << tl->relocations << "}";
+  }
+  os << "]}";
+  os << ",\"stream\":{\"intents\":" << report.stream_intents
+     << ",\"commits\":" << report.stream_commits
+     << ",\"conflicts\":" << report.stream_conflicts
+     << ",\"requeues\":" << report.stream_requeues
+     << ",\"rejects\":" << report.stream_rejects << ",\"epochs\":[";
+  for (std::size_t i = 0; i < report.epochs.size(); ++i) {
+    const EpochStats& es = report.epochs[i];
+    if (i > 0) os << ",";
+    os << "{\"epoch\":" << es.epoch << ",\"window_end\":";
+    write_json_double(os, es.window_end);
+    os << ",\"batch\":" << es.batch << ",\"intents\":" << es.intents
+       << ",\"commits\":" << es.commits << ",\"conflicts\":" << es.conflicts
+       << ",\"requeues\":" << es.requeues << ",\"rejects\":" << es.rejects
+       << "}";
+  }
+  os << "]}}";
+  os << "\n";
+}
+
+JournalDiff diff_journals(const Journal& lhs, const Journal& rhs) {
+  JournalDiff diff;
+  diff.lhs_records = lhs.records.size();
+  diff.rhs_records = rhs.records.size();
+  diff.header_differs = lhs.header.mode != rhs.header.mode ||
+                        lhs.header.appended != rhs.header.appended ||
+                        lhs.header.retained != rhs.header.retained ||
+                        lhs.header.dropped != rhs.header.dropped;
+  const std::size_t common = std::min(lhs.records.size(), rhs.records.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (std::memcmp(&lhs.records[i], &rhs.records[i],
+                    sizeof(JournalRecord)) != 0) {
+      diff.has_divergence = true;
+      diff.first_divergence = i;
+      diff.lhs = lhs.records[i];
+      diff.rhs = rhs.records[i];
+      return diff;
+    }
+  }
+  if (lhs.records.size() != rhs.records.size()) {
+    diff.has_divergence = true;
+    diff.first_divergence = common;
+    if (common < lhs.records.size()) diff.lhs = lhs.records[common];
+    if (common < rhs.records.size()) diff.rhs = rhs.records[common];
+    return diff;
+  }
+  diff.identical = !diff.header_differs;
+  return diff;
+}
+
+namespace {
+
+void write_record_text(std::ostream& os, const JournalRecord& rec) {
+  os << to_string(static_cast<RecordKind>(rec.kind)) << " t=" << rec.time
+     << " a=" << rec.a << " b=" << rec.b << " site=";
+  if (rec.site == kNoSite) {
+    os << "-";
+  } else {
+    os << rec.site;
+  }
+  os << " arg=" << static_cast<unsigned>(rec.arg) << " flags=" << rec.flags
+     << " v0=" << rec.v0 << " v1=" << rec.v1;
+}
+
+}  // namespace
+
+void write_diff_text(std::ostream& os, const JournalDiff& diff) {
+  const auto precision = os.precision();
+  os << std::setprecision(17);
+  if (diff.identical) {
+    os << "journals identical: " << diff.lhs_records << " record(s)\n";
+    os.precision(precision);
+    return;
+  }
+  if (diff.header_differs) {
+    os << "headers differ (" << diff.lhs_records << " vs " << diff.rhs_records
+       << " records)\n";
+  }
+  if (diff.has_divergence) {
+    os << "first divergence at record " << diff.first_divergence << "\n";
+    if (diff.first_divergence < diff.lhs_records) {
+      os << "  lhs: ";
+      write_record_text(os, diff.lhs);
+      os << "\n";
+    } else {
+      os << "  lhs: <end of journal>\n";
+    }
+    if (diff.first_divergence < diff.rhs_records) {
+      os << "  rhs: ";
+      write_record_text(os, diff.rhs);
+      os << "\n";
+    } else {
+      os << "  rhs: <end of journal>\n";
+    }
+  }
+  os.precision(precision);
+}
+
+}  // namespace edgerep::obs

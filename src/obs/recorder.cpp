@@ -1,0 +1,195 @@
+#include "obs/recorder.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "obs/obs.h"
+
+namespace edgerep::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'D', 'G', 'E', 'R', 'E', 'P', 'J'};
+
+}  // namespace
+
+const char* to_string(RecordKind kind) noexcept {
+  switch (kind) {
+    case RecordKind::kArrival:
+      return "arrival";
+    case RecordKind::kTransferStart:
+      return "transfer_start";
+    case RecordKind::kRelocate:
+      return "relocate";
+    case RecordKind::kComputeDone:
+      return "compute_done";
+    case RecordKind::kReject:
+      return "reject";
+    case RecordKind::kShed:
+      return "shed";
+    case RecordKind::kFail:
+      return "fail";
+    case RecordKind::kFaultApply:
+      return "fault_apply";
+    case RecordKind::kEpochBegin:
+      return "epoch_begin";
+    case RecordKind::kIntent:
+      return "intent";
+    case RecordKind::kCommit:
+      return "commit";
+    case RecordKind::kConflict:
+      return "conflict";
+    case RecordKind::kRequeue:
+      return "requeue";
+    case RecordKind::kStreamReject:
+      return "stream_reject";
+  }
+  return "unknown";
+}
+
+void Recorder::configure(RecorderMode mode, std::size_t ring_capacity) {
+  mode_ = mode;
+  buf_.clear();
+  ring_head_ = 0;
+  retained_ = 0;
+  appended_ = 0;
+  dropped_ = 0;
+  if (mode_ == RecorderMode::kRing) {
+    if (ring_capacity == 0) ring_capacity = 1;
+    buf_.resize(ring_capacity);
+  } else {
+    buf_.shrink_to_fit();
+  }
+}
+
+void Recorder::clear() noexcept {
+  if (mode_ == RecorderMode::kFull) buf_.clear();
+  ring_head_ = 0;
+  retained_ = 0;
+  appended_ = 0;
+  dropped_ = 0;
+}
+
+void Recorder::reserve(std::size_t records) {
+  if (mode_ == RecorderMode::kFull) buf_.reserve(records);
+}
+
+std::vector<JournalRecord> Recorder::snapshot() const {
+  std::vector<JournalRecord> out;
+  out.reserve(size());
+  if (mode_ == RecorderMode::kRing && retained_ == buf_.size()) {
+    // Full ring: oldest record sits at the next write position.
+    out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(ring_head_),
+               buf_.end());
+    out.insert(out.end(), buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(ring_head_));
+  } else {
+    out.insert(out.end(), buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(size()));
+  }
+  return out;
+}
+
+void Recorder::write(std::ostream& out) const {
+  JournalHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kJournalVersion;
+  header.record_size = sizeof(JournalRecord);
+  header.appended = total_appended();
+  header.retained = size();
+  header.dropped = dropped();
+  header.mode = static_cast<std::uint8_t>(mode_);
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  auto write_range = [&out](const JournalRecord* first, std::size_t n) {
+    if (n > 0) {
+      out.write(reinterpret_cast<const char*>(first),
+                static_cast<std::streamsize>(n * sizeof(JournalRecord)));
+    }
+  };
+  if (mode_ == RecorderMode::kRing && retained_ == buf_.size()) {
+    write_range(buf_.data() + ring_head_, buf_.size() - ring_head_);
+    write_range(buf_.data(), ring_head_);
+  } else {
+    write_range(buf_.data(), size());
+  }
+}
+
+bool Recorder::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  write(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+Recorder& recorder() {
+  static Recorder instance;
+  return instance;
+}
+
+bool read_journal(std::istream& in, Journal* out, std::string* error) {
+  auto fail = [error](const char* msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  JournalHeader header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in) return fail("journal truncated before header");
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad journal magic");
+  }
+  if (header.version != kJournalVersion) return fail("unknown journal version");
+  if (header.record_size != sizeof(JournalRecord)) {
+    return fail("journal record size mismatch");
+  }
+  out->header = header;
+  out->records.resize(header.retained);
+  if (header.retained > 0) {
+    in.read(reinterpret_cast<char*>(out->records.data()),
+            static_cast<std::streamsize>(header.retained *
+                                         sizeof(JournalRecord)));
+    if (!in) return fail("journal truncated mid-records");
+  }
+  return true;
+}
+
+bool read_journal_file(const std::string& path, Journal* out,
+                       std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  return read_journal(in, out, error);
+}
+
+namespace detail {
+
+// Called from obs::init_from_env(): parse EDGEREP_RECORD and reset the
+// process recorder to the environment default (off, full mode, empty).
+void recorder_apply_env() {
+  const char* v = std::getenv("EDGEREP_RECORD");
+  if (v == nullptr || v[0] == '\0' || (v[0] == '0' && v[1] == '\0')) {
+    set_recorder_enabled(false);
+    recorder().configure(RecorderMode::kFull);
+    return;
+  }
+  if (std::strncmp(v, "ring", 4) == 0) {
+    std::size_t capacity = kDefaultRingCapacity;
+    if (v[4] == ':') {
+      const long parsed = std::strtol(v + 5, nullptr, 10);
+      if (parsed > 0) capacity = static_cast<std::size_t>(parsed);
+    }
+    recorder().configure(RecorderMode::kRing, capacity);
+  } else {
+    recorder().configure(RecorderMode::kFull);
+  }
+  set_recorder_enabled(true);
+}
+
+}  // namespace detail
+
+}  // namespace edgerep::obs

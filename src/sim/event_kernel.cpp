@@ -11,6 +11,8 @@ void TypedEventQueue::push(const SimEvent& ev) {
 
 void TypedEventQueue::post(const SimEvent& ev) {
   ring_.push_back(ev);
+  const std::size_t occupied = ring_.size() - ring_head_;
+  if (occupied > peak_ring_) peak_ring_ = occupied;
   note_size();
 }
 

@@ -151,6 +151,11 @@ class TypedEventQueue {
   [[nodiscard]] std::size_t peak_bytes() const noexcept {
     return peak_bytes_;
   }
+  /// High-water of the immediates ring occupancy — the deepest burst of
+  /// synchronously posted work (e.g. relocations displaced by one crash).
+  [[nodiscard]] std::size_t peak_ring_pending() const noexcept {
+    return peak_ring_;
+  }
 
  private:
   void note_size() noexcept {
@@ -172,6 +177,7 @@ class TypedEventQueue {
   std::size_t popped_ = 0;
   std::size_t peak_pending_ = 0;
   std::size_t peak_bytes_ = 0;
+  std::size_t peak_ring_ = 0;
 };
 
 inline constexpr std::uint32_t kNilSlot = static_cast<std::uint32_t>(-1);
@@ -240,6 +246,12 @@ class FlightSlab {
     return slots_.size();
   }
   [[nodiscard]] std::size_t peak_live() const noexcept { return peak_live_; }
+  /// Flights ever created; with `destroys()` this is the slab's generation
+  /// churn — how much slot recycling the run drove.
+  [[nodiscard]] std::uint64_t births() const noexcept { return births_; }
+  [[nodiscard]] std::uint64_t destroys() const noexcept {
+    return births_ - live_;
+  }
   [[nodiscard]] std::size_t capacity_bytes() const noexcept {
     return slots_.capacity() * sizeof(Flight) +
            free_.capacity() * sizeof(std::uint32_t);

@@ -10,6 +10,7 @@
 #include "cloud/delay.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "sim/event.h"
 #include "sim/online_internal.h"
@@ -213,6 +214,10 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
   const bool metrics_on = obs::metrics_enabled();
   const bool trace_on = obs::trace_enabled();
   const bool audit_on = obs::audit_enabled();
+  // Flight recorder, mirrored append-for-append with the typed kernel so a
+  // fixed config journals byte-identically on either engine.
+  const bool rec_on = obs::recorder_enabled();
+  obs::Recorder* const rec = rec_on ? &obs::recorder() : nullptr;
   OnlineStatusBoard* board = cfg.status_board;
   std::vector<obs::AuditEntry> audit_entries;
 
@@ -390,6 +395,15 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     eq.schedule_in(proc, [&, idx] {
       Inflight& f = flights[idx];
       if (!f.alive) return;
+      if (rec_on) {
+        obs::JournalRecord r;
+        r.time = eq.now();
+        r.a = f.query;
+        r.site = f.site;
+        r.kind = static_cast<std::uint8_t>(obs::RecordKind::kComputeDone);
+        r.arg = static_cast<std::uint8_t>(f.demand);
+        rec->append(r);
+      }
       f.alive = false;
       sites[f.site].in_use -= f.need;
       --inflight_count;
@@ -398,11 +412,36 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     });
   };
 
+  // Journal append for a launched flight (admission or fault relocation).
+  auto record_flight = [&](obs::RecordKind kind, QueryId m,
+                           std::uint32_t demand, SiteId site, DatasetId n,
+                           double total, double proc) {
+    obs::JournalRecord r;
+    r.time = eq.now();
+    r.v0 = total;
+    r.v1 = proc;
+    r.a = m;
+    r.b = n;
+    r.site = site;
+    r.kind = static_cast<std::uint8_t>(kind);
+    r.arg = static_cast<std::uint8_t>(demand);
+    r.flags = inst.site(site).is_data_center() ? 1u : 0u;
+    rec->append(r);
+  };
+
   /// An admitted query lost a demand it could not recover: kill its other
   /// flights (a query only counts when every demand completes) and flip the
   /// outcome.
   auto fail_query = [&](QueryId m) {
     if (res.outcomes[m].failed_by_fault) return;
+    if (rec_on) {
+      obs::JournalRecord r;
+      r.time = eq.now();
+      r.a = m;
+      r.site = obs::kNoSite;
+      r.kind = static_cast<std::uint8_t>(obs::RecordKind::kFail);
+      rec->append(r);
+    }
     for (const std::size_t idx : by_query[m]) kill_flight(idx);
     // Keep the provisional live count honest; the exact count is recomputed
     // from outcomes after eq.run().
@@ -480,13 +519,17 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     if (new_replica) res.replica_sites[dd.dataset].push_back(site);
     const Dataset& ds = inst.dataset(dd.dataset);
     const double total = faults.evaluation_delay(q, dd, site);
-    launch_flight(f.query, f.demand, site, f.need,
-                  ds.volume * inst.site(site).proc_delay, total);
+    const double proc = ds.volume * inst.site(site).proc_delay;
+    launch_flight(f.query, f.demand, site, f.need, proc, total);
     const double completion = eq.now() + total;
     res.outcomes[f.query].completion_time =
         std::max(res.outcomes[f.query].completion_time, completion);
     demand_ends[layout.at(f.query, f.demand)] = {site, completion};
     ++res.demands_relocated;
+    if (rec_on) {
+      record_flight(obs::RecordKind::kRelocate, f.query, f.demand, site,
+                    dd.dataset, total, proc);
+    }
     if (trace_on) {
       instants.push_back({"online.relocate",
                           demand_span_id(f.query, f.demand, 0), eq.now(),
@@ -528,7 +571,20 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     for (const std::size_t idx : by_site[s]) {
       if (flights[idx].alive) displaced.push_back(idx);
     }
-    for (const std::size_t idx : displaced) kill_flight(idx);
+    for (const std::size_t idx : displaced) {
+      if (rec_on) {
+        const Inflight& f = flights[idx];
+        obs::JournalRecord r;
+        r.time = eq.now();
+        r.a = f.query;
+        r.site = s;
+        r.kind = static_cast<std::uint8_t>(obs::RecordKind::kShed);
+        r.arg = static_cast<std::uint8_t>(f.demand);
+        r.flags = 0;  // shed cause: site down
+        rec->append(r);
+      }
+      kill_flight(idx);
+    }
     by_site[s].clear();
     for (const std::size_t idx : displaced) displace(idx);
     // Queries aggregating at the crashed home cannot deliver results.
@@ -553,6 +609,17 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
       if (sites[s].in_use <= eff + 1e-9) break;
       const std::size_t idx = here[i - 1];
       if (!flights[idx].alive) continue;
+      if (rec_on) {
+        const Inflight& f = flights[idx];
+        obs::JournalRecord r;
+        r.time = eq.now();
+        r.a = f.query;
+        r.site = s;
+        r.kind = static_cast<std::uint8_t>(obs::RecordKind::kShed);
+        r.arg = static_cast<std::uint8_t>(f.demand);
+        r.flags = 1;  // shed cause: capacity loss
+        rec->append(r);
+      }
       kill_flight(idx);
       displace(idx);
     }
@@ -624,8 +691,20 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
       audit_entries.push_back(e);
     };
 
+    auto record_reject = [&](std::uint32_t failing, obs::AuditReason why) {
+      obs::JournalRecord r;
+      r.time = eq.now();
+      r.a = q.id;
+      r.b = failing;
+      r.site = obs::kNoSite;
+      r.kind = static_cast<std::uint8_t>(obs::RecordKind::kReject);
+      r.arg = static_cast<std::uint8_t>(why);
+      rec->append(r);
+    };
+
     if (!faults.site_up(q.home)) {  // nowhere to aggregate
       audit_abort(0, obs::AuditReason::kNoDeadlineFeasibleSite);
+      if (rec_on) record_reject(0, obs::AuditReason::kNoDeadlineFeasibleSite);
       return false;
     }
     for (const DatasetDemand& dd : q.demands) {
@@ -654,8 +733,11 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
         }
       }
       if (best.site == kInvalidSite) {
-        audit_abort(static_cast<std::uint32_t>(decisions.size()),
-                    classify_rejection(dd));
+        const obs::AuditReason why = classify_rejection(dd);
+        audit_abort(static_cast<std::uint32_t>(decisions.size()), why);
+        if (rec_on) {
+          record_reject(static_cast<std::uint32_t>(decisions.size()), why);
+        }
         return false;
       }
       best.need = need;
@@ -685,6 +767,11 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
       demand_ends[layout.at(q.id, static_cast<std::uint32_t>(i))] = {
           d.site, eq.now() + d.total_delay};
       response = std::max(response, d.total_delay);
+      if (rec_on) {
+        record_flight(obs::RecordKind::kTransferStart, q.id,
+                      static_cast<std::uint32_t>(i), d.site, n, d.total_delay,
+                      d.proc);
+      }
       if (audit_on) {
         obs::AuditEntry e;
         e.algorithm = "online";
@@ -711,6 +798,16 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     eq.schedule_at(e.time, [&, e] {
       faults.apply(e);
       ++res.fault_events_applied;
+      if (rec_on) {
+        obs::JournalRecord r;
+        r.time = eq.now();
+        r.v0 = e.fraction;
+        r.a = static_cast<std::uint32_t>(e.edge);
+        r.site = static_cast<std::uint32_t>(e.site);
+        r.kind = static_cast<std::uint8_t>(obs::RecordKind::kFaultApply);
+        r.arg = static_cast<std::uint8_t>(e.kind);
+        rec->append(r);
+      }
       switch (e.kind) {
         case FaultKind::kSiteDown:
           on_site_down(e.site);
@@ -743,6 +840,17 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     res.outcomes[m] = OnlineOutcome{m, when, false, 0.0, false};
     eq.schedule_at(when, [&, m] {
       ++arrivals_seen;
+      if (rec_on) {
+        const Query& q = inst.query(m);
+        obs::JournalRecord r;
+        r.time = eq.now();
+        r.v0 = q.deadline;
+        r.a = m;
+        r.b = static_cast<std::uint32_t>(q.demands.size());
+        r.site = obs::kNoSite;
+        r.kind = static_cast<std::uint8_t>(obs::RecordKind::kArrival);
+        rec->append(r);
+      }
       const bool ok = admit(inst.query(m), res.outcomes[m]);
       res.outcomes[m].admitted = ok;
       if (ok) {

@@ -27,6 +27,7 @@
 #include "cloud/delay.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "sim/event_kernel.h"
 #include "sim/online.h"
@@ -62,6 +63,11 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
   const bool metrics_on = obs::metrics_enabled();
   const bool trace_on = obs::trace_enabled();
   const bool audit_on = obs::audit_enabled();
+  // Flight recorder: sampled once like the other facets.  Appends happen at
+  // points mirrored exactly in the closure kernel, so a fixed config yields
+  // a byte-identical journal on either kernel (tests/obs/postmortem_test).
+  const bool rec_on = obs::recorder_enabled();
+  obs::Recorder* const rec = rec_on ? &obs::recorder() : nullptr;
   OnlineStatusBoard* board = cfg.status_board;
   std::vector<obs::AuditEntry> audit_entries;
 
@@ -189,6 +195,30 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
       g_clock.set(queue.now());
       g_util.set(total_available > 0.0 ? in_use_total / total_available
                                        : 0.0);
+      // Typed-kernel internals, refreshed on the same cadence so /metrics
+      // and /timeseries expose the event core's live state during --serve.
+      static obs::Gauge& g_pending = obs::metrics().gauge(
+          "edgerep_kernel_pending_events",
+          "typed kernel: events pending (heap + immediates ring)");
+      static obs::Gauge& g_peak_pending = obs::metrics().gauge(
+          "edgerep_kernel_peak_pending_events",
+          "typed kernel: high-water of pending events");
+      static obs::Gauge& g_live_flights = obs::metrics().gauge(
+          "edgerep_kernel_live_flights", "flight slab: live slots");
+      static obs::Gauge& g_peak_flights = obs::metrics().gauge(
+          "edgerep_kernel_peak_flights", "flight slab: high-water of live slots");
+      static obs::Gauge& g_slab_churn = obs::metrics().gauge(
+          "edgerep_kernel_flight_destroys",
+          "flight slab: generation churn (slots destroyed and recycled)");
+      static obs::Gauge& g_ring_hw = obs::metrics().gauge(
+          "edgerep_kernel_ring_high_water",
+          "typed kernel: immediates-ring occupancy high-water");
+      g_pending.set(static_cast<double>(queue.pending()));
+      g_peak_pending.set(static_cast<double>(queue.peak_pending()));
+      g_live_flights.set(static_cast<double>(slab.live_count()));
+      g_peak_flights.set(static_cast<double>(slab.peak_live()));
+      g_slab_churn.set(static_cast<double>(slab.destroys()));
+      g_ring_hw.set(static_cast<double>(queue.peak_ring_pending()));
     }
     if (board == nullptr) return;
     publish_board(force && arrivals_seen == inst.queries().size());
@@ -249,10 +279,35 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
                        h.gen);
   };
 
+  // Journal append for a launched flight (admission or fault relocation).
+  auto record_flight = [&](obs::RecordKind kind, QueryId m,
+                           std::uint32_t demand, SiteId site, DatasetId n,
+                           double total, double proc) {
+    obs::JournalRecord r;
+    r.time = queue.now();
+    r.v0 = total;
+    r.v1 = proc;
+    r.a = m;
+    r.b = n;
+    r.site = site;
+    r.kind = static_cast<std::uint8_t>(kind);
+    r.arg = static_cast<std::uint8_t>(demand);
+    r.flags = inst.site(site).is_data_center() ? 1u : 0u;
+    rec->append(r);
+  };
+
   // Scratch for fail_query: (birth, handle) of the query's live flights.
   std::vector<std::pair<std::uint64_t, FlightHandle>> kill_buf;
   auto fail_query = [&](QueryId m) {
     if (res.outcomes[m].failed_by_fault) return;
+    if (rec_on) {
+      obs::JournalRecord r;
+      r.time = queue.now();
+      r.a = m;
+      r.site = obs::kNoSite;
+      r.kind = static_cast<std::uint8_t>(obs::RecordKind::kFail);
+      rec->append(r);
+    }
     // Kill in launch order — the order the closure kernel's grow-only
     // per-query index yields — so the load ledger sees the same ± sequence.
     const Query& q = inst.query(m);
@@ -381,13 +436,17 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
     if (new_replica) add_replica(dd.dataset, site);
     const Dataset& ds = inst.dataset(dd.dataset);
     const double total = faults.evaluation_delay(q, dd, site);
-    launch_flight(m, demand, site, need,
-                  ds.volume * inst.site(site).proc_delay, total);
+    const double proc = ds.volume * inst.site(site).proc_delay;
+    launch_flight(m, demand, site, need, proc, total);
     const double completion = queue.now() + total;
     res.outcomes[m].completion_time =
         std::max(res.outcomes[m].completion_time, completion);
     demand_ends[layout.at(m, demand)] = {site, completion};
     ++res.demands_relocated;
+    if (rec_on) {
+      record_flight(obs::RecordKind::kRelocate, m, demand, site, dd.dataset,
+                    total, proc);
+    }
     if (trace_on) {
       instants.push_back({"online.relocate", demand_span_id(m, demand, 0),
                           queue.now(), 0.0});
@@ -438,7 +497,19 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
       const Flight* f = slab.get(h);
       if (f != nullptr) displaced.push_back({f->query, f->demand, f->need, h});
     }
-    for (const Displaced& d : displaced) kill_flight(d.h);
+    for (const Displaced& d : displaced) {
+      if (rec_on) {
+        obs::JournalRecord r;
+        r.time = queue.now();
+        r.a = d.query;
+        r.site = s;
+        r.kind = static_cast<std::uint8_t>(obs::RecordKind::kShed);
+        r.arg = static_cast<std::uint8_t>(d.demand);
+        r.flags = 0;  // shed cause: site down
+        rec->append(r);
+      }
+      kill_flight(d.h);
+    }
     site_flights[s].clear();
     for (const Displaced& d : displaced) {
       queue.post(SimEvent{0.0, 0, d.query, d.demand, d.need,
@@ -488,6 +559,16 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
       const QueryId m = f->query;
       const std::uint32_t demand = f->demand;
       const double need = f->need;
+      if (rec_on) {
+        obs::JournalRecord r;
+        r.time = queue.now();
+        r.a = m;
+        r.site = s;
+        r.kind = static_cast<std::uint8_t>(obs::RecordKind::kShed);
+        r.arg = static_cast<std::uint8_t>(demand);
+        r.flags = 1;  // shed cause: capacity loss
+        rec->append(r);
+      }
       kill_flight(h);
       queue.post(SimEvent{0.0, 0, m, demand, need, EvKind::kRelocate});
       SimEvent iv;
@@ -548,8 +629,20 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
       audit_entries.push_back(e);
     };
 
+    auto record_reject = [&](std::uint32_t failing, obs::AuditReason why) {
+      obs::JournalRecord r;
+      r.time = queue.now();
+      r.a = q.id;
+      r.b = failing;
+      r.site = obs::kNoSite;
+      r.kind = static_cast<std::uint8_t>(obs::RecordKind::kReject);
+      r.arg = static_cast<std::uint8_t>(why);
+      rec->append(r);
+    };
+
     if (!faults.site_up(q.home)) {
       audit_abort(0, obs::AuditReason::kNoDeadlineFeasibleSite);
+      if (rec_on) record_reject(0, obs::AuditReason::kNoDeadlineFeasibleSite);
       return false;
     }
     for (const DatasetDemand& dd : q.demands) {
@@ -558,8 +651,11 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
       best.site =
           select_site(q, dd, need, /*use_tentative=*/true, &best.new_replica);
       if (best.site == kInvalidSite) {
-        audit_abort(static_cast<std::uint32_t>(decisions.size()),
-                    classify_rejection(dd));
+        const obs::AuditReason why = classify_rejection(dd);
+        audit_abort(static_cast<std::uint32_t>(decisions.size()), why);
+        if (rec_on) {
+          record_reject(static_cast<std::uint32_t>(decisions.size()), why);
+        }
         return false;
       }
       best.need = need;
@@ -592,6 +688,11 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
       demand_ends[layout.at(q.id, static_cast<std::uint32_t>(i))] = {
           d.site, queue.now() + d.total_delay};
       response = std::max(response, d.total_delay);
+      if (rec_on) {
+        record_flight(obs::RecordKind::kTransferStart, q.id,
+                      static_cast<std::uint32_t>(i), d.site, n, d.total_delay,
+                      d.proc);
+      }
       if (audit_on) {
         obs::AuditEntry e;
         e.algorithm = "online";
@@ -642,6 +743,17 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
         const QueryId m = ev.a;
         push_next_arrival();  // keep exactly one pending arrival in the heap
         ++arrivals_seen;
+        if (rec_on) {
+          const Query& q = inst.query(m);
+          obs::JournalRecord r;
+          r.time = queue.now();
+          r.v0 = q.deadline;
+          r.a = m;
+          r.b = static_cast<std::uint32_t>(q.demands.size());
+          r.site = obs::kNoSite;
+          r.kind = static_cast<std::uint8_t>(obs::RecordKind::kArrival);
+          rec->append(r);
+        }
         const bool ok = admit(inst.query(m), res.outcomes[m]);
         res.outcomes[m].admitted = ok;
         if (ok) {
@@ -659,6 +771,15 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
       case EvKind::kComputeDone: {
         Flight* f = slab.get(FlightHandle{ev.a, ev.b});
         if (f == nullptr) break;  // killed or relocated; stale by generation
+        if (rec_on) {
+          obs::JournalRecord r;
+          r.time = queue.now();
+          r.a = f->query;
+          r.site = f->site;
+          r.kind = static_cast<std::uint8_t>(obs::RecordKind::kComputeDone);
+          r.arg = static_cast<std::uint8_t>(f->demand);
+          rec->append(r);
+        }
         sites[f->site].in_use -= f->need;
         --inflight_count;
         in_use_total -= f->need;
@@ -677,6 +798,16 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
         }
         faults.apply(e);
         ++res.fault_events_applied;
+        if (rec_on) {
+          obs::JournalRecord r;
+          r.time = queue.now();
+          r.v0 = e.fraction;
+          r.a = static_cast<std::uint32_t>(e.edge);
+          r.site = static_cast<std::uint32_t>(e.site);
+          r.kind = static_cast<std::uint8_t>(obs::RecordKind::kFaultApply);
+          r.arg = static_cast<std::uint8_t>(e.kind);
+          rec->append(r);
+        }
         switch (e.kind) {
           case FaultKind::kSiteDown:
             on_site_down(e.site);

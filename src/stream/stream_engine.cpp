@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
@@ -26,11 +28,13 @@ enum class Reconcile : std::uint8_t { kCommitted, kConflict };
 /// used up the budget for — the same dataset earlier in this epoch), and
 /// only then mutate the plan, which is guaranteed not to throw.
 Reconcile reconcile(const Instance& inst, const AdmissionIntent& intent,
-                    ReplicaPlan& plan, CapacityLedger& ledger) {
+                    ReplicaPlan& plan, CapacityLedger& ledger,
+                    SiteId* conflict_site) {
   const Query& q = inst.query(intent.query);
   for (const AdmissionIntent::Placement& p : intent.placements) {
     const double need = inst.dataset(p.dataset).volume * q.rate;
     if (!ledger.try_reserve(p.site, need)) {
+      *conflict_site = p.site;
       ledger.release_all();
       return Reconcile::kConflict;
     }
@@ -43,6 +47,7 @@ Reconcile reconcile(const Instance& inst, const AdmissionIntent& intent,
   for (const AdmissionIntent::Placement& p : intent.placements) {
     if (!plan.has_replica(p.dataset, p.site) &&
         plan.replica_count(p.dataset) >= inst.max_replicas()) {
+      *conflict_site = p.site;
       ledger.release_all();
       return Reconcile::kConflict;
     }
@@ -69,18 +74,12 @@ void record_run_metrics(const StreamResult& res) {
   static obs::Counter& rejected = obs::metrics().counter(
       "edgerep_stream_queries_rejected_total",
       "queries rejected by the streaming plane");
-  static obs::Counter& requeues = obs::metrics().counter(
-      "edgerep_stream_requeues_total",
-      "conflict losers re-queued into a later epoch");
-  static obs::Counter& conflicts = obs::metrics().counter(
-      "edgerep_stream_reconcile_conflicts_total",
-      "intents refused during epoch reconciliation");
+  // requeues/conflicts counters are incremented per epoch inside run_stream
+  // (same registered names), so a long run is observable while it executes.
   runs.inc();
   epochs.inc(res.epochs);
   admitted.inc(res.queries_admitted);
   rejected.inc(res.queries_rejected);
-  requeues.inc(res.requeues);
-  conflicts.inc(res.conflicts);
   obs::metrics()
       .gauge("edgerep_stream_ledger_reserves",
              "capacity reservations taken by the last streaming run")
@@ -123,6 +122,17 @@ StreamResult run_stream(const Instance& inst, std::span<const Arrival> stream,
     engines.emplace_back(inst, map, sh, opts);
   }
 
+  // Obs facets, sampled once (PR 3 pattern): every disabled path is one
+  // relaxed atomic load at run start and nothing afterwards.  Journal
+  // records, audit entries, and per-epoch counters are emitted only from
+  // the serial sections of the loop, so their content and order are
+  // independent of thread count.
+  const bool metrics_on = obs::metrics_enabled();
+  const bool audit_on = obs::audit_enabled();
+  const bool rec_on = obs::recorder_enabled();
+  obs::Recorder* const rec = rec_on ? &obs::recorder() : nullptr;
+  std::vector<obs::AuditEntry> audit_entries;
+
   StreamResult res{ReplicaPlan(inst), {}, 0, 0, 0, 0, 0, 0, 0, {}};
   res.shard_stats.resize(shards);
   CapacityLedger ledger(inst);
@@ -163,6 +173,19 @@ StreamResult run_stream(const Instance& inst, std::span<const Arrival> stream,
       ++cursor;
     }
 
+    if (rec_on) {
+      std::size_t batch = 0;
+      for (const auto& b : shard_batch) batch += b.size();
+      obs::JournalRecord r;
+      r.time = static_cast<double>(epoch) * opts.epoch_length;
+      r.v0 = window_end;
+      r.a = static_cast<std::uint32_t>(batch);
+      r.b = static_cast<std::uint32_t>(epoch);
+      r.site = obs::kNoSite;
+      r.kind = static_cast<std::uint8_t>(obs::RecordKind::kEpochBegin);
+      rec->append(r);
+    }
+
     // Phase 1: parallel per-shard admission against the frozen plan.
     {
       EDGEREP_TRACE_SCOPE("stream.phase1");
@@ -192,34 +215,132 @@ StreamResult run_stream(const Instance& inst, std::span<const Arrival> stream,
     // Phase 2: serial reconciliation in (shard id, intent order).
     {
       EDGEREP_TRACE_SCOPE("stream.reconcile");
+      const std::uint64_t reconcile_t0 = metrics_on ? obs::now_ns() : 0;
+      const std::size_t conflicts_before = res.conflicts;
+      const std::size_t requeues_before = res.requeues;
+      std::size_t epoch_intents = 0;
       for (std::size_t sh = 0; sh < shards; ++sh) {
+        epoch_intents += shard_intents[sh].size();
         for (const AdmissionIntent& intent : shard_intents[sh]) {
-          if (reconcile(inst, intent, res.plan, ledger) ==
+          if (rec_on) {
+            obs::JournalRecord r;
+            r.time = window_end;
+            r.a = intent.query;
+            r.b = static_cast<std::uint32_t>(sh);
+            r.site = obs::kNoSite;
+            r.kind = static_cast<std::uint8_t>(obs::RecordKind::kIntent);
+            r.arg = static_cast<std::uint8_t>(
+                std::min<std::size_t>(intent.placements.size(), 0xff));
+            rec->append(r);
+          }
+          SiteId conflict_site = kInvalidSite;
+          if (reconcile(inst, intent, res.plan, ledger, &conflict_site) ==
               Reconcile::kCommitted) {
             ++res.queries_admitted;
             ++res.shard_stats[sh].admitted;
+            if (rec_on) {
+              obs::JournalRecord r;
+              r.time = window_end;
+              r.a = intent.query;
+              r.b = static_cast<std::uint32_t>(sh);
+              r.site = obs::kNoSite;
+              r.kind = static_cast<std::uint8_t>(obs::RecordKind::kCommit);
+              rec->append(r);
+            }
             continue;
           }
           ++res.conflicts;
           ++res.shard_stats[sh].conflicts;
+          if (rec_on) {
+            obs::JournalRecord r;
+            r.time = window_end;
+            r.a = intent.query;
+            r.b = static_cast<std::uint32_t>(sh);
+            r.site = static_cast<std::uint32_t>(conflict_site);
+            r.kind = static_cast<std::uint8_t>(obs::RecordKind::kConflict);
+            rec->append(r);
+          }
           if (retries[intent.query] < opts.max_requeues) {
             ++retries[intent.query];
             ++res.requeues;
             requeued.push_back({intent.query});
+            if (rec_on) {
+              obs::JournalRecord r;
+              r.time = window_end;
+              r.a = intent.query;
+              r.b = static_cast<std::uint32_t>(sh);
+              r.kind = static_cast<std::uint8_t>(obs::RecordKind::kRequeue);
+              r.arg = static_cast<std::uint8_t>(
+                  std::min<std::uint32_t>(retries[intent.query], 0xff));
+              rec->append(r);
+            }
+            if (audit_on) {
+              obs::AuditEntry& e = audit_entries.emplace_back();
+              e.query = intent.query;
+              e.dataset = intent.placements.empty()
+                              ? 0
+                              : intent.placements[0].dataset;
+              e.admitted = false;
+              e.reason = obs::AuditReason::kReconcileConflict;
+              e.site = static_cast<std::uint32_t>(conflict_site);
+            }
           } else {
             ++res.queries_rejected;
+            if (rec_on) {
+              obs::JournalRecord r;
+              r.time = window_end;
+              r.a = intent.query;
+              r.b = static_cast<std::uint32_t>(sh);
+              r.kind =
+                  static_cast<std::uint8_t>(obs::RecordKind::kStreamReject);
+              r.arg = 2;  // requeue budget spent
+              rec->append(r);
+            }
           }
         }
         // Phase-1 infeasibility is terminal: load and θ only grow over the
         // stream, so the same shard can never admit the query later.
         res.queries_rejected += shard_infeasible[sh].size();
         res.shard_stats[sh].infeasible += shard_infeasible[sh].size();
+        if (rec_on) {
+          for (const QueryId m : shard_infeasible[sh]) {
+            obs::JournalRecord r;
+            r.time = window_end;
+            r.a = m;
+            r.b = static_cast<std::uint32_t>(sh);
+            r.kind = static_cast<std::uint8_t>(obs::RecordKind::kStreamReject);
+            r.arg = 0;  // phase-1 infeasible
+            rec->append(r);
+          }
+        }
+      }
+      if (metrics_on) {
+        static obs::Counter& intents_total = obs::metrics().counter(
+            "edgerep_stream_intents_total",
+            "phase-1 admission intents reaching reconciliation");
+        static obs::Counter& requeues_total = obs::metrics().counter(
+            "edgerep_stream_requeues_total",
+            "conflict losers re-queued into a later epoch");
+        static obs::Counter& conflicts_total = obs::metrics().counter(
+            "edgerep_stream_reconcile_conflicts_total",
+            "intents refused during epoch reconciliation");
+        static obs::Counter& reconcile_ns_total = obs::metrics().counter(
+            "edgerep_stream_reconcile_ns_total",
+            "wall time spent in serial phase-2 reconciliation");
+        intents_total.inc(epoch_intents);
+        conflicts_total.inc(res.conflicts - conflicts_before);
+        requeues_total.inc(res.requeues - requeues_before);
+        reconcile_ns_total.inc(obs::now_ns() - reconcile_t0);
       }
     }
     ++res.epochs;
     ++epoch;
   }
 
+  if (audit_on && !audit_entries.empty()) {
+    for (obs::AuditEntry& e : audit_entries) e.algorithm = "stream";
+    obs::audit_log().record_batch(audit_entries);
+  }
   res.ledger_reserves = ledger.reserves();
   res.ledger_releases = ledger.releases();
   res.metrics = evaluate(res.plan);

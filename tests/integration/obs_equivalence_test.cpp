@@ -17,10 +17,13 @@
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/recorder.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/online.h"
 #include "sim/simulator.h"
+#include "stream/stream_engine.h"
+#include "workload/arrival_gen.h"
 #include "workload/fault_gen.h"
 
 namespace edgerep {
@@ -187,6 +190,90 @@ TEST_F(ObsEquivalenceTest, OnlineRunIsBitIdentical) {
   obs::tracer().clear();
   obs::audit_log().clear();
   obs::dual_prices().reset();
+}
+
+TEST_F(ObsEquivalenceTest, RecorderIsBitNeutralOnOnlineRuns) {
+  // The flight recorder is the fourth facet: enabling it (on top of the
+  // other three) must leave every contract field of the result untouched,
+  // on both kernels.
+  const Instance inst = testing::medium_instance(11, /*f_max=*/3);
+  FaultScenarioConfig fcfg;
+  fcfg.horizon = 10.0;
+  fcfg.site_crashes = 2;
+  fcfg.capacity_losses = 1;
+  fcfg.mean_repair_time = 4.0;
+  OnlineConfig cfg;
+  cfg.seed = 0x5e55;
+  cfg.faults = generate_fault_trace(inst, fcfg, 29);
+
+  for (const OnlineKernel kernel :
+       {OnlineKernel::kTyped, OnlineKernel::kClosure}) {
+    cfg.kernel = kernel;
+    obs::set_all_enabled(false);
+    obs::set_recorder_enabled(false);
+    const OnlineResult off = run_online(inst, cfg);
+
+    obs::set_all_enabled(true);
+    obs::recorder().configure(obs::RecorderMode::kFull);
+    obs::set_recorder_enabled(true);
+    const OnlineResult on = run_online(inst, cfg);
+    obs::set_recorder_enabled(false);
+    obs::set_all_enabled(false);
+
+    EXPECT_EQ(online_result_hash(off), online_result_hash(on));
+    EXPECT_GT(obs::recorder().size(), 0u)
+        << "recorder-on run appended no records";
+    obs::recorder().clear();
+    obs::audit_log().clear();
+    obs::tracer().clear();
+  }
+}
+
+TEST_F(ObsEquivalenceTest, StreamFacetsAreBitNeutral) {
+  // Stream-plane instrumentation (per-epoch counters, reconcile audit
+  // entries, journal records) must not change the plan or any count, and
+  // the audit log's requeue entries must agree with the result.
+  const Instance inst = testing::medium_instance(13, /*f_max=*/3);
+  const std::vector<Arrival> stream =
+      generate_arrival_stream(inst, 200.0, 0x57e4);
+  StreamOptions opts;
+  opts.shards = 4;
+  opts.epoch_length = 0.05;
+
+  obs::set_all_enabled(false);
+  obs::set_recorder_enabled(false);
+  const StreamResult off = run_stream(inst, stream, opts);
+
+  obs::set_all_enabled(true);
+  obs::recorder().configure(obs::RecorderMode::kFull);
+  obs::set_recorder_enabled(true);
+  const StreamResult on = run_stream(inst, stream, opts);
+  obs::set_recorder_enabled(false);
+  obs::set_all_enabled(false);
+
+  EXPECT_EQ(serialize(off.plan), serialize(on.plan));
+  EXPECT_EQ(off.epochs, on.epochs);
+  EXPECT_EQ(off.queries_admitted, on.queries_admitted);
+  EXPECT_EQ(off.queries_rejected, on.queries_rejected);
+  EXPECT_EQ(off.requeues, on.requeues);
+  EXPECT_EQ(off.conflicts, on.conflicts);
+  EXPECT_EQ(off.metrics.admitted_volume, on.metrics.admitted_volume);
+
+  // Per-epoch counters flowed (conflicts/requeues are now incremented
+  // inside the epoch loop) and the journal captured the run.
+  EXPECT_GE(obs::metrics()
+                .counter("edgerep_stream_intents_total")
+                .value(),
+            on.queries_admitted);
+  std::size_t requeue_audits = 0;
+  for (const obs::AuditEntry& e : obs::audit_log().snapshot()) {
+    if (e.reason == obs::AuditReason::kReconcileConflict) ++requeue_audits;
+  }
+  EXPECT_EQ(requeue_audits, on.requeues);
+  EXPECT_GT(obs::recorder().size(), 0u);
+  obs::recorder().clear();
+  obs::audit_log().clear();
+  obs::tracer().clear();
 }
 
 TEST_F(ObsEquivalenceTest, AuditVerdictsMatchPlanAdmissionCounts) {

@@ -1,0 +1,250 @@
+// Postmortem analyzer contracts over real journals:
+//
+//  * a fixed faulted online config yields byte-identical journals across
+//    repeated runs and across the closure / typed kernels;
+//  * the analyzer reproduces OnlineResult's deadline-SLO rollup bit-exactly
+//    from the journal alone (hit counts, ratio, percentiles, per-site rows);
+//  * each admitted query's wait/transfer/compute decomposition sums to its
+//    response time;
+//  * journal diff pinpoints a perturbed record;
+//  * a stream journal's per-epoch stats reconcile with StreamResult.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "helpers/fixtures.h"
+#include "obs/obs.h"
+#include "obs/postmortem.h"
+#include "obs/recorder.h"
+#include "sim/online.h"
+#include "stream/stream_engine.h"
+#include "workload/arrival_gen.h"
+#include "workload/fault_gen.h"
+
+namespace edgerep {
+namespace {
+
+class PostmortemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_all_enabled(false);
+    obs::set_recorder_enabled(false);
+    obs::recorder().configure(obs::RecorderMode::kFull);
+  }
+  void TearDown() override { obs::init_from_env(); }
+
+  static OnlineConfig faulted_config(const Instance& inst) {
+    FaultScenarioConfig fcfg;
+    fcfg.horizon = 10.0;
+    fcfg.site_crashes = 2;
+    fcfg.capacity_losses = 1;
+    fcfg.mean_repair_time = 4.0;
+    OnlineConfig cfg;
+    cfg.seed = 0x5e55;
+    cfg.faults = generate_fault_trace(inst, fcfg, 29);
+    return cfg;
+  }
+
+  /// Run with the recorder on and return (result, serialized journal).
+  static std::pair<OnlineResult, std::string> record_run(
+      const Instance& inst, OnlineConfig cfg, OnlineKernel kernel) {
+    cfg.kernel = kernel;
+    obs::recorder().configure(obs::RecorderMode::kFull);
+    obs::set_recorder_enabled(true);
+    OnlineResult res = run_online(inst, cfg);
+    obs::set_recorder_enabled(false);
+    std::ostringstream os;
+    obs::recorder().write(os);
+    return {std::move(res), os.str()};
+  }
+
+  static obs::Journal parse(const std::string& bytes) {
+    std::istringstream is(bytes);
+    obs::Journal journal;
+    std::string err;
+    EXPECT_TRUE(obs::read_journal(is, &journal, &err)) << err;
+    return journal;
+  }
+};
+
+TEST_F(PostmortemTest, JournalsAreByteIdenticalAcrossRunsAndKernels) {
+  const Instance inst = testing::medium_instance(11, /*f_max=*/3);
+  const OnlineConfig cfg = faulted_config(inst);
+  const auto [r1, j_typed] = record_run(inst, cfg, OnlineKernel::kTyped);
+  const auto [r2, j_again] = record_run(inst, cfg, OnlineKernel::kTyped);
+  const auto [r3, j_closure] = record_run(inst, cfg, OnlineKernel::kClosure);
+  EXPECT_GT(j_typed.size(), sizeof(obs::JournalHeader));
+  EXPECT_EQ(j_typed, j_again) << "typed kernel journal is not reproducible";
+  EXPECT_EQ(j_typed, j_closure) << "kernels journal different causal steps";
+  EXPECT_EQ(online_result_hash(r1), online_result_hash(r3));
+}
+
+TEST_F(PostmortemTest, SloRollupIsReproducedBitExactlyFromTheJournal) {
+  for (const std::uint64_t seed : {11u, 23u}) {
+    const Instance inst = testing::medium_instance(seed, /*f_max=*/3);
+    const OnlineConfig cfg = faulted_config(inst);
+    const auto [res, bytes] = record_run(inst, cfg, OnlineKernel::kTyped);
+    const obs::PostmortemReport report = analyze_journal(parse(bytes));
+
+    EXPECT_EQ(report.arrivals, inst.queries().size());
+    EXPECT_EQ(report.admitted, res.admitted_queries);
+    EXPECT_EQ(report.failed_by_fault, res.queries_failed_by_fault);
+    EXPECT_EQ(report.relocations, res.demands_relocated);
+    EXPECT_EQ(report.fault_events, res.fault_events_applied);
+
+    // The rollup itself, raw double bits — no tolerance.
+    EXPECT_EQ(report.slo.admitted_queries, res.slo.admitted_queries);
+    EXPECT_EQ(report.slo.deadline_hits, res.slo.deadline_hits);
+    EXPECT_EQ(report.slo.hit_ratio, res.slo.hit_ratio);
+    EXPECT_EQ(report.slo.p50_slack, res.slo.p50_slack);
+    EXPECT_EQ(report.slo.p95_slack, res.slo.p95_slack);
+    EXPECT_EQ(report.slo.p99_slack, res.slo.p99_slack);
+    ASSERT_EQ(report.slo.per_site.size(), res.slo.per_site.size());
+    for (std::size_t i = 0; i < res.slo.per_site.size(); ++i) {
+      EXPECT_EQ(report.slo.per_site[i].site, res.slo.per_site[i].site);
+      EXPECT_EQ(report.slo.per_site[i].demands, res.slo.per_site[i].demands);
+      EXPECT_EQ(report.slo.per_site[i].deadline_hits,
+                res.slo.per_site[i].deadline_hits);
+      EXPECT_EQ(report.slo.per_site[i].p50_slack,
+                res.slo.per_site[i].p50_slack);
+      EXPECT_EQ(report.slo.per_site[i].p95_slack,
+                res.slo.per_site[i].p95_slack);
+      EXPECT_EQ(report.slo.per_site[i].p99_slack,
+                res.slo.per_site[i].p99_slack);
+    }
+  }
+}
+
+TEST_F(PostmortemTest, TimelinesDecomposeResponseTimeExactly) {
+  const Instance inst = testing::medium_instance(7, /*f_max=*/3);
+  const OnlineConfig cfg = faulted_config(inst);
+  const auto [res, bytes] = record_run(inst, cfg, OnlineKernel::kTyped);
+  const obs::PostmortemReport report = analyze_journal(parse(bytes));
+
+  std::size_t admitted = 0;
+  std::size_t breached = 0;
+  for (const obs::QueryTimeline& tl : report.timelines) {
+    if (!tl.admitted) continue;
+    ++admitted;
+    // wait + transfer + compute spans arrival → completion along the
+    // critical demand (associativity differences only, hence DOUBLE_EQ).
+    EXPECT_DOUBLE_EQ(tl.wait + tl.transfer + tl.compute,
+                     tl.completion - tl.arrival)
+        << "query " << tl.query;
+    EXPECT_GE(tl.transfer, 0.0);
+    EXPECT_GE(tl.compute, 0.0);
+    EXPECT_EQ(tl.slack, tl.deadline - (tl.completion - tl.arrival));
+    EXPECT_NE(tl.critical_site, obs::kNoSite);
+    EXPECT_LT(tl.critical_demand, tl.n_demands);
+    if (tl.slack < -1e-9) ++breached;
+    // The outcome array agrees with the reconstruction.
+    EXPECT_EQ(res.outcomes[tl.query].admitted, tl.admitted);
+    EXPECT_EQ(res.outcomes[tl.query].arrival_time, tl.arrival);
+    EXPECT_EQ(res.outcomes[tl.query].completion_time, tl.completion);
+  }
+  EXPECT_EQ(admitted, res.admitted_queries);
+
+  // Breach attribution buckets partition the breached queries.
+  auto bucket_sum = [](const std::vector<obs::BreachBucket>& buckets) {
+    std::size_t n = 0;
+    for (const obs::BreachBucket& b : buckets) n += b.breaches;
+    return n;
+  };
+  EXPECT_EQ(bucket_sum(report.by_site), breached);
+  EXPECT_EQ(bucket_sum(report.by_dataset), breached);
+  EXPECT_EQ(bucket_sum(report.by_role), breached);
+  std::size_t served = 0;
+  for (const obs::BreachBucket& b : report.by_site) {
+    served += b.served;
+    EXPECT_LE(b.breaches, b.served);
+    EXPECT_GE(b.total_overrun, 0.0);
+  }
+  EXPECT_EQ(served, res.admitted_queries);
+}
+
+TEST_F(PostmortemTest, DiffPinpointsAPerturbedRecord) {
+  const Instance inst = testing::medium_instance(11, /*f_max=*/3);
+  const OnlineConfig cfg = faulted_config(inst);
+  const auto [res, bytes] = record_run(inst, cfg, OnlineKernel::kTyped);
+  const obs::Journal lhs = parse(bytes);
+
+  obs::Journal rhs = lhs;
+  ASSERT_GT(rhs.records.size(), 10u);
+  const std::size_t victim = rhs.records.size() / 2;
+  rhs.records[victim].v0 += 1e-9;  // a single-ULP-ish causal nudge
+
+  const obs::JournalDiff same = obs::diff_journals(lhs, lhs);
+  EXPECT_TRUE(same.identical);
+  EXPECT_FALSE(same.has_divergence);
+
+  const obs::JournalDiff diff = obs::diff_journals(lhs, rhs);
+  EXPECT_FALSE(diff.identical);
+  ASSERT_TRUE(diff.has_divergence);
+  EXPECT_EQ(diff.first_divergence, victim);
+  EXPECT_EQ(std::memcmp(&diff.lhs, &lhs.records[victim], sizeof(diff.lhs)),
+            0);
+
+  // Truncation diverges at the shorter length.
+  obs::Journal prefix = lhs;
+  prefix.records.resize(victim);
+  prefix.header.retained = victim;
+  const obs::JournalDiff trunc = obs::diff_journals(lhs, prefix);
+  EXPECT_FALSE(trunc.identical);
+  ASSERT_TRUE(trunc.has_divergence);
+  EXPECT_EQ(trunc.first_divergence, victim);
+}
+
+TEST_F(PostmortemTest, StreamJournalReconcilesWithStreamResult) {
+  const Instance inst = testing::medium_instance(13, /*f_max=*/3);
+  const std::vector<Arrival> stream =
+      generate_arrival_stream(inst, 200.0, 0x57e4);
+  StreamOptions opts;
+  opts.shards = 4;
+  opts.epoch_length = 0.05;
+
+  obs::recorder().configure(obs::RecorderMode::kFull);
+  obs::set_recorder_enabled(true);
+  const StreamResult res = run_stream(inst, stream, opts);
+  obs::set_recorder_enabled(false);
+  std::ostringstream os;
+  obs::recorder().write(os);
+  const obs::PostmortemReport report = analyze_journal(parse(os.str()));
+
+  EXPECT_EQ(report.epochs.size(), res.epochs);
+  EXPECT_EQ(report.stream_commits, res.queries_admitted);
+  EXPECT_EQ(report.stream_conflicts, res.conflicts);
+  EXPECT_EQ(report.stream_requeues, res.requeues);
+  EXPECT_EQ(report.stream_rejects, res.queries_rejected);
+  std::size_t batch_total = 0;
+  for (const obs::EpochStats& e : report.epochs) {
+    batch_total += e.batch;
+    EXPECT_EQ(e.intents, e.commits + e.conflicts);
+    EXPECT_LE(e.requeues, e.conflicts);
+  }
+  // Every arrival is routed once, plus one re-route per requeue.
+  EXPECT_EQ(batch_total, stream.size() + res.requeues);
+}
+
+TEST_F(PostmortemTest, ReportWritersProduceOutput) {
+  const Instance inst = testing::medium_instance(11, /*f_max=*/3);
+  const OnlineConfig cfg = faulted_config(inst);
+  const auto [res, bytes] = record_run(inst, cfg, OnlineKernel::kTyped);
+  const obs::PostmortemReport report = analyze_journal(parse(bytes));
+
+  std::ostringstream text;
+  obs::write_report_text(text, report, 5);
+  EXPECT_NE(text.str().find("slo:"), std::string::npos);
+  EXPECT_NE(text.str().find("arrivals:"), std::string::npos);
+
+  std::ostringstream json;
+  obs::write_report_json(json, report, 5);
+  EXPECT_EQ(json.str().front(), '{');
+  EXPECT_NE(json.str().find("\"slo\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"hit_ratio\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edgerep

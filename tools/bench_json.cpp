@@ -30,6 +30,11 @@
 // kernel's 1M- and 10M-query horizon sweeps with peak event-heap sizes —
 // the O(inflight) memory evidence
 // ([--online-out=BENCH_online.json] [--online-reps=3]).
+//
+// BENCH_obs.json: flight-recorder overhead — the 100-site online case
+// timed with the recorder off vs a full-mode journal appended at every
+// causal step, as median wall time of a 20-run batch, plus the per-run
+// record count ([--obs-out=BENCH_obs.json] [--obs-reps=9]).
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -448,6 +453,77 @@ int emit_serve(const std::string& out_path, int reps) {
   return 0;
 }
 
+int emit_obs(const std::string& out_path, int reps) {
+  constexpr int kBatch = 20;
+  const CaseSpec c = {"G", 100, 500, 5};
+  WorkloadConfig cfg;
+  cfg.network_size = c.network;
+  cfg.min_queries = c.queries;
+  cfg.max_queries = c.queries;
+  cfg.min_datasets_per_query = 1;
+  cfg.max_datasets_per_query = c.f_max;
+  const Instance inst = generate_instance(cfg, /*seed=*/42);
+
+  // Interleaved recorder-off / recorder-on batches (same drift argument as
+  // emit_serve).  This measures the steady-state serve path: one unscored
+  // warm-up batch faults in the journal arena, and the per-rep clear()
+  // keeps its capacity, so scored appends never pay geometric growth or
+  // first-touch page faults — those are one-time costs of a long-running
+  // recorder, not recurring serve work.
+  obs::set_all_enabled(false);
+  obs::recorder().configure(obs::RecorderMode::kFull);
+  obs::set_recorder_enabled(true);
+  online_batch_ms(inst, {}, kBatch);  // warm-up: grows the arena once
+  obs::set_recorder_enabled(false);
+  std::vector<double> plain_samples, record_samples;
+  plain_samples.reserve(static_cast<std::size_t>(reps));
+  record_samples.reserve(static_cast<std::size_t>(reps));
+  std::uint64_t batch_records = 0;
+  for (int r = 0; r < reps; ++r) {
+    obs::set_recorder_enabled(false);
+    plain_samples.push_back(online_batch_ms(inst, {}, kBatch));
+    obs::recorder().clear();  // drop records, keep the warm arena
+    obs::set_recorder_enabled(true);
+    record_samples.push_back(online_batch_ms(inst, {}, kBatch));
+    batch_records = obs::recorder().total_appended();
+  }
+  obs::set_recorder_enabled(false);
+  obs::recorder().configure(obs::RecorderMode::kFull);  // release the arena
+  const double plain_ms = median(std::move(plain_samples));
+  const double recording_ms = median(std::move(record_samples));
+  const double overhead_pct = (recording_ms / plain_ms - 1.0) * 100.0;
+  const std::uint64_t records_per_run =
+      batch_records / static_cast<std::uint64_t>(kBatch);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_json: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"flight_recorder\",\n"
+      << "  \"metric\": \"median_batch_ms\",\n"
+      << "  \"record_bytes\": " << sizeof(obs::JournalRecord) << ",\n"
+      << "  \"batch\": " << kBatch << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"cases\": [\n"
+      << "    {\"case\": \"" << c.name << "\", \"network_size\": "
+      << c.network << ", \"queries\": " << c.queries
+      << ", \"plain_ms\": " << round2(plain_ms)
+      << ", \"recording_ms\": " << round2(recording_ms)
+      << ", \"overhead_pct\": " << round2(overhead_pct)
+      << ", \"records_per_run\": " << records_per_run << "}\n"
+      << "  ]\n}\n";
+
+  std::cerr << "flight recorder " << c.network << "x" << c.queries
+            << " (batch " << kBatch << "): plain " << plain_ms
+            << " ms, recording " << recording_ms << " ms ("
+            << overhead_pct << "%), " << records_per_run
+            << " records/run\n"
+            << "wrote " << out_path << "\n";
+  return 0;
+}
+
 /// Deterministic pricing problem for the kernel-vs-oracle comparison:
 /// `n` candidates over `2n` sites, the demanded dataset holding 16 replicas
 /// (mirrors bench/micro_stream.cpp so the numbers line up).
@@ -769,9 +845,12 @@ int run(int argc, char** argv) {
       std::max(1, static_cast<int>(args.get_int("online-reps", 3)));
   const std::string online_path =
       args.get("online-out", "BENCH_online.json");
+  const int obs_reps =
+      std::max(1, static_cast<int>(args.get_int("obs-reps", 9)));
+  const std::string obs_path = args.get("obs-out", "BENCH_obs.json");
 
   // `--only SECTION` regenerates a single anchor after a targeted change
-  // (appro | substrate | repair | serve | throughput | online).
+  // (appro | substrate | repair | serve | throughput | online | obs).
   const std::string only = args.get("only", "");
   const auto wants = [&only](const char* section) {
     return only.empty() || only == section;
@@ -795,6 +874,7 @@ int run(int argc, char** argv) {
   if (wants("online") && (rc = emit_online(online_path, online_reps)) != 0) {
     return rc;
   }
+  if (wants("obs") && (rc = emit_obs(obs_path, obs_reps)) != 0) return rc;
   return 0;
 }
 

@@ -77,13 +77,23 @@ int usage() {
       "  repair   --instance FILE --faults FILE [--until T] [--full]\n"
       "           [--out FILE]\n"
       "  diff     --instance FILE --plan FILE --plan2 FILE\n"
+      "  postmortem --journal FILE [--diff FILE2] [--json-out FILE] [--top N]\n"
+      "           replay a flight-recorder journal: causal timelines, deadline\n"
+      "           slack decomposition, SLO-breach attribution by site/dataset/\n"
+      "           role, stream epoch stats; --diff compares two journals and\n"
+      "           reports the first divergent record\n"
       "\n"
       "observability (any command):\n"
       "  --metrics-out FILE   write engine counters/gauges/histograms\n"
       "                       (.prom/.txt: Prometheus text, else JSON)\n"
       "  --trace-out FILE     write chrome://tracing JSON of engine phases\n"
       "  --audit-out FILE     write per-demand admission audit log (JSON)\n"
-      "environment: EDGEREP_LOG=debug|info|warn|error, EDGEREP_OBS=1\n";
+      "  --record FILE        write the deterministic flight-recorder journal\n"
+      "                       (binary; analyze with `postmortem`)\n"
+      "  --record-mode MODE   full (default) keeps every record; ring keeps\n"
+      "                       the last --record-ring N (default 65536)\n"
+      "environment: EDGEREP_LOG=debug|info|warn|error, EDGEREP_OBS=1,\n"
+      "             EDGEREP_RECORD=full|ring[:N]\n";
   return 2;
 }
 
@@ -318,6 +328,15 @@ void add_online_series(obs::TimeSeriesSampler& sampler,
   });
   sampler.add_series("online_utilization",
                      [&board] { return board.utilization(); });
+  // Typed-kernel internals published by the status tick (sim/online_typed):
+  // queue depth and high-water, flight-slab occupancy and generation churn,
+  // immediates-ring burst depth.
+  sampler.add_gauge_series("edgerep_kernel_pending_events");
+  sampler.add_gauge_series("edgerep_kernel_peak_pending_events");
+  sampler.add_gauge_series("edgerep_kernel_live_flights");
+  sampler.add_gauge_series("edgerep_kernel_peak_flights");
+  sampler.add_gauge_series("edgerep_kernel_flight_destroys");
+  sampler.add_gauge_series("edgerep_kernel_ring_high_water");
   sampler.add_series("dual_theta_max",
                      [] { return obs::dual_prices().max_theta(); });
   sampler.add_series("dual_theta_touched_sites", [] {
@@ -663,6 +682,38 @@ int cmd_repair(const Args& args) {
   return vr.ok ? 0 : 1;
 }
 
+int cmd_postmortem(const Args& args) {
+  const std::string path = args.get("journal", "");
+  if (path.empty()) throw std::runtime_error("--journal is required");
+  obs::Journal journal;
+  std::string err;
+  if (!obs::read_journal_file(path, &journal, &err)) {
+    throw std::runtime_error("cannot read journal " + path + ": " + err);
+  }
+  const std::string diff_path = args.get("diff", "");
+  if (!diff_path.empty()) {
+    obs::Journal other;
+    if (!obs::read_journal_file(diff_path, &other, &err)) {
+      throw std::runtime_error("cannot read journal " + diff_path + ": " +
+                               err);
+    }
+    const obs::JournalDiff d = obs::diff_journals(journal, other);
+    obs::write_diff_text(std::cout, d);
+    return d.identical ? 0 : 1;
+  }
+  const obs::PostmortemReport report = obs::analyze_journal(journal);
+  const auto top = static_cast<std::size_t>(args.get_int("top", 10));
+  obs::write_report_text(std::cout, report, top);
+  const std::string json_out = args.get("json-out", "");
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) throw std::runtime_error("cannot open output file: " + json_out);
+    obs::write_report_json(os, report, top);
+    std::cout << "postmortem written to " << json_out << "\n";
+  }
+  return 0;
+}
+
 /// True when `path` asks for Prometheus text exposition (else JSON).
 bool wants_prometheus(const std::string& path) {
   const auto dot = path.rfind('.');
@@ -671,17 +722,31 @@ bool wants_prometheus(const std::string& path) {
   return ext == ".prom" || ext == ".txt";
 }
 
-/// Parse the global --metrics-out/--trace-out/--audit-out flags and switch
-/// the matching obs facets on *before* the command runs.  Returns a closure
-/// that writes the requested files once the command has finished.
+/// Parse the global --metrics-out/--trace-out/--audit-out/--record flags and
+/// switch the matching obs facets on *before* the command runs.  Returns a
+/// closure that writes the requested files once the command has finished.
 std::function<void()> setup_observability(const Args& args) {
   const std::string metrics_out = args.get("metrics-out", "");
   const std::string trace_out = args.get("trace-out", "");
   const std::string audit_out = args.get("audit-out", "");
+  const std::string record_out = args.get("record", "");
   if (!metrics_out.empty()) obs::set_metrics_enabled(true);
   if (!trace_out.empty()) obs::set_trace_enabled(true);
   if (!audit_out.empty()) obs::set_audit_enabled(true);
-  return [metrics_out, trace_out, audit_out] {
+  if (!record_out.empty()) {
+    const std::string mode = args.get("record-mode", "full");
+    if (mode == "ring") {
+      const auto cap = static_cast<std::size_t>(args.get_int(
+          "record-ring", static_cast<int>(obs::kDefaultRingCapacity)));
+      obs::recorder().configure(obs::RecorderMode::kRing, cap);
+    } else if (mode == "full") {
+      obs::recorder().configure(obs::RecorderMode::kFull);
+    } else {
+      throw std::runtime_error("--record-mode must be full or ring");
+    }
+    obs::set_recorder_enabled(true);
+  }
+  return [metrics_out, trace_out, audit_out, record_out] {
     auto open = [](const std::string& path) {
       std::ofstream os(path);
       if (!os) throw std::runtime_error("cannot open output file: " + path);
@@ -706,6 +771,14 @@ std::function<void()> setup_observability(const Args& args) {
       obs::audit_log().write_json(os);
       std::cout << "audit log written to " << audit_out << "\n";
     }
+    if (!record_out.empty()) {
+      if (!obs::recorder().write_file(record_out)) {
+        throw std::runtime_error("cannot write journal file: " + record_out);
+      }
+      std::cout << "journal written to " << record_out << " ("
+                << obs::recorder().size() << " records, "
+                << obs::recorder().dropped() << " dropped)\n";
+    }
   };
 }
 
@@ -720,6 +793,7 @@ int run_command(const std::string& cmd, const Args& args) {
   if (cmd == "genfaults") return cmd_genfaults(args);
   if (cmd == "repair") return cmd_repair(args);
   if (cmd == "diff") return cmd_diff(args);
+  if (cmd == "postmortem") return cmd_postmortem(args);
   if (cmd == "scenarios") return cmd_scenarios();
   if (cmd == "help" || cmd == "--help") {
     usage();
