@@ -33,18 +33,28 @@ void Graph::add_nodes(std::size_t count, NodeRole role) {
   sealed_ = false;
 }
 
-EdgeId Graph::add_edge(NodeId u, NodeId v, double delay) {
+EdgeId Graph::add_edge(NodeId u, NodeId v, double delay, double capacity) {
   if (u >= num_nodes() || v >= num_nodes()) {
     throw std::invalid_argument("Graph::add_edge: node id out of range");
   }
   if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
   if (delay < 0.0) throw std::invalid_argument("Graph::add_edge: negative delay");
+  if (capacity <= 0.0) {
+    throw std::invalid_argument("Graph::add_edge: capacity must be > 0");
+  }
   const auto id = static_cast<EdgeId>(edges_.size());
-  edges_.push_back(Edge{u, v, delay});
+  edges_.push_back(Edge{u, v, delay, capacity});
   adjacency_[u].push_back(HalfEdge{v, id, delay});
   adjacency_[v].push_back(HalfEdge{u, id, delay});
   sealed_ = false;
   return id;
+}
+
+void Graph::set_capacity(EdgeId e, double capacity) {
+  if (capacity <= 0.0) {
+    throw std::invalid_argument("Graph::set_capacity: capacity must be > 0");
+  }
+  edges_.at(e).capacity = capacity;
 }
 
 void Graph::seal() {

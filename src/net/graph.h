@@ -34,11 +34,14 @@ enum class NodeRole : std::uint8_t {
 
 const char* to_string(NodeRole role) noexcept;
 
-/// One undirected edge with a per-unit-data transmission delay.
+/// One undirected edge with a per-unit-data transmission delay and a
+/// nominal capacity (how many concurrent unit-rate transfers the link
+/// carries before max-min fair sharing starts stretching them).
 struct Edge {
   NodeId u = kInvalidNode;
   NodeId v = kInvalidNode;
-  double delay = 0.0;  ///< dt(e): delay to transfer one unit (GB) of data
+  double delay = 0.0;     ///< dt(e): delay to transfer one unit (GB) of data
+  double capacity = 1.0;  ///< c(e): concurrent nominal transfers before contention
 
   /// The endpoint that is not `from` (precondition: from is an endpoint).
   [[nodiscard]] NodeId other(NodeId from) const noexcept {
@@ -63,9 +66,14 @@ class Graph {
   /// Append `count` nodes with the default role.
   void add_nodes(std::size_t count, NodeRole role = NodeRole::kSwitch);
 
-  /// Append an undirected edge u—v with the given per-unit delay.
-  /// Self-loops and negative delays are rejected (std::invalid_argument).
-  EdgeId add_edge(NodeId u, NodeId v, double delay);
+  /// Append an undirected edge u—v with the given per-unit delay and
+  /// nominal capacity.  Self-loops, negative delays, and non-positive
+  /// capacities are rejected (std::invalid_argument).
+  EdgeId add_edge(NodeId u, NodeId v, double delay, double capacity = 1.0);
+
+  /// Overwrite one edge's nominal capacity (must be > 0).  Capacities do
+  /// not live in the adjacency lists, so this never unseals the graph.
+  void set_capacity(EdgeId e, double capacity);
 
   [[nodiscard]] std::size_t num_nodes() const noexcept { return adjacency_.size(); }
   [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }

@@ -49,7 +49,9 @@ void write_topology(std::ostream& os, const Graph& g) {
     os << "node " << v << ' ' << to_string(g.role(v)) << '\n';
   }
   for (const Edge& e : g.edges()) {
-    os << "edge " << e.u << ' ' << e.v << ' ' << e.delay << '\n';
+    os << "edge " << e.u << ' ' << e.v << ' ' << e.delay;
+    if (e.capacity != 1.0) os << ' ' << e.capacity;
+    os << '\n';
   }
 }
 
@@ -87,7 +89,11 @@ Graph read_topology(std::istream& is) {
       double delay = 0.0;
       if (!(ss >> u >> v >> delay)) fail("malformed edge line");
       if (u >= g.num_nodes() || v >= g.num_nodes()) fail("edge id out of range");
-      g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), delay);
+      double capacity = 1.0;  // optional trailing token, pre-capacity default
+      if (!(ss >> capacity)) capacity = 1.0;
+      if (capacity <= 0.0) fail("edge capacity must be > 0");
+      g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), delay,
+                 capacity);
     } else {
       fail("unknown keyword '" + kind + "'");
     }

@@ -14,8 +14,10 @@ void write_dot(std::ostream& os, const Graph& g);
 
 /// Text format:
 ///   node <id> <role>
-///   edge <u> <v> <delay>
-/// Lines starting with '#' are comments.
+///   edge <u> <v> <delay> [capacity]
+/// The capacity token is omitted when it is the default 1.0, so files
+/// written before capacities existed and files of capacity-less graphs are
+/// byte-identical to the old format.  Lines starting with '#' are comments.
 void write_topology(std::ostream& os, const Graph& g);
 
 /// Parse the `write_topology` format.  Throws std::runtime_error on

@@ -6,6 +6,12 @@
 
 namespace edgerep {
 
+double derived_capacity(const Range& range, EdgeId e) noexcept {
+  SplitMix64 sm(derive_seed(0xca9ac117e5ULL, e));
+  const double frac = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return range.lo + (range.hi - range.lo) * frac;
+}
+
 void repair_connectivity(Graph& g, Range link_delay, Rng& rng) {
   if (g.num_nodes() <= 1) return;
   for (;;) {
@@ -135,6 +141,19 @@ TwoTierTopology make_two_tier(const TwoTierConfig& cfg, Rng& rng) {
     g.add_edge(bs, up, cfg.access_delay.sample(rng));
   }
   repair_connectivity(g, cfg.metro_delay, rng);
+  // Capacity post-pass: role-dependent ranges, per-edge hashed fractions.
+  // Runs after every edge exists (including repair edges) and consumes no
+  // Rng state, so delay/link draws above are untouched.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const bool access = g.role(edge.u) == NodeRole::kBaseStation ||
+                        g.role(edge.v) == NodeRole::kBaseStation;
+    const bool wan = g.role(edge.u) == NodeRole::kDataCenter ||
+                     g.role(edge.v) == NodeRole::kDataCenter;
+    const Range& range = access ? cfg.access_capacity
+                                : (wan ? cfg.wan_capacity : cfg.metro_capacity);
+    g.set_capacity(e, derived_capacity(range, e));
+  }
   return t;
 }
 

@@ -48,6 +48,16 @@ struct TwoTierConfig {
   Range metro_delay{0.05, 0.25};   ///< links inside the WMAN (CL/SW endpoints)
   Range wan_delay{1.20, 3.00};     ///< links with a data-center endpoint
   Range access_delay{0.01, 0.05};  ///< base station → switch attachment
+
+  // Nominal link capacities: how many concurrent unit-rate transfers a link
+  // carries before the flow backend's max-min fair sharing starts stretching
+  // completions.  WAN uplinks are the scarce resource.  Capacities are
+  // assigned in a deterministic per-edge post-pass (hashed from the edge id,
+  // not drawn from the topology Rng), so enabling them does not shift the
+  // delay/link draw sequence of previously committed instances.
+  Range metro_capacity{8.0, 16.0};   ///< links inside the WMAN
+  Range wan_capacity{2.0, 6.0};      ///< links with a data-center endpoint
+  Range access_capacity{4.0, 8.0};   ///< base station attachments
 };
 
 /// A generated two-tier topology with role index lists.
@@ -74,6 +84,12 @@ TwoTierConfig scaled_config(std::size_t total_nodes,
 /// Add the cheapest possible random repair edges until `g` is connected.
 /// Repair edges draw their delay from `link_delay`.
 void repair_connectivity(Graph& g, Range link_delay, Rng& rng);
+
+/// Deterministic capacity in [range.lo, range.hi) for edge `e`: the fraction
+/// is hashed from the edge id through SplitMix64 rather than drawn from a
+/// shared Rng, keeping topology Rng streams bit-identical to capacity-less
+/// builds.
+[[nodiscard]] double derived_capacity(const Range& range, EdgeId e) noexcept;
 
 /// GT-ITM's hierarchical transit-stub model: a backbone of transit domains
 /// (dense, fast links), each transit node anchoring several stub domains

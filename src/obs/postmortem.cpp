@@ -37,8 +37,19 @@ constexpr double kSlackTolerance = -1e-9;  // mirrors finalize_online_result
 
 struct DemandState {
   bool seen = false;
+  bool on_dc = false;
   std::uint32_t site = kNoSite;
-  double completion = 0.0;  ///< latest flight's start + total delay
+  std::uint32_t owner = 0;    ///< owning query id
+  std::uint32_t idx = 0;      ///< demand index within the query
+  std::uint32_t dataset = 0;  ///< latest flight's dataset
+  /// Bottleneck link that last throttled this demand's flow (kNoLink until
+  /// a kFlowRateChange rate transition names one; reset per flight).
+  std::uint32_t bottleneck = kNoLink;
+  double start = 0.0;  ///< latest flight's launch time
+  double proc = 0.0;   ///< latest flight's processing share
+  /// Latest flight's start + total delay; a flow retirement record
+  /// max-accumulates the contended actual on top, mirroring the kernels.
+  double completion = 0.0;
 };
 
 struct QueryState {
@@ -60,6 +71,7 @@ struct QueryState {
   std::uint32_t crit_demand = 0;
   std::uint32_t crit_site = kNoSite;
   std::uint32_t crit_dataset = 0;
+  std::uint32_t crit_link = kNoLink;
   bool crit_on_dc = false;
   double crit_start = 0.0;
   double crit_total = 0.0;
@@ -130,6 +142,13 @@ PostmortemReport analyze_journal(const Journal& journal) {
         DemandState& ds = demands[qs.demand_off + rec.arg];
         ds.seen = true;
         ds.site = rec.site;
+        ds.owner = rec.a;
+        ds.idx = rec.arg;
+        ds.dataset = rec.b;
+        ds.on_dc = (rec.flags & 1u) != 0;
+        ds.start = rec.time;
+        ds.proc = rec.v1;
+        ds.bottleneck = kNoLink;  // fresh flight → fresh flow
         ds.completion = rec.time + rec.v0;
         if (rec.site != kNoSite) {
           max_site = std::max(max_site, rec.site);
@@ -140,6 +159,7 @@ PostmortemReport analyze_journal(const Journal& journal) {
           qs.crit_demand = rec.arg;
           qs.crit_site = rec.site;
           qs.crit_dataset = rec.b;
+          qs.crit_link = kNoLink;
           qs.crit_on_dc = (rec.flags & 1u) != 0;
           qs.crit_start = rec.time;
           qs.crit_total = rec.v0;
@@ -205,6 +225,40 @@ PostmortemReport analyze_journal(const Journal& journal) {
         ++report.stream_rejects;
         if (!report.epochs.empty()) ++report.epochs.back().rejects;
         break;
+      case RecordKind::kFlowRateChange: {
+        // rec.a is the kernels' flat (query, demand) layout slot.  Arrival
+        // records replay queries in id order, so `demands` grows with the
+        // exact same prefix sums and the slot indexes it directly — unless
+        // a ring journal dropped arrivals, in which case the guard below
+        // skips unattributable records (best-effort, like flight orphans).
+        if (rec.a >= demands.size()) break;
+        DemandState& ds = demands[rec.a];
+        if (!ds.seen) break;
+        if (rec.arg == 0) {
+          ++report.flow_rate_changes;
+          ds.bottleneck = rec.b;
+          break;
+        }
+        // Retirement: the flow drained at rec.time — the authoritative
+        // actual completion.  Max-accumulate onto the priced completion,
+        // mirroring the kernels' deliver_transfer.
+        ++report.flow_retirements;
+        if (rec.time > ds.completion + 1e-9) ++report.flow_stretched;
+        if (rec.time > ds.completion) ds.completion = rec.time;
+        QueryState& qs = query_at(ds.owner);
+        if (ds.completion > qs.completion) {
+          qs.completion = ds.completion;
+          qs.crit_demand = ds.idx;
+          qs.crit_site = ds.site;
+          qs.crit_dataset = ds.dataset;
+          qs.crit_link = ds.bottleneck;
+          qs.crit_on_dc = ds.on_dc;
+          qs.crit_start = ds.start;
+          qs.crit_total = ds.completion - ds.start;  // includes the stretch
+          qs.crit_proc = ds.proc;
+        }
+        break;
+      }
     }
   }
 
@@ -218,6 +272,7 @@ PostmortemReport analyze_journal(const Journal& journal) {
   std::map<std::uint32_t, BucketAccum> by_site;
   std::map<std::uint32_t, BucketAccum> by_dataset;
   std::map<std::uint32_t, BucketAccum> by_role;
+  std::map<std::uint32_t, BucketAccum> by_link;
 
   for (std::uint32_t id = 0; id < queries.size(); ++id) {
     const QueryState& qs = queries[id];
@@ -240,6 +295,7 @@ PostmortemReport analyze_journal(const Journal& journal) {
       tl.critical_demand = qs.crit_demand;
       tl.critical_site = qs.crit_site;
       tl.critical_dataset = qs.crit_dataset;
+      tl.critical_link = qs.crit_link;
       tl.critical_on_dc = qs.crit_on_dc;
       tl.compute = qs.crit_proc;
       tl.transfer = qs.crit_total - qs.crit_proc;
@@ -267,6 +323,18 @@ PostmortemReport analyze_journal(const Journal& journal) {
           key = qs.crit_on_dc ? 1u : 0u;
         }
         BucketAccum& acc = (*accum)[key];
+        ++acc.served;
+        if (breach) {
+          ++acc.breaches;
+          acc.worst_slack = std::min(acc.worst_slack, tl.slack);
+          acc.total_overrun += -tl.slack;
+        }
+      }
+      // Link attribution only covers queries whose critical flow was
+      // actually throttled by a named link — cap-frozen and table-priced
+      // completions have no link to blame.
+      if (qs.crit_link != kNoLink) {
+        BucketAccum& acc = by_link[qs.crit_link];
         ++acc.served;
         if (breach) {
           ++acc.breaches;
@@ -305,6 +373,7 @@ PostmortemReport analyze_journal(const Journal& journal) {
   report.by_site = flatten_buckets(by_site);
   report.by_dataset = flatten_buckets(by_dataset);
   report.by_role = flatten_buckets(by_role);
+  report.by_link = flatten_buckets(by_link);
   return report;
 }
 
@@ -331,8 +400,10 @@ const char* bucket_kind_name(int which) {
       return "site";
     case 1:
       return "dataset";
-    default:
+    case 2:
       return "role";
+    default:
+      return "link";
   }
 }
 
@@ -380,6 +451,12 @@ void write_report_text(std::ostream& os, const PostmortemReport& report,
       any_reason = true;
     }
     if (any_reason) os << "\n";
+    if (report.flow_rate_changes > 0 || report.flow_retirements > 0) {
+      os << "flow backend: " << report.flow_rate_changes
+         << " rate change(s), " << report.flow_retirements
+         << " retirement(s), " << report.flow_stretched
+         << " stretched past the priced completion\n";
+    }
     const std::size_t total_breaches =
         report.slo.admitted_queries - report.slo.deadline_hits;
     if (total_breaches > 0) {
@@ -387,6 +464,7 @@ void write_report_text(std::ostream& os, const PostmortemReport& report,
       write_bucket_text(os, report.by_site, 0);
       write_bucket_text(os, report.by_dataset, 1);
       write_bucket_text(os, report.by_role, 2);
+      write_bucket_text(os, report.by_link, 3);
       const auto worst = worst_breaches(report, top_breaches);
       if (!worst.empty()) {
         os << "worst breaches:\n";
@@ -395,8 +473,11 @@ void write_report_text(std::ostream& os, const PostmortemReport& report,
              << " s (deadline " << tl->deadline << ", wait " << tl->wait
              << ", transfer " << tl->transfer << ", compute " << tl->compute
              << ") site " << tl->critical_site << " dataset "
-             << tl->critical_dataset << " relocations " << tl->relocations
-             << "\n";
+             << tl->critical_dataset << " relocations " << tl->relocations;
+          if (tl->critical_link != kNoLink) {
+            os << " bottleneck link " << tl->critical_link;
+          }
+          os << "\n";
         }
       }
     }
@@ -481,12 +562,17 @@ void write_report_json(std::ostream& os, const PostmortemReport& report,
     os << "}";
   }
   os << "]}";
+  os << ",\"flow\":{\"rate_changes\":" << report.flow_rate_changes
+     << ",\"retirements\":" << report.flow_retirements
+     << ",\"stretched\":" << report.flow_stretched << "}";
   os << ",\"breaches\":{\"by_site\":";
   write_bucket_json(os, report.by_site, "site");
   os << ",\"by_dataset\":";
   write_bucket_json(os, report.by_dataset, "dataset");
   os << ",\"by_role\":";
   write_bucket_json(os, report.by_role, "role");
+  os << ",\"by_link\":";
+  write_bucket_json(os, report.by_link, "link");
   os << ",\"worst\":[";
   const auto worst = worst_breaches(report, top_breaches);
   for (std::size_t i = 0; i < worst.size(); ++i) {
@@ -504,7 +590,11 @@ void write_report_json(std::ostream& os, const PostmortemReport& report,
     write_json_double(os, tl->compute);
     os << ",\"site\":" << tl->critical_site
        << ",\"dataset\":" << tl->critical_dataset
-       << ",\"relocations\":" << tl->relocations << "}";
+       << ",\"relocations\":" << tl->relocations;
+    if (tl->critical_link != kNoLink) {
+      os << ",\"bottleneck_link\":" << tl->critical_link;
+    }
+    os << "}";
   }
   os << "]}";
   os << ",\"stream\":{\"intents\":" << report.stream_intents

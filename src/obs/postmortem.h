@@ -17,6 +17,12 @@
 //   * SLO-breach attribution rolled up by site, dataset, and node role
 //     (cloudlet vs data center), keyed to the breached query's critical
 //     demand;
+//   * flow-backend attribution when the journal came from a
+//     `--network=flow` run: kFlowRateChange retirement records supersede
+//     the priced completion with the contended actual (the same
+//     max-accumulate the kernels apply), and breaches whose critical
+//     demand was stretched are additionally bucketed by the bottleneck
+//     link that last throttled it;
 //   * per-micro-epoch stream statistics (intents, commits, conflicts,
 //     requeues, rejects) when the journal came from the streaming plane.
 //
@@ -33,6 +39,10 @@
 #include "obs/recorder.h"
 
 namespace edgerep::obs {
+
+/// "No bottleneck link" sentinel for flow-backend attribution (mirrors the
+/// journal's ~0u edge id in kFlowRateChange records).
+inline constexpr std::uint32_t kNoLink = 0xffffffffu;
 
 /// Mirror of the simulator's per-site SLO row, rebuilt from the journal.
 struct PostmortemSiteSlo {
@@ -74,6 +84,10 @@ struct QueryTimeline {
   std::uint32_t critical_site = kNoSite;
   std::uint32_t critical_dataset = 0;
   bool critical_on_dc = false;  ///< critical flight served by a data center
+  /// Bottleneck link that last throttled the critical demand's flow
+  /// (kNoLink when the run used the delay table, the flow was cap-frozen,
+  /// or the critical flight finished exactly at its priced completion).
+  std::uint32_t critical_link = kNoLink;
   /// Slack decomposition along the critical demand, seconds:
   ///   wait     — critical flight's start minus arrival (relocation lag)
   ///   transfer — data movement share of the flight (total − processing)
@@ -125,6 +139,17 @@ struct PostmortemReport {
   std::vector<BreachBucket> by_site;
   std::vector<BreachBucket> by_dataset;
   std::vector<BreachBucket> by_role;
+  /// Flow-backend attribution: breaches whose critical demand was last
+  /// throttled by a known bottleneck link, keyed by edge id.  Empty for
+  /// delay-table journals.
+  std::vector<BreachBucket> by_link;
+  // --- flow section (zero when the journal has no flow records) ---------
+  std::size_t flow_rate_changes = 0;  ///< max-min re-fill rate transitions
+  std::size_t flow_retirements = 0;   ///< flows drained to completion
+  /// Retirements that landed later than the priced completion (the
+  /// contention stretch the SLO gap measures), same 1e-9 slack as the
+  /// kernels' late-transfer counter.
+  std::size_t flow_stretched = 0;
   // --- stream section (empty when the journal has no stream records) ----
   std::vector<EpochStats> epochs;
   std::size_t stream_intents = 0;

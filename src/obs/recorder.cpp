@@ -46,6 +46,8 @@ const char* to_string(RecordKind kind) noexcept {
       return "requeue";
     case RecordKind::kStreamReject:
       return "stream_reject";
+    case RecordKind::kFlowRateChange:
+      return "flow_rate_change";
   }
   return "unknown";
 }

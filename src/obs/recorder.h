@@ -74,9 +74,15 @@ enum class RecordKind : std::uint8_t {
   kStreamReject = 13,  ///< query left the stream unadmitted: a=query,
                        ///< b=shard, arg: 0=infeasible, 1=budget,
                        ///< 2=requeue budget spent
+  // Flow-level network backend (online simulator, --network=flow).
+  kFlowRateChange = 14,  ///< max-min re-fill changed a transfer's rate:
+                         ///< a=(query,demand) layout slot, v0=rate,
+                         ///< v1=remaining work, b=bottleneck edge (~0u when
+                         ///< the flow's own rate cap froze it), arg: 0=rate
+                         ///< transition, 1=retirement at actual completion
 };
 
-inline constexpr std::size_t kRecordKindCount = 14;
+inline constexpr std::size_t kRecordKindCount = 15;
 
 [[nodiscard]] const char* to_string(RecordKind kind) noexcept;
 

@@ -10,16 +10,20 @@ namespace edgerep {
 
 std::vector<double> max_min_rates(
     const std::vector<double>& link_capacity,
-    const std::vector<std::vector<EdgeId>>& flow_paths) {
+    const std::vector<std::vector<EdgeId>>& flow_paths,
+    const std::vector<double>& rate_cap) {
   const std::size_t num_flows = flow_paths.size();
   std::vector<double> rate(num_flows, 0.0);
   std::vector<char> frozen(num_flows, 0);
   std::vector<double> residual = link_capacity;
+  const auto cap_of = [&rate_cap](std::size_t f) {
+    return f < rate_cap.size() ? rate_cap[f] : kUnconstrainedRate;
+  };
   // Flows per link (only unfrozen ones are counted each round).
   std::size_t remaining = 0;
   for (std::size_t f = 0; f < num_flows; ++f) {
     if (flow_paths[f].empty()) {
-      rate[f] = kUnconstrainedRate;
+      rate[f] = std::min(kUnconstrainedRate, cap_of(f));
       frozen[f] = 1;
     } else {
       ++remaining;
@@ -40,11 +44,18 @@ std::vector<double> max_min_rates(
                               residual[e] / static_cast<double>(users[e]));
       }
     }
+    // A capped flow's remaining headroom can be the binding constraint of
+    // the round.  With the default (unconstrained) cap these comparisons
+    // never bind, leaving the allocation bit-identical to the uncapped one.
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      best_share = std::min(best_share, cap_of(f) - rate[f]);
+    }
     if (!std::isfinite(best_share)) break;  // defensive; cannot happen
     best_share = std::max(best_share, 0.0);
     // Freeze every unfrozen flow crossing a saturated link at best_share.
     // (All unfrozen flows gain best_share this round; those on bottleneck
-    // links stop growing.)
+    // links — or out of cap headroom — stop growing.)
     std::vector<char> saturated(link_capacity.size(), 0);
     for (std::size_t e = 0; e < link_capacity.size(); ++e) {
       if (users[e] > 0 &&
@@ -58,6 +69,7 @@ std::vector<double> max_min_rates(
       for (const EdgeId e : flow_paths[f]) residual[e] -= best_share;
       bool stop = false;
       for (const EdgeId e : flow_paths[f]) stop |= saturated[e] == 1;
+      stop |= cap_of(f) - rate[f] <= 1e-12;
       if (stop) {
         frozen[f] = 1;
         --remaining;
@@ -125,6 +137,7 @@ std::uint32_t FlowEngine::alloc_slot() {
     flow_mark_.push_back(0);
     frozen_mark_.push_back(0);
     fill_rate_.push_back(0.0);
+    frozen_edge_.push_back(kInvalidEdge);
   }
   return slot;
 }
@@ -160,6 +173,8 @@ void FlowEngine::complete_flow(std::uint32_t slot, bool via_event) {
   f.rate = 0.0;
   f.remaining = 0.0;
   ++f.gen;  // any armed prediction for the old rate goes stale
+  // Retirement record: rate 0 at the actual completion instant.
+  if (rate_listener_) rate_listener_(f.tag, now(), 0.0, 0.0, kInvalidEdge);
   if (eq_ != nullptr) {
     // Closure mode: deliver via the queue so the callback runs outside the
     // engine frame, and recycle the slot right away.
@@ -209,7 +224,10 @@ void FlowEngine::gather_component(std::uint32_t seed) {
 
 void FlowEngine::fill_component() {
   for (const EdgeId e : comp_links_) residual_[e] = link_capacity_[e];
-  for (const std::uint32_t f : comp_flows_) fill_rate_[f] = 0.0;
+  for (const std::uint32_t f : comp_flows_) {
+    fill_rate_[f] = 0.0;
+    frozen_edge_[f] = kInvalidEdge;
+  }
   const std::uint64_t fill_id = ++round_;
   std::size_t remaining = comp_flows_.size();
   // Progressive filling restricted to the component: same arithmetic, same
@@ -228,6 +246,14 @@ void FlowEngine::fill_component() {
                               residual_[e] / static_cast<double>(users_[e]));
       }
     }
+    // Per-flow caps participate like virtual private links: a capped
+    // flow's remaining headroom can be the round's binding constraint.
+    // With the default (unconstrained) cap none of these comparisons ever
+    // bind, so uncapped allocations stay bit-identical.
+    for (const std::uint32_t f : comp_flows_) {
+      if (frozen_mark_[f] == fill_id) continue;
+      best_share = std::min(best_share, flows_[f].cap - fill_rate_[f]);
+    }
     if (!std::isfinite(best_share)) break;  // defensive; cannot happen
     best_share = std::max(best_share, 0.0);
     const std::uint64_t rs = ++round_;
@@ -244,8 +270,13 @@ void FlowEngine::fill_component() {
       bool stop = false;
       for (const EdgeId e : flows_[f].path) {
         residual_[e] -= best_share;
-        stop |= sat_mark_[e] == rs;
+        if (sat_mark_[e] == rs && !stop) {
+          stop = true;
+          frozen_edge_[f] = e;  // first bottleneck link on the path
+        }
       }
+      // Cap-frozen flows keep kInvalidEdge: no link is to blame.
+      stop |= flows_[f].cap - fill_rate_[f] <= 1e-12;
       if (stop) {
         frozen_mark_[f] = fill_id;
         --remaining;
@@ -262,10 +293,14 @@ void FlowEngine::fill_component() {
     fl.rate = r;
     ++fl.gen;
     schedule_completion(f);
+    if (rate_listener_) {
+      rate_listener_(fl.tag, now(), r, fl.remaining, frozen_edge_[f]);
+    }
   }
 }
 
-void FlowEngine::recompute(std::uint32_t seed, bool force_complete) {
+void FlowEngine::recompute(std::uint32_t seed, bool force_complete,
+                           bool silent_seed) {
   // Phase A: gather the changed flow's connected component.
   ++epoch_;
   gather_component(seed);
@@ -289,7 +324,19 @@ void FlowEngine::recompute(std::uint32_t seed, bool force_complete) {
   }
   for (const std::uint32_t f : retire_buf_) {
     unlink(f);
-    complete_flow(f, force_complete && f == seed);
+    if (silent_seed && f == seed) {
+      // Cancelled: free without delivery and without a retirement record.
+      Flow& fl = flows_[f];
+      if (fl.state == State::kActive) --active_;
+      fl.rate = 0.0;
+      fl.remaining = 0.0;
+      ++fl.gen;  // any armed prediction goes stale
+      fl.state = State::kFree;
+      fl.done = nullptr;
+      free_.push_back(f);
+    } else {
+      complete_flow(f, force_complete && f == seed && !silent_seed);
+    }
   }
   // Phase D: refill the surviving components.  A retirement may have split
   // the gathered component; each true component is gathered and filled
@@ -314,40 +361,51 @@ void FlowEngine::recompute(std::uint32_t seed, bool force_complete) {
   }
 }
 
-void FlowEngine::start_flow(double size_gb, std::vector<EdgeId> path,
-                            std::function<void()> on_complete) {
+std::uint32_t FlowEngine::start_flow(double size_gb, std::vector<EdgeId> path,
+                                     std::function<void()> on_complete,
+                                     std::uint32_t tag, double rate_cap) {
   if (eq_ == nullptr) {
     throw std::logic_error("FlowEngine: closure start on a typed-mode engine");
+  }
+  if (rate_cap <= 0.0) {
+    throw std::invalid_argument("FlowEngine: rate cap must be > 0");
   }
   validate_path(path);
   if (path.empty() || size_gb <= 1e-12) {
     // Trivial flows complete at now without touching the registry.
     if (on_complete) eq_->schedule_in(0.0, std::move(on_complete));
-    return;
+    return kNoFlow;
   }
   const std::uint32_t slot = alloc_slot();
   Flow& f = flows_[slot];
   f.remaining = size_gb;
   f.rate = 0.0;
+  f.cap = rate_cap;
   f.last_advance = now();
   f.path = std::move(path);
   f.done = std::move(on_complete);
+  f.tag = tag;
   f.state = State::kActive;
   ++active_;
   for (const EdgeId e : f.path) link_users_[e].push_back(slot);
   recompute(slot, /*force_complete=*/false);
+  return slot;
 }
 
 std::uint32_t FlowEngine::start_flow(double size_gb, std::vector<EdgeId> path,
-                                     std::uint32_t tag) {
+                                     std::uint32_t tag, double rate_cap) {
   if (tq_ == nullptr) {
     throw std::logic_error("FlowEngine: typed start on a closure-mode engine");
+  }
+  if (rate_cap <= 0.0) {
+    throw std::invalid_argument("FlowEngine: rate cap must be > 0");
   }
   validate_path(path);
   const std::uint32_t slot = alloc_slot();
   Flow& f = flows_[slot];
   f.tag = tag;
   f.done = nullptr;
+  f.cap = rate_cap;
   if (path.empty() || size_gb <= 1e-12) {
     f.remaining = 0.0;
     f.rate = 0.0;
@@ -366,6 +424,37 @@ std::uint32_t FlowEngine::start_flow(double size_gb, std::vector<EdgeId> path,
   for (const EdgeId e : f.path) link_users_[e].push_back(slot);
   recompute(slot, /*force_complete=*/false);
   return slot;
+}
+
+void FlowEngine::cancel(std::uint32_t slot) {
+  if (slot >= flows_.size()) return;
+  Flow& f = flows_[slot];
+  if (f.state == State::kCompleting) {
+    // Drained but undelivered: stale the parked event and free the slot
+    // (the generation is monotone per slot, so a later reuse cannot
+    // resurrect the event).
+    ++f.gen;
+    f.state = State::kFree;
+    f.done = nullptr;
+    free_.push_back(slot);
+    return;
+  }
+  if (f.state != State::kActive) return;
+  recompute(slot, /*force_complete=*/true, /*silent_seed=*/true);
+}
+
+void FlowEngine::set_link_capacity(EdgeId e, double capacity) {
+  if (e >= link_capacity_.size()) {
+    throw std::out_of_range("FlowEngine: link out of range");
+  }
+  if (capacity <= 0.0) {
+    throw std::invalid_argument("FlowEngine: link capacity must be > 0");
+  }
+  link_capacity_[e] = capacity;
+  if (link_users_[e].empty()) return;
+  // Advance the crossing flows to now under their old rates, then refill
+  // their component with the new capacity (drained flows retire normally).
+  recompute(link_users_[e].front(), /*force_complete=*/false);
 }
 
 std::uint32_t FlowEngine::handle_event(const SimEvent& ev) {

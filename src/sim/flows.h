@@ -40,12 +40,17 @@ namespace edgerep {
 
 /// Max-min fair rates for `flow_paths` over links with capacities
 /// `link_capacity` (GB/s).  A flow with an empty path is unconstrained and
-/// gets an infinite rate sentinel (kUnconstrainedRate).  Exposed separately
-/// so tests can check the allocation against hand-computed examples.
+/// gets an infinite rate sentinel (kUnconstrainedRate).  `rate_cap`, when
+/// non-empty, is a per-flow ceiling: a flow stops growing once it reaches
+/// its cap even if its links have headroom (the online backend caps every
+/// transfer at nominal rate 1.0, so uncontended flows finish exactly at
+/// their priced delay).  Exposed separately so tests can check the
+/// allocation against hand-computed examples.
 inline constexpr double kUnconstrainedRate = 1e300;
 std::vector<double> max_min_rates(
     const std::vector<double>& link_capacity,
-    const std::vector<std::vector<EdgeId>>& flow_paths);
+    const std::vector<std::vector<EdgeId>>& flow_paths,
+    const std::vector<double>& rate_cap = {});
 
 class FlowEngine {
  public:
@@ -57,6 +62,17 @@ class FlowEngine {
   /// (oracle; bit-identical by construction, used by the equivalence tests).
   enum class Recompute : std::uint8_t { kIncremental, kFull };
 
+  /// Observer of every flow rate transition: called when a fill changes a
+  /// flow's rate (rate > 0; `bottleneck` is the saturated link that froze
+  /// the flow, or kInvalidEdge when its own rate cap did) and once at
+  /// retirement (rate == 0, remaining == 0, `time` = the actual completion
+  /// instant).  The call sequence is deterministic (ascending slot order
+  /// inside each fill) and mirrored across the closure/typed cores, so
+  /// journal appends driven from here stay byte-identical across kernels.
+  using RateListener = std::function<void(
+      std::uint32_t tag, double time, double rate, double remaining,
+      EdgeId bottleneck)>;
+
   /// Closure mode: completions fire the caller's std::function on `eq`.
   /// `link_capacity[e]` is the bandwidth of edge e in GB/s.
   FlowEngine(EventQueue& eq, std::vector<double> link_capacity);
@@ -66,24 +82,52 @@ class FlowEngine {
 
   void set_recompute_mode(Recompute mode) noexcept { mode_ = mode; }
 
+  /// Install (or clear, with nullptr) the rate-transition observer.
+  void set_rate_listener(RateListener listener) {
+    rate_listener_ = std::move(listener);
+  }
+
   /// Begin transferring `size_gb` along `path` (edge ids); `on_complete`
   /// fires at the simulated completion instant.  A flow of size 0 or with
-  /// an empty path completes immediately (scheduled at now).  Closure mode
-  /// only.
-  void start_flow(double size_gb, std::vector<EdgeId> path,
-                  std::function<void()> on_complete);
+  /// an empty path completes immediately (scheduled at now; returns kNoFlow
+  /// — no slot is allocated).  `rate_cap` bounds the flow's rate;
+  /// `tag` labels it for the rate listener.  Closure mode only.  Returns
+  /// the flow's slot (usable with cancel()).
+  std::uint32_t start_flow(double size_gb, std::vector<EdgeId> path,
+                           std::function<void()> on_complete,
+                           std::uint32_t tag = 0,
+                           double rate_cap = kUnconstrainedRate);
 
   /// Typed-mode start: the completion arrives on the queue as
   /// kTransferDone{a = slot, b = generation}; `tag` is returned by
   /// handle_event when that event is current.  Returns the flow's slot.
   std::uint32_t start_flow(double size_gb, std::vector<EdgeId> path,
-                           std::uint32_t tag);
+                           std::uint32_t tag,
+                           double rate_cap = kUnconstrainedRate);
 
   /// Feed a popped kTransferDone event to the engine.  Returns the starting
   /// call's `tag` when the event is a current completion, kNoFlow when it
   /// is stale (the flow's rate changed after it was scheduled) or not a
   /// kTransferDone at all.  Typed mode only.
   [[nodiscard]] std::uint32_t handle_event(const SimEvent& ev);
+
+  /// Abort `slot` without delivering a completion: the flow leaves its
+  /// links, any armed event goes stale, freed bandwidth is re-filled into
+  /// the surviving component(s), and no closure/typed completion ever
+  /// fires (the rate listener is not called either — the caller records
+  /// the kill itself).  No-op when the slot is already free or parked
+  /// completing and you raced its own delivery (the generation guard keeps
+  /// the late event stale).  Both modes.
+  void cancel(std::uint32_t slot);
+
+  /// Change one link's capacity mid-run (must stay > 0): flows crossing it
+  /// are advanced to now and their component re-filled.  Links without
+  /// active flows just take the new value.  Both modes.
+  void set_link_capacity(EdgeId e, double capacity);
+
+  [[nodiscard]] double link_capacity(EdgeId e) const {
+    return link_capacity_.at(e);
+  }
 
   [[nodiscard]] std::size_t active_flows() const noexcept { return active_; }
 
@@ -93,10 +137,11 @@ class FlowEngine {
   struct Flow {
     double remaining = 0.0;
     double rate = 0.0;
+    double cap = kUnconstrainedRate;  ///< per-flow rate ceiling
     double last_advance = 0.0;
     std::vector<EdgeId> path;        ///< moved in; capacity reused on reuse
     std::function<void()> done;      ///< closure mode
-    std::uint32_t tag = 0;           ///< typed mode
+    std::uint32_t tag = 0;           ///< typed mode / listener label
     std::uint32_t gen = 0;           ///< bumps on rate change and retire
     State state = State::kFree;
   };
@@ -126,15 +171,18 @@ class FlowEngine {
   void fill_component();
 
   /// Advance the seed's component to now, complete drained flows
-  /// (`force_complete` = the seed itself finishes regardless of residual),
+  /// (`force_complete` = the seed itself finishes regardless of residual;
+  /// `silent_seed` = the seed is being cancelled — freed without delivery),
   /// then refill the surviving components — the seed's under kIncremental,
   /// every component under kFull.
-  void recompute(std::uint32_t seed, bool force_complete);
+  void recompute(std::uint32_t seed, bool force_complete,
+                 bool silent_seed = false);
 
   EventQueue* eq_ = nullptr;          // closure mode
   TypedEventQueue* tq_ = nullptr;     // typed mode
   std::vector<double> link_capacity_;
   Recompute mode_ = Recompute::kIncremental;
+  RateListener rate_listener_;
 
   std::vector<Flow> flows_;
   std::vector<std::uint32_t> free_;
@@ -148,6 +196,7 @@ class FlowEngine {
   std::vector<std::uint64_t> link_mark_;
   std::vector<std::uint64_t> frozen_mark_;  ///< fill: flow frozen this epoch
   std::vector<std::uint64_t> sat_mark_;     ///< fill: link saturated round
+  std::vector<EdgeId> frozen_edge_;  ///< fill: link that froze each flow
   std::vector<std::uint32_t> stack_;
   std::vector<std::uint32_t> comp_flows_;
   std::vector<EdgeId> comp_links_;

@@ -4,15 +4,18 @@
 #include <array>
 #include <bit>
 #include <cmath>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 
 #include "cloud/delay.h"
+#include "net/routes.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
 #include "sim/event.h"
+#include "sim/flows.h"
 #include "sim/online_internal.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -82,7 +85,9 @@ void OnlineStatusBoard::write_json(std::ostream& os) const {
     if (i > 0) os << ", ";
     obs::write_json_double(os, s.site_available[i]);
   }
-  os << "]}\n";
+  os << "], \"active_flows\": " << s.active_flows
+     << ", \"flow_rate_changes\": " << s.flow_rate_changes
+     << ", \"flow_late_transfers\": " << s.flow_late_transfers << "}\n";
   os.precision(old);
 }
 
@@ -158,6 +163,44 @@ void finalize_online_result(const Instance& inst, const DemandLayout& layout,
     slo.p99_slack = slack_percentile(site_slacks[s], 1.0);
     res->slo.per_site.push_back(slo);
   }
+}
+
+std::vector<double> flow_link_capacities(const Graph& g,
+                                         double oversubscription) {
+  std::vector<double> caps;
+  caps.reserve(g.num_edges());
+  for (const Edge& e : g.edges()) {
+    caps.push_back(oversubscription == 0.0 ? kContentionFreeCapacity
+                                           : e.capacity / oversubscription);
+  }
+  return caps;
+}
+
+void finalize_flow_gap(const Instance& inst,
+                       const std::vector<double>& predicted,
+                       OnlineResult* res) {
+  FlowGapStats& g = res->flow_gap;
+  double stretch_sum = 0.0;
+  for (const OnlineOutcome& o : res->outcomes) {
+    if (!o.admitted) continue;
+    const Query& q = inst.query(o.query);
+    ++g.queries_compared;
+    const double pred_slack =
+        q.deadline - (predicted[o.query] - o.arrival_time);
+    const double act_slack =
+        q.deadline - (o.completion_time - o.arrival_time);
+    const bool pred_hit = pred_slack >= -1e-9;
+    const bool act_hit = act_slack >= -1e-9;
+    if (pred_hit) ++g.predicted_hits;
+    if (act_hit) ++g.actual_hits;
+    if (pred_hit && !act_hit) ++g.gap_breaches;
+    const double stretch = o.completion_time - predicted[o.query];
+    g.max_stretch = std::max(g.max_stretch, stretch);
+    stretch_sum += stretch;
+  }
+  g.mean_stretch = g.queries_compared > 0
+                       ? stretch_sum / static_cast<double>(g.queries_compared)
+                       : 0.0;
 }
 
 void emit_online_spans(const std::vector<SpanRec>& spans,
@@ -274,6 +317,53 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
   const DemandLayout layout(inst);
   std::vector<DemandEnd> demand_ends(layout.total());
 
+  // Flow backend (cfg.network == kFlow): every admitted transfer is replayed
+  // as a rate-capped flow over its shortest path, and the contention-
+  // stretched completion overwrites (via max) the table-predicted one in
+  // demand_ends / outcomes.  Admission pricing stays on the delay table.
+  const bool flow_on = cfg.network == OnlineNetwork::kFlow;
+  std::unique_ptr<FlowEngine> flow;
+  RouteTable routes;
+  std::vector<double> flow_base_caps;   // effective capacity per edge
+  std::vector<QueryId> slot_query;      // layout slot -> owning query
+  std::vector<std::uint32_t> qd_flow;   // layout slot -> live flow slot
+  std::vector<EdgeId> route_buf;
+  std::vector<double> flow_predicted;   // per query, table-priced completion
+  std::size_t flow_late = 0;            // deliveries after predicted time
+  if (flow_on) {
+    flow_base_caps = online_detail::flow_link_capacities(
+        inst.graph(), cfg.oversubscription);
+    flow = std::make_unique<FlowEngine>(eq, flow_base_caps);
+    std::vector<NodeId> site_nodes;
+    site_nodes.reserve(inst.sites().size());
+    for (const Site& s : inst.sites()) site_nodes.push_back(s.node);
+    routes = RouteTable::compute(inst.graph(), site_nodes);
+    slot_query.resize(layout.total());
+    for (const Query& q : inst.queries()) {
+      for (std::uint32_t d = 0; d < q.demands.size(); ++d) {
+        slot_query[layout.at(q.id, d)] = q.id;
+      }
+    }
+    qd_flow.assign(layout.total(), FlowEngine::kNoFlow);
+    flow_predicted.resize(inst.queries().size(), 0.0);
+    flow->set_rate_listener([&](std::uint32_t tag, double t, double rate,
+                                double remaining, EdgeId bottleneck) {
+      if (rate > 0.0) ++res.flow_gap.rate_changes;
+      if (rec_on) {
+        obs::JournalRecord r;
+        r.time = t;
+        r.v0 = rate;
+        r.v1 = remaining;
+        r.a = tag;
+        r.b = static_cast<std::uint32_t>(bottleneck);
+        r.site = obs::kNoSite;
+        r.kind = static_cast<std::uint8_t>(obs::RecordKind::kFlowRateChange);
+        r.arg = rate > 0.0 ? 0 : 1;  // 1 = retirement at actual completion
+        rec->append(r);
+      }
+    });
+  }
+
   // Span timelines (trace facet): buffered locally, emitted after the run.
   std::vector<SpanRec> spans;
   std::vector<SpanRec> instants;  // t0 only; 'n' events (crash / relocate)
@@ -320,6 +410,20 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
       g_clock.set(eq.now());
       g_util.set(total_available > 0.0 ? in_use_total / total_available
                                        : 0.0);
+      if (flow_on) {
+        static obs::Gauge& g_flows = obs::metrics().gauge(
+            "edgerep_online_active_flows",
+            "flow backend: transfers currently in flight");
+        static obs::Gauge& g_ratech = obs::metrics().gauge(
+            "edgerep_online_flow_rate_changes",
+            "flow backend: max-min re-fill rate transitions");
+        static obs::Gauge& g_late = obs::metrics().gauge(
+            "edgerep_online_flow_late_transfers",
+            "flow backend: deliveries after their table-predicted time");
+        g_flows.set(static_cast<double>(flow->active_flows()));
+        g_ratech.set(static_cast<double>(res.flow_gap.rate_changes));
+        g_late.set(static_cast<double>(flow_late));
+      }
     }
     if (board == nullptr) return;
     OnlineStatus st;
@@ -340,8 +444,72 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
       st.site_in_use.push_back(sites[s.id].in_use);
       st.site_available.push_back(faults.available(s.id));
     }
+    st.active_flows = flow_on ? flow->active_flows() : 0;
+    st.flow_rate_changes = res.flow_gap.rate_changes;
+    st.flow_late_transfers = flow_late;
     st.finished = force && arrivals_seen == inst.queries().size();
     board->publish(st);
+  };
+
+  /// Abort the live flow of one (query, demand) slot, if any — kill paths
+  /// and relocation call this; the table prediction in demand_ends stands.
+  auto cancel_transfer = [&](std::size_t ls) {
+    if (!flow_on || qd_flow[ls] == FlowEngine::kNoFlow) return;
+    flow->cancel(qd_flow[ls]);
+    qd_flow[ls] = FlowEngine::kNoFlow;
+  };
+
+  /// A flow finished: overwrite the table-predicted completion with the
+  /// flow-simulated actual.  Monotone (max), so the contention-free limit —
+  /// where the actual equals the prediction bit for bit — changes nothing.
+  auto deliver_transfer = [&](std::size_t ls, double t) {
+    qd_flow[ls] = FlowEngine::kNoFlow;
+    DemandEnd& de = demand_ends[ls];
+    if (t > de.completion + 1e-9) ++flow_late;
+    de.completion = std::max(de.completion, t);
+    OnlineOutcome& o = res.outcomes[slot_query[ls]];
+    o.completion_time = std::max(o.completion_time, t);
+    push_status(false);
+  };
+
+  /// Route one admitted transfer as a flow: full evaluation delay as the
+  /// flow size, nominal rate capped at 1.0 (so an uncontended flow finishes
+  /// exactly at the priced delay), path = shortest route from the
+  /// evaluation site to the query home.  Local evaluations (empty route)
+  /// and zero-work transfers are not flows — the prediction stands.
+  auto start_transfer = [&](QueryId m, std::uint32_t demand, SiteId site,
+                            double total) {
+    if (!flow_on) return;
+    const std::size_t ls = layout.at(m, demand);
+    cancel_transfer(ls);
+    if (total <= 0.0) return;
+    const NodeId home = inst.site(inst.query(m).home).node;
+    if (!routes.edge_path(inst.graph(), site, home, route_buf) ||
+        route_buf.empty()) {
+      return;
+    }
+    const std::uint32_t slot = flow->start_flow(
+        total, std::vector<EdgeId>(route_buf.begin(), route_buf.end()),
+        [&, ls] { deliver_transfer(ls, eq.now()); },
+        static_cast<std::uint32_t>(ls), /*rate_cap=*/1.0);
+    if (slot != FlowEngine::kNoFlow) {
+      qd_flow[ls] = slot;
+      ++res.flow_gap.flows_routed;
+    }
+  };
+
+  /// Capacity faults steal NIC bandwidth along with compute: scale every
+  /// link incident to the struck site's node by the remaining compute
+  /// fraction (clamped away from zero so flows keep progressing).  Site
+  /// crashes do not touch links (the co-located switch survives), and link
+  /// up/down events shape routing of future admissions only — in-flight
+  /// transfers are not re-simulated (see the contract in sim/online.h).
+  auto update_flow_links = [&](SiteId s) {
+    if (!flow_on) return;
+    const double scale = std::max(faults.capacity_scale(s), 1e-6);
+    for (const HalfEdge& he : inst.graph().neighbors(inst.site(s).node)) {
+      flow->set_link_capacity(he.edge, flow_base_caps[he.edge] * scale);
+    }
   };
 
   /// Truncate a killed flight's spans at the kill instant (a demand span
@@ -355,7 +523,8 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     }
   };
 
-  /// Release a flight's resource (idempotent).
+  /// Release a flight's resource (idempotent).  The slot's flow, if still
+  /// in the air, is silently aborted — a killed demand delivers nothing.
   auto kill_flight = [&](std::size_t idx) {
     Inflight& f = flights[idx];
     if (!f.alive) return;
@@ -363,6 +532,7 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     sites[f.site].in_use -= f.need;
     --inflight_count;
     in_use_total -= f.need;
+    cancel_transfer(layout.at(f.query, f.demand));
     truncate_flight_spans(idx);
   };
 
@@ -443,6 +613,13 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
       rec->append(r);
     }
     for (const std::size_t idx : by_query[m]) kill_flight(idx);
+    if (flow_on) {
+      // Demands whose compute already finished may still be shipping their
+      // result; a failed query delivers nothing, so abort every slot.
+      const std::size_t base = layout.at(m, 0);
+      const std::size_t count = inst.query(m).demands.size();
+      for (std::size_t d = 0; d < count; ++d) cancel_transfer(base + d);
+    }
     // Keep the provisional live count honest; the exact count is recomputed
     // from outcomes after eq.run().
     if (res.outcomes[m].admitted && res.admitted_queries > 0) {
@@ -529,6 +706,10 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     if (rec_on) {
       record_flight(obs::RecordKind::kRelocate, f.query, f.demand, site,
                     dd.dataset, total, proc);
+    }
+    start_transfer(f.query, f.demand, site, total);
+    if (flow_on) {
+      flow_predicted[f.query] = std::max(flow_predicted[f.query], completion);
     }
     if (trace_on) {
       instants.push_back({"online.relocate",
@@ -772,6 +953,8 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
                       static_cast<std::uint32_t>(i), d.site, n, d.total_delay,
                       d.proc);
       }
+      start_transfer(q.id, static_cast<std::uint32_t>(i), d.site,
+                     d.total_delay);
       if (audit_on) {
         obs::AuditEntry e;
         e.algorithm = "online";
@@ -786,6 +969,7 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     }
     track_peak();
     outcome.completion_time = eq.now() + response;
+    if (flow_on) flow_predicted[q.id] = outcome.completion_time;
     if (trace_on && query_span[q.id] != kNoSpan) {
       spans[query_span[q.id]].t1 = outcome.completion_time;
     }
@@ -813,7 +997,11 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
           on_site_down(e.site);
           break;
         case FaultKind::kCapacityLoss:
+          update_flow_links(e.site);
           on_capacity_loss(e.site);
+          break;
+        case FaultKind::kCapacityRestore:
+          update_flow_links(e.site);
           break;
         default:
           break;  // recoveries and link events shape future decisions only
@@ -875,6 +1063,7 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
   res.kernel_stats.flight_bytes = flights.capacity() * sizeof(Inflight);
 
   online_detail::finalize_online_result(inst, layout, demand_ends, &res);
+  if (flow_on) online_detail::finalize_flow_gap(inst, flow_predicted, &res);
 
   if (trace_on) online_detail::emit_online_spans(spans, instants);
   if (audit_on) {
@@ -899,6 +1088,11 @@ OnlineResult run_online(const Instance& inst, const OnlineConfig& cfg,
   }
   if (cfg.arrival_rate <= 0.0) {
     throw std::invalid_argument("run_online: arrival rate must be positive");
+  }
+  if (!(cfg.oversubscription >= 0.0) ||
+      !std::isfinite(cfg.oversubscription)) {
+    throw std::invalid_argument(
+        "run_online: oversubscription must be finite and >= 0");
   }
   if (proactive != nullptr && &proactive->instance() != &inst) {
     throw std::invalid_argument("run_online: proactive plan is for a "

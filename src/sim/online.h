@@ -61,6 +61,10 @@ struct OnlineStatus {
   double utilization = 0.0;        ///< in-use GHz / fault-free total GHz
   std::vector<double> site_in_use;     ///< per site, GHz
   std::vector<double> site_available;  ///< per site, fault-scaled GHz
+  /// Flow-backend telemetry (zero on table runs).
+  std::size_t active_flows = 0;        ///< transfers currently in flight
+  std::size_t flow_rate_changes = 0;   ///< max-min re-fill transitions so far
+  std::size_t flow_late_transfers = 0; ///< deliveries after their predicted time
   bool finished = false;
 };
 
@@ -99,6 +103,34 @@ class OnlineStatusBoard {
 /// fixed (instance, config, faults) produce bit-identical OnlineResult on
 /// both kernels (pinned by tests/sim/online_equivalence_test.cpp).
 enum class OnlineKernel : std::uint8_t { kTyped, kClosure };
+
+/// Transfer backend.  `kTable` prices and *simulates* transfers with the
+/// static per-site delay table — a thousand simultaneous transfers through
+/// one WMAN link are free.  `kFlow` keeps admission pricing on the table
+/// but replays every admitted transfer as a flow over its shortest path
+/// through the FlowEngine's max-min fair bandwidth sharing: completions
+/// stretch under contention, and the run reports the predicted-vs-actual
+/// SLO gap.  With `oversubscription == 0` (infinite link capacities) the
+/// flow backend is bit-identical to the table backend on both kernels —
+/// the correctness oracle pinned by tests/sim/online_flow_test.cpp.
+enum class OnlineNetwork : std::uint8_t { kTable, kFlow };
+
+/// Predicted-vs-actual deadline accounting of the flow backend (zeroed on
+/// table runs).  "Predicted" is the admission-time completion priced from
+/// the delay table; "actual" is the flow-simulated completion under
+/// contention.  Excluded from online_result_hash (like kernel_stats): the
+/// gap is diagnostic, not part of the cross-kernel equivalence contract —
+/// but it IS deterministic and bit-identical across kernels.
+struct FlowGapStats {
+  std::size_t flows_routed = 0;       ///< transfers replayed as flows
+  std::size_t rate_changes = 0;       ///< max-min re-fill rate transitions
+  std::size_t queries_compared = 0;   ///< served queries with both verdicts
+  std::size_t predicted_hits = 0;     ///< deadline hits per the delay table
+  std::size_t actual_hits = 0;        ///< deadline hits under contention
+  std::size_t gap_breaches = 0;       ///< predicted hit, actual miss
+  double max_stretch = 0.0;           ///< max (actual − predicted), seconds
+  double mean_stretch = 0.0;          ///< mean (actual − predicted), seconds
+};
 
 /// Executive accounting of one run's event core (not part of the
 /// equivalence contract; excluded from online_result_hash).
@@ -145,6 +177,15 @@ struct OnlineConfig {
 
   /// Event core selection; results are bit-identical across kernels.
   OnlineKernel kernel = OnlineKernel::kTyped;
+
+  /// Transfer backend: admission always prices with the delay table; kFlow
+  /// additionally verifies completions under max-min fair link sharing.
+  OnlineNetwork network = OnlineNetwork::kTable;
+  /// Scales link capacities for the flow backend: effective capacity =
+  /// edge.capacity / oversubscription.  Larger values mean scarcer links.
+  /// 0 is the contention-free limit (infinite capacities) — the oracle
+  /// regime in which kFlow is bit-identical to kTable.
+  double oversubscription = 1.0;
 };
 
 struct OnlineOutcome {
@@ -202,8 +243,14 @@ struct OnlineResult {
   std::size_t demands_relocated = 0;  ///< displaced and re-seated in flight
   std::size_t replicas_lost_to_faults = 0;
 
-  /// Deadline-SLO rollup (computed on every run; deterministic).
+  /// Deadline-SLO rollup (computed on every run; deterministic).  Under
+  /// the flow backend the completions (and hence slack) are the
+  /// contention-stretched actuals.
   SloRollup slo;
+
+  /// Predicted-vs-actual gap of the flow backend (zeroed on table runs;
+  /// excluded from online_result_hash, bit-identical across kernels).
+  FlowGapStats flow_gap;
 
   /// Event-core accounting (differs across kernels by design; excluded
   /// from the equivalence contract and from online_result_hash).

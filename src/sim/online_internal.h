@@ -109,6 +109,28 @@ void finalize_online_result(const Instance& inst, const DemandLayout& layout,
                             const std::vector<DemandEnd>& demand_ends,
                             OnlineResult* res);
 
+/// Effective link capacity of the flow backend in the contention-free
+/// limit (OnlineConfig::oversubscription == 0).  Large enough that no link
+/// ever binds (every transfer is capped at nominal rate 1.0), small enough
+/// that capacity arithmetic stays finite.
+inline constexpr double kContentionFreeCapacity = 1e18;
+
+/// Per-edge effective capacities for the flow backend:
+/// `edge.capacity / oversubscription`, or kContentionFreeCapacity for every
+/// edge when oversubscription == 0.  Shared by both kernels so the division
+/// is performed identically.
+std::vector<double> flow_link_capacities(const Graph& g,
+                                         double oversubscription);
+
+/// Predicted-vs-actual gap rollup of the flow backend, shared verbatim by
+/// both kernels.  `predicted` holds the table-priced completion per query
+/// (what OnlineOutcome::completion_time would be on a kTable run); the
+/// actuals are read from res->outcomes.  Fills every FlowGapStats field
+/// except flows_routed / rate_changes, which the run accumulates live.
+void finalize_flow_gap(const Instance& inst,
+                       const std::vector<double>& predicted,
+                       OnlineResult* res);
+
 /// Emit the buffered span timeline as async 'b'/'e' pairs (and 'n'
 /// instants) on the sim-clock trace track.  Call only when the trace facet
 /// is on.

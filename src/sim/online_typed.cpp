@@ -21,15 +21,18 @@
 // tests/sim/online_equivalence_test.cpp).
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "cloud/delay.h"
+#include "net/routes.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
 #include "sim/event_kernel.h"
+#include "sim/flows.h"
 #include "sim/online.h"
 #include "sim/online_internal.h"
 
@@ -144,6 +147,54 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
   // Latest flight per (query, demand) — the fault path's kill index.
   std::vector<FlightHandle> qd_flight(layout.total());
 
+  // Flow backend (cfg.network == kFlow), mirrored call-for-call with the
+  // closure kernel: every admitted transfer is replayed as a rate-capped
+  // flow whose contention-stretched completion overwrites (via max) the
+  // table prediction.  Completions surface as kTransferDone events in the
+  // run loop below.
+  const bool flow_on = cfg.network == OnlineNetwork::kFlow;
+  std::unique_ptr<FlowEngine> flow;
+  RouteTable routes;
+  std::vector<double> flow_base_caps;   // effective capacity per edge
+  std::vector<QueryId> slot_query;      // layout slot -> owning query
+  std::vector<std::uint32_t> qd_flow;   // layout slot -> live flow slot
+  std::vector<EdgeId> route_buf;
+  std::vector<double> flow_predicted;   // per query, table-priced completion
+  std::size_t flow_late = 0;            // deliveries after predicted time
+  if (flow_on) {
+    flow_base_caps = online_detail::flow_link_capacities(
+        inst.graph(), cfg.oversubscription);
+    flow = std::make_unique<FlowEngine>(queue, flow_base_caps);
+    std::vector<NodeId> site_nodes;
+    site_nodes.reserve(num_sites);
+    for (const Site& s : inst.sites()) site_nodes.push_back(s.node);
+    routes = RouteTable::compute(inst.graph(), site_nodes);
+    slot_query.resize(layout.total());
+    for (const Query& q : inst.queries()) {
+      for (std::uint32_t d = 0; d < q.demands.size(); ++d) {
+        slot_query[layout.at(q.id, d)] = q.id;
+      }
+    }
+    qd_flow.assign(layout.total(), FlowEngine::kNoFlow);
+    flow_predicted.resize(inst.queries().size(), 0.0);
+    flow->set_rate_listener([&](std::uint32_t tag, double t, double rate,
+                                double remaining, EdgeId bottleneck) {
+      if (rate > 0.0) ++res.flow_gap.rate_changes;
+      if (rec_on) {
+        obs::JournalRecord r;
+        r.time = t;
+        r.v0 = rate;
+        r.v1 = remaining;
+        r.a = tag;
+        r.b = static_cast<std::uint32_t>(bottleneck);
+        r.site = obs::kNoSite;
+        r.kind = static_cast<std::uint8_t>(obs::RecordKind::kFlowRateChange);
+        r.arg = rate > 0.0 ? 0 : 1;  // 1 = retirement at actual completion
+        rec->append(r);
+      }
+    });
+  }
+
   std::vector<SpanRec> spans;
   std::vector<SpanRec> instants;
   std::vector<std::size_t> query_span(inst.queries().size(), kNoSpan);
@@ -174,6 +225,9 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
       st.site_in_use.push_back(sites[s.id].in_use);
       st.site_available.push_back(faults.available(s.id));
     }
+    st.active_flows = flow_on ? flow->active_flows() : 0;
+    st.flow_rate_changes = res.flow_gap.rate_changes;
+    st.flow_late_transfers = flow_late;
     st.finished = finished;
     board->publish(st);
   };
@@ -219,9 +273,83 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
       g_peak_flights.set(static_cast<double>(slab.peak_live()));
       g_slab_churn.set(static_cast<double>(slab.destroys()));
       g_ring_hw.set(static_cast<double>(queue.peak_ring_pending()));
+      if (flow_on) {
+        static obs::Gauge& g_flows = obs::metrics().gauge(
+            "edgerep_online_active_flows",
+            "flow backend: transfers currently in flight");
+        static obs::Gauge& g_ratech = obs::metrics().gauge(
+            "edgerep_online_flow_rate_changes",
+            "flow backend: max-min re-fill rate transitions");
+        static obs::Gauge& g_late = obs::metrics().gauge(
+            "edgerep_online_flow_late_transfers",
+            "flow backend: deliveries after their table-predicted time");
+        g_flows.set(static_cast<double>(flow->active_flows()));
+        g_ratech.set(static_cast<double>(res.flow_gap.rate_changes));
+        g_late.set(static_cast<double>(flow_late));
+      }
     }
     if (board == nullptr) return;
     publish_board(force && arrivals_seen == inst.queries().size());
+  };
+
+  /// Abort the live flow of one (query, demand) slot, if any — kill paths
+  /// and relocation call this; the table prediction in demand_ends stands.
+  auto cancel_transfer = [&](std::size_t ls) {
+    if (!flow_on || qd_flow[ls] == FlowEngine::kNoFlow) return;
+    flow->cancel(qd_flow[ls]);
+    qd_flow[ls] = FlowEngine::kNoFlow;
+  };
+
+  /// A flow finished: overwrite the table-predicted completion with the
+  /// flow-simulated actual.  Monotone (max), so the contention-free limit —
+  /// where the actual equals the prediction bit for bit — changes nothing.
+  auto deliver_transfer = [&](std::size_t ls, double t) {
+    qd_flow[ls] = FlowEngine::kNoFlow;
+    DemandEnd& de = demand_ends[ls];
+    if (t > de.completion + 1e-9) ++flow_late;
+    de.completion = std::max(de.completion, t);
+    OnlineOutcome& o = res.outcomes[slot_query[ls]];
+    o.completion_time = std::max(o.completion_time, t);
+    push_status(false);
+  };
+
+  /// Route one admitted transfer as a flow: full evaluation delay as the
+  /// flow size, nominal rate capped at 1.0 (so an uncontended flow finishes
+  /// exactly at the priced delay), path = shortest route from the
+  /// evaluation site to the query home.  Local evaluations (empty route)
+  /// and zero-work transfers are not flows — the prediction stands.
+  auto start_transfer = [&](QueryId m, std::uint32_t demand, SiteId site,
+                            double total) {
+    if (!flow_on) return;
+    const std::size_t ls = layout.at(m, demand);
+    cancel_transfer(ls);
+    if (total <= 0.0) return;
+    const NodeId home = inst.site(inst.query(m).home).node;
+    if (!routes.edge_path(inst.graph(), site, home, route_buf) ||
+        route_buf.empty()) {
+      return;
+    }
+    const std::uint32_t slot = flow->start_flow(
+        total, std::vector<EdgeId>(route_buf.begin(), route_buf.end()),
+        static_cast<std::uint32_t>(ls), /*rate_cap=*/1.0);
+    if (slot != FlowEngine::kNoFlow) {
+      qd_flow[ls] = slot;
+      ++res.flow_gap.flows_routed;
+    }
+  };
+
+  /// Capacity faults steal NIC bandwidth along with compute: scale every
+  /// link incident to the struck site's node by the remaining compute
+  /// fraction (clamped away from zero so flows keep progressing).  Site
+  /// crashes do not touch links (the co-located switch survives), and link
+  /// up/down events shape routing of future admissions only — in-flight
+  /// transfers are not re-simulated (see the contract in sim/online.h).
+  auto update_flow_links = [&](SiteId s) {
+    if (!flow_on) return;
+    const double scale = std::max(faults.capacity_scale(s), 1e-6);
+    for (const HalfEdge& he : inst.graph().neighbors(inst.site(s).node)) {
+      flow->set_link_capacity(he.edge, flow_base_caps[he.edge] * scale);
+    }
   };
 
   auto truncate_flight_spans = [&](const Flight& f) {
@@ -235,7 +363,7 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
 
   /// Release a flight's resource and recycle its slot (no-op on stale
   /// handles — the generation check subsumes the closure kernel's `alive`
-  /// flag).
+  /// flag).  The slot's flow, if still in the air, is silently aborted.
   auto kill_flight = [&](FlightHandle h) {
     Flight* f = slab.get(h);
     if (f == nullptr) return;
@@ -243,6 +371,7 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
     --inflight_count;
     in_use_total -= f->need;
     --site_live[f->site];
+    cancel_transfer(layout.at(f->query, f->demand));
     truncate_flight_spans(*f);
     slab.destroy(h);
   };
@@ -321,6 +450,13 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
     std::sort(kill_buf.begin(), kill_buf.end(),
               [](const auto& x, const auto& y) { return x.first < y.first; });
     for (const auto& [birth, h] : kill_buf) kill_flight(h);
+    if (flow_on) {
+      // Demands whose compute already finished may still be shipping their
+      // result; a failed query delivers nothing, so abort every slot.
+      for (std::size_t d = 0; d < q.demands.size(); ++d) {
+        cancel_transfer(base + d);
+      }
+    }
     if (res.outcomes[m].admitted && res.admitted_queries > 0) {
       --res.admitted_queries;
     }
@@ -446,6 +582,10 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
     if (rec_on) {
       record_flight(obs::RecordKind::kRelocate, m, demand, site, dd.dataset,
                     total, proc);
+    }
+    start_transfer(m, demand, site, total);
+    if (flow_on) {
+      flow_predicted[m] = std::max(flow_predicted[m], completion);
     }
     if (trace_on) {
       instants.push_back({"online.relocate", demand_span_id(m, demand, 0),
@@ -693,6 +833,8 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
                       static_cast<std::uint32_t>(i), d.site, n, d.total_delay,
                       d.proc);
       }
+      start_transfer(q.id, static_cast<std::uint32_t>(i), d.site,
+                     d.total_delay);
       if (audit_on) {
         obs::AuditEntry e;
         e.algorithm = "online";
@@ -707,6 +849,7 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
     }
     track_peak();
     outcome.completion_time = queue.now() + response;
+    if (flow_on) flow_predicted[q.id] = outcome.completion_time;
     if (trace_on && query_span[q.id] != kNoSpan) {
       spans[query_span[q.id]].t1 = outcome.completion_time;
     }
@@ -813,7 +956,11 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
             on_site_down(e.site);
             break;
           case FaultKind::kCapacityLoss:
+            update_flow_links(e.site);
             on_capacity_loss(e.site);
+            break;
+          case FaultKind::kCapacityRestore:
+            update_flow_links(e.site);
             break;
           default:
             break;
@@ -834,13 +981,20 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
         break;
       case EvKind::kStatusTick: {
         if (board != nullptr && board->due(2'000'000)) publish_board(false);
-        if (arrivals_seen < inst.queries().size() || inflight_count > 0) {
+        if (arrivals_seen < inst.queries().size() || inflight_count > 0 ||
+            (flow_on && flow->active_flows() > 0)) {
           queue.push_status(queue.now() + kStatusTickGap);
         }
         break;
       }
-      case EvKind::kTransferDone:
-        break;  // FlowEngine events; the online model does not start flows
+      case EvKind::kTransferDone: {
+        if (!flow_on) break;  // table runs never schedule these
+        const std::uint32_t tag = flow->handle_event(ev);
+        if (tag != FlowEngine::kNoFlow) {
+          deliver_transfer(static_cast<std::size_t>(tag), queue.now());
+        }
+        break;
+      }
     }
   }
 
@@ -851,6 +1005,7 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
   res.kernel_stats.flight_bytes = slab.capacity_bytes();
 
   online_detail::finalize_online_result(inst, layout, demand_ends, &res);
+  if (flow_on) online_detail::finalize_flow_gap(inst, flow_predicted, &res);
 
   if (trace_on) online_detail::emit_online_spans(spans, instants);
   if (audit_on) {

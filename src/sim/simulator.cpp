@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cloud/delay.h"
+#include "net/routes.h"
 #include "net/shortest_path.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -201,27 +202,6 @@ class ProcessorSharingEngine {
   ResultCollector* results_;
   std::vector<SiteState> sites_;
 };
-
-/// Edge sequence of a node path, taking the cheapest parallel edge at each
-/// hop.
-std::vector<EdgeId> path_edges(const Graph& g,
-                               const std::vector<NodeId>& nodes) {
-  std::vector<EdgeId> edges;
-  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
-    EdgeId best = kInvalidEdge;
-    for (const HalfEdge& he : g.neighbors(nodes[i])) {
-      if (he.to != nodes[i + 1]) continue;
-      if (best == kInvalidEdge || he.delay < g.edge(best).delay) {
-        best = he.edge;
-      }
-    }
-    if (best == kInvalidEdge) {
-      throw std::logic_error("path_edges: broken shortest path");
-    }
-    edges.push_back(best);
-  }
-  return edges;
-}
 
 }  // namespace
 

@@ -39,6 +39,31 @@ TEST(TopologyIo, RoundTripsNodesAndEdges) {
   }
 }
 
+TEST(TopologyIo, RoundTripsEdgeCapacities) {
+  Graph g;
+  g.add_node(NodeRole::kSwitch);
+  g.add_node(NodeRole::kCloudlet);
+  g.add_node(NodeRole::kDataCenter);
+  g.add_edge(0, 1, 0.25, 4.5);
+  g.add_edge(1, 2, 1.75);  // default capacity 1.0 → no trailing token
+  std::ostringstream os;
+  write_topology(os, g);
+  // The default-capacity edge is written without the optional token, so
+  // pre-capacity readers keep parsing these files.
+  EXPECT_NE(os.str().find("edge 0 1 0.25 4.5"), std::string::npos);
+  EXPECT_NE(os.str().find("edge 1 2 1.75\n"), std::string::npos);
+  std::istringstream is(os.str());
+  const Graph back = read_topology(is);
+  ASSERT_EQ(back.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(back.edges()[0].capacity, 4.5);
+  EXPECT_DOUBLE_EQ(back.edges()[1].capacity, 1.0);
+}
+
+TEST(TopologyIo, RejectsNonPositiveCapacity) {
+  std::istringstream is("node 0 switch\nnode 1 cloudlet\nedge 0 1 0.5 0\n");
+  EXPECT_THROW(read_topology(is), std::runtime_error);
+}
+
 TEST(TopologyIo, RoundTripsGeneratedTopology) {
   Rng rng(55);
   const TwoTierTopology t = make_two_tier(TwoTierConfig{}, rng);

@@ -149,6 +149,58 @@ TEST(TwoTier, WanLinksSlowerThanMetro) {
   }
 }
 
+TEST(TwoTier, CapacitiesFollowRoleRanges) {
+  Rng rng(15);
+  TwoTierConfig cfg;
+  cfg.num_base_stations = 6;
+  const TwoTierTopology t = make_two_tier(cfg, rng);
+  for (EdgeId e = 0; e < t.graph.num_edges(); ++e) {
+    const Edge& edge = t.graph.edge(e);
+    const bool access = t.graph.role(edge.u) == NodeRole::kBaseStation ||
+                        t.graph.role(edge.v) == NodeRole::kBaseStation;
+    const bool wan = t.graph.role(edge.u) == NodeRole::kDataCenter ||
+                     t.graph.role(edge.v) == NodeRole::kDataCenter;
+    const Range& range = access ? cfg.access_capacity
+                                : (wan ? cfg.wan_capacity
+                                       : cfg.metro_capacity);
+    EXPECT_GE(edge.capacity, range.lo) << "edge " << e;
+    EXPECT_LT(edge.capacity, range.hi) << "edge " << e;
+  }
+}
+
+TEST(TwoTier, CapacityPostPassLeavesDelayDrawsUntouched) {
+  // Capacities are hashed per edge id, not drawn from the topology Rng —
+  // two generations differing only in capacity ranges must produce
+  // identical node/edge/delay sequences.
+  TwoTierConfig narrow;
+  narrow.metro_capacity = {1.0, 1.0 + 1e-9};
+  narrow.wan_capacity = {1.0, 1.0 + 1e-9};
+  narrow.access_capacity = {1.0, 1.0 + 1e-9};
+  Rng rng_a(16);
+  Rng rng_b(16);
+  const TwoTierTopology a = make_two_tier(TwoTierConfig{}, rng_a);
+  const TwoTierTopology b = make_two_tier(narrow, rng_b);
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (EdgeId e = 0; e < a.graph.num_edges(); ++e) {
+    EXPECT_EQ(a.graph.edge(e).u, b.graph.edge(e).u);
+    EXPECT_EQ(a.graph.edge(e).v, b.graph.edge(e).v);
+    EXPECT_DOUBLE_EQ(a.graph.edge(e).delay, b.graph.edge(e).delay);
+  }
+}
+
+TEST(DerivedCapacity, DeterministicAndWithinRange) {
+  const Range range{2.0, 6.0};
+  bool saw_distinct = false;
+  for (EdgeId e = 0; e < 64; ++e) {
+    const double c = derived_capacity(range, e);
+    EXPECT_GE(c, range.lo);
+    EXPECT_LT(c, range.hi);
+    EXPECT_DOUBLE_EQ(c, derived_capacity(range, e));  // pure function
+    if (e > 0 && c != derived_capacity(range, e - 1)) saw_distinct = true;
+  }
+  EXPECT_TRUE(saw_distinct) << "hashed fractions should not collapse";
+}
+
 TEST(ScaledConfig, PreservesTotalAndProportions) {
   for (const std::size_t total : {16u, 32u, 64u, 150u, 250u}) {
     const TwoTierConfig cfg = scaled_config(total);

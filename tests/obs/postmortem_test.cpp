@@ -228,6 +228,81 @@ TEST_F(PostmortemTest, StreamJournalReconcilesWithStreamResult) {
   EXPECT_EQ(batch_total, stream.size() + res.requeues);
 }
 
+// A contended --network=flow journal: the analyzer must fold the
+// flow_rate_change records into its replay — retirements override the
+// table-priced completions, so the reconstructed timelines, SLO rollup and
+// bottleneck-link attribution all reflect the stretched reality.
+TEST_F(PostmortemTest, FlowJournalReplaysStretchedCompletions) {
+  const Instance inst = testing::medium_instance(11, /*f_max=*/3);
+  OnlineConfig cfg;
+  cfg.seed = 0x5e55;
+  cfg.arrival_rate = 4.0;
+  cfg.network = OnlineNetwork::kFlow;
+  cfg.oversubscription = 64.0;  // scarce links: flows stretch
+  const auto [res, bytes] = record_run(inst, cfg, OnlineKernel::kTyped);
+  ASSERT_GT(res.flow_gap.flows_routed, 0u);
+  ASSERT_GT(res.flow_gap.max_stretch, 0.0);
+  const obs::PostmortemReport report = analyze_journal(parse(bytes));
+
+  // Flow accounting reconciles with the run's own gap stats.  Without
+  // faults no flow is ever cancelled, so every routed flow retires.
+  EXPECT_EQ(report.flow_rate_changes, res.flow_gap.rate_changes);
+  EXPECT_EQ(report.flow_retirements, res.flow_gap.flows_routed);
+  EXPECT_GT(report.flow_stretched, 0u);
+
+  // Reconstructed completions equal the stretched outcomes bit-exactly —
+  // the retirement override, not the table price, wins.
+  for (const obs::QueryTimeline& tl : report.timelines) {
+    if (!tl.admitted) continue;
+    EXPECT_EQ(res.outcomes[tl.query].completion_time, tl.completion)
+        << "query " << tl.query;
+    EXPECT_DOUBLE_EQ(tl.wait + tl.transfer + tl.compute,
+                     tl.completion - tl.arrival);
+  }
+  EXPECT_EQ(report.slo.deadline_hits, res.slo.deadline_hits);
+  EXPECT_EQ(report.slo.hit_ratio, res.slo.hit_ratio);
+  EXPECT_EQ(report.slo.p95_slack, res.slo.p95_slack);
+
+  // Link attribution only ever blames real links, and never counts more
+  // breaches than queries it has seen.
+  std::size_t link_breaches = 0;
+  std::size_t breached = 0;
+  for (const obs::QueryTimeline& tl : report.timelines) {
+    if (tl.admitted && tl.slack < -1e-9) ++breached;
+  }
+  for (const obs::BreachBucket& b : report.by_link) {
+    EXPECT_NE(b.key, obs::kNoLink);
+    EXPECT_LE(b.breaches, b.served);
+    link_breaches += b.breaches;
+  }
+  EXPECT_LE(link_breaches, breached);
+
+  // The writers surface the flow section.
+  std::ostringstream text;
+  obs::write_report_text(text, report, 5);
+  EXPECT_NE(text.str().find("flow backend:"), std::string::npos);
+  std::ostringstream json;
+  obs::write_report_json(json, report, 5);
+  EXPECT_NE(json.str().find("\"flow\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"rate_changes\""), std::string::npos);
+}
+
+// Table-mode journals have no flow records: the flow section stays zero
+// and no by_link buckets appear.
+TEST_F(PostmortemTest, TableJournalHasEmptyFlowSection) {
+  const Instance inst = testing::medium_instance(11, /*f_max=*/3);
+  const OnlineConfig cfg = faulted_config(inst);
+  const auto [res, bytes] = record_run(inst, cfg, OnlineKernel::kTyped);
+  const obs::PostmortemReport report = analyze_journal(parse(bytes));
+  EXPECT_EQ(report.flow_rate_changes, 0u);
+  EXPECT_EQ(report.flow_retirements, 0u);
+  EXPECT_EQ(report.flow_stretched, 0u);
+  EXPECT_TRUE(report.by_link.empty());
+  for (const obs::QueryTimeline& tl : report.timelines) {
+    EXPECT_EQ(tl.critical_link, obs::kNoLink);
+  }
+}
+
 TEST_F(PostmortemTest, ReportWritersProduceOutput) {
   const Instance inst = testing::medium_instance(11, /*f_max=*/3);
   const OnlineConfig cfg = faulted_config(inst);

@@ -5,6 +5,7 @@
 #include <bit>
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "helpers/fixtures.h"
@@ -133,6 +134,176 @@ TEST(FlowEngine, RejectsBadInputs) {
   EXPECT_THROW(FlowEngine(eq, {0.0}), std::invalid_argument);
   FlowEngine fe(eq, {1.0});
   EXPECT_THROW(fe.start_flow(1.0, {7}, [] {}), std::invalid_argument);
+}
+
+TEST(MaxMinRates, PerFlowCapBindsBeforeTheLink) {
+  // Two flows on a 6-GB/s link; flow 0 is capped at 1 GB/s.  Progressive
+  // filling freezes flow 0 at its cap and gives the rest to flow 1.
+  const std::vector<double> rates =
+      max_min_rates({6.0}, {{0}, {0}}, {1.0, kUnconstrainedRate});
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+}
+
+TEST(MaxMinRates, UnconstrainedCapsMatchTheCaplessOverload) {
+  const std::vector<double> capacity{3.0, 1.0};
+  const std::vector<std::vector<EdgeId>> paths{{0}, {0, 1}, {1}};
+  const std::vector<double> capless = max_min_rates(capacity, paths);
+  const std::vector<double> capped = max_min_rates(
+      capacity, paths,
+      {kUnconstrainedRate, kUnconstrainedRate, kUnconstrainedRate});
+  ASSERT_EQ(capless.size(), capped.size());
+  for (std::size_t i = 0; i < capless.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(capless[i]),
+              std::bit_cast<std::uint64_t>(capped[i]))
+        << "flow " << i;
+  }
+}
+
+TEST(FlowEngine, RateCapBindsBelowLinkCapacity) {
+  // 4 GB over a 2-GB/s link, but the flow itself is capped at 1 GB/s: it
+  // must take 4 s, not 2 — the contract that makes the online backend's
+  // uncontended flows land exactly on their table-priced delay.
+  EventQueue eq;
+  FlowEngine fe(eq, {2.0});
+  double done = -1.0;
+  eq.schedule_at(0.0, [&] {
+    fe.start_flow(4.0, {0}, [&] { done = eq.now(); }, /*tag=*/0,
+                  /*rate_cap=*/1.0);
+  });
+  eq.run();
+  EXPECT_NEAR(done, 4.0, 1e-9);
+}
+
+TEST(FlowEngine, CancelFreesBandwidthAndStaysSilent) {
+  // Two 4-GB flows share a 2-GB/s link (1 GB/s each).  Cancelling B at t=1
+  // must (a) never deliver B's completion, (b) emit no listener record for
+  // B, and (c) refill A to the full 2 GB/s: 3 GB left at t=1 → done 2.5.
+  EventQueue eq;
+  FlowEngine fe(eq, {2.0});
+  double a_done = -1.0;
+  bool b_fired = false;
+  std::vector<std::pair<std::uint32_t, double>> listener_calls;  // tag, rate
+  fe.set_rate_listener([&](std::uint32_t tag, double, double rate, double,
+                           EdgeId) { listener_calls.emplace_back(tag, rate); });
+  std::uint32_t b_slot = FlowEngine::kNoFlow;
+  eq.schedule_at(0.0, [&] {
+    fe.start_flow(4.0, {0}, [&] { a_done = eq.now(); }, /*tag=*/1);
+    b_slot = fe.start_flow(4.0, {0}, [&] { b_fired = true; }, /*tag=*/2);
+  });
+  eq.schedule_at(1.0, [&] { fe.cancel(b_slot); });
+  eq.run();
+  EXPECT_NEAR(a_done, 2.5, 1e-9);
+  EXPECT_FALSE(b_fired);
+  EXPECT_EQ(fe.active_flows(), 0u);
+  // B appears only in the shared-fill transitions (rate > 0) before the
+  // cancel; the cancel itself and B's would-be retirement stay silent, so
+  // no rate-0 record ever carries B's tag.
+  ASSERT_FALSE(listener_calls.empty());
+  for (const auto& [tag, rate] : listener_calls) {
+    if (tag == 2) {
+      EXPECT_GT(rate, 0.0) << "cancelled flow emitted a record";
+    }
+  }
+  // A's retirement is the last record.
+  EXPECT_EQ(listener_calls.back().first, 1u);
+  EXPECT_DOUBLE_EQ(listener_calls.back().second, 0.0);
+}
+
+TEST(FlowEngine, LinkCapacityDropMidFlowStretchesCompletion) {
+  // 4 GB at 2 GB/s: 2 GB done by t=1.  Dropping the link to 0.5 GB/s then
+  // stretches the remaining 2 GB to 4 more seconds → done at t=5.
+  EventQueue eq;
+  FlowEngine fe(eq, {2.0});
+  double done = -1.0;
+  eq.schedule_at(0.0, [&] {
+    fe.start_flow(4.0, {0}, [&] { done = eq.now(); });
+  });
+  eq.schedule_at(1.0, [&] { fe.set_link_capacity(0, 0.5); });
+  eq.run();
+  EXPECT_NEAR(done, 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fe.link_capacity(0), 0.5);
+  EXPECT_THROW(fe.set_link_capacity(0, 0.0), std::invalid_argument);
+}
+
+TEST(FlowEngine, RateListenerReportsTransitionsAndRetirements) {
+  // Share-then-speed-up (small 2 GB + big 4 GB on a 2-GB/s link) seen
+  // through the listener: every rate change carries the saturated link,
+  // every retirement carries rate 0 at the actual completion instant.
+  struct Call {
+    std::uint32_t tag;
+    double time;
+    double rate;
+    double remaining;
+    EdgeId bottleneck;
+  };
+  EventQueue eq;
+  FlowEngine fe(eq, {2.0});
+  std::vector<Call> calls;
+  fe.set_rate_listener([&](std::uint32_t tag, double time, double rate,
+                           double remaining, EdgeId bottleneck) {
+    calls.push_back({tag, time, rate, remaining, bottleneck});
+  });
+  eq.schedule_at(0.0, [&] {
+    fe.start_flow(4.0, {0}, [] {}, /*tag=*/10);  // big
+    fe.start_flow(2.0, {0}, [] {}, /*tag=*/20);  // small
+  });
+  eq.run();
+  // big alone at 2, both refilled to 1, small retires at t=2, big refilled
+  // back to 2, big retires at t=3.
+  ASSERT_EQ(calls.size(), 6u);
+  EXPECT_EQ(calls[0].tag, 10u);
+  EXPECT_DOUBLE_EQ(calls[0].rate, 2.0);
+  EXPECT_EQ(calls[0].bottleneck, 0u);
+  EXPECT_DOUBLE_EQ(calls[1].rate, 1.0);
+  EXPECT_DOUBLE_EQ(calls[2].rate, 1.0);
+  EXPECT_EQ(calls[3].tag, 20u);  // small's retirement
+  EXPECT_DOUBLE_EQ(calls[3].time, 2.0);
+  EXPECT_DOUBLE_EQ(calls[3].rate, 0.0);
+  EXPECT_DOUBLE_EQ(calls[3].remaining, 0.0);
+  EXPECT_EQ(calls[4].tag, 10u);
+  EXPECT_DOUBLE_EQ(calls[4].rate, 2.0);
+  EXPECT_EQ(calls[5].tag, 10u);  // big's retirement
+  EXPECT_DOUBLE_EQ(calls[5].time, 3.0);
+  EXPECT_DOUBLE_EQ(calls[5].rate, 0.0);
+}
+
+TEST(FlowEngine, CapFrozenFlowReportsInvalidEdgeBottleneck) {
+  // A flow frozen by its own rate cap (1 GB/s on a 2-GB/s link) has no
+  // saturated link to blame: the listener must carry kInvalidEdge.
+  EventQueue eq;
+  FlowEngine fe(eq, {2.0});
+  EdgeId seen = 0;
+  fe.set_rate_listener([&](std::uint32_t, double, double rate, double,
+                           EdgeId bottleneck) {
+    if (rate > 0.0) seen = bottleneck;
+  });
+  eq.schedule_at(0.0, [&] {
+    fe.start_flow(2.0, {0}, [] {}, /*tag=*/0, /*rate_cap=*/1.0);
+  });
+  eq.run();
+  EXPECT_EQ(seen, kInvalidEdge);
+}
+
+TEST(FlowEngine, StartAtAnotherFlowsCompletionInstant) {
+  // B (4 GB alone at 2 GB/s) completes at exactly t=2 — the same instant C
+  // starts.  Whichever order the queue pops them, B's bandwidth is free
+  // for C: C (2 GB) must finish at t=3.
+  EventQueue eq;
+  FlowEngine fe(eq, {2.0});
+  double b_done = -1.0;
+  double c_done = -1.0;
+  eq.schedule_at(0.0, [&] {
+    fe.start_flow(4.0, {0}, [&] { b_done = eq.now(); });
+  });
+  eq.schedule_at(2.0, [&] {
+    fe.start_flow(2.0, {0}, [&] { c_done = eq.now(); });
+  });
+  eq.run();
+  EXPECT_NEAR(b_done, 2.0, 1e-9);
+  EXPECT_NEAR(c_done, 3.0, 1e-9);
+  EXPECT_EQ(fe.active_flows(), 0u);
 }
 
 // Randomized workload driver shared by the engine-equivalence tests below:

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_bench_regression.py, run from ctest.
+
+Exercises the guard's contract end-to-end through its CLI: pass/regress
+verdicts, the identity-mismatch failure, and the unknown-key hard error
+that keeps a typo'd metric name from being silently skipped.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.environ.get(
+    "CHECK_BENCH_REGRESSION",
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "tools",
+                 "check_bench_regression.py"),
+)
+
+
+def doc(cases, benchmark="unit"):
+    return {"benchmark": benchmark, "cases": cases}
+
+
+def run(baseline, fresh, *extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "base.json")
+        fresh_path = os.path.join(tmp, "fresh.json")
+        with open(base_path, "w") as f:
+            json.dump(baseline, f)
+        with open(fresh_path, "w") as f:
+            json.dump(fresh, f)
+        return subprocess.run(
+            [sys.executable, SCRIPT, base_path, fresh_path, *extra],
+            capture_output=True,
+            text=True,
+        )
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def case(self, **overrides):
+        base = {"case": "flow_1k", "queries": 1000, "run_ms": 100.0}
+        base.update(overrides)
+        return base
+
+    def test_identical_runs_pass(self):
+        result = run(doc([self.case()]), doc([self.case()]))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("all metrics within", result.stdout)
+
+    def test_regression_fails(self):
+        result = run(doc([self.case()]), doc([self.case(run_ms=200.0)]))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_within_threshold_passes(self):
+        result = run(doc([self.case()]), doc([self.case(run_ms=110.0)]))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_tiny_delta_needs_absolute_floor(self):
+        # 0.01 ms -> 0.012 ms is a 20% "regression" but under the 0.05 ms
+        # floor: rounding noise, not a verdict.
+        result = run(
+            doc([self.case(run_ms=0.010)]),
+            doc([self.case(run_ms=0.012)]),
+            "--threshold",
+            "1.1",
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_missing_case_fails(self):
+        fresh = doc([self.case(case="other")])
+        result = run(doc([self.case()]), fresh)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("missing", result.stdout)
+
+    def test_missing_metric_fails(self):
+        fresh_case = self.case()
+        del fresh_case["run_ms"]
+        fresh_case["events_per_sec"] = 1.0  # keep the case non-metric-free
+        result = run(doc([self.case()]), doc([fresh_case]))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+    def test_unknown_key_is_a_hard_error(self):
+        # "run_msec" misses the metric suffix: without the allowlist it
+        # would be skipped and the guard would pass vacuously.
+        bad = self.case()
+        bad["run_msec"] = 50.0
+        result = run(doc([bad]), doc([bad]))
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("unknown case key", result.stderr)
+        self.assertIn("run_msec", result.stderr)
+
+    def test_unknown_key_in_fresh_is_also_fatal(self):
+        fresh_case = self.case(latency_avg=3.0)
+        result = run(doc([self.case()]), doc([fresh_case]))
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("latency_avg", result.stderr)
+
+    def test_info_keys_are_tolerated(self):
+        case = self.case(events_per_sec=5e6, flows_routed=123,
+                         rate_changes=456, gap_breaches=0,
+                         flow_overhead_pct=12.5)
+        result = run(doc([case]), doc([case]))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_benchmark_name_mismatch_fails(self):
+        result = run(doc([self.case()]), doc([self.case()], benchmark="x"))
+        self.assertNotEqual(result.returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

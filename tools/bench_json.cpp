@@ -35,10 +35,19 @@
 // timed with the recorder off vs a full-mode journal appended at every
 // causal step, as median wall time of a 20-run batch, plus the per-run
 // record count ([--obs-out=BENCH_obs.json] [--obs-reps=9]).
+//
+// BENCH_flows.json: the flow-level network backend — run_online with
+// --network=flow vs the delay table at 1k and 10k sites (median wall time,
+// events/sec, flows routed, re-fill count), plus steady-state re-fill churn
+// of the FlowEngine alone at 64–4096 concurrent flows
+// ([--flows-out=BENCH_flows.json] [--flows-reps=3]).
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -711,6 +720,163 @@ int emit_online(const std::string& out_path, int reps) {
   return 0;
 }
 
+/// Steady-state FlowEngine churn: `flows` live flows over `links` shared
+/// links, each completion starting a replacement until 4×flows spawns are
+/// spent.  Returns wall ms; `*rate_changes` counts re-fill transitions.
+double flow_churn_ms(std::size_t flows, std::size_t links,
+                     std::uint64_t* completions,
+                     std::uint64_t* rate_changes) {
+  constexpr std::size_t kPathLen = 4;
+  const std::size_t spawns = flows * 4;
+  Rng rng(0xf10c5ULL + flows);
+  std::vector<std::vector<EdgeId>> paths(spawns);
+  for (auto& p : paths) {
+    p.reserve(kPathLen);
+    for (std::size_t i = 0; i < kPathLen; ++i) {
+      p.push_back(static_cast<EdgeId>(
+          rng.uniform_u64(0, static_cast<std::uint64_t>(links) - 1)));
+    }
+  }
+  std::vector<double> sizes(spawns);
+  for (double& s : sizes) s = rng.uniform(0.5, 2.0);
+
+  EventQueue eq;
+  FlowEngine engine(eq, std::vector<double>(links, 1.0));
+  std::uint64_t refills = 0;
+  engine.set_rate_listener(
+      [&refills](std::uint32_t, double, double rate, double, EdgeId) {
+        if (rate > 0.0) ++refills;
+      });
+  std::size_t next = 0;
+  std::uint64_t done = 0;
+  std::function<void()> launch = [&] {
+    if (next >= spawns) return;
+    const std::size_t i = next++;
+    engine.start_flow(sizes[i], paths[i],
+                      [&launch, &done] {
+                        ++done;
+                        launch();
+                      },
+                      static_cast<std::uint32_t>(i));
+  };
+  const auto t0 = clock_type::now();
+  for (std::size_t i = 0; i < flows; ++i) launch();
+  eq.run();
+  const auto t1 = clock_type::now();
+  if (engine.active_flows() != 0) {
+    throw std::runtime_error("bench_json: flow churn left active flows");
+  }
+  *completions = done;
+  *rate_changes = refills;
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+int emit_flows(const std::string& out_path, int reps) {
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_json: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"flow_backend\",\n"
+      << "  \"metric\": \"median_run_ms\",\n"
+      << "  \"oversubscription\": 1.0,\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"cases\": [\n";
+
+  // End-to-end: the flow backend's surcharge over the delay table on the
+  // same instance, typed kernel, oversubscription 1 (real contention).
+  struct ScaleSpec {
+    const char* name;
+    std::size_t sites;
+    std::size_t queries;
+  };
+  const ScaleSpec scales[] = {
+      {"flow_1k", 1'000, 20'000},
+      {"flow_10k", 10'000, 20'000},
+  };
+  for (const ScaleSpec& sp : scales) {
+    StreamWorkloadConfig wc;
+    wc.sites = sp.sites;
+    wc.queries = sp.queries;
+    std::cerr << "flow bench: generating " << sp.name << " instance...\n";
+    const Instance inst = stream_instance(wc, 0x10f5);
+    OnlineConfig cfg;
+    cfg.arrival_rate = 20.0;
+    // The 10k-site flow run is minutes-long (tens of millions of re-fill
+    // transitions); one rep still averages over ~20k transfers.
+    const int case_reps = sp.sites >= 10'000 ? 1 : reps;
+    std::vector<double> table_ms_s, flow_ms_s;
+    OnlineResult table_res, flow_res;
+    for (int r = 0; r < case_reps; ++r) {
+      cfg.network = OnlineNetwork::kTable;
+      table_ms_s.push_back(timed_online_ms(inst, cfg, &table_res));
+      cfg.network = OnlineNetwork::kFlow;
+      flow_ms_s.push_back(timed_online_ms(inst, cfg, &flow_res));
+    }
+    const double table_ms = median(std::move(table_ms_s));
+    const double flow_ms = median(std::move(flow_ms_s));
+    const double events_per_sec =
+        static_cast<double>(flow_res.kernel_stats.events_processed) /
+        (flow_ms / 1000.0);
+    const FlowGapStats& g = flow_res.flow_gap;
+    out << "    {\"case\": \"" << sp.name << "\", \"sites\": " << sp.sites
+        << ", \"queries\": " << sp.queries
+        << ", \"table_run_ms\": " << round2(table_ms)
+        << ", \"flow_run_ms\": " << round2(flow_ms)
+        << ", \"flow_overhead_pct\": "
+        << round2((flow_ms / table_ms - 1.0) * 100.0)
+        << ", \"events_per_sec\": " << static_cast<long long>(events_per_sec)
+        << ", \"flows_routed\": " << g.flows_routed
+        << ", \"rate_changes\": " << g.rate_changes
+        << ", \"gap_breaches\": " << g.gap_breaches << "},\n";
+    std::cerr << sp.name << ": table " << table_ms << " ms, flow " << flow_ms
+              << " ms (" << (flow_ms / table_ms - 1.0) * 100.0 << "%), "
+              << g.flows_routed << " flows, " << g.rate_changes
+              << " rate changes, " << g.gap_breaches << " gap breaches\n";
+  }
+
+  // Engine-only re-fill churn at fixed live populations.
+  struct ChurnSpec {
+    std::size_t flows;
+    std::size_t links;
+  };
+  // Larger populations (4096 flows over 10k links) collapse into one
+  // giant shared component whose per-completion re-fill cost makes the
+  // case minutes-long — out of budget for a committed baseline.
+  const ChurnSpec churns[] = {{64, 1'024}, {512, 10'240}};
+  for (std::size_t ci = 0; ci < std::size(churns); ++ci) {
+    const ChurnSpec& c = churns[ci];
+    std::vector<double> samples;
+    std::uint64_t completions = 0;
+    std::uint64_t rate_changes = 0;
+    for (int r = 0; r < reps; ++r) {
+      samples.push_back(
+          flow_churn_ms(c.flows, c.links, &completions, &rate_changes));
+    }
+    const double churn_ms = median(std::move(samples));
+    const double refill_ns_per_change =
+        rate_changes > 0
+            ? churn_ms * 1e6 / static_cast<double>(rate_changes)
+            : 0.0;
+    out << "    {\"case\": \"refill_" << c.flows
+        << "\", \"flows\": " << c.flows << ", \"links\": " << c.links
+        << ", \"churn_ms\": " << round2(churn_ms)
+        << ", \"completions\": " << completions
+        << ", \"rate_changes\": " << rate_changes
+        << ", \"refill_ns_per_change\": " << round2(refill_ns_per_change)
+        << "}" << (ci + 1 < std::size(churns) ? "," : "") << "\n";
+    std::cerr << "refill flows=" << c.flows << " links=" << c.links << ": "
+              << churn_ms << " ms, " << completions << " completions, "
+              << rate_changes << " rate changes ("
+              << refill_ns_per_change << " ns/change)\n";
+  }
+
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
 int emit_throughput(const std::string& out_path, int reps) {
   std::ofstream out(out_path);
   if (!out) {
@@ -848,9 +1014,13 @@ int run(int argc, char** argv) {
   const int obs_reps =
       std::max(1, static_cast<int>(args.get_int("obs-reps", 9)));
   const std::string obs_path = args.get("obs-out", "BENCH_obs.json");
+  const int flows_reps =
+      std::max(1, static_cast<int>(args.get_int("flows-reps", 3)));
+  const std::string flows_path = args.get("flows-out", "BENCH_flows.json");
 
   // `--only SECTION` regenerates a single anchor after a targeted change
-  // (appro | substrate | repair | serve | throughput | online | obs).
+  // (appro | substrate | repair | serve | throughput | online | obs |
+  // flows).
   const std::string only = args.get("only", "");
   const auto wants = [&only](const char* section) {
     return only.empty() || only == section;
@@ -875,6 +1045,9 @@ int run(int argc, char** argv) {
     return rc;
   }
   if (wants("obs") && (rc = emit_obs(obs_path, obs_reps)) != 0) return rc;
+  if (wants("flows") && (rc = emit_flows(flows_path, flows_reps)) != 0) {
+    return rc;
+  }
   return 0;
 }
 

@@ -20,6 +20,12 @@ Exit status 1 when any metric regresses, 0 otherwise.  Identity mismatches
 (a case present in the baseline but missing from the fresh run) are also
 failures: silently dropping a case would read as "no regression" when
 nothing was measured.
+
+Every case key must be an identity key, a metric (by suffix), or a listed
+informational key (INFO_KEYS).  An unknown key is a hard error, not a
+silent skip: a typo'd metric name ("run_msec") would otherwise never be
+compared and the guard would pass vacuously.  When adding a new emitter to
+tools/bench_json, extend INFO_KEYS for its derived outputs.
 """
 
 import argparse
@@ -33,9 +39,43 @@ METRIC_SUFFIXES = ("_ns_per_query", "_ms")
 # identity — they may shift when the measured code changes.
 IDENTITY_KEYS = ("case", "network_size", "queries", "nodes", "sites")
 
+# Known informational keys: derived outputs and auxiliary counts that are
+# neither identity nor guarded latency metrics.  Anything outside this list
+# (and the identity/metric sets) fails hard — see the module docstring.
+INFO_KEYS = frozenset({
+    "admitted", "admitted_per_sec", "candidates", "completions",
+    "dense_entries", "events_per_sec", "evicted", "finalize_speedup",
+    "flow_overhead_pct", "flows", "flows_routed", "gap_breaches",
+    "kernel_speedup", "links", "memory_ratio", "overhead_pct",
+    "peak_event_bytes", "peak_flights", "peak_pending_events",
+    "rate_changes", "readmitted", "records_per_run",
+    "refill_ns_per_change", "scalar_ns_per_candidate", "shards",
+    "site_rows_entries", "speedup", "speedup_vs_1shard",
+    "speedup_vs_closure", "vectorized_ns_per_candidate",
+})
+
 
 def is_metric(key):
     return key.endswith(METRIC_SUFFIXES)
+
+
+def check_known_keys(path, doc):
+    """Hard-fail on any case key that is not identity, metric, or INFO."""
+    unknown = sorted({
+        key
+        for case in doc["cases"]
+        for key in case
+        if key not in IDENTITY_KEYS and key not in INFO_KEYS
+        and not is_metric(key)
+    })
+    if unknown:
+        sys.exit(
+            f"{path}: unknown case key(s) {unknown} — each key must be an "
+            f"identity key {list(IDENTITY_KEYS)}, a metric ending in "
+            f"{list(METRIC_SUFFIXES)}, or listed in INFO_KEYS "
+            "(tools/check_bench_regression.py); a typo'd metric name would "
+            "be silently skipped otherwise"
+        )
 
 
 def case_identity(case):
@@ -61,6 +101,8 @@ def main():
 
     baseline = load_cases(args.baseline)
     fresh = load_cases(args.fresh)
+    check_known_keys(args.baseline, baseline)
+    check_known_keys(args.fresh, fresh)
     if baseline.get("benchmark") != fresh.get("benchmark"):
         sys.exit(
             f"benchmark mismatch: {baseline.get('benchmark')} vs "

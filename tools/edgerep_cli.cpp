@@ -54,6 +54,11 @@ int usage() {
       "  online   --instance FILE [--plan FILE] [--arrival-rate R]\n"
       "           [--no-reactive] [--seed S] [--faults FILE] [--no-repair]\n"
       "           [--kernel typed|closure]\n"
+      "           [--network table|flow] [--oversub F]\n"
+      "           --network=flow routes admitted transfers as max-min fair\n"
+      "           flows over per-edge capacities (divided by --oversub;\n"
+      "           0 = contention-free, bit-identical to table) and reports\n"
+      "           the predicted-vs-actual SLO gap\n"
       "           [--gen-sites N] [--gen-queries N] [--gen-max-demands F]\n"
       "           [--gen-seed S]  (generate a stream-workload instance\n"
       "           in-process instead of --instance)\n"
@@ -80,7 +85,8 @@ int usage() {
       "  postmortem --journal FILE [--diff FILE2] [--json-out FILE] [--top N]\n"
       "           replay a flight-recorder journal: causal timelines, deadline\n"
       "           slack decomposition, SLO-breach attribution by site/dataset/\n"
-      "           role, stream epoch stats; --diff compares two journals and\n"
+      "           role (and bottleneck link on --network=flow journals),\n"
+      "           stream epoch stats; --diff compares two journals and\n"
       "           reports the first divergent record\n"
       "\n"
       "observability (any command):\n"
@@ -337,6 +343,10 @@ void add_online_series(obs::TimeSeriesSampler& sampler,
   sampler.add_gauge_series("edgerep_kernel_peak_flights");
   sampler.add_gauge_series("edgerep_kernel_flight_destroys");
   sampler.add_gauge_series("edgerep_kernel_ring_high_water");
+  // Flow-backend gauges (all zero on --network=table runs).
+  sampler.add_gauge_series("edgerep_online_active_flows");
+  sampler.add_gauge_series("edgerep_online_flow_rate_changes");
+  sampler.add_gauge_series("edgerep_online_flow_late_transfers");
   sampler.add_series("dual_theta_max",
                      [] { return obs::dual_prices().max_theta(); });
   sampler.add_series("dual_theta_touched_sites", [] {
@@ -418,6 +428,13 @@ int cmd_online(const Args& args) {
   } else if (kernel != "typed") {
     throw std::runtime_error("--kernel must be typed or closure");
   }
+  const std::string network = args.get("network", "table");
+  if (network == "flow") {
+    cfg.network = OnlineNetwork::kFlow;
+  } else if (network != "table") {
+    throw std::runtime_error("--network must be table or flow");
+  }
+  cfg.oversubscription = args.get_double("oversub", 1.0);
   if (args.has("faults")) cfg.faults = load_faults(inst, args);
   // `--gen-faults N` draws N site crashes + N capacity losses (with repair)
   // over the arrival horizon in-process — how the large-N cross-kernel
@@ -496,6 +513,15 @@ int cmd_online(const Args& args) {
             << res.slo.hit_ratio << "), slack p50/p95/p99: "
             << res.slo.p50_slack << " / " << res.slo.p95_slack << " / "
             << res.slo.p99_slack << " s\n";
+  if (cfg.network == OnlineNetwork::kFlow) {
+    const FlowGapStats& g = res.flow_gap;
+    std::cout << "SLO gap: flows " << g.flows_routed << ", rate changes "
+              << g.rate_changes << ", predicted hits " << g.predicted_hits
+              << "/" << g.queries_compared << ", actual hits "
+              << g.actual_hits << ", gap breaches " << g.gap_breaches
+              << ", stretch max/mean " << g.max_stretch << " / "
+              << g.mean_stretch << " s\n";
+  }
 
   if (serve && linger > 0.0) {
     // Keep the endpoints up so scrapers can read the final state; a GET on
