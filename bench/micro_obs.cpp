@@ -140,6 +140,53 @@ void BM_RecorderAppendFull(benchmark::State& state) {
 }
 BENCHMARK(BM_RecorderAppendFull);
 
+/// Cost of the watchdog gate with the facet off: one relaxed load and an
+/// untaken branch, the same shape as the recorder gate above.
+void BM_WatchdogFeedDisabled(benchmark::State& state) {
+  obs::set_watchdog_enabled(false);
+  for (auto _ : state) {
+    if (obs::watchdog_enabled()) {
+      obs::watchdog().on_completion(1.0, 0.5, false);
+    }
+    benchmark::DoNotOptimize(&obs::watchdog());
+  }
+  obs::init_from_env();
+}
+BENCHMARK(BM_WatchdogFeedDisabled);
+
+/// Enabled sketch feed: one space-saving top-k pass per demand.  The keys
+/// rotate over 16 datasets so no share ever crosses the hotspot threshold
+/// and the alert list stays empty in steady state.
+void BM_WatchdogOnDemand(benchmark::State& state) {
+  obs::Watchdog wd;
+  wd.begin_run();
+  double t = 0.0;
+  std::uint32_t key = 0;
+  for (auto _ : state) {
+    wd.on_demand(t, key);
+    t += 1e-3;
+    key = (key + 1) & 15u;
+  }
+  state.counters["feeds/sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WatchdogOnDemand);
+
+/// Enabled completion feed: breach EWMA update per query completion.  The
+/// slack stays positive so the breach-burst detector never opens.
+void BM_WatchdogOnCompletion(benchmark::State& state) {
+  obs::Watchdog wd;
+  wd.begin_run();
+  double t = 0.0;
+  for (auto _ : state) {
+    wd.on_completion(t, 1.0, false);
+    t += 1e-3;
+  }
+  state.counters["feeds/sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WatchdogOnCompletion);
+
 /// Ring-mode steady-state overwrite: zero allocation once the ring is warm.
 void BM_RecorderAppendRing(benchmark::State& state) {
   obs::Recorder rec;

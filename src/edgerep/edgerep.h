@@ -52,6 +52,7 @@
 #include "obs/recorder.h"               // IWYU pragma: export
 #include "obs/timeseries.h"             // IWYU pragma: export
 #include "obs/trace.h"                  // IWYU pragma: export
+#include "obs/watchdog.h"               // IWYU pragma: export
 #include "part/partitioner.h"           // IWYU pragma: export
 #include "sim/event.h"                  // IWYU pragma: export
 #include "sim/event_kernel.h"           // IWYU pragma: export

@@ -11,6 +11,7 @@ std::atomic<bool> g_metrics_on{false};
 std::atomic<bool> g_trace_on{false};
 std::atomic<bool> g_audit_on{false};
 std::atomic<bool> g_recorder_on{false};
+std::atomic<bool> g_watchdog_on{false};
 
 namespace {
 
@@ -41,6 +42,9 @@ void set_audit_enabled(bool on) noexcept {
 void set_recorder_enabled(bool on) noexcept {
   detail::g_recorder_on.store(on, std::memory_order_relaxed);
 }
+void set_watchdog_enabled(bool on) noexcept {
+  detail::g_watchdog_on.store(on, std::memory_order_relaxed);
+}
 void set_all_enabled(bool on) noexcept {
   set_metrics_enabled(on);
   set_trace_enabled(on);
@@ -50,6 +54,7 @@ void set_all_enabled(bool on) noexcept {
 void init_from_env() {
   set_all_enabled(detail::env_default());
   detail::recorder_apply_env();
+  detail::watchdog_apply_env();
 }
 
 std::uint64_t now_ns() noexcept {

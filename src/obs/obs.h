@@ -1,16 +1,19 @@
 // Engine-wide observability switches and the shared monotonic clock.
 //
-// Four independently toggleable facets:
+// Five independently toggleable facets:
 //   metrics  — counters / gauges / histograms (obs/metrics.h)
 //   trace    — RAII phase scopes → chrome://tracing JSON (obs/trace.h)
 //   audit    — per-(query, demand) admission decisions (obs/audit.h)
 //   recorder — deterministic causal-step journal (obs/recorder.h)
+//   watchdog — streaming drift / SLO-anomaly detector (obs/watchdog.h)
 //
 // All facets default OFF; setting the environment variable EDGEREP_OBS=1
 // turns metrics/trace/audit on at startup (CI runs the whole test suite
 // that way).  The recorder has its own variable, EDGEREP_RECORD, because
 // journals grow with the event count and must not piggyback on blanket obs
-// runs.  The `set_*` functions override the environment at any time.
+// runs; the watchdog likewise has EDGEREP_WATCHDOG, because its alert
+// stream is run-scoped detector state rather than passive sampling.  The
+// `set_*` functions override the environment at any time.
 //
 // Contract: with every facet disabled, instrumented code paths are
 // bit-neutral — they read an atomic flag and do nothing else, so plans,
@@ -28,8 +31,11 @@ extern std::atomic<bool> g_metrics_on;
 extern std::atomic<bool> g_trace_on;
 extern std::atomic<bool> g_audit_on;
 extern std::atomic<bool> g_recorder_on;
+extern std::atomic<bool> g_watchdog_on;
 /// Defined in recorder.cpp: parse EDGEREP_RECORD and reset the recorder.
 void recorder_apply_env();
+/// Defined in watchdog.cpp: parse EDGEREP_WATCHDOG and reset the watchdog.
+void watchdog_apply_env();
 }  // namespace detail
 
 [[nodiscard]] inline bool metrics_enabled() noexcept {
@@ -44,18 +50,24 @@ void recorder_apply_env();
 [[nodiscard]] inline bool recorder_enabled() noexcept {
   return detail::g_recorder_on.load(std::memory_order_relaxed);
 }
+[[nodiscard]] inline bool watchdog_enabled() noexcept {
+  return detail::g_watchdog_on.load(std::memory_order_relaxed);
+}
 
 void set_metrics_enabled(bool on) noexcept;
 void set_trace_enabled(bool on) noexcept;
 void set_audit_enabled(bool on) noexcept;
 void set_recorder_enabled(bool on) noexcept;
+void set_watchdog_enabled(bool on) noexcept;
 /// Convenience: flip metrics + trace + audit at once.  Deliberately leaves
-/// the recorder alone — enable it explicitly or via EDGEREP_RECORD.
+/// the recorder and watchdog alone — enable them explicitly or via
+/// EDGEREP_RECORD / EDGEREP_WATCHDOG.
 void set_all_enabled(bool on) noexcept;
 
-/// Re-read EDGEREP_OBS / EDGEREP_RECORD and reset every facet accordingly
-/// (tests use this to restore the process default after toggling flags
-/// explicitly; it also clears the recorder's journal).
+/// Re-read EDGEREP_OBS / EDGEREP_RECORD / EDGEREP_WATCHDOG and reset every
+/// facet accordingly (tests use this to restore the process default after
+/// toggling flags explicitly; it also clears the recorder's journal and the
+/// watchdog's alert state).
 void init_from_env();
 
 /// Monotonic nanoseconds since process start.  Shared by LOG timestamps,

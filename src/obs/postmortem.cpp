@@ -8,6 +8,7 @@
 
 #include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 
 namespace edgerep::obs {
 
@@ -259,6 +260,50 @@ PostmortemReport analyze_journal(const Journal& journal) {
         }
         break;
       }
+      case RecordKind::kAlert: {
+        const bool resolve = (rec.flags & 1u) != 0;
+        if (!resolve) {
+          AlertWindow w;
+          w.onset = rec.time;
+          w.kind = rec.arg;
+          w.severity = static_cast<std::uint8_t>((rec.flags >> 1) & 3u);
+          w.subject_kind = static_cast<std::uint8_t>((rec.flags >> 3) & 3u);
+          w.subject = rec.a;
+          w.seq = rec.b;
+          w.onset_value = rec.v0;
+          w.threshold = rec.v1;
+          report.alerts.push_back(w);
+          ++report.alerts_opened;
+          break;
+        }
+        // rec.b pairs the resolve with its open record.  A ring journal
+        // may have overwritten the open — reconstruct the window from the
+        // resolve, whose v1 carries the onset time.
+        AlertWindow* w = nullptr;
+        for (AlertWindow& cand : report.alerts) {
+          if (cand.seq == rec.b) {
+            w = &cand;
+            break;
+          }
+        }
+        if (w == nullptr) {
+          AlertWindow orphan;
+          orphan.onset = rec.v1;
+          orphan.kind = rec.arg;
+          orphan.severity = static_cast<std::uint8_t>((rec.flags >> 1) & 3u);
+          orphan.subject_kind =
+              static_cast<std::uint8_t>((rec.flags >> 3) & 3u);
+          orphan.subject = rec.a;
+          orphan.seq = rec.b;
+          report.alerts.push_back(orphan);
+          ++report.alerts_opened;
+          w = &report.alerts.back();
+        }
+        w->resolve = rec.time;
+        w->resolve_value = rec.v0;
+        ++report.alerts_resolved;
+        break;
+      }
     }
   }
 
@@ -340,6 +385,16 @@ PostmortemReport analyze_journal(const Journal& journal) {
           ++acc.breaches;
           acc.worst_slack = std::min(acc.worst_slack, tl.slack);
           acc.total_overrun += -tl.slack;
+        }
+      }
+      // Watchdog attribution: count the breach in every alert window its
+      // completion time fell inside (open windows run to journal end).
+      if (breach) {
+        for (AlertWindow& w : report.alerts) {
+          if (qs.completion >= w.onset &&
+              (w.resolve < 0.0 || qs.completion <= w.resolve)) {
+            ++w.breaches_in_window;
+          }
         }
       }
     }
@@ -457,6 +512,7 @@ void write_report_text(std::ostream& os, const PostmortemReport& report,
          << " retirement(s), " << report.flow_stretched
          << " stretched past the priced completion\n";
     }
+    if (report.alerts_opened > 0) write_alerts_text(os, report);
     const std::size_t total_breaches =
         report.slo.admitted_queries - report.slo.deadline_hits;
     if (total_breaches > 0) {
@@ -494,6 +550,32 @@ void write_report_text(std::ostream& os, const PostmortemReport& report,
          << es.conflicts << ", requeues " << es.requeues << ", rejects "
          << es.rejects << "\n";
     }
+  }
+  os.flags(flags);
+  os.precision(precision);
+}
+
+void write_alerts_text(std::ostream& os, const PostmortemReport& report) {
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os << std::setprecision(17);
+  os << "alerts: " << report.alerts_opened << " opened, "
+     << report.alerts_resolved << " resolved, "
+     << report.alerts_opened - report.alerts_resolved << " still open\n";
+  for (const AlertWindow& w : report.alerts) {
+    os << "  [" << w.seq << "] "
+       << to_string(static_cast<AlertKind>(w.kind)) << " "
+       << to_string(static_cast<AlertSubjectKind>(w.subject_kind)) << " "
+       << w.subject << " "
+       << to_string(static_cast<AlertSeverity>(w.severity)) << " onset "
+       << w.onset << " resolve ";
+    if (w.resolve < 0.0) {
+      os << "-";
+    } else {
+      os << w.resolve;
+    }
+    os << " value " << w.onset_value << "/" << w.threshold << " breaches "
+       << w.breaches_in_window << "\n";
   }
   os.flags(flags);
   os.precision(precision);
@@ -595,6 +677,33 @@ void write_report_json(std::ostream& os, const PostmortemReport& report,
       os << ",\"bottleneck_link\":" << tl->critical_link;
     }
     os << "}";
+  }
+  os << "]}";
+  os << ",\"alerts\":{\"opened\":" << report.alerts_opened
+     << ",\"resolved\":" << report.alerts_resolved << ",\"windows\":[";
+  for (std::size_t i = 0; i < report.alerts.size(); ++i) {
+    const AlertWindow& w = report.alerts[i];
+    if (i > 0) os << ",";
+    os << "{\"seq\":" << w.seq << ",\"kind\":\""
+       << to_string(static_cast<AlertKind>(w.kind)) << "\",\"severity\":\""
+       << to_string(static_cast<AlertSeverity>(w.severity))
+       << "\",\"subject_kind\":\""
+       << to_string(static_cast<AlertSubjectKind>(w.subject_kind))
+       << "\",\"subject\":" << w.subject << ",\"onset\":";
+    write_json_double(os, w.onset);
+    os << ",\"resolve\":";
+    if (w.resolve < 0.0) {
+      os << "null";
+    } else {
+      write_json_double(os, w.resolve);
+    }
+    os << ",\"onset_value\":";
+    write_json_double(os, w.onset_value);
+    os << ",\"threshold\":";
+    write_json_double(os, w.threshold);
+    os << ",\"resolve_value\":";
+    write_json_double(os, w.resolve_value);
+    os << ",\"breaches_in_window\":" << w.breaches_in_window << "}";
   }
   os << "]}";
   os << ",\"stream\":{\"intents\":" << report.stream_intents

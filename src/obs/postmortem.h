@@ -109,6 +109,27 @@ struct BreachBucket {
   double total_overrun = 0.0;    ///< Σ(−slack) over breaches, seconds
 };
 
+/// One watchdog alert window reconstructed from kAlert records — the open
+/// record carries onset/threshold, the paired resolve record (same seq)
+/// closes it.  Reconstruction is bit-exact against the live
+/// obs::Watchdog::alerts() snapshot for full-mode journals (pinned by
+/// tests/obs/watchdog_test.cpp).
+struct AlertWindow {
+  double onset = 0.0;
+  double resolve = -1.0;          ///< < 0 while still open at journal end
+  std::uint8_t kind = 0;          ///< obs::AlertKind value
+  std::uint8_t severity = 0;      ///< obs::AlertSeverity value
+  std::uint8_t subject_kind = 0;  ///< obs::AlertSubjectKind value
+  std::uint32_t subject = 0;      ///< site / dataset / region / link id
+  std::uint32_t seq = 0;
+  double onset_value = 0.0;
+  double threshold = 0.0;
+  double resolve_value = 0.0;
+  /// Breached admitted queries whose completion time fell inside
+  /// [onset, resolve] (open windows extend to the end of the journal).
+  std::size_t breaches_in_window = 0;
+};
+
 /// Per-micro-epoch stream statistics.
 struct EpochStats {
   std::uint32_t epoch = 0;
@@ -150,6 +171,10 @@ struct PostmortemReport {
   /// contention stretch the SLO gap measures), same 1e-9 slack as the
   /// kernels' late-transfer counter.
   std::size_t flow_stretched = 0;
+  // --- watchdog section (empty when the journal has no kAlert records) --
+  std::vector<AlertWindow> alerts;  ///< open order (ascending seq)
+  std::size_t alerts_opened = 0;
+  std::size_t alerts_resolved = 0;
   // --- stream section (empty when the journal has no stream records) ----
   std::vector<EpochStats> epochs;
   std::size_t stream_intents = 0;
@@ -171,6 +196,9 @@ void write_report_text(std::ostream& os, const PostmortemReport& report,
 /// One JSON object mirroring PostmortemReport (timelines capped likewise).
 void write_report_json(std::ostream& os, const PostmortemReport& report,
                        std::size_t top_breaches = 10);
+/// Just the reconstructed alert timeline with per-window breach counts
+/// (the `edgerep_cli postmortem --alerts` view).
+void write_alerts_text(std::ostream& os, const PostmortemReport& report);
 
 /// Result of comparing two journals record-by-record.
 struct JournalDiff {

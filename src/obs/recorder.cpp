@@ -48,6 +48,8 @@ const char* to_string(RecordKind kind) noexcept {
       return "stream_reject";
     case RecordKind::kFlowRateChange:
       return "flow_rate_change";
+    case RecordKind::kAlert:
+      return "alert";
   }
   return "unknown";
 }

@@ -80,9 +80,16 @@ enum class RecordKind : std::uint8_t {
                          ///< v1=remaining work, b=bottleneck edge (~0u when
                          ///< the flow's own rate cap froze it), arg: 0=rate
                          ///< transition, 1=retirement at actual completion
+  // Watchdog facet (obs/watchdog.h).
+  kAlert = 15,  ///< watchdog alert transition: arg=AlertKind, a=subject id,
+                ///< b=alert seq (pairs the open with its resolve), site=
+                ///< subject when it names a site else ~0u, v0=detector
+                ///< statistic at the crossing, flags bit0: 0=open (v1=
+                ///< threshold), 1=resolve (v1=onset time), bits1-2=
+                ///< AlertSeverity, bits3-4=AlertSubjectKind
 };
 
-inline constexpr std::size_t kRecordKindCount = 15;
+inline constexpr std::size_t kRecordKindCount = 16;
 
 [[nodiscard]] const char* to_string(RecordKind kind) noexcept;
 

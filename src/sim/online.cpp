@@ -261,6 +261,12 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
   // fixed config journals byte-identically on either engine.
   const bool rec_on = obs::recorder_enabled();
   obs::Recorder* const rec = rec_on ? &obs::recorder() : nullptr;
+  // Watchdog (5th facet), sampled once like the recorder.  Feeds sit at
+  // the recorder's mirrored append sites and carry only sim-clock times and
+  // stable ids, so the alert stream is byte-identical across kernels.
+  const bool wd_on = obs::watchdog_enabled();
+  obs::Watchdog* const wd = wd_on ? &obs::watchdog() : nullptr;
+  if (wd != nullptr) wd->begin_run();
   OnlineStatusBoard* board = cfg.status_board;
   std::vector<obs::AuditEntry> audit_entries;
 
@@ -327,6 +333,7 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
   std::vector<double> flow_base_caps;   // effective capacity per edge
   std::vector<QueryId> slot_query;      // layout slot -> owning query
   std::vector<std::uint32_t> qd_flow;   // layout slot -> live flow slot
+  std::vector<std::uint32_t> qd_bottleneck;  // slot -> last bottleneck edge
   std::vector<EdgeId> route_buf;
   std::vector<double> flow_predicted;   // per query, table-priced completion
   std::size_t flow_late = 0;            // deliveries after predicted time
@@ -345,10 +352,16 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
       }
     }
     qd_flow.assign(layout.total(), FlowEngine::kNoFlow);
+    if (wd != nullptr) qd_bottleneck.assign(layout.total(), obs::kNoAlertLink);
     flow_predicted.resize(inst.queries().size(), 0.0);
     flow->set_rate_listener([&](std::uint32_t tag, double t, double rate,
                                 double remaining, EdgeId bottleneck) {
       if (rate > 0.0) ++res.flow_gap.rate_changes;
+      if (wd != nullptr && rate > 0.0) {
+        // Mirror the postmortem's bottleneck attribution: the last rate
+        // transition names the link to blame at retirement.
+        qd_bottleneck[tag] = static_cast<std::uint32_t>(bottleneck);
+      }
       if (rec_on) {
         obs::JournalRecord r;
         r.time = t;
@@ -466,6 +479,15 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     qd_flow[ls] = FlowEngine::kNoFlow;
     DemandEnd& de = demand_ends[ls];
     if (t > de.completion + 1e-9) ++flow_late;
+    if (wd != nullptr) {
+      const OnlineOutcome& prev = res.outcomes[slot_query[ls]];
+      wd->on_flow_retire(t, qd_bottleneck[ls], t - de.completion);
+      wd->on_completion(t,
+                        inst.query(slot_query[ls]).deadline -
+                            (std::max(prev.completion_time, t) -
+                             prev.arrival_time),
+                        false);
+    }
     de.completion = std::max(de.completion, t);
     OnlineOutcome& o = res.outcomes[slot_query[ls]];
     o.completion_time = std::max(o.completion_time, t);
@@ -578,6 +600,11 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
       sites[f.site].in_use -= f.need;
       --inflight_count;
       in_use_total -= f.need;
+      if (wd != nullptr) {
+        const double eff = faults.available(f.site);
+        wd->on_site_util(eq.now(), f.site,
+                         eff > 0.0 ? sites[f.site].in_use / eff : 1.0);
+      }
       push_status(false);
     });
   };
@@ -612,6 +639,7 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
       r.kind = static_cast<std::uint8_t>(obs::RecordKind::kFail);
       rec->append(r);
     }
+    if (wd != nullptr) wd->on_completion(eq.now(), -1.0, true);
     for (const std::size_t idx : by_query[m]) kill_flight(idx);
     if (flow_on) {
       // Demands whose compute already finished may still be shipping their
@@ -706,6 +734,15 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     if (rec_on) {
       record_flight(obs::RecordKind::kRelocate, f.query, f.demand, site,
                     dd.dataset, total, proc);
+    }
+    if (wd != nullptr) {
+      const double eff = faults.available(site);
+      wd->on_site_util(eq.now(), site,
+                       eff > 0.0 ? sites[site].in_use / eff : 1.0);
+      wd->on_completion(
+          eq.now(),
+          q.deadline - (completion - res.outcomes[f.query].arrival_time),
+          false);
     }
     start_transfer(f.query, f.demand, site, total);
     if (flow_on) {
@@ -955,6 +992,11 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
       }
       start_transfer(q.id, static_cast<std::uint32_t>(i), d.site,
                      d.total_delay);
+      if (wd != nullptr) {
+        const double eff = faults.available(d.site);
+        wd->on_site_util(eq.now(), d.site,
+                         eff > 0.0 ? sites[d.site].in_use / eff : 1.0);
+      }
       if (audit_on) {
         obs::AuditEntry e;
         e.algorithm = "online";
@@ -969,6 +1011,9 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
     }
     track_peak();
     outcome.completion_time = eq.now() + response;
+    if (wd != nullptr) {
+      wd->on_completion(eq.now(), q.deadline - response, false);
+    }
     if (flow_on) flow_predicted[q.id] = outcome.completion_time;
     if (trace_on && query_span[q.id] != kNoSpan) {
       spans[query_span[q.id]].t1 = outcome.completion_time;
@@ -1021,7 +1066,8 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
   // Outcomes are pre-sized so the events can safely index into the vector.
   res.outcomes.resize(inst.queries().size());
   OnlineArrivalStream arrivals(inst.queries().size(), cfg.arrivals,
-                               cfg.arrival_rate, cfg.seed);
+                               cfg.arrival_rate, cfg.seed,
+                               cfg.wave_amplitude, cfg.wave_period);
   double when = 0.0;
   QueryId m = 0;
   while (arrivals.next(&when, &m)) {
@@ -1038,6 +1084,13 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
         r.site = obs::kNoSite;
         r.kind = static_cast<std::uint8_t>(obs::RecordKind::kArrival);
         rec->append(r);
+      }
+      if (wd != nullptr) {
+        const Query& q = inst.query(m);
+        wd->on_arrival(eq.now(), 0);
+        for (const DatasetDemand& dd : q.demands) {
+          wd->on_demand(eq.now(), dd.dataset);
+        }
       }
       const bool ok = admit(inst.query(m), res.outcomes[m]);
       res.outcomes[m].admitted = ok;
@@ -1064,6 +1117,7 @@ OnlineResult run_online_closure(const Instance& inst, const OnlineConfig& cfg,
 
   online_detail::finalize_online_result(inst, layout, demand_ends, &res);
   if (flow_on) online_detail::finalize_flow_gap(inst, flow_predicted, &res);
+  if (wd != nullptr) res.watchdog = wd->stats();
 
   if (trace_on) online_detail::emit_online_spans(spans, instants);
   if (audit_on) {

@@ -41,6 +41,7 @@
 
 #include "cloud/plan.h"
 #include "obs/obs.h"
+#include "obs/watchdog.h"
 #include "sim/faults.h"
 
 namespace edgerep {
@@ -150,6 +151,13 @@ struct OnlineConfig {
   enum class Arrivals : std::uint8_t { kPoisson, kUniform };
   Arrivals arrivals = Arrivals::kPoisson;
   double arrival_rate = 2.0;  ///< queries/second
+  /// Diurnal arrival wave: with both knobs > 0, the instantaneous rate is
+  /// modulated by 1 + wave_amplitude·sin(2π·t / wave_period) (clamped to
+  /// stay positive), giving the watchdog's change-point detectors a real
+  /// flash-crowd signal.  Defaults OFF — the draw sequence (and thus every
+  /// existing seed's arrival times) is bit-identical when amplitude == 0.
+  double wave_amplitude = 0.0;  ///< peak fractional rate swing, [0, 1)
+  double wave_period = 0.0;     ///< seconds per cycle
   /// Master seed of the arrival process (see the determinism contract in
   /// the header comment).  Identical seeds ⇒ identical arrival times and
   /// event orderings, with or without faults.
@@ -251,6 +259,12 @@ struct OnlineResult {
   /// Predicted-vs-actual gap of the flow backend (zeroed on table runs;
   /// excluded from online_result_hash, bit-identical across kernels).
   FlowGapStats flow_gap;
+
+  /// Watchdog alert rollup (zeroed unless the watchdog facet was on;
+  /// excluded from online_result_hash like the other diagnostic blocks,
+  /// but deterministic and bit-identical across kernels — pinned by
+  /// tests/obs/watchdog_test.cpp).
+  obs::WatchdogStats watchdog;
 
   /// Event-core accounting (differs across kernels by design; excluded
   /// from the equivalence contract and from online_result_hash).

@@ -5,6 +5,7 @@
 // the public API (not exported through edgerep/edgerep.h).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -78,15 +79,33 @@ struct DemandLayout {
 class OnlineArrivalStream {
  public:
   OnlineArrivalStream(std::size_t queries, OnlineConfig::Arrivals mode,
-                      double rate, std::uint64_t seed)
-      : rng_(seed), remaining_(queries), rate_(rate), mode_(mode) {}
+                      double rate, std::uint64_t seed,
+                      double wave_amplitude = 0.0, double wave_period = 0.0)
+      : rng_(seed),
+        remaining_(queries),
+        rate_(rate),
+        wave_amplitude_(wave_amplitude),
+        wave_period_(wave_period),
+        mode_(mode) {}
 
   /// Next arrival in instance order; false when the horizon is exhausted.
   bool next(double* time, QueryId* query) {
     if (remaining_ == 0) return false;
-    clock_ += mode_ == OnlineConfig::Arrivals::kPoisson
-                  ? rng_.exponential(rate_)
-                  : 1.0 / rate_;
+    double gap = mode_ == OnlineConfig::Arrivals::kPoisson
+                     ? rng_.exponential(rate_)
+                     : 1.0 / rate_;
+    // Diurnal wave: divide the base gap by the instantaneous rate
+    // modulation at the current phase.  The Rng draw sequence is identical
+    // either way, and the branch is skipped entirely when the wave is off,
+    // so amplitude == 0 reproduces historical arrival times bit for bit.
+    if (wave_amplitude_ > 0.0 && wave_period_ > 0.0) {
+      constexpr double kTwoPi = 6.283185307179586476925286766559;
+      double mod =
+          1.0 + wave_amplitude_ * std::sin(kTwoPi * clock_ / wave_period_);
+      if (mod < 0.05) mod = 0.05;
+      gap /= mod;
+    }
+    clock_ += gap;
     *time = clock_;
     *query = next_id_++;
     --remaining_;
@@ -99,6 +118,8 @@ class OnlineArrivalStream {
   QueryId next_id_ = 0;
   std::size_t remaining_;
   double rate_;
+  double wave_amplitude_;
+  double wave_period_;
   OnlineConfig::Arrivals mode_;
 };
 

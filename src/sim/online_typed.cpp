@@ -71,6 +71,12 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
   // a byte-identical journal on either kernel (tests/obs/postmortem_test).
   const bool rec_on = obs::recorder_enabled();
   obs::Recorder* const rec = rec_on ? &obs::recorder() : nullptr;
+  // Watchdog (5th facet), sampled once like the recorder.  Feeds sit at
+  // the recorder's mirrored append sites and carry only sim-clock times and
+  // stable ids, so the alert stream is byte-identical across kernels.
+  const bool wd_on = obs::watchdog_enabled();
+  obs::Watchdog* const wd = wd_on ? &obs::watchdog() : nullptr;
+  if (wd != nullptr) wd->begin_run();
   OnlineStatusBoard* board = cfg.status_board;
   std::vector<obs::AuditEntry> audit_entries;
 
@@ -158,6 +164,7 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
   std::vector<double> flow_base_caps;   // effective capacity per edge
   std::vector<QueryId> slot_query;      // layout slot -> owning query
   std::vector<std::uint32_t> qd_flow;   // layout slot -> live flow slot
+  std::vector<std::uint32_t> qd_bottleneck;  // slot -> last bottleneck edge
   std::vector<EdgeId> route_buf;
   std::vector<double> flow_predicted;   // per query, table-priced completion
   std::size_t flow_late = 0;            // deliveries after predicted time
@@ -176,10 +183,16 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
       }
     }
     qd_flow.assign(layout.total(), FlowEngine::kNoFlow);
+    if (wd != nullptr) qd_bottleneck.assign(layout.total(), obs::kNoAlertLink);
     flow_predicted.resize(inst.queries().size(), 0.0);
     flow->set_rate_listener([&](std::uint32_t tag, double t, double rate,
                                 double remaining, EdgeId bottleneck) {
       if (rate > 0.0) ++res.flow_gap.rate_changes;
+      if (wd != nullptr && rate > 0.0) {
+        // Mirror the postmortem's bottleneck attribution: the last rate
+        // transition names the link to blame at retirement.
+        qd_bottleneck[tag] = static_cast<std::uint32_t>(bottleneck);
+      }
       if (rec_on) {
         obs::JournalRecord r;
         r.time = t;
@@ -307,6 +320,15 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
     qd_flow[ls] = FlowEngine::kNoFlow;
     DemandEnd& de = demand_ends[ls];
     if (t > de.completion + 1e-9) ++flow_late;
+    if (wd != nullptr) {
+      const OnlineOutcome& prev = res.outcomes[slot_query[ls]];
+      wd->on_flow_retire(t, qd_bottleneck[ls], t - de.completion);
+      wd->on_completion(t,
+                        inst.query(slot_query[ls]).deadline -
+                            (std::max(prev.completion_time, t) -
+                             prev.arrival_time),
+                        false);
+    }
     de.completion = std::max(de.completion, t);
     OnlineOutcome& o = res.outcomes[slot_query[ls]];
     o.completion_time = std::max(o.completion_time, t);
@@ -437,6 +459,7 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
       r.kind = static_cast<std::uint8_t>(obs::RecordKind::kFail);
       rec->append(r);
     }
+    if (wd != nullptr) wd->on_completion(queue.now(), -1.0, true);
     // Kill in launch order — the order the closure kernel's grow-only
     // per-query index yields — so the load ledger sees the same ± sequence.
     const Query& q = inst.query(m);
@@ -582,6 +605,14 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
     if (rec_on) {
       record_flight(obs::RecordKind::kRelocate, m, demand, site, dd.dataset,
                     total, proc);
+    }
+    if (wd != nullptr) {
+      const double eff = faults.available(site);
+      wd->on_site_util(queue.now(), site,
+                       eff > 0.0 ? sites[site].in_use / eff : 1.0);
+      wd->on_completion(
+          queue.now(),
+          q.deadline - (completion - res.outcomes[m].arrival_time), false);
     }
     start_transfer(m, demand, site, total);
     if (flow_on) {
@@ -835,6 +866,11 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
       }
       start_transfer(q.id, static_cast<std::uint32_t>(i), d.site,
                      d.total_delay);
+      if (wd != nullptr) {
+        const double eff = faults.available(d.site);
+        wd->on_site_util(queue.now(), d.site,
+                         eff > 0.0 ? sites[d.site].in_use / eff : 1.0);
+      }
       if (audit_on) {
         obs::AuditEntry e;
         e.algorithm = "online";
@@ -849,6 +885,9 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
     }
     track_peak();
     outcome.completion_time = queue.now() + response;
+    if (wd != nullptr) {
+      wd->on_completion(queue.now(), q.deadline - response, false);
+    }
     if (flow_on) flow_predicted[q.id] = outcome.completion_time;
     if (trace_on && query_span[q.id] != kNoSpan) {
       spans[query_span[q.id]].t1 = outcome.completion_time;
@@ -866,7 +905,8 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
                         0, 0, 0.0, EvKind::kFaultApply});
   }
   OnlineArrivalStream arrivals(inst.queries().size(), cfg.arrivals,
-                               cfg.arrival_rate, cfg.seed);
+                               cfg.arrival_rate, cfg.seed,
+                               cfg.wave_amplitude, cfg.wave_period);
   auto push_next_arrival = [&] {
     double when = 0.0;
     QueryId m = 0;
@@ -896,6 +936,13 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
           r.site = obs::kNoSite;
           r.kind = static_cast<std::uint8_t>(obs::RecordKind::kArrival);
           rec->append(r);
+        }
+        if (wd != nullptr) {
+          const Query& q = inst.query(m);
+          wd->on_arrival(queue.now(), 0);
+          for (const DatasetDemand& dd : q.demands) {
+            wd->on_demand(queue.now(), dd.dataset);
+          }
         }
         const bool ok = admit(inst.query(m), res.outcomes[m]);
         res.outcomes[m].admitted = ok;
@@ -927,6 +974,11 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
         --inflight_count;
         in_use_total -= f->need;
         --site_live[f->site];
+        if (wd != nullptr) {
+          const double eff = faults.available(f->site);
+          wd->on_site_util(queue.now(), f->site,
+                           eff > 0.0 ? sites[f->site].in_use / eff : 1.0);
+        }
         slab.destroy(FlightHandle{ev.a, ev.b});
         push_status(false);
         break;
@@ -1006,6 +1058,7 @@ OnlineResult run_online_typed(const Instance& inst, const OnlineConfig& cfg,
 
   online_detail::finalize_online_result(inst, layout, demand_ends, &res);
   if (flow_on) online_detail::finalize_flow_gap(inst, flow_predicted, &res);
+  if (wd != nullptr) res.watchdog = wd->stats();
 
   if (trace_on) online_detail::emit_online_spans(spans, instants);
   if (audit_on) {

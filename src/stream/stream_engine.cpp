@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "util/thread_pool.h"
 
 namespace edgerep {
@@ -131,6 +132,12 @@ StreamResult run_stream(const Instance& inst, std::span<const Arrival> stream,
   const bool audit_on = obs::audit_enabled();
   const bool rec_on = obs::recorder_enabled();
   obs::Recorder* const rec = rec_on ? &obs::recorder() : nullptr;
+  // Watchdog feeds happen only in the serial sections below (epoch begin
+  // and phase-2 reconciliation), so the alert stream is byte-identical
+  // across thread counts, like the journal.
+  const bool wd_on = obs::watchdog_enabled();
+  obs::Watchdog* const wd = wd_on ? &obs::watchdog() : nullptr;
+  if (wd != nullptr) wd->begin_run();
   std::vector<obs::AuditEntry> audit_entries;
 
   StreamResult res{ReplicaPlan(inst), {}, 0, 0, 0, 0, 0, 0, 0, {}};
@@ -184,6 +191,15 @@ StreamResult run_stream(const Instance& inst, std::span<const Arrival> stream,
       r.site = obs::kNoSite;
       r.kind = static_cast<std::uint8_t>(obs::RecordKind::kEpochBegin);
       rec->append(r);
+    }
+    if (wd != nullptr) {
+      // One arrival-rate sample per non-empty shard, ascending shard id;
+      // the shard plays the role of a region in the detector state.
+      for (std::uint32_t sh = 0; sh < shards; ++sh) {
+        if (shard_batch[sh].empty()) continue;
+        wd->on_stream_epoch(static_cast<double>(epoch) * opts.epoch_length,
+                            sh, shard_batch[sh].size(), opts.epoch_length);
+      }
     }
 
     // Phase 1: parallel per-shard admission against the frozen plan.
@@ -246,6 +262,11 @@ StreamResult run_stream(const Instance& inst, std::span<const Arrival> stream,
               r.site = obs::kNoSite;
               r.kind = static_cast<std::uint8_t>(obs::RecordKind::kCommit);
               rec->append(r);
+            }
+            if (wd != nullptr) {
+              for (const AdmissionIntent::Placement& p : intent.placements) {
+                wd->on_demand(window_end, p.dataset);
+              }
             }
             continue;
           }

@@ -1,5 +1,6 @@
 #include "workload/arrival_gen.h"
 
+#include <cmath>
 #include <span>
 #include <stdexcept>
 
@@ -10,7 +11,9 @@ namespace edgerep {
 
 std::vector<Arrival> generate_arrival_stream(const Instance& inst, double rate,
                                              std::uint64_t seed,
-                                             ArrivalOrder order) {
+                                             ArrivalOrder order,
+                                             double wave_amplitude,
+                                             double wave_period) {
   if (!inst.finalized()) {
     throw std::invalid_argument("generate_arrival_stream: not finalized");
   }
@@ -24,11 +27,21 @@ std::vector<Arrival> generate_arrival_stream(const Instance& inst, double rate,
     Rng shuffle_rng(derive_seed(seed, 1));
     shuffle_rng.shuffle(std::span<QueryId>(ids));
   }
+  const bool wave = wave_amplitude > 0.0 && wave_period > 0.0;
   Rng gap_rng(derive_seed(seed, 2));
   std::vector<Arrival> stream(n);
   double t = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
-    t += gap_rng.exponential(rate);
+    double gap = gap_rng.exponential(rate);
+    if (wave) {
+      // Same diurnal modulation as OnlineArrivalStream::next — the gap draw
+      // above is unchanged, so amplitude 0 keeps historical streams exact.
+      constexpr double kTwoPi = 6.283185307179586476925286766559;
+      double mod = 1.0 + wave_amplitude * std::sin(kTwoPi * t / wave_period);
+      if (mod < 0.05) mod = 0.05;
+      gap /= mod;
+    }
+    t += gap;
     stream[k] = {t, ids[k]};
   }
   return stream;
@@ -44,6 +57,27 @@ Instance stream_instance(const StreamWorkloadConfig& cfg, std::uint64_t seed) {
   Rng site_rng(derive_seed(seed, 2));
   Rng data_rng(derive_seed(seed, 3));
   Rng query_rng(derive_seed(seed, 4));
+  // Zipf popularity draws live on their own substream so turning the skew
+  // on perturbs nothing but the dataset choice itself.
+  const bool zipf_on = cfg.zipf_exponent > 0.0;
+  Rng zipf_rng(derive_seed(seed, 5));
+  std::size_t queries_drawn = 0;
+  auto draw_dataset = [&]() -> DatasetId {
+    // The uniform draw always happens so query_rng stays aligned: with the
+    // skew on, every non-dataset field (home, rate, deadline, selectivity)
+    // is bit-identical to the uniform instance of the same seed.
+    const auto uniform =
+        static_cast<DatasetId>(query_rng.uniform_u64(0, cfg.datasets - 1));
+    if (zipf_on) {
+      const std::uint64_t rank =
+          zipf_rng.zipf(cfg.datasets, cfg.zipf_exponent);
+      const std::size_t rotation = cfg.zipf_drift_period > 0
+                                       ? queries_drawn / cfg.zipf_drift_period
+                                       : 0;
+      return static_cast<DatasetId>((rank - 1 + rotation) % cfg.datasets);
+    }
+    return uniform;
+  };
 
   const double p =
       cfg.avg_degree / static_cast<double>(cfg.sites - 1);
@@ -63,12 +97,12 @@ Instance stream_instance(const StreamWorkloadConfig& cfg, std::uint64_t seed) {
     if (cfg.max_demands <= 1) {
       // Special case, drawn in the historical order so every existing
       // (config, seed) pair keeps its exact instance bit-for-bit.
-      const auto ds =
-          static_cast<DatasetId>(query_rng.uniform_u64(0, cfg.datasets - 1));
+      const DatasetId ds = draw_dataset();
       const double vol = inst.dataset(ds).volume;
       const double deadline = cfg.deadline_per_gb.sample(query_rng) * vol;
       inst.add_query(home, cfg.rate.sample(query_rng), deadline,
                      {DatasetDemand{ds, cfg.selectivity.sample(query_rng)}});
+      ++queries_drawn;
       continue;
     }
     const std::size_t want = query_rng.uniform_u64(1, cfg.max_demands);
@@ -76,8 +110,7 @@ Instance stream_instance(const StreamWorkloadConfig& cfg, std::uint64_t seed) {
     demands.reserve(want);
     double vol = 0.0;
     for (std::size_t d = 0; d < want; ++d) {
-      const auto ds =
-          static_cast<DatasetId>(query_rng.uniform_u64(0, cfg.datasets - 1));
+      const DatasetId ds = draw_dataset();
       bool dup = false;
       for (const DatasetDemand& have : demands) dup |= have.dataset == ds;
       if (dup) continue;  // distinct datasets; duplicates shrink the draw
@@ -87,6 +120,7 @@ Instance stream_instance(const StreamWorkloadConfig& cfg, std::uint64_t seed) {
     const double deadline = cfg.deadline_per_gb.sample(query_rng) * vol;
     inst.add_query(home, cfg.rate.sample(query_rng), deadline,
                    std::move(demands));
+    ++queries_drawn;
   }
   inst.set_max_replicas(cfg.max_replicas);
   inst.finalize();

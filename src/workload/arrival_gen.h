@@ -37,9 +37,16 @@ enum class ArrivalOrder : std::uint8_t {
 /// Generate one arrival per query of `inst` with Poisson timing: gap k is
 /// Exponential(rate) drawn from a substream of `seed`, so the arrival times
 /// are strictly increasing with aggregate rate `rate` queries/second.
+///
+/// `wave_amplitude` / `wave_period` (both > 0 to engage) superimpose a
+/// diurnal wave on the rate: each gap is divided by
+/// 1 + amplitude·sin(2π·t / period), clamped at 0.05, the same modulation
+/// OnlineArrivalStream applies.  The Rng draw sequence is identical either
+/// way, so the defaults reproduce every existing stream bit for bit.
 std::vector<Arrival> generate_arrival_stream(
     const Instance& inst, double rate, std::uint64_t seed,
-    ArrivalOrder order = ArrivalOrder::kShuffled);
+    ArrivalOrder order = ArrivalOrder::kShuffled, double wave_amplitude = 0.0,
+    double wave_period = 0.0);
 
 /// Configuration of the large-scale streaming workload (single-demand
 /// queries over a flat G(n, p) site network).
@@ -65,6 +72,17 @@ struct StreamWorkloadConfig {
   /// pruning leaves most sites feasible and the candidate scan — the cost
   /// the sharded plane divides — dominates.
   Range deadline_per_gb{1.0, 3.0};
+
+  /// Skewed, drifting dataset popularity (the watchdog's flash-crowd
+  /// workload).  When zipf_exponent > 0, each query's dataset is drawn
+  /// Zipf(zipf_exponent) over a rank ring instead of uniformly: dataset
+  /// (rank − 1 + rotation) mod datasets, where the rotation advances by one
+  /// every zipf_drift_period queries (0 = the hot set never moves).  The
+  /// Zipf draws come from their own derive_seed substream; with the
+  /// exponent at its 0 default every draw, and hence every existing
+  /// (config, seed) instance, is bit-for-bit unchanged.
+  double zipf_exponent = 0.0;
+  std::size_t zipf_drift_period = 0;
 };
 
 /// Deterministically generate a finalized instance from the config.

@@ -19,6 +19,7 @@
 #include "obs/obs.h"
 #include "obs/postmortem.h"
 #include "obs/recorder.h"
+#include "obs/watchdog.h"
 #include "sim/online.h"
 #include "stream/stream_engine.h"
 #include "workload/arrival_gen.h"
@@ -301,6 +302,137 @@ TEST_F(PostmortemTest, TableJournalHasEmptyFlowSection) {
   for (const obs::QueryTimeline& tl : report.timelines) {
     EXPECT_EQ(tl.critical_link, obs::kNoLink);
   }
+}
+
+TEST_F(PostmortemTest, AlertWindowsReconstructAndAttributeBreaches) {
+  // Hand-built journal: one admitted query that breaches its deadline
+  // (arrival t=0, deadline 1, compute done t=2), three alert transitions
+  // around it — a resolved window spanning the breach, a still-open window
+  // that starts after it, and a ring-orphaned resolve whose open record was
+  // overwritten (the window is rebuilt from the resolve's v1 = onset).
+  obs::Recorder rec;
+  rec.configure(obs::RecorderMode::kFull);
+
+  obs::JournalRecord r;
+  r.time = 0.0;
+  r.v0 = 1.0;  // deadline
+  r.a = 0;
+  r.b = 1;
+  r.site = obs::kNoSite;
+  r.kind = static_cast<std::uint8_t>(obs::RecordKind::kArrival);
+  rec.append(r);
+
+  r = obs::JournalRecord{};
+  r.time = 0.0;
+  r.v0 = 2.0;  // total delay
+  r.v1 = 0.5;  // proc delay
+  r.a = 0;
+  r.b = 0;
+  r.site = 1;
+  r.kind = static_cast<std::uint8_t>(obs::RecordKind::kTransferStart);
+  rec.append(r);
+
+  // Alert seq 0: hotspot on dataset 3, warning, opens at 0.5.
+  r = obs::JournalRecord{};
+  r.time = 0.5;
+  r.v0 = 0.5;   // share at the crossing
+  r.v1 = 0.35;  // threshold
+  r.a = 3;
+  r.b = 0;
+  r.site = obs::kNoSite;
+  r.kind = static_cast<std::uint8_t>(obs::RecordKind::kAlert);
+  r.flags = static_cast<std::uint16_t>((1u << 1) | (1u << 3));
+  rec.append(r);
+
+  r = obs::JournalRecord{};
+  r.time = 2.0;
+  r.a = 0;
+  r.site = 1;
+  r.kind = static_cast<std::uint8_t>(obs::RecordKind::kComputeDone);
+  rec.append(r);  // completion 2.0 > deadline 1.0: the breach
+
+  // Alert seq 1: site overload, critical, opens at 2.5 and never resolves.
+  r = obs::JournalRecord{};
+  r.time = 2.5;
+  r.v0 = 0.97;
+  r.v1 = 1.0;
+  r.a = 1;
+  r.b = 1;
+  r.site = 1;
+  r.kind = static_cast<std::uint8_t>(obs::RecordKind::kAlert);
+  r.flags = static_cast<std::uint16_t>(2u << 1);
+  rec.append(r);
+
+  // Resolve of seq 0 at 3.0.
+  r = obs::JournalRecord{};
+  r.time = 3.0;
+  r.v0 = 0.1;
+  r.v1 = 0.5;  // onset echoed on resolves
+  r.a = 3;
+  r.b = 0;
+  r.site = obs::kNoSite;
+  r.kind = static_cast<std::uint8_t>(obs::RecordKind::kAlert);
+  r.flags = static_cast<std::uint16_t>(1u | (1u << 1) | (1u << 3));
+  rec.append(r);
+
+  // Orphaned resolve of seq 7 (its open was overwritten in ring mode):
+  // breach-burst on region 0, onset reconstructed from v1 = 1.5.
+  r = obs::JournalRecord{};
+  r.time = 4.0;
+  r.v0 = 0.02;
+  r.v1 = 1.5;
+  r.a = 0;
+  r.b = 7;
+  r.site = obs::kNoSite;
+  r.arg = 3;  // AlertKind::kBreachBurst
+  r.kind = static_cast<std::uint8_t>(obs::RecordKind::kAlert);
+  r.flags = static_cast<std::uint16_t>(1u | (1u << 1) | (2u << 3));
+  rec.append(r);
+
+  std::ostringstream os;
+  rec.write(os);
+  const obs::Journal journal = parse(os.str());
+  const obs::PostmortemReport report = obs::analyze_journal(journal);
+
+  EXPECT_EQ(report.alerts_opened, 3u);
+  EXPECT_EQ(report.alerts_resolved, 2u);
+  ASSERT_EQ(report.alerts.size(), 3u);
+
+  const obs::AlertWindow& w0 = report.alerts[0];
+  EXPECT_EQ(w0.seq, 0u);
+  EXPECT_EQ(w0.onset, 0.5);
+  EXPECT_EQ(w0.resolve, 3.0);
+  EXPECT_EQ(w0.subject, 3u);
+  EXPECT_EQ(w0.onset_value, 0.5);
+  EXPECT_EQ(w0.threshold, 0.35);
+  EXPECT_EQ(w0.resolve_value, 0.1);
+  EXPECT_EQ(w0.breaches_in_window, 1u);  // completion 2.0 ∈ [0.5, 3.0]
+
+  const obs::AlertWindow& w1 = report.alerts[1];
+  EXPECT_EQ(w1.seq, 1u);
+  EXPECT_LT(w1.resolve, 0.0);  // open to journal end
+  EXPECT_EQ(w1.severity,
+            static_cast<std::uint8_t>(obs::AlertSeverity::kCritical));
+  EXPECT_EQ(w1.breaches_in_window, 0u);  // breach predates the onset
+
+  const obs::AlertWindow& w2 = report.alerts[2];
+  EXPECT_EQ(w2.seq, 7u);
+  EXPECT_EQ(w2.onset, 1.5);  // rebuilt from the resolve record
+  EXPECT_EQ(w2.resolve, 4.0);
+  EXPECT_EQ(w2.kind,
+            static_cast<std::uint8_t>(obs::AlertKind::kBreachBurst));
+  EXPECT_EQ(w2.subject_kind,
+            static_cast<std::uint8_t>(obs::AlertSubjectKind::kRegion));
+  EXPECT_EQ(w2.breaches_in_window, 1u);  // completion 2.0 ∈ [1.5, 4.0]
+
+  std::ostringstream text;
+  obs::write_alerts_text(text, report);
+  EXPECT_NE(text.str().find("alerts: 3 opened, 2 resolved, 1 still open"),
+            std::string::npos)
+      << text.str();
+  EXPECT_NE(text.str().find("dataset_hotspot dataset 3 warning"),
+            std::string::npos)
+      << text.str();
 }
 
 TEST_F(PostmortemTest, ReportWritersProduceOutput) {

@@ -20,6 +20,7 @@
 
 #include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 
 namespace edgerep {
 namespace {
@@ -231,6 +232,59 @@ TEST_F(PrometheusFormatTest, NonFiniteGaugesSurviveTheParser) {
   EXPECT_EQ(families.at("prom_test_pos_inf").samples[0].value, "+Inf");
   EXPECT_EQ(families.at("prom_test_neg_inf").samples[0].value, "-Inf");
   EXPECT_EQ(families.at("prom_test_nan").samples[0].value, "NaN");
+}
+
+TEST_F(PrometheusFormatTest, WatchdogMetricsAreExpositionCompliant) {
+  // Alert transitions publish five edgerep_watchdog_* families; each must
+  // carry HELP and TYPE and parse clean alongside everything else in the
+  // global registry (non-finite values would surface as +Inf/NaN spellings,
+  // which check_document validates for every family).
+  obs::Watchdog& wd = obs::watchdog();
+  obs::WatchdogConfig cfg;
+  cfg.hotspot_warmup = 2;
+  cfg.breach_warmup = 2;
+  cfg.breach_ewma_alpha = 1.0;
+  wd.set_config(cfg);
+  wd.begin_run();
+  wd.on_demand(1.0, 4);
+  wd.on_demand(2.0, 4);  // hotspot opens → alerts_opened + top_share
+  wd.on_completion(1.0, -1.0, false);
+  wd.on_completion(2.0, -1.0, false);  // breach burst opens → breach_level
+  wd.on_completion(3.0, 1.0, false);   // level drops to 0 → resolve
+
+  std::ostringstream os;
+  obs::metrics().write_prometheus(os);
+  check_document(os.str());
+
+  const auto families = parse_exposition(os.str());
+  const struct {
+    const char* name;
+    const char* type;
+  } expected[] = {
+      {"edgerep_watchdog_alerts_opened_total", "counter"},
+      {"edgerep_watchdog_alerts_resolved_total", "counter"},
+      {"edgerep_watchdog_open_alerts", "gauge"},
+      {"edgerep_watchdog_breach_level", "gauge"},
+      {"edgerep_watchdog_top_share", "gauge"},
+  };
+  for (const auto& e : expected) {
+    ASSERT_TRUE(families.count(e.name)) << e.name << " not exported";
+    const PromFamily& fam = families.at(e.name);
+    EXPECT_EQ(fam.type, e.type) << e.name;
+    EXPECT_TRUE(fam.has_help) << e.name << " lacks # HELP";
+    ASSERT_FALSE(fam.samples.empty()) << e.name;
+  }
+  EXPECT_GE(parse_value(
+                families.at("edgerep_watchdog_alerts_opened_total")
+                    .samples[0]
+                    .value),
+            2.0);
+  EXPECT_GT(parse_value(
+                families.at("edgerep_watchdog_top_share").samples[0].value),
+            0.0);
+
+  wd.set_config(obs::WatchdogConfig{});
+  wd.begin_run();
 }
 
 TEST_F(PrometheusFormatTest, GlobalRegistryExportParsesClean) {

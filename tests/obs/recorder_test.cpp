@@ -179,6 +179,63 @@ TEST_F(RecorderTest, ClearKeepsModeAndCapacity) {
   EXPECT_EQ(rec.size(), 1u);
 }
 
+TEST_F(RecorderTest, RingWrapPreservesAlertAndFlowInterleaving) {
+  // Watchdog kAlert transitions ride the same journal as flow-backend
+  // kFlowRateChange records; a wrapped ring must keep the interleaved tail
+  // byte-exact and its drop accounting precise, so the postmortem can still
+  // reconstruct the surviving alert windows.
+  const auto make_alert = [](std::uint32_t i) {
+    obs::JournalRecord r;
+    r.time = 0.5 * i;
+    r.v0 = 0.4 + 0.01 * i;  // detector statistic
+    r.v1 = 0.35;            // threshold (open transition)
+    r.a = i % 5;            // subject id
+    r.b = i;                // alert seq
+    r.site = obs::kNoSite;
+    r.kind = static_cast<std::uint8_t>(obs::RecordKind::kAlert);
+    r.arg = static_cast<std::uint8_t>(i % 5);  // AlertKind
+    r.flags = static_cast<std::uint16_t>((1u << 1) | (1u << 3));
+    return r;
+  };
+  const auto make_flow = [](std::uint32_t i) {
+    obs::JournalRecord r;
+    r.time = 0.5 * i + 0.25;
+    r.v0 = 2.0 * i;  // rate
+    r.v1 = 8.0;      // remaining work
+    r.a = i;         // layout slot
+    r.b = i % 11;    // bottleneck edge
+    r.site = obs::kNoSite;
+    r.kind = static_cast<std::uint8_t>(obs::RecordKind::kFlowRateChange);
+    r.arg = static_cast<std::uint8_t>(i % 2);
+    return r;
+  };
+
+  obs::Recorder rec;
+  rec.configure(obs::RecorderMode::kRing, 7);
+  for (std::uint32_t i = 0; i < 23; ++i) {
+    rec.append(i % 2 == 0 ? make_alert(i) : make_flow(i));
+  }
+  EXPECT_EQ(rec.total_appended(), 23u);
+  EXPECT_EQ(rec.size(), 7u);
+  EXPECT_EQ(rec.dropped(), 16u);
+
+  std::stringstream buf;
+  rec.write(buf);
+  obs::Journal journal;
+  ASSERT_TRUE(obs::read_journal(buf, &journal));
+  EXPECT_EQ(journal.header.appended, 23u);
+  EXPECT_EQ(journal.header.retained, 7u);
+  EXPECT_EQ(journal.header.dropped, 16u);
+  ASSERT_EQ(journal.records.size(), 7u);
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    const std::uint32_t src = 16 + i;  // oldest surviving record first
+    const obs::JournalRecord want =
+        src % 2 == 0 ? make_alert(src) : make_flow(src);
+    EXPECT_TRUE(same_bytes(journal.records[i], want)) << "slot " << i;
+  }
+  EXPECT_STREQ(obs::to_string(obs::RecordKind::kAlert), "alert");
+}
+
 TEST_F(RecorderTest, EnvironmentGrammarControlsTheGlobalRecorder) {
   ::setenv("EDGEREP_RECORD", "1", 1);
   obs::init_from_env();

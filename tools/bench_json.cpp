@@ -484,10 +484,12 @@ int emit_obs(const std::string& out_path, int reps) {
   obs::set_recorder_enabled(true);
   online_batch_ms(inst, {}, kBatch);  // warm-up: grows the arena once
   obs::set_recorder_enabled(false);
-  std::vector<double> plain_samples, record_samples;
+  std::vector<double> plain_samples, record_samples, watchdog_samples;
   plain_samples.reserve(static_cast<std::size_t>(reps));
   record_samples.reserve(static_cast<std::size_t>(reps));
+  watchdog_samples.reserve(static_cast<std::size_t>(reps));
   std::uint64_t batch_records = 0;
+  std::size_t batch_alerts = 0;
   for (int r = 0; r < reps; ++r) {
     obs::set_recorder_enabled(false);
     plain_samples.push_back(online_batch_ms(inst, {}, kBatch));
@@ -495,12 +497,22 @@ int emit_obs(const std::string& out_path, int reps) {
     obs::set_recorder_enabled(true);
     record_samples.push_back(online_batch_ms(inst, {}, kBatch));
     batch_records = obs::recorder().total_appended();
+    // Third leg: the watchdog alone (recorder back off), so the sensor
+    // plane's per-event detector cost is measured separately from the
+    // journal append cost it can piggyback on.
+    obs::set_recorder_enabled(false);
+    obs::set_watchdog_enabled(true);
+    watchdog_samples.push_back(online_batch_ms(inst, {}, kBatch));
+    batch_alerts = obs::watchdog().stats().opened;
+    obs::set_watchdog_enabled(false);
   }
   obs::set_recorder_enabled(false);
   obs::recorder().configure(obs::RecorderMode::kFull);  // release the arena
   const double plain_ms = median(std::move(plain_samples));
   const double recording_ms = median(std::move(record_samples));
+  const double watchdog_ms = median(std::move(watchdog_samples));
   const double overhead_pct = (recording_ms / plain_ms - 1.0) * 100.0;
+  const double watchdog_overhead_pct = (watchdog_ms / plain_ms - 1.0) * 100.0;
   const std::uint64_t records_per_run =
       batch_records / static_cast<std::uint64_t>(kBatch);
 
@@ -521,14 +533,19 @@ int emit_obs(const std::string& out_path, int reps) {
       << ", \"plain_ms\": " << round2(plain_ms)
       << ", \"recording_ms\": " << round2(recording_ms)
       << ", \"overhead_pct\": " << round2(overhead_pct)
-      << ", \"records_per_run\": " << records_per_run << "}\n"
+      << ", \"records_per_run\": " << records_per_run
+      << ", \"watchdog_ms\": " << round2(watchdog_ms)
+      << ", \"watchdog_overhead_pct\": " << round2(watchdog_overhead_pct)
+      << ", \"alerts_per_run\": " << batch_alerts << "}\n"
       << "  ]\n}\n";
 
   std::cerr << "flight recorder " << c.network << "x" << c.queries
             << " (batch " << kBatch << "): plain " << plain_ms
             << " ms, recording " << recording_ms << " ms ("
             << overhead_pct << "%), " << records_per_run
-            << " records/run\n"
+            << " records/run; watchdog " << watchdog_ms << " ms ("
+            << watchdog_overhead_pct << "%, " << batch_alerts
+            << " alerts/run)\n"
             << "wrote " << out_path << "\n";
   return 0;
 }

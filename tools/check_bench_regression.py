@@ -43,7 +43,8 @@ IDENTITY_KEYS = ("case", "network_size", "queries", "nodes", "sites")
 # neither identity nor guarded latency metrics.  Anything outside this list
 # (and the identity/metric sets) fails hard — see the module docstring.
 INFO_KEYS = frozenset({
-    "admitted", "admitted_per_sec", "candidates", "completions",
+    "admitted", "admitted_per_sec", "alerts_per_run", "candidates",
+    "completions",
     "dense_entries", "events_per_sec", "evicted", "finalize_speedup",
     "flow_overhead_pct", "flows", "flows_routed", "gap_breaches",
     "kernel_speedup", "links", "memory_ratio", "overhead_pct",
@@ -52,6 +53,7 @@ INFO_KEYS = frozenset({
     "refill_ns_per_change", "scalar_ns_per_candidate", "shards",
     "site_rows_entries", "speedup", "speedup_vs_1shard",
     "speedup_vs_closure", "vectorized_ns_per_candidate",
+    "watchdog_overhead_pct",
 })
 
 

@@ -62,6 +62,11 @@ int usage() {
       "           [--gen-sites N] [--gen-queries N] [--gen-max-demands F]\n"
       "           [--gen-seed S]  (generate a stream-workload instance\n"
       "           in-process instead of --instance)\n"
+      "           [--gen-zipf S] [--gen-zipf-drift N]  (Zipf(S) dataset\n"
+      "           popularity whose hot set rotates every N queries — the\n"
+      "           watchdog's flash-crowd workload)\n"
+      "           [--wave-amplitude A] [--wave-period T]  (diurnal arrival\n"
+      "           wave: rate modulated by 1 + A*sin(2*pi*t/T))\n"
       "           [--gen-faults N] [--gen-fault-seed S]  (draw N crashes +\n"
       "           N capacity losses over the arrival horizon in-process)\n"
       "           [--serve PORT] [--sample-interval MS] [--serve-linger SEC]\n"
@@ -73,7 +78,8 @@ int usage() {
       "  stream   --instance FILE [--shards N] [--epoch-ms MS]\n"
       "           [--arrival-rate R] [--seed S] [--max-requeues N]\n"
       "           [--boundary none|dc] [--scalar-pricing] [--serial]\n"
-      "           [--id-order] [--json-out FILE] [--out FILE]\n"
+      "           [--id-order] [--wave-amplitude A] [--wave-period T]\n"
+      "           [--json-out FILE] [--out FILE]\n"
       "           continuous admission: Poisson arrivals batched into\n"
       "           micro-epochs, admitted by region-sharded engines and\n"
       "           reconciled against the global capacity ledger\n"
@@ -83,11 +89,14 @@ int usage() {
       "           [--out FILE]\n"
       "  diff     --instance FILE --plan FILE --plan2 FILE\n"
       "  postmortem --journal FILE [--diff FILE2] [--json-out FILE] [--top N]\n"
+      "           [--alerts]\n"
       "           replay a flight-recorder journal: causal timelines, deadline\n"
       "           slack decomposition, SLO-breach attribution by site/dataset/\n"
       "           role (and bottleneck link on --network=flow journals),\n"
       "           stream epoch stats; --diff compares two journals and\n"
-      "           reports the first divergent record\n"
+      "           reports the first divergent record; --alerts prints only\n"
+      "           the reconstructed watchdog alert timeline with per-window\n"
+      "           breach counts\n"
       "\n"
       "observability (any command):\n"
       "  --metrics-out FILE   write engine counters/gauges/histograms\n"
@@ -98,8 +107,12 @@ int usage() {
       "                       (binary; analyze with `postmortem`)\n"
       "  --record-mode MODE   full (default) keeps every record; ring keeps\n"
       "                       the last --record-ring N (default 65536)\n"
+      "  --watchdog           stream workload-drift / SLO-anomaly detectors\n"
+      "                       over the run; alerts print after the run, are\n"
+      "                       journaled when --record is on, and serve at\n"
+      "                       /alerts under --serve\n"
       "environment: EDGEREP_LOG=debug|info|warn|error, EDGEREP_OBS=1,\n"
-      "             EDGEREP_RECORD=full|ring[:N]\n";
+      "             EDGEREP_RECORD=full|ring[:N], EDGEREP_WATCHDOG=1\n";
   return 2;
 }
 
@@ -394,6 +407,11 @@ void add_online_routes(obs::HttpServer& server, OnlineStatusBoard& board,
     sampler.write_json(os);
     return obs::HttpResponse{200, "application/json", os.str()};
   });
+  server.route("/alerts", [](const obs::HttpRequest&) {
+    std::ostringstream os;
+    obs::watchdog().write_json(os);
+    return obs::HttpResponse{200, "application/json", os.str()};
+  });
   server.route("/quitquitquit", [&quit](const obs::HttpRequest&) {
     quit.store(true, std::memory_order_release);
     return obs::HttpResponse{200, "text/plain; charset=utf-8",
@@ -415,10 +433,15 @@ int cmd_online(const Args& args) {
         static_cast<std::size_t>(args.get_int("gen-queries", 100'000));
     wc.max_demands =
         static_cast<std::size_t>(args.get_int("gen-max-demands", 1));
+    wc.zipf_exponent = args.get_double("gen-zipf", 0.0);
+    wc.zipf_drift_period =
+        static_cast<std::size_t>(args.get_int("gen-zipf-drift", 0));
     return stream_instance(wc, args.get_seed("gen-seed", 0x5eed));
   }();
   OnlineConfig cfg;
   cfg.arrival_rate = args.get_double("arrival-rate", 2.0);
+  cfg.wave_amplitude = args.get_double("wave-amplitude", 0.0);
+  cfg.wave_period = args.get_double("wave-period", 0.0);
   cfg.seed = args.get_seed("seed", 0x0a11);
   cfg.reactive_replicas = !args.get_bool("no-reactive", false);
   cfg.repair_on_failure = !args.get_bool("no-repair", false);
@@ -478,7 +501,7 @@ int cmd_online(const Args& args) {
     add_online_routes(server, board, sampler, quit);
     server.start(static_cast<std::uint16_t>(args.get_int("serve", 0)));
     std::cout << "serving telemetry on http://127.0.0.1:" << server.port()
-              << " (/metrics /healthz /status /timeseries)\n";
+              << " (/metrics /healthz /status /timeseries /alerts)\n";
   }
   if (sampling) sampler.start(sample_interval);
 
@@ -521,6 +544,17 @@ int cmd_online(const Args& args) {
               << g.actual_hits << ", gap breaches " << g.gap_breaches
               << ", stretch max/mean " << g.max_stretch << " / "
               << g.mean_stretch << " s\n";
+  }
+  if (obs::watchdog_enabled()) {
+    const obs::WatchdogStats& w = res.watchdog;
+    std::cout << "alerts: " << w.opened << " opened, " << w.resolved
+              << " resolved, " << w.open_at_end << " still open, worst "
+              << obs::to_string(
+                     static_cast<obs::AlertSeverity>(w.worst_severity))
+              << " (hotspot " << w.opened_by_kind[0] << ", overload "
+              << w.opened_by_kind[1] << ", rate " << w.opened_by_kind[2]
+              << ", breach " << w.opened_by_kind[3] << ", stretch "
+              << w.opened_by_kind[4] << ")\n";
   }
 
   if (serve && linger > 0.0) {
@@ -576,8 +610,9 @@ int cmd_stream(const Args& args) {
   const ArrivalOrder order = args.get_bool("id-order", false)
                                  ? ArrivalOrder::kQueryId
                                  : ArrivalOrder::kShuffled;
-  const std::vector<Arrival> stream =
-      generate_arrival_stream(inst, rate, seed, order);
+  const std::vector<Arrival> stream = generate_arrival_stream(
+      inst, rate, seed, order, args.get_double("wave-amplitude", 0.0),
+      args.get_double("wave-period", 0.0));
 
   const auto t0 = std::chrono::steady_clock::now();
   const StreamResult res = run_stream(inst, stream, opts);
@@ -603,6 +638,17 @@ int cmd_stream(const Args& args) {
               << st.infeasible << ", conflicts " << st.conflicts << "\n";
   }
   print_metrics(res.plan);
+  if (obs::watchdog_enabled()) {
+    const obs::WatchdogStats w = obs::watchdog().stats();
+    std::cout << "alerts: " << w.opened << " opened, " << w.resolved
+              << " resolved, " << w.open_at_end << " still open, worst "
+              << obs::to_string(
+                     static_cast<obs::AlertSeverity>(w.worst_severity))
+              << " (hotspot " << w.opened_by_kind[0] << ", overload "
+              << w.opened_by_kind[1] << ", rate " << w.opened_by_kind[2]
+              << ", breach " << w.opened_by_kind[3] << ", stretch "
+              << w.opened_by_kind[4] << ")\n";
+  }
   const ValidationResult vr = validate(res.plan);
   std::cout << "valid: " << (vr.ok ? "yes" : "NO") << "\n";
   for (const std::string& v : vr.violations) std::cout << "  " << v << "\n";
@@ -729,6 +775,10 @@ int cmd_postmortem(const Args& args) {
   }
   const obs::PostmortemReport report = obs::analyze_journal(journal);
   const auto top = static_cast<std::size_t>(args.get_int("top", 10));
+  if (args.get_bool("alerts", false)) {
+    obs::write_alerts_text(std::cout, report);
+    return 0;
+  }
   obs::write_report_text(std::cout, report, top);
   const std::string json_out = args.get("json-out", "");
   if (!json_out.empty()) {
@@ -759,6 +809,10 @@ std::function<void()> setup_observability(const Args& args) {
   if (!metrics_out.empty()) obs::set_metrics_enabled(true);
   if (!trace_out.empty()) obs::set_trace_enabled(true);
   if (!audit_out.empty()) obs::set_audit_enabled(true);
+  if (args.get_bool("watchdog", false)) {
+    obs::set_watchdog_enabled(true);
+    obs::watchdog().begin_run();
+  }
   if (!record_out.empty()) {
     const std::string mode = args.get("record-mode", "full");
     if (mode == "ring") {
